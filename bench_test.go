@@ -1,0 +1,249 @@
+// Benchmarks regenerating every table and figure of the paper's
+// evaluation (§IV). Each benchmark produces the same rows/series the
+// paper reports (see internal/experiments and EXPERIMENTS.md); the
+// simulated campaign is generated once and cached, so iterations measure
+// the regeneration work itself.
+//
+// Run with:
+//
+//	go test -bench=. -benchmem
+package f2pm_test
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/experiments"
+)
+
+// benchArtifacts returns the shared full-scale campaign (built once).
+func benchArtifacts(b *testing.B) *experiments.Artifacts {
+	b.Helper()
+	art, err := experiments.Build(experiments.DefaultConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	return art
+}
+
+// BenchmarkDataCampaign measures the simulated test-bed itself: one
+// paper-scale campaign (100k virtual seconds of TPC-W with anomaly
+// injection and 1.5 s feature sampling).
+func BenchmarkDataCampaign(b *testing.B) {
+	cfg := experiments.DefaultConfig()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		cfg.Seed = uint64(i) + 1
+		if _, err := experiments.GenerateData(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig3ResponseTimeCorrelation regenerates Figure 3: the
+// response-time / inter-generation-time correlation on the longest run.
+func BenchmarkFig3ResponseTimeCorrelation(b *testing.B) {
+	art := benchArtifacts(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f3, err := experiments.Fig3(art.Data, art.Config.WindowSec)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if f3.Pearson < 0.5 {
+			b.Fatalf("correlation collapsed: %v", f3.Pearson)
+		}
+	}
+}
+
+// BenchmarkFig4LassoPath regenerates Figure 4: the Lasso regularization
+// path over λ = 10⁰..10⁹ on the full dataset.
+func BenchmarkFig4LassoPath(b *testing.B) {
+	art := benchArtifacts(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f4, err := experiments.Fig4(art.Dataset)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if f4.Counts()[0] == 0 {
+			b.Fatal("empty path")
+		}
+	}
+}
+
+// BenchmarkTableILassoWeights regenerates Table I: the surviving feature
+// weights at the selection λ.
+func BenchmarkTableILassoWeights(b *testing.B) {
+	art := benchArtifacts(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		t1, err := experiments.TableI(art.Dataset, art.Config.SelectionLambda)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if t1.Point.NumSelected() == 0 {
+			b.Fatal("empty selection")
+		}
+	}
+}
+
+// BenchmarkTableIISoftMAE regenerates Table II by running the full
+// pipeline — aggregation, selection, training all models on both feature
+// families, validation — and extracting the S-MAE rows. This is the
+// heavyweight benchmark: it is the paper's whole model-generation phase.
+func BenchmarkTableIISoftMAE(b *testing.B) {
+	art := benchArtifacts(b)
+	pipeCfg := core.DefaultConfig()
+	pipeCfg.Aggregation.WindowSec = art.Config.WindowSec
+	pipeCfg.SelectionLambda = art.Config.SelectionLambda
+	pipeCfg.SMAEFraction = art.Config.SMAEFraction
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pipe, err := core.New(pipeCfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		rep, err := pipe.Run(&art.Data.History)
+		if err != nil {
+			b.Fatal(err)
+		}
+		tabs := experiments.Tables(rep)
+		if len(tabs.SMAE) == 0 {
+			b.Fatal("no rows")
+		}
+	}
+}
+
+// BenchmarkTableIIITrainingTime regenerates Table III (training time per
+// model and feature family) from the shared pipeline report.
+func BenchmarkTableIIITrainingTime(b *testing.B) {
+	art := benchArtifacts(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tabs := experiments.Tables(art.Report)
+		if len(tabs.TrainingTime) == 0 {
+			b.Fatal("no rows")
+		}
+		_ = tabs.FormatTrainingTime()
+	}
+}
+
+// BenchmarkTableIVValidationTime regenerates Table IV (validation time
+// per model and feature family).
+func BenchmarkTableIVValidationTime(b *testing.B) {
+	art := benchArtifacts(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tabs := experiments.Tables(art.Report)
+		if len(tabs.ValidationOne) == 0 {
+			b.Fatal("no rows")
+		}
+		_ = tabs.FormatValidationTime()
+	}
+}
+
+// BenchmarkFig5FittedModels regenerates Figure 5: the predicted-vs-real
+// RTTF series for every all-parameters model.
+func BenchmarkFig5FittedModels(b *testing.B) {
+	art := benchArtifacts(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f5, err := experiments.Fig5(art.Report, art.Config.SelectionLambda)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(f5.Panels) < 4 {
+			b.Fatalf("only %d panels", len(f5.Panels))
+		}
+		_ = f5.Format()
+	}
+}
+
+// quickBenchArtifacts returns the reduced campaign for the (pipeline-
+// heavy) ablation benchmarks.
+func quickBenchArtifacts(b *testing.B) *experiments.Artifacts {
+	b.Helper()
+	art, err := experiments.Build(experiments.QuickConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	return art
+}
+
+// BenchmarkAblationWindowSize sweeps the aggregation window (DESIGN A1).
+func BenchmarkAblationWindowSize(b *testing.B) {
+	art := quickBenchArtifacts(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pts, err := experiments.AblationWindow(art.Config, &art.Data.History, []float64{15, 30, 60})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(pts) != 3 {
+			b.Fatal("sweep incomplete")
+		}
+	}
+}
+
+// BenchmarkAblationSlopes toggles the derived slope metrics (DESIGN A2).
+func BenchmarkAblationSlopes(b *testing.B) {
+	art := quickBenchArtifacts(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pts, err := experiments.AblationSlopes(art.Config, &art.Data.History)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(pts) == 0 {
+			b.Fatal("no comparisons")
+		}
+	}
+}
+
+// BenchmarkAblationSMAEThreshold sweeps the S-MAE tolerance (DESIGN A3).
+func BenchmarkAblationSMAEThreshold(b *testing.B) {
+	art := quickBenchArtifacts(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pts, err := experiments.AblationThreshold(art.Report, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(pts) != 4 {
+			b.Fatal("sweep incomplete")
+		}
+	}
+}
+
+// BenchmarkAblationTrainingRuns sweeps the training-set size (DESIGN A4).
+func BenchmarkAblationTrainingRuns(b *testing.B) {
+	art := quickBenchArtifacts(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pts, err := experiments.AblationRuns(art.Config, &art.Data.History, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(pts) != 4 {
+			b.Fatal("sweep incomplete")
+		}
+	}
+}
+
+// BenchmarkAblationSamplingInterval re-simulates the campaign at
+// different FMC sampling intervals and retrains (DESIGN A5) — the only
+// ablation that regenerates the data itself.
+func BenchmarkAblationSamplingInterval(b *testing.B) {
+	art := quickBenchArtifacts(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pts, err := experiments.AblationInterval(art.Config, []float64{1.5, 6})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(pts) != 2 {
+			b.Fatal("sweep incomplete")
+		}
+	}
+}

@@ -1,0 +1,143 @@
+// Command experiments regenerates every table and figure of the paper's
+// evaluation (§IV) on the simulated test-bed, plus the ablations in
+// DESIGN.md.
+//
+// Usage:
+//
+//	experiments -run all            # everything (a few minutes)
+//	experiments -run fig4,table2    # selected artifacts
+//	experiments -quick              # reduced scale (CI-sized)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/experiments"
+)
+
+var artifacts = []string{"fig3", "fig4", "table1", "table2", "table3", "table4", "fig5", "ablations"}
+
+func main() {
+	var (
+		runList = flag.String("run", "all", "comma-separated artifacts: "+strings.Join(artifacts, ","))
+		quick   = flag.Bool("quick", false, "reduced scale (small VM, no SVMs)")
+		seed    = flag.Uint64("seed", 0, "override campaign seed (0 = config default)")
+	)
+	flag.Parse()
+
+	cfg := experiments.DefaultConfig()
+	if *quick {
+		cfg = experiments.QuickConfig()
+	}
+	if *seed != 0 {
+		cfg.Seed = *seed
+	}
+
+	want := map[string]bool{}
+	if *runList == "all" {
+		for _, a := range artifacts {
+			want[a] = true
+		}
+	} else {
+		for _, a := range strings.Split(*runList, ",") {
+			a = strings.TrimSpace(a)
+			valid := false
+			for _, known := range artifacts {
+				if a == known {
+					valid = true
+					break
+				}
+			}
+			if !valid {
+				fatal(fmt.Errorf("unknown artifact %q (want one of %s)", a, strings.Join(artifacts, ",")))
+			}
+			want[a] = true
+		}
+	}
+
+	t0 := time.Now()
+	fmt.Fprintf(os.Stderr, "experiments: building campaign (seed=%d, %.0f virtual seconds)...\n",
+		cfg.Seed, cfg.TotalVirtualSec)
+	art, err := experiments.Build(cfg)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "experiments: campaign + pipeline ready in %v (%d failed runs, %d rows)\n\n",
+		time.Since(t0).Round(time.Millisecond), len(art.Data.History.FailedRuns()), art.Dataset.NumRows())
+
+	if want["fig3"] {
+		f3, err := experiments.Fig3(art.Data, cfg.WindowSec)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(f3.Format())
+	}
+	if want["fig4"] {
+		f4, err := experiments.Fig4(art.Dataset)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(f4.Format())
+	}
+	if want["table1"] {
+		t1, err := experiments.TableI(art.Dataset, cfg.SelectionLambda)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(t1.Format())
+	}
+	tabs := experiments.Tables(art.Report)
+	if want["table2"] {
+		fmt.Println(tabs.FormatSMAE())
+	}
+	if want["table3"] {
+		fmt.Println(tabs.FormatTrainingTime())
+	}
+	if want["table4"] {
+		fmt.Println(tabs.FormatValidationTime())
+	}
+	if want["fig5"] {
+		f5, err := experiments.Fig5(art.Report, cfg.SelectionLambda)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(f5.Format())
+	}
+	if want["ablations"] {
+		wpts, err := experiments.AblationWindow(cfg, &art.Data.History, nil)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(experiments.FormatWindowAblation(wpts))
+		spts, err := experiments.AblationSlopes(cfg, &art.Data.History)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(experiments.FormatSlopesAblation(spts))
+		tpts, err := experiments.AblationThreshold(art.Report, nil)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(experiments.FormatThresholdAblation(tpts, []string{"Linear Regression", "M5P", "REP Tree"}))
+		rpts, err := experiments.AblationRuns(cfg, &art.Data.History, nil)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(experiments.FormatRunsAblation(rpts))
+		ipts, err := experiments.AblationInterval(cfg, nil)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(experiments.FormatIntervalAblation(ipts))
+	}
+	fmt.Fprintf(os.Stderr, "experiments: done in %v\n", time.Since(t0).Round(time.Millisecond))
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "experiments:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,146 @@
+// Command f2pm runs the full F2PM pipeline (paper §III) on a data
+// history CSV: aggregation, Lasso feature selection, model generation
+// with all six methods, and validation, printing the per-model metric
+// tables so the user can pick the best-suited model.
+//
+// Usage:
+//
+//	f2pm -in history.csv -window 30 -lambda 1e5 -smae 0.10
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"sort"
+
+	f2pm "repro"
+)
+
+func main() {
+	var (
+		in       = flag.String("in", "history.csv", "input data-history CSV ('-' for stdin)")
+		window   = flag.Float64("window", 30, "aggregation window (seconds)")
+		lambda   = flag.Float64("lambda", 1e5, "feature-selection λ (0 disables the reduced family)")
+		smae     = flag.Float64("smae", 0.10, "S-MAE tolerance as a fraction of mean RTTF")
+		valFrac  = flag.Float64("val", 0.3, "validation fraction (held-out runs)")
+		fast     = flag.Bool("fast", false, "skip the SVM family (much faster)")
+		parallel = flag.Int("parallel", runtime.NumCPU(), "concurrent model training (timings get noisy above 1)")
+		saveBest = flag.String("save-model", "", "write the best model to this path for deployment")
+	)
+	flag.Parse()
+
+	r := os.Stdin
+	if *in != "-" {
+		f, err := os.Open(*in)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		r = f
+	}
+	history, err := f2pm.ReadHistoryCSV(r)
+	if err != nil {
+		fatal(err)
+	}
+
+	cfg := f2pm.DefaultConfig()
+	cfg.Aggregation.WindowSec = *window
+	cfg.SelectionLambda = *lambda
+	cfg.SMAEFraction = *smae
+	cfg.ValidationFrac = *valFrac
+	cfg.Parallelism = *parallel
+	models := f2pm.DefaultModels(cfg.FeatureLambdas)
+	if *fast {
+		var kept []f2pm.ModelSpec
+		for _, m := range models {
+			if m.Name == "svm" || m.Name == "svm2" {
+				continue
+			}
+			kept = append(kept, m)
+		}
+		models = kept
+	}
+	cfg.Models = models
+
+	pipe, err := f2pm.NewPipeline(cfg)
+	if err != nil {
+		fatal(err)
+	}
+	report, err := pipe.Run(history)
+	if err != nil {
+		fatal(err)
+	}
+
+	fmt.Printf("dataset: %d training rows, %d validation rows, %d columns\n",
+		report.TrainRows, report.ValRows, report.Columns)
+	fmt.Printf("S-MAE tolerance: %.1f s (%.0f%% of mean RTTF)\n\n", report.SMAEThreshold, *smae*100)
+
+	if len(report.Path) > 0 {
+		fmt.Println("Lasso regularization path (training set):")
+		for _, pp := range report.Path {
+			fmt.Printf("  lambda=%-8g selected=%d\n", pp.Lambda, pp.NumSelected())
+		}
+		fmt.Println()
+	}
+	if report.Selection.NumSelected() > 0 {
+		fmt.Printf("selected features at lambda=%g:\n", report.Selection.Lambda)
+		for _, w := range report.Selection.SortedWeights() {
+			fmt.Printf("  %-28s %.12f\n", w.Name, w.Beta)
+		}
+		fmt.Println()
+	}
+
+	// Per-model table, sorted by S-MAE within each family.
+	type row struct {
+		res *f2pm.ModelResult
+	}
+	var rows []row
+	for i := range report.Results {
+		rows = append(rows, row{res: &report.Results[i]})
+	}
+	sort.SliceStable(rows, func(i, j int) bool {
+		a, b := rows[i].res, rows[j].res
+		if a.Features != b.Features {
+			return a.Features == f2pm.AllParams
+		}
+		return a.Report.SoftMAE < b.Report.SoftMAE
+	})
+	fmt.Printf("%-22s %-6s %10s %8s %10s %10s %12s %12s\n",
+		"model", "feats", "S-MAE(s)", "RAE", "MAE(s)", "MaxAE(s)", "train", "validate")
+	for _, r := range rows {
+		res := r.res
+		if res.Err != nil {
+			fmt.Printf("%-22s %-6s  FAILED: %v\n", res.Spec.DisplayName, res.Features, res.Err)
+			continue
+		}
+		m := res.Report
+		fmt.Printf("%-22s %-6s %10.3f %8.3f %10.3f %10.3f %12s %12s\n",
+			res.Spec.DisplayName, res.Features, m.SoftMAE, m.RAE, m.MAE, m.MaxAE,
+			m.TrainingTime.Round(100_000).String(), m.ValidationTime.Round(1000).String())
+	}
+	if best := report.Best(); best != nil {
+		fmt.Printf("\nbest model: %s (%s features), S-MAE %.3f s\n",
+			best.Spec.DisplayName, best.Features, best.Report.SoftMAE)
+		if *saveBest != "" {
+			f, err := os.Create(*saveBest)
+			if err != nil {
+				fatal(err)
+			}
+			if err := f2pm.SaveModel(f, best.Model); err != nil {
+				f.Close()
+				fatal(err)
+			}
+			if err := f.Close(); err != nil {
+				fatal(err)
+			}
+			fmt.Printf("saved model to %s (load with f2pm.LoadModel)\n", *saveBest)
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "f2pm:", err)
+	os.Exit(1)
+}

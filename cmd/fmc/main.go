@@ -1,0 +1,69 @@
+// Command fmc runs the Feature Monitor Client (paper §III-E): it samples
+// the local system's features every -interval (the paper uses ~1.5 s)
+// through /proc and ships datapoints to an FMS over TCP. When the
+// failure condition fires, it ships a fail event; restarting the
+// monitored application is left to the operator or an external agent.
+//
+// Usage:
+//
+//	fmc -server 10.0.0.2:7070 -id web-vm-1 -interval 1.5s
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"time"
+
+	f2pm "repro"
+)
+
+func main() {
+	var (
+		server   = flag.String("server", "127.0.0.1:7070", "FMS address")
+		id       = flag.String("id", hostnameOr("fmc"), "client identifier")
+		interval = flag.Duration("interval", 1500*time.Millisecond, "sampling interval")
+		procRoot = flag.String("proc", "/proc", "procfs mount point")
+		memFrac  = flag.Float64("mem-frac", 0.02, "failure condition: free-memory fraction")
+		swapFrac = flag.Float64("swap-frac", 0.02, "failure condition: free-swap fraction")
+	)
+	flag.Parse()
+
+	cli, err := f2pm.DialMonitor(*server, *id)
+	if err != nil {
+		fatal(err)
+	}
+	defer cli.Close()
+
+	coll := &f2pm.Collector{
+		Client:    cli,
+		Source:    f2pm.NewProcSource(*procRoot),
+		Interval:  *interval,
+		Condition: f2pm.MemoryExhaustion(*memFrac, *swapFrac),
+		OnFail: func(d *f2pm.Datapoint) {
+			fmt.Fprintf(os.Stderr, "fmc: failure condition met at uptime %.1fs\n", d.Tgen)
+		},
+	}
+	if err := coll.Start(); err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "fmc: sampling every %v, shipping to %s as %q\n", *interval, *server, *id)
+
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, os.Interrupt)
+	<-stop
+	coll.Stop()
+}
+
+func hostnameOr(fallback string) string {
+	if h, err := os.Hostname(); err == nil && h != "" {
+		return h
+	}
+	return fallback
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "fmc:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,73 @@
+// Command fms runs the Feature Monitor Server (paper §III-E): it accepts
+// FMC connections over TCP, assembles each client's datapoint stream into
+// a data history, and writes one CSV per client on shutdown (SIGINT) or
+// after -duration.
+//
+// Usage:
+//
+//	fms -listen :7070 -outdir histories/
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"path/filepath"
+	"time"
+
+	f2pm "repro"
+)
+
+func main() {
+	var (
+		listen   = flag.String("listen", "127.0.0.1:7070", "TCP listen address")
+		outdir   = flag.String("outdir", ".", "directory for per-client history CSVs")
+		duration = flag.Duration("duration", 0, "stop after this long (0 = until SIGINT)")
+	)
+	flag.Parse()
+
+	srv, err := f2pm.NewMonitorServer(*listen)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "fms: listening on %s\n", srv.Addr())
+
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, os.Interrupt)
+	if *duration > 0 {
+		select {
+		case <-stop:
+		case <-time.After(*duration):
+		}
+	} else {
+		<-stop
+	}
+	if err := srv.Close(); err != nil {
+		fmt.Fprintln(os.Stderr, "fms: close:", err)
+	}
+
+	for _, id := range srv.Clients() {
+		h, ok := srv.History(id)
+		if !ok {
+			continue
+		}
+		path := filepath.Join(*outdir, fmt.Sprintf("history-%s.csv", id))
+		f, err := os.Create(path)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "fms:", err)
+			continue
+		}
+		if err := f2pm.WriteHistoryCSV(f, h); err != nil {
+			fmt.Fprintln(os.Stderr, "fms:", err)
+		}
+		f.Close()
+		fmt.Fprintf(os.Stderr, "fms: wrote %s (%d runs, %d datapoints)\n",
+			path, len(h.Runs), h.TotalDatapoints())
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "fms:", err)
+	os.Exit(1)
+}

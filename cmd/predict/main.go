@@ -1,0 +1,117 @@
+// Command predict deploys a trained F2PM model: it loads a model saved
+// by `f2pm -save-model`, aggregates a stream of datapoints with the same
+// windowing the training used, and emits Remaining-Time-To-Failure
+// estimates. When the prediction drops below -act-below, it runs the
+// given command — the paper's proactive rejuvenation action (§I).
+//
+// Two input modes:
+//
+//	predict -model best.model -replay history.csv   # replay a CSV history
+//	predict -model best.model -interval 1.5s        # live from /proc
+//
+// The model must have been trained on all parameters (cmd/f2pm with
+// -lambda 0, or just use the all-params best), since live rows carry the
+// full 30-column layout.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/exec"
+	"time"
+
+	f2pm "repro"
+)
+
+func main() {
+	var (
+		modelPath = flag.String("model", "best.model", "model file from f2pm -save-model")
+		replay    = flag.String("replay", "", "replay datapoints from this history CSV instead of sampling /proc")
+		interval  = flag.Duration("interval", 1500*time.Millisecond, "live sampling interval")
+		procRoot  = flag.String("proc", "/proc", "procfs mount point (live mode)")
+		window    = flag.Float64("window", 30, "aggregation window in seconds (must match training)")
+		actBelow  = flag.Float64("act-below", 0, "run -action when predicted RTTF falls below this many seconds (0 disables)")
+		action    = flag.String("action", "", "command to run on low-RTTF predictions (e.g. a rejuvenation script)")
+		maxRows   = flag.Int("max-predictions", 0, "stop after this many predictions (0 = unlimited; useful for testing)")
+	)
+	flag.Parse()
+
+	mf, err := os.Open(*modelPath)
+	if err != nil {
+		fatal(err)
+	}
+	model, err := f2pm.LoadModel(mf)
+	mf.Close()
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "predict: loaded %s model from %s\n", model.Name(), *modelPath)
+
+	aggCfg := f2pm.DefaultAggregationConfig()
+	aggCfg.WindowSec = *window
+	la, err := f2pm.NewLiveAggregator(aggCfg)
+	if err != nil {
+		fatal(err)
+	}
+
+	emitted := 0
+	emit := func(tgen float64, row []float64) bool {
+		rttf := model.Predict(row)
+		fmt.Printf("t=%.1fs predicted_rttf=%.1fs\n", tgen, rttf)
+		emitted++
+		if *actBelow > 0 && rttf >= 0 && rttf < *actBelow && *action != "" {
+			fmt.Fprintf(os.Stderr, "predict: RTTF %.1fs below %.1fs — running action\n", rttf, *actBelow)
+			cmd := exec.Command("/bin/sh", "-c", *action)
+			cmd.Stdout = os.Stderr
+			cmd.Stderr = os.Stderr
+			if err := cmd.Run(); err != nil {
+				fmt.Fprintln(os.Stderr, "predict: action failed:", err)
+			}
+			la.Reset() // the action presumably restarted the system
+		}
+		return *maxRows > 0 && emitted >= *maxRows
+	}
+
+	if *replay != "" {
+		f, err := os.Open(*replay)
+		if err != nil {
+			fatal(err)
+		}
+		h, err := f2pm.ReadHistoryCSV(f)
+		f.Close()
+		if err != nil {
+			fatal(err)
+		}
+		for _, run := range h.Runs {
+			la.Reset()
+			for _, d := range run.Datapoints {
+				if row, tgen, ok := la.Push(d); ok {
+					if emit(tgen, row) {
+						return
+					}
+				}
+			}
+		}
+		return
+	}
+
+	// Live mode: sample /proc forever.
+	src := f2pm.NewProcSource(*procRoot)
+	for {
+		d, err := src.Sample()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "predict: sample:", err)
+		} else if row, tgen, ok := la.Push(d); ok {
+			if emit(tgen, row) {
+				return
+			}
+		}
+		time.Sleep(*interval)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "predict:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,89 @@
+// Command tpcwsim runs the simulated TPC-W test-bed campaign (paper §IV)
+// and writes the collected data history as CSV, plus a run summary.
+//
+// Usage:
+//
+//	tpcwsim -seed 2015 -duration 100000 -out history.csv
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	f2pm "repro"
+)
+
+func main() {
+	var (
+		seed     = flag.Uint64("seed", 2015, "campaign seed (deterministic)")
+		duration = flag.Float64("duration", 100_000, "virtual seconds to simulate")
+		out      = flag.String("out", "history.csv", "output CSV path ('-' for stdout)")
+		browsers = flag.Int("browsers", 0, "override emulated browser count (0 = default)")
+		memMB    = flag.Float64("mem-mb", 0, "override VM memory in MB (0 = default 2048)")
+		swapMB   = flag.Float64("swap-mb", 0, "override VM swap in MB (0 = default 1024)")
+		quiet    = flag.Bool("q", false, "suppress the run summary")
+	)
+	flag.Parse()
+
+	cfg := f2pm.DefaultTestbedConfig(*seed)
+	if *browsers > 0 {
+		cfg.NumBrowsers = *browsers
+	}
+	if *memMB > 0 {
+		// Scale the VM's baseline footprint with its size, so a small
+		// -mem-mb stays bootable and a large one stays realistic.
+		factor := *memMB * 1024 / cfg.Machine.TotalMemKB
+		cfg.Machine.TotalMemKB *= factor
+		cfg.Machine.BaseUsedKB *= factor
+		cfg.Machine.BaseSharedKB *= factor
+		cfg.Machine.BaseBuffersKB *= factor
+		cfg.Machine.MinCacheKB *= factor
+	}
+	if *swapMB > 0 {
+		cfg.Machine.TotalSwapKB = *swapMB * 1024
+	}
+
+	tb, err := f2pm.NewTestbed(cfg)
+	if err != nil {
+		fatal(err)
+	}
+	res, err := tb.Run(*duration)
+	if err != nil {
+		fatal(err)
+	}
+
+	w := os.Stdout
+	if *out != "-" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		w = f
+	}
+	if err := f2pm.WriteHistoryCSV(w, &res.History); err != nil {
+		fatal(err)
+	}
+
+	if !*quiet {
+		failed := res.History.FailedRuns()
+		fmt.Fprintf(os.Stderr, "simulated %.0f virtual seconds: %d runs (%d failed), %d datapoints, %d RT probes\n",
+			*duration, len(res.History.Runs), len(failed), res.History.TotalDatapoints(), len(res.RTs))
+		for i, ri := range res.Runs {
+			status := "truncated"
+			if ri.Failed {
+				status = "crashed"
+			} else if ri.Rejuvenated {
+				status = "rejuvenated"
+			}
+			fmt.Fprintf(os.Stderr, "  run %3d: %9.1fs  leakProb=%.2f threadProb=%.2f  served=%d  %s\n",
+				i, ri.Duration, ri.LeakProb, ri.ThreadProb, ri.Stats.Completed, status)
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "tpcwsim:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,79 @@
+// Quickstart: simulate a short anomaly campaign, build prediction models
+// with the F2PM pipeline, and use the best one to predict the remaining
+// time to failure from a live feature stream.
+//
+// Run with:
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	f2pm "repro"
+)
+
+func main() {
+	// 1. Collect a data history. Production deployments use the FMC/FMS
+	// monitor on a real host; here we use the simulated test-bed so the
+	// example is self-contained and finishes in about a second.
+	tbCfg := f2pm.DefaultTestbedConfig(1)
+	tbCfg.Machine.TotalMemKB = 512 * 1024 // small VM → fast failures
+	tbCfg.Machine.TotalSwapKB = 256 * 1024
+	tbCfg.Machine.BaseUsedKB = 128 * 1024
+	tbCfg.NumBrowsers = 15
+	tbCfg.Browser.ThinkMeanSec = 2
+	tbCfg.RebootDelaySec = 30
+	tb, err := f2pm.NewTestbed(tbCfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := tb.Run(20_000) // virtual seconds
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("collected %d runs (%d ended in failure), %d raw datapoints\n",
+		len(res.History.Runs), len(res.History.FailedRuns()), res.History.TotalDatapoints())
+
+	// 2. Build and validate models. The compact roster keeps the example
+	// fast; drop the Models override to train all six paper methods.
+	cfg := f2pm.DefaultConfig()
+	cfg.Aggregation.WindowSec = 15
+	cfg.SelectionLambda = 1e5
+	cfg.Models = f2pm.DefaultModels(nil)[:3] // linear regression, M5P, REP-Tree
+	pipe, err := f2pm.NewPipeline(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	report, err := pipe.Run(&res.History)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\n%-20s %-6s %10s %8s\n", "model", "feats", "S-MAE (s)", "RAE")
+	for _, r := range report.Results {
+		if r.Err != nil {
+			continue
+		}
+		fmt.Printf("%-20s %-6s %10.1f %8.3f\n", r.Spec.DisplayName, r.Features, r.Report.SoftMAE, r.Report.RAE)
+	}
+	best := report.Best()
+	fmt.Printf("\nbest model: %s (%s features)\n", best.Spec.DisplayName, best.Features)
+
+	// 3. Predict live. Stream one failed run's datapoints through the
+	// live aggregator and ask the best all-params model for the RTTF.
+	model := report.ByName(best.Spec.Name, f2pm.AllParams)
+	la, err := f2pm.NewLiveAggregator(cfg.Aggregation)
+	if err != nil {
+		log.Fatal(err)
+	}
+	run := res.History.FailedRuns()[0]
+	fmt.Printf("\nlive prediction on a run that failed at t=%.0fs:\n", run.FailTime)
+	for _, d := range run.Datapoints {
+		if row, tgen, ok := la.Push(d); ok {
+			predicted := model.Model.Predict(row)
+			actual := run.FailTime - tgen
+			fmt.Printf("  t=%6.0fs  predicted RTTF %7.0fs   actual %7.0fs\n", tgen, predicted, actual)
+		}
+	}
+}

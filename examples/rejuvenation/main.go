@@ -1,0 +1,164 @@
+// Proactive rejuvenation: the paper's motivating use case (§I). Train an
+// RTTF model on one campaign, then deploy it as a rejuvenation policy on
+// a second campaign: when the predicted remaining time to failure drops
+// below the action lead time, restart the application *before* it
+// crashes. Compare crashes, downtime, and served requests against the
+// reactive baseline that just waits for failures.
+//
+// Run with:
+//
+//	go run ./examples/rejuvenation
+package main
+
+import (
+	"fmt"
+	"log"
+
+	f2pm "repro"
+)
+
+const (
+	trainSeconds  = 25_000
+	deploySeconds = 25_000
+	// leadTime is how far ahead the operator wants to act: predictions
+	// under this trigger a restart (the S-MAE threshold rationale).
+	leadTime = 180.0
+	// crashRebootSec vs rejuvenationSec: a clean restart is much faster
+	// than recovering from an OOM-crashed VM.
+	crashRebootSec  = 60.0
+	rejuvenationSec = 15.0
+)
+
+func testbedConfig(seed uint64) f2pm.TestbedConfig {
+	cfg := f2pm.DefaultTestbedConfig(seed)
+	cfg.Machine.TotalMemKB = 768 * 1024
+	cfg.Machine.TotalSwapKB = 384 * 1024
+	cfg.Machine.BaseUsedKB = 160 * 1024
+	cfg.NumBrowsers = 20
+	cfg.Browser.ThinkMeanSec = 3
+	cfg.RebootDelaySec = crashRebootSec
+	return cfg
+}
+
+func main() {
+	// Phase 1: collect training data (monitoring-only campaign).
+	tb, err := f2pm.NewTestbed(testbedConfig(11))
+	if err != nil {
+		log.Fatal(err)
+	}
+	trainRes, err := tb.Run(trainSeconds)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("training campaign: %d failed runs\n", len(trainRes.History.FailedRuns()))
+
+	// Phase 2: build the model (REP-Tree/M5P family; all parameters so
+	// live rows can be fed directly).
+	plCfg := f2pm.DefaultConfig()
+	plCfg.Aggregation.WindowSec = 15
+	plCfg.SelectionLambda = 0 // all-params model for direct live rows
+	plCfg.FeatureLambdas = nil
+	plCfg.Models = f2pm.DefaultModels(nil)[:3]
+	pipe, err := f2pm.NewPipeline(plCfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	report, err := pipe.Run(&trainRes.History)
+	if err != nil {
+		log.Fatal(err)
+	}
+	best := report.Best()
+	fmt.Printf("trained %s — S-MAE %.0fs (tolerance %.0fs)\n\n",
+		best.Spec.DisplayName, best.Report.SoftMAE, report.SMAEThreshold)
+
+	// Phase 3: deploy. Baseline first — same seed, no policy.
+	baselineTB, err := f2pm.NewTestbed(testbedConfig(22))
+	if err != nil {
+		log.Fatal(err)
+	}
+	baseline, err := baselineTB.Run(deploySeconds)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Proactive: identical campaign, with the model watching the live
+	// feature stream through the same aggregation the training used.
+	la, err := f2pm.NewLiveAggregator(plCfg.Aggregation)
+	if err != nil {
+		log.Fatal(err)
+	}
+	proactiveCfg := testbedConfig(22)
+	proactiveCfg.RejuvenationDelaySec = rejuvenationSec
+	warmup := true
+	proactiveCfg.RejuvenationPolicy = func(d *f2pm.Datapoint) bool {
+		if d.Tgen < plCfg.Aggregation.WindowSec { // fresh boot: reset stream
+			if warmup {
+				la.Reset()
+				warmup = false
+			}
+		} else {
+			warmup = true
+		}
+		row, _, ok := la.Push(*d)
+		if !ok {
+			return false
+		}
+		predicted := best.Model.Predict(row)
+		return predicted >= 0 && predicted < leadTime
+	}
+	proactiveTB, err := f2pm.NewTestbed(proactiveCfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	proactive, err := proactiveTB.Run(deploySeconds)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("%-28s %12s %12s\n", "deployment metric", "reactive", "proactive")
+	fmt.Printf("%-28s %12d %12d\n", "crashes", crashes(baseline), crashes(proactive))
+	fmt.Printf("%-28s %12d %12d\n", "rejuvenations", rejuvenations(baseline), rejuvenations(proactive))
+	fmt.Printf("%-28s %12.0f %12.0f\n", "downtime (s)", downtime(baseline), downtime(proactive))
+	fmt.Printf("%-28s %12d %12d\n", "requests served", served(baseline), served(proactive))
+	fmt.Printf("%-28s %12.0f %12.0f\n", "requests lost (aborts)", aborted(baseline), aborted(proactive))
+}
+
+func crashes(r *f2pm.TestbedResult) int { return len(r.History.FailedRuns()) }
+
+func rejuvenations(r *f2pm.TestbedResult) int {
+	n := 0
+	for _, ri := range r.Runs {
+		if ri.Rejuvenated {
+			n++
+		}
+	}
+	return n
+}
+
+func downtime(r *f2pm.TestbedResult) float64 {
+	var d float64
+	for _, ri := range r.Runs {
+		if ri.Failed {
+			d += crashRebootSec
+		} else if ri.Rejuvenated {
+			d += rejuvenationSec
+		}
+	}
+	return d
+}
+
+func served(r *f2pm.TestbedResult) int {
+	n := 0
+	for _, ri := range r.Runs {
+		n += ri.Stats.Completed
+	}
+	return n
+}
+
+func aborted(r *f2pm.TestbedResult) float64 {
+	var n float64
+	for _, ri := range r.Runs {
+		n += float64(ri.Stats.Aborted + ri.Stats.Rejected)
+	}
+	return n
+}

@@ -1,0 +1,100 @@
+// Remote monitoring: the paper's FMC/FMS deployment (§III-E) over real
+// TCP sockets. An FMS collects datapoints shipped by an FMC whose
+// feature source is, here, a synthetic degrading system (swap in the
+// /proc source to monitor a real Linux host — see cmd/fmc).
+//
+// Run with:
+//
+//	go run ./examples/remote-monitoring
+package main
+
+import (
+	"fmt"
+	"log"
+	"sync/atomic"
+	"time"
+
+	f2pm "repro"
+)
+
+func main() {
+	// Feature Monitor Server: in production this runs on the training
+	// machine, away from the monitored host.
+	srv, err := f2pm.NewMonitorServer("127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer srv.Close()
+	fmt.Printf("FMS listening on %s\n", srv.Addr())
+
+	// Feature Monitor Client on the "monitored host". The source fakes a
+	// machine leaking ~40 MB per sample; uptime restarts after a fail.
+	cli, err := f2pm.DialMonitor(srv.Addr(), "demo-vm")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer cli.Close()
+
+	const totalMem = 2 * 1024 * 1024 // KB
+	var tick atomic.Int64
+	var bootTick atomic.Int64
+	source := f2pm.FeatureSourceFunc(func() (f2pm.Datapoint, error) {
+		t := tick.Add(1)
+		up := t - bootTick.Load()
+		var d f2pm.Datapoint
+		d.Tgen = float64(up) * 1.5
+		used := 300*1024 + float64(up)*40*1024
+		if used > totalMem {
+			used = totalMem
+		}
+		d.Features[f2pm.MemUsed] = used
+		d.Features[f2pm.MemFree] = totalMem - used
+		d.Features[f2pm.NumThreads] = 200 + float64(up)
+		d.Features[f2pm.CPUUser] = 25
+		d.Features[f2pm.CPUIdle] = 75
+		return d, nil
+	})
+
+	failures := make(chan float64, 8)
+	coll := &f2pm.Collector{
+		Client:   cli,
+		Source:   source,
+		Interval: 3 * time.Millisecond, // sped-up stand-in for the paper's 1.5 s
+		Condition: f2pm.ThresholdCondition(
+			f2pm.MemFree, 0.02*totalMem, -1), // fail: free mem below 2%
+		OnFail: func(d *f2pm.Datapoint) {
+			failures <- d.Tgen
+			bootTick.Store(tick.Load()) // "restart" the monitored system
+		},
+	}
+	if err := coll.Start(); err != nil {
+		log.Fatal(err)
+	}
+
+	// Wait for three monitored failures, then stop collecting.
+	for i := 0; i < 3; i++ {
+		select {
+		case tgen := <-failures:
+			fmt.Printf("fail event %d shipped at uptime %.1fs\n", i+1, tgen)
+		case <-time.After(30 * time.Second):
+			log.Fatal("timed out waiting for fail events")
+		}
+	}
+	coll.Stop()
+
+	// Give the server a moment to drain the socket, then fetch the
+	// assembled history — ready for the F2PM pipeline.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		h, ok := srv.History("demo-vm")
+		if ok && len(h.FailedRuns()) >= 3 {
+			fmt.Printf("FMS assembled %d runs (%d failed), %d datapoints — ready for training\n",
+				len(h.Runs), len(h.FailedRuns()), h.TotalDatapoints())
+			return
+		}
+		if time.Now().After(deadline) {
+			log.Fatal("server did not assemble the history in time")
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}

@@ -1,0 +1,108 @@
+// TPC-W scenario: the paper's full evaluation workflow on the simulated
+// e-commerce test-bed — a week-scale campaign, feature selection, all six
+// learning methods on both feature families, and the model comparison
+// the framework hands to the user.
+//
+// Run with (takes a minute or two):
+//
+//	go run ./examples/tpcw
+package main
+
+import (
+	"fmt"
+	"log"
+	"runtime"
+	"sort"
+	"time"
+
+	f2pm "repro"
+)
+
+func main() {
+	// The paper ran TPC-W for one real week. A virtual half-week against
+	// the default 2 GB VM produces a comparable number of failure runs.
+	const virtualSeconds = 50_000
+
+	t0 := time.Now()
+	tb, err := f2pm.NewTestbed(f2pm.DefaultTestbedConfig(2015))
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := tb.Run(virtualSeconds)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("simulated %.1f virtual hours in %v\n", virtualSeconds/3600.0, time.Since(t0).Round(time.Millisecond))
+	fmt.Printf("runs: %d total, %d failed; mean time-to-failure %.0fs\n",
+		len(res.Runs), len(res.History.FailedRuns()), meanFailTime(res))
+
+	cfg := f2pm.DefaultConfig()
+	cfg.SelectionLambda = 1e5 // ≈ the paper's λ=10⁹ modulo eq. (2)'s 1/n factor
+	cfg.Parallelism = runtime.NumCPU()
+	pipe, err := f2pm.NewPipeline(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	report, err := pipe.Run(&res.History)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("\nfeature selection at λ=%g kept %d of %d columns:\n",
+		report.Selection.Lambda, report.Selection.NumSelected(), report.Columns)
+	for _, w := range report.Selection.SortedWeights() {
+		fmt.Printf("  %-26s %+.9f\n", w.Name, w.Beta)
+	}
+
+	// Model comparison: the paper's Table II view (S-MAE, both families).
+	type key struct{ name string }
+	rows := map[key]*[2]float64{}
+	var order []key
+	for i := range report.Results {
+		r := &report.Results[i]
+		if r.Err != nil {
+			continue
+		}
+		k := key{name: r.Spec.DisplayName}
+		if _, ok := rows[k]; !ok {
+			rows[k] = &[2]float64{-1, -1}
+			order = append(order, k)
+		}
+		if r.Features == f2pm.AllParams {
+			rows[k][0] = r.Report.SoftMAE
+		} else {
+			rows[k][1] = r.Report.SoftMAE
+		}
+	}
+	sort.Slice(order, func(i, j int) bool { return rows[order[i]][0] < rows[order[j]][0] })
+	fmt.Printf("\nS-MAE comparison (tolerance %.0fs):\n", report.SMAEThreshold)
+	fmt.Printf("  %-22s %14s %18s\n", "model", "all params (s)", "lasso-selected (s)")
+	for _, k := range order {
+		v := rows[k]
+		fmt.Printf("  %-22s %14.1f %18s\n", k.name, v[0], maybe(v[1]))
+	}
+
+	best := report.Best()
+	fmt.Printf("\nrecommended model: %s (%s features) — S-MAE %.1fs, trained in %v\n",
+		best.Spec.DisplayName, best.Features, best.Report.SoftMAE, best.Report.TrainingTime.Round(time.Millisecond))
+}
+
+func meanFailTime(res *f2pm.TestbedResult) float64 {
+	var sum float64
+	n := 0
+	for _, r := range res.History.FailedRuns() {
+		sum += r.FailTime
+		n++
+	}
+	if n == 0 {
+		return 0
+	}
+	return sum / float64(n)
+}
+
+func maybe(v float64) string {
+	if v < 0 {
+		return "n/a"
+	}
+	return fmt.Sprintf("%.1f", v)
+}

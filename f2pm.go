@@ -1,0 +1,215 @@
+// Package f2pm is the public API of this reproduction of "A Machine
+// Learning-based Framework for Building Application Failure Prediction
+// Models" (Pellegrini, Di Sanzo, Avresky — IPDPS Workshops 2015).
+//
+// F2PM builds models that predict the Remaining Time To Failure (RTTF)
+// of an application accumulating software anomalies (memory leaks,
+// unterminated threads), using only system-level features sampled by a
+// thin monitor — no application instrumentation.
+//
+// The typical flow mirrors the paper's Figure 1:
+//
+//	history := ...                     // collect via the FMC/FMS monitor,
+//	                                   // load from CSV, or simulate (Testbed)
+//	pipe, _ := f2pm.NewPipeline(f2pm.DefaultConfig())
+//	report, _ := pipe.Run(history)     // aggregate → select → train → validate
+//	best := report.Best()              // lowest S-MAE model
+//	rttf := best.Model.Predict(features)
+//
+// Subsystems re-exported here:
+//
+//   - data model and CSV codec (History, Run, Datapoint)
+//   - datapoint aggregation and derived metrics, batch and live
+//   - Lasso feature selection (regularization paths)
+//   - the six learning methods (linear regression, M5P, REP-Tree,
+//     Lasso-as-predictor, ε-SVR, LS-SVM)
+//   - the evaluation metrics (MAE, RAE, MaxAE, S-MAE, timings)
+//   - the FMC/FMS TCP monitor with /proc and simulator feature sources
+//   - the simulated TPC-W test-bed used by the paper reproduction
+//
+// Import path note: the module is named "repro"; import it as
+//
+//	import f2pm "repro"
+package f2pm
+
+import (
+	"io"
+
+	"repro/internal/aggregate"
+	"repro/internal/core"
+	"repro/internal/featsel"
+	"repro/internal/metrics"
+	"repro/internal/ml"
+	"repro/internal/rtest"
+	"repro/internal/trace"
+)
+
+// Data model (paper §III-A).
+type (
+	// Datapoint is one periodic measurement of all system features.
+	Datapoint = trace.Datapoint
+	// Run is one execution of the monitored system up to its fail event.
+	Run = trace.Run
+	// History is the full data history across runs.
+	History = trace.History
+	// FeatureIndex identifies a raw system feature.
+	FeatureIndex = trace.FeatureIndex
+	// FailCondition decides when the system counts as failed.
+	FailCondition = trace.FailCondition
+)
+
+// Raw system features (paper §III-A order).
+const (
+	NumThreads = trace.NumThreads
+	MemUsed    = trace.MemUsed
+	MemFree    = trace.MemFree
+	MemShared  = trace.MemShared
+	MemBuffers = trace.MemBuffers
+	MemCached  = trace.MemCached
+	SwapUsed   = trace.SwapUsed
+	SwapFree   = trace.SwapFree
+	CPUUser    = trace.CPUUser
+	CPUNice    = trace.CPUNice
+	CPUSystem  = trace.CPUSystem
+	CPUIOWait  = trace.CPUIOWait
+	CPUSteal   = trace.CPUSteal
+	CPUIdle    = trace.CPUIdle
+
+	// NumFeatures is the raw feature count per datapoint.
+	NumFeatures = trace.NumFeatures
+)
+
+// FeatureNames returns the canonical feature names in order.
+func FeatureNames() []string { return trace.FeatureNames() }
+
+// MemoryExhaustion returns the paper's default failure condition: free
+// memory and free swap both below the given fractions of their totals.
+func MemoryExhaustion(memFrac, swapFrac float64) FailCondition {
+	return trace.MemoryExhaustion(memFrac, swapFrac)
+}
+
+// ThresholdCondition builds a single-feature threshold failure condition
+// (dir >= 0 fires on >=, dir < 0 fires on <=).
+func ThresholdCondition(f FeatureIndex, threshold float64, dir int) FailCondition {
+	return trace.ThresholdCondition(f, threshold, dir)
+}
+
+// ReadHistoryCSV loads a data history written by WriteHistoryCSV.
+func ReadHistoryCSV(r io.Reader) (*History, error) { return trace.ReadCSV(r) }
+
+// WriteHistoryCSV persists a data history as CSV.
+func WriteHistoryCSV(w io.Writer, h *History) error { return trace.WriteCSV(w, h) }
+
+// Aggregation (paper §III-B).
+type (
+	// AggregationConfig controls windowing and derived metrics.
+	AggregationConfig = aggregate.Config
+	// Dataset is the aggregated, RTTF-labeled dataset.
+	Dataset = aggregate.Dataset
+	// LiveAggregator builds aggregated rows from a live datapoint stream.
+	LiveAggregator = aggregate.LiveAggregator
+)
+
+// Aggregate runs datapoint aggregation and derived-metric computation.
+func Aggregate(h *History, cfg AggregationConfig) (*Dataset, error) {
+	return aggregate.Aggregate(h, cfg)
+}
+
+// NewLiveAggregator returns a streaming aggregator with the same row
+// layout as Aggregate, for live RTTF prediction.
+func NewLiveAggregator(cfg AggregationConfig) (*LiveAggregator, error) {
+	return aggregate.NewLiveAggregator(cfg)
+}
+
+// DefaultAggregationConfig returns 30 s windows with slopes and the
+// inter-generation-time metric.
+func DefaultAggregationConfig() AggregationConfig { return aggregate.DefaultConfig() }
+
+// Feature selection (paper §III-C).
+type (
+	// PathPoint is the outcome of Lasso regularization at one λ.
+	PathPoint = featsel.PathPoint
+	// FeatureWeight is one surviving feature weight.
+	FeatureWeight = featsel.Weight
+)
+
+// LassoPath computes the regularization path over a λ grid.
+func LassoPath(ds *Dataset, lambdas []float64) ([]PathPoint, error) {
+	return featsel.Path(ds, lambdas)
+}
+
+// LambdaGrid returns powers of ten 10^loExp..10^hiExp (the paper's λ̄).
+func LambdaGrid(loExp, hiExp int) []float64 { return featsel.LambdaGrid(loExp, hiExp) }
+
+// Models and pipeline (paper §III-D).
+type (
+	// Regressor is a trainable RTTF model.
+	Regressor = ml.Regressor
+	// ModelSpec names a method and constructs fresh instances.
+	ModelSpec = core.ModelSpec
+	// Config assembles the pipeline.
+	Config = core.Config
+	// Pipeline is a configured F2PM instance.
+	Pipeline = core.Pipeline
+	// Report is the pipeline output with all trained models and metrics.
+	Report = core.Report
+	// ModelResult is one trained-and-validated model.
+	ModelResult = core.ModelResult
+	// FeatureSet distinguishes all-parameter and Lasso-selected training.
+	FeatureSet = core.FeatureSet
+	// Metrics bundles MAE, RAE, MaxAE, S-MAE and timings for one model.
+	Metrics = metrics.Report
+)
+
+// The two training-set families of the paper's Tables II-IV.
+const (
+	AllParams   = core.AllParams
+	LassoParams = core.LassoParams
+)
+
+// DefaultConfig mirrors the paper's experimental setup.
+func DefaultConfig() Config { return core.DefaultConfig() }
+
+// DefaultModels returns the paper's six methods (the Lasso predictor
+// once per λ in lassoLambdas).
+func DefaultModels(lassoLambdas []float64) []ModelSpec { return core.DefaultModels(lassoLambdas) }
+
+// NewPipeline validates cfg and returns a runnable pipeline.
+func NewPipeline(cfg Config) (*Pipeline, error) { return core.New(cfg) }
+
+// Evaluation metrics (paper §III-D).
+
+// MAE is the mean absolute prediction error (eq. 5).
+func MAE(predicted, observed []float64) (float64, error) { return metrics.MAE(predicted, observed) }
+
+// RAE is the relative absolute prediction error (eq. 6).
+func RAE(predicted, observed []float64) (float64, error) { return metrics.RAE(predicted, observed) }
+
+// MaxAE is the maximum absolute prediction error.
+func MaxAE(predicted, observed []float64) (float64, error) {
+	return metrics.MaxAE(predicted, observed)
+}
+
+// SoftMAE is the soft mean absolute error: errors below threshold count
+// as zero.
+func SoftMAE(predicted, observed []float64, threshold float64) (float64, error) {
+	return metrics.SoftMAE(predicted, observed, threshold)
+}
+
+// Response-time estimation (paper §III-B): the datapoint
+// inter-generation time measured by the monitor correlates with the
+// client-observed response time, giving an RT estimate with no
+// client instrumentation.
+type RTEstimator = rtest.Estimator
+
+// FitRTEstimator builds the estimator from paired windowed series of
+// inter-generation times and response times.
+func FitRTEstimator(genTimes, rts []float64) (*RTEstimator, error) {
+	return rtest.Fit(genTimes, rts)
+}
+
+// RTWindowPairs buckets raw observations into paired windows for
+// FitRTEstimator.
+func RTWindowPairs(sampleTimes, gaps, rtTimes, rts []float64, windowSec float64) (genSeries, rtSeries []float64, err error) {
+	return rtest.WindowPairs(sampleTimes, gaps, rtTimes, rts, windowSec)
+}

@@ -1,0 +1,244 @@
+package f2pm_test
+
+import (
+	"bytes"
+	"math"
+	"testing"
+
+	f2pm "repro"
+)
+
+// simulateHistory builds a small deterministic campaign through the
+// public API only.
+func simulateHistory(t testing.TB) *f2pm.TestbedResult {
+	t.Helper()
+	cfg := f2pm.DefaultTestbedConfig(7)
+	cfg.Machine.TotalMemKB = 384 * 1024
+	cfg.Machine.TotalSwapKB = 192 * 1024
+	cfg.Machine.BaseUsedKB = 96 * 1024
+	cfg.Machine.BaseSharedKB = 12 * 1024
+	cfg.Machine.BaseBuffersKB = 12 * 1024
+	cfg.Machine.MinCacheKB = 12 * 1024
+	cfg.NumBrowsers = 12
+	cfg.Browser.ThinkMeanSec = 2
+	cfg.LeakProbRange = [2]float64{0.5, 0.9}
+	cfg.LeakSizeKBRange = [2]float64{512, 2048}
+	cfg.RebootDelaySec = 20
+	tb, err := f2pm.NewTestbed(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := tb.Run(10_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func TestPublicAPIEndToEnd(t *testing.T) {
+	res := simulateHistory(t)
+	if len(res.History.FailedRuns()) < 3 {
+		t.Fatalf("only %d failed runs", len(res.History.FailedRuns()))
+	}
+
+	// CSV round trip through the facade.
+	var buf bytes.Buffer
+	if err := f2pm.WriteHistoryCSV(&buf, &res.History); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := f2pm.ReadHistoryCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.TotalDatapoints() != res.History.TotalDatapoints() {
+		t.Fatal("CSV round trip lost datapoints")
+	}
+
+	// Pipeline with a compact roster.
+	cfg := f2pm.DefaultConfig()
+	cfg.Aggregation.WindowSec = 15
+	cfg.SelectionLambda = 1e5
+	cfg.Models = f2pm.DefaultModels(nil)[:3] // linear, m5p, reptree
+	pipe, err := f2pm.NewPipeline(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	report, err := pipe.Run(loaded)
+	if err != nil {
+		t.Fatal(err)
+	}
+	best := report.Best()
+	if best == nil {
+		t.Fatal("no best model")
+	}
+	if best.Report.RAE >= 1 {
+		t.Fatalf("best model RAE = %v", best.Report.RAE)
+	}
+
+	// Live prediction with the trained model: stream one run's
+	// datapoints through the live aggregator and predict.
+	allParams := report.ByName(best.Spec.Name, f2pm.AllParams)
+	if allParams == nil {
+		t.Fatal("all-params model missing")
+	}
+	la, err := f2pm.NewLiveAggregator(cfg.Aggregation)
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := loaded.FailedRuns()[0]
+	predictions := 0
+	for _, d := range run.Datapoints {
+		if row, _, ok := la.Push(d); ok {
+			p := allParams.Model.Predict(row)
+			if math.IsNaN(p) {
+				t.Fatal("live prediction is NaN")
+			}
+			predictions++
+		}
+	}
+	if predictions < 5 {
+		t.Fatalf("only %d live predictions", predictions)
+	}
+}
+
+func TestPublicMetrics(t *testing.T) {
+	pred := []float64{1, 2, 3}
+	obs := []float64{1, 2, 5}
+	mae, err := f2pm.MAE(pred, obs)
+	if err != nil || math.Abs(mae-2.0/3.0) > 1e-12 {
+		t.Fatalf("MAE = (%v, %v)", mae, err)
+	}
+	if _, err := f2pm.RAE(pred, obs); err != nil {
+		t.Fatal(err)
+	}
+	maxae, err := f2pm.MaxAE(pred, obs)
+	if err != nil || maxae != 2 {
+		t.Fatalf("MaxAE = (%v, %v)", maxae, err)
+	}
+	smae, err := f2pm.SoftMAE(pred, obs, 3)
+	if err != nil || smae != 0 {
+		t.Fatalf("SoftMAE = (%v, %v)", smae, err)
+	}
+}
+
+func TestPublicFeatureHelpers(t *testing.T) {
+	names := f2pm.FeatureNames()
+	if len(names) != f2pm.NumFeatures {
+		t.Fatal("feature names length wrong")
+	}
+	cond := f2pm.MemoryExhaustion(0.02, 0.02)
+	var d f2pm.Datapoint
+	d.Features[f2pm.MemUsed] = 1e6
+	d.Features[f2pm.MemFree] = 5e5
+	if cond(&d) {
+		t.Fatal("healthy datapoint failed")
+	}
+	up := f2pm.ThresholdCondition(f2pm.NumThreads, 10, +1)
+	d.Features[f2pm.NumThreads] = 11
+	if !up(&d) {
+		t.Fatal("threshold condition did not fire")
+	}
+}
+
+func TestPublicLassoPath(t *testing.T) {
+	res := simulateHistory(t)
+	ds, err := f2pm.Aggregate(&res.History, f2pm.DefaultAggregationConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	grid := f2pm.LambdaGrid(0, 6)
+	if len(grid) != 7 {
+		t.Fatalf("grid = %v", grid)
+	}
+	path, err := f2pm.LassoPath(ds, grid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(path) != 7 {
+		t.Fatalf("path length = %d", len(path))
+	}
+	if path[0].NumSelected() == 0 {
+		t.Fatal("low λ selected nothing")
+	}
+}
+
+func TestPublicMonitor(t *testing.T) {
+	srv, err := f2pm.NewMonitorServer("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	cli, err := f2pm.DialMonitor(srv.Addr(), "facade")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var d f2pm.Datapoint
+	d.Tgen = 1.5
+	if err := cli.SendDatapoint(&d); err != nil {
+		t.Fatal(err)
+	}
+	if err := cli.SendFail(2.0); err != nil {
+		t.Fatal(err)
+	}
+	if err := cli.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPublicModelPersistence(t *testing.T) {
+	res := simulateHistory(t)
+	cfg := f2pm.DefaultConfig()
+	cfg.Aggregation.WindowSec = 15
+	cfg.SelectionLambda = 0
+	cfg.FeatureLambdas = nil
+	cfg.Models = f2pm.DefaultModels(nil)[:3]
+	pipe, err := f2pm.NewPipeline(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	report, err := pipe.Run(&res.History)
+	if err != nil {
+		t.Fatal(err)
+	}
+	best := report.Best()
+
+	var buf bytes.Buffer
+	if err := f2pm.SaveModel(&buf, best.Model); err != nil {
+		t.Fatal(err)
+	}
+	restored, err := f2pm.LoadModel(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	probe := make([]float64, 30)
+	for i := range probe {
+		probe[i] = float64(i * 1000)
+	}
+	if a, b := best.Model.Predict(probe), restored.Predict(probe); a != b {
+		t.Fatalf("prediction drift after persistence: %v vs %v", a, b)
+	}
+}
+
+func TestPublicRTEstimator(t *testing.T) {
+	gen := []float64{1.5, 2, 3, 4, 5}
+	rts := []float64{0.3, 0.4, 0.6, 0.8, 1.0}
+	e, err := f2pm.FitRTEstimator(gen, rts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.Pearson < 0.99 {
+		t.Fatalf("Pearson = %v", e.Pearson)
+	}
+	if est := e.Estimate(3.5); math.Abs(est-0.7) > 0.05 {
+		t.Fatalf("Estimate(3.5) = %v", est)
+	}
+	g, r, err := f2pm.RTWindowPairs(
+		[]float64{1, 2, 11, 12, 21, 22}, []float64{1.5, 1.5, 2, 2, 3, 3},
+		[]float64{1.5, 11.5, 21.5}, []float64{0.3, 0.4, 0.6}, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(g) != 3 || len(r) != 3 {
+		t.Fatalf("pairs = %d/%d", len(g), len(r))
+	}
+}

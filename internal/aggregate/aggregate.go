@@ -1,0 +1,239 @@
+// Package aggregate implements F2PM's datapoint aggregation and added
+// metrics phase (paper §III-B): raw datapoints are averaged over
+// fixed-size time windows; per-feature slopes and the datapoint
+// inter-generation time are added as derived metrics; and each aggregated
+// datapoint is labeled with its Remaining Time To Failure (RTTF) using
+// the run's fail event.
+package aggregate
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/trace"
+)
+
+// Config controls the aggregation.
+type Config struct {
+	// WindowSec is the fixed aggregation time-window size.
+	WindowSec float64
+	// IncludeSlopes adds the per-feature slope columns
+	// slope_j = (x_end_j - x_start_j) / n  (paper eq. 1).
+	IncludeSlopes bool
+	// IncludeIntergen adds the datapoint inter-generation-time column
+	// (and its slope when IncludeSlopes is set), the derived metric the
+	// paper correlates with client response time (Figure 3).
+	IncludeIntergen bool
+	// KeepUnfailedRuns labels datapoints from runs without a fail event
+	// with NaN RTTF instead of dropping them. The model-building phase
+	// requires labeled data, so this is mainly for inspection tooling.
+	KeepUnfailedRuns bool
+}
+
+// DefaultConfig returns the aggregation used by the experiments: 30 s
+// windows with all derived metrics, matching the paper's full feature set
+// (14 raw features + 14 slopes + inter-generation time + its slope = 30
+// columns, the ceiling of the paper's Figure 4).
+func DefaultConfig() Config {
+	return Config{WindowSec: 30, IncludeSlopes: true, IncludeIntergen: true}
+}
+
+// Validate reports configuration errors.
+func (c *Config) Validate() error {
+	if c.WindowSec <= 0 {
+		return fmt.Errorf("aggregate: WindowSec must be positive, got %v", c.WindowSec)
+	}
+	return nil
+}
+
+// Dataset is the aggregated, labeled dataset consumed by feature
+// selection and model generation. Rows are aggregated datapoints.
+type Dataset struct {
+	// ColNames names each column of X; raw features keep their trace
+	// names, slope columns get a "_slope" suffix, and the derived
+	// inter-generation columns are "datapoint_intergen_time" (+slope).
+	ColNames []string
+	// X is the feature matrix, one row per aggregated datapoint.
+	X [][]float64
+	// RTTF holds the labels (seconds until the run's fail event,
+	// measured from the aggregated timestamp). NaN for unfailed runs
+	// when KeepUnfailedRuns is set.
+	RTTF []float64
+	// Run is the originating run index in the source history.
+	Run []int
+	// AggTgen is the aggregated timestamp (mean member Tgen) of each row.
+	AggTgen []float64
+}
+
+// NumRows returns the number of aggregated datapoints.
+func (d *Dataset) NumRows() int { return len(d.X) }
+
+// NumCols returns the number of feature columns.
+func (d *Dataset) NumCols() int { return len(d.ColNames) }
+
+// ColIndex returns the index of the named column, or -1.
+func (d *Dataset) ColIndex(name string) int {
+	for i, n := range d.ColNames {
+		if n == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// Project returns a copy of the dataset keeping only the named columns,
+// in the given order. Unknown names are an error. Label and bookkeeping
+// slices are shared, not copied.
+func (d *Dataset) Project(cols []string) (*Dataset, error) {
+	idx := make([]int, len(cols))
+	for i, name := range cols {
+		j := d.ColIndex(name)
+		if j < 0 {
+			return nil, fmt.Errorf("aggregate: unknown column %q", name)
+		}
+		idx[i] = j
+	}
+	out := &Dataset{
+		ColNames: append([]string(nil), cols...),
+		X:        make([][]float64, len(d.X)),
+		RTTF:     d.RTTF,
+		Run:      d.Run,
+		AggTgen:  d.AggTgen,
+	}
+	for r, row := range d.X {
+		nr := make([]float64, len(idx))
+		for i, j := range idx {
+			nr[i] = row[j]
+		}
+		out.X[r] = nr
+	}
+	return out, nil
+}
+
+// IntergenName is the column name of the derived inter-generation-time
+// metric.
+const IntergenName = "datapoint_intergen_time"
+
+// SlopeSuffix is appended to a feature name to form its slope column.
+const SlopeSuffix = "_slope"
+
+// ErrNoData is returned when aggregation yields no labeled rows.
+var ErrNoData = errors.New("aggregate: no labeled aggregated datapoints")
+
+// Aggregate runs the paper's §III-B phase over a data history.
+func Aggregate(h *trace.History, cfg Config) (*Dataset, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if err := h.Validate(); err != nil {
+		return nil, err
+	}
+
+	names := buildColNames(cfg)
+	ds := &Dataset{ColNames: names}
+
+	for runIdx := range h.Runs {
+		run := &h.Runs[runIdx]
+		if !run.Failed && !cfg.KeepUnfailedRuns {
+			continue
+		}
+		aggregateRun(ds, run, runIdx, cfg)
+	}
+	if ds.NumRows() == 0 {
+		return nil, ErrNoData
+	}
+	return ds, nil
+}
+
+func buildColNames(cfg Config) []string {
+	names := trace.FeatureNames()
+	if cfg.IncludeIntergen {
+		names = append(names, IntergenName)
+	}
+	if cfg.IncludeSlopes {
+		for _, n := range trace.FeatureNames() {
+			names = append(names, n+SlopeSuffix)
+		}
+		if cfg.IncludeIntergen {
+			names = append(names, IntergenName+SlopeSuffix)
+		}
+	}
+	return names
+}
+
+// aggregateRun slices one run into windows and appends aggregated rows.
+func aggregateRun(ds *Dataset, run *trace.Run, runIdx int, cfg Config) {
+	dps := run.Datapoints
+	if len(dps) == 0 {
+		return
+	}
+	w := cfg.WindowSec
+	// Precompute inter-generation gaps: gap[i] = Tgen[i] - Tgen[i-1];
+	// gap[0] = Tgen[0] (from system start to first datapoint).
+	gaps := make([]float64, len(dps))
+	gaps[0] = dps[0].Tgen
+	for i := 1; i < len(dps); i++ {
+		gaps[i] = dps[i].Tgen - dps[i-1].Tgen
+	}
+
+	start := 0
+	for start < len(dps) {
+		windowIdx := int(dps[start].Tgen / w)
+		winEnd := float64(windowIdx+1) * w
+		end := start
+		for end < len(dps) && dps[end].Tgen < winEnd {
+			end++
+		}
+		// [start, end) fall into this window.
+		n := end - start
+		if n > 0 {
+			row := make([]float64, len(ds.ColNames))
+			col := 0
+			var tgenSum float64
+			// Mean of each raw feature.
+			for f := 0; f < trace.NumFeatures; f++ {
+				var s float64
+				for i := start; i < end; i++ {
+					s += dps[i].Features[f]
+				}
+				row[col+f] = s / float64(n)
+			}
+			for i := start; i < end; i++ {
+				tgenSum += dps[i].Tgen
+			}
+			col += trace.NumFeatures
+			if cfg.IncludeIntergen {
+				var s float64
+				for i := start; i < end; i++ {
+					s += gaps[i]
+				}
+				row[col] = s / float64(n)
+				col++
+			}
+			if cfg.IncludeSlopes {
+				for f := 0; f < trace.NumFeatures; f++ {
+					row[col+f] = (dps[end-1].Features[f] - dps[start].Features[f]) / float64(n)
+				}
+				col += trace.NumFeatures
+				if cfg.IncludeIntergen {
+					row[col] = (gaps[end-1] - gaps[start]) / float64(n)
+					col++
+				}
+			}
+			aggT := tgenSum / float64(n)
+			rttf := math.NaN()
+			if run.Failed {
+				rttf = run.FailTime - aggT
+				if rttf < 0 {
+					rttf = 0
+				}
+			}
+			ds.X = append(ds.X, row)
+			ds.RTTF = append(ds.RTTF, rttf)
+			ds.Run = append(ds.Run, runIdx)
+			ds.AggTgen = append(ds.AggTgen, aggT)
+		}
+		start = end
+	}
+}

@@ -1,0 +1,422 @@
+package aggregate
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/randx"
+	"repro/internal/trace"
+)
+
+// linearRun builds a run whose features grow linearly with time so
+// aggregated means and slopes are analytically checkable.
+func linearRun(interval float64, n int, failAt float64) trace.Run {
+	var run trace.Run
+	for i := 0; i < n; i++ {
+		var d trace.Datapoint
+		d.Tgen = float64(i) * interval
+		for f := 0; f < trace.NumFeatures; f++ {
+			d.Features[f] = float64(f+1) * d.Tgen // feature f has slope (f+1) per second
+		}
+		run.Datapoints = append(run.Datapoints, d)
+	}
+	run.Failed = true
+	run.FailTime = failAt
+	return run
+}
+
+func TestConfigValidate(t *testing.T) {
+	c := DefaultConfig()
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	c.WindowSec = 0
+	if err := c.Validate(); err == nil {
+		t.Fatal("zero window accepted")
+	}
+}
+
+func TestColumnLayoutFull(t *testing.T) {
+	h := &trace.History{Runs: []trace.Run{linearRun(1.5, 40, 60)}}
+	ds, err := Aggregate(h, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 14 raw + intergen + 14 slopes + intergen slope = 30 columns,
+	// matching the paper's Figure 4 ceiling.
+	if ds.NumCols() != 30 {
+		t.Fatalf("cols = %d, want 30", ds.NumCols())
+	}
+	if ds.ColIndex("mem_used") < 0 || ds.ColIndex("mem_used_slope") < 0 {
+		t.Fatal("missing raw/slope columns")
+	}
+	if ds.ColIndex(IntergenName) < 0 || ds.ColIndex(IntergenName+SlopeSuffix) < 0 {
+		t.Fatal("missing intergen columns")
+	}
+	if ds.ColIndex("nonexistent") != -1 {
+		t.Fatal("ColIndex found a nonexistent column")
+	}
+}
+
+func TestColumnLayoutMinimal(t *testing.T) {
+	h := &trace.History{Runs: []trace.Run{linearRun(1.5, 40, 60)}}
+	cfg := Config{WindowSec: 10}
+	ds, err := Aggregate(h, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds.NumCols() != trace.NumFeatures {
+		t.Fatalf("cols = %d, want %d", ds.NumCols(), trace.NumFeatures)
+	}
+}
+
+func TestWindowMeans(t *testing.T) {
+	// Datapoints at t = 0, 1, 2, ..., 9 with window 5: two windows,
+	// members {0..4} and {5..9}. Feature f value = (f+1)*t.
+	h := &trace.History{Runs: []trace.Run{linearRun(1, 10, 20)}}
+	ds, err := Aggregate(h, Config{WindowSec: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds.NumRows() != 2 {
+		t.Fatalf("rows = %d, want 2", ds.NumRows())
+	}
+	// Window 1 mean of t = 2, so feature f mean = (f+1)*2.
+	for f := 0; f < trace.NumFeatures; f++ {
+		want := float64(f+1) * 2
+		if got := ds.X[0][f]; math.Abs(got-want) > 1e-9 {
+			t.Fatalf("window 0 feature %d = %v, want %v", f, got, want)
+		}
+	}
+	if math.Abs(ds.AggTgen[0]-2) > 1e-9 || math.Abs(ds.AggTgen[1]-7) > 1e-9 {
+		t.Fatalf("AggTgen = %v", ds.AggTgen)
+	}
+}
+
+func TestSlopesFollowPaperFormula(t *testing.T) {
+	// Window with n member datapoints: slope = (x_end - x_start)/n.
+	h := &trace.History{Runs: []trace.Run{linearRun(1, 10, 20)}}
+	cfg := Config{WindowSec: 5, IncludeSlopes: true}
+	ds, err := Aggregate(h, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// First window: members t=0..4, n=5; feature f: x_start=0, x_end=4(f+1).
+	for f := 0; f < trace.NumFeatures; f++ {
+		slopeCol := trace.NumFeatures + f
+		want := 4 * float64(f+1) / 5
+		if got := ds.X[0][slopeCol]; math.Abs(got-want) > 1e-9 {
+			t.Fatalf("slope feature %d = %v, want %v", f, got, want)
+		}
+	}
+}
+
+func TestIntergenColumn(t *testing.T) {
+	// Uneven sampling: gaps grow over time.
+	var run trace.Run
+	times := []float64{0, 1, 3, 6, 10, 15} // gaps: 0,1,2,3,4,5
+	for _, tm := range times {
+		var d trace.Datapoint
+		d.Tgen = tm
+		run.Datapoints = append(run.Datapoints, d)
+	}
+	run.Failed = true
+	run.FailTime = 20
+	h := &trace.History{Runs: []trace.Run{run}}
+	ds, err := Aggregate(h, Config{WindowSec: 100, IncludeIntergen: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds.NumRows() != 1 {
+		t.Fatalf("rows = %d", ds.NumRows())
+	}
+	ig := ds.X[0][ds.ColIndex(IntergenName)]
+	// Mean gap = (0+1+2+3+4+5)/6 = 2.5.
+	if math.Abs(ig-2.5) > 1e-9 {
+		t.Fatalf("intergen = %v, want 2.5", ig)
+	}
+}
+
+func TestRTTFLabels(t *testing.T) {
+	h := &trace.History{Runs: []trace.Run{linearRun(1, 10, 20)}}
+	ds, err := Aggregate(h, Config{WindowSec: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Window centers at 2 and 7; fail at 20 → RTTF 18 and 13.
+	if math.Abs(ds.RTTF[0]-18) > 1e-9 || math.Abs(ds.RTTF[1]-13) > 1e-9 {
+		t.Fatalf("RTTF = %v", ds.RTTF)
+	}
+	// RTTF is monotone decreasing within a run.
+	for i := 1; i < ds.NumRows(); i++ {
+		if ds.Run[i] == ds.Run[i-1] && ds.RTTF[i] >= ds.RTTF[i-1] {
+			t.Fatal("RTTF not decreasing within run")
+		}
+	}
+}
+
+func TestUnfailedRunsDroppedByDefault(t *testing.T) {
+	failed := linearRun(1, 10, 20)
+	truncated := linearRun(1, 10, 0)
+	truncated.Failed = false
+	h := &trace.History{Runs: []trace.Run{failed, truncated}}
+	ds, err := Aggregate(h, Config{WindowSec: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range ds.Run {
+		if r != 0 {
+			t.Fatal("unfailed run included")
+		}
+	}
+	// With KeepUnfailedRuns, rows appear with NaN labels.
+	cfg := Config{WindowSec: 5, KeepUnfailedRuns: true}
+	ds2, err := Aggregate(h, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nan := 0
+	for _, v := range ds2.RTTF {
+		if math.IsNaN(v) {
+			nan++
+		}
+	}
+	if nan != 2 {
+		t.Fatalf("NaN labels = %d, want 2", nan)
+	}
+	labeled := DropUnlabeled(ds2)
+	if labeled.NumRows() != ds2.NumRows()-2 {
+		t.Fatalf("DropUnlabeled kept %d rows", labeled.NumRows())
+	}
+}
+
+func TestAggregateErrors(t *testing.T) {
+	h := &trace.History{}
+	if _, err := Aggregate(h, Config{WindowSec: 5}); err != ErrNoData {
+		t.Fatalf("empty history err = %v, want ErrNoData", err)
+	}
+	if _, err := Aggregate(h, Config{WindowSec: 0}); err == nil {
+		t.Fatal("bad config accepted")
+	}
+	// Invalid history rejected.
+	bad := &trace.History{Runs: []trace.Run{{Datapoints: []trace.Datapoint{{Tgen: 5}, {Tgen: 1}}}}}
+	if _, err := Aggregate(bad, Config{WindowSec: 5, KeepUnfailedRuns: true}); err == nil {
+		t.Fatal("invalid history accepted")
+	}
+}
+
+func TestEmptyWindowsSkipped(t *testing.T) {
+	// Datapoints at t=1 and t=100: windows in between have no members
+	// and must not produce rows.
+	var run trace.Run
+	for _, tm := range []float64{1, 100} {
+		var d trace.Datapoint
+		d.Tgen = tm
+		run.Datapoints = append(run.Datapoints, d)
+	}
+	run.Failed = true
+	run.FailTime = 120
+	h := &trace.History{Runs: []trace.Run{run}}
+	ds, err := Aggregate(h, Config{WindowSec: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds.NumRows() != 2 {
+		t.Fatalf("rows = %d, want 2", ds.NumRows())
+	}
+}
+
+func TestProject(t *testing.T) {
+	h := &trace.History{Runs: []trace.Run{linearRun(1, 10, 20)}}
+	ds, err := Aggregate(h, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := ds.Project([]string{"mem_free", "swap_used_slope"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.NumCols() != 2 || p.NumRows() != ds.NumRows() {
+		t.Fatalf("projected shape %dx%d", p.NumRows(), p.NumCols())
+	}
+	if p.X[0][0] != ds.X[0][ds.ColIndex("mem_free")] {
+		t.Fatal("projection scrambled values")
+	}
+	if _, err := ds.Project([]string{"bogus"}); err == nil {
+		t.Fatal("unknown column accepted")
+	}
+}
+
+// Property: aggregation conserves mass — the mean of each aggregated
+// column equals the mean of the raw feature when every window has
+// uniform membership (equal interval, window = k*interval).
+func TestAggregationConservation(t *testing.T) {
+	f := func(kRaw uint8) bool {
+		k := int(kRaw%5) + 1
+		interval := 1.0
+		n := 20 * k // complete windows only
+		run := linearRun(interval, n, float64(n)+10)
+		h := &trace.History{Runs: []trace.Run{run}}
+		ds, err := Aggregate(h, Config{WindowSec: float64(k) * interval})
+		if err != nil {
+			return false
+		}
+		for f := 0; f < trace.NumFeatures; f++ {
+			var rawSum, aggSum float64
+			for _, d := range run.Datapoints {
+				rawSum += d.Features[f]
+			}
+			for _, row := range ds.X {
+				aggSum += row[f]
+			}
+			rawMean := rawSum / float64(n)
+			aggMean := aggSum / float64(ds.NumRows())
+			if math.Abs(rawMean-aggMean) > 1e-6*(1+math.Abs(rawMean)) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: RTTF labels are always non-negative and monotone decreasing
+// within any run.
+func TestRTTFMonotoneProperty(t *testing.T) {
+	src := randx.New(5)
+	f := func(seed uint16) bool {
+		local := src.Fork(uint64(seed))
+		var run trace.Run
+		tm := 0.0
+		n := 30 + local.Intn(50)
+		for i := 0; i < n; i++ {
+			tm += local.Uniform(0.5, 3)
+			var d trace.Datapoint
+			d.Tgen = tm
+			run.Datapoints = append(run.Datapoints, d)
+		}
+		run.Failed = true
+		run.FailTime = tm + local.Uniform(0, 5)
+		h := &trace.History{Runs: []trace.Run{run}}
+		ds, err := Aggregate(h, Config{WindowSec: 7})
+		if err != nil {
+			return false
+		}
+		prev := math.Inf(1)
+		for i, v := range ds.RTTF {
+			if v < 0 || v > prev {
+				return false
+			}
+			_ = i
+			prev = v
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSplitByRun(t *testing.T) {
+	h := &trace.History{}
+	for i := 0; i < 10; i++ {
+		h.Runs = append(h.Runs, linearRun(1, 20, 25))
+	}
+	ds, err := Aggregate(h, Config{WindowSec: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	train, val, err := Split(ds, SplitByRun, 0.3, 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// No run appears on both sides.
+	trainRuns := map[int]bool{}
+	for _, r := range train.Run {
+		trainRuns[r] = true
+	}
+	for _, r := range val.Run {
+		if trainRuns[r] {
+			t.Fatalf("run %d leaked into both splits", r)
+		}
+	}
+	if train.NumRows()+val.NumRows() != ds.NumRows() {
+		t.Fatal("split lost rows")
+	}
+	// 3 of 10 runs in validation.
+	valRuns := map[int]bool{}
+	for _, r := range val.Run {
+		valRuns[r] = true
+	}
+	if len(valRuns) != 3 {
+		t.Fatalf("val runs = %d, want 3", len(valRuns))
+	}
+}
+
+func TestSplitByRow(t *testing.T) {
+	h := &trace.History{Runs: []trace.Run{linearRun(1, 100, 110)}}
+	ds, err := Aggregate(h, Config{WindowSec: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	train, val, err := Split(ds, SplitByRow, 0.25, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantVal := int(0.25 * float64(ds.NumRows()))
+	if val.NumRows() != wantVal {
+		t.Fatalf("val rows = %d, want %d", val.NumRows(), wantVal)
+	}
+	if train.NumRows()+val.NumRows() != ds.NumRows() {
+		t.Fatal("split lost rows")
+	}
+}
+
+func TestSplitDeterminism(t *testing.T) {
+	h := &trace.History{}
+	for i := 0; i < 6; i++ {
+		h.Runs = append(h.Runs, linearRun(1, 20, 25))
+	}
+	ds, _ := Aggregate(h, Config{WindowSec: 5})
+	t1, v1, err := Split(ds, SplitByRun, 0.3, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t2, v2, err := Split(ds, SplitByRun, 0.3, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if t1.NumRows() != t2.NumRows() || v1.NumRows() != v2.NumRows() {
+		t.Fatal("same-seed splits differ")
+	}
+	for i := range v1.Run {
+		if v1.Run[i] != v2.Run[i] {
+			t.Fatal("same-seed splits pick different runs")
+		}
+	}
+}
+
+func TestSplitErrors(t *testing.T) {
+	h := &trace.History{Runs: []trace.Run{linearRun(1, 20, 25)}}
+	ds, _ := Aggregate(h, Config{WindowSec: 5})
+	if _, _, err := Split(ds, SplitByRun, 0, 1); err == nil {
+		t.Fatal("valFrac=0 accepted")
+	}
+	if _, _, err := Split(ds, SplitByRun, 1, 1); err == nil {
+		t.Fatal("valFrac=1 accepted")
+	}
+	// Single run cannot be split by run.
+	if _, _, err := Split(ds, SplitByRun, 0.5, 1); err == nil {
+		t.Fatal("single-run SplitByRun accepted")
+	}
+	if _, _, err := Split(ds, SplitMode(99), 0.5, 1); err == nil {
+		t.Fatal("unknown mode accepted")
+	}
+	empty := &Dataset{ColNames: ds.ColNames}
+	if _, _, err := Split(empty, SplitByRow, 0.5, 1); err == nil {
+		t.Fatal("empty dataset accepted")
+	}
+}

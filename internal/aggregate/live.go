@@ -1,0 +1,124 @@
+package aggregate
+
+import (
+	"repro/internal/trace"
+)
+
+// LiveAggregator builds aggregated feature rows incrementally from a
+// stream of datapoints, producing exactly the same rows (same column
+// layout, same means/slopes/inter-generation metrics) as the batch
+// Aggregate function. It is the deployment-side counterpart of the
+// training pipeline: feed it the FMC's datapoints and hand each emitted
+// row to a trained model to predict the live RTTF.
+type LiveAggregator struct {
+	cfg    Config
+	names  []string
+	window int // current window index, -1 before the first datapoint
+	buf    []trace.Datapoint
+	gaps   []float64
+	prevT  float64
+	first  bool
+}
+
+// NewLiveAggregator validates cfg and returns an empty aggregator.
+func NewLiveAggregator(cfg Config) (*LiveAggregator, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return &LiveAggregator{cfg: cfg, names: buildColNames(cfg), window: -1, first: true}, nil
+}
+
+// ColNames returns the emitted column layout.
+func (a *LiveAggregator) ColNames() []string {
+	return append([]string(nil), a.names...)
+}
+
+// Reset clears all buffered state (call on system restart).
+func (a *LiveAggregator) Reset() {
+	a.window = -1
+	a.buf = a.buf[:0]
+	a.gaps = a.gaps[:0]
+	a.prevT = 0
+	a.first = true
+}
+
+// Push adds one datapoint. When d starts a new time window, the
+// completed previous window is emitted as a feature row (row, tgen,
+// true); otherwise ok is false. tgen is the aggregated timestamp of the
+// emitted row. Out-of-order datapoints (Tgen going backwards) are
+// treated as a restart.
+func (a *LiveAggregator) Push(d trace.Datapoint) (row []float64, tgen float64, ok bool) {
+	if !a.first && d.Tgen < a.prevT {
+		a.Reset()
+	}
+	w := int(d.Tgen / a.cfg.WindowSec)
+	if a.window >= 0 && w != a.window && len(a.buf) > 0 {
+		row, tgen = a.emit()
+		ok = true
+	}
+	if a.window < 0 || w != a.window {
+		a.window = w
+		a.buf = a.buf[:0]
+		a.gaps = a.gaps[:0]
+	}
+	gap := d.Tgen
+	if !a.first {
+		gap = d.Tgen - a.prevT
+	}
+	a.buf = append(a.buf, d)
+	a.gaps = append(a.gaps, gap)
+	a.prevT = d.Tgen
+	a.first = false
+	return row, tgen, ok
+}
+
+// Flush emits the current (incomplete) window if it has any datapoints.
+func (a *LiveAggregator) Flush() (row []float64, tgen float64, ok bool) {
+	if len(a.buf) == 0 {
+		return nil, 0, false
+	}
+	row, tgen = a.emit()
+	a.buf = a.buf[:0]
+	a.gaps = a.gaps[:0]
+	return row, tgen, true
+}
+
+// emit computes the aggregated row for the buffered window, using the
+// same formulas as aggregateRun.
+func (a *LiveAggregator) emit() (row []float64, tgen float64) {
+	n := len(a.buf)
+	fn := float64(n)
+	row = make([]float64, len(a.names))
+	col := 0
+	for f := 0; f < trace.NumFeatures; f++ {
+		var s float64
+		for i := 0; i < n; i++ {
+			s += a.buf[i].Features[f]
+		}
+		row[col+f] = s / fn
+	}
+	col += trace.NumFeatures
+	var tsum float64
+	for i := 0; i < n; i++ {
+		tsum += a.buf[i].Tgen
+	}
+	tgen = tsum / fn
+	if a.cfg.IncludeIntergen {
+		var s float64
+		for _, g := range a.gaps {
+			s += g
+		}
+		row[col] = s / fn
+		col++
+	}
+	if a.cfg.IncludeSlopes {
+		for f := 0; f < trace.NumFeatures; f++ {
+			row[col+f] = (a.buf[n-1].Features[f] - a.buf[0].Features[f]) / fn
+		}
+		col += trace.NumFeatures
+		if a.cfg.IncludeIntergen {
+			row[col] = (a.gaps[n-1] - a.gaps[0]) / fn
+		}
+	}
+	return row, tgen
+}

@@ -1,0 +1,166 @@
+package aggregate
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/randx"
+	"repro/internal/trace"
+)
+
+func TestLiveMatchesBatch(t *testing.T) {
+	// Feeding a run's datapoints through the live aggregator must
+	// reproduce the batch Aggregate rows exactly.
+	run := linearRun(1.3, 47, 70)
+	h := &trace.History{Runs: []trace.Run{run}}
+	cfg := DefaultConfig()
+	batch, err := Aggregate(h, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	live, err := NewLiveAggregator(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rows [][]float64
+	var tgens []float64
+	for _, d := range run.Datapoints {
+		if row, tg, ok := live.Push(d); ok {
+			rows = append(rows, row)
+			tgens = append(tgens, tg)
+		}
+	}
+	if row, tg, ok := live.Flush(); ok {
+		rows = append(rows, row)
+		tgens = append(tgens, tg)
+	}
+	if len(rows) != batch.NumRows() {
+		t.Fatalf("live rows = %d, batch = %d", len(rows), batch.NumRows())
+	}
+	for i := range rows {
+		if math.Abs(tgens[i]-batch.AggTgen[i]) > 1e-9 {
+			t.Fatalf("row %d tgen %v vs %v", i, tgens[i], batch.AggTgen[i])
+		}
+		for j := range rows[i] {
+			if math.Abs(rows[i][j]-batch.X[i][j]) > 1e-9 {
+				t.Fatalf("row %d col %d (%s): live %v batch %v", i, j, batch.ColNames[j], rows[i][j], batch.X[i][j])
+			}
+		}
+	}
+}
+
+func TestLiveMatchesBatchProperty(t *testing.T) {
+	src := randx.New(7)
+	f := func(seed uint16) bool {
+		local := src.Fork(uint64(seed))
+		var run trace.Run
+		tm := 0.0
+		n := 20 + local.Intn(60)
+		for i := 0; i < n; i++ {
+			tm += local.Uniform(0.5, 4)
+			var d trace.Datapoint
+			d.Tgen = tm
+			for f := range d.Features {
+				d.Features[f] = local.Uniform(0, 1e6)
+			}
+			run.Datapoints = append(run.Datapoints, d)
+		}
+		run.Failed = true
+		run.FailTime = tm + 1
+		h := &trace.History{Runs: []trace.Run{run}}
+		cfg := Config{WindowSec: 9, IncludeSlopes: true, IncludeIntergen: true}
+		batch, err := Aggregate(h, cfg)
+		if err != nil {
+			return false
+		}
+		live, err := NewLiveAggregator(cfg)
+		if err != nil {
+			return false
+		}
+		var rows [][]float64
+		for _, d := range run.Datapoints {
+			if row, _, ok := live.Push(d); ok {
+				rows = append(rows, row)
+			}
+		}
+		if row, _, ok := live.Flush(); ok {
+			rows = append(rows, row)
+		}
+		if len(rows) != batch.NumRows() {
+			return false
+		}
+		for i := range rows {
+			for j := range rows[i] {
+				if math.Abs(rows[i][j]-batch.X[i][j]) > 1e-6 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLiveResetOnTimeRegression(t *testing.T) {
+	live, err := NewLiveAggregator(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := trace.Datapoint{Tgen: 100}
+	if _, _, ok := live.Push(d); ok {
+		t.Fatal("first push emitted a row")
+	}
+	// Time goes backwards: system restarted.
+	d2 := trace.Datapoint{Tgen: 1}
+	if _, _, ok := live.Push(d2); ok {
+		t.Fatal("restart push emitted a row")
+	}
+	// After restart the aggregator behaves like a fresh one: pushing a
+	// point in the next window emits exactly one row with one member.
+	d3 := trace.Datapoint{Tgen: 1 + DefaultConfig().WindowSec*2}
+	row, tgen, ok := live.Push(d3)
+	if !ok {
+		t.Fatal("no row emitted after window advance")
+	}
+	if tgen != 1 {
+		t.Fatalf("emitted tgen = %v, want 1 (the post-restart point)", tgen)
+	}
+	if len(row) != 30 {
+		t.Fatalf("row width %d", len(row))
+	}
+}
+
+func TestLiveColNames(t *testing.T) {
+	live, err := NewLiveAggregator(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	names := live.ColNames()
+	if len(names) != 30 || names[0] != "n_threads" {
+		t.Fatalf("names = %v", names)
+	}
+	// Mutating the returned slice must not affect the aggregator.
+	names[0] = "corrupted"
+	if live.ColNames()[0] != "n_threads" {
+		t.Fatal("ColNames exposes internal state")
+	}
+}
+
+func TestLiveFlushEmpty(t *testing.T) {
+	live, err := NewLiveAggregator(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, ok := live.Flush(); ok {
+		t.Fatal("empty flush emitted a row")
+	}
+}
+
+func TestLiveRejectsBadConfig(t *testing.T) {
+	if _, err := NewLiveAggregator(Config{WindowSec: 0}); err == nil {
+		t.Fatal("bad config accepted")
+	}
+}

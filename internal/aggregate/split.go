@@ -1,0 +1,111 @@
+package aggregate
+
+import (
+	"fmt"
+
+	"repro/internal/randx"
+)
+
+// SplitMode selects how the train/validation split is performed.
+type SplitMode int
+
+const (
+	// SplitByRun holds out entire runs for validation, preventing
+	// leakage between near-identical neighbouring windows of one run.
+	// This is the default for the experiments.
+	SplitByRun SplitMode = iota
+	// SplitByRow holds out individual aggregated datapoints uniformly,
+	// the way WEKA's percentage split does.
+	SplitByRow
+)
+
+// Split partitions the dataset into training and validation subsets.
+// valFrac is the fraction of data (runs or rows, depending on mode) held
+// out for validation. The split is deterministic given the seed.
+func Split(d *Dataset, mode SplitMode, valFrac float64, seed uint64) (train, val *Dataset, err error) {
+	if valFrac <= 0 || valFrac >= 1 {
+		return nil, nil, fmt.Errorf("aggregate: valFrac must be in (0,1), got %v", valFrac)
+	}
+	if d.NumRows() == 0 {
+		return nil, nil, ErrNoData
+	}
+	rng := randx.New(seed)
+	inVal := make([]bool, d.NumRows())
+	switch mode {
+	case SplitByRun:
+		// Collect distinct runs in first-appearance order.
+		var runs []int
+		seen := map[int]bool{}
+		for _, r := range d.Run {
+			if !seen[r] {
+				seen[r] = true
+				runs = append(runs, r)
+			}
+		}
+		nVal := int(valFrac * float64(len(runs)))
+		if nVal < 1 {
+			nVal = 1
+		}
+		if nVal >= len(runs) {
+			return nil, nil, fmt.Errorf("aggregate: %d runs cannot support valFrac %v", len(runs), valFrac)
+		}
+		perm := rng.Perm(len(runs))
+		valRuns := map[int]bool{}
+		for _, pi := range perm[:nVal] {
+			valRuns[runs[pi]] = true
+		}
+		for i, r := range d.Run {
+			inVal[i] = valRuns[r]
+		}
+	case SplitByRow:
+		nVal := int(valFrac * float64(d.NumRows()))
+		if nVal < 1 {
+			nVal = 1
+		}
+		if nVal >= d.NumRows() {
+			return nil, nil, fmt.Errorf("aggregate: %d rows cannot support valFrac %v", d.NumRows(), valFrac)
+		}
+		perm := rng.Perm(d.NumRows())
+		for _, pi := range perm[:nVal] {
+			inVal[pi] = true
+		}
+	default:
+		return nil, nil, fmt.Errorf("aggregate: unknown split mode %d", mode)
+	}
+
+	train = subset(d, inVal, false)
+	val = subset(d, inVal, true)
+	if train.NumRows() == 0 || val.NumRows() == 0 {
+		return nil, nil, fmt.Errorf("aggregate: degenerate split (train=%d val=%d rows)", train.NumRows(), val.NumRows())
+	}
+	return train, val, nil
+}
+
+func subset(d *Dataset, mask []bool, keep bool) *Dataset {
+	out := &Dataset{ColNames: d.ColNames}
+	for i := range d.X {
+		if mask[i] == keep {
+			out.X = append(out.X, d.X[i])
+			out.RTTF = append(out.RTTF, d.RTTF[i])
+			out.Run = append(out.Run, d.Run[i])
+			out.AggTgen = append(out.AggTgen, d.AggTgen[i])
+		}
+	}
+	return out
+}
+
+// DropUnlabeled returns a dataset containing only rows with finite RTTF.
+func DropUnlabeled(d *Dataset) *Dataset {
+	out := &Dataset{ColNames: d.ColNames}
+	for i := range d.X {
+		if !isNaN(d.RTTF[i]) {
+			out.X = append(out.X, d.X[i])
+			out.RTTF = append(out.RTTF, d.RTTF[i])
+			out.Run = append(out.Run, d.Run[i])
+			out.AggTgen = append(out.AggTgen, d.AggTgen[i])
+		}
+	}
+	return out
+}
+
+func isNaN(f float64) bool { return f != f }

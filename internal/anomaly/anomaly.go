@@ -1,0 +1,231 @@
+// Package anomaly implements the paper's anomaly-injection utilities
+// (§III-E): a memory-leak generator and an unterminated-thread generator
+// driven by the statistical distributions the paper specifies.
+//
+// Two injection styles are provided, matching the paper:
+//
+//   - Standalone generators (LeakGenerator, ThreadGenerator) that run as
+//     DES processes with exponential inter-arrival times whose means are
+//     drawn uniformly at startup — the paper's "additional utilities" for
+//     synthetic stressing and for speeding up training-data collection.
+//
+//   - Per-request injection parameters (RequestInjection) used by the
+//     TPC-W servlet model, where the Home interaction leaks memory or
+//     spawns a thread with probabilities fixed at servlet startup, so the
+//     anomaly rate follows the server load (paper §IV-A).
+package anomaly
+
+import (
+	"fmt"
+
+	"repro/internal/des"
+	"repro/internal/randx"
+	"repro/internal/sysmodel"
+)
+
+// LeakConfig parameterizes the standalone memory-leak generator.
+type LeakConfig struct {
+	// Leak sizes are drawn uniformly from [MinSizeKB, MaxSizeKB]
+	// ("applications require both small-size and large-size buffers").
+	MinSizeKB, MaxSizeKB float64
+	// The exponential inter-arrival mean is itself drawn uniformly from
+	// [MinMeanSec, MaxMeanSec] at startup ("more or less often").
+	MinMeanSec, MaxMeanSec float64
+}
+
+// Validate reports configuration errors.
+func (c *LeakConfig) Validate() error {
+	if c.MinSizeKB <= 0 || c.MaxSizeKB < c.MinSizeKB {
+		return fmt.Errorf("anomaly: leak size range [%v, %v] invalid", c.MinSizeKB, c.MaxSizeKB)
+	}
+	if c.MinMeanSec <= 0 || c.MaxMeanSec < c.MinMeanSec {
+		return fmt.Errorf("anomaly: leak mean range [%v, %v] invalid", c.MinMeanSec, c.MaxMeanSec)
+	}
+	return nil
+}
+
+// ThreadConfig parameterizes the standalone unterminated-thread generator.
+type ThreadConfig struct {
+	// The exponential inter-arrival mean is drawn uniformly from
+	// [MinMeanSec, MaxMeanSec] at startup.
+	MinMeanSec, MaxMeanSec float64
+}
+
+// Validate reports configuration errors.
+func (c *ThreadConfig) Validate() error {
+	if c.MinMeanSec <= 0 || c.MaxMeanSec < c.MinMeanSec {
+		return fmt.Errorf("anomaly: thread mean range [%v, %v] invalid", c.MinMeanSec, c.MaxMeanSec)
+	}
+	return nil
+}
+
+// LeakGenerator periodically leaks memory into a machine.
+type LeakGenerator struct {
+	cfg     LeakConfig
+	rng     *randx.Source
+	meanSec float64 // drawn at startup
+	total   float64
+	count   int
+	stop    func()
+}
+
+// NewLeakGenerator draws the inter-arrival mean and returns an inactive
+// generator; call Start to attach it to a simulator.
+func NewLeakGenerator(cfg LeakConfig, rng *randx.Source) (*LeakGenerator, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	g := &LeakGenerator{cfg: cfg, rng: rng}
+	g.meanSec = rng.Uniform(cfg.MinMeanSec, cfg.MaxMeanSec)
+	return g, nil
+}
+
+// MeanSec returns the inter-arrival mean drawn at startup.
+func (g *LeakGenerator) MeanSec() float64 { return g.meanSec }
+
+// TotalLeakedKB returns the cumulative leaked size.
+func (g *LeakGenerator) TotalLeakedKB() float64 { return g.total }
+
+// Count returns the number of leak activations so far.
+func (g *LeakGenerator) Count() int { return g.count }
+
+// Start schedules the generator on sim, leaking into m until Stop is
+// called. Each activation draws the size uniformly and writes it to the
+// machine ("writing data is essential": the model charges the leak to
+// resident anonymous memory immediately, as the paper's dummy writes
+// force physical allocation).
+func (g *LeakGenerator) Start(sim *des.Simulator, m *sysmodel.Machine) {
+	g.Stop()
+	var schedule func()
+	active := true
+	var pending *des.Event
+	schedule = func() {
+		pending = sim.Schedule(g.rng.Exp(g.meanSec), func() {
+			if !active {
+				return
+			}
+			size := g.rng.Uniform(g.cfg.MinSizeKB, g.cfg.MaxSizeKB)
+			m.Leak(size)
+			g.total += size
+			g.count++
+			schedule()
+		})
+	}
+	schedule()
+	g.stop = func() {
+		active = false
+		sim.Cancel(pending)
+	}
+}
+
+// Stop detaches the generator; it is safe to call when not started.
+func (g *LeakGenerator) Stop() {
+	if g.stop != nil {
+		g.stop()
+		g.stop = nil
+	}
+}
+
+// ThreadGenerator periodically detaches unterminated threads.
+type ThreadGenerator struct {
+	cfg     ThreadConfig
+	rng     *randx.Source
+	meanSec float64
+	count   int
+	stop    func()
+}
+
+// NewThreadGenerator draws the inter-arrival mean and returns an inactive
+// generator.
+func NewThreadGenerator(cfg ThreadConfig, rng *randx.Source) (*ThreadGenerator, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	g := &ThreadGenerator{cfg: cfg, rng: rng}
+	g.meanSec = rng.Uniform(cfg.MinMeanSec, cfg.MaxMeanSec)
+	return g, nil
+}
+
+// MeanSec returns the inter-arrival mean drawn at startup.
+func (g *ThreadGenerator) MeanSec() float64 { return g.meanSec }
+
+// Count returns the number of threads spawned so far.
+func (g *ThreadGenerator) Count() int { return g.count }
+
+// Start schedules the generator on sim, spawning threads on m.
+func (g *ThreadGenerator) Start(sim *des.Simulator, m *sysmodel.Machine) {
+	g.Stop()
+	active := true
+	var pending *des.Event
+	var schedule func()
+	schedule = func() {
+		pending = sim.Schedule(g.rng.Exp(g.meanSec), func() {
+			if !active {
+				return
+			}
+			m.SpawnThread()
+			g.count++
+			schedule()
+		})
+	}
+	schedule()
+	g.stop = func() {
+		active = false
+		sim.Cancel(pending)
+	}
+}
+
+// Stop detaches the generator.
+func (g *ThreadGenerator) Stop() {
+	if g.stop != nil {
+		g.stop()
+		g.stop = nil
+	}
+}
+
+// RequestInjection holds the per-request anomaly probabilities and sizes
+// used by the modified TPC-W Home interaction (paper §IV-A): "whenever an
+// emulated browser connects to the initial page, some memory is leaked or
+// a new thread is spawned, according to the corresponding probability".
+type RequestInjection struct {
+	// LeakProb is the probability that a Home interaction leaks memory.
+	LeakProb float64
+	// LeakMinKB and LeakMaxKB bound the uniform leak size.
+	LeakMinKB, LeakMaxKB float64
+	// ThreadProb is the probability that a Home interaction detaches an
+	// unterminated thread.
+	ThreadProb float64
+}
+
+// Validate reports configuration errors.
+func (r *RequestInjection) Validate() error {
+	if r.LeakProb < 0 || r.LeakProb > 1 || r.ThreadProb < 0 || r.ThreadProb > 1 {
+		return fmt.Errorf("anomaly: probabilities must be in [0,1]: leak=%v thread=%v", r.LeakProb, r.ThreadProb)
+	}
+	if r.LeakProb > 0 && (r.LeakMinKB <= 0 || r.LeakMaxKB < r.LeakMinKB) {
+		return fmt.Errorf("anomaly: leak size range [%v, %v] invalid", r.LeakMinKB, r.LeakMaxKB)
+	}
+	return nil
+}
+
+// Apply performs the per-request injection against m, returning the
+// leaked KB (0 if none) and whether a thread was spawned.
+func (r *RequestInjection) Apply(rng *randx.Source, m *sysmodel.Machine) (leakedKB float64, spawned bool) {
+	if r.LeakProb > 0 && rng.Bernoulli(r.LeakProb) {
+		leakedKB = rng.Uniform(r.LeakMinKB, r.LeakMaxKB)
+		m.Leak(leakedKB)
+	}
+	if r.ThreadProb > 0 && rng.Bernoulli(r.ThreadProb) {
+		m.SpawnThread()
+		spawned = true
+	}
+	return leakedKB, spawned
+}
+
+// DrawRates draws fresh injection probabilities at servlet startup, the
+// way the paper's modified TPC-W generates "two different rates (for
+// memory leaks and unterminated threads)" per run. The ranges bound the
+// uniform draw.
+func DrawRates(rng *randx.Source, leakProbLo, leakProbHi, threadProbLo, threadProbHi float64) (leakProb, threadProb float64) {
+	return rng.Uniform(leakProbLo, leakProbHi), rng.Uniform(threadProbLo, threadProbHi)
+}

@@ -1,0 +1,252 @@
+package anomaly
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/des"
+	"repro/internal/randx"
+	"repro/internal/sysmodel"
+)
+
+func newMachine(t testing.TB) *sysmodel.Machine {
+	t.Helper()
+	m, err := sysmodel.NewMachine(sysmodel.DefaultConfig(), randx.New(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Restart(0)
+	return m
+}
+
+func TestLeakConfigValidate(t *testing.T) {
+	bad := []LeakConfig{
+		{MinSizeKB: 0, MaxSizeKB: 10, MinMeanSec: 1, MaxMeanSec: 2},
+		{MinSizeKB: 10, MaxSizeKB: 5, MinMeanSec: 1, MaxMeanSec: 2},
+		{MinSizeKB: 1, MaxSizeKB: 10, MinMeanSec: 0, MaxMeanSec: 2},
+		{MinSizeKB: 1, MaxSizeKB: 10, MinMeanSec: 3, MaxMeanSec: 2},
+	}
+	for i, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Errorf("case %d accepted", i)
+		}
+		if _, err := NewLeakGenerator(c, randx.New(1)); err == nil {
+			t.Errorf("case %d: NewLeakGenerator accepted invalid config", i)
+		}
+	}
+	good := LeakConfig{MinSizeKB: 1, MaxSizeKB: 10, MinMeanSec: 1, MaxMeanSec: 2}
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestThreadConfigValidate(t *testing.T) {
+	if err := (&ThreadConfig{MinMeanSec: 0, MaxMeanSec: 1}).Validate(); err == nil {
+		t.Fatal("zero mean accepted")
+	}
+	if err := (&ThreadConfig{MinMeanSec: 2, MaxMeanSec: 1}).Validate(); err == nil {
+		t.Fatal("inverted range accepted")
+	}
+	if _, err := NewThreadGenerator(ThreadConfig{MinMeanSec: 2, MaxMeanSec: 1}, randx.New(1)); err == nil {
+		t.Fatal("NewThreadGenerator accepted invalid config")
+	}
+}
+
+func TestLeakGeneratorRate(t *testing.T) {
+	cfg := LeakConfig{MinSizeKB: 100, MaxSizeKB: 100, MinMeanSec: 2, MaxMeanSec: 2}
+	g, err := NewLeakGenerator(cfg, randx.New(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.MeanSec() != 2 {
+		t.Fatalf("mean = %v, want 2 (degenerate range)", g.MeanSec())
+	}
+	var sim des.Simulator
+	m := newMachine(t)
+	g.Start(&sim, m)
+	const horizon = 10000.0
+	if err := sim.Run(horizon); err != nil {
+		t.Fatal(err)
+	}
+	// Expected activations: horizon/mean = 5000; allow 10%.
+	if n := float64(g.Count()); math.Abs(n-5000) > 500 {
+		t.Fatalf("activations = %v, want ~5000", n)
+	}
+	if g.TotalLeakedKB() != float64(g.Count())*100 {
+		t.Fatalf("leak accounting mismatch: total=%v count=%d", g.TotalLeakedKB(), g.Count())
+	}
+	if m.LeakedKB() != g.TotalLeakedKB() {
+		t.Fatalf("machine got %v leaked, generator says %v", m.LeakedKB(), g.TotalLeakedKB())
+	}
+}
+
+func TestLeakGeneratorStop(t *testing.T) {
+	cfg := LeakConfig{MinSizeKB: 1, MaxSizeKB: 2, MinMeanSec: 1, MaxMeanSec: 1}
+	g, err := NewLeakGenerator(cfg, randx.New(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sim des.Simulator
+	m := newMachine(t)
+	g.Start(&sim, m)
+	if err := sim.Run(10); err != nil {
+		t.Fatal(err)
+	}
+	n := g.Count()
+	if n == 0 {
+		t.Fatal("no activations before stop")
+	}
+	g.Stop()
+	if err := sim.Run(100); err != nil {
+		t.Fatal(err)
+	}
+	if g.Count() != n {
+		t.Fatalf("generator kept running after Stop: %d -> %d", n, g.Count())
+	}
+	g.Stop() // double-stop is a no-op
+}
+
+func TestLeakMeanDrawnFromRange(t *testing.T) {
+	cfg := LeakConfig{MinSizeKB: 1, MaxSizeKB: 2, MinMeanSec: 5, MaxMeanSec: 15}
+	seen := map[bool]int{}
+	for seed := uint64(0); seed < 20; seed++ {
+		g, err := NewLeakGenerator(cfg, randx.New(seed))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if g.MeanSec() < 5 || g.MeanSec() > 15 {
+			t.Fatalf("mean %v outside [5,15]", g.MeanSec())
+		}
+		seen[g.MeanSec() > 10]++
+	}
+	if seen[true] == 0 || seen[false] == 0 {
+		t.Fatal("drawn means show no variation across seeds")
+	}
+}
+
+func TestThreadGeneratorRate(t *testing.T) {
+	cfg := ThreadConfig{MinMeanSec: 4, MaxMeanSec: 4}
+	g, err := NewThreadGenerator(cfg, randx.New(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sim des.Simulator
+	m := newMachine(t)
+	g.Start(&sim, m)
+	if err := sim.Run(8000); err != nil {
+		t.Fatal(err)
+	}
+	if n := float64(g.Count()); math.Abs(n-2000) > 250 {
+		t.Fatalf("spawns = %v, want ~2000", n)
+	}
+	if m.ExtraThreads() != g.Count() {
+		t.Fatalf("machine threads %d != generator count %d", m.ExtraThreads(), g.Count())
+	}
+	g.Stop()
+}
+
+func TestRequestInjectionValidate(t *testing.T) {
+	bad := []RequestInjection{
+		{LeakProb: -0.1},
+		{LeakProb: 1.1},
+		{ThreadProb: 2},
+		{LeakProb: 0.5, LeakMinKB: 0, LeakMaxKB: 10},
+		{LeakProb: 0.5, LeakMinKB: 10, LeakMaxKB: 5},
+	}
+	for i, r := range bad {
+		if err := r.Validate(); err == nil {
+			t.Errorf("case %d accepted", i)
+		}
+	}
+	good := RequestInjection{LeakProb: 0.3, LeakMinKB: 10, LeakMaxKB: 100, ThreadProb: 0.1}
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Zero leak probability does not require a size range.
+	zero := RequestInjection{ThreadProb: 0.2}
+	if err := zero.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRequestInjectionApply(t *testing.T) {
+	m := newMachine(t)
+	rng := randx.New(6)
+	inj := RequestInjection{LeakProb: 1, LeakMinKB: 50, LeakMaxKB: 50, ThreadProb: 1}
+	leaked, spawned := inj.Apply(rng, m)
+	if leaked != 50 || !spawned {
+		t.Fatalf("Apply = (%v, %v), want (50, true)", leaked, spawned)
+	}
+	if m.LeakedKB() != 50 || m.ExtraThreads() != 1 {
+		t.Fatal("machine state not updated")
+	}
+	none := RequestInjection{}
+	leaked, spawned = none.Apply(rng, m)
+	if leaked != 0 || spawned {
+		t.Fatal("zero-probability injection fired")
+	}
+}
+
+func TestRequestInjectionFrequency(t *testing.T) {
+	m := newMachine(t)
+	rng := randx.New(7)
+	inj := RequestInjection{LeakProb: 0.25, LeakMinKB: 1, LeakMaxKB: 1, ThreadProb: 0.5}
+	leaks, threads := 0, 0
+	const n = 20000
+	for i := 0; i < n; i++ {
+		l, s := inj.Apply(rng, m)
+		if l > 0 {
+			leaks++
+		}
+		if s {
+			threads++
+		}
+	}
+	if p := float64(leaks) / n; math.Abs(p-0.25) > 0.02 {
+		t.Fatalf("leak frequency = %v, want ~0.25", p)
+	}
+	if p := float64(threads) / n; math.Abs(p-0.5) > 0.02 {
+		t.Fatalf("thread frequency = %v, want ~0.5", p)
+	}
+}
+
+func TestDrawRates(t *testing.T) {
+	rng := randx.New(8)
+	for i := 0; i < 100; i++ {
+		lp, tp := DrawRates(rng, 0.1, 0.2, 0.01, 0.05)
+		if lp < 0.1 || lp >= 0.2 || tp < 0.01 || tp >= 0.05 {
+			t.Fatalf("rates out of range: %v %v", lp, tp)
+		}
+	}
+}
+
+func TestGeneratorsDriveMachineToExhaustion(t *testing.T) {
+	// Integration: aggressive generators must crash the default machine
+	// within a bounded virtual time.
+	m := newMachine(t)
+	var sim des.Simulator
+	lg, err := NewLeakGenerator(LeakConfig{MinSizeKB: 4096, MaxSizeKB: 16384, MinMeanSec: 0.5, MaxMeanSec: 1}, randx.New(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tg, err := NewThreadGenerator(ThreadConfig{MinMeanSec: 2, MaxMeanSec: 4}, randx.New(10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	lg.Start(&sim, m)
+	tg.Start(&sim, m)
+	crashed := false
+	for step := 0; step < 5000 && !crashed; step++ {
+		if err := sim.Run(float64(step+1) * 1.5); err != nil {
+			t.Fatal(err)
+		}
+		if m.OOM() {
+			crashed = true
+		}
+	}
+	if !crashed {
+		t.Fatalf("machine never crashed; leaked=%v KB threads=%d", m.LeakedKB(), m.ExtraThreads())
+	}
+	lg.Stop()
+	tg.Stop()
+}

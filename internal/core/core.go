@@ -1,0 +1,353 @@
+// Package core implements the F2PM pipeline itself (paper §III, Figure 1):
+// starting from a monitored data history, it aggregates datapoints and
+// adds the derived metrics (§III-B), optionally performs Lasso-based
+// feature selection (§III-C), trains the configured set of machine-learning
+// methods on both the full and the reduced training sets, and validates
+// every generated model with the §III-D metrics (MAE, RAE, MaxAE, S-MAE,
+// training and validation time) so the user can pick the best-suited
+// model.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/aggregate"
+	"repro/internal/featsel"
+	"repro/internal/metrics"
+	"repro/internal/ml"
+	"repro/internal/ml/lasso"
+	"repro/internal/ml/linreg"
+	"repro/internal/ml/lssvm"
+	"repro/internal/ml/m5p"
+	"repro/internal/ml/reptree"
+	"repro/internal/ml/svm"
+	"repro/internal/trace"
+)
+
+// FeatureSet distinguishes the two training-set families of the paper's
+// Tables II-IV.
+type FeatureSet string
+
+// The two feature sets every model is trained on.
+const (
+	AllParams   FeatureSet = "all"   // "using all parameters"
+	LassoParams FeatureSet = "lasso" // "using only parameters selected by Lasso"
+)
+
+// ModelSpec names a learning method and knows how to construct a fresh
+// untrained instance of it.
+type ModelSpec struct {
+	// Name is the identifier used in reports ("linear", "m5p", ...).
+	Name string
+	// DisplayName is the paper's table label ("Linear Regression", ...).
+	DisplayName string
+	// New constructs an untrained model.
+	New func() (ml.Regressor, error)
+}
+
+// DefaultModels returns the paper's six methods: Linear Regression, M5P,
+// REP-Tree, SVM (ε-SVR), LS-SVM ("SVM2"), and Lasso-as-a-predictor at
+// every λ in lassoLambdas (Table II lists λ = 10⁰..10⁹).
+func DefaultModels(lassoLambdas []float64) []ModelSpec {
+	specs := []ModelSpec{
+		{Name: "linear", DisplayName: "Linear Regression", New: func() (ml.Regressor, error) { return linreg.New(), nil }},
+		{Name: "m5p", DisplayName: "M5P", New: func() (ml.Regressor, error) { return m5p.New(m5p.DefaultOptions()) }},
+		{Name: "reptree", DisplayName: "REP Tree", New: func() (ml.Regressor, error) { return reptree.New(reptree.DefaultOptions()) }},
+		{Name: "svm", DisplayName: "SVM", New: func() (ml.Regressor, error) { return svm.New(svm.DefaultOptions()) }},
+		{Name: "svm2", DisplayName: "SVM2", New: func() (ml.Regressor, error) { return lssvm.New(lssvm.DefaultOptions()) }},
+	}
+	for _, lam := range lassoLambdas {
+		lam := lam
+		specs = append(specs, ModelSpec{
+			Name:        fmt.Sprintf("lasso-lambda-%g", lam),
+			DisplayName: fmt.Sprintf("Lasso (λ = %g)", lam),
+			New:         func() (ml.Regressor, error) { return lasso.New(lasso.DefaultOptions(lam)) },
+		})
+	}
+	return specs
+}
+
+// Config assembles a pipeline.
+type Config struct {
+	// Aggregation is the §III-B configuration.
+	Aggregation aggregate.Config
+	// SplitMode and ValidationFrac control the train/validation split.
+	SplitMode      aggregate.SplitMode
+	ValidationFrac float64
+	// SplitSeed makes the split reproducible.
+	SplitSeed uint64
+	// SMAEFraction is the S-MAE tolerance as a fraction of the mean
+	// observed RTTF (the paper's Table II uses a 10% threshold).
+	SMAEFraction float64
+	// FeatureLambdas is the λ̄ grid for the regularization path
+	// (Figure 4); empty disables the path computation.
+	FeatureLambdas []float64
+	// SelectionLambda is the λ whose surviving features form the
+	// Lasso-reduced training set (the paper tabulates λ = 10⁹).
+	// 0 disables the reduced-feature family entirely.
+	SelectionLambda float64
+	// Models is the method roster; nil uses DefaultModels(FeatureLambdas).
+	Models []ModelSpec
+	// Parallelism bounds concurrent model training (0 = serial).
+	// Training is deterministic either way; only wall-clock timings
+	// vary with scheduling.
+	Parallelism int
+}
+
+// DefaultConfig mirrors the paper's experimental setup.
+func DefaultConfig() Config {
+	return Config{
+		Aggregation:     aggregate.DefaultConfig(),
+		SplitMode:       aggregate.SplitByRun,
+		ValidationFrac:  0.3,
+		SplitSeed:       1,
+		SMAEFraction:    0.10,
+		FeatureLambdas:  featsel.LambdaGrid(0, 9),
+		SelectionLambda: 1e9,
+	}
+}
+
+// Validate reports configuration errors.
+func (c *Config) Validate() error {
+	if err := c.Aggregation.Validate(); err != nil {
+		return err
+	}
+	if c.ValidationFrac <= 0 || c.ValidationFrac >= 1 {
+		return fmt.Errorf("core: ValidationFrac must be in (0,1), got %v", c.ValidationFrac)
+	}
+	if c.SMAEFraction < 0 {
+		return fmt.Errorf("core: SMAEFraction must be non-negative, got %v", c.SMAEFraction)
+	}
+	if c.SelectionLambda < 0 {
+		return fmt.Errorf("core: SelectionLambda must be non-negative, got %v", c.SelectionLambda)
+	}
+	if c.Parallelism < 0 {
+		return fmt.Errorf("core: Parallelism must be non-negative, got %d", c.Parallelism)
+	}
+	return nil
+}
+
+// ModelResult is one trained-and-validated model.
+type ModelResult struct {
+	// Spec identifies the method.
+	Spec ModelSpec
+	// Features says which training-set family was used.
+	Features FeatureSet
+	// Report carries the §III-D metrics.
+	Report metrics.Report
+	// Model is the trained model, usable for live prediction.
+	Model ml.Regressor
+	// Predicted and Observed are the validation-set outputs backing the
+	// paper's Figure 5 scatter plots.
+	Predicted []float64
+	Observed  []float64
+	// Err records a per-model training failure; the pipeline continues
+	// with the remaining models.
+	Err error
+}
+
+// Report is the pipeline output.
+type Report struct {
+	// TrainRows, ValRows, Columns describe the aggregated dataset.
+	TrainRows, ValRows, Columns int
+	// Path is the Lasso regularization path over FeatureLambdas
+	// computed on the training set (Figure 4).
+	Path []featsel.PathPoint
+	// Selection is the path point at SelectionLambda whose features
+	// form the reduced training set (Table I).
+	Selection featsel.PathPoint
+	// SMAEThreshold is the absolute S-MAE tolerance applied, in seconds.
+	SMAEThreshold float64
+	// Results holds one entry per (model × feature set), ordered by
+	// model roster then feature set.
+	Results []ModelResult
+}
+
+// Best returns the successful result with the lowest S-MAE, or nil.
+func (r *Report) Best() *ModelResult {
+	var best *ModelResult
+	for i := range r.Results {
+		res := &r.Results[i]
+		if res.Err != nil {
+			continue
+		}
+		if best == nil || res.Report.SoftMAE < best.Report.SoftMAE {
+			best = res
+		}
+	}
+	return best
+}
+
+// ByName returns the result for a model name and feature set, or nil.
+func (r *Report) ByName(name string, fs FeatureSet) *ModelResult {
+	for i := range r.Results {
+		res := &r.Results[i]
+		if res.Spec.Name == name && res.Features == fs {
+			return res
+		}
+	}
+	return nil
+}
+
+// Pipeline is a configured F2PM instance.
+type Pipeline struct {
+	cfg Config
+}
+
+// New validates the configuration and returns a pipeline.
+func New(cfg Config) (*Pipeline, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.Models == nil {
+		cfg.Models = DefaultModels(cfg.FeatureLambdas)
+	}
+	return &Pipeline{cfg: cfg}, nil
+}
+
+// ErrNoModels is returned when the roster is empty.
+var ErrNoModels = errors.New("core: no models configured")
+
+// Run executes the full pipeline on a data history.
+func (p *Pipeline) Run(h *trace.History) (*Report, error) {
+	if len(p.cfg.Models) == 0 {
+		return nil, ErrNoModels
+	}
+	if len(h.FailedRuns()) == 0 {
+		return nil, trace.ErrNoFailedRuns
+	}
+
+	ds, err := aggregate.Aggregate(h, p.cfg.Aggregation)
+	if err != nil {
+		return nil, fmt.Errorf("core: aggregation: %w", err)
+	}
+	ds = aggregate.DropUnlabeled(ds)
+
+	train, val, err := aggregate.Split(ds, p.cfg.SplitMode, p.cfg.ValidationFrac, p.cfg.SplitSeed)
+	if err != nil {
+		return nil, fmt.Errorf("core: split: %w", err)
+	}
+
+	rep := &Report{
+		TrainRows: train.NumRows(),
+		ValRows:   val.NumRows(),
+		Columns:   ds.NumCols(),
+	}
+	rep.SMAEThreshold = metrics.RelativeThreshold(val.RTTF, p.cfg.SMAEFraction)
+
+	// Feature selection phase (§III-C) on the training set only.
+	if len(p.cfg.FeatureLambdas) > 0 {
+		rep.Path, err = featsel.Path(train, p.cfg.FeatureLambdas)
+		if err != nil {
+			return nil, fmt.Errorf("core: feature selection path: %w", err)
+		}
+	}
+
+	// Build the two training-set families.
+	type family struct {
+		fs         FeatureSet
+		train, val *aggregate.Dataset
+	}
+	families := []family{{fs: AllParams, train: train, val: val}}
+	if p.cfg.SelectionLambda > 0 {
+		redTrain, sel, err := featsel.Select(train, p.cfg.SelectionLambda)
+		switch {
+		case errors.Is(err, featsel.ErrEmptySelection):
+			// λ killed everything: skip the reduced family but keep the
+			// (empty) selection in the report.
+			rep.Selection = sel
+		case err != nil:
+			return nil, fmt.Errorf("core: feature selection: %w", err)
+		default:
+			rep.Selection = sel
+			redVal, err := val.Project(sel.Selected)
+			if err != nil {
+				return nil, fmt.Errorf("core: projecting validation set: %w", err)
+			}
+			families = append(families, family{fs: LassoParams, train: redTrain, val: redVal})
+		}
+	}
+
+	// Train every (model × family) pair on a bounded worker pool.
+	type job struct {
+		order int
+		spec  ModelSpec
+		fam   family
+	}
+	var jobs []job
+	for _, fam := range families {
+		for _, spec := range p.cfg.Models {
+			jobs = append(jobs, job{order: len(jobs), spec: spec, fam: fam})
+		}
+	}
+	results := make([]ModelResult, len(jobs))
+	workers := p.cfg.Parallelism
+	if workers <= 0 {
+		workers = 1
+	}
+	if workers > len(jobs) {
+		workers = len(jobs)
+	}
+	var wg sync.WaitGroup
+	ch := make(chan job)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := range ch {
+				results[j.order] = p.runOne(j.spec, j.fam.fs, j.fam.train, j.fam.val, rep.SMAEThreshold)
+			}
+		}()
+	}
+	for _, j := range jobs {
+		ch <- j
+	}
+	close(ch)
+	wg.Wait()
+
+	// Order: feature set (all first), then roster order — the paper's
+	// table layout.
+	sort.SliceStable(results, func(i, j int) bool {
+		if results[i].Features != results[j].Features {
+			return results[i].Features == AllParams
+		}
+		return false
+	})
+	rep.Results = results
+	return rep, nil
+}
+
+// runOne trains and validates a single model.
+func (p *Pipeline) runOne(spec ModelSpec, fs FeatureSet, train, val *aggregate.Dataset, threshold float64) ModelResult {
+	res := ModelResult{Spec: spec, Features: fs}
+	model, err := spec.New()
+	if err != nil {
+		res.Err = fmt.Errorf("core: constructing %s: %w", spec.Name, err)
+		return res
+	}
+	tTrain := metrics.StartTimer()
+	if err := model.Fit(train.X, train.RTTF); err != nil {
+		res.Err = fmt.Errorf("core: training %s/%s: %w", spec.Name, fs, err)
+		return res
+	}
+	trainDur := tTrain.Elapsed()
+
+	tVal := metrics.StartTimer()
+	predicted := ml.PredictAll(model, val.X)
+	report, err := metrics.Evaluate(predicted, val.RTTF, threshold)
+	if err != nil {
+		res.Err = fmt.Errorf("core: validating %s/%s: %w", spec.Name, fs, err)
+		return res
+	}
+	report.ValidationTime = tVal.Elapsed()
+	report.TrainingTime = trainDur
+
+	res.Model = model
+	res.Report = report
+	res.Predicted = predicted
+	res.Observed = ml.CloneVector(val.RTTF)
+	return res
+}

@@ -1,0 +1,65 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/trace"
+)
+
+// LearningCurvePoint reports model quality when training on a prefix of
+// the collected runs.
+type LearningCurvePoint struct {
+	// Runs is the number of failed runs used.
+	Runs int
+	// TrainRows and ValRows describe the split at this size.
+	TrainRows, ValRows int
+	// BestSoftMAE is the best model's S-MAE (seconds).
+	BestSoftMAE float64
+	// BestModel is its display name.
+	BestModel string
+}
+
+// LearningCurve supports the paper's incremental collection workflow
+// (§III-A): "if the estimated accuracy is not sufficient, further system
+// runs can be executed to collect new data into the training set, and to
+// produce new models". It retrains the pipeline on growing prefixes of
+// the history's failed runs and reports the best S-MAE at each size, so
+// the user can decide when to stop collecting.
+//
+// fractions lists the prefix sizes as fractions of the available failed
+// runs; nil uses {0.25, 0.5, 0.75, 1}.
+func (p *Pipeline) LearningCurve(h *trace.History, fractions []float64) ([]LearningCurvePoint, error) {
+	if len(fractions) == 0 {
+		fractions = []float64{0.25, 0.5, 0.75, 1.0}
+	}
+	failed := h.FailedRuns()
+	const minRuns = 4 // below this a by-run split is meaningless
+	if len(failed) < minRuns {
+		return nil, fmt.Errorf("core: learning curve needs >= %d failed runs, have %d", minRuns, len(failed))
+	}
+	var out []LearningCurvePoint
+	for _, frac := range fractions {
+		if frac <= 0 || frac > 1 {
+			return nil, fmt.Errorf("core: learning-curve fraction %v outside (0,1]", frac)
+		}
+		k := int(frac * float64(len(failed)))
+		if k < minRuns {
+			k = minRuns
+		}
+		if k > len(failed) {
+			k = len(failed)
+		}
+		sub := &trace.History{Runs: failed[:k]}
+		rep, err := p.Run(sub)
+		if err != nil {
+			return nil, fmt.Errorf("core: learning curve at %d runs: %w", k, err)
+		}
+		pt := LearningCurvePoint{Runs: k, TrainRows: rep.TrainRows, ValRows: rep.ValRows}
+		if best := rep.Best(); best != nil {
+			pt.BestSoftMAE = best.Report.SoftMAE
+			pt.BestModel = best.Spec.DisplayName
+		}
+		out = append(out, pt)
+	}
+	return out, nil
+}

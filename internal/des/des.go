@@ -1,0 +1,206 @@
+// Package des implements a small discrete-event simulation engine with a
+// virtual clock. The whole F2PM test-bed (the VM resource model, the
+// TPC-W browser fleet, the anomaly injectors, and the feature monitor)
+// runs on this engine, which is what lets the reproduction generate the
+// paper's "one week of continuous execution" in a few wall-clock seconds,
+// deterministically.
+//
+// Events scheduled for the same virtual time fire in scheduling order
+// (FIFO tie-break by sequence number), so simulations are reproducible
+// regardless of map iteration or goroutine scheduling: the engine is
+// strictly single-threaded.
+package des
+
+import (
+	"container/heap"
+	"errors"
+	"math"
+)
+
+// ErrReentrantRun is returned when Run is called from inside an event
+// handler.
+var ErrReentrantRun = errors.New("des: Run called re-entrantly from an event handler")
+
+// Event is a scheduled callback. The zero value is inert.
+type Event struct {
+	time     float64
+	seq      uint64
+	fn       func()
+	index    int // heap index, -1 when not queued
+	canceled bool
+}
+
+// Time returns the virtual time the event is scheduled for.
+func (e *Event) Time() float64 { return e.time }
+
+// Canceled reports whether Cancel was called on the event.
+func (e *Event) Canceled() bool { return e.canceled }
+
+// eventQueue is a min-heap ordered by (time, seq).
+type eventQueue []*Event
+
+func (q eventQueue) Len() int { return len(q) }
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].time != q[j].time {
+		return q[i].time < q[j].time
+	}
+	return q[i].seq < q[j].seq
+}
+func (q eventQueue) Swap(i, j int) {
+	q[i], q[j] = q[j], q[i]
+	q[i].index = i
+	q[j].index = j
+}
+func (q *eventQueue) Push(x any) {
+	e := x.(*Event)
+	e.index = len(*q)
+	*q = append(*q, e)
+}
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	e.index = -1
+	*q = old[:n-1]
+	return e
+}
+
+// Simulator owns the virtual clock and the pending event queue.
+// The zero value is ready to use at time 0.
+type Simulator struct {
+	now     float64
+	seq     uint64
+	queue   eventQueue
+	running bool
+	stopped bool
+}
+
+// Now returns the current virtual time in seconds.
+func (s *Simulator) Now() float64 { return s.now }
+
+// Pending returns the number of queued (non-canceled) events.
+func (s *Simulator) Pending() int {
+	n := 0
+	for _, e := range s.queue {
+		if !e.canceled {
+			n++
+		}
+	}
+	return n
+}
+
+// Schedule queues fn to run after delay seconds of virtual time. Negative
+// delays are clamped to zero (the event fires "now", after already-queued
+// same-time events). It returns the event for cancellation.
+func (s *Simulator) Schedule(delay float64, fn func()) *Event {
+	if delay < 0 || math.IsNaN(delay) {
+		delay = 0
+	}
+	return s.ScheduleAt(s.now+delay, fn)
+}
+
+// ScheduleAt queues fn at absolute virtual time t (clamped to now).
+func (s *Simulator) ScheduleAt(t float64, fn func()) *Event {
+	if t < s.now || math.IsNaN(t) {
+		t = s.now
+	}
+	e := &Event{time: t, seq: s.seq, fn: fn, index: -1}
+	s.seq++
+	heap.Push(&s.queue, e)
+	return e
+}
+
+// Cancel removes the event from the queue. Canceling an already-fired or
+// already-canceled event is a no-op.
+func (s *Simulator) Cancel(e *Event) {
+	if e == nil || e.canceled {
+		return
+	}
+	e.canceled = true
+	// The event stays in the heap and is skipped when popped; this keeps
+	// Cancel O(1) amortized, which matters for the browser fleet's
+	// timeout-heavy workload.
+}
+
+// Stop makes Run return after the current event handler completes.
+func (s *Simulator) Stop() { s.stopped = true }
+
+// Run processes events in time order until the queue empties, Stop is
+// called, or the clock would pass until (exclusive). Events scheduled
+// exactly at until do not fire; the clock is left at until if the horizon
+// was hit, else at the last fired event time.
+func (s *Simulator) Run(until float64) error {
+	if s.running {
+		return ErrReentrantRun
+	}
+	s.running = true
+	s.stopped = false
+	defer func() { s.running = false }()
+	for len(s.queue) > 0 && !s.stopped {
+		e := s.queue[0]
+		if e.canceled {
+			heap.Pop(&s.queue)
+			continue
+		}
+		if e.time >= until {
+			s.now = until
+			return nil
+		}
+		heap.Pop(&s.queue)
+		s.now = e.time
+		e.fn()
+	}
+	if !s.stopped && s.now < until && len(s.queue) == 0 && !math.IsInf(until, 1) {
+		// Queue drained before a finite horizon: advance the clock so
+		// that back-to-back Run calls observe monotone time.
+		s.now = until
+	}
+	return nil
+}
+
+// RunUntilEmpty processes all remaining events with no time horizon.
+func (s *Simulator) RunUntilEmpty() error { return s.Run(math.Inf(1)) }
+
+// Every schedules fn to run every interval seconds of virtual time,
+// starting after the first interval. The returned stop function cancels
+// the recurrence. The actual interval of each tick can be perturbed by
+// jitter (may be nil), which receives the tick index and returns an
+// additive delay — the feature monitor uses this to model the
+// scheduling-induced skew the paper discusses in §III-B.
+func (s *Simulator) Every(interval float64, jitter func(i int) float64, fn func()) (stop func()) {
+	if interval <= 0 {
+		panic("des: Every with non-positive interval")
+	}
+	stopped := false
+	var tick func()
+	i := 0
+	var pending *Event
+	tick = func() {
+		if stopped {
+			return
+		}
+		fn()
+		i++
+		d := interval
+		if jitter != nil {
+			d += jitter(i)
+			if d < 0 {
+				d = 0
+			}
+		}
+		pending = s.Schedule(d, tick)
+	}
+	d := interval
+	if jitter != nil {
+		d += jitter(0)
+		if d < 0 {
+			d = 0
+		}
+	}
+	pending = s.Schedule(d, tick)
+	return func() {
+		stopped = true
+		s.Cancel(pending)
+	}
+}

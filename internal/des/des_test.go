@@ -1,0 +1,287 @@
+package des
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestEventOrdering(t *testing.T) {
+	var s Simulator
+	var order []int
+	s.Schedule(3, func() { order = append(order, 3) })
+	s.Schedule(1, func() { order = append(order, 1) })
+	s.Schedule(2, func() { order = append(order, 2) })
+	if err := s.RunUntilEmpty(); err != nil {
+		t.Fatal(err)
+	}
+	if len(order) != 3 || order[0] != 1 || order[1] != 2 || order[2] != 3 {
+		t.Fatalf("order = %v", order)
+	}
+	if s.Now() != 3 {
+		t.Fatalf("Now = %v, want 3", s.Now())
+	}
+}
+
+func TestFIFOTieBreak(t *testing.T) {
+	var s Simulator
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		s.Schedule(5, func() { order = append(order, i) })
+	}
+	if err := s.RunUntilEmpty(); err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("same-time events fired out of scheduling order: %v", order)
+		}
+	}
+}
+
+func TestHorizon(t *testing.T) {
+	var s Simulator
+	fired := 0
+	s.Schedule(1, func() { fired++ })
+	s.Schedule(10, func() { fired++ })
+	if err := s.Run(5); err != nil {
+		t.Fatal(err)
+	}
+	if fired != 1 {
+		t.Fatalf("fired = %d, want 1", fired)
+	}
+	if s.Now() != 5 {
+		t.Fatalf("Now = %v, want 5", s.Now())
+	}
+	// Event at exactly the horizon must not fire.
+	var s2 Simulator
+	s2.Schedule(5, func() { fired = 100 })
+	if err := s2.Run(5); err != nil {
+		t.Fatal(err)
+	}
+	if fired == 100 {
+		t.Fatal("event at horizon fired")
+	}
+	// Continue: the event fires on the next Run.
+	if err := s2.Run(6); err != nil {
+		t.Fatal(err)
+	}
+	if fired != 100 {
+		t.Fatal("event did not fire after horizon advanced")
+	}
+}
+
+func TestClockAdvancesToHorizonWhenEmpty(t *testing.T) {
+	var s Simulator
+	if err := s.Run(42); err != nil {
+		t.Fatal(err)
+	}
+	if s.Now() != 42 {
+		t.Fatalf("Now = %v, want 42", s.Now())
+	}
+}
+
+func TestScheduleInsideHandler(t *testing.T) {
+	var s Simulator
+	var times []float64
+	s.Schedule(1, func() {
+		times = append(times, s.Now())
+		s.Schedule(2, func() { times = append(times, s.Now()) })
+	})
+	if err := s.RunUntilEmpty(); err != nil {
+		t.Fatal(err)
+	}
+	if len(times) != 2 || times[0] != 1 || times[1] != 3 {
+		t.Fatalf("times = %v", times)
+	}
+}
+
+func TestCancel(t *testing.T) {
+	var s Simulator
+	fired := false
+	e := s.Schedule(1, func() { fired = true })
+	s.Cancel(e)
+	if !e.Canceled() {
+		t.Fatal("event not marked canceled")
+	}
+	if err := s.RunUntilEmpty(); err != nil {
+		t.Fatal(err)
+	}
+	if fired {
+		t.Fatal("canceled event fired")
+	}
+	s.Cancel(e) // double cancel is a no-op
+	s.Cancel(nil)
+}
+
+func TestPendingSkipsCanceled(t *testing.T) {
+	var s Simulator
+	e := s.Schedule(1, func() {})
+	s.Schedule(2, func() {})
+	s.Cancel(e)
+	if got := s.Pending(); got != 1 {
+		t.Fatalf("Pending = %d, want 1", got)
+	}
+}
+
+func TestNegativeDelayClamped(t *testing.T) {
+	var s Simulator
+	s.Schedule(5, func() {})
+	if err := s.Run(6); err != nil {
+		t.Fatal(err)
+	}
+	fired := false
+	s.Schedule(-3, func() { fired = true })
+	if err := s.Run(7); err != nil {
+		t.Fatal(err)
+	}
+	if !fired {
+		t.Fatal("negative-delay event did not fire")
+	}
+	if s.Now() != 7 {
+		t.Fatalf("Now = %v", s.Now())
+	}
+}
+
+func TestNaNDelayClamped(t *testing.T) {
+	var s Simulator
+	fired := false
+	s.Schedule(math.NaN(), func() { fired = true })
+	if err := s.Run(1); err != nil {
+		t.Fatal(err)
+	}
+	if !fired {
+		t.Fatal("NaN-delay event did not fire at now")
+	}
+}
+
+func TestStop(t *testing.T) {
+	var s Simulator
+	count := 0
+	s.Schedule(1, func() { count++; s.Stop() })
+	s.Schedule(2, func() { count++ })
+	if err := s.RunUntilEmpty(); err != nil {
+		t.Fatal(err)
+	}
+	if count != 1 {
+		t.Fatalf("count = %d, want 1 (Stop ignored)", count)
+	}
+	// Resume: remaining event still queued.
+	if err := s.RunUntilEmpty(); err != nil {
+		t.Fatal(err)
+	}
+	if count != 2 {
+		t.Fatalf("count after resume = %d, want 2", count)
+	}
+}
+
+func TestReentrantRunRejected(t *testing.T) {
+	var s Simulator
+	var innerErr error
+	s.Schedule(1, func() { innerErr = s.Run(10) })
+	if err := s.RunUntilEmpty(); err != nil {
+		t.Fatal(err)
+	}
+	if innerErr != ErrReentrantRun {
+		t.Fatalf("inner Run error = %v, want ErrReentrantRun", innerErr)
+	}
+}
+
+func TestEvery(t *testing.T) {
+	var s Simulator
+	var ticks []float64
+	stop := s.Every(1.5, nil, func() { ticks = append(ticks, s.Now()) })
+	if err := s.Run(5); err != nil {
+		t.Fatal(err)
+	}
+	if len(ticks) != 3 || ticks[0] != 1.5 || ticks[1] != 3 || ticks[2] != 4.5 {
+		t.Fatalf("ticks = %v", ticks)
+	}
+	stop()
+	if err := s.Run(20); err != nil {
+		t.Fatal(err)
+	}
+	if len(ticks) != 3 {
+		t.Fatalf("ticks after stop = %v", ticks)
+	}
+}
+
+func TestEveryWithJitter(t *testing.T) {
+	var s Simulator
+	var ticks []float64
+	// Constant +0.5 jitter: ticks at 2.0, 4.0, ...
+	s.Every(1.5, func(i int) float64 { return 0.5 }, func() { ticks = append(ticks, s.Now()) })
+	if err := s.Run(5); err != nil {
+		t.Fatal(err)
+	}
+	if len(ticks) != 2 || ticks[0] != 2 || ticks[1] != 4 {
+		t.Fatalf("jittered ticks = %v", ticks)
+	}
+}
+
+func TestEveryNegativeJitterClamped(t *testing.T) {
+	var s Simulator
+	n := 0
+	s.Every(1, func(i int) float64 { return -100 }, func() {
+		n++
+		if n > 5 {
+			s.Stop()
+		}
+	})
+	if err := s.Run(10); err != nil {
+		t.Fatal(err)
+	}
+	if n < 5 {
+		t.Fatalf("clamped jitter produced only %d ticks", n)
+	}
+}
+
+func TestEveryPanicsOnBadInterval(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Every(0) did not panic")
+		}
+	}()
+	var s Simulator
+	s.Every(0, nil, func() {})
+}
+
+// Property: with arbitrary schedule delays, events fire in non-decreasing
+// time order and the clock never goes backwards.
+func TestMonotoneClockProperty(t *testing.T) {
+	f := func(delays []uint16) bool {
+		var s Simulator
+		var fireTimes []float64
+		for _, d := range delays {
+			delay := float64(d) / 100
+			s.Schedule(delay, func() { fireTimes = append(fireTimes, s.Now()) })
+		}
+		if err := s.RunUntilEmpty(); err != nil {
+			return false
+		}
+		prev := math.Inf(-1)
+		for _, ft := range fireTimes {
+			if ft < prev {
+				return false
+			}
+			prev = ft
+		}
+		return len(fireTimes) == len(delays)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkScheduleRun(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		var s Simulator
+		for j := 0; j < 1000; j++ {
+			s.Schedule(float64(j%97), func() {})
+		}
+		if err := s.RunUntilEmpty(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,348 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/metrics"
+	"repro/internal/tpcw"
+	"repro/internal/trace"
+)
+
+// ablationModels is the cheap roster used by the ablation sweeps:
+// the linear baseline plus the two tree learners the paper recommends.
+func ablationModels() []core.ModelSpec {
+	return core.DefaultModels(nil) // linear, m5p, reptree, svm, svm2
+}
+
+// fastAblationConfig builds a pipeline config sharing the suite settings
+// but restricted to fast models (no SVM family, no Lasso predictors).
+func fastAblationConfig(cfg Config) core.Config {
+	pc := pipelineConfig(cfg)
+	pc.FeatureLambdas = nil // no path needed
+	var kept []core.ModelSpec
+	for _, m := range ablationModels() {
+		if m.Name == "svm" || m.Name == "svm2" {
+			continue
+		}
+		kept = append(kept, m)
+	}
+	pc.Models = kept
+	return pc
+}
+
+// WindowPoint is one sweep entry of the window-size ablation.
+type WindowPoint struct {
+	WindowSec  float64
+	Rows       int
+	BestSMAE   float64 // best model's S-MAE at this window
+	BestModel  string
+	LinearSMAE float64
+}
+
+// AblationWindow sweeps the aggregation window size (§III-B motivates
+// aggregation with precision and model-building cost; this quantifies the
+// accuracy side).
+func AblationWindow(cfg Config, history *trace.History, windows []float64) ([]WindowPoint, error) {
+	if len(windows) == 0 {
+		windows = []float64{5, 15, 30, 60, 120}
+	}
+	var out []WindowPoint
+	for _, w := range windows {
+		pc := fastAblationConfig(cfg)
+		pc.Aggregation.WindowSec = w
+		pipe, err := core.New(pc)
+		if err != nil {
+			return nil, err
+		}
+		rep, err := pipe.Run(history)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: window %v: %w", w, err)
+		}
+		pt := WindowPoint{WindowSec: w, Rows: rep.TrainRows + rep.ValRows}
+		if best := rep.Best(); best != nil {
+			pt.BestSMAE = best.Report.SoftMAE
+			pt.BestModel = best.Spec.DisplayName
+		}
+		if lin := rep.ByName("linear", core.AllParams); lin != nil && lin.Err == nil {
+			pt.LinearSMAE = lin.Report.SoftMAE
+		}
+		out = append(out, pt)
+	}
+	return out, nil
+}
+
+// FormatWindowAblation renders the sweep.
+func FormatWindowAblation(pts []WindowPoint) string {
+	rows := make([][]string, 0, len(pts))
+	for _, p := range pts {
+		rows = append(rows, []string{
+			fmt.Sprintf("%.0f", p.WindowSec),
+			fmt.Sprintf("%d", p.Rows),
+			seconds(p.BestSMAE),
+			p.BestModel,
+			seconds(p.LinearSMAE),
+		})
+	}
+	return FormatTable("Ablation A1: aggregation window size",
+		[]string{"Window (s)", "Rows", "Best S-MAE (s)", "Best model", "Linear S-MAE (s)"}, rows)
+}
+
+// SlopesPoint compares one model with and without slope columns.
+type SlopesPoint struct {
+	Model             string
+	WithSlopes        float64
+	WithoutSlopes     float64
+	DegradationFactor float64
+}
+
+// AblationSlopes drops the derived slope metrics and measures the S-MAE
+// impact, testing the paper's claim that "slopes play an important role".
+func AblationSlopes(cfg Config, history *trace.History) ([]SlopesPoint, error) {
+	run := func(includeSlopes bool) (*core.Report, error) {
+		pc := fastAblationConfig(cfg)
+		pc.Aggregation.IncludeSlopes = includeSlopes
+		pc.SelectionLambda = 0 // compare on the full feature family only
+		pipe, err := core.New(pc)
+		if err != nil {
+			return nil, err
+		}
+		return pipe.Run(history)
+	}
+	with, err := run(true)
+	if err != nil {
+		return nil, err
+	}
+	without, err := run(false)
+	if err != nil {
+		return nil, err
+	}
+	var out []SlopesPoint
+	for _, r := range with.Results {
+		if r.Err != nil {
+			continue
+		}
+		other := without.ByName(r.Spec.Name, core.AllParams)
+		if other == nil || other.Err != nil {
+			continue
+		}
+		p := SlopesPoint{
+			Model:         r.Spec.DisplayName,
+			WithSlopes:    r.Report.SoftMAE,
+			WithoutSlopes: other.Report.SoftMAE,
+		}
+		if p.WithSlopes > 0 {
+			p.DegradationFactor = p.WithoutSlopes / p.WithSlopes
+		}
+		out = append(out, p)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("experiments: slope ablation produced no comparable models")
+	}
+	return out, nil
+}
+
+// FormatSlopesAblation renders the comparison.
+func FormatSlopesAblation(pts []SlopesPoint) string {
+	rows := make([][]string, 0, len(pts))
+	for _, p := range pts {
+		rows = append(rows, []string{
+			p.Model, seconds(p.WithSlopes), seconds(p.WithoutSlopes),
+			fmt.Sprintf("%.2fx", p.DegradationFactor),
+		})
+	}
+	return FormatTable("Ablation A2: derived slope metrics on/off (S-MAE, all params)",
+		[]string{"Model", "With slopes (s)", "Without (s)", "Degradation"}, rows)
+}
+
+// ThresholdPoint is one S-MAE tolerance setting.
+type ThresholdPoint struct {
+	Fraction  float64
+	Threshold float64
+	SMAE      map[string]float64 // display name → S-MAE
+}
+
+// AblationThreshold recomputes S-MAE at several tolerance fractions from
+// the stored validation predictions — the threshold T is the proactive
+// lead time of §I, so this shows how tolerant rejuvenation scheduling
+// changes the model ranking. No retraining happens.
+func AblationThreshold(rep *core.Report, fractions []float64) ([]ThresholdPoint, error) {
+	if len(fractions) == 0 {
+		fractions = []float64{0, 0.05, 0.10, 0.20}
+	}
+	var out []ThresholdPoint
+	for _, frac := range fractions {
+		pt := ThresholdPoint{Fraction: frac, SMAE: map[string]float64{}}
+		for _, r := range rep.Results {
+			if r.Err != nil || r.Features != core.AllParams {
+				continue
+			}
+			thr := metrics.RelativeThreshold(r.Observed, frac)
+			pt.Threshold = thr
+			smae, err := metrics.SoftMAE(r.Predicted, r.Observed, thr)
+			if err != nil {
+				return nil, err
+			}
+			pt.SMAE[r.Spec.DisplayName] = smae
+		}
+		if len(pt.SMAE) == 0 {
+			return nil, fmt.Errorf("experiments: no successful models for threshold ablation")
+		}
+		out = append(out, pt)
+	}
+	return out, nil
+}
+
+// FormatThresholdAblation renders the sweep for the given model names.
+func FormatThresholdAblation(pts []ThresholdPoint, models []string) string {
+	headers := append([]string{"Tolerance"}, models...)
+	rows := make([][]string, 0, len(pts))
+	for _, p := range pts {
+		row := []string{fmt.Sprintf("%.0f%% (%.0fs)", p.Fraction*100, p.Threshold)}
+		for _, m := range models {
+			if v, ok := p.SMAE[m]; ok {
+				row = append(row, seconds(v))
+			} else {
+				row = append(row, "n/a")
+			}
+		}
+		rows = append(rows, row)
+	}
+	return FormatTable("Ablation A3: S-MAE tolerance sweep (all params)", headers, rows)
+}
+
+// RunsPoint is one training-set-size setting.
+type RunsPoint struct {
+	Runs     int
+	Rows     int
+	BestSMAE float64
+	Model    string
+}
+
+// AblationRuns truncates the history to its first k failed runs and
+// retrains, quantifying the paper's §III-A claim that accuracy improves
+// incrementally as more runs are collected.
+func AblationRuns(cfg Config, history *trace.History, fractions []float64) ([]RunsPoint, error) {
+	if len(fractions) == 0 {
+		fractions = []float64{0.25, 0.5, 0.75, 1.0}
+	}
+	failed := history.FailedRuns()
+	if len(failed) < 4 {
+		return nil, fmt.Errorf("experiments: need >= 4 failed runs, have %d", len(failed))
+	}
+	var out []RunsPoint
+	for _, frac := range fractions {
+		k := int(frac * float64(len(failed)))
+		if k < 4 {
+			k = 4
+		}
+		if k > len(failed) {
+			k = len(failed)
+		}
+		sub := &trace.History{Runs: failed[:k]}
+		pc := fastAblationConfig(cfg)
+		pipe, err := core.New(pc)
+		if err != nil {
+			return nil, err
+		}
+		rep, err := pipe.Run(sub)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: runs ablation k=%d: %w", k, err)
+		}
+		pt := RunsPoint{Runs: k, Rows: rep.TrainRows + rep.ValRows}
+		if best := rep.Best(); best != nil {
+			pt.BestSMAE = best.Report.SoftMAE
+			pt.Model = best.Spec.DisplayName
+		}
+		out = append(out, pt)
+	}
+	return out, nil
+}
+
+// FormatRunsAblation renders the sweep.
+func FormatRunsAblation(pts []RunsPoint) string {
+	rows := make([][]string, 0, len(pts))
+	for _, p := range pts {
+		rows = append(rows, []string{
+			fmt.Sprintf("%d", p.Runs), fmt.Sprintf("%d", p.Rows), seconds(p.BestSMAE), p.Model,
+		})
+	}
+	return FormatTable("Ablation A4: training-set size (failed runs)",
+		[]string{"Runs", "Rows", "Best S-MAE (s)", "Best model"}, rows)
+}
+
+// IntervalPoint is one sampling-interval setting.
+type IntervalPoint struct {
+	IntervalSec   float64
+	RawDatapoints int
+	Rows          int
+	BestSMAE      float64
+	BestModel     string
+}
+
+// AblationInterval re-runs the whole campaign at different FMC sampling
+// intervals (the paper's implementation waits ~1.5 s, §III-E, balancing
+// feature-variability capture against monitoring overhead) and retrains.
+// Unlike the other ablations this regenerates the data, not just the
+// models, so each point is a fresh simulation with the same seed.
+func AblationInterval(cfg Config, intervals []float64) ([]IntervalPoint, error) {
+	if len(intervals) == 0 {
+		intervals = []float64{0.5, 1.5, 5, 15}
+	}
+	var out []IntervalPoint
+	for _, iv := range intervals {
+		if iv <= 0 {
+			return nil, fmt.Errorf("experiments: non-positive sampling interval %v", iv)
+		}
+		runCfg := cfg
+		if runCfg.Testbed != nil {
+			tb := *runCfg.Testbed
+			tb.SampleIntervalSec = iv
+			runCfg.Testbed = &tb
+		} else {
+			tb := tpcw.DefaultTestbedConfig(cfg.Seed)
+			tb.SampleIntervalSec = iv
+			runCfg.Testbed = &tb
+		}
+		data, err := GenerateData(runCfg)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: interval %v: %w", iv, err)
+		}
+		pc := fastAblationConfig(runCfg)
+		pipe, err := core.New(pc)
+		if err != nil {
+			return nil, err
+		}
+		rep, err := pipe.Run(&data.History)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: interval %v pipeline: %w", iv, err)
+		}
+		pt := IntervalPoint{
+			IntervalSec:   iv,
+			RawDatapoints: data.History.TotalDatapoints(),
+			Rows:          rep.TrainRows + rep.ValRows,
+		}
+		if best := rep.Best(); best != nil {
+			pt.BestSMAE = best.Report.SoftMAE
+			pt.BestModel = best.Spec.DisplayName
+		}
+		out = append(out, pt)
+	}
+	return out, nil
+}
+
+// FormatIntervalAblation renders the sweep.
+func FormatIntervalAblation(pts []IntervalPoint) string {
+	rows := make([][]string, 0, len(pts))
+	for _, p := range pts {
+		rows = append(rows, []string{
+			fmt.Sprintf("%.1f", p.IntervalSec),
+			fmt.Sprintf("%d", p.RawDatapoints),
+			fmt.Sprintf("%d", p.Rows),
+			seconds(p.BestSMAE),
+			p.BestModel,
+		})
+	}
+	return FormatTable("Ablation A5: FMC sampling interval (fresh campaign per point)",
+		[]string{"Interval (s)", "Raw datapoints", "Rows", "Best S-MAE (s)", "Best model"}, rows)
+}

@@ -1,0 +1,361 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// quickArtifacts builds (once, cached) the reduced suite used by tests.
+func quickArtifacts(t testing.TB) *Artifacts {
+	t.Helper()
+	art, err := Build(QuickConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return art
+}
+
+func TestBuildQuick(t *testing.T) {
+	art := quickArtifacts(t)
+	if len(art.Data.History.FailedRuns()) < 4 {
+		t.Fatalf("only %d failed runs", len(art.Data.History.FailedRuns()))
+	}
+	if art.Dataset.NumRows() < 100 {
+		t.Fatalf("only %d rows", art.Dataset.NumRows())
+	}
+	if art.Dataset.NumCols() != 30 {
+		t.Fatalf("cols = %d", art.Dataset.NumCols())
+	}
+	if art.Report == nil || len(art.Report.Results) == 0 {
+		t.Fatal("no report")
+	}
+}
+
+func TestBuildCached(t *testing.T) {
+	a := quickArtifacts(t)
+	b := quickArtifacts(t)
+	if a != b {
+		t.Fatal("cache miss for identical config")
+	}
+}
+
+func TestFig3Correlation(t *testing.T) {
+	art := quickArtifacts(t)
+	f3, err := Fig3(art.Data, 15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The paper's claim: inter-generation time correlates with client RT.
+	if f3.Pearson < 0.5 {
+		t.Fatalf("Pearson = %v, want strong positive correlation", f3.Pearson)
+	}
+	gen, rt := f3.GrowthRatio()
+	if gen <= 1 || rt <= 1 {
+		t.Fatalf("series did not grow toward the crash: gen=%v rt=%v", gen, rt)
+	}
+	if len(f3.CorrelatedRT) != len(f3.ResponseTime) {
+		t.Fatal("correlated series length mismatch")
+	}
+	out := f3.Format()
+	for _, want := range []string{"Figure 3", "Generation time", "Response Time", "Correlated RT"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("Format missing %q", want)
+		}
+	}
+}
+
+func TestFig3Errors(t *testing.T) {
+	art := quickArtifacts(t)
+	if _, err := Fig3(art.Data, 0); err == nil {
+		t.Fatal("zero window accepted")
+	}
+}
+
+func TestFig4Shape(t *testing.T) {
+	art := quickArtifacts(t)
+	f4, err := Fig4(art.Dataset)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := f4.Counts()
+	if len(counts) != 10 {
+		t.Fatalf("grid length = %d", len(counts))
+	}
+	// Paper shape: higher λ → (weakly) fewer features, with a clear drop
+	// across the whole grid.
+	for i := 1; i < len(counts); i++ {
+		if counts[i] > counts[i-1]+1 {
+			t.Fatalf("selection count rose along path: %v", counts)
+		}
+	}
+	if counts[0] < 8 {
+		t.Fatalf("low λ selected only %d features", counts[0])
+	}
+	if counts[9] >= counts[0] {
+		t.Fatalf("no shrinkage across grid: %v", counts)
+	}
+	if !strings.Contains(f4.Format(), "Figure 4") {
+		t.Fatal("Format missing title")
+	}
+}
+
+func TestTableIWeights(t *testing.T) {
+	art := quickArtifacts(t)
+	t1, err := TableI(art.Dataset, art.Config.SelectionLambda)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := t1.Point.NumSelected()
+	if n < 2 || n > 12 {
+		t.Fatalf("Table I selected %d features, want a small informative set", n)
+	}
+	// The paper: memory is the predominant factor. At least half the
+	// surviving features must be memory/swap quantities or their slopes.
+	memLike := 0
+	for _, name := range t1.Point.Selected {
+		if strings.HasPrefix(name, "mem_") || strings.HasPrefix(name, "swap_") {
+			memLike++
+		}
+	}
+	if memLike*2 < n {
+		t.Fatalf("memory features are not predominant: %v", t1.Point.Selected)
+	}
+	out := t1.Format()
+	if !strings.Contains(out, "Table I") || !strings.Contains(out, "Parameter") {
+		t.Fatal("Format malformed")
+	}
+}
+
+func TestTableIFallbackWhenEmpty(t *testing.T) {
+	art := quickArtifacts(t)
+	// λ huge enough to kill every feature: fall back to the largest
+	// non-empty grid point.
+	t1, err := TableI(art.Dataset, 1e15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if t1.Point.NumSelected() == 0 {
+		t.Fatal("fallback still empty")
+	}
+	if t1.Point.Lambda >= 1e15 {
+		t.Fatal("fallback did not pick a grid λ")
+	}
+}
+
+func TestTablesShapes(t *testing.T) {
+	art := quickArtifacts(t)
+	tabs := Tables(art.Report)
+	if len(tabs.SMAE) == 0 {
+		t.Fatal("no S-MAE rows")
+	}
+	lin := Find(tabs.SMAE, "Linear Regression")
+	m5 := Find(tabs.SMAE, "M5P")
+	rt := Find(tabs.SMAE, "REP Tree")
+	lasso9 := Find(tabs.SMAE, "Lasso (λ = 1e+09)")
+	if lin == nil || m5 == nil || rt == nil || lasso9 == nil {
+		t.Fatal("missing table rows")
+	}
+	// Paper shape (Table II): tree models beat the linear family; the
+	// high-λ Lasso predictor is the worst method by a wide margin.
+	bestTree := m5.All
+	if rt.All < bestTree {
+		bestTree = rt.All
+	}
+	if bestTree >= lin.All {
+		t.Fatalf("trees (%v) do not beat linear (%v)", bestTree, lin.All)
+	}
+	if lasso9.All <= lin.All {
+		t.Fatalf("Lasso λ=1e9 (%v) should be far worse than linear (%v)", lasso9.All, lin.All)
+	}
+	// Feature selection costs accuracy (paper: every model's S-MAE grows
+	// with the reduced set).
+	if m5.Lasso >= 0 && m5.Lasso < m5.All*0.8 {
+		t.Fatalf("M5P improved dramatically under selection: %v vs %v", m5.Lasso, m5.All)
+	}
+
+	// Table III shape: training with selected features is faster for the
+	// closed-form/tree models.
+	trLin := Find(tabs.TrainingTime, "Linear Regression")
+	trM5 := Find(tabs.TrainingTime, "M5P")
+	if trLin == nil || trM5 == nil {
+		t.Fatal("missing training rows")
+	}
+	if trLin.Lasso >= 0 && trLin.Lasso > trLin.All {
+		t.Fatalf("linear training slower with fewer features: %v vs %v", trLin.Lasso, trLin.All)
+	}
+	if trM5.Lasso >= 0 && trM5.Lasso > trM5.All {
+		t.Fatalf("M5P training slower with fewer features: %v vs %v", trM5.Lasso, trM5.All)
+	}
+
+	for _, s := range []string{tabs.FormatSMAE(), tabs.FormatTrainingTime(), tabs.FormatValidationTime()} {
+		if !strings.Contains(s, "Algorithm") {
+			t.Fatal("table formatting broken")
+		}
+	}
+}
+
+func TestFig5Panels(t *testing.T) {
+	art := quickArtifacts(t)
+	f5, err := Fig5(art.Report, art.Config.SelectionLambda)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Quick config has no SVMs: expect 4 panels (lasso, linear, m5p, reptree).
+	if len(f5.Panels) != 4 {
+		t.Fatalf("panels = %d, want 4", len(f5.Panels))
+	}
+	for _, p := range f5.Panels {
+		if len(p.Observed) == 0 || len(p.Observed) != len(p.Predicted) {
+			t.Fatalf("panel %s malformed", p.Model)
+		}
+		if p.FullMAE <= 0 {
+			t.Fatalf("panel %s has zero error", p.Model)
+		}
+	}
+	// Paper's observation: prediction error is lower near the failure
+	// point (RTTF <= 600 s) than overall, for the recommended trees.
+	for _, p := range f5.Panels {
+		if p.Model == "M5P" || p.Model == "REP Tree" {
+			if p.TailMAE > p.FullMAE*1.25 {
+				t.Fatalf("%s tail error %v much worse than overall %v", p.Model, p.TailMAE, p.FullMAE)
+			}
+		}
+	}
+	if !strings.Contains(f5.Format(), "Figure 5(a)") {
+		t.Fatal("Format missing panel titles")
+	}
+}
+
+func TestAblationWindow(t *testing.T) {
+	art := quickArtifacts(t)
+	pts, err := AblationWindow(art.Config, &art.Data.History, []float64{10, 30, 90})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 3 {
+		t.Fatalf("points = %d", len(pts))
+	}
+	// Larger windows → fewer rows.
+	if !(pts[0].Rows > pts[1].Rows && pts[1].Rows > pts[2].Rows) {
+		t.Fatalf("row counts not decreasing: %+v", pts)
+	}
+	for _, p := range pts {
+		if p.BestSMAE <= 0 || p.BestModel == "" {
+			t.Fatalf("missing best model at window %v", p.WindowSec)
+		}
+	}
+	if !strings.Contains(FormatWindowAblation(pts), "Ablation A1") {
+		t.Fatal("format broken")
+	}
+}
+
+func TestAblationSlopes(t *testing.T) {
+	art := quickArtifacts(t)
+	pts, err := AblationSlopes(art.Config, &art.Data.History)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) < 2 {
+		t.Fatalf("points = %d", len(pts))
+	}
+	for _, p := range pts {
+		if p.WithSlopes <= 0 || p.WithoutSlopes <= 0 {
+			t.Fatalf("degenerate point %+v", p)
+		}
+	}
+	if !strings.Contains(FormatSlopesAblation(pts), "Ablation A2") {
+		t.Fatal("format broken")
+	}
+}
+
+func TestAblationThreshold(t *testing.T) {
+	art := quickArtifacts(t)
+	pts, err := AblationThreshold(art.Report, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 4 {
+		t.Fatalf("points = %d", len(pts))
+	}
+	// S-MAE is monotone non-increasing in the tolerance for every model.
+	for m := range pts[0].SMAE {
+		prev := pts[0].SMAE[m]
+		for _, p := range pts[1:] {
+			if p.SMAE[m] > prev+1e-9 {
+				t.Fatalf("%s S-MAE rose with tolerance", m)
+			}
+			prev = p.SMAE[m]
+		}
+	}
+	out := FormatThresholdAblation(pts, []string{"Linear Regression", "M5P", "REP Tree"})
+	if !strings.Contains(out, "Ablation A3") {
+		t.Fatal("format broken")
+	}
+}
+
+func TestAblationRuns(t *testing.T) {
+	art := quickArtifacts(t)
+	pts, err := AblationRuns(art.Config, &art.Data.History, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 4 {
+		t.Fatalf("points = %d", len(pts))
+	}
+	// More runs → more rows; and the full-data error should not be much
+	// worse than the smallest subset (accuracy improves with data).
+	if pts[len(pts)-1].Rows <= pts[0].Rows {
+		t.Fatal("rows did not grow with runs")
+	}
+	if pts[len(pts)-1].BestSMAE > pts[0].BestSMAE*1.5 {
+		t.Fatalf("more data degraded accuracy: %v -> %v", pts[0].BestSMAE, pts[len(pts)-1].BestSMAE)
+	}
+	if !strings.Contains(FormatRunsAblation(pts), "Ablation A4") {
+		t.Fatal("format broken")
+	}
+}
+
+func TestGenerateDataTooShort(t *testing.T) {
+	cfg := QuickConfig()
+	cfg.TotalVirtualSec = 200 // not enough for 3 failures
+	if _, err := GenerateData(cfg); err == nil {
+		t.Fatal("short campaign accepted")
+	}
+}
+
+func TestFormatTable(t *testing.T) {
+	out := FormatTable("T", []string{"a", "bb"}, [][]string{{"1", "2"}, {"333", "4"}})
+	if !strings.Contains(out, "T\n") || !strings.Contains(out, "333") {
+		t.Fatalf("bad table:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 5 { // title, header, separator, 2 rows
+		t.Fatalf("line count = %d:\n%s", len(lines), out)
+	}
+}
+
+func TestAblationInterval(t *testing.T) {
+	art := quickArtifacts(t)
+	pts, err := AblationInterval(art.Config, []float64{1.5, 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 2 {
+		t.Fatalf("points = %d", len(pts))
+	}
+	// Finer sampling → more raw datapoints.
+	if pts[0].RawDatapoints <= pts[1].RawDatapoints {
+		t.Fatalf("finer interval did not increase datapoints: %+v", pts)
+	}
+	for _, p := range pts {
+		if p.BestSMAE <= 0 || p.BestModel == "" {
+			t.Fatalf("degenerate point %+v", p)
+		}
+	}
+	if _, err := AblationInterval(art.Config, []float64{0}); err == nil {
+		t.Fatal("zero interval accepted")
+	}
+	if !strings.Contains(FormatIntervalAblation(pts), "Ablation A5") {
+		t.Fatal("format broken")
+	}
+}

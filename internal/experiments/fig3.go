@@ -1,0 +1,152 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/rtest"
+	"repro/internal/textplot"
+	"repro/internal/tpcw"
+	"repro/internal/trace"
+)
+
+// Fig3Result reproduces Figure 3: within one run, the datapoint
+// inter-generation time tracks the client-side response time; a linear
+// model fitted on the inter-generation time predicts the RT ("Correlated
+// RT") without any client instrumentation.
+type Fig3Result struct {
+	// Time is the window center (execution time within the run).
+	Time []float64
+	// GenTime is the mean datapoint inter-generation time per window.
+	GenTime []float64
+	// ResponseTime is the mean client-observed RT per window (ground
+	// truth from the emulated-browser probes).
+	ResponseTime []float64
+	// CorrelatedRT is the linear-model estimate of RT from GenTime.
+	CorrelatedRT []float64
+	// Pearson is the GenTime↔RT correlation coefficient.
+	Pearson float64
+	// RunIndex is the history run used.
+	RunIndex int
+}
+
+// Fig3 builds the correlation experiment from a campaign result. It uses
+// the longest failed run (most dynamics) and windows both series.
+func Fig3(data *tpcw.Result, windowSec float64) (*Fig3Result, error) {
+	if windowSec <= 0 {
+		return nil, fmt.Errorf("experiments: windowSec must be positive, got %v", windowSec)
+	}
+	runIdx := -1
+	longest := 0.0
+	for i, r := range data.History.Runs {
+		if r.Failed && r.FailTime > longest {
+			longest = r.FailTime
+			runIdx = i
+		}
+	}
+	if runIdx < 0 {
+		return nil, trace.ErrNoFailedRuns
+	}
+	run := &data.History.Runs[runIdx]
+	if runIdx >= len(data.Runs) {
+		return nil, fmt.Errorf("experiments: run metadata missing for run %d", runIdx)
+	}
+	startAbs := data.Runs[runIdx].StartAbs
+	endAbs := startAbs + run.FailTime
+
+	nWin := int(run.FailTime/windowSec) + 1
+	genSum := make([]float64, nWin)
+	genCnt := make([]int, nWin)
+	rtSum := make([]float64, nWin)
+	rtCnt := make([]int, nWin)
+
+	prev := 0.0
+	for i, d := range run.Datapoints {
+		gap := d.Tgen - prev
+		prev = d.Tgen
+		if i == 0 {
+			// A run's first datapoint has no predecessor: its "gap" is
+			// the boot transient (sampler stalled by the previous run's
+			// dying machine), not a generation interval.
+			continue
+		}
+		w := int(d.Tgen / windowSec)
+		if w >= 0 && w < nWin {
+			genSum[w] += gap
+			genCnt[w]++
+		}
+	}
+	for _, s := range data.RTs {
+		if s.AbsTime < startAbs || s.AbsTime > endAbs {
+			continue
+		}
+		w := int((s.AbsTime - startAbs) / windowSec)
+		if w >= 0 && w < nWin {
+			rtSum[w] += s.RT
+			rtCnt[w]++
+		}
+	}
+
+	res := &Fig3Result{RunIndex: runIdx}
+	for w := 0; w < nWin; w++ {
+		if genCnt[w] == 0 || rtCnt[w] == 0 {
+			continue
+		}
+		res.Time = append(res.Time, (float64(w)+0.5)*windowSec)
+		res.GenTime = append(res.GenTime, genSum[w]/float64(genCnt[w]))
+		res.ResponseTime = append(res.ResponseTime, rtSum[w]/float64(rtCnt[w]))
+	}
+	if len(res.Time) < 4 {
+		return nil, fmt.Errorf("experiments: run %d too short for Fig3 (%d windows)", runIdx, len(res.Time))
+	}
+
+	// The paper's correlation process: a fast linear regression of the
+	// client RT on the inter-generation time (the same estimator package
+	// rtest exposes for production use).
+	est, err := rtest.Fit(res.GenTime, res.ResponseTime)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: Fig3 correlation fit: %w", err)
+	}
+	res.CorrelatedRT = est.EstimateSeries(res.GenTime)
+	res.Pearson = est.Pearson
+	return res, nil
+}
+
+// Format renders the three curves the way Figure 3 presents them.
+func (r *Fig3Result) Format() string {
+	p := textplot.New(
+		fmt.Sprintf("Figure 3: Response Time Correlation (run %d, Pearson r = %.3f)", r.RunIndex, r.Pearson),
+		78, 18).
+		Labels("execution time (s)", "seconds")
+	// Draw order: the correlated estimate first so the measured series
+	// stay visible where the curves coincide.
+	p.Add("Correlated RT", r.Time, r.CorrelatedRT, 'c')
+	p.Add("Generation time", r.Time, r.GenTime, 'g')
+	p.Add("Response Time", r.Time, r.ResponseTime, 'r')
+	return p.Render()
+}
+
+// GrowthRatio reports how much each series grew from the first quartile
+// of the run to the last one — the paper's qualitative claim is that both
+// generation time and RT rise together as the crash approaches.
+func (r *Fig3Result) GrowthRatio() (gen, rt float64) {
+	q := len(r.Time) / 4
+	if q == 0 {
+		return 1, 1
+	}
+	meanOf := func(xs []float64, lo, hi int) float64 {
+		var s float64
+		for _, v := range xs[lo:hi] {
+			s += v
+		}
+		return s / float64(hi-lo)
+	}
+	genEarly := meanOf(r.GenTime, 0, q)
+	genLate := meanOf(r.GenTime, len(r.GenTime)-q, len(r.GenTime))
+	rtEarly := meanOf(r.ResponseTime, 0, q)
+	rtLate := meanOf(r.ResponseTime, len(r.ResponseTime)-q, len(r.ResponseTime))
+	if genEarly <= 0 || rtEarly <= 0 {
+		return math.Inf(1), math.Inf(1)
+	}
+	return genLate / genEarly, rtLate / rtEarly
+}

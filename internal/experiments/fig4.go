@@ -1,0 +1,109 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/aggregate"
+	"repro/internal/featsel"
+	"repro/internal/textplot"
+)
+
+// Fig4Result reproduces Figure 4: the number of parameters selected by
+// Lasso regularization as λ sweeps 10⁰..10⁹.
+type Fig4Result struct {
+	Path []featsel.PathPoint
+}
+
+// Fig4 computes the regularization path on the full labeled dataset.
+func Fig4(ds *aggregate.Dataset) (*Fig4Result, error) {
+	path, err := featsel.Path(ds, featsel.LambdaGrid(0, 9))
+	if err != nil {
+		return nil, err
+	}
+	return &Fig4Result{Path: path}, nil
+}
+
+// Counts returns the per-λ selected-parameter counts.
+func (r *Fig4Result) Counts() []int {
+	out := make([]int, len(r.Path))
+	for i, p := range r.Path {
+		out[i] = p.NumSelected()
+	}
+	return out
+}
+
+// Format renders the λ-vs-count curve (log-x, like the paper's plot).
+func (r *Fig4Result) Format() string {
+	xs := make([]float64, len(r.Path))
+	ys := make([]float64, len(r.Path))
+	for i, p := range r.Path {
+		xs[i] = math.Log10(p.Lambda)
+		ys[i] = float64(p.NumSelected())
+	}
+	plot := textplot.New("Figure 4: Parameters selected by Lasso", 64, 14).
+		Labels("log10(lambda)", "selected parameters")
+	plot.Add("Number of Parameters Selected by Lasso", xs, ys, '*')
+	out := plot.Render()
+	rows := make([][]string, len(r.Path))
+	for i, p := range r.Path {
+		rows[i] = []string{fmt.Sprintf("1e%d", i), fmt.Sprintf("%d", p.NumSelected())}
+	}
+	return out + "\n" + FormatTable("", []string{"lambda", "selected"}, rows)
+}
+
+// TableIResult reproduces Table I: the non-zero feature weights at the
+// selection λ.
+type TableIResult struct {
+	Point featsel.PathPoint
+}
+
+// TableI computes the surviving weights at lambda on the full dataset.
+// When lambda kills every feature it falls back to the largest λ of the
+// 10⁰..10⁹ grid that keeps at least one, so the table is informative on
+// any machine scale (the paper's λ=10⁹ presumes its 2 GB feature scales).
+func TableI(ds *aggregate.Dataset, lambda float64) (*TableIResult, error) {
+	_, pp, err := featsel.Select(ds, lambda)
+	if err == nil {
+		return &TableIResult{Point: pp}, nil
+	}
+	if err != featsel.ErrEmptySelection {
+		return nil, err
+	}
+	path, err := featsel.Path(ds, featsel.LambdaGrid(0, 9))
+	if err != nil {
+		return nil, err
+	}
+	for i := len(path) - 1; i >= 0; i-- {
+		if path[i].NumSelected() > 0 {
+			return &TableIResult{Point: path[i]}, nil
+		}
+	}
+	return nil, fmt.Errorf("experiments: no λ in the grid keeps any feature")
+}
+
+// Format renders the weight table in the paper's layout.
+func (r *TableIResult) Format() string {
+	rows := make([][]string, 0, r.Point.NumSelected())
+	for _, w := range r.Point.SortedWeights() {
+		rows = append(rows, []string{w.Name, fmt.Sprintf("%.15f", w.Beta)})
+	}
+	title := fmt.Sprintf("Table I: weights assigned when lambda = %g", r.Point.Lambda)
+	return FormatTable(title, []string{"Parameter", "Weight"}, rows)
+}
+
+// SlopeShare returns the fraction of selected features that are slopes —
+// the paper's observation that "slopes play an important role".
+func (r *TableIResult) SlopeShare() float64 {
+	if r.Point.NumSelected() == 0 {
+		return 0
+	}
+	slopes := 0
+	for _, name := range r.Point.Selected {
+		if len(name) > len(aggregate.SlopeSuffix) &&
+			name[len(name)-len(aggregate.SlopeSuffix):] == aggregate.SlopeSuffix {
+			slopes++
+		}
+	}
+	return float64(slopes) / float64(r.Point.NumSelected())
+}

@@ -1,0 +1,110 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/textplot"
+)
+
+// Fig5Series is one panel of Figure 5: predicted vs real RTTF for one
+// model trained on all parameters.
+type Fig5Series struct {
+	Model     string
+	Observed  []float64 // real RTTF (x axis)
+	Predicted []float64 // predicted RTTF (y axis)
+	// TailMAE is the mean absolute error restricted to points whose real
+	// RTTF is below 600 s — the region the paper highlights ("the
+	// prediction error becomes very low when the actual RTTF is around
+	// 600 seconds").
+	TailMAE float64
+	// FullMAE is the mean absolute error over all points.
+	FullMAE float64
+}
+
+// Fig5Result holds the six panels (or fewer if models were skipped).
+type Fig5Result struct {
+	Panels []Fig5Series
+}
+
+// fig5Models lists the panels in the paper's order 5(a)..5(f).
+func fig5Models(selectionLambda float64) []string {
+	return []string{
+		fmt.Sprintf("lasso-lambda-%g", selectionLambda),
+		"linear",
+		"m5p",
+		"reptree",
+		"svm",
+		"svm2",
+	}
+}
+
+// Fig5 extracts predicted-vs-real series from the all-parameters family
+// of a pipeline report.
+func Fig5(rep *core.Report, selectionLambda float64) (*Fig5Result, error) {
+	out := &Fig5Result{}
+	for _, name := range fig5Models(selectionLambda) {
+		r := rep.ByName(name, core.AllParams)
+		if r == nil || r.Err != nil {
+			continue
+		}
+		s := Fig5Series{Model: r.Spec.DisplayName}
+		// Sort by observed RTTF so the series reads left-to-right.
+		type pair struct{ o, p float64 }
+		pairs := make([]pair, len(r.Observed))
+		for i := range r.Observed {
+			pairs[i] = pair{o: r.Observed[i], p: r.Predicted[i]}
+		}
+		sort.Slice(pairs, func(i, j int) bool { return pairs[i].o < pairs[j].o })
+		var tailSum float64
+		tailN := 0
+		var fullSum float64
+		for _, pr := range pairs {
+			s.Observed = append(s.Observed, pr.o)
+			s.Predicted = append(s.Predicted, pr.p)
+			err := abs(pr.p - pr.o)
+			fullSum += err
+			if pr.o <= 600 {
+				tailSum += err
+				tailN++
+			}
+		}
+		if n := len(pairs); n > 0 {
+			s.FullMAE = fullSum / float64(n)
+		}
+		if tailN > 0 {
+			s.TailMAE = tailSum / float64(tailN)
+		}
+		out.Panels = append(out.Panels, s)
+	}
+	if len(out.Panels) == 0 {
+		return nil, fmt.Errorf("experiments: no successful all-parameter models for Figure 5")
+	}
+	return out, nil
+}
+
+func abs(v float64) float64 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}
+
+// Format renders each panel as a scatter plot with the ground-truth
+// diagonal, like the paper's red curve vs green line.
+func (r *Fig5Result) Format() string {
+	var b strings.Builder
+	for i, panel := range r.Panels {
+		p := textplot.New(
+			fmt.Sprintf("Figure 5(%c): %s — fitted model (all parameters)", 'a'+i, panel.Model),
+			70, 16).
+			Labels("RTTF (s)", "Predicted RTTF (s)")
+		p.Add("predicted", panel.Observed, panel.Predicted, '*')
+		p.Add("ground truth", panel.Observed, panel.Observed, '.')
+		b.WriteString(p.Render())
+		fmt.Fprintf(&b, "MAE: full=%.1f s, RTTF<=600s tail=%.1f s\n\n", panel.FullMAE, panel.TailMAE)
+	}
+	return b.String()
+}

@@ -1,0 +1,225 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (§IV) on the simulated test-bed, plus the ablations listed
+// in DESIGN.md. Each experiment has a Run function returning structured
+// results and a Format function rendering the paper-style table/plot.
+//
+// Experiment index (see DESIGN.md §4):
+//
+//	Fig3   — response-time vs datapoint inter-generation time correlation
+//	Fig4   — number of parameters selected by Lasso vs λ
+//	TableI — feature weights at the selection λ
+//	TableII/III/IV — S-MAE / training time / validation time per model
+//	Fig5   — predicted vs real RTTF per model
+//	AblationWindow / AblationSlopes / AblationThreshold / AblationRuns
+package experiments
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/aggregate"
+	"repro/internal/core"
+	"repro/internal/featsel"
+	"repro/internal/tpcw"
+)
+
+// Config scales the whole experiment suite.
+type Config struct {
+	// Seed drives the test-bed campaign.
+	Seed uint64
+	// TotalVirtualSec is the campaign length in virtual seconds (the
+	// paper ran one real week; the default here is a virtual ~28 h,
+	// which yields a comparable number of failure runs in seconds of
+	// wall time).
+	TotalVirtualSec float64
+	// WindowSec is the aggregation window (paper §III-B).
+	WindowSec float64
+	// SelectionLambda is the λ used for Table I and the reduced
+	// training sets. The paper tabulates λ=10⁹, but its eq. (2) carries
+	// a 1/n factor the published λ axis is evidently missing: with
+	// n≈3×10³ aggregated datapoints, the normalized objective shifts
+	// the whole path left by log10(n/2)≈3.2 decades, so our λ=10⁵
+	// corresponds to the paper's λ=10⁹ (and indeed keeps the same ~6
+	// memory-dominated features; see EXPERIMENTS.md).
+	SelectionLambda float64
+	// SMAEFraction is the S-MAE tolerance fraction (paper: 10%).
+	SMAEFraction float64
+	// ValidationFrac is the held-out fraction of runs.
+	ValidationFrac float64
+	// Parallelism bounds concurrent model training.
+	Parallelism int
+	// IncludeSVMs toggles the two (slow) SVM learners; tests disable
+	// them to stay fast.
+	IncludeSVMs bool
+	// Testbed overrides the test-bed configuration; nil uses
+	// tpcw.DefaultTestbedConfig(Seed).
+	Testbed *tpcw.TestbedConfig
+}
+
+// DefaultConfig is the full-scale suite used by cmd/experiments and the
+// benchmarks.
+func DefaultConfig() Config {
+	return Config{
+		Seed:            2015, // IPDPS workshop year
+		TotalVirtualSec: 100_000,
+		WindowSec:       30,
+		SelectionLambda: 1e5,
+		SMAEFraction:    0.10,
+		ValidationFrac:  0.3,
+		// Serial training: Tables III/IV report wall-clock times, which
+		// parallel workers would contend over. Set > 1 when only the
+		// accuracy tables matter.
+		Parallelism: 1,
+		IncludeSVMs: true,
+	}
+}
+
+// QuickConfig is a reduced suite for tests: smaller machine, shorter
+// campaign, no SVMs, and a λ matched to the smaller feature scales.
+func QuickConfig() Config {
+	cfg := DefaultConfig()
+	cfg.TotalVirtualSec = 15_000
+	cfg.IncludeSVMs = false
+	tb := tpcw.DefaultTestbedConfig(cfg.Seed)
+	tb.Machine.TotalMemKB = 384 * 1024
+	tb.Machine.TotalSwapKB = 192 * 1024
+	tb.Machine.BaseUsedKB = 96 * 1024
+	tb.Machine.BaseSharedKB = 12 * 1024
+	tb.Machine.BaseBuffersKB = 12 * 1024
+	tb.Machine.MinCacheKB = 12 * 1024
+	tb.NumBrowsers = 12
+	tb.Browser.ThinkMeanSec = 2
+	tb.LeakProbRange = [2]float64{0.45, 0.95}
+	tb.LeakSizeKBRange = [2]float64{512, 2048}
+	tb.RebootDelaySec = 20
+	cfg.Testbed = &tb
+	cfg.SelectionLambda = 1e5
+	cfg.WindowSec = 15
+	return cfg
+}
+
+// Artifacts bundles everything the experiments derive from one campaign.
+type Artifacts struct {
+	Config Config
+	// Data is the raw test-bed output (history + RT probes + run infos).
+	Data *tpcw.Result
+	// Dataset is the aggregated, labeled dataset (all failed runs).
+	Dataset *aggregate.Dataset
+	// Report is the full pipeline output (all models, both families).
+	Report *core.Report
+}
+
+var cache struct {
+	sync.Mutex
+	m map[string]*Artifacts
+}
+
+func cacheKey(cfg Config) string {
+	tb := "default"
+	if cfg.Testbed != nil {
+		tb = fmt.Sprintf("custom-%dbr-%.0fmem", cfg.Testbed.NumBrowsers, cfg.Testbed.Machine.TotalMemKB)
+	}
+	return fmt.Sprintf("%d|%.0f|%.0f|%g|%g|%g|%v|%s",
+		cfg.Seed, cfg.TotalVirtualSec, cfg.WindowSec, cfg.SelectionLambda,
+		cfg.SMAEFraction, cfg.ValidationFrac, cfg.IncludeSVMs, tb)
+}
+
+// Build generates (or returns cached) artifacts for a configuration. The
+// cache lets the per-table benchmarks share one campaign instead of
+// re-simulating it for every testing.B iteration.
+func Build(cfg Config) (*Artifacts, error) {
+	key := cacheKey(cfg)
+	cache.Lock()
+	defer cache.Unlock()
+	if cache.m == nil {
+		cache.m = make(map[string]*Artifacts)
+	}
+	if a, ok := cache.m[key]; ok {
+		return a, nil
+	}
+	a, err := build(cfg)
+	if err != nil {
+		return nil, err
+	}
+	cache.m[key] = a
+	return a, nil
+}
+
+// ClearCache drops all cached artifacts (tests use it to force rebuilds).
+func ClearCache() {
+	cache.Lock()
+	defer cache.Unlock()
+	cache.m = nil
+}
+
+func build(cfg Config) (*Artifacts, error) {
+	data, err := GenerateData(cfg)
+	if err != nil {
+		return nil, err
+	}
+	ds, err := aggregate.Aggregate(&data.History, aggregate.Config{
+		WindowSec:       cfg.WindowSec,
+		IncludeSlopes:   true,
+		IncludeIntergen: true,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("experiments: aggregation: %w", err)
+	}
+	ds = aggregate.DropUnlabeled(ds)
+
+	pipeCfg := pipelineConfig(cfg)
+	pipe, err := core.New(pipeCfg)
+	if err != nil {
+		return nil, err
+	}
+	report, err := pipe.Run(&data.History)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: pipeline: %w", err)
+	}
+	return &Artifacts{Config: cfg, Data: data, Dataset: ds, Report: report}, nil
+}
+
+// GenerateData runs the test-bed campaign only (no ML).
+func GenerateData(cfg Config) (*tpcw.Result, error) {
+	tbCfg := tpcw.DefaultTestbedConfig(cfg.Seed)
+	if cfg.Testbed != nil {
+		tbCfg = *cfg.Testbed
+		tbCfg.Seed = cfg.Seed
+	}
+	tb, err := tpcw.NewTestbed(tbCfg)
+	if err != nil {
+		return nil, err
+	}
+	res, err := tb.Run(cfg.TotalVirtualSec)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: test-bed: %w", err)
+	}
+	if len(res.History.FailedRuns()) < 3 {
+		return nil, fmt.Errorf("experiments: campaign produced only %d failed runs; increase TotalVirtualSec", len(res.History.FailedRuns()))
+	}
+	return res, nil
+}
+
+// pipelineConfig translates the suite configuration into a core.Config.
+func pipelineConfig(cfg Config) core.Config {
+	pc := core.DefaultConfig()
+	pc.Aggregation.WindowSec = cfg.WindowSec
+	pc.ValidationFrac = cfg.ValidationFrac
+	pc.SMAEFraction = cfg.SMAEFraction
+	pc.SelectionLambda = cfg.SelectionLambda
+	pc.FeatureLambdas = featsel.LambdaGrid(0, 9)
+	pc.Parallelism = cfg.Parallelism
+	models := core.DefaultModels(pc.FeatureLambdas)
+	if !cfg.IncludeSVMs {
+		var kept []core.ModelSpec
+		for _, m := range models {
+			if m.Name == "svm" || m.Name == "svm2" {
+				continue
+			}
+			kept = append(kept, m)
+		}
+		models = kept
+	}
+	pc.Models = models
+	return pc
+}

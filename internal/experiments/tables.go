@@ -1,0 +1,114 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+)
+
+// TableRow is one model's entry in Tables II-IV, carrying both
+// feature-set families side by side like the paper's two-column layout.
+type TableRow struct {
+	Model string
+	// All and Lasso are the metric values for the "using all
+	// parameters" and "using only parameters selected by Lasso"
+	// families; NaN-like -1 marks a missing family.
+	All, Lasso float64
+}
+
+// TablesResult bundles Tables II (S-MAE), III (training time) and IV
+// (validation time) extracted from one pipeline report.
+type TablesResult struct {
+	SMAEThreshold float64
+	SMAE          []TableRow // seconds
+	TrainingTime  []TableRow // seconds
+	ValidationOne []TableRow // seconds
+}
+
+// Tables extracts the three tables from a pipeline report.
+func Tables(rep *core.Report) *TablesResult {
+	res := &TablesResult{SMAEThreshold: rep.SMAEThreshold}
+	seen := map[string]bool{}
+	var order []string
+	for _, r := range rep.Results {
+		if !seen[r.Spec.Name] {
+			seen[r.Spec.Name] = true
+			order = append(order, r.Spec.Name)
+		}
+	}
+	get := func(name string, fs core.FeatureSet, metric func(*core.ModelResult) float64) float64 {
+		r := rep.ByName(name, fs)
+		if r == nil || r.Err != nil {
+			return -1
+		}
+		return metric(r)
+	}
+	for _, name := range order {
+		display := name
+		if r := rep.ByName(name, core.AllParams); r != nil {
+			display = r.Spec.DisplayName
+		}
+		res.SMAE = append(res.SMAE, TableRow{
+			Model: display,
+			All:   get(name, core.AllParams, func(r *core.ModelResult) float64 { return r.Report.SoftMAE }),
+			Lasso: get(name, core.LassoParams, func(r *core.ModelResult) float64 { return r.Report.SoftMAE }),
+		})
+		res.TrainingTime = append(res.TrainingTime, TableRow{
+			Model: display,
+			All:   get(name, core.AllParams, func(r *core.ModelResult) float64 { return r.Report.TrainingTime.Seconds() }),
+			Lasso: get(name, core.LassoParams, func(r *core.ModelResult) float64 { return r.Report.TrainingTime.Seconds() }),
+		})
+		res.ValidationOne = append(res.ValidationOne, TableRow{
+			Model: display,
+			All:   get(name, core.AllParams, func(r *core.ModelResult) float64 { return r.Report.ValidationTime.Seconds() }),
+			Lasso: get(name, core.LassoParams, func(r *core.ModelResult) float64 { return r.Report.ValidationTime.Seconds() }),
+		})
+	}
+	return res
+}
+
+func formatRows(rows []TableRow, decimals int) [][]string {
+	out := make([][]string, 0, len(rows))
+	f := func(v float64) string {
+		if v < 0 {
+			return "n/a"
+		}
+		return fmt.Sprintf("%.*f", decimals, v)
+	}
+	for _, r := range rows {
+		out = append(out, []string{r.Model, f(r.All), f(r.Lasso)})
+	}
+	return out
+}
+
+// FormatSMAE renders Table II.
+func (t *TablesResult) FormatSMAE() string {
+	title := fmt.Sprintf("Table II: Soft Mean Absolute Error — threshold %.1f s (10%% of mean RTTF)", t.SMAEThreshold)
+	return FormatTable(title,
+		[]string{"Algorithm", "All params (s)", "Lasso-selected (s)"},
+		formatRows(t.SMAE, 3))
+}
+
+// FormatTrainingTime renders Table III.
+func (t *TablesResult) FormatTrainingTime() string {
+	return FormatTable("Table III: Training Time",
+		[]string{"Algorithm", "All params (s)", "Lasso-selected (s)"},
+		formatRows(t.TrainingTime, 4))
+}
+
+// FormatValidationTime renders Table IV.
+func (t *TablesResult) FormatValidationTime() string {
+	return FormatTable("Table IV: Validation Time",
+		[]string{"Algorithm", "All params (s)", "Lasso-selected (s)"},
+		formatRows(t.ValidationOne, 4))
+}
+
+// Find returns the row whose model display name matches, or nil.
+func Find(rows []TableRow, model string) *TableRow {
+	for i := range rows {
+		if rows[i].Model == model {
+			return &rows[i]
+		}
+	}
+	return nil
+}

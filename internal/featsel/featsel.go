@@ -1,0 +1,130 @@
+// Package featsel implements F2PM's feature selection phase
+// (paper §III-C): Lasso regularization is run over a grid of λ values;
+// for each λ the features whose β entries are non-zero form a candidate
+// training set. Increasing λ zeroes more weights, shrinking the selected
+// set (the paper's Figure 4); the surviving weights at a given λ are the
+// paper's Table I.
+package featsel
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/aggregate"
+	"repro/internal/ml/lasso"
+)
+
+// PathPoint is the outcome of Lasso regularization at one λ.
+type PathPoint struct {
+	// Lambda is the regularization factor.
+	Lambda float64
+	// Selected lists the surviving column names in dataset order.
+	Selected []string
+	// Weights maps each surviving column to its β entry.
+	Weights map[string]float64
+	// Iterations is the number of coordinate-descent sweeps used.
+	Iterations int
+}
+
+// NumSelected returns the size of the selected set.
+func (p *PathPoint) NumSelected() int { return len(p.Selected) }
+
+// SortedWeights returns the selected (name, weight) pairs ordered by
+// ascending |weight|, the presentation order of the paper's Table I.
+func (p *PathPoint) SortedWeights() []Weight {
+	out := make([]Weight, 0, len(p.Selected))
+	for _, name := range p.Selected {
+		out = append(out, Weight{Name: name, Beta: p.Weights[name]})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		ai, aj := math.Abs(out[i].Beta), math.Abs(out[j].Beta)
+		if ai != aj {
+			return ai < aj
+		}
+		return out[i].Name < out[j].Name
+	})
+	return out
+}
+
+// Weight is one surviving feature weight.
+type Weight struct {
+	Name string
+	Beta float64
+}
+
+// LambdaGrid returns the paper's λ̄ vector: powers of ten from 10^loExp
+// to 10^hiExp inclusive (Figure 4 uses 10⁰..10⁹).
+func LambdaGrid(loExp, hiExp int) []float64 {
+	if hiExp < loExp {
+		loExp, hiExp = hiExp, loExp
+	}
+	out := make([]float64, 0, hiExp-loExp+1)
+	for e := loExp; e <= hiExp; e++ {
+		out = append(out, math.Pow(10, float64(e)))
+	}
+	return out
+}
+
+// Path runs Lasso regularization at every λ in lambdas (ascending order
+// recommended; warm starts chain consecutive fits). The dataset must
+// carry finite RTTF labels.
+func Path(ds *aggregate.Dataset, lambdas []float64) ([]PathPoint, error) {
+	if ds.NumRows() == 0 {
+		return nil, aggregate.ErrNoData
+	}
+	if len(lambdas) == 0 {
+		return nil, fmt.Errorf("featsel: empty lambda grid")
+	}
+	for _, l := range lambdas {
+		if l < 0 || math.IsNaN(l) {
+			return nil, fmt.Errorf("featsel: invalid lambda %v", l)
+		}
+	}
+	// One model reused across the grid: each Fit warm-starts from the
+	// previous λ's solution, the standard regularization-path trick.
+	m, err := lasso.New(lasso.DefaultOptions(lambdas[0]))
+	if err != nil {
+		return nil, err
+	}
+	out := make([]PathPoint, 0, len(lambdas))
+	for _, lam := range lambdas {
+		if err := m.SetLambda(lam); err != nil {
+			return nil, err
+		}
+		if err := m.Fit(ds.X, ds.RTTF); err != nil {
+			return nil, fmt.Errorf("featsel: lasso at lambda %g: %w", lam, err)
+		}
+		pp := PathPoint{Lambda: lam, Weights: map[string]float64{}, Iterations: m.Iterations}
+		for _, idx := range m.Selected() {
+			name := ds.ColNames[idx]
+			pp.Selected = append(pp.Selected, name)
+			pp.Weights[name] = m.Coef[idx]
+		}
+		out = append(out, pp)
+	}
+	return out, nil
+}
+
+// Select runs Lasso regularization at a single λ and returns the
+// projection of the dataset onto the surviving features, plus the path
+// point describing them. If the selection is empty, the dataset is
+// returned unchanged with an empty path point and ErrEmptySelection.
+func Select(ds *aggregate.Dataset, lambda float64) (*aggregate.Dataset, PathPoint, error) {
+	pts, err := Path(ds, []float64{lambda})
+	if err != nil {
+		return nil, PathPoint{}, err
+	}
+	pp := pts[0]
+	if pp.NumSelected() == 0 {
+		return ds, pp, ErrEmptySelection
+	}
+	proj, err := ds.Project(pp.Selected)
+	if err != nil {
+		return nil, pp, err
+	}
+	return proj, pp, nil
+}
+
+// ErrEmptySelection is returned by Select when λ kills every feature.
+var ErrEmptySelection = fmt.Errorf("featsel: lambda removed every feature")

@@ -1,0 +1,163 @@
+package featsel
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"repro/internal/aggregate"
+	"repro/internal/randx"
+)
+
+// syntheticDataset builds an aggregated-style dataset with columns on
+// paper-like scales: two memory-scale columns (~1e6), two cpu-scale
+// columns (~1e2), and one slope-scale column (~1e1). RTTF depends
+// strongly on columns 0 and 2, weakly on 4.
+func syntheticDataset(n int, seed uint64) *aggregate.Dataset {
+	src := randx.New(seed)
+	ds := &aggregate.Dataset{
+		ColNames: []string{"mem_free", "mem_cached", "cpu_iowait", "cpu_user", "swap_used_slope"},
+	}
+	for i := 0; i < n; i++ {
+		memFree := src.Uniform(1e5, 2e6)
+		memCached := src.Uniform(1e5, 8e5)
+		iow := src.Uniform(0, 60)
+		user := src.Uniform(0, 90)
+		slope := src.Uniform(-20, 20)
+		rttf := 3e-4*memFree + 8.0*iow + 2.0*slope + src.Norm(0, 15)
+		ds.X = append(ds.X, []float64{memFree, memCached, iow, user, slope})
+		ds.RTTF = append(ds.RTTF, rttf)
+		ds.Run = append(ds.Run, 0)
+		ds.AggTgen = append(ds.AggTgen, float64(i))
+	}
+	return ds
+}
+
+func TestLambdaGrid(t *testing.T) {
+	g := LambdaGrid(0, 9)
+	if len(g) != 10 || g[0] != 1 || g[9] != 1e9 {
+		t.Fatalf("grid = %v", g)
+	}
+	// Reversed bounds are normalized.
+	g2 := LambdaGrid(3, 1)
+	if len(g2) != 3 || g2[0] != 10 || g2[2] != 1000 {
+		t.Fatalf("reversed grid = %v", g2)
+	}
+}
+
+func TestPathMonotoneSelection(t *testing.T) {
+	ds := syntheticDataset(400, 1)
+	pts, err := Path(ds, LambdaGrid(0, 9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 10 {
+		t.Fatalf("points = %d", len(pts))
+	}
+	prev := math.MaxInt
+	for _, p := range pts {
+		if p.NumSelected() > prev {
+			t.Fatalf("selection grew along path at lambda %g: %d > %d", p.Lambda, p.NumSelected(), prev)
+		}
+		prev = p.NumSelected()
+	}
+	if pts[0].NumSelected() < 3 {
+		t.Fatalf("low lambda selected only %d", pts[0].NumSelected())
+	}
+	if last := pts[len(pts)-1].NumSelected(); last >= pts[0].NumSelected() {
+		t.Fatalf("high lambda did not shrink selection: %d", last)
+	}
+}
+
+func TestPathWeightsMatchSelection(t *testing.T) {
+	ds := syntheticDataset(300, 2)
+	pts, err := Path(ds, []float64{100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := pts[0]
+	if len(p.Weights) != len(p.Selected) {
+		t.Fatalf("weights %d vs selected %d", len(p.Weights), len(p.Selected))
+	}
+	for _, name := range p.Selected {
+		if p.Weights[name] == 0 {
+			t.Fatalf("selected feature %q has zero weight", name)
+		}
+	}
+	// SortedWeights ascending by |beta|.
+	sw := p.SortedWeights()
+	for i := 1; i < len(sw); i++ {
+		if math.Abs(sw[i].Beta) < math.Abs(sw[i-1].Beta) {
+			t.Fatal("SortedWeights not ascending")
+		}
+	}
+}
+
+func TestPathErrors(t *testing.T) {
+	ds := syntheticDataset(50, 3)
+	if _, err := Path(ds, nil); err == nil {
+		t.Fatal("empty grid accepted")
+	}
+	if _, err := Path(ds, []float64{-1}); err == nil {
+		t.Fatal("negative lambda accepted")
+	}
+	empty := &aggregate.Dataset{ColNames: ds.ColNames}
+	if _, err := Path(empty, []float64{1}); !errors.Is(err, aggregate.ErrNoData) {
+		t.Fatalf("empty dataset err = %v", err)
+	}
+}
+
+func TestSelectProjects(t *testing.T) {
+	ds := syntheticDataset(400, 4)
+	proj, pp, err := Select(ds, 1e3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if proj.NumCols() != pp.NumSelected() {
+		t.Fatalf("projection has %d cols, path point %d", proj.NumCols(), pp.NumSelected())
+	}
+	if proj.NumRows() != ds.NumRows() {
+		t.Fatal("projection changed row count")
+	}
+	for i, name := range pp.Selected {
+		if proj.ColNames[i] != name {
+			t.Fatal("projection order mismatch")
+		}
+	}
+}
+
+func TestSelectEmptySelection(t *testing.T) {
+	ds := syntheticDataset(100, 5)
+	got, pp, err := Select(ds, 1e15)
+	if !errors.Is(err, ErrEmptySelection) {
+		t.Fatalf("err = %v, want ErrEmptySelection", err)
+	}
+	if pp.NumSelected() != 0 {
+		t.Fatalf("selected = %d", pp.NumSelected())
+	}
+	if got != ds {
+		t.Fatal("empty selection should return original dataset")
+	}
+}
+
+func TestPathDeterminism(t *testing.T) {
+	ds := syntheticDataset(200, 6)
+	a, err := Path(ds, LambdaGrid(0, 5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Path(ds, LambdaGrid(0, 5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a {
+		if a[i].NumSelected() != b[i].NumSelected() {
+			t.Fatal("path not deterministic")
+		}
+		for name, w := range a[i].Weights {
+			if b[i].Weights[name] != w {
+				t.Fatal("weights not deterministic")
+			}
+		}
+	}
+}

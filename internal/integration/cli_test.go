@@ -1,0 +1,151 @@
+package integration
+
+import (
+	"bytes"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// buildTool compiles one cmd/ binary into a temp dir.
+func buildTool(t *testing.T, dir, name string) string {
+	t.Helper()
+	bin := filepath.Join(dir, name)
+	cmd := exec.Command("go", "build", "-o", bin, "repro/cmd/"+name)
+	cmd.Dir = moduleRoot(t)
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("building %s: %v\n%s", name, err, out)
+	}
+	return bin
+}
+
+// moduleRoot walks up from the working directory to the go.mod.
+func moduleRoot(t *testing.T) string {
+	t.Helper()
+	dir, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			t.Fatal("go.mod not found above working directory")
+		}
+		dir = parent
+	}
+}
+
+// TestCLIPipeline drives the real binaries: tpcwsim generates a CSV,
+// f2pm trains on it and saves the best model.
+func TestCLIPipeline(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and runs real binaries")
+	}
+	dir := t.TempDir()
+	tpcwsim := buildTool(t, dir, "tpcwsim")
+	f2pmBin := buildTool(t, dir, "f2pm")
+
+	csvPath := filepath.Join(dir, "history.csv")
+	sim := exec.Command(tpcwsim,
+		"-seed", "3", "-duration", "9000", "-out", csvPath,
+		"-browsers", "12", "-mem-mb", "384", "-swap-mb", "192", "-q")
+	if out, err := sim.CombinedOutput(); err != nil {
+		t.Fatalf("tpcwsim: %v\n%s", err, out)
+	}
+	if fi, err := os.Stat(csvPath); err != nil || fi.Size() == 0 {
+		t.Fatalf("tpcwsim wrote nothing: %v", err)
+	}
+
+	modelPath := filepath.Join(dir, "best.model")
+	train := exec.Command(f2pmBin,
+		"-in", csvPath, "-window", "15", "-lambda", "1e5",
+		"-fast", "-parallel", "1", "-save-model", modelPath)
+	var stdout bytes.Buffer
+	train.Stdout = &stdout
+	train.Stderr = &stdout
+	if err := train.Run(); err != nil {
+		t.Fatalf("f2pm: %v\n%s", err, stdout.String())
+	}
+	out := stdout.String()
+	for _, want := range []string{"best model:", "S-MAE", "Lasso regularization path", "saved model to"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("f2pm output missing %q:\n%s", want, out)
+		}
+	}
+	if fi, err := os.Stat(modelPath); err != nil || fi.Size() == 0 {
+		t.Fatalf("model file not written: %v", err)
+	}
+}
+
+// TestCLIExperimentsQuick smoke-tests the experiments binary at reduced
+// scale.
+func TestCLIExperimentsQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and runs real binaries")
+	}
+	dir := t.TempDir()
+	bin := buildTool(t, dir, "experiments")
+	cmd := exec.Command(bin, "-quick", "-run", "fig4,table1")
+	var stdout bytes.Buffer
+	cmd.Stdout = &stdout
+	cmd.Stderr = &stdout
+	if err := cmd.Run(); err != nil {
+		t.Fatalf("experiments: %v\n%s", err, stdout.String())
+	}
+	out := stdout.String()
+	for _, want := range []string{"Figure 4", "Table I", "lambda"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("experiments output missing %q", want)
+		}
+	}
+}
+
+// TestCLIPredictReplay drives the full deployment path: tpcwsim → f2pm
+// -save-model → predict -replay with a rejuvenation action threshold.
+func TestCLIPredictReplay(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and runs real binaries")
+	}
+	dir := t.TempDir()
+	tpcwsim := buildTool(t, dir, "tpcwsim")
+	f2pmBin := buildTool(t, dir, "f2pm")
+	predict := buildTool(t, dir, "predict")
+
+	csvPath := filepath.Join(dir, "history.csv")
+	if out, err := exec.Command(tpcwsim,
+		"-seed", "9", "-duration", "9000", "-out", csvPath,
+		"-browsers", "12", "-mem-mb", "384", "-swap-mb", "192", "-q").CombinedOutput(); err != nil {
+		t.Fatalf("tpcwsim: %v\n%s", err, out)
+	}
+	modelPath := filepath.Join(dir, "best.model")
+	// Train all-params only so the replayed live rows match the model.
+	if out, err := exec.Command(f2pmBin,
+		"-in", csvPath, "-window", "15", "-lambda", "0",
+		"-fast", "-parallel", "1", "-save-model", modelPath).CombinedOutput(); err != nil {
+		t.Fatalf("f2pm: %v\n%s", err, out)
+	}
+
+	marker := filepath.Join(dir, "acted")
+	cmd := exec.Command(predict,
+		"-model", modelPath, "-replay", csvPath, "-window", "15",
+		"-act-below", "60", "-action", "touch "+marker,
+		"-max-predictions", "200")
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("predict: %v\n%s", err, out)
+	}
+	if !strings.Contains(string(out), "predicted_rttf=") {
+		t.Fatalf("no predictions emitted:\n%s", out)
+	}
+	// The replay includes runs approaching failure, so the action must
+	// have fired at least once.
+	if _, err := os.Stat(marker); err != nil {
+		t.Fatalf("rejuvenation action never fired:\n%s", out)
+	}
+}

@@ -1,0 +1,239 @@
+// Package integration ties the full F2PM stack together end to end:
+// the simulated test-bed generates a data history; the history is
+// replayed through the real TCP FMC/FMS monitor; the server-assembled
+// copy feeds the pipeline; the best model round-trips through the
+// persistence layer; and the restored model predicts on a live
+// aggregated stream. This is the deployment story a downstream user
+// follows, exercised in one test.
+package integration
+
+import (
+	"bytes"
+	"math"
+	"testing"
+	"time"
+
+	"repro/internal/aggregate"
+	"repro/internal/core"
+	"repro/internal/metrics"
+	"repro/internal/ml/modelio"
+	"repro/internal/monitor"
+	"repro/internal/rtest"
+	"repro/internal/tpcw"
+	"repro/internal/trace"
+)
+
+func simulate(t *testing.T, seed uint64, totalSec float64) *tpcw.Result {
+	t.Helper()
+	cfg := tpcw.DefaultTestbedConfig(seed)
+	cfg.Machine.TotalMemKB = 384 * 1024
+	cfg.Machine.TotalSwapKB = 192 * 1024
+	cfg.Machine.BaseUsedKB = 96 * 1024
+	cfg.Machine.BaseSharedKB = 12 * 1024
+	cfg.Machine.BaseBuffersKB = 12 * 1024
+	cfg.Machine.MinCacheKB = 12 * 1024
+	cfg.NumBrowsers = 12
+	cfg.Browser.ThinkMeanSec = 2
+	cfg.LeakProbRange = [2]float64{0.5, 0.9}
+	cfg.LeakSizeKBRange = [2]float64{512, 2048}
+	cfg.RebootDelaySec = 20
+	tb, err := tpcw.NewTestbed(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := tb.Run(totalSec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+// replayThroughMonitor ships a history over real TCP and returns the
+// server-side assembly.
+func replayThroughMonitor(t *testing.T, h *trace.History) *trace.History {
+	t.Helper()
+	srv, err := monitor.NewServer("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	cli, err := monitor.Dial(srv.Addr(), "integration")
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantRuns := 0
+	for _, run := range h.Runs {
+		if !run.Failed {
+			continue // replay only completed runs
+		}
+		wantRuns++
+		for i := range run.Datapoints {
+			if err := cli.SendDatapoint(&run.Datapoints[i]); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := cli.SendFail(run.FailTime); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := cli.Close(); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(15 * time.Second)
+	for time.Now().Before(deadline) {
+		got, ok := srv.History("integration")
+		if ok && len(got.FailedRuns()) == wantRuns {
+			return got
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatal("monitor did not assemble the replayed history")
+	return nil
+}
+
+func TestFullStack(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration test")
+	}
+	// 1. Simulate the test-bed campaign.
+	res := simulate(t, 2024, 10_000)
+	failed := res.History.FailedRuns()
+	if len(failed) < 4 {
+		t.Fatalf("campaign produced only %d failed runs", len(failed))
+	}
+
+	// 2. Replay through the real TCP monitor and verify fidelity.
+	assembled := replayThroughMonitor(t, &res.History)
+	if assembled.TotalDatapoints() != (&trace.History{Runs: failed}).TotalDatapoints() {
+		t.Fatal("monitor lost datapoints")
+	}
+	for i := range failed {
+		if assembled.Runs[i].FailTime != failed[i].FailTime {
+			t.Fatalf("run %d fail time drifted through the wire", i)
+		}
+		for j := range failed[i].Datapoints {
+			if assembled.Runs[i].Datapoints[j] != failed[i].Datapoints[j] {
+				t.Fatalf("run %d datapoint %d drifted through the wire", i, j)
+			}
+		}
+	}
+
+	// 3. Train on the server-assembled history.
+	cfg := core.DefaultConfig()
+	cfg.Aggregation.WindowSec = 15
+	cfg.SelectionLambda = 0
+	cfg.FeatureLambdas = nil
+	cfg.Models = core.DefaultModels(nil)[:3]
+	pipe, err := core.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := pipe.Run(assembled)
+	if err != nil {
+		t.Fatal(err)
+	}
+	best := rep.Best()
+	if best == nil || best.Report.RAE >= 1 {
+		t.Fatalf("pipeline produced no useful model (best=%v)", best)
+	}
+
+	// 4. Persist and restore the model.
+	var buf bytes.Buffer
+	if err := modelio.Save(&buf, best.Model); err != nil {
+		t.Fatal(err)
+	}
+	restored, err := modelio.Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// 5. Live prediction with the restored model on a held-out-style
+	// stream (first failed run).
+	la, err := aggregate.NewLiveAggregator(cfg.Aggregation)
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := failed[0]
+	var predicted, observed []float64
+	for _, d := range run.Datapoints {
+		if row, tgen, ok := la.Push(d); ok {
+			p := restored.Predict(row)
+			if math.IsNaN(p) {
+				t.Fatal("restored model predicts NaN")
+			}
+			predicted = append(predicted, p)
+			observed = append(observed, run.FailTime-tgen)
+		}
+	}
+	if len(predicted) < 5 {
+		t.Fatalf("only %d live predictions", len(predicted))
+	}
+	rae, err := metrics.RAE(predicted, observed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rae >= 1.2 {
+		t.Fatalf("live RAE %v — restored model useless on live stream", rae)
+	}
+
+	// 6. Response-time estimation (§III-B) from the same campaign.
+	var st, gaps, rtT, rts []float64
+	prev := 0.0
+	runStart := res.Runs[0].StartAbs
+	for i, d := range run.Datapoints {
+		if i > 0 {
+			st = append(st, d.Tgen)
+			gaps = append(gaps, d.Tgen-prev)
+		}
+		prev = d.Tgen
+	}
+	for _, s := range res.RTs {
+		if s.AbsTime >= runStart && s.AbsTime <= runStart+run.FailTime {
+			rtT = append(rtT, s.AbsTime-runStart)
+			rts = append(rts, s.RT)
+		}
+	}
+	g, r, err := rtest.WindowPairs(st, gaps, rtT, rts, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	est, err := rtest.Fit(g, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est.Pearson < 0.3 {
+		t.Fatalf("intergen↔RT correlation too weak end-to-end: %v", est.Pearson)
+	}
+}
+
+func TestCSVThroughPipeline(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration test")
+	}
+	// Simulate → CSV → reload → pipeline: the cmd/tpcwsim + cmd/f2pm
+	// path without the process boundary.
+	res := simulate(t, 5, 8_000)
+	var buf bytes.Buffer
+	if err := trace.WriteCSV(&buf, &res.History); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := trace.ReadCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := core.DefaultConfig()
+	cfg.Aggregation.WindowSec = 15
+	cfg.SelectionLambda = 1e5
+	cfg.Models = core.DefaultModels(nil)[:3]
+	pipe, err := core.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := pipe.Run(loaded)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Best() == nil {
+		t.Fatal("no model from CSV round trip")
+	}
+}

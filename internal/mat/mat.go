@@ -1,0 +1,419 @@
+// Package mat implements the dense linear algebra needed by the F2PM
+// learners: column-major-free simple dense matrices, Cholesky
+// factorization for symmetric positive-definite systems (LS-SVM, ridge
+// fallback), and Householder QR for least-squares (linear regression).
+//
+// The package is deliberately small: it implements exactly the operations
+// the learners need, with clear failure modes (ErrSingular,
+// ErrNotPositiveDefinite) instead of NaN propagation.
+package mat
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Errors reported by the solvers.
+var (
+	ErrShape               = errors.New("mat: dimension mismatch")
+	ErrSingular            = errors.New("mat: matrix is singular to working precision")
+	ErrNotPositiveDefinite = errors.New("mat: matrix is not positive definite")
+	ErrNonSquare           = errors.New("mat: matrix is not square")
+	ErrUnderdetermined     = errors.New("mat: fewer rows than columns in least squares")
+	errNegativeDimension   = errors.New("mat: negative dimension")
+)
+
+// Dense is a row-major dense matrix.
+type Dense struct {
+	rows, cols int
+	data       []float64 // len rows*cols
+}
+
+// NewDense creates an r×c zero matrix. It panics on negative dimensions.
+func NewDense(r, c int) *Dense {
+	if r < 0 || c < 0 {
+		panic(errNegativeDimension)
+	}
+	return &Dense{rows: r, cols: c, data: make([]float64, r*c)}
+}
+
+// FromRows builds a matrix from row slices. All rows must have equal
+// length. The data is copied.
+func FromRows(rows [][]float64) (*Dense, error) {
+	if len(rows) == 0 {
+		return NewDense(0, 0), nil
+	}
+	c := len(rows[0])
+	m := NewDense(len(rows), c)
+	for i, row := range rows {
+		if len(row) != c {
+			return nil, fmt.Errorf("%w: row %d has %d columns, want %d", ErrShape, i, len(row), c)
+		}
+		copy(m.data[i*c:(i+1)*c], row)
+	}
+	return m, nil
+}
+
+// Identity returns the n×n identity matrix.
+func Identity(n int) *Dense {
+	m := NewDense(n, n)
+	for i := 0; i < n; i++ {
+		m.data[i*n+i] = 1
+	}
+	return m
+}
+
+// Rows returns the number of rows.
+func (m *Dense) Rows() int { return m.rows }
+
+// Cols returns the number of columns.
+func (m *Dense) Cols() int { return m.cols }
+
+// At returns element (i, j).
+func (m *Dense) At(i, j int) float64 { return m.data[i*m.cols+j] }
+
+// Set assigns element (i, j).
+func (m *Dense) Set(i, j int, v float64) { m.data[i*m.cols+j] = v }
+
+// Row returns a view of row i (shared backing array).
+func (m *Dense) Row(i int) []float64 { return m.data[i*m.cols : (i+1)*m.cols] }
+
+// Clone returns a deep copy of m.
+func (m *Dense) Clone() *Dense {
+	out := NewDense(m.rows, m.cols)
+	copy(out.data, m.data)
+	return out
+}
+
+// T returns the transpose of m as a new matrix.
+func (m *Dense) T() *Dense {
+	out := NewDense(m.cols, m.rows)
+	for i := 0; i < m.rows; i++ {
+		for j := 0; j < m.cols; j++ {
+			out.data[j*m.rows+i] = m.data[i*m.cols+j]
+		}
+	}
+	return out
+}
+
+// Mul returns the matrix product a·b.
+func Mul(a, b *Dense) (*Dense, error) {
+	if a.cols != b.rows {
+		return nil, fmt.Errorf("%w: %dx%d times %dx%d", ErrShape, a.rows, a.cols, b.rows, b.cols)
+	}
+	out := NewDense(a.rows, b.cols)
+	// ikj loop order for cache-friendly access of b.
+	for i := 0; i < a.rows; i++ {
+		arow := a.data[i*a.cols : (i+1)*a.cols]
+		orow := out.data[i*out.cols : (i+1)*out.cols]
+		for k, av := range arow {
+			if av == 0 {
+				continue
+			}
+			brow := b.data[k*b.cols : (k+1)*b.cols]
+			for j, bv := range brow {
+				orow[j] += av * bv
+			}
+		}
+	}
+	return out, nil
+}
+
+// MulVec returns the matrix-vector product m·x.
+func (m *Dense) MulVec(x []float64) ([]float64, error) {
+	if m.cols != len(x) {
+		return nil, fmt.Errorf("%w: %dx%d times vector of %d", ErrShape, m.rows, m.cols, len(x))
+	}
+	out := make([]float64, m.rows)
+	for i := 0; i < m.rows; i++ {
+		row := m.data[i*m.cols : (i+1)*m.cols]
+		var s float64
+		for j, v := range row {
+			s += v * x[j]
+		}
+		out[i] = s
+	}
+	return out, nil
+}
+
+// Dot returns the inner product of two equal-length vectors.
+func Dot(a, b []float64) float64 {
+	var s float64
+	for i := range a {
+		s += a[i] * b[i]
+	}
+	return s
+}
+
+// Norm2 returns the Euclidean norm of v.
+func Norm2(v []float64) float64 { return math.Sqrt(Dot(v, v)) }
+
+// AddScaled computes dst += alpha*src in place.
+func AddScaled(dst []float64, alpha float64, src []float64) {
+	for i := range dst {
+		dst[i] += alpha * src[i]
+	}
+}
+
+// Cholesky holds the lower-triangular factor L with A = L·Lᵀ.
+type Cholesky struct {
+	l *Dense
+}
+
+// NewCholesky factorizes the symmetric positive-definite matrix a. Only
+// the lower triangle of a is read. It returns ErrNotPositiveDefinite when
+// a pivot is non-positive (within a tolerance scaled by the diagonal).
+func NewCholesky(a *Dense) (*Cholesky, error) {
+	if a.rows != a.cols {
+		return nil, ErrNonSquare
+	}
+	n := a.rows
+	l := NewDense(n, n)
+	for j := 0; j < n; j++ {
+		d := a.At(j, j)
+		for k := 0; k < j; k++ {
+			ljk := l.At(j, k)
+			d -= ljk * ljk
+		}
+		if d <= 0 || math.IsNaN(d) {
+			return nil, ErrNotPositiveDefinite
+		}
+		ljj := math.Sqrt(d)
+		l.Set(j, j, ljj)
+		for i := j + 1; i < n; i++ {
+			s := a.At(i, j)
+			for k := 0; k < j; k++ {
+				s -= l.At(i, k) * l.At(j, k)
+			}
+			l.Set(i, j, s/ljj)
+		}
+	}
+	return &Cholesky{l: l}, nil
+}
+
+// Solve solves A·x = b given the factorization.
+func (c *Cholesky) Solve(b []float64) ([]float64, error) {
+	n := c.l.rows
+	if len(b) != n {
+		return nil, ErrShape
+	}
+	// Forward substitution: L·y = b.
+	y := make([]float64, n)
+	for i := 0; i < n; i++ {
+		s := b[i]
+		row := c.l.Row(i)
+		for k := 0; k < i; k++ {
+			s -= row[k] * y[k]
+		}
+		y[i] = s / row[i]
+	}
+	// Back substitution: Lᵀ·x = y.
+	x := make([]float64, n)
+	for i := n - 1; i >= 0; i-- {
+		s := y[i]
+		for k := i + 1; k < n; k++ {
+			s -= c.l.At(k, i) * x[k]
+		}
+		x[i] = s / c.l.At(i, i)
+	}
+	return x, nil
+}
+
+// SolveSPD solves the symmetric positive-definite system a·x = b via
+// Cholesky. If a is not positive definite it retries once with a small
+// diagonal ridge (jitter) proportional to the mean diagonal, which is the
+// standard remedy for nearly singular kernel matrices in LS-SVM.
+func SolveSPD(a *Dense, b []float64) ([]float64, error) {
+	ch, err := NewCholesky(a)
+	if err == nil {
+		return ch.Solve(b)
+	}
+	if !errors.Is(err, ErrNotPositiveDefinite) {
+		return nil, err
+	}
+	n := a.rows
+	var trace float64
+	for i := 0; i < n; i++ {
+		trace += math.Abs(a.At(i, i))
+	}
+	jitter := 1e-10 * (trace/float64(n) + 1)
+	for attempt := 0; attempt < 8; attempt++ {
+		aj := a.Clone()
+		for i := 0; i < n; i++ {
+			aj.Set(i, i, aj.At(i, i)+jitter)
+		}
+		if ch, err = NewCholesky(aj); err == nil {
+			return ch.Solve(b)
+		}
+		jitter *= 100
+	}
+	return nil, ErrNotPositiveDefinite
+}
+
+// QR holds a Householder QR factorization of an m×n matrix with m >= n.
+// qr stores the Householder vectors below the diagonal and R on and above
+// it; rdiag stores the diagonal of R.
+type QR struct {
+	qr    *Dense
+	rdiag []float64
+}
+
+// NewQR factorizes a (m >= n required). a is not modified.
+func NewQR(a *Dense) (*QR, error) {
+	m, n := a.rows, a.cols
+	if m < n {
+		return nil, ErrUnderdetermined
+	}
+	qr := a.Clone()
+	rdiag := make([]float64, n)
+	for k := 0; k < n; k++ {
+		// Compute the norm of column k below row k.
+		var nrm float64
+		for i := k; i < m; i++ {
+			nrm = math.Hypot(nrm, qr.At(i, k))
+		}
+		if nrm == 0 {
+			rdiag[k] = 0
+			continue
+		}
+		if qr.At(k, k) < 0 {
+			nrm = -nrm
+		}
+		for i := k; i < m; i++ {
+			qr.Set(i, k, qr.At(i, k)/nrm)
+		}
+		qr.Set(k, k, qr.At(k, k)+1)
+		// Apply the transformation to remaining columns.
+		for j := k + 1; j < n; j++ {
+			var s float64
+			for i := k; i < m; i++ {
+				s += qr.At(i, k) * qr.At(i, j)
+			}
+			s = -s / qr.At(k, k)
+			for i := k; i < m; i++ {
+				qr.Set(i, j, qr.At(i, j)+s*qr.At(i, k))
+			}
+		}
+		rdiag[k] = -nrm
+	}
+	return &QR{qr: qr, rdiag: rdiag}, nil
+}
+
+// FullRank reports whether R has no (near-)zero diagonal entries.
+func (q *QR) FullRank() bool {
+	for _, d := range q.rdiag {
+		if math.Abs(d) < 1e-12 {
+			return false
+		}
+	}
+	return true
+}
+
+// Solve computes the least-squares solution x minimizing ||a·x - b||₂.
+// It returns ErrSingular when a is rank deficient.
+func (q *QR) Solve(b []float64) ([]float64, error) {
+	m, n := q.qr.rows, q.qr.cols
+	if len(b) != m {
+		return nil, ErrShape
+	}
+	if !q.FullRank() {
+		return nil, ErrSingular
+	}
+	y := make([]float64, m)
+	copy(y, b)
+	// Apply Householder transformations: y = Qᵀ·b.
+	for k := 0; k < n; k++ {
+		if q.qr.At(k, k) == 0 {
+			continue
+		}
+		var s float64
+		for i := k; i < m; i++ {
+			s += q.qr.At(i, k) * y[i]
+		}
+		s = -s / q.qr.At(k, k)
+		for i := k; i < m; i++ {
+			y[i] += s * q.qr.At(i, k)
+		}
+	}
+	// Back-substitute R·x = y[:n].
+	x := make([]float64, n)
+	for i := n - 1; i >= 0; i-- {
+		s := y[i]
+		for j := i + 1; j < n; j++ {
+			s -= q.qr.At(i, j) * x[j]
+		}
+		x[i] = s / q.rdiag[i]
+	}
+	return x, nil
+}
+
+// LeastSquares solves min ||a·x - b||₂ by QR; when a is rank deficient it
+// falls back to a ridge-regularized normal-equation solve
+// (aᵀa + λI)x = aᵀb with a tiny λ, which always succeeds. This mirrors
+// WEKA's LinearRegression behaviour of adding a small ridge when the
+// design matrix is collinear.
+func LeastSquares(a *Dense, b []float64) ([]float64, error) {
+	if a.rows != len(b) {
+		return nil, ErrShape
+	}
+	if a.rows >= a.cols {
+		qr, err := NewQR(a)
+		if err == nil && qr.FullRank() {
+			return qr.Solve(b)
+		}
+	}
+	return RidgeNormal(a, b, 1e-8)
+}
+
+// RidgeNormal solves (aᵀa + λI)x = aᵀb via Cholesky. λ must be positive
+// for rank-deficient systems; it is scaled by the mean diagonal of aᵀa so
+// callers can pass dimensionless values.
+func RidgeNormal(a *Dense, b []float64, lambda float64) ([]float64, error) {
+	if a.rows != len(b) {
+		return nil, ErrShape
+	}
+	n := a.cols
+	ata := NewDense(n, n)
+	for i := 0; i < a.rows; i++ {
+		row := a.Row(i)
+		for p := 0; p < n; p++ {
+			if row[p] == 0 {
+				continue
+			}
+			for q := p; q < n; q++ {
+				ata.data[p*n+q] += row[p] * row[q]
+			}
+		}
+	}
+	// Mirror upper to lower.
+	for p := 0; p < n; p++ {
+		for q := p + 1; q < n; q++ {
+			ata.data[q*n+p] = ata.data[p*n+q]
+		}
+	}
+	var trace float64
+	for i := 0; i < n; i++ {
+		trace += ata.data[i*n+i]
+	}
+	scale := trace/float64(max(n, 1)) + 1
+	ridge := lambda * scale
+	for i := 0; i < n; i++ {
+		ata.data[i*n+i] += ridge
+	}
+	atb := make([]float64, n)
+	for i := 0; i < a.rows; i++ {
+		row := a.Row(i)
+		for j := 0; j < n; j++ {
+			atb[j] += row[j] * b[i]
+		}
+	}
+	return SolveSPD(ata, atb)
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,382 @@
+package mat
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/randx"
+)
+
+func maxAbsDiff(a, b *Dense) float64 {
+	var m float64
+	for i := 0; i < a.Rows(); i++ {
+		for j := 0; j < a.Cols(); j++ {
+			if d := math.Abs(a.At(i, j) - b.At(i, j)); d > m {
+				m = d
+			}
+		}
+	}
+	return m
+}
+
+func randSPD(src *randx.Source, n int) *Dense {
+	// A = B·Bᵀ + n·I is SPD for any B.
+	b := NewDense(n, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			b.Set(i, j, src.Uniform(-1, 1))
+		}
+	}
+	bt := b.T()
+	a, _ := Mul(b, bt)
+	for i := 0; i < n; i++ {
+		a.Set(i, i, a.At(i, i)+float64(n))
+	}
+	return a
+}
+
+func TestFromRows(t *testing.T) {
+	m, err := FromRows([][]float64{{1, 2}, {3, 4}, {5, 6}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Rows() != 3 || m.Cols() != 2 || m.At(2, 1) != 6 {
+		t.Fatalf("bad matrix: %v", m)
+	}
+	if _, err := FromRows([][]float64{{1, 2}, {3}}); !errors.Is(err, ErrShape) {
+		t.Fatalf("ragged rows: err = %v, want ErrShape", err)
+	}
+	empty, err := FromRows(nil)
+	if err != nil || empty.Rows() != 0 {
+		t.Fatalf("empty FromRows = (%v, %v)", empty, err)
+	}
+}
+
+func TestFromRowsCopies(t *testing.T) {
+	row := []float64{1, 2}
+	m, _ := FromRows([][]float64{row})
+	row[0] = 99
+	if m.At(0, 0) != 1 {
+		t.Fatal("FromRows did not copy data")
+	}
+}
+
+func TestTranspose(t *testing.T) {
+	m, _ := FromRows([][]float64{{1, 2, 3}, {4, 5, 6}})
+	mt := m.T()
+	if mt.Rows() != 3 || mt.Cols() != 2 || mt.At(2, 0) != 3 || mt.At(0, 1) != 4 {
+		t.Fatalf("bad transpose")
+	}
+}
+
+func TestMul(t *testing.T) {
+	a, _ := FromRows([][]float64{{1, 2}, {3, 4}})
+	b, _ := FromRows([][]float64{{5, 6}, {7, 8}})
+	c, err := Mul(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, _ := FromRows([][]float64{{19, 22}, {43, 50}})
+	if maxAbsDiff(c, want) > 1e-12 {
+		t.Fatalf("Mul wrong: %+v", c)
+	}
+	if _, err := Mul(a, NewDense(3, 2)); !errors.Is(err, ErrShape) {
+		t.Fatalf("Mul shape error = %v", err)
+	}
+}
+
+func TestMulIdentityProperty(t *testing.T) {
+	src := randx.New(31)
+	f := func(nRaw uint8) bool {
+		n := int(nRaw%6) + 1
+		a := NewDense(n, n)
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				a.Set(i, j, src.Uniform(-5, 5))
+			}
+		}
+		ai, err := Mul(a, Identity(n))
+		if err != nil {
+			return false
+		}
+		return maxAbsDiff(a, ai) == 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMulVec(t *testing.T) {
+	a, _ := FromRows([][]float64{{1, 2}, {3, 4}})
+	y, err := a.MulVec([]float64{1, 1})
+	if err != nil || y[0] != 3 || y[1] != 7 {
+		t.Fatalf("MulVec = (%v, %v)", y, err)
+	}
+	if _, err := a.MulVec([]float64{1}); !errors.Is(err, ErrShape) {
+		t.Fatal("MulVec shape mismatch not reported")
+	}
+}
+
+func TestDotNorm(t *testing.T) {
+	if Dot([]float64{1, 2, 3}, []float64{4, 5, 6}) != 32 {
+		t.Fatal("Dot wrong")
+	}
+	if Norm2([]float64{3, 4}) != 5 {
+		t.Fatal("Norm2 wrong")
+	}
+}
+
+func TestAddScaled(t *testing.T) {
+	dst := []float64{1, 2}
+	AddScaled(dst, 2, []float64{10, 20})
+	if dst[0] != 21 || dst[1] != 42 {
+		t.Fatalf("AddScaled = %v", dst)
+	}
+}
+
+func TestCholeskySolve(t *testing.T) {
+	a, _ := FromRows([][]float64{{4, 2}, {2, 3}})
+	ch, err := NewCholesky(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x, err := ch.Solve([]float64{10, 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Verify A·x = b.
+	b, _ := a.MulVec(x)
+	if math.Abs(b[0]-10) > 1e-10 || math.Abs(b[1]-8) > 1e-10 {
+		t.Fatalf("Cholesky solve residual: %v", b)
+	}
+}
+
+func TestCholeskyRejectsIndefinite(t *testing.T) {
+	a, _ := FromRows([][]float64{{1, 2}, {2, 1}}) // eigenvalues 3, -1
+	if _, err := NewCholesky(a); !errors.Is(err, ErrNotPositiveDefinite) {
+		t.Fatalf("err = %v, want ErrNotPositiveDefinite", err)
+	}
+	if _, err := NewCholesky(NewDense(2, 3)); !errors.Is(err, ErrNonSquare) {
+		t.Fatalf("non-square err = %v", err)
+	}
+}
+
+// Property: for random SPD matrices, Cholesky solve inverts MulVec.
+func TestCholeskyRoundTrip(t *testing.T) {
+	src := randx.New(55)
+	f := func(nRaw uint8) bool {
+		n := int(nRaw%8) + 2
+		a := randSPD(src, n)
+		xTrue := make([]float64, n)
+		for i := range xTrue {
+			xTrue[i] = src.Uniform(-3, 3)
+		}
+		b, _ := a.MulVec(xTrue)
+		ch, err := NewCholesky(a)
+		if err != nil {
+			return false
+		}
+		x, err := ch.Solve(b)
+		if err != nil {
+			return false
+		}
+		for i := range x {
+			if math.Abs(x[i]-xTrue[i]) > 1e-6 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSolveSPDJitterFallback(t *testing.T) {
+	// Singular PSD matrix: rank 1. SolveSPD should still produce a
+	// solution via jitter for a consistent right-hand side.
+	a, _ := FromRows([][]float64{{1, 1}, {1, 1}})
+	x, err := SolveSPD(a, []float64{2, 2})
+	if err != nil {
+		t.Fatalf("SolveSPD on singular PSD failed: %v", err)
+	}
+	if math.Abs(x[0]+x[1]-2) > 1e-3 {
+		t.Fatalf("jittered solution x = %v violates x0+x1=2", x)
+	}
+}
+
+func TestQRSolveExact(t *testing.T) {
+	a, _ := FromRows([][]float64{{2, 0}, {0, 3}, {0, 0}})
+	qr, err := NewQR(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x, err := qr.Solve([]float64{4, 9, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(x[0]-2) > 1e-12 || math.Abs(x[1]-3) > 1e-12 {
+		t.Fatalf("QR solve = %v", x)
+	}
+}
+
+func TestQRLeastSquaresResidualOrthogonality(t *testing.T) {
+	// For the LS solution, the residual must be orthogonal to the column
+	// space: Aᵀ(Ax - b) = 0.
+	src := randx.New(77)
+	f := func(seed uint16) bool {
+		local := src.Fork(uint64(seed))
+		m, n := 20, 4
+		a := NewDense(m, n)
+		for i := 0; i < m; i++ {
+			for j := 0; j < n; j++ {
+				a.Set(i, j, local.Uniform(-10, 10))
+			}
+		}
+		b := make([]float64, m)
+		for i := range b {
+			b[i] = local.Uniform(-10, 10)
+		}
+		x, err := LeastSquares(a, b)
+		if err != nil {
+			return false
+		}
+		ax, _ := a.MulVec(x)
+		resid := make([]float64, m)
+		for i := range resid {
+			resid[i] = ax[i] - b[i]
+		}
+		at := a.T()
+		g, _ := at.MulVec(resid)
+		for _, v := range g {
+			if math.Abs(v) > 1e-6 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQRUnderdetermined(t *testing.T) {
+	if _, err := NewQR(NewDense(2, 5)); !errors.Is(err, ErrUnderdetermined) {
+		t.Fatalf("err = %v, want ErrUnderdetermined", err)
+	}
+}
+
+func TestQRSingularReported(t *testing.T) {
+	// Two identical columns: rank deficient.
+	a, _ := FromRows([][]float64{{1, 1}, {2, 2}, {3, 3}})
+	qr, err := NewQR(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if qr.FullRank() {
+		t.Fatal("rank-deficient matrix reported as full rank")
+	}
+	if _, err := qr.Solve([]float64{1, 2, 3}); !errors.Is(err, ErrSingular) {
+		t.Fatalf("err = %v, want ErrSingular", err)
+	}
+}
+
+func TestLeastSquaresRankDeficientFallback(t *testing.T) {
+	// Identical columns; the ridge fallback must return a finite answer
+	// whose fit matches the best possible (residual 0 here).
+	a, _ := FromRows([][]float64{{1, 1}, {2, 2}, {3, 3}})
+	b := []float64{2, 4, 6}
+	x, err := LeastSquares(a, b)
+	if err != nil {
+		t.Fatalf("LeastSquares fallback failed: %v", err)
+	}
+	ax, _ := a.MulVec(x)
+	for i := range ax {
+		if math.Abs(ax[i]-b[i]) > 1e-3 {
+			t.Fatalf("fallback fit poor: ax=%v b=%v", ax, b)
+		}
+	}
+}
+
+func TestLeastSquaresShapeError(t *testing.T) {
+	a := NewDense(3, 2)
+	if _, err := LeastSquares(a, []float64{1}); !errors.Is(err, ErrShape) {
+		t.Fatalf("err = %v, want ErrShape", err)
+	}
+}
+
+func TestRidgeNormalShrinks(t *testing.T) {
+	// With a huge lambda the solution should shrink toward zero.
+	a, _ := FromRows([][]float64{{1, 0}, {0, 1}, {1, 1}})
+	b := []float64{1, 1, 2}
+	x0, err := RidgeNormal(a, b, 1e-9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	xBig, err := RidgeNormal(a, b, 1e6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if Norm2(xBig) >= Norm2(x0) {
+		t.Fatalf("ridge did not shrink: %v vs %v", Norm2(xBig), Norm2(x0))
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	a := NewDense(2, 2)
+	b := a.Clone()
+	b.Set(0, 0, 7)
+	if a.At(0, 0) != 0 {
+		t.Fatal("Clone shares backing data")
+	}
+}
+
+func TestNewDensePanicsOnNegative(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewDense(-1, 2) did not panic")
+		}
+	}()
+	NewDense(-1, 2)
+}
+
+func BenchmarkCholeskySolve100(b *testing.B) {
+	src := randx.New(1)
+	a := randSPD(src, 100)
+	rhs := make([]float64, 100)
+	for i := range rhs {
+		rhs[i] = src.Float64()
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ch, err := NewCholesky(a)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := ch.Solve(rhs); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkLeastSquares200x20(b *testing.B) {
+	src := randx.New(2)
+	a := NewDense(200, 20)
+	for i := 0; i < 200; i++ {
+		for j := 0; j < 20; j++ {
+			a.Set(i, j, src.Uniform(-1, 1))
+		}
+	}
+	rhs := make([]float64, 200)
+	for i := range rhs {
+		rhs[i] = src.Float64()
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := LeastSquares(a, rhs); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,162 @@
+// Package metrics implements F2PM's model evaluation metrics
+// (paper §III-D): Mean Absolute Error, Relative Absolute Error, Maximum
+// Absolute Error, and the Soft-Mean Absolute Error (S-MAE) that tolerates
+// errors below a user threshold — the metric the paper uses to compare
+// models in Table II — plus the training/validation timing harness of
+// Tables III and IV.
+package metrics
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"time"
+)
+
+// ErrLengthMismatch is returned when predictions and observations differ
+// in length or are empty.
+var ErrLengthMismatch = errors.New("metrics: predicted and observed lengths differ or are zero")
+
+// MAE returns the mean absolute prediction error (paper eq. 5):
+// (1/n) Σ |f_i - y_i|.
+func MAE(predicted, observed []float64) (float64, error) {
+	if len(predicted) == 0 || len(predicted) != len(observed) {
+		return 0, ErrLengthMismatch
+	}
+	var s float64
+	for i := range predicted {
+		s += math.Abs(predicted[i] - observed[i])
+	}
+	return s / float64(len(predicted)), nil
+}
+
+// RAE returns the relative absolute error (paper eq. 6): the total
+// absolute error normalized by the total absolute error of the simple
+// mean predictor, Y = (1/n) Σ |y_i|. RAE < 1 means the model beats the
+// trivial predictor. When the denominator is zero (constant observations
+// equal to their mean) RAE is +Inf for nonzero numerator, 0 otherwise.
+func RAE(predicted, observed []float64) (float64, error) {
+	if len(predicted) == 0 || len(predicted) != len(observed) {
+		return 0, ErrLengthMismatch
+	}
+	var yBar float64
+	for _, y := range observed {
+		yBar += math.Abs(y)
+	}
+	yBar /= float64(len(observed))
+	var num, den float64
+	for i := range predicted {
+		num += math.Abs(predicted[i] - observed[i])
+		den += math.Abs(yBar - observed[i])
+	}
+	if den == 0 {
+		if num == 0 {
+			return 0, nil
+		}
+		return math.Inf(1), nil
+	}
+	return num / den, nil
+}
+
+// MaxAE returns the maximum absolute prediction error (the paper's
+// "Maximum Absolute Prediction Error").
+func MaxAE(predicted, observed []float64) (float64, error) {
+	if len(predicted) == 0 || len(predicted) != len(observed) {
+		return 0, ErrLengthMismatch
+	}
+	var m float64
+	for i := range predicted {
+		if d := math.Abs(predicted[i] - observed[i]); d > m {
+			m = d
+		}
+	}
+	return m, nil
+}
+
+// SoftMAE returns the Soft-Mean Absolute Error: like MAE, except errors
+// below threshold count as zero. The paper motivates this with proactive
+// rejuvenation: if the correcting action is executed T seconds before the
+// predicted failure, a prediction error below T is harmless.
+func SoftMAE(predicted, observed []float64, threshold float64) (float64, error) {
+	if len(predicted) == 0 || len(predicted) != len(observed) {
+		return 0, ErrLengthMismatch
+	}
+	if threshold < 0 {
+		return 0, fmt.Errorf("metrics: negative S-MAE threshold %v", threshold)
+	}
+	var s float64
+	for i := range predicted {
+		if d := math.Abs(predicted[i] - observed[i]); d >= threshold {
+			s += d
+		}
+	}
+	return s / float64(len(predicted)), nil
+}
+
+// RelativeThreshold computes the paper's "10% threshold" style S-MAE
+// tolerance: frac times the mean observed value.
+func RelativeThreshold(observed []float64, frac float64) float64 {
+	if len(observed) == 0 || frac <= 0 {
+		return 0
+	}
+	var s float64
+	for _, y := range observed {
+		s += math.Abs(y)
+	}
+	return frac * s / float64(len(observed))
+}
+
+// Report bundles every §III-D metric for one model on one validation set.
+type Report struct {
+	// MAE is the mean absolute error in seconds.
+	MAE float64
+	// RAE is the relative absolute error (unitless).
+	RAE float64
+	// MaxAE is the maximum absolute error in seconds.
+	MaxAE float64
+	// SoftMAE is the soft mean absolute error in seconds.
+	SoftMAE float64
+	// SoftThreshold is the tolerance used for SoftMAE, in seconds.
+	SoftThreshold float64
+	// N is the validation-set size.
+	N int
+	// TrainingTime is the wall-clock duration of model building
+	// (Table III).
+	TrainingTime time.Duration
+	// ValidationTime is the wall-clock duration of prediction plus
+	// metric computation (Table IV).
+	ValidationTime time.Duration
+}
+
+// Evaluate computes all error metrics at once. threshold is the absolute
+// S-MAE tolerance in seconds.
+func Evaluate(predicted, observed []float64, threshold float64) (Report, error) {
+	var r Report
+	var err error
+	if r.MAE, err = MAE(predicted, observed); err != nil {
+		return r, err
+	}
+	if r.RAE, err = RAE(predicted, observed); err != nil {
+		return r, err
+	}
+	if r.MaxAE, err = MaxAE(predicted, observed); err != nil {
+		return r, err
+	}
+	if r.SoftMAE, err = SoftMAE(predicted, observed, threshold); err != nil {
+		return r, err
+	}
+	r.SoftThreshold = threshold
+	r.N = len(observed)
+	return r, nil
+}
+
+// Timer measures wall-clock phases for Tables III/IV.
+type Timer struct {
+	start time.Time
+}
+
+// StartTimer begins timing.
+func StartTimer() Timer { return Timer{start: time.Now()} }
+
+// Elapsed returns the time since StartTimer.
+func (t Timer) Elapsed() time.Duration { return time.Since(t.start) }

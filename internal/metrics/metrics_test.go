@@ -1,0 +1,170 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/randx"
+)
+
+func TestMAE(t *testing.T) {
+	got, err := MAE([]float64{1, 2, 3}, []float64{2, 2, 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-1) > 1e-12 { // (1+0+2)/3
+		t.Fatalf("MAE = %v, want 1", got)
+	}
+	if _, err := MAE(nil, nil); err != ErrLengthMismatch {
+		t.Fatal("empty input accepted")
+	}
+	if _, err := MAE([]float64{1}, []float64{1, 2}); err != ErrLengthMismatch {
+		t.Fatal("mismatched input accepted")
+	}
+}
+
+func TestRAEPerfectAndTrivial(t *testing.T) {
+	obs := []float64{10, 20, 30, 40}
+	// Perfect predictor: RAE = 0.
+	r, err := RAE(obs, obs)
+	if err != nil || r != 0 {
+		t.Fatalf("perfect RAE = (%v, %v)", r, err)
+	}
+	// Mean predictor: RAE = 1 by construction.
+	mean := []float64{25, 25, 25, 25}
+	r, err = RAE(mean, obs)
+	if err != nil || math.Abs(r-1) > 1e-12 {
+		t.Fatalf("mean-predictor RAE = (%v, %v), want 1", r, err)
+	}
+}
+
+func TestRAEDegenerate(t *testing.T) {
+	obs := []float64{5, 5, 5}
+	r, err := RAE([]float64{5, 5, 5}, obs)
+	if err != nil || r != 0 {
+		t.Fatalf("exact on constant = (%v, %v)", r, err)
+	}
+	r, err = RAE([]float64{6, 6, 6}, obs)
+	if err != nil || !math.IsInf(r, 1) {
+		t.Fatalf("wrong on constant = (%v, %v), want +Inf", r, err)
+	}
+}
+
+func TestMaxAE(t *testing.T) {
+	got, err := MaxAE([]float64{1, 2, 3}, []float64{2, 2, 9})
+	if err != nil || got != 6 {
+		t.Fatalf("MaxAE = (%v, %v), want 6", got, err)
+	}
+}
+
+func TestSoftMAE(t *testing.T) {
+	pred := []float64{1, 2, 3, 10}
+	obs := []float64{2, 2, 5, 10} // errors 1, 0, 2, 0
+	// Threshold 1.5: only the error 2 counts.
+	got, err := SoftMAE(pred, obs, 1.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-0.5) > 1e-12 {
+		t.Fatalf("SoftMAE = %v, want 0.5", got)
+	}
+	// Threshold 0 degrades to MAE.
+	sm, _ := SoftMAE(pred, obs, 0)
+	mae, _ := MAE(pred, obs)
+	if sm != mae {
+		t.Fatalf("SoftMAE(0) = %v != MAE %v", sm, mae)
+	}
+	if _, err := SoftMAE(pred, obs, -1); err == nil {
+		t.Fatal("negative threshold accepted")
+	}
+}
+
+func TestRelativeThreshold(t *testing.T) {
+	obs := []float64{100, 300}
+	if got := RelativeThreshold(obs, 0.1); math.Abs(got-20) > 1e-12 {
+		t.Fatalf("RelativeThreshold = %v, want 20", got)
+	}
+	if RelativeThreshold(nil, 0.1) != 0 || RelativeThreshold(obs, 0) != 0 {
+		t.Fatal("degenerate thresholds not 0")
+	}
+}
+
+func TestEvaluate(t *testing.T) {
+	pred := []float64{1, 3}
+	obs := []float64{2, 2}
+	r, err := Evaluate(pred, obs, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.MAE != 1 || r.MaxAE != 1 || r.N != 2 || r.SoftThreshold != 0.5 {
+		t.Fatalf("report = %+v", r)
+	}
+	if _, err := Evaluate(nil, nil, 0); err == nil {
+		t.Fatal("empty Evaluate accepted")
+	}
+}
+
+// Property: SoftMAE <= MAE <= MaxAE for any data; SoftMAE is monotone
+// non-increasing in the threshold.
+func TestMetricOrderingProperty(t *testing.T) {
+	src := randx.New(3)
+	f := func(seed uint16, thrRaw uint8) bool {
+		local := src.Fork(uint64(seed))
+		n := 20
+		pred := make([]float64, n)
+		obs := make([]float64, n)
+		for i := 0; i < n; i++ {
+			obs[i] = local.Uniform(0, 1000)
+			pred[i] = obs[i] + local.Uniform(-200, 200)
+		}
+		thr := float64(thrRaw)
+		mae, err1 := MAE(pred, obs)
+		smae, err2 := SoftMAE(pred, obs, thr)
+		smae2, err3 := SoftMAE(pred, obs, thr+50)
+		maxae, err4 := MaxAE(pred, obs)
+		if err1 != nil || err2 != nil || err3 != nil || err4 != nil {
+			return false
+		}
+		return smae <= mae+1e-12 && mae <= maxae+1e-12 && smae2 <= smae+1e-12
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: RAE of any predictor against the trivial mean predictor
+// baseline is scale-invariant.
+func TestRAEScaleInvariance(t *testing.T) {
+	src := randx.New(9)
+	f := func(scaleRaw uint8) bool {
+		scale := float64(scaleRaw%50) + 1
+		n := 15
+		pred := make([]float64, n)
+		obs := make([]float64, n)
+		sp := make([]float64, n)
+		so := make([]float64, n)
+		for i := 0; i < n; i++ {
+			obs[i] = src.Uniform(1, 100)
+			pred[i] = obs[i] + src.Uniform(-10, 10)
+			sp[i] = pred[i] * scale
+			so[i] = obs[i] * scale
+		}
+		r1, err1 := RAE(pred, obs)
+		r2, err2 := RAE(sp, so)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		return math.Abs(r1-r2) < 1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTimer(t *testing.T) {
+	timer := StartTimer()
+	if timer.Elapsed() < 0 {
+		t.Fatal("negative elapsed time")
+	}
+}

@@ -1,0 +1,55 @@
+package kernel
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// kernelJSON is the serialized form of a kernel: a kind tag plus the
+// parameters of the parametric kinds.
+type kernelJSON struct {
+	Kind   string  `json:"kind"`
+	Gamma  float64 `json:"gamma,omitempty"`
+	Degree float64 `json:"degree,omitempty"`
+	Scale  float64 `json:"scale,omitempty"`
+	Coef0  float64 `json:"coef0,omitempty"`
+}
+
+// MarshalKernel serializes a kernel to JSON. Only the built-in kernel
+// kinds are supported; user-defined kernels cannot round-trip.
+func MarshalKernel(k Kernel) ([]byte, error) {
+	var kj kernelJSON
+	switch kk := k.(type) {
+	case Linear:
+		kj.Kind = "linear"
+	case RBF:
+		kj.Kind = "rbf"
+		kj.Gamma = kk.Gamma
+	case Poly:
+		kj.Kind = "poly"
+		kj.Degree = kk.Degree
+		kj.Scale = kk.Scale
+		kj.Coef0 = kk.Coef0
+	default:
+		return nil, fmt.Errorf("kernel: cannot serialize kernel type %T", k)
+	}
+	return json.Marshal(kj)
+}
+
+// UnmarshalKernel deserializes a kernel written by MarshalKernel.
+func UnmarshalKernel(data []byte) (Kernel, error) {
+	var kj kernelJSON
+	if err := json.Unmarshal(data, &kj); err != nil {
+		return nil, fmt.Errorf("kernel: decoding kernel: %w", err)
+	}
+	switch kj.Kind {
+	case "linear":
+		return Linear{}, nil
+	case "rbf":
+		return RBF{Gamma: kj.Gamma}, nil
+	case "poly":
+		return Poly{Degree: kj.Degree, Scale: kj.Scale, Coef0: kj.Coef0}, nil
+	default:
+		return nil, fmt.Errorf("kernel: unknown kernel kind %q", kj.Kind)
+	}
+}

@@ -1,0 +1,165 @@
+// Package kernel provides the kernel functions used by the two SVM
+// learners (paper §III-D): the linear kernel, the Gaussian RBF kernel
+// ("the non-linear map to a high, possibly infinite dimensional space"),
+// and a polynomial kernel, plus Gram-matrix construction.
+package kernel
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/mat"
+)
+
+// Kernel evaluates k(a, b) on feature vectors of equal length.
+type Kernel interface {
+	Eval(a, b []float64) float64
+	Name() string
+}
+
+// Linear is the inner-product kernel k(a,b) = aᵀb.
+type Linear struct{}
+
+// Eval implements Kernel.
+func (Linear) Eval(a, b []float64) float64 { return mat.Dot(a, b) }
+
+// Name implements Kernel.
+func (Linear) Name() string { return "linear" }
+
+// RBF is the Gaussian kernel k(a,b) = exp(-γ‖a-b‖²).
+type RBF struct {
+	Gamma float64
+}
+
+// Eval implements Kernel.
+func (k RBF) Eval(a, b []float64) float64 {
+	var d2 float64
+	for i := range a {
+		d := a[i] - b[i]
+		d2 += d * d
+	}
+	return math.Exp(-k.Gamma * d2)
+}
+
+// Name implements Kernel.
+func (k RBF) Name() string { return fmt.Sprintf("rbf(gamma=%g)", k.Gamma) }
+
+// Poly is the polynomial kernel k(a,b) = (scale·aᵀb + coef0)^degree.
+type Poly struct {
+	Degree float64
+	Scale  float64
+	Coef0  float64
+}
+
+// Eval implements Kernel.
+func (k Poly) Eval(a, b []float64) float64 {
+	return math.Pow(k.Scale*mat.Dot(a, b)+k.Coef0, k.Degree)
+}
+
+// Name implements Kernel.
+func (k Poly) Name() string {
+	return fmt.Sprintf("poly(degree=%g,scale=%g,coef0=%g)", k.Degree, k.Scale, k.Coef0)
+}
+
+// AutoGamma returns the common heuristic γ = 1/(d·Var) where Var is the
+// mean per-feature variance of X — sensible only for standardized
+// features, where it reduces to 1/d.
+func AutoGamma(X [][]float64) float64 {
+	if len(X) == 0 || len(X[0]) == 0 {
+		return 1
+	}
+	d := len(X[0])
+	var totalVar float64
+	for j := 0; j < d; j++ {
+		var sum, sumSq float64
+		for i := range X {
+			v := X[i][j]
+			sum += v
+			sumSq += v * v
+		}
+		n := float64(len(X))
+		mean := sum / n
+		v := sumSq/n - mean*mean
+		if v > 0 {
+			totalVar += v
+		}
+	}
+	meanVar := totalVar / float64(d)
+	if meanVar <= 0 {
+		meanVar = 1
+	}
+	return 1 / (float64(d) * meanVar)
+}
+
+// Matrix computes the Gram matrix K[i][j] = k(X[i], X[j]) exploiting
+// symmetry.
+func Matrix(k Kernel, X [][]float64) *mat.Dense {
+	n := len(X)
+	out := mat.NewDense(n, n)
+	for i := 0; i < n; i++ {
+		for j := i; j < n; j++ {
+			v := k.Eval(X[i], X[j])
+			out.Set(i, j, v)
+			out.Set(j, i, v)
+		}
+	}
+	return out
+}
+
+// Standardizer z-scores features using training statistics; both SVM
+// learners need it because the raw F2PM features span 10⁰..10⁶ scales,
+// which would make RBF distances meaningless (WEKA's SMOreg normalizes
+// inputs by default, which the paper relied on).
+type Standardizer struct {
+	Mean []float64
+	Std  []float64
+}
+
+// FitStandardizer learns per-column mean and standard deviation;
+// zero-variance columns get Std 1 so they map to a constant 0.
+func FitStandardizer(X [][]float64) *Standardizer {
+	if len(X) == 0 {
+		return &Standardizer{}
+	}
+	d := len(X[0])
+	s := &Standardizer{Mean: make([]float64, d), Std: make([]float64, d)}
+	n := float64(len(X))
+	for j := 0; j < d; j++ {
+		var sum float64
+		for i := range X {
+			sum += X[i][j]
+		}
+		s.Mean[j] = sum / n
+	}
+	for j := 0; j < d; j++ {
+		var ss float64
+		for i := range X {
+			dv := X[i][j] - s.Mean[j]
+			ss += dv * dv
+		}
+		sd := math.Sqrt(ss / n)
+		if sd == 0 {
+			sd = 1
+		}
+		s.Std[j] = sd
+	}
+	return s
+}
+
+// Apply transforms one row into z-scores (new slice).
+func (s *Standardizer) Apply(x []float64) []float64 {
+	out := make([]float64, len(x))
+	for j := range x {
+		out[j] = (x[j] - s.Mean[j]) / s.Std[j]
+	}
+	return out
+}
+
+// ApplyAll transforms every row.
+func (s *Standardizer) ApplyAll(X [][]float64) [][]float64 {
+	out := make([][]float64, len(X))
+	for i, row := range X {
+		out[i] = s.Apply(row)
+	}
+	return out
+}

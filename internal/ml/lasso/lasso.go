@@ -1,0 +1,280 @@
+// Package lasso implements the Lasso (Tibshirani 1994) by cyclic
+// coordinate descent, minimizing the paper's objective (eq. 2):
+//
+//	(1/n) Σ_j (y_j - ⟨β, x_j⟩)²  +  λ ||β||₁
+//
+// with an unpenalized intercept. F2PM uses it twice: during the feature
+// selection phase (package featsel), where the non-zero entries of β
+// decide which features survive, and as "Lasso as a Predictor"
+// (paper §III-D), where the closed-form ⟨β, x⟩ + b is the model itself.
+//
+// Coordinate descent runs on the raw, unstandardized features on
+// purpose: the paper's λ grid (10⁰..10⁹) and Table I's weight magnitudes
+// (~10⁻⁴) only make sense on raw scales, where memory features are ~10⁶ KB
+// and CPU features ~10².
+package lasso
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+
+	"repro/internal/ml"
+)
+
+// Options tunes the coordinate-descent solver.
+type Options struct {
+	// Lambda is the L1 penalty weight (paper's λ).
+	Lambda float64
+	// MaxIter bounds full coordinate sweeps.
+	MaxIter int
+	// Tol stops iteration when the largest relative coefficient change
+	// in a sweep falls below it.
+	Tol float64
+	// FitIntercept controls the unpenalized bias term.
+	FitIntercept bool
+}
+
+// DefaultOptions returns the solver settings used by the pipeline. The
+// sweep budget is generous because the raw F2PM features are strongly
+// correlated (used/free pairs), which slows coordinate descent at small λ.
+func DefaultOptions(lambda float64) Options {
+	return Options{Lambda: lambda, MaxIter: 1500, Tol: 1e-6, FitIntercept: true}
+}
+
+// Validate reports option errors.
+func (o *Options) Validate() error {
+	if o.Lambda < 0 || math.IsNaN(o.Lambda) {
+		return fmt.Errorf("lasso: negative lambda %v", o.Lambda)
+	}
+	if o.MaxIter <= 0 {
+		return fmt.Errorf("lasso: MaxIter must be positive, got %d", o.MaxIter)
+	}
+	if o.Tol <= 0 {
+		return fmt.Errorf("lasso: Tol must be positive, got %v", o.Tol)
+	}
+	return nil
+}
+
+// Model is a fitted Lasso regression.
+type Model struct {
+	opts Options
+	// Coef holds the (sparse) weights β; Intercept the unpenalized bias.
+	Coef      []float64
+	Intercept float64
+	// Iterations is the number of sweeps the last Fit used.
+	Iterations int
+	fitted     bool
+}
+
+// New returns an unfitted Lasso model.
+func New(opts Options) (*Model, error) {
+	if err := opts.Validate(); err != nil {
+		return nil, err
+	}
+	return &Model{opts: opts}, nil
+}
+
+// Name implements ml.Regressor.
+func (m *Model) Name() string { return fmt.Sprintf("lasso-lambda-%g", m.opts.Lambda) }
+
+// Lambda returns the penalty the model was configured with.
+func (m *Model) Lambda() float64 { return m.opts.Lambda }
+
+// SetLambda changes the penalty without clearing the coefficients, so a
+// subsequent Fit warm-starts from the current solution. Regularization
+// paths (package featsel) chain fits along the λ grid this way.
+func (m *Model) SetLambda(lambda float64) error {
+	if lambda < 0 || math.IsNaN(lambda) {
+		return fmt.Errorf("lasso: negative lambda %v", lambda)
+	}
+	m.opts.Lambda = lambda
+	return nil
+}
+
+// Fit runs cyclic coordinate descent. A warm start is used when the
+// model was previously fitted with the same dimensionality (regularization
+// paths exploit this).
+func (m *Model) Fit(X [][]float64, y []float64) error {
+	dim, err := ml.CheckTrainingSet(X, y)
+	if err != nil {
+		return err
+	}
+	n := len(X)
+	fn := float64(n)
+
+	beta := make([]float64, dim)
+	if m.fitted && len(m.Coef) == dim {
+		copy(beta, m.Coef) // warm start
+	}
+	intercept := m.Intercept
+	if !m.opts.FitIntercept {
+		intercept = 0
+	}
+
+	// Column-major copy for cache-friendly coordinate sweeps, plus
+	// per-column squared norms a_k = (2/n)·Σ x_ik².
+	cols := make([][]float64, dim)
+	colSq := make([]float64, dim)
+	for k := 0; k < dim; k++ {
+		c := make([]float64, n)
+		var sq float64
+		for i := 0; i < n; i++ {
+			v := X[i][k]
+			c[i] = v
+			sq += v * v
+		}
+		cols[k] = c
+		colSq[k] = 2 * sq / fn
+	}
+
+	// Residual r_i = y_i - intercept - Σ_k β_k x_ik under current β.
+	resid := make([]float64, n)
+	for i := 0; i < n; i++ {
+		s := y[i] - intercept
+		for k := 0; k < dim; k++ {
+			if beta[k] != 0 {
+				s -= beta[k] * cols[k][i]
+			}
+		}
+		resid[i] = s
+	}
+
+	lam := m.opts.Lambda
+	var iter int
+	for iter = 0; iter < m.opts.MaxIter; iter++ {
+		maxDelta := 0.0
+		scale := 0.0
+		for k := 0; k < dim; k++ {
+			if colSq[k] == 0 {
+				beta[k] = 0 // constant zero column gets no weight
+				continue
+			}
+			// c_k = (2/n)·Σ x_ik (r_i + x_ik β_k)
+			col := cols[k]
+			var dot float64
+			for i := 0; i < n; i++ {
+				dot += col[i] * resid[i]
+			}
+			ck := 2*dot/fn + colSq[k]*beta[k]
+			newBeta := softThreshold(ck, lam) / colSq[k]
+			if d := newBeta - beta[k]; d != 0 {
+				for i := 0; i < n; i++ {
+					resid[i] -= d * col[i]
+				}
+				if ad := math.Abs(d); ad > maxDelta {
+					maxDelta = ad
+				}
+			}
+			if ab := math.Abs(beta[k]); ab > scale {
+				scale = ab
+			}
+			beta[k] = newBeta
+		}
+		if m.opts.FitIntercept {
+			// The optimal unpenalized intercept shift is the residual mean.
+			var mean float64
+			for _, r := range resid {
+				mean += r
+			}
+			mean /= fn
+			if mean != 0 {
+				intercept += mean
+				for i := range resid {
+					resid[i] -= mean
+				}
+			}
+		}
+		if maxDelta <= m.opts.Tol*(scale+1e-12) {
+			iter++
+			break
+		}
+	}
+
+	m.Coef = beta
+	m.Intercept = intercept
+	m.Iterations = iter
+	m.fitted = true
+	return nil
+}
+
+// softThreshold is the Lasso shrinkage operator S(z, λ).
+func softThreshold(z, lambda float64) float64 {
+	switch {
+	case z > lambda:
+		return z - lambda
+	case z < -lambda:
+		return z + lambda
+	default:
+		return 0
+	}
+}
+
+// Predict implements ml.Regressor.
+func (m *Model) Predict(x []float64) float64 {
+	if !m.fitted || len(x) != len(m.Coef) {
+		return math.NaN()
+	}
+	s := m.Intercept
+	for i, v := range x {
+		if m.Coef[i] != 0 {
+			s += m.Coef[i] * v
+		}
+	}
+	return s
+}
+
+// NumSelected returns the count of non-zero coefficients.
+func (m *Model) NumSelected() int {
+	n := 0
+	for _, b := range m.Coef {
+		if b != 0 {
+			n++
+		}
+	}
+	return n
+}
+
+// Selected returns the indices of non-zero coefficients.
+func (m *Model) Selected() []int {
+	var out []int
+	for i, b := range m.Coef {
+		if b != 0 {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+var _ ml.Regressor = (*Model)(nil)
+
+// lassoJSON is the serialized model state.
+type lassoJSON struct {
+	Lambda    float64   `json:"lambda"`
+	Coef      []float64 `json:"coef"`
+	Intercept float64   `json:"intercept"`
+}
+
+// MarshalJSON serializes a fitted model.
+func (m *Model) MarshalJSON() ([]byte, error) {
+	if !m.fitted {
+		return nil, ml.ErrNotFitted
+	}
+	return json.Marshal(lassoJSON{Lambda: m.opts.Lambda, Coef: m.Coef, Intercept: m.Intercept})
+}
+
+// UnmarshalJSON restores a model serialized by MarshalJSON.
+func (m *Model) UnmarshalJSON(data []byte) error {
+	var s lassoJSON
+	if err := json.Unmarshal(data, &s); err != nil {
+		return fmt.Errorf("lasso: decoding model: %w", err)
+	}
+	if len(s.Coef) == 0 {
+		return fmt.Errorf("lasso: serialized model has no coefficients")
+	}
+	m.opts = DefaultOptions(s.Lambda)
+	m.Coef = s.Coef
+	m.Intercept = s.Intercept
+	m.fitted = true
+	return nil
+}

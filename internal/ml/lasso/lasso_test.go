@@ -1,0 +1,327 @@
+package lasso
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/ml"
+	"repro/internal/randx"
+)
+
+func makeSparseProblem(src *randx.Source, n int) (X [][]float64, y []float64) {
+	// y = 5*x0 - 3*x2 + noise; x1, x3, x4 are irrelevant.
+	for i := 0; i < n; i++ {
+		row := make([]float64, 5)
+		for j := range row {
+			row[j] = src.Uniform(-2, 2)
+		}
+		X = append(X, row)
+		y = append(y, 5*row[0]-3*row[2]+src.Norm(0, 0.05))
+	}
+	return X, y
+}
+
+func TestOptionsValidate(t *testing.T) {
+	if err := (&Options{Lambda: -1, MaxIter: 10, Tol: 1e-6}).Validate(); err == nil {
+		t.Fatal("negative lambda accepted")
+	}
+	if err := (&Options{Lambda: 1, MaxIter: 0, Tol: 1e-6}).Validate(); err == nil {
+		t.Fatal("zero MaxIter accepted")
+	}
+	if err := (&Options{Lambda: 1, MaxIter: 10, Tol: 0}).Validate(); err == nil {
+		t.Fatal("zero Tol accepted")
+	}
+	if _, err := New(Options{Lambda: -1, MaxIter: 10, Tol: 1e-6}); err == nil {
+		t.Fatal("New accepted invalid options")
+	}
+}
+
+func TestZeroLambdaMatchesOLS(t *testing.T) {
+	src := randx.New(1)
+	X, y := makeSparseProblem(src, 200)
+	m, err := New(DefaultOptions(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Fit(X, y); err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(m.Coef[0]-5) > 0.05 || math.Abs(m.Coef[2]+3) > 0.05 {
+		t.Fatalf("lambda=0 coefficients: %v", m.Coef)
+	}
+}
+
+func TestSparsityRecovery(t *testing.T) {
+	src := randx.New(2)
+	X, y := makeSparseProblem(src, 300)
+	m, err := New(DefaultOptions(0.5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Fit(X, y); err != nil {
+		t.Fatal(err)
+	}
+	sel := m.Selected()
+	if len(sel) != 2 || sel[0] != 0 || sel[1] != 2 {
+		t.Fatalf("selected = %v, want [0 2]; coefs %v", sel, m.Coef)
+	}
+	if m.NumSelected() != 2 {
+		t.Fatalf("NumSelected = %d", m.NumSelected())
+	}
+}
+
+func TestMonotoneSparsityInLambda(t *testing.T) {
+	src := randx.New(3)
+	X, y := makeSparseProblem(src, 300)
+	prev := math.MaxInt
+	// Count of selected features must be non-increasing along an
+	// increasing lambda grid (allowing small CD wiggle of 1).
+	for _, lam := range []float64{0.001, 0.01, 0.1, 1, 10, 100} {
+		m, err := New(DefaultOptions(lam))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := m.Fit(X, y); err != nil {
+			t.Fatal(err)
+		}
+		if m.NumSelected() > prev {
+			t.Fatalf("selection grew with lambda %v: %d > %d", lam, m.NumSelected(), prev)
+		}
+		prev = m.NumSelected()
+	}
+	if prev != 0 {
+		t.Fatalf("huge lambda still selects %d features", prev)
+	}
+}
+
+func TestHugeLambdaPredictsMean(t *testing.T) {
+	src := randx.New(4)
+	X, y := makeSparseProblem(src, 100)
+	m, err := New(DefaultOptions(1e12))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Fit(X, y); err != nil {
+		t.Fatal(err)
+	}
+	if m.NumSelected() != 0 {
+		t.Fatalf("lambda=1e12 selected %d", m.NumSelected())
+	}
+	mean := ml.Mean(y)
+	if p := m.Predict(X[0]); math.Abs(p-mean) > 1e-6 {
+		t.Fatalf("all-zero model predicts %v, want mean %v", p, mean)
+	}
+}
+
+func TestConstantColumnGetsZeroWeight(t *testing.T) {
+	src := randx.New(5)
+	var X [][]float64
+	var y []float64
+	for i := 0; i < 100; i++ {
+		x := src.Uniform(-1, 1)
+		X = append(X, []float64{x, 0}) // second column identically zero
+		y = append(y, 2*x)
+	}
+	m, err := New(DefaultOptions(0.001))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Fit(X, y); err != nil {
+		t.Fatal(err)
+	}
+	if m.Coef[1] != 0 {
+		t.Fatalf("zero column got weight %v", m.Coef[1])
+	}
+}
+
+func TestRawScaleFeatures(t *testing.T) {
+	// Features on wildly different scales, like the paper's raw system
+	// features (memory ~1e6 KB, CPU ~1e1 %). With a large lambda the
+	// big-scale feature survives longest because its correlation term
+	// dominates the threshold.
+	src := randx.New(6)
+	var X [][]float64
+	var y []float64
+	for i := 0; i < 200; i++ {
+		mem := src.Uniform(1e6, 3e6)
+		cpu := src.Uniform(0, 100)
+		X = append(X, []float64{mem, cpu})
+		y = append(y, 2e-4*mem+1.0*cpu+src.Norm(0, 10))
+	}
+	small, err := New(DefaultOptions(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := small.Fit(X, y); err != nil {
+		t.Fatal(err)
+	}
+	if small.NumSelected() != 2 {
+		t.Fatalf("small lambda selected %d of 2", small.NumSelected())
+	}
+	big, err := New(DefaultOptions(1e5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := big.Fit(X, y); err != nil {
+		t.Fatal(err)
+	}
+	if big.NumSelected() != 1 || big.Coef[0] == 0 {
+		t.Fatalf("big lambda kept wrong set: %v", big.Coef)
+	}
+}
+
+func TestWarmStartConsistency(t *testing.T) {
+	src := randx.New(7)
+	X, y := makeSparseProblem(src, 200)
+	cold, _ := New(DefaultOptions(0.1))
+	if err := cold.Fit(X, y); err != nil {
+		t.Fatal(err)
+	}
+	warm, _ := New(DefaultOptions(10))
+	if err := warm.Fit(X, y); err != nil {
+		t.Fatal(err)
+	}
+	warm.opts.Lambda = 0.1
+	if err := warm.Fit(X, y); err != nil { // warm start from lambda=10 solution
+		t.Fatal(err)
+	}
+	for i := range cold.Coef {
+		if math.Abs(cold.Coef[i]-warm.Coef[i]) > 1e-3 {
+			t.Fatalf("warm start diverged: %v vs %v", cold.Coef, warm.Coef)
+		}
+	}
+}
+
+func TestNameEncodesLambda(t *testing.T) {
+	m, _ := New(DefaultOptions(1e9))
+	if m.Name() != "lasso-lambda-1e+09" {
+		t.Fatalf("Name = %q", m.Name())
+	}
+}
+
+func TestUnfittedPredict(t *testing.T) {
+	m, _ := New(DefaultOptions(1))
+	if !math.IsNaN(m.Predict([]float64{1})) {
+		t.Fatal("unfitted Predict not NaN")
+	}
+}
+
+// Property: the objective never increases when lambda decreases the
+// penalty on an already-sparse solution — concretely, training loss
+// (MSE part) is non-increasing as lambda shrinks.
+func TestTrainingLossMonotoneInLambda(t *testing.T) {
+	src := randx.New(8)
+	X, y := makeSparseProblem(src, 150)
+	mse := func(lam float64) float64 {
+		m, err := New(DefaultOptions(lam))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := m.Fit(X, y); err != nil {
+			t.Fatal(err)
+		}
+		var s float64
+		for i := range X {
+			d := y[i] - m.Predict(X[i])
+			s += d * d
+		}
+		return s / float64(len(X))
+	}
+	prev := math.Inf(1)
+	for _, lam := range []float64{100, 10, 1, 0.1, 0.01} {
+		cur := mse(lam)
+		if cur > prev+1e-9 {
+			t.Fatalf("training MSE rose as lambda fell: %v -> %v at %v", prev, cur, lam)
+		}
+		prev = cur
+	}
+}
+
+// Property: soft-threshold shrinks toward zero and is odd.
+func TestSoftThresholdProperty(t *testing.T) {
+	f := func(zRaw int16, lamRaw uint8) bool {
+		z := float64(zRaw) / 10
+		lam := float64(lamRaw) / 10
+		s := softThreshold(z, lam)
+		if math.Abs(s) > math.Abs(z) {
+			return false
+		}
+		if softThreshold(-z, lam) != -s {
+			return false
+		}
+		if math.Abs(z) <= lam && s != 0 {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkFit300x30(b *testing.B) {
+	src := randx.New(9)
+	n, d := 300, 30
+	X := make([][]float64, n)
+	y := make([]float64, n)
+	for i := 0; i < n; i++ {
+		row := make([]float64, d)
+		for j := range row {
+			row[j] = src.Uniform(0, 100)
+		}
+		X[i] = row
+		y[i] = src.Uniform(0, 100)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m, err := New(DefaultOptions(1))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := m.Fit(X, y); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	src := randx.New(30)
+	X, y := makeSparseProblem(src, 100)
+	m, err := New(DefaultOptions(0.1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Fit(X, y); err != nil {
+		t.Fatal(err)
+	}
+	data, err := m.MarshalJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var restored Model
+	if err := restored.UnmarshalJSON(data); err != nil {
+		t.Fatal(err)
+	}
+	if restored.Lambda() != 0.1 {
+		t.Fatalf("lambda drift: %v", restored.Lambda())
+	}
+	probe := X[0]
+	if restored.Predict(probe) != m.Predict(probe) {
+		t.Fatal("prediction drift after JSON round trip")
+	}
+}
+
+func TestJSONErrors(t *testing.T) {
+	m, _ := New(DefaultOptions(1))
+	if _, err := m.MarshalJSON(); err == nil {
+		t.Fatal("unfitted marshal accepted")
+	}
+	var r Model
+	if err := r.UnmarshalJSON([]byte("nope")); err == nil {
+		t.Fatal("bad JSON accepted")
+	}
+	if err := r.UnmarshalJSON([]byte(`{"lambda":1,"coef":[],"intercept":0}`)); err == nil {
+		t.Fatal("empty coefficients accepted")
+	}
+}

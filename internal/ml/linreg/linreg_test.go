@@ -1,0 +1,209 @@
+package linreg
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/ml"
+	"repro/internal/randx"
+)
+
+func TestRecoverExactLinear(t *testing.T) {
+	// y = 3 + 2x1 - x2, no noise.
+	src := randx.New(1)
+	var X [][]float64
+	var y []float64
+	for i := 0; i < 50; i++ {
+		x1, x2 := src.Uniform(-5, 5), src.Uniform(-5, 5)
+		X = append(X, []float64{x1, x2})
+		y = append(y, 3+2*x1-x2)
+	}
+	m := New()
+	if err := m.Fit(X, y); err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(m.Intercept-3) > 1e-8 || math.Abs(m.Coef[0]-2) > 1e-8 || math.Abs(m.Coef[1]+1) > 1e-8 {
+		t.Fatalf("coefficients = %v intercept = %v", m.Coef, m.Intercept)
+	}
+	if p := m.Predict([]float64{1, 1}); math.Abs(p-4) > 1e-8 {
+		t.Fatalf("Predict = %v, want 4", p)
+	}
+}
+
+func TestUnfittedPredictNaN(t *testing.T) {
+	m := New()
+	if !math.IsNaN(m.Predict([]float64{1})) {
+		t.Fatal("unfitted Predict not NaN")
+	}
+	if m.Name() != "linear" {
+		t.Fatalf("Name = %q", m.Name())
+	}
+}
+
+func TestDimensionMismatchPredict(t *testing.T) {
+	m := New()
+	if err := m.Fit([][]float64{{1}, {2}, {3}}, []float64{1, 2, 3}); err != nil {
+		t.Fatal(err)
+	}
+	if !math.IsNaN(m.Predict([]float64{1, 2})) {
+		t.Fatal("dimension mismatch not NaN")
+	}
+}
+
+func TestFitErrors(t *testing.T) {
+	m := New()
+	if err := m.Fit(nil, nil); err == nil {
+		t.Fatal("empty Fit accepted")
+	}
+	if err := m.Fit([][]float64{{1, 2}}, []float64{1, 2}); err == nil {
+		t.Fatal("mismatched Fit accepted")
+	}
+}
+
+func TestCollinearColumnsHandled(t *testing.T) {
+	// Second column duplicates the first; ridge fallback must fit.
+	var X [][]float64
+	var y []float64
+	for i := 0; i < 20; i++ {
+		v := float64(i)
+		X = append(X, []float64{v, v})
+		y = append(y, 5+3*v)
+	}
+	m := New()
+	if err := m.Fit(X, y); err != nil {
+		t.Fatalf("collinear fit failed: %v", err)
+	}
+	// Predictions must still be accurate even if individual coefficients
+	// are not identifiable.
+	if p := m.Predict([]float64{10, 10}); math.Abs(p-35) > 1e-3 {
+		t.Fatalf("collinear prediction = %v, want 35", p)
+	}
+}
+
+func TestNoiseRobust(t *testing.T) {
+	src := randx.New(2)
+	var X [][]float64
+	var y []float64
+	for i := 0; i < 500; i++ {
+		x := src.Uniform(0, 10)
+		X = append(X, []float64{x})
+		y = append(y, 1+4*x+src.Norm(0, 0.5))
+	}
+	m := New()
+	if err := m.Fit(X, y); err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(m.Coef[0]-4) > 0.1 || math.Abs(m.Intercept-1) > 0.3 {
+		t.Fatalf("noisy fit: coef=%v intercept=%v", m.Coef, m.Intercept)
+	}
+}
+
+// Property: fitted residuals are orthogonal to each feature column
+// (normal equations hold).
+func TestNormalEquationsProperty(t *testing.T) {
+	src := randx.New(3)
+	f := func(seed uint16) bool {
+		local := src.Fork(uint64(seed))
+		n, d := 30, 3
+		X := make([][]float64, n)
+		y := make([]float64, n)
+		for i := 0; i < n; i++ {
+			row := make([]float64, d)
+			for j := range row {
+				row[j] = local.Uniform(-10, 10)
+			}
+			X[i] = row
+			y[i] = local.Uniform(-10, 10)
+		}
+		m := New()
+		if err := m.Fit(X, y); err != nil {
+			return false
+		}
+		for j := 0; j < d; j++ {
+			var dot float64
+			for i := 0; i < n; i++ {
+				resid := y[i] - m.Predict(X[i])
+				dot += resid * X[i][j]
+			}
+			if math.Abs(dot) > 1e-5 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFitDoesNotRetainInput(t *testing.T) {
+	X := [][]float64{{1}, {2}, {3}}
+	y := []float64{2, 4, 6}
+	m := New()
+	if err := m.Fit(X, y); err != nil {
+		t.Fatal(err)
+	}
+	before := m.Predict([]float64{10})
+	X[0][0] = 1e9
+	y[0] = -1e9
+	after := m.Predict([]float64{10})
+	if before != after {
+		t.Fatal("model depends on caller-mutated training data")
+	}
+}
+
+var _ ml.Regressor = New()
+
+func BenchmarkFit500x30(b *testing.B) {
+	src := randx.New(4)
+	n, d := 500, 30
+	X := make([][]float64, n)
+	y := make([]float64, n)
+	for i := 0; i < n; i++ {
+		row := make([]float64, d)
+		for j := range row {
+			row[j] = src.Float64()
+		}
+		X[i] = row
+		y[i] = src.Float64()
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m := New()
+		if err := m.Fit(X, y); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	m := New()
+	if err := m.Fit([][]float64{{1}, {2}, {3}}, []float64{3, 5, 7}); err != nil {
+		t.Fatal(err)
+	}
+	data, err := m.MarshalJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var restored Model
+	if err := restored.UnmarshalJSON(data); err != nil {
+		t.Fatal(err)
+	}
+	if restored.Predict([]float64{10}) != m.Predict([]float64{10}) {
+		t.Fatal("prediction drift after JSON round trip")
+	}
+}
+
+func TestJSONErrors(t *testing.T) {
+	if _, err := New().MarshalJSON(); err == nil {
+		t.Fatal("unfitted marshal accepted")
+	}
+	var m Model
+	if err := m.UnmarshalJSON([]byte("{bad")); err == nil {
+		t.Fatal("bad JSON accepted")
+	}
+	if err := m.UnmarshalJSON([]byte(`{"coef":[],"intercept":1}`)); err == nil {
+		t.Fatal("empty coefficients accepted")
+	}
+}

@@ -1,0 +1,232 @@
+package lssvm
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/ml"
+	"repro/internal/ml/kernel"
+	"repro/internal/randx"
+)
+
+func sineData(src *randx.Source, n int, noise float64) (X [][]float64, y []float64) {
+	for i := 0; i < n; i++ {
+		x := src.Uniform(0, 2*math.Pi)
+		X = append(X, []float64{x})
+		y = append(y, 100*math.Sin(x)+src.Norm(0, noise))
+	}
+	return X, y
+}
+
+func mae(m ml.Regressor, X [][]float64, y []float64) float64 {
+	var s float64
+	for i := range X {
+		s += math.Abs(y[i] - m.Predict(X[i]))
+	}
+	return s / float64(len(X))
+}
+
+func TestOptionsValidate(t *testing.T) {
+	if err := (&Options{Gamma: 0}).Validate(); err == nil {
+		t.Fatal("zero gamma accepted")
+	}
+	if _, err := New(Options{Gamma: -1}); err == nil {
+		t.Fatal("New accepted negative gamma")
+	}
+}
+
+func TestNonlinearFit(t *testing.T) {
+	src := randx.New(1)
+	X, y := sineData(src, 250, 1)
+	m, err := New(DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Fit(X, y); err != nil {
+		t.Fatal(err)
+	}
+	tX, tY := sineData(src, 100, 0)
+	if e := mae(m, tX, tY); e > 10 {
+		t.Fatalf("LS-SVM test MAE = %v on sine data", e)
+	}
+}
+
+func TestGammaControlsSmoothing(t *testing.T) {
+	// Small gamma = strong regularization = smoother fit = higher train
+	// error than a huge gamma.
+	src := randx.New(2)
+	X, y := sineData(src, 150, 3)
+	trainErr := func(g float64) float64 {
+		m, err := New(Options{Gamma: g})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := m.Fit(X, y); err != nil {
+			t.Fatal(err)
+		}
+		return mae(m, X, y)
+	}
+	if smooth, sharp := trainErr(0.01), trainErr(1e4); smooth <= sharp {
+		t.Fatalf("regularization did not smooth: %v <= %v", smooth, sharp)
+	}
+}
+
+func TestLinearKernel(t *testing.T) {
+	src := randx.New(3)
+	var X [][]float64
+	var y []float64
+	for i := 0; i < 150; i++ {
+		a, b := src.Uniform(-5, 5), src.Uniform(-5, 5)
+		X = append(X, []float64{a, b})
+		y = append(y, 2*a+b-3)
+	}
+	m, err := New(Options{Gamma: 1e4, Kernel: kernel.Linear{}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Fit(X, y); err != nil {
+		t.Fatal(err)
+	}
+	if e := mae(m, X, y); e > 0.1 {
+		t.Fatalf("linear LS-SVM MAE = %v", e)
+	}
+}
+
+func TestRawScaleInputs(t *testing.T) {
+	src := randx.New(4)
+	var X [][]float64
+	var y []float64
+	for i := 0; i < 150; i++ {
+		mem := src.Uniform(1e5, 2e6)
+		cpu := src.Uniform(0, 100)
+		X = append(X, []float64{mem, cpu})
+		y = append(y, mem/2000+3*cpu+src.Norm(0, 10))
+	}
+	m, err := New(DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Fit(X, y); err != nil {
+		t.Fatal(err)
+	}
+	mean := ml.Mean(y)
+	var num, den float64
+	for i := range X {
+		num += math.Abs(y[i] - m.Predict(X[i]))
+		den += math.Abs(y[i] - mean)
+	}
+	if num/den > 0.5 {
+		t.Fatalf("raw-scale RAE = %v", num/den)
+	}
+}
+
+func TestConstantTarget(t *testing.T) {
+	X := [][]float64{{1}, {2}, {3}, {4}}
+	y := []float64{7, 7, 7, 7}
+	m, err := New(DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Fit(X, y); err != nil {
+		t.Fatal(err)
+	}
+	if p := m.Predict([]float64{2.5}); math.Abs(p-7) > 1e-6 {
+		t.Fatalf("constant target predicts %v", p)
+	}
+}
+
+func TestDuplicateRowsHandled(t *testing.T) {
+	// Duplicate rows make the kernel matrix singular; the ridge I/γ and
+	// the jitter fallback must keep the solve alive.
+	X := [][]float64{{1}, {1}, {2}, {2}, {3}, {3}}
+	y := []float64{10, 10, 20, 20, 30, 30}
+	m, err := New(DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Fit(X, y); err != nil {
+		t.Fatalf("duplicate rows broke the solver: %v", err)
+	}
+	if p := m.Predict([]float64{2}); math.Abs(p-20) > 5 {
+		t.Fatalf("prediction %v far from 20", p)
+	}
+}
+
+func TestUnfittedAndMismatch(t *testing.T) {
+	m, err := New(DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !math.IsNaN(m.Predict([]float64{1})) {
+		t.Fatal("unfitted Predict not NaN")
+	}
+	src := randx.New(5)
+	X, y := sineData(src, 50, 1)
+	if err := m.Fit(X, y); err != nil {
+		t.Fatal(err)
+	}
+	if !math.IsNaN(m.Predict([]float64{1, 2})) {
+		t.Fatal("dimension mismatch not NaN")
+	}
+	if m.Name() != "svm2" {
+		t.Fatalf("Name = %q", m.Name())
+	}
+}
+
+func BenchmarkFit300(b *testing.B) {
+	src := randx.New(6)
+	X, y := sineData(src, 300, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m, err := New(DefaultOptions())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := m.Fit(X, y); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	src := randx.New(60)
+	X, y := sineData(src, 120, 1)
+	m, err := New(DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Fit(X, y); err != nil {
+		t.Fatal(err)
+	}
+	data, err := m.MarshalJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	restored, err := New(DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := restored.UnmarshalJSON(data); err != nil {
+		t.Fatal(err)
+	}
+	for x := 0.0; x < 6; x += 0.2 {
+		probe := []float64{x}
+		if restored.Predict(probe) != m.Predict(probe) {
+			t.Fatalf("prediction drift at %v", x)
+		}
+	}
+}
+
+func TestJSONErrors(t *testing.T) {
+	m, _ := New(DefaultOptions())
+	if _, err := m.MarshalJSON(); err == nil {
+		t.Fatal("unfitted marshal accepted")
+	}
+	if err := m.UnmarshalJSON([]byte("{bad")); err == nil {
+		t.Fatal("bad JSON accepted")
+	}
+	if err := m.UnmarshalJSON([]byte(`{"options":{"Gamma":1},"kernel":{"kind":"rbf","gamma":1},
+		"mean":[0,0],"std":[1,1],"train_x":[[1]],"alpha":[0.5],"bias":0,"y_mean":0,"y_std":1,"dim":1}`)); err == nil {
+		t.Fatal("standardizer dimension mismatch accepted")
+	}
+}

@@ -1,0 +1,328 @@
+package m5p
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/ml"
+	"repro/internal/randx"
+)
+
+// piecewiseLinear generates y = 2x+1 for x<0, y = -3x+10 for x>=0 — a
+// problem a model tree should nail and a single linear model cannot.
+func piecewiseLinear(src *randx.Source, n int, noise float64) (X [][]float64, y []float64) {
+	for i := 0; i < n; i++ {
+		x := src.Uniform(-10, 10)
+		X = append(X, []float64{x})
+		if x < 0 {
+			y = append(y, 2*x+1+src.Norm(0, noise))
+		} else {
+			y = append(y, -3*x+10+src.Norm(0, noise))
+		}
+	}
+	return X, y
+}
+
+func mae(m ml.Regressor, X [][]float64, y []float64) float64 {
+	var s float64
+	for i := range X {
+		s += math.Abs(y[i] - m.Predict(X[i]))
+	}
+	return s / float64(len(X))
+}
+
+func TestOptionsValidate(t *testing.T) {
+	cases := []Options{
+		{MinInstances: 0, SDFraction: 0.05},
+		{MinInstances: 4, SDFraction: -0.1},
+		{MinInstances: 4, SDFraction: 1},
+		{MinInstances: 4, SDFraction: 0.05, SmoothingK: -1},
+		{MinInstances: 4, SDFraction: 0.05, MaxDepth: -1},
+	}
+	for i, o := range cases {
+		if err := o.Validate(); err == nil {
+			t.Errorf("case %d accepted", i)
+		}
+		if _, err := New(o); err == nil {
+			t.Errorf("case %d: New accepted", i)
+		}
+	}
+	def := DefaultOptions()
+	if err := def.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPiecewiseLinearFit(t *testing.T) {
+	src := randx.New(1)
+	X, y := piecewiseLinear(src, 400, 0.1)
+	m, err := New(DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Fit(X, y); err != nil {
+		t.Fatal(err)
+	}
+	tX, tY := piecewiseLinear(src, 200, 0)
+	if e := mae(m, tX, tY); e > 1.5 {
+		t.Fatalf("test MAE = %v on piecewise-linear data", e)
+	}
+	if m.Leaves < 2 {
+		t.Fatalf("tree did not split: %d leaves", m.Leaves)
+	}
+}
+
+func TestBeatsGlobalMeanBaseline(t *testing.T) {
+	src := randx.New(2)
+	X, y := piecewiseLinear(src, 300, 0.5)
+	m, err := New(DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Fit(X, y); err != nil {
+		t.Fatal(err)
+	}
+	mean := ml.Mean(y)
+	var baseline float64
+	for _, v := range y {
+		baseline += math.Abs(v - mean)
+	}
+	baseline /= float64(len(y))
+	if e := mae(m, X, y); e > baseline/3 {
+		t.Fatalf("train MAE %v not well below mean baseline %v", e, baseline)
+	}
+}
+
+func TestPureLinearPrunesToSinglePlane(t *testing.T) {
+	// Exactly linear data: pruning should collapse the tree heavily.
+	src := randx.New(3)
+	var X [][]float64
+	var y []float64
+	for i := 0; i < 300; i++ {
+		a, b := src.Uniform(-5, 5), src.Uniform(-5, 5)
+		X = append(X, []float64{a, b})
+		y = append(y, 3*a-2*b+7)
+	}
+	pruned, err := New(DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := pruned.Fit(X, y); err != nil {
+		t.Fatal(err)
+	}
+	if pruned.Leaves != 1 {
+		t.Fatalf("linear data grew %d leaves despite pruning", pruned.Leaves)
+	}
+	if e := mae(pruned, X, y); e > 1e-6 {
+		t.Fatalf("linear data MAE = %v", e)
+	}
+}
+
+func TestPruningShrinksTree(t *testing.T) {
+	src := randx.New(4)
+	X, y := piecewiseLinear(src, 300, 2.0) // noisy
+	op := DefaultOptions()
+	op.Prune = false
+	unpruned, _ := New(op)
+	if err := unpruned.Fit(X, y); err != nil {
+		t.Fatal(err)
+	}
+	prunedOpts := DefaultOptions()
+	prunedM, _ := New(prunedOpts)
+	if err := prunedM.Fit(X, y); err != nil {
+		t.Fatal(err)
+	}
+	if prunedM.Leaves > unpruned.Leaves {
+		t.Fatalf("pruning grew the tree: %d > %d", prunedM.Leaves, unpruned.Leaves)
+	}
+}
+
+func TestSmoothingContinuity(t *testing.T) {
+	// Smoothing blends leaf predictions with ancestor models, so the
+	// largest discontinuity over a fine scan must not grow.
+	src := randx.New(5)
+	X, y := piecewiseLinear(src, 400, 0.5)
+	maxJump := func(k float64) float64 {
+		op := DefaultOptions()
+		op.SmoothingK = k
+		m, err := New(op)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := m.Fit(X, y); err != nil {
+			t.Fatal(err)
+		}
+		const h = 0.005
+		worst := 0.0
+		prev := m.Predict([]float64{-2})
+		for x := -2 + h; x <= 2; x += h {
+			cur := m.Predict([]float64{x})
+			if j := math.Abs(cur - prev); j > worst {
+				worst = j
+			}
+			prev = cur
+		}
+		return worst
+	}
+	if js, ju := maxJump(15), maxJump(0); js > ju+1e-9 {
+		t.Fatalf("smoothing increased the worst jump: %v > %v", js, ju)
+	}
+}
+
+func TestMaxDepthRespected(t *testing.T) {
+	src := randx.New(6)
+	X, y := piecewiseLinear(src, 400, 0.1)
+	op := DefaultOptions()
+	op.MaxDepth = 1
+	op.Prune = false
+	m, _ := New(op)
+	if err := m.Fit(X, y); err != nil {
+		t.Fatal(err)
+	}
+	if m.Leaves > 2 {
+		t.Fatalf("depth-1 tree has %d leaves", m.Leaves)
+	}
+}
+
+func TestConstantTarget(t *testing.T) {
+	X := [][]float64{{1}, {2}, {3}, {4}, {5}, {6}, {7}, {8}}
+	y := []float64{5, 5, 5, 5, 5, 5, 5, 5}
+	m, _ := New(DefaultOptions())
+	if err := m.Fit(X, y); err != nil {
+		t.Fatal(err)
+	}
+	if p := m.Predict([]float64{4.5}); math.Abs(p-5) > 1e-9 {
+		t.Fatalf("constant target predicts %v", p)
+	}
+	if m.Leaves != 1 {
+		t.Fatalf("constant target grew %d leaves", m.Leaves)
+	}
+}
+
+func TestTinyDataset(t *testing.T) {
+	m, _ := New(DefaultOptions())
+	if err := m.Fit([][]float64{{1}, {2}}, []float64{1, 2}); err != nil {
+		t.Fatal(err)
+	}
+	if math.IsNaN(m.Predict([]float64{1.5})) {
+		t.Fatal("tiny dataset predicts NaN")
+	}
+}
+
+func TestUnfittedAndMismatch(t *testing.T) {
+	m, _ := New(DefaultOptions())
+	if !math.IsNaN(m.Predict([]float64{1})) {
+		t.Fatal("unfitted Predict not NaN")
+	}
+	if err := m.Fit([][]float64{{1, 2}}, []float64{1, 2}); err == nil {
+		t.Fatal("bad Fit accepted")
+	}
+	src := randx.New(7)
+	X, y := piecewiseLinear(src, 50, 0.1)
+	if err := m.Fit(X, y); err != nil {
+		t.Fatal(err)
+	}
+	if !math.IsNaN(m.Predict([]float64{1, 2, 3})) {
+		t.Fatal("dimension mismatch not NaN")
+	}
+	if m.Name() != "m5p" {
+		t.Fatalf("Name = %q", m.Name())
+	}
+}
+
+func TestFitDoesNotRetainInput(t *testing.T) {
+	src := randx.New(8)
+	X, y := piecewiseLinear(src, 100, 0.1)
+	m, _ := New(DefaultOptions())
+	if err := m.Fit(X, y); err != nil {
+		t.Fatal(err)
+	}
+	probe := []float64{3}
+	before := m.Predict(probe)
+	for i := range X {
+		X[i][0] = 1e9
+		y[i] = -1e9
+	}
+	if after := m.Predict(probe); after != before {
+		t.Fatal("model reads caller-mutated training data")
+	}
+}
+
+func BenchmarkFit500x10(b *testing.B) {
+	src := randx.New(9)
+	n, d := 500, 10
+	X := make([][]float64, n)
+	y := make([]float64, n)
+	for i := 0; i < n; i++ {
+		row := make([]float64, d)
+		for j := range row {
+			row[j] = src.Uniform(0, 10)
+		}
+		X[i] = row
+		y[i] = row[0]*3 + row[1]*row[1] + src.Norm(0, 0.5)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m, err := New(DefaultOptions())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := m.Fit(X, y); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	src := randx.New(40)
+	X, y := piecewiseLinear(src, 300, 0.3)
+	m, err := New(DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Fit(X, y); err != nil {
+		t.Fatal(err)
+	}
+	data, err := m.MarshalJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	restored, err := New(DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := restored.UnmarshalJSON(data); err != nil {
+		t.Fatal(err)
+	}
+	if restored.Leaves != m.Leaves || restored.Nodes != m.Nodes {
+		t.Fatalf("tree shape drift: %d/%d vs %d/%d", restored.Leaves, restored.Nodes, m.Leaves, m.Nodes)
+	}
+	for x := -9.5; x < 9.5; x += 0.7 {
+		probe := []float64{x}
+		if restored.Predict(probe) != m.Predict(probe) {
+			t.Fatalf("prediction drift at %v", x)
+		}
+	}
+}
+
+func TestJSONErrors(t *testing.T) {
+	m, _ := New(DefaultOptions())
+	if _, err := m.MarshalJSON(); err == nil {
+		t.Fatal("unfitted marshal accepted")
+	}
+	if err := m.UnmarshalJSON([]byte("{bad")); err == nil {
+		t.Fatal("bad JSON accepted")
+	}
+	if err := m.UnmarshalJSON([]byte(`{"options":{},"dim":0,"root":{"leaf":true}}`)); err == nil {
+		t.Fatal("zero dim accepted")
+	}
+	if err := m.UnmarshalJSON([]byte(`{"options":{},"dim":1,"root":null}`)); err == nil {
+		t.Fatal("missing root accepted")
+	}
+	// Interior node with out-of-range feature.
+	bad := `{"options":{},"dim":1,"root":{"leaf":false,"feature":5,"threshold":1,
+		"left":{"leaf":true,"n":1,"mean":0},"right":{"leaf":true,"n":1,"mean":1},"n":2,"mean":0.5}}`
+	if err := m.UnmarshalJSON([]byte(bad)); err == nil {
+		t.Fatal("out-of-range split feature accepted")
+	}
+}

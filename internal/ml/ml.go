@@ -1,0 +1,108 @@
+// Package ml defines the shared contract implemented by the six F2PM
+// learning methods (paper §III-D): Linear Regression, M5P, REP-Tree,
+// Lasso as a Predictor, Support-Vector Machine regression, and
+// Least-Squares SVM. Each lives in its own subpackage; this package holds
+// the Regressor interface and common helpers.
+package ml
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Common training errors.
+var (
+	// ErrNotFitted is returned by Predict before a successful Fit.
+	ErrNotFitted = errors.New("ml: model is not fitted")
+	// ErrNoData is returned by Fit on an empty training set.
+	ErrNoData = errors.New("ml: empty training set")
+	// ErrDimension is returned on inconsistent feature dimensions.
+	ErrDimension = errors.New("ml: inconsistent dimensions")
+)
+
+// Regressor is a trainable RTTF prediction model.
+type Regressor interface {
+	// Name returns a short identifier ("linear", "m5p", ...).
+	Name() string
+	// Fit trains on rows X with targets y. Implementations must not
+	// retain references into X or y after returning.
+	Fit(X [][]float64, y []float64) error
+	// Predict returns the model output for one feature vector. Calling
+	// Predict on an unfitted model returns NaN.
+	Predict(x []float64) float64
+}
+
+// CheckTrainingSet validates the common Fit preconditions and returns the
+// feature dimension.
+func CheckTrainingSet(X [][]float64, y []float64) (dim int, err error) {
+	if len(X) == 0 || len(y) == 0 {
+		return 0, ErrNoData
+	}
+	if len(X) != len(y) {
+		return 0, fmt.Errorf("%w: %d rows vs %d targets", ErrDimension, len(X), len(y))
+	}
+	dim = len(X[0])
+	if dim == 0 {
+		return 0, fmt.Errorf("%w: zero-width feature rows", ErrDimension)
+	}
+	for i, row := range X {
+		if len(row) != dim {
+			return 0, fmt.Errorf("%w: row %d has %d features, want %d", ErrDimension, i, len(row), dim)
+		}
+	}
+	for i, v := range y {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return 0, fmt.Errorf("ml: target %d is %v", i, v)
+		}
+	}
+	return dim, nil
+}
+
+// PredictAll applies the model to every row.
+func PredictAll(r Regressor, X [][]float64) []float64 {
+	out := make([]float64, len(X))
+	for i, row := range X {
+		out[i] = r.Predict(row)
+	}
+	return out
+}
+
+// CloneMatrix deep-copies a row matrix, so models can retain training
+// data safely.
+func CloneMatrix(X [][]float64) [][]float64 {
+	out := make([][]float64, len(X))
+	for i, row := range X {
+		out[i] = append([]float64(nil), row...)
+	}
+	return out
+}
+
+// CloneVector copies a vector.
+func CloneVector(y []float64) []float64 { return append([]float64(nil), y...) }
+
+// Mean returns the arithmetic mean of xs (0 for empty input).
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// Variance returns the population variance of xs.
+func Variance(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	m := Mean(xs)
+	var s float64
+	for _, x := range xs {
+		d := x - m
+		s += d * d
+	}
+	return s / float64(len(xs))
+}

@@ -1,0 +1,80 @@
+package ml
+
+import (
+	"errors"
+	"math"
+	"testing"
+)
+
+type stub struct{ v float64 }
+
+func (s *stub) Name() string                         { return "stub" }
+func (s *stub) Fit(X [][]float64, y []float64) error { return nil }
+func (s *stub) Predict(x []float64) float64          { return s.v }
+
+func TestCheckTrainingSet(t *testing.T) {
+	X := [][]float64{{1, 2}, {3, 4}}
+	y := []float64{1, 2}
+	dim, err := CheckTrainingSet(X, y)
+	if err != nil || dim != 2 {
+		t.Fatalf("CheckTrainingSet = (%d, %v)", dim, err)
+	}
+	if _, err := CheckTrainingSet(nil, nil); !errors.Is(err, ErrNoData) {
+		t.Fatalf("empty err = %v", err)
+	}
+	if _, err := CheckTrainingSet(X, []float64{1}); !errors.Is(err, ErrDimension) {
+		t.Fatalf("length mismatch err = %v", err)
+	}
+	if _, err := CheckTrainingSet([][]float64{{1}, {1, 2}}, y); !errors.Is(err, ErrDimension) {
+		t.Fatalf("ragged err = %v", err)
+	}
+	if _, err := CheckTrainingSet([][]float64{{}, {}}, y); !errors.Is(err, ErrDimension) {
+		t.Fatalf("zero-width err = %v", err)
+	}
+	if _, err := CheckTrainingSet(X, []float64{1, math.NaN()}); err == nil {
+		t.Fatal("NaN target accepted")
+	}
+	if _, err := CheckTrainingSet(X, []float64{1, math.Inf(1)}); err == nil {
+		t.Fatal("Inf target accepted")
+	}
+}
+
+func TestPredictAll(t *testing.T) {
+	out := PredictAll(&stub{v: 7}, [][]float64{{1}, {2}, {3}})
+	if len(out) != 3 || out[0] != 7 || out[2] != 7 {
+		t.Fatalf("PredictAll = %v", out)
+	}
+}
+
+func TestCloneMatrixDeep(t *testing.T) {
+	X := [][]float64{{1, 2}}
+	c := CloneMatrix(X)
+	c[0][0] = 99
+	if X[0][0] != 1 {
+		t.Fatal("CloneMatrix shares storage")
+	}
+}
+
+func TestCloneVector(t *testing.T) {
+	y := []float64{1, 2}
+	c := CloneVector(y)
+	c[0] = 99
+	if y[0] != 1 {
+		t.Fatal("CloneVector shares storage")
+	}
+}
+
+func TestMeanVariance(t *testing.T) {
+	if Mean([]float64{2, 4}) != 3 {
+		t.Fatal("Mean wrong")
+	}
+	if Mean(nil) != 0 {
+		t.Fatal("Mean(nil) wrong")
+	}
+	if Variance([]float64{2, 4}) != 1 {
+		t.Fatal("Variance wrong")
+	}
+	if Variance(nil) != 0 {
+		t.Fatal("Variance(nil) wrong")
+	}
+}

@@ -1,0 +1,338 @@
+// Package reptree implements the fast regression-tree learner the paper
+// calls REP-Tree (§III-D): a variance-reduction tree grown on a portion
+// of the data, pruned by reduced-error pruning against a held-out pruning
+// set, and backfitted so leaf values use all available data. It was the
+// most accurate model in the paper's evaluation (Table II).
+package reptree
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+
+	"repro/internal/ml"
+	"repro/internal/ml/treeutil"
+	"repro/internal/randx"
+)
+
+// Options tunes the learner.
+type Options struct {
+	// MinInstances is the minimum rows per leaf (WEKA default 2).
+	MinInstances int
+	// MaxDepth caps the tree (0 = unlimited, WEKA default -1).
+	MaxDepth int
+	// PruneFraction is the fraction of training rows held out as the
+	// pruning set (WEKA uses numFolds=3 → 1/3).
+	PruneFraction float64
+	// Prune toggles reduced-error pruning.
+	Prune bool
+	// Backfit re-estimates leaf values on the full training set after
+	// pruning (WEKA's backfitting).
+	Backfit bool
+	// Seed drives the grow/prune partition.
+	Seed uint64
+}
+
+// DefaultOptions mirrors WEKA's REPTree defaults.
+func DefaultOptions() Options {
+	return Options{MinInstances: 2, PruneFraction: 1.0 / 3.0, Prune: true, Backfit: true, Seed: 1}
+}
+
+// Validate reports option errors.
+func (o *Options) Validate() error {
+	if o.MinInstances < 1 {
+		return fmt.Errorf("reptree: MinInstances must be >= 1, got %d", o.MinInstances)
+	}
+	if o.MaxDepth < 0 {
+		return fmt.Errorf("reptree: MaxDepth must be >= 0, got %d", o.MaxDepth)
+	}
+	if o.Prune && (o.PruneFraction <= 0 || o.PruneFraction >= 1) {
+		return fmt.Errorf("reptree: PruneFraction must be in (0,1) when pruning, got %v", o.PruneFraction)
+	}
+	return nil
+}
+
+type node struct {
+	feature   int
+	threshold float64
+	left      *node
+	right     *node
+
+	leaf  bool
+	value float64 // prediction (grow-set mean, backfitted later)
+	n     int     // grow-set support
+
+	// backfit accumulators
+	bfSum float64
+	bfCnt int
+}
+
+// Model is a fitted REP-Tree.
+type Model struct {
+	opts   Options
+	root   *node
+	dim    int
+	fitted bool
+	// Leaves and Nodes report fitted tree size.
+	Leaves int
+	Nodes  int
+}
+
+// New returns an unfitted REP-Tree.
+func New(opts Options) (*Model, error) {
+	if err := opts.Validate(); err != nil {
+		return nil, err
+	}
+	return &Model{opts: opts}, nil
+}
+
+// Name implements ml.Regressor.
+func (m *Model) Name() string { return "reptree" }
+
+// Fit grows the tree on the grow partition, prunes with the pruning
+// partition, and backfits leaf values with all rows.
+func (m *Model) Fit(X [][]float64, y []float64) error {
+	dim, err := ml.CheckTrainingSet(X, y)
+	if err != nil {
+		return err
+	}
+	Xc := ml.CloneMatrix(X)
+	yc := ml.CloneVector(y)
+
+	all := make([]int, len(Xc))
+	for i := range all {
+		all[i] = i
+	}
+
+	growIdx, pruneIdx := all, []int(nil)
+	if m.opts.Prune && len(all) >= 2*m.opts.MinInstances+1 {
+		rng := randx.New(m.opts.Seed)
+		perm := rng.Perm(len(all))
+		nPrune := int(m.opts.PruneFraction * float64(len(all)))
+		if nPrune < 1 {
+			nPrune = 1
+		}
+		if nPrune >= len(all) {
+			nPrune = len(all) - 1
+		}
+		pruneIdx = make([]int, 0, nPrune)
+		growIdx = make([]int, 0, len(all)-nPrune)
+		for k, pi := range perm {
+			if k < nPrune {
+				pruneIdx = append(pruneIdx, all[pi])
+			} else {
+				growIdx = append(growIdx, all[pi])
+			}
+		}
+	}
+
+	root := m.build(Xc, yc, growIdx, 0)
+	if m.opts.Prune && len(pruneIdx) > 0 {
+		m.reducedErrorPrune(root, Xc, yc, pruneIdx)
+	}
+	if m.opts.Backfit {
+		backfit(root, Xc, yc, all)
+	}
+	m.root = root
+	m.dim = dim
+	m.fitted = true
+	m.Leaves, m.Nodes = 0, 0
+	m.count(root)
+	return nil
+}
+
+func (m *Model) build(X [][]float64, y []float64, idx []int, depth int) *node {
+	nd := &node{n: len(idx), value: treeutil.Mean(y, idx)}
+	if len(idx) < 2*m.opts.MinInstances ||
+		(m.opts.MaxDepth > 0 && depth >= m.opts.MaxDepth) ||
+		treeutil.SD(y, idx) == 0 {
+		nd.leaf = true
+		return nd
+	}
+	split, ok := treeutil.BestSplit(X, y, idx, m.opts.MinInstances)
+	if !ok || split.Reduction <= 0 {
+		nd.leaf = true
+		return nd
+	}
+	left, right := treeutil.Partition(X, idx, split)
+	if len(left) < m.opts.MinInstances || len(right) < m.opts.MinInstances {
+		nd.leaf = true
+		return nd
+	}
+	nd.feature = split.Feature
+	nd.threshold = split.Threshold
+	nd.left = m.build(X, y, left, depth+1)
+	nd.right = m.build(X, y, right, depth+1)
+	return nd
+}
+
+// reducedErrorPrune returns the subtree's squared error on the pruning
+// rows and collapses nodes whose leaf error would not exceed it.
+func (m *Model) reducedErrorPrune(nd *node, X [][]float64, y []float64, idx []int) float64 {
+	leafErr := 0.0
+	for _, i := range idx {
+		d := y[i] - nd.value
+		leafErr += d * d
+	}
+	if nd.leaf {
+		return leafErr
+	}
+	left, right := treeutil.Partition(X, idx, treeutil.Split{Feature: nd.feature, Threshold: nd.threshold})
+	subErr := m.reducedErrorPrune(nd.left, X, y, left) +
+		m.reducedErrorPrune(nd.right, X, y, right)
+	if leafErr <= subErr {
+		nd.leaf = true
+		nd.left, nd.right = nil, nil
+		return leafErr
+	}
+	return subErr
+}
+
+// backfit pushes every row down the pruned tree and replaces leaf values
+// with the mean over all rows reaching them (keeping the grow-set value
+// for leaves no row reaches).
+func backfit(root *node, X [][]float64, y []float64, idx []int) {
+	for _, i := range idx {
+		nd := root
+		for !nd.leaf {
+			if X[i][nd.feature] <= nd.threshold {
+				nd = nd.left
+			} else {
+				nd = nd.right
+			}
+		}
+		nd.bfSum += y[i]
+		nd.bfCnt++
+	}
+	applyBackfit(root)
+}
+
+func applyBackfit(nd *node) {
+	if nd == nil {
+		return
+	}
+	if nd.leaf {
+		if nd.bfCnt > 0 {
+			nd.value = nd.bfSum / float64(nd.bfCnt)
+		}
+		return
+	}
+	applyBackfit(nd.left)
+	applyBackfit(nd.right)
+}
+
+func (m *Model) count(nd *node) {
+	if nd == nil {
+		return
+	}
+	m.Nodes++
+	if nd.leaf {
+		m.Leaves++
+		return
+	}
+	m.count(nd.left)
+	m.count(nd.right)
+}
+
+// Predict implements ml.Regressor.
+func (m *Model) Predict(x []float64) float64 {
+	if !m.fitted || len(x) != m.dim {
+		return math.NaN()
+	}
+	nd := m.root
+	for !nd.leaf {
+		if x[nd.feature] <= nd.threshold {
+			nd = nd.left
+		} else {
+			nd = nd.right
+		}
+	}
+	return nd.value
+}
+
+var _ ml.Regressor = (*Model)(nil)
+
+// nodeJSON is the serialized recursive tree node.
+type nodeJSON struct {
+	Feature   int       `json:"feature,omitempty"`
+	Threshold float64   `json:"threshold,omitempty"`
+	Leaf      bool      `json:"leaf"`
+	Value     float64   `json:"value"`
+	N         int       `json:"n"`
+	Left      *nodeJSON `json:"left,omitempty"`
+	Right     *nodeJSON `json:"right,omitempty"`
+}
+
+type repJSON struct {
+	Options Options   `json:"options"`
+	Dim     int       `json:"dim"`
+	Root    *nodeJSON `json:"root"`
+}
+
+func nodeToJSON(nd *node) *nodeJSON {
+	if nd == nil {
+		return nil
+	}
+	out := &nodeJSON{
+		Feature: nd.feature, Threshold: nd.threshold,
+		Leaf: nd.leaf, Value: nd.value, N: nd.n,
+	}
+	if !nd.leaf {
+		out.Left = nodeToJSON(nd.left)
+		out.Right = nodeToJSON(nd.right)
+	}
+	return out
+}
+
+func nodeFromJSON(nj *nodeJSON, dim int) (*node, error) {
+	if nj == nil {
+		return nil, fmt.Errorf("reptree: missing node in serialized tree")
+	}
+	nd := &node{
+		feature: nj.Feature, threshold: nj.Threshold,
+		leaf: nj.Leaf, value: nj.Value, n: nj.N,
+	}
+	if !nd.leaf {
+		if nj.Feature < 0 || nj.Feature >= dim {
+			return nil, fmt.Errorf("reptree: split feature %d out of range [0,%d)", nj.Feature, dim)
+		}
+		var err error
+		if nd.left, err = nodeFromJSON(nj.Left, dim); err != nil {
+			return nil, err
+		}
+		if nd.right, err = nodeFromJSON(nj.Right, dim); err != nil {
+			return nil, err
+		}
+	}
+	return nd, nil
+}
+
+// MarshalJSON serializes a fitted tree.
+func (m *Model) MarshalJSON() ([]byte, error) {
+	if !m.fitted {
+		return nil, ml.ErrNotFitted
+	}
+	return json.Marshal(repJSON{Options: m.opts, Dim: m.dim, Root: nodeToJSON(m.root)})
+}
+
+// UnmarshalJSON restores a tree serialized by MarshalJSON.
+func (m *Model) UnmarshalJSON(data []byte) error {
+	var s repJSON
+	if err := json.Unmarshal(data, &s); err != nil {
+		return fmt.Errorf("reptree: decoding model: %w", err)
+	}
+	if s.Dim <= 0 {
+		return fmt.Errorf("reptree: serialized model has dimension %d", s.Dim)
+	}
+	root, err := nodeFromJSON(s.Root, s.Dim)
+	if err != nil {
+		return err
+	}
+	m.opts = s.Options
+	m.dim = s.Dim
+	m.root = root
+	m.fitted = true
+	m.Leaves, m.Nodes = 0, 0
+	m.count(root)
+	return nil
+}

@@ -1,0 +1,310 @@
+package reptree
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/ml"
+	"repro/internal/randx"
+)
+
+func stepData(src *randx.Source, n int, noise float64) (X [][]float64, y []float64) {
+	for i := 0; i < n; i++ {
+		x := src.Uniform(0, 10)
+		X = append(X, []float64{x})
+		base := 0.0
+		switch {
+		case x < 3:
+			base = 10
+		case x < 7:
+			base = 50
+		default:
+			base = 90
+		}
+		y = append(y, base+src.Norm(0, noise))
+	}
+	return X, y
+}
+
+func mae(m ml.Regressor, X [][]float64, y []float64) float64 {
+	var s float64
+	for i := range X {
+		s += math.Abs(y[i] - m.Predict(X[i]))
+	}
+	return s / float64(len(X))
+}
+
+func TestOptionsValidate(t *testing.T) {
+	cases := []Options{
+		{MinInstances: 0},
+		{MinInstances: 2, MaxDepth: -1},
+		{MinInstances: 2, Prune: true, PruneFraction: 0},
+		{MinInstances: 2, Prune: true, PruneFraction: 1},
+	}
+	for i, o := range cases {
+		if err := o.Validate(); err == nil {
+			t.Errorf("case %d accepted", i)
+		}
+	}
+	def := DefaultOptions()
+	if err := def.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStepFunctionFit(t *testing.T) {
+	src := randx.New(1)
+	X, y := stepData(src, 600, 1)
+	m, err := New(DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Fit(X, y); err != nil {
+		t.Fatal(err)
+	}
+	tX, tY := stepData(src, 200, 0)
+	if e := mae(m, tX, tY); e > 4 {
+		t.Fatalf("test MAE = %v on step data", e)
+	}
+	if m.Leaves < 3 {
+		t.Fatalf("tree has %d leaves, want >= 3 (one per plateau)", m.Leaves)
+	}
+}
+
+func TestPredictionsWithinLabelRange(t *testing.T) {
+	// A regression tree predicts means of training subsets, so its
+	// output can never leave the training label range.
+	src := randx.New(2)
+	X, y := stepData(src, 300, 5)
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, v := range y {
+		lo = math.Min(lo, v)
+		hi = math.Max(hi, v)
+	}
+	m, _ := New(DefaultOptions())
+	if err := m.Fit(X, y); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 500; i++ {
+		p := m.Predict([]float64{src.Uniform(-100, 100)})
+		if p < lo-1e-9 || p > hi+1e-9 {
+			t.Fatalf("prediction %v outside label range [%v, %v]", p, lo, hi)
+		}
+	}
+}
+
+func TestPruningReducesOverfit(t *testing.T) {
+	src := randx.New(3)
+	X, y := stepData(src, 400, 15) // heavy noise
+	unprunedOpts := DefaultOptions()
+	unprunedOpts.Prune = false
+	unprunedOpts.Backfit = false
+	up, _ := New(unprunedOpts)
+	if err := up.Fit(X, y); err != nil {
+		t.Fatal(err)
+	}
+	pr, _ := New(DefaultOptions())
+	if err := pr.Fit(X, y); err != nil {
+		t.Fatal(err)
+	}
+	if pr.Leaves >= up.Leaves {
+		t.Fatalf("pruning did not shrink tree: %d vs %d", pr.Leaves, up.Leaves)
+	}
+	// Pruned tree should generalize at least comparably.
+	tX, tY := stepData(src, 300, 0)
+	ePruned, eUnpruned := mae(pr, tX, tY), mae(up, tX, tY)
+	if ePruned > eUnpruned*1.5 {
+		t.Fatalf("pruned tree much worse: %v vs %v", ePruned, eUnpruned)
+	}
+}
+
+func TestBackfitUsesAllData(t *testing.T) {
+	src := randx.New(4)
+	X, y := stepData(src, 300, 2)
+	with := DefaultOptions()
+	with.Backfit = true
+	without := DefaultOptions()
+	without.Backfit = false
+	mw, _ := New(with)
+	mo, _ := New(without)
+	if err := mw.Fit(X, y); err != nil {
+		t.Fatal(err)
+	}
+	if err := mo.Fit(X, y); err != nil {
+		t.Fatal(err)
+	}
+	// Backfitting must not hurt training error materially.
+	if ew, eo := mae(mw, X, y), mae(mo, X, y); ew > eo*1.2 {
+		t.Fatalf("backfit degraded train error: %v vs %v", ew, eo)
+	}
+}
+
+func TestDeterministicGivenSeed(t *testing.T) {
+	src := randx.New(5)
+	X, y := stepData(src, 200, 3)
+	a, _ := New(DefaultOptions())
+	b, _ := New(DefaultOptions())
+	if err := a.Fit(X, y); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Fit(X, y); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100; i++ {
+		x := []float64{src.Uniform(0, 10)}
+		if a.Predict(x) != b.Predict(x) {
+			t.Fatal("same-seed trees disagree")
+		}
+	}
+}
+
+func TestMaxDepth(t *testing.T) {
+	src := randx.New(6)
+	X, y := stepData(src, 300, 1)
+	op := DefaultOptions()
+	op.MaxDepth = 1
+	op.Prune = false
+	m, _ := New(op)
+	if err := m.Fit(X, y); err != nil {
+		t.Fatal(err)
+	}
+	if m.Leaves > 2 {
+		t.Fatalf("depth-1 tree has %d leaves", m.Leaves)
+	}
+}
+
+func TestConstantTargetSingleLeaf(t *testing.T) {
+	X := [][]float64{{1}, {2}, {3}, {4}, {5}, {6}}
+	y := []float64{7, 7, 7, 7, 7, 7}
+	m, _ := New(DefaultOptions())
+	if err := m.Fit(X, y); err != nil {
+		t.Fatal(err)
+	}
+	if m.Leaves != 1 {
+		t.Fatalf("constant target grew %d leaves", m.Leaves)
+	}
+	if m.Predict([]float64{99}) != 7 {
+		t.Fatal("constant prediction wrong")
+	}
+}
+
+func TestTinyDataset(t *testing.T) {
+	m, _ := New(DefaultOptions())
+	if err := m.Fit([][]float64{{1}}, []float64{3}); err != nil {
+		t.Fatal(err)
+	}
+	if m.Predict([]float64{0}) != 3 {
+		t.Fatal("single-row tree wrong")
+	}
+}
+
+func TestUnfittedAndMismatch(t *testing.T) {
+	m, _ := New(DefaultOptions())
+	if !math.IsNaN(m.Predict([]float64{1})) {
+		t.Fatal("unfitted Predict not NaN")
+	}
+	src := randx.New(7)
+	X, y := stepData(src, 60, 1)
+	if err := m.Fit(X, y); err != nil {
+		t.Fatal(err)
+	}
+	if !math.IsNaN(m.Predict([]float64{1, 2})) {
+		t.Fatal("dimension mismatch not NaN")
+	}
+	if m.Name() != "reptree" {
+		t.Fatalf("Name = %q", m.Name())
+	}
+}
+
+func TestFitDoesNotRetainInput(t *testing.T) {
+	src := randx.New(8)
+	X, y := stepData(src, 100, 1)
+	m, _ := New(DefaultOptions())
+	if err := m.Fit(X, y); err != nil {
+		t.Fatal(err)
+	}
+	probe := []float64{5}
+	before := m.Predict(probe)
+	for i := range X {
+		X[i][0] = -1e9
+		y[i] = 1e9
+	}
+	if m.Predict(probe) != before {
+		t.Fatal("model reads caller-mutated training data")
+	}
+}
+
+func BenchmarkFit1000x10(b *testing.B) {
+	src := randx.New(9)
+	n, d := 1000, 10
+	X := make([][]float64, n)
+	y := make([]float64, n)
+	for i := 0; i < n; i++ {
+		row := make([]float64, d)
+		for j := range row {
+			row[j] = src.Uniform(0, 10)
+		}
+		X[i] = row
+		y[i] = row[0]*5 + src.Norm(0, 1)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m, err := New(DefaultOptions())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := m.Fit(X, y); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	src := randx.New(41)
+	X, y := stepData(src, 300, 1)
+	m, err := New(DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Fit(X, y); err != nil {
+		t.Fatal(err)
+	}
+	data, err := m.MarshalJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	restored, err := New(DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := restored.UnmarshalJSON(data); err != nil {
+		t.Fatal(err)
+	}
+	if restored.Leaves != m.Leaves {
+		t.Fatalf("leaf count drift: %d vs %d", restored.Leaves, m.Leaves)
+	}
+	for x := 0.0; x < 10; x += 0.3 {
+		probe := []float64{x}
+		if restored.Predict(probe) != m.Predict(probe) {
+			t.Fatalf("prediction drift at %v", x)
+		}
+	}
+}
+
+func TestJSONErrors(t *testing.T) {
+	m, _ := New(DefaultOptions())
+	if _, err := m.MarshalJSON(); err == nil {
+		t.Fatal("unfitted marshal accepted")
+	}
+	if err := m.UnmarshalJSON([]byte("{bad")); err == nil {
+		t.Fatal("bad JSON accepted")
+	}
+	if err := m.UnmarshalJSON([]byte(`{"options":{},"dim":0,"root":{"leaf":true}}`)); err == nil {
+		t.Fatal("zero dim accepted")
+	}
+	bad := `{"options":{},"dim":1,"root":{"leaf":false,"feature":7,"threshold":0,
+		"left":{"leaf":true,"value":0,"n":1},"right":{"leaf":true,"value":1,"n":1},"value":0,"n":2}}`
+	if err := m.UnmarshalJSON([]byte(bad)); err == nil {
+		t.Fatal("out-of-range split feature accepted")
+	}
+}

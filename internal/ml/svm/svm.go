@@ -1,0 +1,280 @@
+// Package svm implements ε-insensitive support-vector regression
+// (Cortes & Vapnik 1995; paper §III-D "SVM") trained by dual coordinate
+// descent on the β = α - α* formulation with the bias folded into the
+// kernel (K' = K + 1), the standard simplification of SMO-style solvers:
+//
+//	minimize  W(β) = ½ βᵀK'β − yᵀβ + ε‖β‖₁   s.t.  |β_i| ≤ C
+//
+// Each coordinate has the closed-form update
+// β_i ← clip( S(y_i − g_i, ε) / K'_ii, ±C ) with g_i the prediction
+// excluding β_i and S the soft-threshold operator. Inputs and targets are
+// standardized internally (as WEKA's SMOreg does), since the raw F2PM
+// features span six orders of magnitude.
+package svm
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+
+	"repro/internal/ml"
+	"repro/internal/ml/kernel"
+)
+
+// Options tunes the learner.
+type Options struct {
+	// C is the box constraint (regularization trade-off).
+	C float64
+	// Epsilon is the insensitive-tube half-width in standardized target
+	// units.
+	Epsilon float64
+	// Kernel computes similarities on standardized inputs; nil selects
+	// RBF with the 1/d heuristic gamma.
+	Kernel kernel.Kernel
+	// MaxPasses bounds full coordinate sweeps.
+	MaxPasses int
+	// Tol stops when the largest coordinate change in a sweep drops
+	// below Tol·C.
+	Tol float64
+}
+
+// DefaultOptions returns SMOreg-like settings.
+func DefaultOptions() Options {
+	return Options{C: 1, Epsilon: 0.08, MaxPasses: 60, Tol: 1e-4}
+}
+
+// Validate reports option errors.
+func (o *Options) Validate() error {
+	if o.C <= 0 {
+		return fmt.Errorf("svm: C must be positive, got %v", o.C)
+	}
+	if o.Epsilon < 0 {
+		return fmt.Errorf("svm: Epsilon must be non-negative, got %v", o.Epsilon)
+	}
+	if o.MaxPasses <= 0 {
+		return fmt.Errorf("svm: MaxPasses must be positive, got %d", o.MaxPasses)
+	}
+	if o.Tol <= 0 {
+		return fmt.Errorf("svm: Tol must be positive, got %v", o.Tol)
+	}
+	return nil
+}
+
+// Model is a fitted ε-SVR.
+type Model struct {
+	opts Options
+	kern kernel.Kernel
+	std  *kernel.Standardizer
+
+	// support set: training rows with non-zero beta.
+	supportX [][]float64
+	beta     []float64
+
+	yMean, yStd float64
+	dim         int
+	fitted      bool
+
+	// Passes reports the sweeps used by the last Fit; SupportVectors the
+	// retained expansion size.
+	Passes         int
+	SupportVectors int
+}
+
+// New returns an unfitted SVR.
+func New(opts Options) (*Model, error) {
+	if err := opts.Validate(); err != nil {
+		return nil, err
+	}
+	return &Model{opts: opts}, nil
+}
+
+// Name implements ml.Regressor; the paper's tables call this model "SVM".
+func (m *Model) Name() string { return "svm" }
+
+// Fit trains by cyclic coordinate descent on the dual.
+func (m *Model) Fit(X [][]float64, y []float64) error {
+	dim, err := ml.CheckTrainingSet(X, y)
+	if err != nil {
+		return err
+	}
+	n := len(X)
+
+	m.std = kernel.FitStandardizer(X)
+	Xs := m.std.ApplyAll(X)
+
+	m.yMean = ml.Mean(y)
+	m.yStd = math.Sqrt(ml.Variance(y))
+	if m.yStd == 0 {
+		m.yStd = 1
+	}
+	ys := make([]float64, n)
+	for i, v := range y {
+		ys[i] = (v - m.yMean) / m.yStd
+	}
+
+	kern := m.opts.Kernel
+	if kern == nil {
+		kern = kernel.RBF{Gamma: 1 / float64(dim)}
+	}
+	m.kern = kern
+
+	// Gram matrix with bias fold-in: K' = K + 1.
+	gram := kernel.Matrix(kern, Xs)
+	gn := gram.Rows()
+	kp := make([][]float64, gn)
+	for i := 0; i < gn; i++ {
+		row := make([]float64, gn)
+		copy(row, gram.Row(i))
+		for j := range row {
+			row[j]++
+		}
+		kp[i] = row
+	}
+
+	beta := make([]float64, n)
+	f := make([]float64, n) // f_i = Σ_j K'_ij β_j
+	C := m.opts.C
+	eps := m.opts.Epsilon
+
+	var pass int
+	for pass = 0; pass < m.opts.MaxPasses; pass++ {
+		maxDelta := 0.0
+		for i := 0; i < n; i++ {
+			kii := kp[i][i]
+			if kii <= 0 {
+				continue
+			}
+			g := f[i] - kii*beta[i] // prediction excluding i
+			target := ys[i] - g
+			nb := softThreshold(target, eps) / kii
+			if nb > C {
+				nb = C
+			} else if nb < -C {
+				nb = -C
+			}
+			if d := nb - beta[i]; d != 0 {
+				row := kp[i]
+				for j := 0; j < n; j++ {
+					f[j] += d * row[j]
+				}
+				beta[i] = nb
+				if ad := math.Abs(d); ad > maxDelta {
+					maxDelta = ad
+				}
+			}
+		}
+		if maxDelta < m.opts.Tol*C {
+			pass++
+			break
+		}
+	}
+
+	// Retain only support vectors.
+	m.supportX = m.supportX[:0]
+	m.beta = m.beta[:0]
+	for i := 0; i < n; i++ {
+		if beta[i] != 0 {
+			m.supportX = append(m.supportX, Xs[i])
+			m.beta = append(m.beta, beta[i])
+		}
+	}
+	m.dim = dim
+	m.fitted = true
+	m.Passes = pass
+	m.SupportVectors = len(m.beta)
+	return nil
+}
+
+func softThreshold(z, eps float64) float64 {
+	switch {
+	case z > eps:
+		return z - eps
+	case z < -eps:
+		return z + eps
+	default:
+		return 0
+	}
+}
+
+// Predict implements ml.Regressor:
+// f(x) = Σ_i β_i (k(x_i, x) + 1), de-standardized.
+func (m *Model) Predict(x []float64) float64 {
+	if !m.fitted || len(x) != m.dim {
+		return math.NaN()
+	}
+	xs := m.std.Apply(x)
+	var s float64
+	for i, sv := range m.supportX {
+		s += m.beta[i] * (m.kern.Eval(sv, xs) + 1)
+	}
+	return s*m.yStd + m.yMean
+}
+
+var _ ml.Regressor = (*Model)(nil)
+
+// svmJSON is the serialized model state.
+type svmJSON struct {
+	Options  Options         `json:"options"`
+	Kernel   json.RawMessage `json:"kernel"`
+	Mean     []float64       `json:"mean"`
+	Std      []float64       `json:"std"`
+	SupportX [][]float64     `json:"support_x"`
+	Beta     []float64       `json:"beta"`
+	YMean    float64         `json:"y_mean"`
+	YStd     float64         `json:"y_std"`
+	Dim      int             `json:"dim"`
+}
+
+// MarshalJSON serializes a fitted SVR (only built-in kernels round-trip).
+func (m *Model) MarshalJSON() ([]byte, error) {
+	if !m.fitted {
+		return nil, ml.ErrNotFitted
+	}
+	kj, err := kernel.MarshalKernel(m.kern)
+	if err != nil {
+		return nil, err
+	}
+	opts := m.opts
+	opts.Kernel = nil // serialized separately
+	return json.Marshal(svmJSON{
+		Options: opts, Kernel: kj,
+		Mean: m.std.Mean, Std: m.std.Std,
+		SupportX: m.supportX, Beta: m.beta,
+		YMean: m.yMean, YStd: m.yStd, Dim: m.dim,
+	})
+}
+
+// UnmarshalJSON restores an SVR serialized by MarshalJSON.
+func (m *Model) UnmarshalJSON(data []byte) error {
+	var s svmJSON
+	if err := json.Unmarshal(data, &s); err != nil {
+		return fmt.Errorf("svm: decoding model: %w", err)
+	}
+	if s.Dim <= 0 || len(s.SupportX) != len(s.Beta) {
+		return fmt.Errorf("svm: malformed serialized model (dim=%d, %d SVs, %d betas)",
+			s.Dim, len(s.SupportX), len(s.Beta))
+	}
+	if len(s.Mean) != s.Dim || len(s.Std) != s.Dim {
+		return fmt.Errorf("svm: standardizer dimension mismatch")
+	}
+	for i, sv := range s.SupportX {
+		if len(sv) != s.Dim {
+			return fmt.Errorf("svm: support vector %d has %d features, want %d", i, len(sv), s.Dim)
+		}
+	}
+	kern, err := kernel.UnmarshalKernel(s.Kernel)
+	if err != nil {
+		return err
+	}
+	m.opts = s.Options
+	m.kern = kern
+	m.std = &kernel.Standardizer{Mean: s.Mean, Std: s.Std}
+	m.supportX = s.SupportX
+	m.beta = s.Beta
+	m.yMean = s.YMean
+	m.yStd = s.YStd
+	m.dim = s.Dim
+	m.fitted = true
+	m.SupportVectors = len(s.Beta)
+	return nil
+}

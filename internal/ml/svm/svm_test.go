@@ -1,0 +1,306 @@
+package svm
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/ml"
+	"repro/internal/ml/kernel"
+	"repro/internal/randx"
+)
+
+func sineData(src *randx.Source, n int, noise float64) (X [][]float64, y []float64) {
+	for i := 0; i < n; i++ {
+		x := src.Uniform(0, 2*math.Pi)
+		X = append(X, []float64{x})
+		y = append(y, 100*math.Sin(x)+src.Norm(0, noise))
+	}
+	return X, y
+}
+
+func mae(m ml.Regressor, X [][]float64, y []float64) float64 {
+	var s float64
+	for i := range X {
+		s += math.Abs(y[i] - m.Predict(X[i]))
+	}
+	return s / float64(len(X))
+}
+
+func TestOptionsValidate(t *testing.T) {
+	cases := []Options{
+		{C: 0, Epsilon: 0.1, MaxPasses: 10, Tol: 1e-4},
+		{C: 1, Epsilon: -1, MaxPasses: 10, Tol: 1e-4},
+		{C: 1, Epsilon: 0.1, MaxPasses: 0, Tol: 1e-4},
+		{C: 1, Epsilon: 0.1, MaxPasses: 10, Tol: 0},
+	}
+	for i, o := range cases {
+		if err := o.Validate(); err == nil {
+			t.Errorf("case %d accepted", i)
+		}
+		if _, err := New(o); err == nil {
+			t.Errorf("case %d: New accepted", i)
+		}
+	}
+}
+
+func TestNonlinearFitRBF(t *testing.T) {
+	src := randx.New(1)
+	X, y := sineData(src, 300, 1)
+	opts := DefaultOptions()
+	opts.C = 10
+	m, err := New(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Fit(X, y); err != nil {
+		t.Fatal(err)
+	}
+	tX, tY := sineData(src, 100, 0)
+	if e := mae(m, tX, tY); e > 15 {
+		t.Fatalf("RBF SVR test MAE = %v on sine data (amplitude 100)", e)
+	}
+	if m.SupportVectors == 0 || m.SupportVectors > 300 {
+		t.Fatalf("support vectors = %d", m.SupportVectors)
+	}
+}
+
+func TestLinearKernelOnLinearData(t *testing.T) {
+	src := randx.New(2)
+	var X [][]float64
+	var y []float64
+	for i := 0; i < 200; i++ {
+		a, b := src.Uniform(-5, 5), src.Uniform(-5, 5)
+		X = append(X, []float64{a, b})
+		y = append(y, 3*a-2*b+40)
+	}
+	opts := DefaultOptions()
+	opts.Kernel = kernel.Linear{}
+	opts.C = 100
+	opts.Epsilon = 0.001
+	m, err := New(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Fit(X, y); err != nil {
+		t.Fatal(err)
+	}
+	if e := mae(m, X, y); e > 1.0 {
+		t.Fatalf("linear SVR MAE = %v on noiseless linear data", e)
+	}
+}
+
+func TestEpsilonSparsity(t *testing.T) {
+	// A wider tube leaves more residuals inside it, so fewer support
+	// vectors survive.
+	src := randx.New(3)
+	X, y := sineData(src, 200, 2)
+	count := func(eps float64) int {
+		opts := DefaultOptions()
+		opts.Epsilon = eps
+		m, err := New(opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := m.Fit(X, y); err != nil {
+			t.Fatal(err)
+		}
+		return m.SupportVectors
+	}
+	narrow, wide := count(0.01), count(0.5)
+	if wide >= narrow {
+		t.Fatalf("wider tube kept more SVs: %d vs %d", wide, narrow)
+	}
+}
+
+func TestRawScaleInputsHandled(t *testing.T) {
+	// Paper-scale features: memory ~1e6 KB. Without internal
+	// standardization an RBF would collapse; with it, the fit works.
+	src := randx.New(4)
+	var X [][]float64
+	var y []float64
+	for i := 0; i < 200; i++ {
+		mem := src.Uniform(1e5, 2e6)
+		X = append(X, []float64{mem})
+		y = append(y, mem/1000+src.Norm(0, 20))
+	}
+	opts := DefaultOptions()
+	opts.C = 10
+	m, err := New(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Fit(X, y); err != nil {
+		t.Fatal(err)
+	}
+	// RAE well below 1 (beats the mean predictor).
+	mean := ml.Mean(y)
+	var num, den float64
+	for i := range X {
+		num += math.Abs(y[i] - m.Predict(X[i]))
+		den += math.Abs(y[i] - mean)
+	}
+	if num/den > 0.5 {
+		t.Fatalf("raw-scale RAE = %v", num/den)
+	}
+}
+
+func TestConstantTarget(t *testing.T) {
+	X := [][]float64{{1}, {2}, {3}, {4}}
+	y := []float64{5, 5, 5, 5}
+	m, err := New(DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Fit(X, y); err != nil {
+		t.Fatal(err)
+	}
+	if p := m.Predict([]float64{2.5}); math.Abs(p-5) > 1e-6 {
+		t.Fatalf("constant target predicts %v", p)
+	}
+}
+
+func TestUnfittedAndMismatch(t *testing.T) {
+	m, err := New(DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !math.IsNaN(m.Predict([]float64{1})) {
+		t.Fatal("unfitted Predict not NaN")
+	}
+	src := randx.New(5)
+	X, y := sineData(src, 50, 1)
+	if err := m.Fit(X, y); err != nil {
+		t.Fatal(err)
+	}
+	if !math.IsNaN(m.Predict([]float64{1, 2})) {
+		t.Fatal("dimension mismatch not NaN")
+	}
+	if m.Name() != "svm" {
+		t.Fatalf("Name = %q", m.Name())
+	}
+}
+
+func TestBoxConstraintRespected(t *testing.T) {
+	src := randx.New(6)
+	X, y := sineData(src, 100, 5)
+	opts := DefaultOptions()
+	opts.C = 0.05
+	m, err := New(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Fit(X, y); err != nil {
+		t.Fatal(err)
+	}
+	for _, b := range m.beta {
+		if math.Abs(b) > opts.C+1e-12 {
+			t.Fatalf("beta %v exceeds C %v", b, opts.C)
+		}
+	}
+}
+
+func TestDeterministic(t *testing.T) {
+	src := randx.New(7)
+	X, y := sineData(src, 150, 1)
+	a, _ := New(DefaultOptions())
+	b, _ := New(DefaultOptions())
+	if err := a.Fit(X, y); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Fit(X, y); err != nil {
+		t.Fatal(err)
+	}
+	probe := []float64{1.5}
+	if a.Predict(probe) != b.Predict(probe) {
+		t.Fatal("SVR not deterministic")
+	}
+}
+
+func BenchmarkFit300(b *testing.B) {
+	src := randx.New(8)
+	X, y := sineData(src, 300, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m, err := New(DefaultOptions())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := m.Fit(X, y); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	src := randx.New(50)
+	X, y := sineData(src, 150, 1)
+	m, err := New(DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Fit(X, y); err != nil {
+		t.Fatal(err)
+	}
+	data, err := m.MarshalJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	restored, err := New(DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := restored.UnmarshalJSON(data); err != nil {
+		t.Fatal(err)
+	}
+	if restored.SupportVectors != m.SupportVectors {
+		t.Fatalf("SV count drift: %d vs %d", restored.SupportVectors, m.SupportVectors)
+	}
+	for x := 0.0; x < 6; x += 0.2 {
+		probe := []float64{x}
+		if restored.Predict(probe) != m.Predict(probe) {
+			t.Fatalf("prediction drift at %v", x)
+		}
+	}
+}
+
+func TestJSONErrors(t *testing.T) {
+	m, _ := New(DefaultOptions())
+	if _, err := m.MarshalJSON(); err == nil {
+		t.Fatal("unfitted marshal accepted")
+	}
+	if err := m.UnmarshalJSON([]byte("{bad")); err == nil {
+		t.Fatal("bad JSON accepted")
+	}
+	if err := m.UnmarshalJSON([]byte(`{"options":{"C":1,"Epsilon":0.1,"MaxPasses":1,"Tol":1},
+		"kernel":{"kind":"rbf","gamma":1},"mean":[0],"std":[1],
+		"support_x":[[1],[2]],"beta":[0.5],"y_mean":0,"y_std":1,"dim":1}`)); err == nil {
+		t.Fatal("SV/beta mismatch accepted")
+	}
+	if err := m.UnmarshalJSON([]byte(`{"options":{"C":1,"Epsilon":0.1,"MaxPasses":1,"Tol":1},
+		"kernel":{"kind":"weird"},"mean":[0],"std":[1],
+		"support_x":[[1]],"beta":[0.5],"y_mean":0,"y_std":1,"dim":1}`)); err == nil {
+		t.Fatal("unknown kernel accepted")
+	}
+}
+
+func TestCustomKernelNotSerializable(t *testing.T) {
+	opts := DefaultOptions()
+	opts.Kernel = weirdKernel{}
+	m, err := New(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := randx.New(51)
+	X, y := sineData(src, 40, 1)
+	if err := m.Fit(X, y); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.MarshalJSON(); err == nil {
+		t.Fatal("custom kernel serialized")
+	}
+}
+
+type weirdKernel struct{}
+
+func (weirdKernel) Eval(a, b []float64) float64 { return 1 }
+func (weirdKernel) Name() string                { return "weird" }

@@ -1,0 +1,139 @@
+// Package treeutil holds the split-search machinery shared by the two
+// tree learners (M5P and REP-Tree): both grow regression trees by
+// maximizing the reduction of target variance across a binary split on a
+// numeric attribute, differing only in leaf models and pruning.
+package treeutil
+
+import (
+	"math"
+	"sort"
+)
+
+// Split describes a candidate binary split: rows with
+// X[i][Feature] <= Threshold go left.
+type Split struct {
+	Feature   int
+	Threshold float64
+	// Reduction is the achieved standard-deviation reduction
+	// SDR = sd(S) - Σ |S_i|/|S| * sd(S_i), the M5 split criterion
+	// (equivalently ranked to variance reduction).
+	Reduction float64
+}
+
+// BestSplit searches every feature for the split of idx (row indices into
+// X/y) that maximizes the standard-deviation reduction, requiring at
+// least minLeaf rows on each side. ok is false when no legal split
+// exists (too few rows, or all feature values constant).
+func BestSplit(X [][]float64, y []float64, idx []int, minLeaf int) (best Split, ok bool) {
+	n := len(idx)
+	if minLeaf < 1 {
+		minLeaf = 1
+	}
+	if n < 2*minLeaf {
+		return Split{}, false
+	}
+	dim := len(X[idx[0]])
+
+	// Node-level statistics.
+	var sum, sumSq float64
+	for _, i := range idx {
+		sum += y[i]
+		sumSq += y[i] * y[i]
+	}
+	fn := float64(n)
+	nodeSD := sdFromSums(sum, sumSq, fn)
+
+	type pair struct{ v, y float64 }
+	pairs := make([]pair, n)
+
+	best.Reduction = -1
+	for f := 0; f < dim; f++ {
+		for k, i := range idx {
+			pairs[k] = pair{v: X[i][f], y: y[i]}
+		}
+		sort.Slice(pairs, func(a, b int) bool { return pairs[a].v < pairs[b].v })
+		if pairs[0].v == pairs[n-1].v {
+			continue // constant feature
+		}
+		var lSum, lSq float64
+		for k := 0; k < n-1; k++ {
+			lSum += pairs[k].y
+			lSq += pairs[k].y * pairs[k].y
+			nl := k + 1
+			nr := n - nl
+			if nl < minLeaf {
+				continue
+			}
+			if nr < minLeaf {
+				break
+			}
+			if pairs[k].v == pairs[k+1].v {
+				continue // cannot split between equal values
+			}
+			rSum := sum - lSum
+			rSq := sumSq - lSq
+			sdr := nodeSD -
+				float64(nl)/fn*sdFromSums(lSum, lSq, float64(nl)) -
+				float64(nr)/fn*sdFromSums(rSum, rSq, float64(nr))
+			if sdr > best.Reduction {
+				best = Split{
+					Feature:   f,
+					Threshold: (pairs[k].v + pairs[k+1].v) / 2,
+					Reduction: sdr,
+				}
+			}
+		}
+	}
+	if best.Reduction < 0 {
+		return Split{}, false
+	}
+	return best, true
+}
+
+// sdFromSums computes a population standard deviation from Σy, Σy², n,
+// clamping tiny negative variance from floating-point cancellation.
+func sdFromSums(sum, sumSq, n float64) float64 {
+	mean := sum / n
+	v := sumSq/n - mean*mean
+	if v < 0 {
+		v = 0
+	}
+	return math.Sqrt(v)
+}
+
+// Partition splits idx in two by the given split, preserving order.
+func Partition(X [][]float64, idx []int, s Split) (left, right []int) {
+	for _, i := range idx {
+		if X[i][s.Feature] <= s.Threshold {
+			left = append(left, i)
+		} else {
+			right = append(right, i)
+		}
+	}
+	return left, right
+}
+
+// SD returns the population standard deviation of y over idx.
+func SD(y []float64, idx []int) float64 {
+	if len(idx) == 0 {
+		return 0
+	}
+	var sum, sumSq float64
+	for _, i := range idx {
+		sum += y[i]
+		sumSq += y[i] * y[i]
+	}
+	return sdFromSums(sum, sumSq, float64(len(idx)))
+}
+
+// Mean returns the mean of y over idx (0 for empty idx).
+func Mean(y []float64, idx []int) float64 {
+	if len(idx) == 0 {
+		return 0
+	}
+	var s float64
+	for _, i := range idx {
+		s += y[i]
+	}
+	return s / float64(len(idx))
+}

@@ -1,0 +1,160 @@
+package treeutil
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/randx"
+)
+
+func TestBestSplitObvious(t *testing.T) {
+	// Perfect step: y = 0 for x < 5, y = 100 for x >= 5.
+	var X [][]float64
+	var y []float64
+	for i := 0; i < 20; i++ {
+		X = append(X, []float64{float64(i)})
+		if i < 10 {
+			y = append(y, 0)
+		} else {
+			y = append(y, 100)
+		}
+	}
+	idx := seq(20)
+	s, ok := BestSplit(X, y, idx, 1)
+	if !ok {
+		t.Fatal("no split found")
+	}
+	if s.Feature != 0 || s.Threshold != 9.5 {
+		t.Fatalf("split = %+v, want feature 0 at 9.5", s)
+	}
+	if s.Reduction <= 0 {
+		t.Fatalf("reduction = %v", s.Reduction)
+	}
+}
+
+func TestBestSplitPicksInformativeFeature(t *testing.T) {
+	src := randx.New(1)
+	var X [][]float64
+	var y []float64
+	for i := 0; i < 100; i++ {
+		noise := src.Uniform(0, 1)
+		signal := src.Uniform(0, 1)
+		X = append(X, []float64{noise, signal})
+		if signal > 0.5 {
+			y = append(y, 50+src.Norm(0, 1))
+		} else {
+			y = append(y, -50+src.Norm(0, 1))
+		}
+	}
+	s, ok := BestSplit(X, y, seq(100), 2)
+	if !ok || s.Feature != 1 {
+		t.Fatalf("split = %+v, want feature 1", s)
+	}
+	if math.Abs(s.Threshold-0.5) > 0.1 {
+		t.Fatalf("threshold = %v, want ~0.5", s.Threshold)
+	}
+}
+
+func TestBestSplitRespectsMinLeaf(t *testing.T) {
+	var X [][]float64
+	y := []float64{0, 0, 0, 100}
+	for i := 0; i < 4; i++ {
+		X = append(X, []float64{float64(i)})
+	}
+	// minLeaf 2 forbids the natural 3/1 split; best allowed is 2/2.
+	s, ok := BestSplit(X, y, seq(4), 2)
+	if !ok {
+		t.Fatal("no split")
+	}
+	if s.Threshold != 1.5 {
+		t.Fatalf("threshold = %v, want 1.5", s.Threshold)
+	}
+}
+
+func TestBestSplitDegenerate(t *testing.T) {
+	// Constant feature: no split.
+	X := [][]float64{{1}, {1}, {1}, {1}}
+	y := []float64{1, 2, 3, 4}
+	if _, ok := BestSplit(X, y, seq(4), 1); ok {
+		t.Fatal("split found on constant feature")
+	}
+	// Too few rows.
+	if _, ok := BestSplit(X, y, seq(4)[:1], 1); ok {
+		t.Fatal("split found on 1 row")
+	}
+}
+
+func TestBestSplitEqualValuesNotSeparated(t *testing.T) {
+	// Feature values {1,1,2,2}: only legal threshold is 1.5.
+	X := [][]float64{{1}, {1}, {2}, {2}}
+	y := []float64{5, 6, 50, 60}
+	s, ok := BestSplit(X, y, seq(4), 1)
+	if !ok || s.Threshold != 1.5 {
+		t.Fatalf("split = %+v ok=%v", s, ok)
+	}
+}
+
+func TestPartition(t *testing.T) {
+	X := [][]float64{{1}, {5}, {3}, {9}}
+	l, r := Partition(X, seq(4), Split{Feature: 0, Threshold: 3})
+	if len(l) != 2 || len(r) != 2 {
+		t.Fatalf("partition sizes %d/%d", len(l), len(r))
+	}
+	if l[0] != 0 || l[1] != 2 || r[0] != 1 || r[1] != 3 {
+		t.Fatalf("partition order: %v %v", l, r)
+	}
+}
+
+func TestSDMean(t *testing.T) {
+	y := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	if got := SD(y, seq(8)); math.Abs(got-2) > 1e-12 {
+		t.Fatalf("SD = %v, want 2", got)
+	}
+	if got := Mean(y, seq(8)); got != 5 {
+		t.Fatalf("Mean = %v, want 5", got)
+	}
+	if SD(y, nil) != 0 || Mean(y, nil) != 0 {
+		t.Fatal("empty idx not 0")
+	}
+}
+
+// Property: any returned split actually reduces the weighted SD, and both
+// sides respect minLeaf.
+func TestBestSplitInvariant(t *testing.T) {
+	src := randx.New(2)
+	f := func(seed uint16, minLeafRaw uint8) bool {
+		local := src.Fork(uint64(seed))
+		n := 30
+		minLeaf := int(minLeafRaw%4) + 1
+		X := make([][]float64, n)
+		y := make([]float64, n)
+		for i := 0; i < n; i++ {
+			X[i] = []float64{local.Uniform(0, 10), local.Uniform(0, 10)}
+			y[i] = local.Uniform(0, 100)
+		}
+		idx := seq(n)
+		s, ok := BestSplit(X, y, idx, minLeaf)
+		if !ok {
+			return true // may legitimately fail for tiny minLeaf budgets
+		}
+		l, r := Partition(X, idx, s)
+		if len(l) < minLeaf || len(r) < minLeaf {
+			return false
+		}
+		whole := SD(y, idx)
+		weighted := float64(len(l))/float64(n)*SD(y, l) + float64(len(r))/float64(n)*SD(y, r)
+		return s.Reduction >= -1e-9 && math.Abs((whole-weighted)-s.Reduction) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func seq(n int) []int {
+	out := make([]int, n)
+	for i := range out {
+		out[i] = i
+	}
+	return out
+}

@@ -1,0 +1,143 @@
+package monitor
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"repro/internal/trace"
+)
+
+// Source produces feature snapshots of the monitored system. Tgen must be
+// the elapsed seconds since the monitored system (re)started.
+type Source interface {
+	Sample() (trace.Datapoint, error)
+}
+
+// SourceFunc adapts a function to the Source interface.
+type SourceFunc func() (trace.Datapoint, error)
+
+// Sample implements Source.
+func (f SourceFunc) Sample() (trace.Datapoint, error) { return f() }
+
+// Client is the Feature Monitor Client (FMC): it connects to an FMS and
+// ships datapoints and fail events. It is safe for use by one goroutine.
+type Client struct {
+	conn net.Conn
+	w    *bufio.Writer
+	mu   sync.Mutex
+}
+
+// Dial connects to the FMS at addr and sends the hello handshake.
+func Dial(addr, clientID string) (*Client, error) {
+	conn, err := net.DialTimeout("tcp", addr, 10*time.Second)
+	if err != nil {
+		return nil, fmt.Errorf("monitor: dialing FMS at %s: %w", addr, err)
+	}
+	c := &Client{conn: conn, w: bufio.NewWriter(conn)}
+	if err := c.send(&Message{Type: TypeHello, ClientID: clientID}); err != nil {
+		conn.Close()
+		return nil, err
+	}
+	return c, nil
+}
+
+func (c *Client) send(m *Message) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return writeMessage(c.w, m)
+}
+
+// SendDatapoint ships one sampled datapoint.
+func (c *Client) SendDatapoint(d *trace.Datapoint) error {
+	m := DatapointMessage(d)
+	return c.send(&m)
+}
+
+// SendFail signals that the monitored system met the failure condition
+// at elapsed time tgen; the FMS closes the current run.
+func (c *Client) SendFail(tgen float64) error {
+	return c.send(&Message{Type: TypeFail, Tgen: tgen})
+}
+
+// Close sends the goodbye message and closes the connection.
+func (c *Client) Close() error {
+	_ = c.send(&Message{Type: TypeBye}) // best effort
+	return c.conn.Close()
+}
+
+// Collector drives an FMC loop in real time: it samples the source every
+// interval (the paper's implementation waits ~1.5 s between datapoints),
+// ships each datapoint, and, when the failure condition fires, ships the
+// fail event and invokes onFail (e.g. to restart the application).
+type Collector struct {
+	Client   *Client
+	Source   Source
+	Interval time.Duration
+	// Condition may be nil (never fails).
+	Condition trace.FailCondition
+	// OnFail is called after a fail event is shipped; may be nil.
+	OnFail func(d *trace.Datapoint)
+
+	stop chan struct{}
+	done chan struct{}
+}
+
+// Start begins the sampling loop in a goroutine. Sampling errors are
+// counted but do not stop the loop (a transient /proc read failure must
+// not kill a week-long collection).
+func (c *Collector) Start() error {
+	if c.Client == nil || c.Source == nil {
+		return fmt.Errorf("monitor: collector needs a client and a source")
+	}
+	if c.Interval <= 0 {
+		return fmt.Errorf("monitor: collector interval must be positive, got %v", c.Interval)
+	}
+	c.stop = make(chan struct{})
+	c.done = make(chan struct{})
+	go c.loop()
+	return nil
+}
+
+func (c *Collector) loop() {
+	defer close(c.done)
+	ticker := time.NewTicker(c.Interval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-c.stop:
+			return
+		case <-ticker.C:
+			d, err := c.Source.Sample()
+			if err != nil {
+				continue
+			}
+			if err := c.Client.SendDatapoint(&d); err != nil {
+				return // connection gone
+			}
+			if c.Condition != nil && c.Condition(&d) {
+				if err := c.Client.SendFail(d.Tgen); err != nil {
+					return
+				}
+				if c.OnFail != nil {
+					c.OnFail(&d)
+				}
+			}
+		}
+	}
+}
+
+// Stop halts the loop and waits for it to finish.
+func (c *Collector) Stop() {
+	if c.stop == nil {
+		return
+	}
+	select {
+	case <-c.stop:
+	default:
+		close(c.stop)
+	}
+	<-c.done
+}

@@ -1,0 +1,194 @@
+package monitor
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/trace"
+)
+
+// ProcSource samples a live Linux host through /proc, covering the same
+// features the paper's FMC gathers with standard OS tooling: meminfo for
+// the memory and swap quantities, the aggregate cpu line of /proc/stat
+// for the CPU split (percentages over the inter-sample window), and
+// loadavg for the system-wide thread count.
+type ProcSource struct {
+	// Root is the procfs mount point; defaults to "/proc". Tests point
+	// it at a fixture directory.
+	Root string
+
+	start    time.Time
+	now      func() time.Time
+	prevCPU  cpuTimes
+	havePrev bool
+}
+
+// NewProcSource creates a source rooted at root ("" means /proc).
+func NewProcSource(root string) *ProcSource {
+	if root == "" {
+		root = "/proc"
+	}
+	return &ProcSource{Root: root, start: time.Now(), now: time.Now}
+}
+
+// cpuTimes holds the aggregate jiffy counters from /proc/stat.
+type cpuTimes struct {
+	user, nice, system, idle, iowait, irq, softirq, steal float64
+}
+
+func (c cpuTimes) total() float64 {
+	return c.user + c.nice + c.system + c.idle + c.iowait + c.irq + c.softirq + c.steal
+}
+
+// Sample implements Source.
+func (p *ProcSource) Sample() (trace.Datapoint, error) {
+	var d trace.Datapoint
+	d.Tgen = p.now().Sub(p.start).Seconds()
+
+	mem, err := os.ReadFile(filepath.Join(p.Root, "meminfo"))
+	if err != nil {
+		return d, fmt.Errorf("monitor: reading meminfo: %w", err)
+	}
+	if err := fillMeminfo(&d, string(mem)); err != nil {
+		return d, err
+	}
+
+	stat, err := os.ReadFile(filepath.Join(p.Root, "stat"))
+	if err != nil {
+		return d, fmt.Errorf("monitor: reading stat: %w", err)
+	}
+	cpu, err := parseStatCPU(string(stat))
+	if err != nil {
+		return d, err
+	}
+	if p.havePrev {
+		fillCPU(&d, p.prevCPU, cpu)
+	} else {
+		d.Features[trace.CPUIdle] = 100
+	}
+	p.prevCPU = cpu
+	p.havePrev = true
+
+	loadavg, err := os.ReadFile(filepath.Join(p.Root, "loadavg"))
+	if err != nil {
+		return d, fmt.Errorf("monitor: reading loadavg: %w", err)
+	}
+	threads, err := parseLoadavgThreads(string(loadavg))
+	if err != nil {
+		return d, err
+	}
+	d.Features[trace.NumThreads] = float64(threads)
+	return d, d.Validate()
+}
+
+// fillMeminfo populates the memory and swap features from a meminfo dump.
+func fillMeminfo(d *trace.Datapoint, content string) error {
+	fields := map[string]float64{}
+	for _, line := range strings.Split(content, "\n") {
+		name, rest, ok := strings.Cut(line, ":")
+		if !ok {
+			continue
+		}
+		parts := strings.Fields(rest)
+		if len(parts) == 0 {
+			continue
+		}
+		v, err := strconv.ParseFloat(parts[0], 64)
+		if err != nil {
+			continue
+		}
+		fields[strings.TrimSpace(name)] = v // meminfo reports kB
+	}
+	required := []string{"MemTotal", "MemFree", "Buffers", "Cached", "SwapTotal", "SwapFree"}
+	for _, r := range required {
+		if _, ok := fields[r]; !ok {
+			return fmt.Errorf("monitor: meminfo missing %s", r)
+		}
+	}
+	shmem := fields["Shmem"] // absent on ancient kernels → 0
+	d.Features[trace.MemFree] = fields["MemFree"]
+	d.Features[trace.MemBuffers] = fields["Buffers"]
+	d.Features[trace.MemCached] = fields["Cached"]
+	d.Features[trace.MemShared] = shmem
+	d.Features[trace.MemUsed] = fields["MemTotal"] - fields["MemFree"] - fields["Buffers"] - fields["Cached"]
+	if d.Features[trace.MemUsed] < 0 {
+		d.Features[trace.MemUsed] = 0
+	}
+	d.Features[trace.SwapUsed] = fields["SwapTotal"] - fields["SwapFree"]
+	d.Features[trace.SwapFree] = fields["SwapFree"]
+	return nil
+}
+
+// parseStatCPU extracts the aggregate "cpu " line.
+func parseStatCPU(content string) (cpuTimes, error) {
+	var c cpuTimes
+	for _, line := range strings.Split(content, "\n") {
+		if !strings.HasPrefix(line, "cpu ") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 8 {
+			return c, fmt.Errorf("monitor: short cpu line %q", line)
+		}
+		vals := make([]float64, 0, 8)
+		for _, f := range fields[1:9] {
+			v, err := strconv.ParseFloat(f, 64)
+			if err != nil {
+				return c, fmt.Errorf("monitor: bad cpu field %q", f)
+			}
+			vals = append(vals, v)
+		}
+		for len(vals) < 8 {
+			vals = append(vals, 0) // steal absent pre-2.6.11
+		}
+		c = cpuTimes{user: vals[0], nice: vals[1], system: vals[2], idle: vals[3],
+			iowait: vals[4], irq: vals[5], softirq: vals[6], steal: vals[7]}
+		return c, nil
+	}
+	return c, fmt.Errorf("monitor: /proc/stat has no aggregate cpu line")
+}
+
+// fillCPU converts two jiffy snapshots into window percentages.
+func fillCPU(d *trace.Datapoint, prev, cur cpuTimes) {
+	dt := cur.total() - prev.total()
+	if dt <= 0 {
+		d.Features[trace.CPUIdle] = 100
+		return
+	}
+	pct := func(a, b float64) float64 {
+		v := 100 * (b - a) / dt
+		if v < 0 {
+			return 0
+		}
+		return v
+	}
+	d.Features[trace.CPUUser] = pct(prev.user, cur.user)
+	d.Features[trace.CPUNice] = pct(prev.nice, cur.nice)
+	// Fold irq/softirq into system time, as top(1) variants do.
+	d.Features[trace.CPUSystem] = pct(prev.system+prev.irq+prev.softirq, cur.system+cur.irq+cur.softirq)
+	d.Features[trace.CPUIOWait] = pct(prev.iowait, cur.iowait)
+	d.Features[trace.CPUSteal] = pct(prev.steal, cur.steal)
+	d.Features[trace.CPUIdle] = pct(prev.idle, cur.idle)
+}
+
+// parseLoadavgThreads extracts the total entity count from the
+// "runnable/total" field of /proc/loadavg.
+func parseLoadavgThreads(content string) (int, error) {
+	fields := strings.Fields(content)
+	if len(fields) < 4 {
+		return 0, fmt.Errorf("monitor: short loadavg %q", content)
+	}
+	_, total, ok := strings.Cut(fields[3], "/")
+	if !ok {
+		return 0, fmt.Errorf("monitor: malformed loadavg entity field %q", fields[3])
+	}
+	n, err := strconv.Atoi(total)
+	if err != nil {
+		return 0, fmt.Errorf("monitor: bad loadavg total %q", total)
+	}
+	return n, nil
+}

@@ -1,0 +1,176 @@
+package monitor
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+
+	"repro/internal/trace"
+)
+
+// Server is the Feature Monitor Server (FMS). It accepts any number of
+// FMC connections; each client's stream of datapoint/fail messages is
+// assembled into a per-client trace.History (a fail message closes the
+// current run and opens the next one).
+type Server struct {
+	listener net.Listener
+
+	mu        sync.Mutex
+	histories map[string]*trace.History
+	open      map[string]*trace.Run // current (unfinished) run per client
+	clients   int
+	closed    bool
+	wg        sync.WaitGroup
+}
+
+// NewServer starts an FMS listening on addr (e.g. "127.0.0.1:0").
+func NewServer(addr string) (*Server, error) {
+	l, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("monitor: listening on %s: %w", addr, err)
+	}
+	s := &Server{
+		listener:  l,
+		histories: make(map[string]*trace.History),
+		open:      make(map[string]*trace.Run),
+	}
+	s.wg.Add(1)
+	go s.acceptLoop()
+	return s, nil
+}
+
+// Addr returns the listening address (useful with port 0).
+func (s *Server) Addr() string { return s.listener.Addr().String() }
+
+func (s *Server) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		conn, err := s.listener.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			conn.Close()
+			return
+		}
+		s.clients++
+		s.wg.Add(1)
+		s.mu.Unlock()
+		go func() {
+			defer s.wg.Done()
+			s.handle(conn)
+		}()
+	}
+}
+
+// handle consumes one client connection until EOF or error.
+func (s *Server) handle(conn net.Conn) {
+	defer conn.Close()
+	r := bufio.NewReader(conn)
+
+	hello, err := readMessage(r)
+	if err != nil || hello.Type != TypeHello {
+		return // malformed client; drop silently
+	}
+	id := hello.ClientID
+
+	for {
+		m, err := readMessage(r)
+		if err != nil {
+			if !errors.Is(err, io.EOF) {
+				// Malformed mid-stream data: stop reading this client
+				// but keep what was already collected.
+				return
+			}
+			return
+		}
+		switch m.Type {
+		case TypeDatapoint:
+			d, err := m.Datapoint()
+			if err != nil {
+				return
+			}
+			s.mu.Lock()
+			run := s.openRun(id)
+			// Enforce monotone Tgen within the run; drop stragglers.
+			if n := len(run.Datapoints); n == 0 || d.Tgen >= run.Datapoints[n-1].Tgen {
+				run.Datapoints = append(run.Datapoints, d)
+			}
+			s.mu.Unlock()
+		case TypeFail:
+			s.mu.Lock()
+			run := s.openRun(id)
+			run.Failed = true
+			run.FailTime = m.Tgen
+			if n := len(run.Datapoints); n > 0 && run.FailTime < run.Datapoints[n-1].Tgen {
+				run.FailTime = run.Datapoints[n-1].Tgen
+			}
+			s.histories[id].Runs = append(s.histories[id].Runs, *run)
+			delete(s.open, id)
+			s.mu.Unlock()
+		case TypeBye:
+			return
+		}
+	}
+}
+
+// openRun returns the client's current run, creating it (and the
+// history) on first use. Caller holds s.mu.
+func (s *Server) openRun(id string) *trace.Run {
+	if _, ok := s.histories[id]; !ok {
+		s.histories[id] = &trace.History{}
+	}
+	run, ok := s.open[id]
+	if !ok {
+		run = &trace.Run{}
+		s.open[id] = run
+	}
+	return run
+}
+
+// History returns a deep copy of the named client's history. Any
+// unfinished run is included as a truncated (unfailed) run.
+func (s *Server) History(clientID string) (*trace.History, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	h, ok := s.histories[clientID]
+	if !ok {
+		return nil, false
+	}
+	out := &trace.History{Runs: append([]trace.Run(nil), h.Runs...)}
+	if run, ok := s.open[clientID]; ok && len(run.Datapoints) > 0 {
+		cp := trace.Run{Datapoints: append([]trace.Datapoint(nil), run.Datapoints...)}
+		out.Runs = append(out.Runs, cp)
+	}
+	return out, true
+}
+
+// Clients returns the ids of all clients seen so far.
+func (s *Server) Clients() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]string, 0, len(s.histories))
+	for id := range s.histories {
+		out = append(out, id)
+	}
+	return out
+}
+
+// Close stops accepting and waits for handler goroutines to finish.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	s.mu.Unlock()
+	err := s.listener.Close()
+	s.wg.Wait()
+	return err
+}

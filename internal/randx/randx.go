@@ -1,0 +1,208 @@
+// Package randx provides deterministic random number generation and the
+// statistical distributions used throughout the F2PM simulator and the
+// anomaly injectors.
+//
+// Every stochastic component of the reproduction takes an explicit *Source
+// so that experiments are reproducible bit-for-bit: the same seed always
+// yields the same data history, the same training sets, and therefore the
+// same tables and figures.
+//
+// The generator is a SplitMix64-seeded xoshiro256** implementation. We do
+// not use math/rand's global state anywhere; math/rand/v2 has no way to
+// snapshot its state, and the simulator needs forkable, independently
+// seeded streams (one per browser, one per injector) so that adding a
+// component does not perturb the draws seen by the others.
+package randx
+
+import "math"
+
+// Source is a deterministic pseudo-random source (xoshiro256**).
+// The zero value is not valid; use New.
+type Source struct {
+	s0, s1, s2, s3 uint64
+}
+
+// New returns a Source seeded from seed via SplitMix64, which guarantees
+// the four words of state are well mixed even for small seeds.
+func New(seed uint64) *Source {
+	sm := seed
+	next := func() uint64 {
+		sm += 0x9e3779b97f4a7c15
+		z := sm
+		z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+		z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+		return z ^ (z >> 31)
+	}
+	return &Source{s0: next(), s1: next(), s2: next(), s3: next()}
+}
+
+// Fork derives an independent stream from s. The child is seeded from the
+// parent's next output mixed with a stream label, so distinct labels give
+// distinct streams even when forked at the same point.
+func (s *Source) Fork(label uint64) *Source {
+	return New(s.Uint64() ^ (label * 0x9e3779b97f4a7c15) ^ 0xd1b54a32d192ed03)
+}
+
+func rotl(x uint64, k uint) uint64 { return (x << k) | (x >> (64 - k)) }
+
+// Uint64 returns the next 64 random bits.
+func (s *Source) Uint64() uint64 {
+	result := rotl(s.s1*5, 7) * 9
+	t := s.s1 << 17
+	s.s2 ^= s.s0
+	s.s3 ^= s.s1
+	s.s1 ^= s.s2
+	s.s0 ^= s.s3
+	s.s2 ^= t
+	s.s3 = rotl(s.s3, 45)
+	return result
+}
+
+// Float64 returns a uniform float64 in [0, 1).
+func (s *Source) Float64() float64 {
+	return float64(s.Uint64()>>11) / (1 << 53)
+}
+
+// Intn returns a uniform int in [0, n). It panics if n <= 0.
+func (s *Source) Intn(n int) int {
+	if n <= 0 {
+		panic("randx: Intn with non-positive n")
+	}
+	// Lemire's nearly-divisionless bounded generation.
+	bound := uint64(n)
+	x := s.Uint64()
+	hi, lo := mul64(x, bound)
+	if lo < bound {
+		threshold := -bound % bound
+		for lo < threshold {
+			x = s.Uint64()
+			hi, lo = mul64(x, bound)
+		}
+	}
+	return int(hi)
+}
+
+// mul64 returns the 128-bit product of a and b as (hi, lo).
+func mul64(a, b uint64) (hi, lo uint64) {
+	const mask32 = 1<<32 - 1
+	a0, a1 := a&mask32, a>>32
+	b0, b1 := b&mask32, b>>32
+	w0 := a0 * b0
+	t := a1*b0 + w0>>32
+	w1 := t & mask32
+	w2 := t >> 32
+	w1 += a0 * b1
+	hi = a1*b1 + w2 + w1>>32
+	lo = a * b
+	return hi, lo
+}
+
+// Uniform returns a uniform float64 in [lo, hi). It panics if hi < lo.
+func (s *Source) Uniform(lo, hi float64) float64 {
+	if hi < lo {
+		panic("randx: Uniform with hi < lo")
+	}
+	return lo + (hi-lo)*s.Float64()
+}
+
+// Exp returns an exponentially distributed float64 with the given mean
+// (i.e. rate 1/mean). It panics if mean <= 0.
+//
+// The paper's anomaly injectors (§III-E) draw leak and thread
+// inter-arrival times from exponential distributions whose means are in
+// turn drawn uniformly at startup; see package anomaly.
+func (s *Source) Exp(mean float64) float64 {
+	if mean <= 0 {
+		panic("randx: Exp with non-positive mean")
+	}
+	u := s.Float64()
+	// Guard against log(0); Float64 can return exactly 0.
+	for u == 0 {
+		u = s.Float64()
+	}
+	return -mean * math.Log(u)
+}
+
+// Norm returns a normally distributed float64 with the given mean and
+// standard deviation, using the Marsaglia polar method.
+func (s *Source) Norm(mean, stddev float64) float64 {
+	for {
+		u := 2*s.Float64() - 1
+		v := 2*s.Float64() - 1
+		q := u*u + v*v
+		if q > 0 && q < 1 {
+			return mean + stddev*u*math.Sqrt(-2*math.Log(q)/q)
+		}
+	}
+}
+
+// LogNorm returns a log-normally distributed float64 whose underlying
+// normal has parameters mu and sigma. Used for service-time jitter in the
+// TPC-W cost model.
+func (s *Source) LogNorm(mu, sigma float64) float64 {
+	return math.Exp(s.Norm(mu, sigma))
+}
+
+// Bernoulli returns true with probability p (clamped to [0,1]).
+func (s *Source) Bernoulli(p float64) bool {
+	if p <= 0 {
+		return false
+	}
+	if p >= 1 {
+		return true
+	}
+	return s.Float64() < p
+}
+
+// Perm returns a random permutation of [0, n).
+func (s *Source) Perm(n int) []int {
+	p := make([]int, n)
+	for i := range p {
+		p[i] = i
+	}
+	for i := n - 1; i > 0; i-- {
+		j := s.Intn(i + 1)
+		p[i], p[j] = p[j], p[i]
+	}
+	return p
+}
+
+// Shuffle permutes the first n elements using swap, Fisher-Yates style.
+func (s *Source) Shuffle(n int, swap func(i, j int)) {
+	for i := n - 1; i > 0; i-- {
+		j := s.Intn(i + 1)
+		swap(i, j)
+	}
+}
+
+// Categorical draws an index in [0, len(weights)) with probability
+// proportional to weights[i]. Negative weights are treated as zero. It
+// panics if all weights are zero or the slice is empty.
+func (s *Source) Categorical(weights []float64) int {
+	var total float64
+	for _, w := range weights {
+		if w > 0 {
+			total += w
+		}
+	}
+	if total <= 0 {
+		panic("randx: Categorical with no positive weight")
+	}
+	x := s.Float64() * total
+	for i, w := range weights {
+		if w <= 0 {
+			continue
+		}
+		if x < w {
+			return i
+		}
+		x -= w
+	}
+	// Floating-point slack: return last positive-weight index.
+	for i := len(weights) - 1; i >= 0; i-- {
+		if weights[i] > 0 {
+			return i
+		}
+	}
+	panic("randx: unreachable")
+}

@@ -1,0 +1,126 @@
+// Package rtest implements the paper's response-time estimation
+// technique (§III-B): the datapoint inter-generation time measured by the
+// feature monitor correlates with the response time experienced by remote
+// clients, so a linear model fitted once on instrumented data gives "a
+// pragmatic estimation of the response time seen by end users, without
+// any modification to the software at the end point".
+//
+// Train the estimator on a campaign where client RTs are available (the
+// simulated test-bed's browser probes, or a one-off instrumented
+// deployment), then deploy it on the monitor's inter-generation stream
+// alone.
+package rtest
+
+import (
+	"fmt"
+
+	"repro/internal/ml/linreg"
+	"repro/internal/stats"
+)
+
+// Estimator predicts client response time from the monitor's datapoint
+// inter-generation time.
+type Estimator struct {
+	model *linreg.Model
+	// Pearson is the training-set correlation between inter-generation
+	// time and response time; low values mean the estimate is unreliable.
+	Pearson float64
+	// N is the number of (windowed) training pairs.
+	N int
+}
+
+// Fit builds the estimator from paired series: genTimes[i] is the mean
+// datapoint inter-generation time of window i, rts[i] the mean client
+// response time of the same window.
+func Fit(genTimes, rts []float64) (*Estimator, error) {
+	if len(genTimes) != len(rts) || len(genTimes) < 3 {
+		return nil, fmt.Errorf("rtest: need >= 3 paired windows, got %d/%d", len(genTimes), len(rts))
+	}
+	X := make([][]float64, len(genTimes))
+	for i, g := range genTimes {
+		X[i] = []float64{g}
+	}
+	lm := linreg.New()
+	if err := lm.Fit(X, rts); err != nil {
+		return nil, fmt.Errorf("rtest: fitting correlation model: %w", err)
+	}
+	r, err := stats.Pearson(genTimes, rts)
+	if err != nil {
+		return nil, err
+	}
+	return &Estimator{model: lm, Pearson: r, N: len(genTimes)}, nil
+}
+
+// Estimate returns the predicted response time for one inter-generation
+// time observation.
+func (e *Estimator) Estimate(genTime float64) float64 {
+	return e.model.Predict([]float64{genTime})
+}
+
+// EstimateSeries maps a whole inter-generation series.
+func (e *Estimator) EstimateSeries(genTimes []float64) []float64 {
+	out := make([]float64, len(genTimes))
+	for i, g := range genTimes {
+		out[i] = e.Estimate(g)
+	}
+	return out
+}
+
+// Coefficients returns the fitted slope and intercept (RT ≈ slope·gen + b).
+func (e *Estimator) Coefficients() (slope, intercept float64) {
+	return e.model.Coef[0], e.model.Intercept
+}
+
+// WindowPairs builds the paired training series from raw observations:
+// sampleTimes/gaps are the datapoint timestamps and their predecessor
+// gaps; rtTimes/rts are client response-time observations. Both are
+// bucketed into windowSec-wide windows; windows holding both kinds of
+// data produce one pair.
+func WindowPairs(sampleTimes, gaps, rtTimes, rts []float64, windowSec float64) (genSeries, rtSeries []float64, err error) {
+	if windowSec <= 0 {
+		return nil, nil, fmt.Errorf("rtest: windowSec must be positive, got %v", windowSec)
+	}
+	if len(sampleTimes) != len(gaps) || len(rtTimes) != len(rts) {
+		return nil, nil, fmt.Errorf("rtest: mismatched series lengths")
+	}
+	maxT := 0.0
+	for _, t := range sampleTimes {
+		if t > maxT {
+			maxT = t
+		}
+	}
+	for _, t := range rtTimes {
+		if t > maxT {
+			maxT = t
+		}
+	}
+	n := int(maxT/windowSec) + 1
+	gSum := make([]float64, n)
+	gCnt := make([]int, n)
+	rSum := make([]float64, n)
+	rCnt := make([]int, n)
+	for i, t := range sampleTimes {
+		w := int(t / windowSec)
+		if w >= 0 && w < n {
+			gSum[w] += gaps[i]
+			gCnt[w]++
+		}
+	}
+	for i, t := range rtTimes {
+		w := int(t / windowSec)
+		if w >= 0 && w < n {
+			rSum[w] += rts[i]
+			rCnt[w]++
+		}
+	}
+	for w := 0; w < n; w++ {
+		if gCnt[w] > 0 && rCnt[w] > 0 {
+			genSeries = append(genSeries, gSum[w]/float64(gCnt[w]))
+			rtSeries = append(rtSeries, rSum[w]/float64(rCnt[w]))
+		}
+	}
+	if len(genSeries) < 3 {
+		return nil, nil, fmt.Errorf("rtest: only %d overlapping windows", len(genSeries))
+	}
+	return genSeries, rtSeries, nil
+}

@@ -1,0 +1,121 @@
+package rtest
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/randx"
+)
+
+func TestFitAndEstimate(t *testing.T) {
+	// RT = 0.4·gen + 0.1 with small noise.
+	src := randx.New(1)
+	var gen, rts []float64
+	for i := 0; i < 100; i++ {
+		g := src.Uniform(1.5, 6)
+		gen = append(gen, g)
+		rts = append(rts, 0.4*g+0.1+src.Norm(0, 0.01))
+	}
+	e, err := Fit(gen, rts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.Pearson < 0.99 {
+		t.Fatalf("Pearson = %v", e.Pearson)
+	}
+	slope, intercept := e.Coefficients()
+	if math.Abs(slope-0.4) > 0.01 || math.Abs(intercept-0.1) > 0.05 {
+		t.Fatalf("coefficients = (%v, %v)", slope, intercept)
+	}
+	if got := e.Estimate(3); math.Abs(got-1.3) > 0.05 {
+		t.Fatalf("Estimate(3) = %v, want ~1.3", got)
+	}
+	series := e.EstimateSeries([]float64{2, 4})
+	if len(series) != 2 || series[1] <= series[0] {
+		t.Fatalf("EstimateSeries = %v", series)
+	}
+	if e.N != 100 {
+		t.Fatalf("N = %d", e.N)
+	}
+}
+
+func TestFitErrors(t *testing.T) {
+	if _, err := Fit([]float64{1, 2}, []float64{1, 2}); err == nil {
+		t.Fatal("too few pairs accepted")
+	}
+	if _, err := Fit([]float64{1, 2, 3}, []float64{1, 2}); err == nil {
+		t.Fatal("mismatched lengths accepted")
+	}
+}
+
+func TestWindowPairs(t *testing.T) {
+	// Samples every 1 s with gap 1.5; RTs at odd times.
+	var st, gaps, rt, rts []float64
+	for i := 0; i < 60; i++ {
+		st = append(st, float64(i))
+		gaps = append(gaps, 1.5)
+	}
+	for i := 1; i < 60; i += 2 {
+		rt = append(rt, float64(i))
+		rts = append(rts, 0.25)
+	}
+	g, r, err := WindowPairs(st, gaps, rt, rts, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(g) != len(r) || len(g) < 5 {
+		t.Fatalf("pairs = %d/%d", len(g), len(r))
+	}
+	for i := range g {
+		if math.Abs(g[i]-1.5) > 1e-9 || math.Abs(r[i]-0.25) > 1e-9 {
+			t.Fatalf("window %d = (%v, %v)", i, g[i], r[i])
+		}
+	}
+}
+
+func TestWindowPairsErrors(t *testing.T) {
+	if _, _, err := WindowPairs(nil, nil, nil, nil, 0); err == nil {
+		t.Fatal("zero window accepted")
+	}
+	if _, _, err := WindowPairs([]float64{1}, []float64{1, 2}, nil, nil, 5); err == nil {
+		t.Fatal("mismatched sample series accepted")
+	}
+	// Non-overlapping windows: samples early, RTs late.
+	st := []float64{1, 2, 3}
+	gaps := []float64{1, 1, 1}
+	rt := []float64{100, 101, 102}
+	rts := []float64{1, 1, 1}
+	if _, _, err := WindowPairs(st, gaps, rt, rts, 5); err == nil {
+		t.Fatal("non-overlapping series accepted")
+	}
+}
+
+func TestEndToEndWithWindowPairs(t *testing.T) {
+	// Degrading system: gaps and RTs both grow with time; estimator
+	// recovers RT from gaps alone.
+	src := randx.New(9)
+	var st, gaps, rt, rts []float64
+	for i := 0; i < 400; i++ {
+		tm := float64(i) * 1.5
+		load := 1 + tm/200
+		st = append(st, tm)
+		gaps = append(gaps, 1.5*load+src.Norm(0, 0.05))
+		rt = append(rt, tm+0.3)
+		rts = append(rts, 0.2*load+src.Norm(0, 0.01))
+	}
+	g, r, err := WindowPairs(st, gaps, rt, rts, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := Fit(g, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.Pearson < 0.9 {
+		t.Fatalf("Pearson = %v", e.Pearson)
+	}
+	// Late-run estimate must exceed early-run estimate.
+	if e.Estimate(g[len(g)-1]) <= e.Estimate(g[0]) {
+		t.Fatal("estimator not monotone in load")
+	}
+}

@@ -1,0 +1,257 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/randx"
+)
+
+func almostEqual(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestMean(t *testing.T) {
+	if got := Mean([]float64{1, 2, 3, 4}); got != 2.5 {
+		t.Fatalf("Mean = %v, want 2.5", got)
+	}
+	if got := Mean(nil); got != 0 {
+		t.Fatalf("Mean(nil) = %v, want 0", got)
+	}
+}
+
+func TestSum(t *testing.T) {
+	if got := Sum([]float64{1.5, -0.5, 2}); got != 3 {
+		t.Fatalf("Sum = %v, want 3", got)
+	}
+}
+
+func TestVariance(t *testing.T) {
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	if got := Variance(xs); !almostEqual(got, 4, 1e-12) {
+		t.Fatalf("Variance = %v, want 4", got)
+	}
+	if got := Variance([]float64{3}); got != 0 {
+		t.Fatalf("Variance single = %v, want 0", got)
+	}
+}
+
+func TestSampleVariance(t *testing.T) {
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	want := 32.0 / 7.0
+	if got := SampleVariance(xs); !almostEqual(got, want, 1e-12) {
+		t.Fatalf("SampleVariance = %v, want %v", got, want)
+	}
+	if got := SampleVariance([]float64{1}); got != 0 {
+		t.Fatalf("SampleVariance single = %v, want 0", got)
+	}
+}
+
+func TestMinMax(t *testing.T) {
+	min, max, err := MinMax([]float64{3, -1, 7, 2})
+	if err != nil || min != -1 || max != 7 {
+		t.Fatalf("MinMax = (%v,%v,%v)", min, max, err)
+	}
+	if _, _, err := MinMax(nil); err != ErrEmpty {
+		t.Fatalf("MinMax(nil) err = %v, want ErrEmpty", err)
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	for _, c := range []struct{ q, want float64 }{
+		{0, 1}, {0.25, 2}, {0.5, 3}, {0.75, 4}, {1, 5},
+	} {
+		got, err := Quantile(xs, c.q)
+		if err != nil || !almostEqual(got, c.want, 1e-12) {
+			t.Fatalf("Quantile(%v) = (%v,%v), want %v", c.q, got, err, c.want)
+		}
+	}
+	// Interpolation between order statistics.
+	got, _ := Quantile([]float64{0, 10}, 0.35)
+	if !almostEqual(got, 3.5, 1e-12) {
+		t.Fatalf("interpolated quantile = %v, want 3.5", got)
+	}
+	if _, err := Quantile(nil, 0.5); err != ErrEmpty {
+		t.Fatal("Quantile(nil) should return ErrEmpty")
+	}
+	// Clamping.
+	got, _ = Quantile(xs, -1)
+	if got != 1 {
+		t.Fatalf("Quantile(q<0) = %v, want 1", got)
+	}
+	got, _ = Quantile(xs, 2)
+	if got != 5 {
+		t.Fatalf("Quantile(q>1) = %v, want 5", got)
+	}
+}
+
+func TestQuantileDoesNotMutate(t *testing.T) {
+	xs := []float64{3, 1, 2}
+	_, _ = Quantile(xs, 0.5)
+	if xs[0] != 3 || xs[1] != 1 || xs[2] != 2 {
+		t.Fatalf("Quantile mutated input: %v", xs)
+	}
+}
+
+func TestPearson(t *testing.T) {
+	xs := []float64{1, 2, 3, 4}
+	ys := []float64{2, 4, 6, 8}
+	r, err := Pearson(xs, ys)
+	if err != nil || !almostEqual(r, 1, 1e-12) {
+		t.Fatalf("Pearson perfect = (%v,%v)", r, err)
+	}
+	neg := []float64{8, 6, 4, 2}
+	r, _ = Pearson(xs, neg)
+	if !almostEqual(r, -1, 1e-12) {
+		t.Fatalf("Pearson anti = %v", r)
+	}
+	r, err = Pearson(xs, []float64{5, 5, 5, 5})
+	if err != nil || r != 0 {
+		t.Fatalf("Pearson constant = (%v,%v), want 0", r, err)
+	}
+	if _, err := Pearson(xs, []float64{1}); err != ErrEmpty {
+		t.Fatal("Pearson length mismatch should return ErrEmpty")
+	}
+}
+
+func TestOnlineMatchesBatch(t *testing.T) {
+	src := randx.New(21)
+	xs := make([]float64, 500)
+	var o Online
+	for i := range xs {
+		xs[i] = src.Norm(5, 3)
+		o.Add(xs[i])
+	}
+	if o.N() != len(xs) {
+		t.Fatalf("N = %d", o.N())
+	}
+	if !almostEqual(o.Mean(), Mean(xs), 1e-9) {
+		t.Fatalf("online mean %v vs batch %v", o.Mean(), Mean(xs))
+	}
+	if !almostEqual(o.Variance(), Variance(xs), 1e-9) {
+		t.Fatalf("online var %v vs batch %v", o.Variance(), Variance(xs))
+	}
+	min, max, _ := MinMax(xs)
+	if o.Min() != min || o.Max() != max {
+		t.Fatalf("online min/max (%v,%v) vs (%v,%v)", o.Min(), o.Max(), min, max)
+	}
+}
+
+func TestOnlineMergeEquivalence(t *testing.T) {
+	f := func(seed uint16, split uint8) bool {
+		src := randx.New(uint64(seed) + 1)
+		n := 100
+		k := int(split) % n
+		var whole, left, right Online
+		for i := 0; i < n; i++ {
+			x := src.Uniform(-10, 10)
+			whole.Add(x)
+			if i < k {
+				left.Add(x)
+			} else {
+				right.Add(x)
+			}
+		}
+		left.Merge(&right)
+		return left.N() == whole.N() &&
+			almostEqual(left.Mean(), whole.Mean(), 1e-9) &&
+			almostEqual(left.Variance(), whole.Variance(), 1e-9) &&
+			left.Min() == whole.Min() && left.Max() == whole.Max()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOnlineMergeEmpty(t *testing.T) {
+	var a, b Online
+	a.Add(1)
+	a.Add(3)
+	a.Merge(&b) // merging empty is a no-op
+	if a.N() != 2 || a.Mean() != 2 {
+		t.Fatalf("merge empty changed accumulator: n=%d mean=%v", a.N(), a.Mean())
+	}
+	b.Merge(&a) // merging into empty copies
+	if b.N() != 2 || b.Mean() != 2 {
+		t.Fatalf("merge into empty: n=%d mean=%v", b.N(), b.Mean())
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	h := NewHistogram(0, 10, 5)
+	for _, x := range []float64{0, 1.9, 2, 5, 9.9, -3, 42} {
+		h.Add(x)
+	}
+	if h.Total() != 7 {
+		t.Fatalf("Total = %d", h.Total())
+	}
+	// -3 clamps into bin 0, 42 clamps into bin 4.
+	if h.Counts[0] != 3 {
+		t.Fatalf("bin 0 = %d, want 3", h.Counts[0])
+	}
+	if h.Counts[4] != 2 {
+		t.Fatalf("bin 4 = %d, want 2", h.Counts[4])
+	}
+	if got := h.BinCenter(0); !almostEqual(got, 1, 1e-12) {
+		t.Fatalf("BinCenter(0) = %v", got)
+	}
+}
+
+func TestHistogramPanics(t *testing.T) {
+	for name, fn := range map[string]func(){
+		"zero bins": func() { NewHistogram(0, 1, 0) },
+		"hi<=lo":    func() { NewHistogram(1, 1, 3) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("%s did not panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+// Property: variance is non-negative and translation-invariant.
+func TestVarianceProperties(t *testing.T) {
+	src := randx.New(99)
+	f := func(shiftRaw int8) bool {
+		shift := float64(shiftRaw)
+		xs := make([]float64, 50)
+		ys := make([]float64, 50)
+		for i := range xs {
+			xs[i] = src.Uniform(-100, 100)
+			ys[i] = xs[i] + shift
+		}
+		v1, v2 := Variance(xs), Variance(ys)
+		return v1 >= 0 && almostEqual(v1, v2, 1e-6)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Pearson is scale-invariant (positive scale).
+func TestPearsonScaleInvariance(t *testing.T) {
+	src := randx.New(123)
+	f := func(scaleRaw uint8) bool {
+		scale := float64(scaleRaw%100) + 1
+		xs := make([]float64, 40)
+		ys := make([]float64, 40)
+		for i := range xs {
+			xs[i] = src.Uniform(0, 1)
+			ys[i] = 2*xs[i] + src.Uniform(-0.1, 0.1)
+		}
+		scaled := make([]float64, len(ys))
+		for i := range ys {
+			scaled[i] = ys[i] * scale
+		}
+		r1, _ := Pearson(xs, ys)
+		r2, _ := Pearson(xs, scaled)
+		return almostEqual(r1, r2, 1e-9)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,388 @@
+// Package sysmodel models the virtual machine that hosts the monitored
+// application. It replaces the paper's physical test-bed (HP ProLiant +
+// VMware VM running Ubuntu) with a resource-accounting model that
+// reproduces the causal chain the paper's prediction models rely on:
+//
+//	leaked memory and unterminated threads accumulate
+//	  → anonymous memory grows
+//	  → the page cache shrinks and free memory drops
+//	  → anonymous pages spill to swap
+//	  → paging inflates CPU I/O-wait and slows the application down
+//	  → free memory and free swap are exhausted → the VM crashes.
+//
+// The model is sampled, not stepped: the machine keeps aggregate state
+// (leaked KB, thread count, CPU-seconds consumed) and computes a full
+// feature snapshot on demand, which is exactly what the feature monitor
+// (FMC) needs. All quantities follow the paper's units: KB for memory and
+// swap, percentages for CPU, counts for threads.
+package sysmodel
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/randx"
+	"repro/internal/trace"
+)
+
+// Config describes the virtual machine.
+type Config struct {
+	TotalMemKB  float64 // physical memory visible to the VM
+	TotalSwapKB float64 // swap space
+	NumCPUs     int     // virtual CPUs
+
+	BaseUsedKB    float64 // baseline anonymous memory (OS + idle app servers)
+	BaseSharedKB  float64 // shared buffers (constant)
+	BaseBuffersKB float64 // kernel buffers (constant)
+	BaseThreads   int     // baseline thread count (OS + server pools)
+
+	ThreadStackKB float64 // resident cost of one unterminated thread
+	RequestMemKB  float64 // transient anonymous memory per in-flight request
+
+	// CacheFillFrac is the fraction of leftover memory the page cache
+	// occupies under no pressure (Linux fills most of free RAM with
+	// cache).
+	CacheFillFrac float64
+	// SwapStartFrac: anonymous demand beyond this fraction of the
+	// resident capacity starts spilling to swap (models swappiness).
+	SwapStartFrac float64
+	// MinCacheKB is the page-cache floor the kernel protects until swap
+	// is itself exhausted.
+	MinCacheKB float64
+
+	// StealMeanPct is the mean hypervisor steal time percentage
+	// (CPUst in the paper); sampled with exponential noise.
+	StealMeanPct float64
+	// NiceMeanPct is the mean niced-process CPU percentage.
+	NiceMeanPct float64
+
+	// IOWaitPerSwapMBs converts swap traffic (MB/s) into I/O-wait
+	// percentage points.
+	IOWaitPerSwapMBs float64
+}
+
+// DefaultConfig returns a VM comparable to the paper's test-bed guests:
+// 2 GB RAM, 1 GB swap, 2 vCPUs, Ubuntu-like baseline usage.
+func DefaultConfig() Config {
+	return Config{
+		TotalMemKB:       2 * 1024 * 1024,
+		TotalSwapKB:      1 * 1024 * 1024,
+		NumCPUs:          2,
+		BaseUsedKB:       300 * 1024,
+		BaseSharedKB:     48 * 1024,
+		BaseBuffersKB:    64 * 1024,
+		BaseThreads:      210,
+		ThreadStackKB:    512,
+		RequestMemKB:     384,
+		CacheFillFrac:    0.80,
+		SwapStartFrac:    0.92,
+		MinCacheKB:       40 * 1024,
+		StealMeanPct:     0.6,
+		NiceMeanPct:      0.2,
+		IOWaitPerSwapMBs: 6.0,
+	}
+}
+
+// Validate reports configuration errors.
+func (c *Config) Validate() error {
+	switch {
+	case c.TotalMemKB <= 0:
+		return fmt.Errorf("sysmodel: TotalMemKB must be positive, got %v", c.TotalMemKB)
+	case c.TotalSwapKB < 0:
+		return fmt.Errorf("sysmodel: TotalSwapKB must be non-negative, got %v", c.TotalSwapKB)
+	case c.NumCPUs <= 0:
+		return fmt.Errorf("sysmodel: NumCPUs must be positive, got %d", c.NumCPUs)
+	case c.BaseUsedKB+c.BaseSharedKB+c.BaseBuffersKB+c.MinCacheKB >= c.TotalMemKB:
+		return fmt.Errorf("sysmodel: baseline memory %v exceeds total %v",
+			c.BaseUsedKB+c.BaseSharedKB+c.BaseBuffersKB+c.MinCacheKB, c.TotalMemKB)
+	case c.CacheFillFrac < 0 || c.CacheFillFrac > 1:
+		return fmt.Errorf("sysmodel: CacheFillFrac must be in [0,1], got %v", c.CacheFillFrac)
+	case c.SwapStartFrac <= 0 || c.SwapStartFrac > 1:
+		return fmt.Errorf("sysmodel: SwapStartFrac must be in (0,1], got %v", c.SwapStartFrac)
+	}
+	return nil
+}
+
+// Machine is the live VM state. It is not safe for concurrent use; in the
+// simulator it lives on the single-threaded DES event loop.
+type Machine struct {
+	cfg Config
+	rng *randx.Source
+
+	leakedKB     float64
+	extraThreads int
+	activeReqs   int
+
+	// CPU-second accumulators since the last snapshot.
+	cpuUserSec float64
+	cpuSysSec  float64
+	lastSample float64 // virtual time of last snapshot
+	lastSwapKB float64 // swap usage at last snapshot (for traffic rate)
+
+	started float64 // virtual time the machine (re)started
+}
+
+// NewMachine creates a machine from cfg with its own random stream.
+func NewMachine(cfg Config, rng *randx.Source) (*Machine, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return &Machine{cfg: cfg, rng: rng}, nil
+}
+
+// Config returns the machine configuration.
+func (m *Machine) Config() Config { return m.cfg }
+
+// Restart clears all accumulated anomalies and counters, as if the VM was
+// rebooted (the paper's recovery action after each fail event). now is the
+// virtual time of the restart.
+func (m *Machine) Restart(now float64) {
+	m.leakedKB = 0
+	m.extraThreads = 0
+	m.activeReqs = 0
+	m.cpuUserSec = 0
+	m.cpuSysSec = 0
+	m.lastSample = now
+	m.lastSwapKB = 0
+	m.started = now
+}
+
+// StartTime returns the virtual time of the last restart.
+func (m *Machine) StartTime() float64 { return m.started }
+
+// Uptime returns seconds since the last restart.
+func (m *Machine) Uptime(now float64) float64 { return now - m.started }
+
+// Leak adds kb of leaked (never-freed) anonymous memory.
+func (m *Machine) Leak(kb float64) {
+	if kb > 0 {
+		m.leakedKB += kb
+	}
+}
+
+// LeakedKB returns the cumulative leaked memory.
+func (m *Machine) LeakedKB() float64 { return m.leakedKB }
+
+// SpawnThread adds one unterminated thread.
+func (m *Machine) SpawnThread() { m.extraThreads++ }
+
+// ExtraThreads returns the number of unterminated threads.
+func (m *Machine) ExtraThreads() int { return m.extraThreads }
+
+// RequestStarted and RequestFinished track in-flight requests, which
+// contribute transient memory and worker threads.
+func (m *Machine) RequestStarted() { m.activeReqs++ }
+
+// RequestFinished marks one in-flight request as complete.
+func (m *Machine) RequestFinished() {
+	if m.activeReqs > 0 {
+		m.activeReqs--
+	}
+}
+
+// ActiveRequests returns the in-flight request count.
+func (m *Machine) ActiveRequests() int { return m.activeReqs }
+
+// ConsumeCPU records CPU time consumed by the application between
+// snapshots, split into user and system seconds.
+func (m *Machine) ConsumeCPU(userSec, sysSec float64) {
+	if userSec > 0 {
+		m.cpuUserSec += userSec
+	}
+	if sysSec > 0 {
+		m.cpuSysSec += sysSec
+	}
+}
+
+// memoryState is the derived memory accounting.
+type memoryState struct {
+	usedKB, freeKB, cachedKB float64
+	swapUsedKB, swapFreeKB   float64
+	anonDemandKB             float64
+	oom                      bool
+}
+
+func (m *Machine) memory() memoryState {
+	c := &m.cfg
+	anon := c.BaseUsedKB + m.leakedKB +
+		float64(m.extraThreads)*c.ThreadStackKB +
+		float64(m.activeReqs)*c.RequestMemKB
+
+	memForAnonCache := c.TotalMemKB - c.BaseSharedKB - c.BaseBuffersKB
+	residentCap := memForAnonCache - c.MinCacheKB
+	swapStart := c.SwapStartFrac * residentCap
+
+	var swapUsed float64
+	if anon > swapStart {
+		swapUsed = anon - swapStart
+		if swapUsed > c.TotalSwapKB {
+			swapUsed = c.TotalSwapKB
+		}
+	}
+	residentAnon := anon - swapUsed
+	leftover := memForAnonCache - residentAnon
+	var st memoryState
+	st.anonDemandKB = anon
+	st.swapUsedKB = swapUsed
+	st.swapFreeKB = c.TotalSwapKB - swapUsed
+	if leftover <= 0 {
+		// Past total exhaustion: the machine is effectively dead.
+		st.oom = true
+		st.cachedKB = 0
+		st.freeKB = 0
+		st.usedKB = memForAnonCache + c.BaseSharedKB + c.BaseBuffersKB
+		return st
+	}
+	cache := c.CacheFillFrac * leftover
+	if cache < c.MinCacheKB {
+		cache = c.MinCacheKB
+	}
+	if cache > leftover {
+		cache = leftover
+	}
+	st.cachedKB = cache
+	st.freeKB = leftover - cache
+	st.usedKB = residentAnon + c.BaseSharedKB + c.BaseBuffersKB
+	if st.swapFreeKB <= 0 && st.freeKB <= 0.01*c.TotalMemKB {
+		st.oom = true
+	}
+	return st
+}
+
+// MemoryPressure returns the anonymous-demand fraction of total capacity
+// (memory + swap): 0 when idle, 1 at the crash point, >1 past it.
+func (m *Machine) MemoryPressure() float64 {
+	c := &m.cfg
+	capacity := (c.TotalMemKB - c.BaseSharedKB - c.BaseBuffersKB - c.MinCacheKB) + c.TotalSwapKB
+	return m.memory().anonDemandKB / capacity
+}
+
+// Slowdown returns the multiplicative service-time penalty the application
+// experiences under the current memory and thread pressure. 1 when
+// healthy; grows superlinearly when the machine starts swapping (paging
+// on the critical path) and mildly with the scheduler load of extra
+// threads. The paper's Figure 3 response-time explosion near the crash
+// point comes from this factor.
+func (m *Machine) Slowdown() float64 {
+	st := m.memory()
+	s := 1.0
+	if m.cfg.TotalSwapKB > 0 && st.swapUsedKB > 0 {
+		r := st.swapUsedKB / m.cfg.TotalSwapKB
+		// Paging penalty: quadratic while swap fills, with a sharp
+		// high-order blow-up as it approaches exhaustion — working sets
+		// no longer fit and every request thrashes. This is what drives
+		// the paper's Figure 3 response-time explosion near the crash.
+		s += 3.5*r*r + 30*math.Pow(r, 8)
+	}
+	// Scheduler pressure from unterminated threads.
+	s += 0.25 * float64(m.extraThreads) / 1000
+	if st.oom {
+		s += 25
+	}
+	return s
+}
+
+// MonitorSkew returns the extra delay (seconds) the feature monitor
+// experiences when generating a datapoint, modeling the OS-scheduler skew
+// the paper observes in Figure 3 (datapoint inter-generation time grows
+// when the system is overloaded). base is the nominal sampling interval.
+func (m *Machine) MonitorSkew(base float64) float64 {
+	slow := m.Slowdown()
+	skew := (slow - 1) * 0.8 * base
+	// The monitor is a tiny resident process: it suffers scheduling
+	// delay, but unlike the application it does not thrash, so its skew
+	// saturates (the paper's generation time tops out near ~3-4x the
+	// nominal interval).
+	if max := 2.6 * base; skew > max {
+		skew = max
+	}
+	// Small always-present scheduling noise.
+	skew += m.rng.Exp(0.02 * base)
+	return skew
+}
+
+// Snapshot computes the feature vector at virtual time now and resets the
+// CPU accumulators. Tgen is the machine uptime, matching the paper
+// ("timestamp denoting the elapsed time since the system has started").
+func (m *Machine) Snapshot(now float64) trace.Datapoint {
+	c := &m.cfg
+	st := m.memory()
+	dt := now - m.lastSample
+	if dt <= 0 {
+		dt = 1e-9
+	}
+
+	var d trace.Datapoint
+	d.Tgen = m.Uptime(now)
+	d.Features[trace.NumThreads] = float64(c.BaseThreads + m.extraThreads + m.activeReqs)
+	d.Features[trace.MemUsed] = st.usedKB
+	d.Features[trace.MemFree] = st.freeKB
+	d.Features[trace.MemShared] = c.BaseSharedKB
+	d.Features[trace.MemBuffers] = c.BaseBuffersKB
+	d.Features[trace.MemCached] = st.cachedKB
+	d.Features[trace.SwapUsed] = st.swapUsedKB
+	d.Features[trace.SwapFree] = st.swapFreeKB
+
+	// CPU percentages over the sampling window.
+	cpuCap := float64(c.NumCPUs) * dt
+	user := 100 * m.cpuUserSec / cpuCap
+	sys := 100 * m.cpuSysSec / cpuCap
+	// Paging traffic drives I/O wait: swap delta across the window plus
+	// sustained thrash when the system lives near exhaustion.
+	swapDeltaMB := (st.swapUsedKB - m.lastSwapKB) / 1024
+	if swapDeltaMB < 0 {
+		swapDeltaMB = 0
+	}
+	iow := c.IOWaitPerSwapMBs * swapDeltaMB / dt
+	if c.TotalSwapKB > 0 {
+		occ := st.swapUsedKB / c.TotalSwapKB
+		iow += 18 * occ * occ // residual thrash while swap stays occupied
+	}
+	nice := m.rng.Exp(c.NiceMeanPct + 1e-9)
+	steal := m.rng.Exp(c.StealMeanPct + 1e-9)
+
+	// Normalize: the six shares cannot exceed 100%.
+	user, sys, iow, nice, steal = clampShares(user, sys, iow, nice, steal)
+	idle := 100 - user - sys - iow - nice - steal
+	if idle < 0 { // floating-point slack after proportional scaling
+		idle = 0
+	}
+
+	d.Features[trace.CPUUser] = user
+	d.Features[trace.CPUNice] = nice
+	d.Features[trace.CPUSystem] = sys
+	d.Features[trace.CPUIOWait] = iow
+	d.Features[trace.CPUSteal] = steal
+	d.Features[trace.CPUIdle] = idle
+
+	m.cpuUserSec = 0
+	m.cpuSysSec = 0
+	m.lastSample = now
+	m.lastSwapKB = st.swapUsedKB
+	return d
+}
+
+// clampShares scales the five busy shares down proportionally when they
+// would exceed 100%.
+func clampShares(user, sys, iow, nice, steal float64) (float64, float64, float64, float64, float64) {
+	vals := []*float64{&user, &sys, &iow, &nice, &steal}
+	var total float64
+	for _, v := range vals {
+		if *v < 0 {
+			*v = 0
+		}
+		total += *v
+	}
+	if total > 100 {
+		scale := 100 / total
+		for _, v := range vals {
+			*v *= scale
+		}
+	}
+	return user, sys, iow, nice, steal
+}
+
+// OOM reports whether the machine has exhausted memory and swap — the
+// hard crash state. The fail condition usually fires slightly earlier
+// via the monitored features.
+func (m *Machine) OOM() bool { return m.memory().oom }

@@ -1,0 +1,299 @@
+package sysmodel
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/randx"
+	"repro/internal/trace"
+)
+
+func newTestMachine(t *testing.T) *Machine {
+	t.Helper()
+	m, err := NewMachine(DefaultConfig(), randx.New(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Restart(0)
+	return m
+}
+
+func TestConfigValidate(t *testing.T) {
+	good := DefaultConfig()
+	if err := good.Validate(); err != nil {
+		t.Fatalf("default config invalid: %v", err)
+	}
+	cases := map[string]func(*Config){
+		"zero mem":       func(c *Config) { c.TotalMemKB = 0 },
+		"negative swap":  func(c *Config) { c.TotalSwapKB = -1 },
+		"zero cpus":      func(c *Config) { c.NumCPUs = 0 },
+		"baseline > mem": func(c *Config) { c.BaseUsedKB = c.TotalMemKB },
+		"bad cache frac": func(c *Config) { c.CacheFillFrac = 1.5 },
+		"bad swap start": func(c *Config) { c.SwapStartFrac = 0 },
+	}
+	for name, mutate := range cases {
+		c := DefaultConfig()
+		mutate(&c)
+		if err := c.Validate(); err == nil {
+			t.Errorf("%s: invalid config accepted", name)
+		}
+		if _, err := NewMachine(c, randx.New(1)); err == nil {
+			t.Errorf("%s: NewMachine accepted invalid config", name)
+		}
+	}
+}
+
+func TestSnapshotHealthy(t *testing.T) {
+	m := newTestMachine(t)
+	d := m.Snapshot(1.5)
+	if d.Tgen != 1.5 {
+		t.Fatalf("Tgen = %v, want 1.5", d.Tgen)
+	}
+	if d.Features[trace.SwapUsed] != 0 {
+		t.Fatalf("healthy machine uses swap: %v", d.Features[trace.SwapUsed])
+	}
+	if d.Features[trace.MemFree] <= 0 {
+		t.Fatal("healthy machine has no free memory")
+	}
+	if err := d.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Memory conservation: used + free + cached == total
+	// (used already includes shared and buffers in our accounting).
+	total := d.Features[trace.MemUsed] + d.Features[trace.MemFree] + d.Features[trace.MemCached]
+	if diff := total - m.Config().TotalMemKB; diff > 1 || diff < -1 {
+		t.Fatalf("memory not conserved: sum=%v total=%v", total, m.Config().TotalMemKB)
+	}
+}
+
+func TestCPUSharesSumTo100(t *testing.T) {
+	m := newTestMachine(t)
+	m.ConsumeCPU(1.2, 0.3)
+	d := m.Snapshot(1.5)
+	sum := d.Features[trace.CPUUser] + d.Features[trace.CPUNice] +
+		d.Features[trace.CPUSystem] + d.Features[trace.CPUIOWait] +
+		d.Features[trace.CPUSteal] + d.Features[trace.CPUIdle]
+	if sum < 99.999 || sum > 100.001 {
+		t.Fatalf("CPU shares sum to %v", sum)
+	}
+	if d.Features[trace.CPUUser] <= 0 {
+		t.Fatal("consumed user CPU not reflected")
+	}
+}
+
+func TestCPUOverloadClamped(t *testing.T) {
+	m := newTestMachine(t)
+	m.ConsumeCPU(100, 100) // far beyond 2 CPUs * 1.5 s
+	d := m.Snapshot(1.5)
+	busy := d.Features[trace.CPUUser] + d.Features[trace.CPUSystem]
+	if busy > 100.001 {
+		t.Fatalf("CPU busy share %v exceeds 100", busy)
+	}
+	if d.Features[trace.CPUIdle] < 0 {
+		t.Fatalf("negative idle %v", d.Features[trace.CPUIdle])
+	}
+}
+
+func TestLeakGrowsSwapAndShrinksCache(t *testing.T) {
+	m := newTestMachine(t)
+	base := m.Snapshot(1)
+	// Leak half the machine.
+	m.Leak(m.Config().TotalMemKB / 2)
+	mid := m.Snapshot(2)
+	if mid.Features[trace.MemFree] >= base.Features[trace.MemFree] {
+		t.Fatal("leak did not reduce free memory")
+	}
+	if mid.Features[trace.MemCached] >= base.Features[trace.MemCached] {
+		t.Fatal("leak did not shrink page cache")
+	}
+	// Leak enough to spill to swap.
+	m.Leak(m.Config().TotalMemKB)
+	end := m.Snapshot(3)
+	if end.Features[trace.SwapUsed] <= 0 {
+		t.Fatal("massive leak did not reach swap")
+	}
+	if end.Features[trace.CPUIOWait] <= mid.Features[trace.CPUIOWait] {
+		t.Fatal("swapping did not raise iowait")
+	}
+}
+
+func TestExhaustionTriggersFailCondition(t *testing.T) {
+	m := newTestMachine(t)
+	cond := trace.MemoryExhaustion(0.02, 0.02)
+	d := m.Snapshot(1)
+	if cond(&d) {
+		t.Fatal("fresh machine fails condition")
+	}
+	// Fill memory + swap completely.
+	m.Leak(m.Config().TotalMemKB + m.Config().TotalSwapKB)
+	d = m.Snapshot(2)
+	if !cond(&d) {
+		t.Fatalf("exhausted machine passes condition: free=%v swapFree=%v",
+			d.Features[trace.MemFree], d.Features[trace.SwapFree])
+	}
+	if !m.OOM() {
+		t.Fatal("OOM not reported")
+	}
+}
+
+func TestSlowdownMonotoneInLeaks(t *testing.T) {
+	m := newTestMachine(t)
+	prev := m.Slowdown()
+	if prev != 1 {
+		t.Fatalf("healthy slowdown = %v, want 1", prev)
+	}
+	for i := 0; i < 10; i++ {
+		m.Leak(m.Config().TotalMemKB / 8)
+		s := m.Slowdown()
+		if s < prev {
+			t.Fatalf("slowdown decreased after leak: %v -> %v", prev, s)
+		}
+		prev = s
+	}
+	if prev <= 1.5 {
+		t.Fatalf("slowdown after massive leak only %v", prev)
+	}
+}
+
+func TestThreadsAffectSnapshotAndSlowdown(t *testing.T) {
+	m := newTestMachine(t)
+	d0 := m.Snapshot(1)
+	for i := 0; i < 500; i++ {
+		m.SpawnThread()
+	}
+	d1 := m.Snapshot(2)
+	wantThreads := d0.Features[trace.NumThreads] + 500
+	if d1.Features[trace.NumThreads] != wantThreads {
+		t.Fatalf("threads = %v, want %v", d1.Features[trace.NumThreads], wantThreads)
+	}
+	if d1.Features[trace.MemFree] >= d0.Features[trace.MemFree] {
+		t.Fatal("thread stacks did not consume memory")
+	}
+	if m.Slowdown() <= 1 {
+		t.Fatal("threads did not slow the machine")
+	}
+}
+
+func TestRequestsTransient(t *testing.T) {
+	m := newTestMachine(t)
+	m.RequestStarted()
+	m.RequestStarted()
+	if m.ActiveRequests() != 2 {
+		t.Fatalf("active = %d", m.ActiveRequests())
+	}
+	d := m.Snapshot(1)
+	base := d.Features[trace.NumThreads]
+	m.RequestFinished()
+	m.RequestFinished()
+	m.RequestFinished() // extra finish must not go negative
+	if m.ActiveRequests() != 0 {
+		t.Fatalf("active after finish = %d", m.ActiveRequests())
+	}
+	d2 := m.Snapshot(2)
+	if d2.Features[trace.NumThreads] >= base {
+		t.Fatal("finished requests still counted in threads")
+	}
+}
+
+func TestRestartClearsState(t *testing.T) {
+	m := newTestMachine(t)
+	m.Leak(1e6)
+	m.SpawnThread()
+	m.RequestStarted()
+	m.ConsumeCPU(5, 5)
+	m.Restart(100)
+	if m.LeakedKB() != 0 || m.ExtraThreads() != 0 || m.ActiveRequests() != 0 {
+		t.Fatal("restart did not clear anomalies")
+	}
+	if m.StartTime() != 100 || m.Uptime(130) != 30 {
+		t.Fatalf("restart time bookkeeping wrong: start=%v", m.StartTime())
+	}
+	d := m.Snapshot(101.5)
+	if d.Tgen != 1.5 {
+		t.Fatalf("Tgen after restart = %v, want 1.5", d.Tgen)
+	}
+	if d.Features[trace.SwapUsed] != 0 {
+		t.Fatal("swap persists across restart")
+	}
+}
+
+func TestMonitorSkewGrowsWithPressure(t *testing.T) {
+	m := newTestMachine(t)
+	healthy := 0.0
+	for i := 0; i < 50; i++ {
+		healthy += m.MonitorSkew(1.5)
+	}
+	healthy /= 50
+	m.Leak(m.Config().TotalMemKB + m.Config().TotalSwapKB*0.9)
+	loaded := 0.0
+	for i := 0; i < 50; i++ {
+		loaded += m.MonitorSkew(1.5)
+	}
+	loaded /= 50
+	if loaded <= healthy {
+		t.Fatalf("skew did not grow under pressure: healthy=%v loaded=%v", healthy, loaded)
+	}
+}
+
+func TestMemoryPressureScale(t *testing.T) {
+	m := newTestMachine(t)
+	p0 := m.MemoryPressure()
+	if p0 <= 0 || p0 >= 0.5 {
+		t.Fatalf("baseline pressure = %v", p0)
+	}
+	m.Leak(m.Config().TotalMemKB + m.Config().TotalSwapKB)
+	if p := m.MemoryPressure(); p < 1 {
+		t.Fatalf("exhausted pressure = %v, want >= 1", p)
+	}
+}
+
+// Property: snapshots are always structurally valid and conserve memory,
+// for arbitrary leak/thread/request loads.
+func TestSnapshotAlwaysValid(t *testing.T) {
+	cfg := DefaultConfig()
+	f := func(leakMB uint16, threads uint8, reqs uint8, cpu uint8) bool {
+		m, err := NewMachine(cfg, randx.New(7))
+		if err != nil {
+			return false
+		}
+		m.Restart(0)
+		m.Leak(float64(leakMB) * 1024)
+		for i := 0; i < int(threads); i++ {
+			m.SpawnThread()
+		}
+		for i := 0; i < int(reqs); i++ {
+			m.RequestStarted()
+		}
+		m.ConsumeCPU(float64(cpu)/10, float64(cpu)/20)
+		d := m.Snapshot(1.5)
+		if d.Validate() != nil {
+			return false
+		}
+		for _, f := range d.Features {
+			if f < 0 {
+				return false
+			}
+		}
+		swapTotal := d.Features[trace.SwapUsed] + d.Features[trace.SwapFree]
+		if diff := swapTotal - cfg.TotalSwapKB; diff > 1 || diff < -1 {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkSnapshot(b *testing.B) {
+	m, err := NewMachine(DefaultConfig(), randx.New(1))
+	if err != nil {
+		b.Fatal(err)
+	}
+	m.Restart(0)
+	m.Leak(500 * 1024)
+	for i := 0; i < b.N; i++ {
+		m.ConsumeCPU(0.5, 0.1)
+		_ = m.Snapshot(float64(i) * 1.5)
+	}
+}

@@ -1,0 +1,159 @@
+// Package textplot renders simple ASCII scatter/line plots, used by the
+// experiment harness to display the paper's figures in a terminal.
+package textplot
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// series is one named point set.
+type series struct {
+	name   string
+	xs, ys []float64
+	marker byte
+}
+
+// Plot accumulates series and renders them on a character grid.
+type Plot struct {
+	title          string
+	xlabel, ylabel string
+	width, height  int
+	series         []series
+}
+
+// New creates a plot with the given grid size (sensible minimums are
+// enforced).
+func New(title string, width, height int) *Plot {
+	if width < 20 {
+		width = 20
+	}
+	if height < 5 {
+		height = 5
+	}
+	return &Plot{title: title, width: width, height: height}
+}
+
+// Labels sets the axis labels.
+func (p *Plot) Labels(x, y string) *Plot {
+	p.xlabel, p.ylabel = x, y
+	return p
+}
+
+// Add appends a series using the given marker. Non-finite points are
+// dropped at render time. Mismatched xs/ys lengths are truncated to the
+// shorter.
+func (p *Plot) Add(name string, xs, ys []float64, marker byte) *Plot {
+	n := len(xs)
+	if len(ys) < n {
+		n = len(ys)
+	}
+	p.series = append(p.series, series{name: name, xs: xs[:n], ys: ys[:n], marker: marker})
+	return p
+}
+
+// Render draws the plot.
+func (p *Plot) Render() string {
+	xmin, xmax := math.Inf(1), math.Inf(-1)
+	ymin, ymax := math.Inf(1), math.Inf(-1)
+	total := 0
+	for _, s := range p.series {
+		for i := range s.xs {
+			x, y := s.xs[i], s.ys[i]
+			if !finite(x) || !finite(y) {
+				continue
+			}
+			total++
+			xmin, xmax = math.Min(xmin, x), math.Max(xmax, x)
+			ymin, ymax = math.Min(ymin, y), math.Max(ymax, y)
+		}
+	}
+	var b strings.Builder
+	if p.title != "" {
+		fmt.Fprintf(&b, "%s\n", p.title)
+	}
+	if total == 0 {
+		b.WriteString("(no data)\n")
+		return b.String()
+	}
+	if xmax == xmin {
+		xmax = xmin + 1
+	}
+	if ymax == ymin {
+		ymax = ymin + 1
+	}
+
+	grid := make([][]byte, p.height)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", p.width))
+	}
+	for _, s := range p.series {
+		for i := range s.xs {
+			x, y := s.xs[i], s.ys[i]
+			if !finite(x) || !finite(y) {
+				continue
+			}
+			c := int(float64(p.width-1) * (x - xmin) / (xmax - xmin))
+			r := p.height - 1 - int(float64(p.height-1)*(y-ymin)/(ymax-ymin))
+			grid[r][c] = s.marker
+		}
+	}
+
+	yLo, yHi := formatTick(ymin), formatTick(ymax)
+	labelW := len(yLo)
+	if len(yHi) > labelW {
+		labelW = len(yHi)
+	}
+	for r, row := range grid {
+		label := strings.Repeat(" ", labelW)
+		if r == 0 {
+			label = pad(yHi, labelW)
+		} else if r == p.height-1 {
+			label = pad(yLo, labelW)
+		}
+		fmt.Fprintf(&b, "%s |%s|\n", label, string(row))
+	}
+	fmt.Fprintf(&b, "%s +%s+\n", strings.Repeat(" ", labelW), strings.Repeat("-", p.width))
+	fmt.Fprintf(&b, "%s  %s%s%s\n", strings.Repeat(" ", labelW), formatTick(xmin),
+		strings.Repeat(" ", max(1, p.width-len(formatTick(xmin))-len(formatTick(xmax)))), formatTick(xmax))
+	if p.xlabel != "" || p.ylabel != "" {
+		fmt.Fprintf(&b, "%s  x: %s, y: %s\n", strings.Repeat(" ", labelW), p.xlabel, p.ylabel)
+	}
+	if len(p.series) > 1 || (len(p.series) == 1 && p.series[0].name != "") {
+		legend := make([]string, 0, len(p.series))
+		for _, s := range p.series {
+			legend = append(legend, fmt.Sprintf("%c=%s", s.marker, s.name))
+		}
+		fmt.Fprintf(&b, "%s  legend: %s\n", strings.Repeat(" ", labelW), strings.Join(legend, "  "))
+	}
+	return b.String()
+}
+
+func finite(v float64) bool { return !math.IsNaN(v) && !math.IsInf(v, 0) }
+
+func formatTick(v float64) string {
+	av := math.Abs(v)
+	switch {
+	case av >= 1e6 || (av < 1e-3 && av != 0):
+		return fmt.Sprintf("%.2e", v)
+	case av >= 100:
+		return fmt.Sprintf("%.0f", v)
+	default:
+		return fmt.Sprintf("%.2f", v)
+	}
+}
+
+func pad(s string, w int) string {
+	if len(s) >= w {
+		return s
+	}
+	return strings.Repeat(" ", w-len(s)) + s
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,88 @@
+package textplot
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestRenderBasic(t *testing.T) {
+	p := New("Test Plot", 40, 10).Labels("time", "value")
+	p.Add("a", []float64{0, 1, 2, 3}, []float64{0, 1, 4, 9}, '*')
+	out := p.Render()
+	if !strings.Contains(out, "Test Plot") {
+		t.Fatal("missing title")
+	}
+	if !strings.Contains(out, "*") {
+		t.Fatal("missing markers")
+	}
+	if !strings.Contains(out, "x: time, y: value") {
+		t.Fatal("missing labels")
+	}
+	if !strings.Contains(out, "*=a") {
+		t.Fatal("missing legend")
+	}
+}
+
+func TestRenderEmpty(t *testing.T) {
+	out := New("Empty", 30, 8).Render()
+	if !strings.Contains(out, "(no data)") {
+		t.Fatalf("empty plot rendered: %q", out)
+	}
+}
+
+func TestRenderNaNDropped(t *testing.T) {
+	p := New("", 30, 8)
+	p.Add("", []float64{0, math.NaN(), 2}, []float64{1, 1, math.Inf(1)}, 'x')
+	out := p.Render()
+	if strings.Count(out, "x") < 1 {
+		t.Fatal("finite point not drawn")
+	}
+}
+
+func TestRenderConstantSeries(t *testing.T) {
+	p := New("", 30, 8)
+	p.Add("", []float64{1, 1, 1}, []float64{5, 5, 5}, 'o')
+	out := p.Render()
+	if !strings.Contains(out, "o") {
+		t.Fatal("constant series not drawn")
+	}
+}
+
+func TestMultipleSeries(t *testing.T) {
+	p := New("", 40, 10)
+	p.Add("up", []float64{0, 1, 2}, []float64{0, 1, 2}, 'u')
+	p.Add("down", []float64{0, 1, 2}, []float64{2, 1, 0}, 'd')
+	out := p.Render()
+	if !strings.Contains(out, "u") || !strings.Contains(out, "d") {
+		t.Fatal("series markers missing")
+	}
+	if !strings.Contains(out, "u=up") || !strings.Contains(out, "d=down") {
+		t.Fatal("legend incomplete")
+	}
+}
+
+func TestCornerPlacement(t *testing.T) {
+	// Extremes must land on the grid, not out of bounds (no panic).
+	p := New("", 25, 6)
+	p.Add("", []float64{-1e9, 1e9}, []float64{-1e9, 1e9}, '#')
+	out := p.Render()
+	if strings.Count(out, "#") != 2 {
+		t.Fatalf("corners not drawn:\n%s", out)
+	}
+}
+
+func TestMinimumsEnforced(t *testing.T) {
+	p := New("", 1, 1)
+	p.Add("", []float64{0, 1}, []float64{0, 1}, '*')
+	_ = p.Render() // must not panic
+}
+
+func TestMismatchedLengthsTruncated(t *testing.T) {
+	p := New("", 30, 6)
+	p.Add("", []float64{0, 1, 2, 3}, []float64{1, 2}, '*')
+	out := p.Render()
+	if strings.Count(out, "*") != 2 {
+		t.Fatalf("expected 2 markers:\n%s", out)
+	}
+}

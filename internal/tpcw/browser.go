@@ -1,0 +1,167 @@
+package tpcw
+
+import (
+	"fmt"
+
+	"repro/internal/des"
+	"repro/internal/randx"
+)
+
+// BrowserConfig describes the emulated browsers (TPC-W "EBs").
+type BrowserConfig struct {
+	// ThinkMeanSec is the mean of the negative-exponential think time
+	// between interactions (TPC-W specifies ~7 s).
+	ThinkMeanSec float64
+	// ThinkCapSec truncates think times (TPC-W caps at 70 s).
+	ThinkCapSec float64
+	// SessionMeanLength is the mean number of interactions per session
+	// (geometric); every session starts at Home.
+	SessionMeanLength float64
+	// ErrorRetrySec is how long a browser waits after a failed request
+	// (server restarting) before opening a new session.
+	ErrorRetrySec float64
+	// Mix holds the categorical weights for the post-Home interactions.
+	Mix [NumInteractions]float64
+}
+
+// DefaultBrowserConfig returns TPC-W-like browser behaviour.
+func DefaultBrowserConfig() BrowserConfig {
+	return BrowserConfig{
+		ThinkMeanSec:      7,
+		ThinkCapSec:       70,
+		SessionMeanLength: 8,
+		ErrorRetrySec:     15,
+		Mix:               DefaultMix(),
+	}
+}
+
+// Validate reports configuration errors.
+func (c *BrowserConfig) Validate() error {
+	if c.ThinkMeanSec <= 0 {
+		return fmt.Errorf("tpcw: ThinkMeanSec must be positive, got %v", c.ThinkMeanSec)
+	}
+	if c.ThinkCapSec < c.ThinkMeanSec {
+		return fmt.Errorf("tpcw: ThinkCapSec %v below ThinkMeanSec %v", c.ThinkCapSec, c.ThinkMeanSec)
+	}
+	if c.SessionMeanLength < 1 {
+		return fmt.Errorf("tpcw: SessionMeanLength must be >= 1, got %v", c.SessionMeanLength)
+	}
+	if c.ErrorRetrySec <= 0 {
+		return fmt.Errorf("tpcw: ErrorRetrySec must be positive, got %v", c.ErrorRetrySec)
+	}
+	var total float64
+	for _, w := range c.Mix {
+		if w > 0 {
+			total += w
+		}
+	}
+	if total <= 0 {
+		return fmt.Errorf("tpcw: interaction mix has no positive weight")
+	}
+	return nil
+}
+
+// RTSample is one response-time observation from a browser probe. The
+// paper instrumented the emulated browsers to store the response time of
+// every web interaction; these samples are Figure 3's ground truth.
+type RTSample struct {
+	// AbsTime is the virtual time the response arrived.
+	AbsTime float64
+	// RT is the observed response time in seconds.
+	RT float64
+	// Interaction is the interaction type.
+	Interaction Interaction
+	// Browser is the issuing browser's id.
+	Browser int
+}
+
+// Browser is one emulated browser running closed-loop sessions against a
+// server. It records an RTSample for every successful interaction via the
+// probe callback.
+type Browser struct {
+	id     int
+	cfg    BrowserConfig
+	sim    *des.Simulator
+	server *Server
+	rng    *randx.Source
+	probe  func(RTSample)
+
+	sessionLeft int
+	stopped     bool
+	requests    int
+	errors      int
+}
+
+// NewBrowser creates a browser; call Start to begin its first session.
+// probe may be nil.
+func NewBrowser(id int, cfg BrowserConfig, sim *des.Simulator, server *Server, rng *randx.Source, probe func(RTSample)) (*Browser, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return &Browser{id: id, cfg: cfg, sim: sim, server: server, rng: rng, probe: probe}, nil
+}
+
+// Requests returns the number of successful interactions completed.
+func (b *Browser) Requests() int { return b.requests }
+
+// Errors returns the number of failed interactions observed.
+func (b *Browser) Errors() int { return b.errors }
+
+// Start begins the browser's first session after a small uniform ramp-up
+// delay (staggering the fleet, as TPC-W load generators do).
+func (b *Browser) Start(rampUpSec float64) {
+	b.stopped = false
+	delay := 0.0
+	if rampUpSec > 0 {
+		delay = b.rng.Uniform(0, rampUpSec)
+	}
+	b.sim.Schedule(delay, b.newSession)
+}
+
+// Stop halts the browser after its current wait; no further requests are
+// issued.
+func (b *Browser) Stop() { b.stopped = true }
+
+func (b *Browser) newSession() {
+	if b.stopped {
+		return
+	}
+	// Geometric session length with the configured mean.
+	b.sessionLeft = 1
+	p := 1 / b.cfg.SessionMeanLength
+	for b.rng.Float64() > p {
+		b.sessionLeft++
+	}
+	b.issue(Home)
+}
+
+func (b *Browser) issue(ia Interaction) {
+	if b.stopped {
+		return
+	}
+	b.server.Submit(ia, func(rt float64, ok bool) {
+		if b.stopped {
+			return
+		}
+		if !ok {
+			b.errors++
+			b.sim.Schedule(b.cfg.ErrorRetrySec, b.newSession)
+			return
+		}
+		b.requests++
+		if b.probe != nil {
+			b.probe(RTSample{AbsTime: b.sim.Now(), RT: rt, Interaction: ia, Browser: b.id})
+		}
+		b.sessionLeft--
+		think := b.rng.Exp(b.cfg.ThinkMeanSec)
+		if think > b.cfg.ThinkCapSec {
+			think = b.cfg.ThinkCapSec
+		}
+		if b.sessionLeft <= 0 {
+			b.sim.Schedule(think, b.newSession)
+			return
+		}
+		next := Interaction(b.rng.Categorical(b.cfg.Mix[:]))
+		b.sim.Schedule(think, func() { b.issue(next) })
+	})
+}

@@ -1,0 +1,118 @@
+// Package tpcw models the paper's test-bed application: the TPC-W
+// e-commerce benchmark (an on-line book store) served by a
+// servlet-container-like server with a database backend, exercised by a
+// fleet of emulated browsers (paper §IV-A).
+//
+// The model is intentionally behavioural, not protocol-level: what the
+// F2PM pipeline consumes is the *load* the benchmark puts on the hosting
+// VM (CPU seconds, transient request memory, worker threads) plus the
+// per-interaction response times measured by the emulated-browser probes.
+// The paper's anomaly injection point is preserved exactly: the Home
+// interaction (session start) leaks memory / spawns unterminated threads
+// with per-run probabilities drawn at server startup, so anomaly
+// accumulation follows server load.
+package tpcw
+
+// Interaction enumerates the 14 TPC-W web interactions.
+type Interaction int
+
+// The TPC-W web interactions. Home is the session entry point and the
+// anomaly injection site (the paper modified the Home Web Interaction
+// class).
+const (
+	Home Interaction = iota
+	NewProducts
+	BestSellers
+	ProductDetail
+	SearchRequest
+	SearchResults
+	ShoppingCart
+	CustomerRegistration
+	BuyRequest
+	BuyConfirm
+	OrderInquiry
+	OrderDisplay
+	AdminRequest
+	AdminConfirm
+
+	// NumInteractions is the number of distinct web interactions.
+	NumInteractions = int(AdminConfirm) + 1
+)
+
+var interactionNames = [NumInteractions]string{
+	"home",
+	"new_products",
+	"best_sellers",
+	"product_detail",
+	"search_request",
+	"search_results",
+	"shopping_cart",
+	"customer_registration",
+	"buy_request",
+	"buy_confirm",
+	"order_inquiry",
+	"order_display",
+	"admin_request",
+	"admin_confirm",
+}
+
+// String returns the interaction's name.
+func (i Interaction) String() string {
+	if i < 0 || int(i) >= NumInteractions {
+		return "unknown"
+	}
+	return interactionNames[i]
+}
+
+// Cost is the nominal resource demand of one interaction on an unloaded
+// server: servlet CPU milliseconds and database milliseconds (query
+// execution; partially CPU, partially lock/disk wait).
+type Cost struct {
+	CPUMs float64
+	DBMs  float64
+}
+
+// DefaultCosts returns per-interaction costs shaped after published TPC-W
+// characterizations: browsing interactions are cheap, BestSellers and
+// search results are query-heavy, order placement touches several tables.
+func DefaultCosts() [NumInteractions]Cost {
+	return [NumInteractions]Cost{
+		Home:                 {CPUMs: 8, DBMs: 14},
+		NewProducts:          {CPUMs: 10, DBMs: 28},
+		BestSellers:          {CPUMs: 12, DBMs: 65},
+		ProductDetail:        {CPUMs: 7, DBMs: 12},
+		SearchRequest:        {CPUMs: 5, DBMs: 3},
+		SearchResults:        {CPUMs: 11, DBMs: 38},
+		ShoppingCart:         {CPUMs: 9, DBMs: 16},
+		CustomerRegistration: {CPUMs: 8, DBMs: 10},
+		BuyRequest:           {CPUMs: 12, DBMs: 22},
+		BuyConfirm:           {CPUMs: 16, DBMs: 36},
+		OrderInquiry:         {CPUMs: 5, DBMs: 6},
+		OrderDisplay:         {CPUMs: 9, DBMs: 20},
+		AdminRequest:         {CPUMs: 6, DBMs: 8},
+		AdminConfirm:         {CPUMs: 14, DBMs: 30},
+	}
+}
+
+// DefaultMix returns the stationary interaction mix used by the emulated
+// browsers after the first (Home) interaction of a session, shaped after
+// the TPC-W shopping mix: browsing-dominated with a modest ordering tail.
+// Weights need not sum to 1; they are used as categorical weights.
+func DefaultMix() [NumInteractions]float64 {
+	return [NumInteractions]float64{
+		Home:                 16.0,
+		NewProducts:          5.0,
+		BestSellers:          5.0,
+		ProductDetail:        17.0,
+		SearchRequest:        20.0,
+		SearchResults:        17.0,
+		ShoppingCart:         11.6,
+		CustomerRegistration: 3.0,
+		BuyRequest:           2.6,
+		BuyConfirm:           1.2,
+		OrderInquiry:         0.75,
+		OrderDisplay:         0.66,
+		AdminRequest:         0.10,
+		AdminConfirm:         0.09,
+	}
+}

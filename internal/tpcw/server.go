@@ -1,0 +1,225 @@
+package tpcw
+
+import (
+	"fmt"
+
+	"repro/internal/anomaly"
+	"repro/internal/des"
+	"repro/internal/randx"
+	"repro/internal/sysmodel"
+)
+
+// ServerConfig describes the servlet container + database model.
+type ServerConfig struct {
+	// MaxWorkers bounds concurrent request processing (Tomcat worker
+	// pool). Excess requests queue FIFO.
+	MaxWorkers int
+	// MaxQueue bounds the accept queue; submissions beyond it are
+	// rejected (connection refused). 0 means unbounded.
+	MaxQueue int
+	// Costs holds per-interaction resource demands.
+	Costs [NumInteractions]Cost
+	// ServiceJitterSigma is the sigma of the log-normal service-time
+	// jitter (0 disables jitter).
+	ServiceJitterSigma float64
+	// DBCPUFrac is the fraction of database milliseconds that consume
+	// CPU (the rest is lock/disk wait).
+	DBCPUFrac float64
+	// SysCPUFrac is the fraction of consumed CPU charged to kernel mode
+	// (syscalls, network, filesystem).
+	SysCPUFrac float64
+}
+
+// DefaultServerConfig returns a Tomcat-like configuration.
+func DefaultServerConfig() ServerConfig {
+	return ServerConfig{
+		MaxWorkers:         48,
+		MaxQueue:           512,
+		Costs:              DefaultCosts(),
+		ServiceJitterSigma: 0.25,
+		DBCPUFrac:          0.45,
+		SysCPUFrac:         0.22,
+	}
+}
+
+// Validate reports configuration errors.
+func (c *ServerConfig) Validate() error {
+	if c.MaxWorkers <= 0 {
+		return fmt.Errorf("tpcw: MaxWorkers must be positive, got %d", c.MaxWorkers)
+	}
+	if c.MaxQueue < 0 {
+		return fmt.Errorf("tpcw: MaxQueue must be non-negative, got %d", c.MaxQueue)
+	}
+	if c.DBCPUFrac < 0 || c.DBCPUFrac > 1 || c.SysCPUFrac < 0 || c.SysCPUFrac > 1 {
+		return fmt.Errorf("tpcw: CPU fractions must be in [0,1]")
+	}
+	for i, cost := range c.Costs {
+		if cost.CPUMs < 0 || cost.DBMs < 0 {
+			return fmt.Errorf("tpcw: negative cost for %s", Interaction(i))
+		}
+	}
+	return nil
+}
+
+// ServerStats aggregates server-side counters for one run.
+type ServerStats struct {
+	Completed int
+	Rejected  int
+	Aborted   int // in-flight/queued requests dropped by a restart
+	LeakedKB  float64
+	Threads   int // unterminated threads spawned via injection
+}
+
+// request is one in-flight or queued request.
+type request struct {
+	interaction Interaction
+	submitted   float64
+	done        func(rt float64, ok bool)
+}
+
+// Server simulates the servlet container and database on a machine.
+// Response time = queue wait + service time, where service time is the
+// nominal interaction cost stretched by the machine's current Slowdown
+// (paging, thread pressure). It is single-threaded DES code.
+type Server struct {
+	sim     *des.Simulator
+	machine *sysmodel.Machine
+	cfg     ServerConfig
+	rng     *randx.Source
+
+	injection anomaly.RequestInjection
+
+	busy       int
+	queue      []*request
+	inflight   []*request // in service, FIFO by admission; slice keeps abort order deterministic
+	generation int
+	stats      ServerStats
+}
+
+// NewServer creates a server bound to a simulator and machine.
+func NewServer(sim *des.Simulator, m *sysmodel.Machine, cfg ServerConfig, rng *randx.Source) (*Server, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return &Server{sim: sim, machine: m, cfg: cfg, rng: rng}, nil
+}
+
+// SetInjection installs the per-request anomaly injection parameters
+// (drawn per run, at "servlet startup").
+func (s *Server) SetInjection(inj anomaly.RequestInjection) error {
+	if err := inj.Validate(); err != nil {
+		return err
+	}
+	s.injection = inj
+	return nil
+}
+
+// Injection returns the current injection parameters.
+func (s *Server) Injection() anomaly.RequestInjection { return s.injection }
+
+// Stats returns the counters accumulated since the last Reset.
+func (s *Server) Stats() ServerStats { return s.stats }
+
+// QueueLen returns the number of waiting (not yet serviced) requests.
+func (s *Server) QueueLen() int { return len(s.queue) }
+
+// Busy returns the number of requests currently in service.
+func (s *Server) Busy() int { return s.busy }
+
+// Submit hands a request to the server. done is invoked exactly once:
+// with (responseTime, true) on success or (0, false) if the request is
+// rejected or aborted by a server restart.
+func (s *Server) Submit(ia Interaction, done func(rt float64, ok bool)) {
+	req := &request{interaction: ia, submitted: s.sim.Now(), done: done}
+	if s.busy < s.cfg.MaxWorkers {
+		s.startService(req)
+		return
+	}
+	if s.cfg.MaxQueue > 0 && len(s.queue) >= s.cfg.MaxQueue {
+		s.stats.Rejected++
+		done(0, false)
+		return
+	}
+	s.queue = append(s.queue, req)
+}
+
+func (s *Server) startService(req *request) {
+	s.busy++
+	s.inflight = append(s.inflight, req)
+	s.machine.RequestStarted()
+
+	// The Home interaction is the anomaly injection site (paper §IV-A).
+	if req.interaction == Home {
+		leaked, spawned := s.injection.Apply(s.rng, s.machine)
+		s.stats.LeakedKB += leaked
+		if spawned {
+			s.stats.Threads++
+		}
+	}
+
+	cost := s.cfg.Costs[req.interaction]
+	nominalSec := (cost.CPUMs + cost.DBMs) / 1000
+	jitter := 1.0
+	if s.cfg.ServiceJitterSigma > 0 {
+		jitter = s.rng.LogNorm(0, s.cfg.ServiceJitterSigma)
+	}
+	serviceSec := nominalSec * jitter * s.machine.Slowdown()
+
+	gen := s.generation
+	s.sim.Schedule(serviceSec, func() {
+		if gen != s.generation {
+			// The server restarted while this request was in flight;
+			// the abort path already notified the client.
+			return
+		}
+		// Charge consumed CPU: servlet CPU plus the CPU share of DB
+		// work. The slowdown stretch is *waiting* (paging), not CPU,
+		// so the charge uses nominal costs.
+		cpuSec := (cost.CPUMs + s.cfg.DBCPUFrac*cost.DBMs) / 1000 * jitter
+		s.machine.ConsumeCPU(cpuSec*(1-s.cfg.SysCPUFrac), cpuSec*s.cfg.SysCPUFrac)
+		s.machine.RequestFinished()
+		s.busy--
+		for i, r := range s.inflight {
+			if r == req {
+				s.inflight = append(s.inflight[:i], s.inflight[i+1:]...)
+				break
+			}
+		}
+		s.stats.Completed++
+		req.done(s.sim.Now()-req.submitted, true)
+		s.dispatch()
+	})
+}
+
+// dispatch admits queued requests while workers are free.
+func (s *Server) dispatch() {
+	for s.busy < s.cfg.MaxWorkers && len(s.queue) > 0 {
+		req := s.queue[0]
+		s.queue = s.queue[1:]
+		s.startService(req)
+	}
+}
+
+// Reset aborts all queued and in-flight requests (notifying their
+// clients with ok=false), clears counters, and installs a new generation
+// so stale completion events are dropped. Called on VM restart. It
+// returns the final statistics of the run that just ended, with the
+// aborted-request count folded in.
+func (s *Server) Reset() ServerStats {
+	s.generation++
+	final := s.stats
+	final.Aborted = len(s.queue) + len(s.inflight)
+	for _, req := range s.queue {
+		req.done(0, false)
+	}
+	s.queue = nil
+	// In-flight requests: their completion events are invalidated by the
+	// generation bump; notify clients now.
+	for _, req := range s.inflight {
+		req.done(0, false)
+	}
+	s.inflight = nil
+	s.busy = 0
+	s.stats = ServerStats{}
+	return final
+}

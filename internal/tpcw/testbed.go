@@ -1,0 +1,317 @@
+package tpcw
+
+import (
+	"fmt"
+
+	"repro/internal/anomaly"
+	"repro/internal/des"
+	"repro/internal/randx"
+	"repro/internal/sysmodel"
+	"repro/internal/trace"
+)
+
+// TestbedConfig assembles the full experimental environment of paper §IV:
+// a VM hosting the TPC-W server with anomaly injection, a browser fleet,
+// and the periodic feature sampling that produces the data history.
+type TestbedConfig struct {
+	Seed uint64
+
+	Machine sysmodel.Config
+	Server  ServerConfig
+	Browser BrowserConfig
+
+	// NumBrowsers is the emulated-browser fleet size.
+	NumBrowsers int
+
+	// SampleIntervalSec is the nominal FMC sampling interval (the paper's
+	// implementation waits about 1.5 s between datapoints).
+	SampleIntervalSec float64
+
+	// Injection parameter ranges. At every run (servlet startup), the
+	// leak and thread probabilities are drawn uniformly from these
+	// ranges, reproducing the paper's "two different rates are generated"
+	// per run so runs crash at different speeds.
+	LeakProbRange   [2]float64
+	ThreadProbRange [2]float64
+	LeakSizeKBRange [2]float64
+
+	// FailCondition produces a fresh failure predicate per run; nil uses
+	// trace.MemoryExhaustion(0.02, 0.02).
+	FailCondition func() trace.FailCondition
+
+	// RebootDelaySec is the virtual downtime between a fail event and the
+	// next run's start.
+	RebootDelaySec float64
+
+	// MaxRunSec truncates runs that never meet the failure condition
+	// (recorded as unfailed runs). 0 means no cap.
+	MaxRunSec float64
+
+	// RejuvenationPolicy, when non-nil, is consulted on every sampled
+	// datapoint *before* the failure check: returning true triggers a
+	// proactive restart (software rejuvenation, paper §I). The run is
+	// recorded as unfailed and marked Rejuvenated in its RunInfo.
+	RejuvenationPolicy func(d *trace.Datapoint) bool
+	// RejuvenationDelaySec is the downtime of a proactive restart
+	// (typically much shorter than a crash reboot); 0 reuses
+	// RebootDelaySec.
+	RejuvenationDelaySec float64
+}
+
+// DefaultTestbedConfig returns the configuration used by the experiment
+// harness: a 2 GB/1 GB VM, 40 browsers, and injection rates that crash
+// the VM every ~15-50 virtual minutes, comparable to the paper's RTTF
+// range (up to ~1800-3000 s in Figures 5a-5f).
+func DefaultTestbedConfig(seed uint64) TestbedConfig {
+	return TestbedConfig{
+		Seed:              seed,
+		Machine:           sysmodel.DefaultConfig(),
+		Server:            DefaultServerConfig(),
+		Browser:           DefaultBrowserConfig(),
+		NumBrowsers:       40,
+		SampleIntervalSec: 1.5,
+		LeakProbRange:     [2]float64{0.45, 0.95},
+		ThreadProbRange:   [2]float64{0.05, 0.25},
+		LeakSizeKBRange:   [2]float64{256, 2304},
+		RebootDelaySec:    60,
+		MaxRunSec:         4 * 3600,
+	}
+}
+
+// Validate reports configuration errors.
+func (c *TestbedConfig) Validate() error {
+	if err := c.Machine.Validate(); err != nil {
+		return err
+	}
+	if err := c.Server.Validate(); err != nil {
+		return err
+	}
+	if err := c.Browser.Validate(); err != nil {
+		return err
+	}
+	if c.NumBrowsers <= 0 {
+		return fmt.Errorf("tpcw: NumBrowsers must be positive, got %d", c.NumBrowsers)
+	}
+	if c.SampleIntervalSec <= 0 {
+		return fmt.Errorf("tpcw: SampleIntervalSec must be positive, got %v", c.SampleIntervalSec)
+	}
+	if c.LeakProbRange[0] < 0 || c.LeakProbRange[1] > 1 || c.LeakProbRange[1] < c.LeakProbRange[0] {
+		return fmt.Errorf("tpcw: LeakProbRange %v invalid", c.LeakProbRange)
+	}
+	if c.ThreadProbRange[0] < 0 || c.ThreadProbRange[1] > 1 || c.ThreadProbRange[1] < c.ThreadProbRange[0] {
+		return fmt.Errorf("tpcw: ThreadProbRange %v invalid", c.ThreadProbRange)
+	}
+	if c.LeakSizeKBRange[0] <= 0 || c.LeakSizeKBRange[1] < c.LeakSizeKBRange[0] {
+		return fmt.Errorf("tpcw: LeakSizeKBRange %v invalid", c.LeakSizeKBRange)
+	}
+	if c.RebootDelaySec < 0 {
+		return fmt.Errorf("tpcw: RebootDelaySec must be non-negative, got %v", c.RebootDelaySec)
+	}
+	return nil
+}
+
+// RunInfo summarizes one run of the test-bed.
+type RunInfo struct {
+	LeakProb   float64
+	ThreadProb float64
+	// StartAbs is the absolute virtual time the run's VM booted; response
+	// time probes can be mapped to runs through it.
+	StartAbs float64
+	Duration float64
+	Failed   bool
+	// Rejuvenated marks runs ended by the proactive rejuvenation policy
+	// rather than by a crash or truncation.
+	Rejuvenated bool
+	Stats       ServerStats
+}
+
+// Result is the output of a test-bed campaign: the data history the F2PM
+// pipeline consumes, plus the browser-side response-time probes and
+// per-run metadata used by the experiments.
+type Result struct {
+	History trace.History
+	RTs     []RTSample
+	Runs    []RunInfo
+}
+
+// Testbed wires machine, server, browsers, injection, and sampling on one
+// DES simulator.
+type Testbed struct {
+	cfg      TestbedConfig
+	sim      *des.Simulator
+	machine  *sysmodel.Machine
+	server   *Server
+	browsers []*Browser
+	rng      *randx.Source
+
+	result     *Result
+	currentRun trace.Run
+	runInfo    RunInfo
+	cond       trace.FailCondition
+	runStart   float64
+	rebooting  bool
+}
+
+// NewTestbed builds the environment; call Run to execute it.
+func NewTestbed(cfg TestbedConfig) (*Testbed, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	root := randx.New(cfg.Seed)
+	sim := &des.Simulator{}
+	machine, err := sysmodel.NewMachine(cfg.Machine, root.Fork(1))
+	if err != nil {
+		return nil, err
+	}
+	server, err := NewServer(sim, machine, cfg.Server, root.Fork(2))
+	if err != nil {
+		return nil, err
+	}
+	tb := &Testbed{
+		cfg:     cfg,
+		sim:     sim,
+		machine: machine,
+		server:  server,
+		rng:     root.Fork(3),
+		result:  &Result{},
+	}
+	for i := 0; i < cfg.NumBrowsers; i++ {
+		b, err := NewBrowser(i, cfg.Browser, sim, server, root.Fork(100+uint64(i)), tb.recordRT)
+		if err != nil {
+			return nil, err
+		}
+		tb.browsers = append(tb.browsers, b)
+	}
+	return tb, nil
+}
+
+func (tb *Testbed) recordRT(s RTSample) {
+	tb.result.RTs = append(tb.result.RTs, s)
+}
+
+func (tb *Testbed) newFailCondition() trace.FailCondition {
+	if tb.cfg.FailCondition != nil {
+		return tb.cfg.FailCondition()
+	}
+	return trace.MemoryExhaustion(0.02, 0.02)
+}
+
+// startRun boots the VM and server with fresh injection rates.
+func (tb *Testbed) startRun() error {
+	tb.machine.Restart(tb.sim.Now())
+	tb.runStart = tb.sim.Now()
+	tb.currentRun = trace.Run{}
+	tb.cond = tb.newFailCondition()
+	leakProb, threadProb := anomaly.DrawRates(tb.rng,
+		tb.cfg.LeakProbRange[0], tb.cfg.LeakProbRange[1],
+		tb.cfg.ThreadProbRange[0], tb.cfg.ThreadProbRange[1])
+	inj := anomaly.RequestInjection{
+		LeakProb:   leakProb,
+		LeakMinKB:  tb.cfg.LeakSizeKBRange[0],
+		LeakMaxKB:  tb.cfg.LeakSizeKBRange[1],
+		ThreadProb: threadProb,
+	}
+	if err := tb.server.SetInjection(inj); err != nil {
+		return err
+	}
+	tb.runInfo = RunInfo{LeakProb: leakProb, ThreadProb: threadProb, StartAbs: tb.runStart}
+	tb.rebooting = false
+	return nil
+}
+
+// endRun records the run and schedules the reboot.
+func (tb *Testbed) endRun(failed, rejuvenated bool) {
+	tb.rebooting = true
+	now := tb.sim.Now()
+	tb.currentRun.Failed = failed
+	if failed {
+		tb.currentRun.FailTime = tb.machine.Uptime(now)
+	}
+	tb.runInfo.Failed = failed
+	tb.runInfo.Rejuvenated = rejuvenated
+	tb.runInfo.Duration = tb.machine.Uptime(now)
+	tb.runInfo.Stats = tb.server.Reset()
+	tb.result.History.Runs = append(tb.result.History.Runs, tb.currentRun)
+	tb.result.Runs = append(tb.result.Runs, tb.runInfo)
+	delay := tb.cfg.RebootDelaySec
+	if rejuvenated && tb.cfg.RejuvenationDelaySec > 0 {
+		delay = tb.cfg.RejuvenationDelaySec
+	}
+	tb.sim.Schedule(delay, func() {
+		// Errors here are impossible: the injection ranges were already
+		// validated, so SetInjection cannot fail. Guard anyway.
+		if err := tb.startRun(); err != nil {
+			panic(fmt.Sprintf("tpcw: restart failed: %v", err))
+		}
+	})
+}
+
+// sample takes one FMC datapoint, consults the rejuvenation policy, and
+// evaluates the failure condition.
+func (tb *Testbed) sample() {
+	if tb.rebooting {
+		return
+	}
+	d := tb.machine.Snapshot(tb.sim.Now())
+	tb.currentRun.Datapoints = append(tb.currentRun.Datapoints, d)
+	switch {
+	case tb.cfg.RejuvenationPolicy != nil && tb.cfg.RejuvenationPolicy(&d):
+		tb.endRun(false, true)
+	case tb.cond(&d) || tb.machine.OOM():
+		tb.endRun(true, false)
+	case tb.cfg.MaxRunSec > 0 && tb.machine.Uptime(tb.sim.Now()) >= tb.cfg.MaxRunSec:
+		tb.endRun(false, false)
+	}
+}
+
+// Run executes the campaign for totalSec of virtual time and returns the
+// collected result. The browser fleet keeps issuing requests across
+// restarts, as the paper's week-long experiment did.
+func (tb *Testbed) Run(totalSec float64) (*Result, error) {
+	if totalSec <= 0 {
+		return nil, fmt.Errorf("tpcw: totalSec must be positive, got %v", totalSec)
+	}
+	if err := tb.startRun(); err != nil {
+		return nil, err
+	}
+	for _, b := range tb.browsers {
+		b.Start(tb.cfg.Browser.ThinkMeanSec)
+	}
+	// The sampling interval suffers load-dependent skew: the overloaded
+	// scheduler delays the monitor, which is the signal Figure 3
+	// correlates with client response time.
+	stopSampler := tb.sim.Every(tb.cfg.SampleIntervalSec, func(i int) float64 {
+		return tb.machine.MonitorSkew(tb.cfg.SampleIntervalSec)
+	}, tb.sample)
+	defer stopSampler()
+
+	if err := tb.sim.Run(totalSec); err != nil {
+		return nil, err
+	}
+	for _, b := range tb.browsers {
+		b.Stop()
+	}
+	// Close out the in-progress run as truncated if it has datapoints.
+	if !tb.rebooting && len(tb.currentRun.Datapoints) > 0 {
+		tb.currentRun.Failed = false
+		tb.result.History.Runs = append(tb.result.History.Runs, tb.currentRun)
+		tb.runInfo.Failed = false
+		tb.runInfo.Duration = tb.machine.Uptime(tb.sim.Now())
+		tb.runInfo.Stats = tb.server.Stats()
+		tb.result.Runs = append(tb.result.Runs, tb.runInfo)
+	}
+	if err := tb.result.History.Validate(); err != nil {
+		return nil, fmt.Errorf("tpcw: generated history invalid: %w", err)
+	}
+	return tb.result, nil
+}
+
+// Machine exposes the underlying machine (used by the monitor package's
+// simulated feature source and by tests).
+func (tb *Testbed) Machine() *sysmodel.Machine { return tb.machine }
+
+// Server exposes the underlying server model.
+func (tb *Testbed) Server() *Server { return tb.server }
+
+// Simulator exposes the DES engine driving the test-bed.
+func (tb *Testbed) Simulator() *des.Simulator { return tb.sim }

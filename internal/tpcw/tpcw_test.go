@@ -1,0 +1,533 @@
+package tpcw
+
+import (
+	"testing"
+
+	"repro/internal/anomaly"
+	"repro/internal/des"
+	"repro/internal/randx"
+	"repro/internal/sysmodel"
+	"repro/internal/trace"
+)
+
+func newServerEnv(t testing.TB) (*des.Simulator, *sysmodel.Machine, *Server) {
+	t.Helper()
+	sim := &des.Simulator{}
+	m, err := sysmodel.NewMachine(sysmodel.DefaultConfig(), randx.New(11))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Restart(0)
+	srv, err := NewServer(sim, m, DefaultServerConfig(), randx.New(12))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sim, m, srv
+}
+
+func TestInteractionString(t *testing.T) {
+	if Home.String() != "home" || AdminConfirm.String() != "admin_confirm" {
+		t.Fatal("interaction names wrong")
+	}
+	if Interaction(99).String() != "unknown" {
+		t.Fatal("out-of-range interaction name")
+	}
+}
+
+func TestServerConfigValidate(t *testing.T) {
+	good := DefaultServerConfig()
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := DefaultServerConfig()
+	bad.MaxWorkers = 0
+	if err := bad.Validate(); err == nil {
+		t.Fatal("MaxWorkers=0 accepted")
+	}
+	bad = DefaultServerConfig()
+	bad.DBCPUFrac = 1.5
+	if err := bad.Validate(); err == nil {
+		t.Fatal("DBCPUFrac>1 accepted")
+	}
+	bad = DefaultServerConfig()
+	bad.Costs[Home].CPUMs = -1
+	if err := bad.Validate(); err == nil {
+		t.Fatal("negative cost accepted")
+	}
+}
+
+func TestServerServesRequest(t *testing.T) {
+	sim, m, srv := newServerEnv(t)
+	var gotRT float64
+	var gotOK bool
+	srv.Submit(ProductDetail, func(rt float64, ok bool) { gotRT, gotOK = rt, ok })
+	if err := sim.Run(10); err != nil {
+		t.Fatal(err)
+	}
+	if !gotOK {
+		t.Fatal("request failed")
+	}
+	if gotRT <= 0 || gotRT > 1 {
+		t.Fatalf("unloaded RT = %v, want ~20ms", gotRT)
+	}
+	if srv.Stats().Completed != 1 {
+		t.Fatalf("completed = %d", srv.Stats().Completed)
+	}
+	if m.ActiveRequests() != 0 {
+		t.Fatal("request still active after completion")
+	}
+}
+
+func TestServerQueuesBeyondWorkers(t *testing.T) {
+	sim, _, srv := newServerEnv(t)
+	cfg := DefaultServerConfig()
+	total := cfg.MaxWorkers + 10
+	completed := 0
+	for i := 0; i < total; i++ {
+		srv.Submit(Home, func(rt float64, ok bool) {
+			if ok {
+				completed++
+			}
+		})
+	}
+	if srv.Busy() != cfg.MaxWorkers {
+		t.Fatalf("busy = %d, want %d", srv.Busy(), cfg.MaxWorkers)
+	}
+	if srv.QueueLen() != 10 {
+		t.Fatalf("queue = %d, want 10", srv.QueueLen())
+	}
+	if err := sim.Run(60); err != nil {
+		t.Fatal(err)
+	}
+	if completed != total {
+		t.Fatalf("completed = %d, want %d", completed, total)
+	}
+}
+
+func TestServerRejectsWhenQueueFull(t *testing.T) {
+	sim := &des.Simulator{}
+	m, _ := sysmodel.NewMachine(sysmodel.DefaultConfig(), randx.New(1))
+	m.Restart(0)
+	cfg := DefaultServerConfig()
+	cfg.MaxWorkers = 1
+	cfg.MaxQueue = 2
+	srv, err := NewServer(sim, m, cfg, randx.New(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rejected := 0
+	for i := 0; i < 5; i++ {
+		srv.Submit(Home, func(rt float64, ok bool) {
+			if !ok {
+				rejected++
+			}
+		})
+	}
+	if rejected != 2 {
+		t.Fatalf("rejected = %d, want 2 (1 in service + 2 queued + 2 rejected)", rejected)
+	}
+	if srv.Stats().Rejected != 2 {
+		t.Fatalf("stats.Rejected = %d", srv.Stats().Rejected)
+	}
+	if err := sim.Run(100); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestServerInjectionOnHomeOnly(t *testing.T) {
+	sim, m, srv := newServerEnv(t)
+	if err := srv.SetInjection(anomaly.RequestInjection{LeakProb: 1, LeakMinKB: 100, LeakMaxKB: 100, ThreadProb: 1}); err != nil {
+		t.Fatal(err)
+	}
+	srv.Submit(ProductDetail, func(float64, bool) {})
+	if err := sim.Run(5); err != nil {
+		t.Fatal(err)
+	}
+	if m.LeakedKB() != 0 || m.ExtraThreads() != 0 {
+		t.Fatal("non-Home interaction triggered injection")
+	}
+	srv.Submit(Home, func(float64, bool) {})
+	if err := sim.Run(10); err != nil {
+		t.Fatal(err)
+	}
+	if m.LeakedKB() != 100 || m.ExtraThreads() != 1 {
+		t.Fatalf("Home injection missing: leaked=%v threads=%d", m.LeakedKB(), m.ExtraThreads())
+	}
+	st := srv.Stats()
+	if st.LeakedKB != 100 || st.Threads != 1 {
+		t.Fatalf("server stats wrong: %+v", st)
+	}
+}
+
+func TestServerInvalidInjectionRejected(t *testing.T) {
+	_, _, srv := newServerEnv(t)
+	if err := srv.SetInjection(anomaly.RequestInjection{LeakProb: 2}); err == nil {
+		t.Fatal("invalid injection accepted")
+	}
+}
+
+func TestServerResetAbortsAll(t *testing.T) {
+	sim := &des.Simulator{}
+	m, _ := sysmodel.NewMachine(sysmodel.DefaultConfig(), randx.New(1))
+	m.Restart(0)
+	cfg := DefaultServerConfig()
+	cfg.MaxWorkers = 2
+	srv, err := NewServer(sim, m, cfg, randx.New(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	results := map[bool]int{}
+	for i := 0; i < 6; i++ {
+		srv.Submit(Home, func(rt float64, ok bool) { results[ok]++ })
+	}
+	st := srv.Reset()
+	if st.Aborted != 6 {
+		t.Fatalf("aborted = %d, want 6", st.Aborted)
+	}
+	if results[false] != 6 {
+		t.Fatalf("abort callbacks = %d, want 6", results[false])
+	}
+	m.Restart(sim.Now())
+	// Old completion events must not fire after reset.
+	if err := sim.Run(60); err != nil {
+		t.Fatal(err)
+	}
+	if results[true] != 0 {
+		t.Fatal("stale completion fired after reset")
+	}
+	if srv.Stats().Completed != 0 {
+		t.Fatal("stats survived reset")
+	}
+	// Server still serves new requests after reset.
+	ok2 := false
+	srv.Submit(Home, func(rt float64, ok bool) { ok2 = ok })
+	if err := sim.Run(sim.Now() + 30); err != nil {
+		t.Fatal(err)
+	}
+	if !ok2 {
+		t.Fatal("server dead after reset")
+	}
+}
+
+func TestResponseTimeGrowsUnderPressure(t *testing.T) {
+	sim, m, srv := newServerEnv(t)
+	var healthy float64
+	srv.Submit(BestSellers, func(rt float64, ok bool) { healthy = rt })
+	if err := sim.Run(10); err != nil {
+		t.Fatal(err)
+	}
+	// Exhaust most of swap: heavy paging.
+	m.Leak(m.Config().TotalMemKB + 0.9*m.Config().TotalSwapKB)
+	var loaded float64
+	srv.Submit(BestSellers, func(rt float64, ok bool) { loaded = rt })
+	if err := sim.Run(100); err != nil {
+		t.Fatal(err)
+	}
+	if loaded <= healthy*1.5 {
+		t.Fatalf("RT under pressure %v not clearly above healthy %v", loaded, healthy)
+	}
+}
+
+func TestBrowserConfigValidate(t *testing.T) {
+	good := DefaultBrowserConfig()
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	cases := map[string]func(*BrowserConfig){
+		"zero think":    func(c *BrowserConfig) { c.ThinkMeanSec = 0 },
+		"cap < mean":    func(c *BrowserConfig) { c.ThinkCapSec = 1 },
+		"short session": func(c *BrowserConfig) { c.SessionMeanLength = 0.5 },
+		"zero retry":    func(c *BrowserConfig) { c.ErrorRetrySec = 0 },
+		"empty mix":     func(c *BrowserConfig) { c.Mix = [NumInteractions]float64{} },
+	}
+	for name, mutate := range cases {
+		c := DefaultBrowserConfig()
+		mutate(&c)
+		if err := c.Validate(); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}
+
+func TestBrowserSessionsStartAtHome(t *testing.T) {
+	sim, _, srv := newServerEnv(t)
+	var samples []RTSample
+	cfg := DefaultBrowserConfig()
+	cfg.ThinkMeanSec = 0.5
+	cfg.ThinkCapSec = 5
+	b, err := NewBrowser(0, cfg, sim, srv, randx.New(20), func(s RTSample) { samples = append(samples, s) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	b.Start(0)
+	if err := sim.Run(300); err != nil {
+		t.Fatal(err)
+	}
+	if len(samples) < 20 {
+		t.Fatalf("only %d samples", len(samples))
+	}
+	if samples[0].Interaction != Home {
+		t.Fatalf("first interaction = %v, want home", samples[0].Interaction)
+	}
+	if b.Requests() != len(samples) {
+		t.Fatalf("requests %d != samples %d", b.Requests(), len(samples))
+	}
+	// Times are monotone.
+	for i := 1; i < len(samples); i++ {
+		if samples[i].AbsTime < samples[i-1].AbsTime {
+			t.Fatal("sample times not monotone")
+		}
+	}
+}
+
+func TestBrowserStops(t *testing.T) {
+	sim, _, srv := newServerEnv(t)
+	cfg := DefaultBrowserConfig()
+	cfg.ThinkMeanSec = 0.5
+	b, err := NewBrowser(0, cfg, sim, srv, randx.New(21), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b.Start(0)
+	if err := sim.Run(50); err != nil {
+		t.Fatal(err)
+	}
+	n := b.Requests()
+	b.Stop()
+	if err := sim.Run(200); err != nil {
+		t.Fatal(err)
+	}
+	if b.Requests() > n+1 {
+		t.Fatalf("browser kept issuing after Stop: %d -> %d", n, b.Requests())
+	}
+}
+
+func TestTestbedConfigValidate(t *testing.T) {
+	good := DefaultTestbedConfig(1)
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	cases := map[string]func(*TestbedConfig){
+		"no browsers": func(c *TestbedConfig) { c.NumBrowsers = 0 },
+		"bad sample":  func(c *TestbedConfig) { c.SampleIntervalSec = 0 },
+		"bad leak":    func(c *TestbedConfig) { c.LeakProbRange = [2]float64{0.9, 0.1} },
+		"bad thread":  func(c *TestbedConfig) { c.ThreadProbRange = [2]float64{-1, 0.5} },
+		"bad size":    func(c *TestbedConfig) { c.LeakSizeKBRange = [2]float64{0, 5} },
+		"bad reboot":  func(c *TestbedConfig) { c.RebootDelaySec = -1 },
+	}
+	for name, mutate := range cases {
+		c := DefaultTestbedConfig(1)
+		mutate(&c)
+		if err := c.Validate(); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}
+
+// fastTestbedConfig returns a configuration that crashes quickly: a small
+// machine and aggressive leaks, for fast tests.
+func fastTestbedConfig(seed uint64) TestbedConfig {
+	cfg := DefaultTestbedConfig(seed)
+	cfg.Machine.TotalMemKB = 256 * 1024
+	cfg.Machine.TotalSwapKB = 128 * 1024
+	cfg.Machine.BaseUsedKB = 64 * 1024
+	cfg.Machine.BaseSharedKB = 8 * 1024
+	cfg.Machine.BaseBuffersKB = 8 * 1024
+	cfg.Machine.MinCacheKB = 8 * 1024
+	cfg.NumBrowsers = 10
+	cfg.Browser.ThinkMeanSec = 1
+	cfg.Browser.ThinkCapSec = 10
+	cfg.LeakProbRange = [2]float64{0.8, 1.0}
+	cfg.LeakSizeKBRange = [2]float64{512, 2048}
+	cfg.RebootDelaySec = 10
+	return cfg
+}
+
+func TestTestbedProducesFailedRuns(t *testing.T) {
+	tb, err := NewTestbed(fastTestbedConfig(42))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := tb.Run(4000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	failed := res.History.FailedRuns()
+	if len(failed) < 2 {
+		t.Fatalf("only %d failed runs in 4000s", len(failed))
+	}
+	for i, r := range failed {
+		if len(r.Datapoints) < 10 {
+			t.Fatalf("run %d has only %d datapoints", i, len(r.Datapoints))
+		}
+		if r.FailTime <= 0 {
+			t.Fatalf("run %d fail time %v", i, r.FailTime)
+		}
+	}
+	if len(res.RTs) == 0 {
+		t.Fatal("no response-time probes recorded")
+	}
+	if len(res.Runs) != len(res.History.Runs) {
+		t.Fatalf("run info count %d != history runs %d", len(res.Runs), len(res.History.Runs))
+	}
+	// Injection rates vary across runs.
+	if len(res.Runs) >= 2 && res.Runs[0].LeakProb == res.Runs[1].LeakProb {
+		t.Fatal("injection rates identical across runs")
+	}
+}
+
+func TestTestbedDeterminism(t *testing.T) {
+	run := func() *Result {
+		tb, err := NewTestbed(fastTestbedConfig(7))
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := tb.Run(2500)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	a, b := run(), run()
+	if len(a.History.Runs) != len(b.History.Runs) {
+		t.Fatalf("run counts differ: %d vs %d", len(a.History.Runs), len(b.History.Runs))
+	}
+	if a.History.TotalDatapoints() != b.History.TotalDatapoints() {
+		t.Fatal("datapoint counts differ")
+	}
+	if len(a.RTs) != len(b.RTs) {
+		t.Fatalf("RT sample counts differ: %d vs %d", len(a.RTs), len(b.RTs))
+	}
+	for i := range a.RTs {
+		if a.RTs[i] != b.RTs[i] {
+			t.Fatalf("RT sample %d differs: %+v vs %+v", i, a.RTs[i], b.RTs[i])
+		}
+	}
+	for ri := range a.History.Runs {
+		ra, rb := a.History.Runs[ri], b.History.Runs[ri]
+		if ra.Failed != rb.Failed || ra.FailTime != rb.FailTime {
+			t.Fatalf("run %d fail info differs", ri)
+		}
+		for di := range ra.Datapoints {
+			if ra.Datapoints[di] != rb.Datapoints[di] {
+				t.Fatalf("run %d datapoint %d differs", ri, di)
+			}
+		}
+	}
+}
+
+func TestTestbedRTGrowsTowardCrash(t *testing.T) {
+	tb, err := NewTestbed(fastTestbedConfig(13))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := tb.Run(3000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.History.FailedRuns()) == 0 {
+		t.Fatal("no failed runs")
+	}
+	// Within the first failed run, mean RT in the last quarter must
+	// exceed mean RT in the first quarter.
+	run := res.History.FailedRuns()[0]
+	runEnd := run.FailTime
+	var early, late []float64
+	for _, s := range res.RTs {
+		if s.AbsTime > runEnd {
+			break
+		}
+		if s.AbsTime < runEnd/4 {
+			early = append(early, s.RT)
+		} else if s.AbsTime > 3*runEnd/4 {
+			late = append(late, s.RT)
+		}
+	}
+	if len(early) == 0 || len(late) == 0 {
+		t.Fatalf("not enough RT samples: early=%d late=%d", len(early), len(late))
+	}
+	meanOf := func(xs []float64) float64 {
+		var s float64
+		for _, x := range xs {
+			s += x
+		}
+		return s / float64(len(xs))
+	}
+	if meanOf(late) <= meanOf(early) {
+		t.Fatalf("RT did not grow toward crash: early=%v late=%v", meanOf(early), meanOf(late))
+	}
+}
+
+func TestTestbedMaxRunTruncates(t *testing.T) {
+	cfg := fastTestbedConfig(5)
+	cfg.LeakProbRange = [2]float64{0, 0} // no leaks: runs never fail
+	cfg.ThreadProbRange = [2]float64{0, 0}
+	cfg.MaxRunSec = 300
+	tb, err := NewTestbed(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := tb.Run(1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.History.FailedRuns()) != 0 {
+		t.Fatal("anomaly-free run failed")
+	}
+	if len(res.History.Runs) < 2 {
+		t.Fatalf("MaxRunSec did not truncate: %d runs", len(res.History.Runs))
+	}
+}
+
+func TestTestbedRejectsBadRunArgs(t *testing.T) {
+	tb, err := NewTestbed(fastTestbedConfig(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tb.Run(0); err == nil {
+		t.Fatal("Run(0) accepted")
+	}
+}
+
+func BenchmarkTestbed1000s(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		tb, err := NewTestbed(fastTestbedConfig(uint64(i)))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := tb.Run(1000); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func TestTestbedRejuvenationPolicy(t *testing.T) {
+	// A policy that restarts when free memory drops below 25% must
+	// prevent every crash while still cycling runs.
+	cfg := fastTestbedConfig(99)
+	total := cfg.Machine.TotalMemKB
+	cfg.RejuvenationPolicy = func(d *trace.Datapoint) bool {
+		return d.Features[trace.MemFree]+d.Features[trace.MemCached] < 0.25*total
+	}
+	cfg.RejuvenationDelaySec = 2
+	tb, err := NewTestbed(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := tb.Run(3000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.History.FailedRuns()) != 0 {
+		t.Fatalf("%d crashes despite rejuvenation", len(res.History.FailedRuns()))
+	}
+	rejuv := 0
+	for _, ri := range res.Runs {
+		if ri.Rejuvenated {
+			rejuv++
+		}
+	}
+	if rejuv < 2 {
+		t.Fatalf("only %d rejuvenations in 3000s", rejuv)
+	}
+}

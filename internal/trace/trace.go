@@ -1,0 +1,224 @@
+// Package trace defines the data collected during F2PM's initial system
+// monitoring phase (paper §III-A): timestamped datapoints of system-level
+// features, fail events, runs, and the data history that the rest of the
+// pipeline consumes. It also provides the CSV codec used by the cmd/
+// tools to persist and reload histories.
+package trace
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// FeatureIndex identifies one of the system-level features in a datapoint.
+// The order matches the paper's §III-A tuple (minus Tgen, which is carried
+// separately as the timestamp).
+type FeatureIndex int
+
+// The monitored system features. Memory and swap quantities are in KB;
+// CPU quantities are percentages in [0, 100]; NumThreads is a count.
+const (
+	NumThreads FeatureIndex = iota // nth: active threads in the system
+	MemUsed                        // Mused: memory used by applications
+	MemFree                        // Mfree: memory freely available
+	MemShared                      // Mshared: shared buffers
+	MemBuffers                     // Mbuff: OS buffers
+	MemCached                      // Mcached: disk cache
+	SwapUsed                       // SWused: swap space in use
+	SwapFree                       // SWfree: swap space free
+	CPUUser                        // CPUus: %CPU in userspace
+	CPUNice                        // CPUni: %CPU niced processes
+	CPUSystem                      // CPUsys: %CPU in kernel mode
+	CPUIOWait                      // CPUiow: %CPU waiting for I/O
+	CPUSteal                       // CPUst: %CPU stolen by hypervisor
+	CPUIdle                        // CPUid: %CPU idle
+
+	// NumFeatures is the number of raw system features per datapoint.
+	NumFeatures = int(CPUIdle) + 1
+)
+
+// featureNames holds the canonical snake_case names, chosen to match the
+// paper's Table I (mem_used, mem_free, mem_buffers, swap_used, ...).
+var featureNames = [NumFeatures]string{
+	"n_threads",
+	"mem_used",
+	"mem_free",
+	"mem_shared",
+	"mem_buffers",
+	"mem_cached",
+	"swap_used",
+	"swap_free",
+	"cpu_user",
+	"cpu_nice",
+	"cpu_system",
+	"cpu_iowait",
+	"cpu_steal",
+	"cpu_idle",
+}
+
+// Name returns the canonical name of the feature.
+func (f FeatureIndex) Name() string {
+	if f < 0 || int(f) >= NumFeatures {
+		return fmt.Sprintf("feature_%d", int(f))
+	}
+	return featureNames[f]
+}
+
+// FeatureByName returns the index for a canonical feature name.
+func FeatureByName(name string) (FeatureIndex, error) {
+	for i, n := range featureNames {
+		if n == name {
+			return FeatureIndex(i), nil
+		}
+	}
+	return 0, fmt.Errorf("trace: unknown feature %q", name)
+}
+
+// FeatureNames returns the canonical names in feature order.
+func FeatureNames() []string {
+	out := make([]string, NumFeatures)
+	copy(out, featureNames[:])
+	return out
+}
+
+// Datapoint is one periodic measurement of all system features
+// (paper §III-A). Tgen is the elapsed time in seconds since the monitored
+// system started (i.e. since the beginning of the run).
+type Datapoint struct {
+	Tgen     float64
+	Features [NumFeatures]float64
+}
+
+// Validate reports structural problems with a datapoint: NaN/Inf values or
+// a negative timestamp.
+func (d *Datapoint) Validate() error {
+	if math.IsNaN(d.Tgen) || math.IsInf(d.Tgen, 0) || d.Tgen < 0 {
+		return fmt.Errorf("trace: invalid Tgen %v", d.Tgen)
+	}
+	for i, v := range d.Features {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return fmt.Errorf("trace: feature %s is %v", FeatureIndex(i).Name(), v)
+		}
+	}
+	return nil
+}
+
+// Run holds the datapoints of one execution of the monitored system, from
+// start to the fail event (or to truncation if the run never failed —
+// e.g. the observation window closed first).
+type Run struct {
+	// Datapoints in increasing Tgen order.
+	Datapoints []Datapoint
+	// Failed reports whether a fail event was recorded for this run.
+	Failed bool
+	// FailTime is the elapsed time of the fail event, valid when Failed.
+	FailTime float64
+}
+
+// Duration returns the time span covered by the run: the fail time when
+// the run failed, otherwise the last datapoint's timestamp.
+func (r *Run) Duration() float64 {
+	if r.Failed {
+		return r.FailTime
+	}
+	if n := len(r.Datapoints); n > 0 {
+		return r.Datapoints[n-1].Tgen
+	}
+	return 0
+}
+
+// Validate checks datapoint ordering and the fail-event invariant
+// (fail time not before the last datapoint).
+func (r *Run) Validate() error {
+	prev := math.Inf(-1)
+	for i := range r.Datapoints {
+		if err := r.Datapoints[i].Validate(); err != nil {
+			return fmt.Errorf("datapoint %d: %w", i, err)
+		}
+		if r.Datapoints[i].Tgen < prev {
+			return fmt.Errorf("trace: datapoint %d out of order (Tgen %v after %v)", i, r.Datapoints[i].Tgen, prev)
+		}
+		prev = r.Datapoints[i].Tgen
+	}
+	if r.Failed && len(r.Datapoints) > 0 && r.FailTime < prev {
+		return fmt.Errorf("trace: fail time %v precedes last datapoint %v", r.FailTime, prev)
+	}
+	return nil
+}
+
+// History is the full data history produced by the initial monitoring
+// phase: a sequence of runs, each ending in a fail event (system restart).
+type History struct {
+	Runs []Run
+}
+
+// ErrNoFailedRuns is returned by pipeline stages that need at least one
+// run with a fail event to compute RTTF labels.
+var ErrNoFailedRuns = errors.New("trace: history contains no failed runs")
+
+// FailedRuns returns only the runs that recorded a fail event. RTTF labels
+// can only be computed for those.
+func (h *History) FailedRuns() []Run {
+	out := make([]Run, 0, len(h.Runs))
+	for _, r := range h.Runs {
+		if r.Failed {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// TotalDatapoints returns the number of datapoints across all runs.
+func (h *History) TotalDatapoints() int {
+	var n int
+	for _, r := range h.Runs {
+		n += len(r.Datapoints)
+	}
+	return n
+}
+
+// Validate validates every run.
+func (h *History) Validate() error {
+	for i := range h.Runs {
+		if err := h.Runs[i].Validate(); err != nil {
+			return fmt.Errorf("run %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// FailCondition is the user-defined predicate that decides whether the
+// system has failed, evaluated on each freshly collected datapoint
+// (paper §I: "the condition can be defined by the user on the basis of the
+// values of one or more selected system features").
+type FailCondition func(d *Datapoint) bool
+
+// MemoryExhaustion returns the paper's default failure condition: the
+// system is considered failed when both free memory and free swap fall
+// below the given fractions of their totals. The totals are captured from
+// the first datapoint the condition observes (free+used).
+func MemoryExhaustion(memFrac, swapFrac float64) FailCondition {
+	var totalMem, totalSwap float64
+	return func(d *Datapoint) bool {
+		if totalMem == 0 {
+			totalMem = d.Features[MemUsed] + d.Features[MemFree] +
+				d.Features[MemBuffers] + d.Features[MemCached]
+			totalSwap = d.Features[SwapUsed] + d.Features[SwapFree]
+		}
+		memLow := d.Features[MemFree] <= memFrac*totalMem
+		swapLow := totalSwap == 0 || d.Features[SwapFree] <= swapFrac*totalSwap
+		return memLow && swapLow
+	}
+}
+
+// ThresholdCondition returns a condition that fires when the given feature
+// crosses the threshold in the given direction (+1: >=, -1: <=).
+func ThresholdCondition(f FeatureIndex, threshold float64, dir int) FailCondition {
+	return func(d *Datapoint) bool {
+		if dir >= 0 {
+			return d.Features[f] >= threshold
+		}
+		return d.Features[f] <= threshold
+	}
+}

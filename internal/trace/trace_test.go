@@ -1,0 +1,305 @@
+package trace
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/randx"
+)
+
+func sampleDatapoint(t float64) Datapoint {
+	var d Datapoint
+	d.Tgen = t
+	d.Features[NumThreads] = 100 + t
+	d.Features[MemUsed] = 1e6 + 10*t
+	d.Features[MemFree] = 2e6 - 10*t
+	d.Features[SwapFree] = 1e6
+	d.Features[CPUUser] = 25
+	d.Features[CPUIdle] = 75
+	return d
+}
+
+func sampleHistory(runs, pointsPerRun int) *History {
+	h := &History{}
+	for r := 0; r < runs; r++ {
+		var run Run
+		for i := 0; i < pointsPerRun; i++ {
+			run.Datapoints = append(run.Datapoints, sampleDatapoint(float64(i)*1.5))
+		}
+		run.Failed = true
+		run.FailTime = float64(pointsPerRun) * 1.5
+		h.Runs = append(h.Runs, run)
+	}
+	return h
+}
+
+func TestFeatureNames(t *testing.T) {
+	names := FeatureNames()
+	if len(names) != NumFeatures {
+		t.Fatalf("FeatureNames has %d entries, want %d", len(names), NumFeatures)
+	}
+	// Paper Table I names must be present.
+	for _, want := range []string{"mem_used", "mem_free", "mem_buffers", "swap_used", "swap_free", "cpu_iowait", "cpu_steal", "n_threads"} {
+		if _, err := FeatureByName(want); err != nil {
+			t.Fatalf("feature %q missing: %v", want, err)
+		}
+	}
+	if _, err := FeatureByName("bogus"); err == nil {
+		t.Fatal("FeatureByName accepted unknown name")
+	}
+	// Round trip.
+	for i := 0; i < NumFeatures; i++ {
+		fi := FeatureIndex(i)
+		got, err := FeatureByName(fi.Name())
+		if err != nil || got != fi {
+			t.Fatalf("round trip failed for %v: got %v err %v", fi, got, err)
+		}
+	}
+	if FeatureIndex(-1).Name() != "feature_-1" {
+		t.Fatal("out-of-range Name not handled")
+	}
+}
+
+func TestDatapointValidate(t *testing.T) {
+	d := sampleDatapoint(1)
+	if err := d.Validate(); err != nil {
+		t.Fatalf("valid datapoint rejected: %v", err)
+	}
+	d.Tgen = -1
+	if err := d.Validate(); err == nil {
+		t.Fatal("negative Tgen accepted")
+	}
+	d = sampleDatapoint(1)
+	d.Features[MemUsed] = math.NaN()
+	if err := d.Validate(); err == nil {
+		t.Fatal("NaN feature accepted")
+	}
+	d = sampleDatapoint(1)
+	d.Features[CPUIdle] = math.Inf(1)
+	if err := d.Validate(); err == nil {
+		t.Fatal("Inf feature accepted")
+	}
+}
+
+func TestRunValidate(t *testing.T) {
+	run := Run{Datapoints: []Datapoint{sampleDatapoint(0), sampleDatapoint(3)}}
+	if err := run.Validate(); err != nil {
+		t.Fatalf("valid run rejected: %v", err)
+	}
+	// Out of order.
+	run = Run{Datapoints: []Datapoint{sampleDatapoint(5), sampleDatapoint(3)}}
+	if err := run.Validate(); err == nil {
+		t.Fatal("out-of-order datapoints accepted")
+	}
+	// Fail before last datapoint.
+	run = Run{Datapoints: []Datapoint{sampleDatapoint(0), sampleDatapoint(9)}, Failed: true, FailTime: 5}
+	if err := run.Validate(); err == nil {
+		t.Fatal("fail time before last datapoint accepted")
+	}
+}
+
+func TestRunDuration(t *testing.T) {
+	run := Run{Datapoints: []Datapoint{sampleDatapoint(0), sampleDatapoint(10)}}
+	if run.Duration() != 10 {
+		t.Fatalf("unfailed Duration = %v, want 10", run.Duration())
+	}
+	run.Failed = true
+	run.FailTime = 12
+	if run.Duration() != 12 {
+		t.Fatalf("failed Duration = %v, want 12", run.Duration())
+	}
+	var empty Run
+	if empty.Duration() != 0 {
+		t.Fatal("empty run duration not 0")
+	}
+}
+
+func TestHistoryHelpers(t *testing.T) {
+	h := sampleHistory(3, 4)
+	h.Runs = append(h.Runs, Run{Datapoints: []Datapoint{sampleDatapoint(0)}}) // truncated run
+	if got := len(h.FailedRuns()); got != 3 {
+		t.Fatalf("FailedRuns = %d, want 3", got)
+	}
+	if got := h.TotalDatapoints(); got != 13 {
+		t.Fatalf("TotalDatapoints = %d, want 13", got)
+	}
+	if err := h.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMemoryExhaustionCondition(t *testing.T) {
+	cond := MemoryExhaustion(0.01, 0.01)
+	healthy := sampleDatapoint(0)
+	if cond(&healthy) {
+		t.Fatal("healthy system reported as failed")
+	}
+	var dying Datapoint
+	dying.Features[MemUsed] = 3e6
+	dying.Features[MemFree] = 1000 // far below 1% of ~3e6
+	dying.Features[SwapUsed] = 1e6
+	dying.Features[SwapFree] = 100
+	if !cond(&dying) {
+		t.Fatal("exhausted system not reported as failed")
+	}
+}
+
+func TestMemoryExhaustionNoSwap(t *testing.T) {
+	cond := MemoryExhaustion(0.01, 0.01)
+	var d Datapoint
+	d.Features[MemUsed] = 1e6
+	d.Features[MemFree] = 1e6
+	if cond(&d) {
+		t.Fatal("half-free memory reported as failed")
+	}
+	d.Features[MemUsed] = 2e6 - 100
+	d.Features[MemFree] = 100
+	// No swap at all: swap leg must not block the condition.
+	if !cond(&d) {
+		t.Fatal("memory exhaustion with zero swap not detected")
+	}
+}
+
+func TestThresholdCondition(t *testing.T) {
+	up := ThresholdCondition(NumThreads, 500, +1)
+	down := ThresholdCondition(MemFree, 1000, -1)
+	var d Datapoint
+	d.Features[NumThreads] = 499
+	d.Features[MemFree] = 1001
+	if up(&d) || down(&d) {
+		t.Fatal("conditions fired early")
+	}
+	d.Features[NumThreads] = 500
+	d.Features[MemFree] = 1000
+	if !up(&d) || !down(&d) {
+		t.Fatal("conditions did not fire at threshold")
+	}
+}
+
+func TestCSVRoundTrip(t *testing.T) {
+	h := sampleHistory(3, 5)
+	// Add a truncated (unfailed) run to exercise that path.
+	h.Runs = append(h.Runs, Run{Datapoints: []Datapoint{sampleDatapoint(0), sampleDatapoint(1.5)}})
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, h); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Runs) != len(h.Runs) {
+		t.Fatalf("round trip run count %d, want %d", len(got.Runs), len(h.Runs))
+	}
+	for ri := range h.Runs {
+		a, b := &h.Runs[ri], &got.Runs[ri]
+		if a.Failed != b.Failed || (a.Failed && a.FailTime != b.FailTime) {
+			t.Fatalf("run %d fail mismatch", ri)
+		}
+		if len(a.Datapoints) != len(b.Datapoints) {
+			t.Fatalf("run %d datapoint count mismatch", ri)
+		}
+		for di := range a.Datapoints {
+			if a.Datapoints[di] != b.Datapoints[di] {
+				t.Fatalf("run %d datapoint %d mismatch: %+v vs %+v", ri, di, a.Datapoints[di], b.Datapoints[di])
+			}
+		}
+	}
+}
+
+func TestCSVRoundTripProperty(t *testing.T) {
+	src := randx.New(17)
+	f := func(runsRaw, pointsRaw uint8) bool {
+		runs := int(runsRaw%4) + 1
+		points := int(pointsRaw%6) + 1
+		h := &History{}
+		for r := 0; r < runs; r++ {
+			var run Run
+			tg := 0.0
+			for i := 0; i < points; i++ {
+				d := sampleDatapoint(tg)
+				for fi := range d.Features {
+					d.Features[fi] = src.Uniform(0, 1e7)
+				}
+				run.Datapoints = append(run.Datapoints, d)
+				tg += src.Uniform(1, 3)
+			}
+			run.Failed = src.Bernoulli(0.8)
+			if run.Failed {
+				run.FailTime = tg
+			}
+			h.Runs = append(h.Runs, run)
+		}
+		var buf bytes.Buffer
+		if err := WriteCSV(&buf, h); err != nil {
+			return false
+		}
+		got, err := ReadCSV(&buf)
+		if err != nil {
+			return false
+		}
+		if got.TotalDatapoints() != h.TotalDatapoints() {
+			return false
+		}
+		for ri := range h.Runs {
+			for di := range h.Runs[ri].Datapoints {
+				if h.Runs[ri].Datapoints[di] != got.Runs[ri].Datapoints[di] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReadCSVErrors(t *testing.T) {
+	valid := func() string {
+		var buf bytes.Buffer
+		_ = WriteCSV(&buf, sampleHistory(1, 2))
+		return buf.String()
+	}()
+
+	cases := map[string]string{
+		"bad header":       strings.Replace(valid, "run,event", "xxx,event", 1),
+		"bad run id":       strings.Replace(valid, "\n0,sample", "\nzz,sample", 1),
+		"bad event":        strings.Replace(valid, "sample", "bogus", 1),
+		"non-contiguous":   strings.Replace(valid, "\n0,fail", "\n2,fail", 1),
+		"truncated record": valid[:len(valid)-40],
+	}
+	for name, in := range cases {
+		if _, err := ReadCSV(strings.NewReader(in)); err == nil {
+			t.Errorf("%s: malformed CSV accepted", name)
+		}
+	}
+}
+
+func TestReadCSVSampleAfterFail(t *testing.T) {
+	h := sampleHistory(1, 1)
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, h); err != nil {
+		t.Fatal(err)
+	}
+	// Append a sample row for run 0 after its fail event.
+	s := buf.String() + "0,sample,99,0,0,0,0,0,0,0,0,0,0,0,0,0,0\n"
+	if _, err := ReadCSV(strings.NewReader(s)); err == nil {
+		t.Fatal("sample after fail event accepted")
+	}
+}
+
+func TestReadCSVDuplicateFail(t *testing.T) {
+	h := sampleHistory(1, 1)
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, h); err != nil {
+		t.Fatal(err)
+	}
+	s := buf.String() + "0,fail,99,0,0,0,0,0,0,0,0,0,0,0,0,0,0\n"
+	if _, err := ReadCSV(strings.NewReader(s)); err == nil {
+		t.Fatal("duplicate fail event accepted")
+	}
+}

@@ -1,0 +1,47 @@
+package f2pm
+
+import (
+	"io"
+
+	"repro/internal/ml/modelio"
+	"repro/internal/monitor"
+)
+
+// Feature monitoring utilities (paper §III-E): the Feature Monitor
+// Client/Server pair over TCP, with pluggable feature sources.
+type (
+	// MonitorServer is the FMS: it assembles per-client data histories
+	// from datapoint/fail streams.
+	MonitorServer = monitor.Server
+	// MonitorClient is the FMC: it ships datapoints and fail events.
+	MonitorClient = monitor.Client
+	// Collector drives a real-time FMC sampling loop.
+	Collector = monitor.Collector
+	// FeatureSource produces feature snapshots.
+	FeatureSource = monitor.Source
+	// FeatureSourceFunc adapts a function to FeatureSource.
+	FeatureSourceFunc = monitor.SourceFunc
+	// ProcSource samples a live Linux host through /proc.
+	ProcSource = monitor.ProcSource
+)
+
+// NewMonitorServer starts an FMS on addr (use "host:0" for an ephemeral
+// port; the chosen address is available via Addr).
+func NewMonitorServer(addr string) (*MonitorServer, error) { return monitor.NewServer(addr) }
+
+// DialMonitor connects an FMC to the FMS at addr.
+func DialMonitor(addr, clientID string) (*MonitorClient, error) {
+	return monitor.Dial(addr, clientID)
+}
+
+// NewProcSource returns a /proc-backed feature source (root "" means
+// /proc).
+func NewProcSource(root string) *ProcSource { return monitor.NewProcSource(root) }
+
+// SaveModel persists a trained model (any of the six methods) as a
+// versioned JSON envelope, for deployment without retraining.
+func SaveModel(w io.Writer, m Regressor) error { return modelio.Save(w, m) }
+
+// LoadModel restores a model written by SaveModel; the result predicts
+// immediately, no Fit needed.
+func LoadModel(r io.Reader) (Regressor, error) { return modelio.Load(r) }

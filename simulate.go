@@ -1,0 +1,39 @@
+package f2pm
+
+import (
+	"repro/internal/sysmodel"
+	"repro/internal/tpcw"
+)
+
+// Simulated test-bed (paper §IV): the TPC-W bookstore on a virtual
+// machine, with per-run anomaly injection and a browser fleet.
+type (
+	// TestbedConfig assembles the simulated experimental environment.
+	TestbedConfig = tpcw.TestbedConfig
+	// Testbed is the runnable environment.
+	Testbed = tpcw.Testbed
+	// TestbedResult is the campaign output: data history, response-time
+	// probes, per-run metadata.
+	TestbedResult = tpcw.Result
+	// RunMeta summarizes one test-bed run.
+	RunMeta = tpcw.RunInfo
+	// RTSample is one emulated-browser response-time observation.
+	RTSample = tpcw.RTSample
+	// MachineConfig describes the simulated VM.
+	MachineConfig = sysmodel.Config
+	// ServerConfig describes the servlet-container model.
+	ServerConfig = tpcw.ServerConfig
+	// BrowserConfig describes the emulated browsers.
+	BrowserConfig = tpcw.BrowserConfig
+)
+
+// DefaultTestbedConfig returns the paper-scale environment (2 GB VM,
+// 40 emulated browsers, load-coupled anomaly injection).
+func DefaultTestbedConfig(seed uint64) TestbedConfig { return tpcw.DefaultTestbedConfig(seed) }
+
+// NewTestbed builds a simulated environment; call Run on it to collect a
+// data history without any physical test-bed.
+func NewTestbed(cfg TestbedConfig) (*Testbed, error) { return tpcw.NewTestbed(cfg) }
+
+// DefaultMachineConfig returns the default simulated VM.
+func DefaultMachineConfig() MachineConfig { return sysmodel.DefaultConfig() }
