@@ -1,0 +1,135 @@
+// Command bench runs the repository benchmark suite via `go test -bench`
+// and writes the parsed results as machine-readable JSON
+// (BENCH_<date>.json by default), so before/after numbers for a
+// performance PR can be committed and diffed.
+//
+// Usage:
+//
+//	go run ./cmd/bench [-bench regexp] [-benchtime 1x] [-pkg ./...] [-out file] [-label note]
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"os/exec"
+	"regexp"
+	"runtime"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Result is one parsed benchmark line.
+type Result struct {
+	Name        string  `json:"name"`
+	Iterations  int64   `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op,omitempty"`
+	AllocsPerOp int64   `json:"allocs_per_op,omitempty"`
+}
+
+// File is the serialized benchmark report.
+type File struct {
+	Date       string   `json:"date"`
+	Label      string   `json:"label,omitempty"`
+	GoVersion  string   `json:"go_version"`
+	GOMAXPROCS int      `json:"gomaxprocs"`
+	Bench      string   `json:"bench"`
+	BenchTime  string   `json:"benchtime"`
+	Packages   string   `json:"packages"`
+	Results    []Result `json:"results"`
+}
+
+// benchLine matches `BenchmarkName-8  12  945 ns/op  64 B/op  3 allocs/op`
+// (the memory columns are optional).
+var benchLine = regexp.MustCompile(
+	`^(Benchmark\S+?)(?:-\d+)?\s+(\d+)\s+([\d.]+) ns/op(?:\s+(\d+) B/op)?(?:\s+(\d+) allocs/op)?`)
+
+func main() {
+	benchPat := flag.String("bench", ".", "benchmark regexp passed to go test -bench")
+	benchTime := flag.String("benchtime", "1x", "go test -benchtime value")
+	pkg := flag.String("pkg", "./...", "packages to benchmark")
+	out := flag.String("out", "", "output file (default BENCH_<date>.json)")
+	label := flag.String("label", "", "free-form label recorded in the report")
+	flag.Parse()
+
+	results, err := run(*benchPat, *benchTime, *pkg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "bench:", err)
+		os.Exit(1)
+	}
+	date := time.Now().Format("2006-01-02")
+	path := *out
+	if path == "" {
+		path = "BENCH_" + date + ".json"
+	}
+	report := File{
+		Date:       date,
+		Label:      *label,
+		GoVersion:  runtime.Version(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Bench:      *benchPat,
+		BenchTime:  *benchTime,
+		Packages:   *pkg,
+		Results:    results,
+	}
+	data, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "bench:", err)
+		os.Exit(1)
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "bench:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("wrote %d results to %s\n", len(results), path)
+}
+
+// run executes go test -bench and parses the output.
+func run(benchPat, benchTime, pkg string) ([]Result, error) {
+	args := []string{
+		"test", "-run", "^$",
+		"-bench", benchPat,
+		"-benchtime", benchTime,
+		"-benchmem",
+		pkg,
+	}
+	cmd := exec.Command("go", args...)
+	var buf bytes.Buffer
+	cmd.Stdout = &buf
+	cmd.Stderr = os.Stderr
+	fmt.Fprintln(os.Stderr, "running: go", strings.Join(args, " "))
+	if err := cmd.Run(); err != nil {
+		return nil, fmt.Errorf("go test: %w", err)
+	}
+	var results []Result
+	sc := bufio.NewScanner(&buf)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	for sc.Scan() {
+		m := benchLine.FindStringSubmatch(sc.Text())
+		if m == nil {
+			continue
+		}
+		iters, _ := strconv.ParseInt(m[2], 10, 64)
+		ns, _ := strconv.ParseFloat(m[3], 64)
+		r := Result{Name: m[1], Iterations: iters, NsPerOp: ns}
+		if m[4] != "" {
+			r.BytesPerOp, _ = strconv.ParseInt(m[4], 10, 64)
+		}
+		if m[5] != "" {
+			r.AllocsPerOp, _ = strconv.ParseInt(m[5], 10, 64)
+		}
+		results = append(results, r)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(results) == 0 {
+		return nil, fmt.Errorf("no benchmark lines parsed")
+	}
+	return results, nil
+}

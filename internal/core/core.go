@@ -11,6 +11,7 @@ package core
 import (
 	"errors"
 	"fmt"
+	"runtime"
 	"sort"
 	"sync"
 
@@ -92,12 +93,16 @@ type Config struct {
 	// Models is the method roster; nil uses DefaultModels(FeatureLambdas).
 	Models []ModelSpec
 	// Parallelism bounds concurrent model training (0 = serial).
-	// Training is deterministic either way; only wall-clock timings
-	// vary with scheduling.
+	// DefaultConfig sets it to runtime.GOMAXPROCS(0) so the ~26
+	// (model × family) pairs saturate the machine. Training is
+	// deterministic either way — results are written into
+	// roster-ordered slots — so only wall-clock timings vary with
+	// scheduling.
 	Parallelism int
 }
 
-// DefaultConfig mirrors the paper's experimental setup.
+// DefaultConfig mirrors the paper's experimental setup, with model
+// training parallelized across all available CPUs.
 func DefaultConfig() Config {
 	return Config{
 		Aggregation:     aggregate.DefaultConfig(),
@@ -107,6 +112,7 @@ func DefaultConfig() Config {
 		SMAEFraction:    0.10,
 		FeatureLambdas:  featsel.LambdaGrid(0, 9),
 		SelectionLambda: 1e9,
+		Parallelism:     runtime.GOMAXPROCS(0),
 	}
 }
 

@@ -2,6 +2,7 @@ package core
 
 import (
 	"math"
+	"runtime"
 	"sync"
 	"testing"
 
@@ -426,5 +427,30 @@ func TestLearningCurveErrors(t *testing.T) {
 	}
 	if _, err := p.LearningCurve(testHistory(t), []float64{2}); err == nil {
 		t.Fatal("fraction > 1 accepted")
+	}
+}
+
+// TestDefaultConfigParallel checks the default saturates the machine
+// and exercises Pipeline.Run at that parallelism (the -race CI run
+// covers the concurrent training paths with > 1 worker even on small
+// machines, since workers are capped by job count, not CPU count).
+func TestDefaultConfigParallel(t *testing.T) {
+	if got := DefaultConfig().Parallelism; got < 1 || got != runtime.GOMAXPROCS(0) {
+		t.Fatalf("DefaultConfig Parallelism = %d, want GOMAXPROCS", got)
+	}
+	cfg := fastConfig()
+	cfg.Parallelism = 8 // more workers than CPUs: still deterministic
+	p, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := p.Run(testHistory(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range rep.Results {
+		if err := rep.Results[i].Err; err != nil {
+			t.Fatalf("result %d: %v", i, err)
+		}
 	}
 }

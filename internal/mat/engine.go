@@ -1,0 +1,188 @@
+package mat
+
+import (
+	"fmt"
+	"math"
+)
+
+// This file is the flat, cache-blocked, goroutine-parallel compute
+// engine behind the learners' hot paths: SymRankK (X·Xᵀ) for Gram
+// matrices, a row-parallel Mul, and a blocked right-looking Cholesky
+// whose cubic trailing update runs through the same batched
+// dot-product kernel. All loops parallelize over disjoint row ranges
+// via Parfor, so results are bitwise deterministic regardless of
+// GOMAXPROCS.
+
+// SymRankK returns the symmetric rank-k product x·xᵀ (n×n for an n×d
+// input). Only the lower triangle is computed; the upper triangle is
+// mirrored from it.
+func SymRankK(x *Dense) *Dense {
+	n, d := x.rows, x.cols
+	out := NewDense(n, n)
+	Parfor(n, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			xi := x.data[i*d : i*d+d]
+			DotBatch(xi, x.data, d, i+1, out.data[i*n:])
+		}
+	})
+	MirrorLower(out)
+	return out
+}
+
+// MirrorLower copies the strictly-lower triangle of a square matrix to
+// the upper one, walking tiles to keep both sides of the copy
+// cache-resident. Builders of symmetric matrices (SymRankK, the kernel
+// package's Gram fast paths) fill the lower triangle and mirror once.
+func MirrorLower(m *Dense) {
+	n := m.rows
+	const tile = 128
+	nt := (n + tile - 1) / tile
+	// Tile (bi, bj) with bj <= bi reads rows bi-range, writes rows
+	// bj-range. Parallelize over bj strips: writes stay disjoint.
+	Parfor(nt, func(lo, hi int) {
+		for bj := lo; bj < hi; bj++ {
+			j0, j1 := bj*tile, min(bj*tile+tile, n)
+			for i0 := j0; i0 < n; i0 += tile {
+				i1 := min(i0+tile, n)
+				if useAsm && i0 >= j1 {
+					// Off-diagonal tile: bulk 4x4 register
+					// transposes, scalar edges.
+					ni4, nj4 := (i1-i0)&^3, (j1-j0)&^3
+					if ni4 > 0 && nj4 > 0 {
+						transposeBlockAVX2(&m.data[i0*n+j0], &m.data[j0*n+i0],
+							uintptr(n), uintptr(ni4), uintptr(nj4))
+					}
+					for j := j0; j < j1; j++ {
+						drow := m.data[j*n:]
+						iStart := i0 + ni4
+						if j >= j0+nj4 {
+							iStart = i0
+						}
+						for i := iStart; i < i1; i++ {
+							drow[i] = m.data[i*n+j]
+						}
+					}
+					continue
+				}
+				// Diagonal or fallback tile: j outer / i inner writes
+				// each destination row contiguously; the strided
+				// reads stay inside the cached tile.
+				for j := j0; j < j1; j++ {
+					iStart := max(j+1, i0)
+					drow := m.data[j*n:]
+					for i := iStart; i < i1; i++ {
+						drow[i] = m.data[i*n+j]
+					}
+				}
+			}
+		}
+	})
+}
+
+// mulBlock is the k-panel height for Mul: 128 rows of b (one panel)
+// stay resident in cache while a row strip streams over them.
+const mulBlock = 128
+
+// Mul returns the matrix product a·b, parallelized over rows of a with
+// the inner update running through the AddScaled kernel.
+func Mul(a, b *Dense) (*Dense, error) {
+	if a.cols != b.rows {
+		return nil, fmt.Errorf("%w: %dx%d times %dx%d", ErrShape, a.rows, a.cols, b.rows, b.cols)
+	}
+	out := NewDense(a.rows, b.cols)
+	bc := b.cols
+	Parfor(a.rows, func(lo, hi int) {
+		for k0 := 0; k0 < a.cols; k0 += mulBlock {
+			k1 := min(k0+mulBlock, a.cols)
+			for i := lo; i < hi; i++ {
+				arow := a.data[i*a.cols : (i+1)*a.cols]
+				orow := out.data[i*bc : (i+1)*bc]
+				for k := k0; k < k1; k++ {
+					if av := arow[k]; av != 0 {
+						AddScaled(orow, av, b.data[k*bc:(k+1)*bc])
+					}
+				}
+			}
+		}
+	})
+	return out, nil
+}
+
+// cholBlock is the panel width of the blocked Cholesky. The diagonal
+// block factors serially; the panel solve and the (cubic) trailing
+// update parallelize over rows.
+const cholBlock = 64
+
+// NewCholesky factorizes the symmetric positive-definite matrix a as
+// L·Lᵀ using a blocked right-looking algorithm. Only the lower
+// triangle of a is read. It returns ErrNotPositiveDefinite when a
+// pivot is non-positive or NaN.
+func NewCholesky(a *Dense) (*Cholesky, error) {
+	if a.rows != a.cols {
+		return nil, ErrNonSquare
+	}
+	n := a.rows
+	l := NewDense(n, n)
+	// Copy the lower triangle; the upper stays zero.
+	for i := 0; i < n; i++ {
+		copy(l.data[i*n:i*n+i+1], a.data[i*n:i*n+i+1])
+	}
+	for j0 := 0; j0 < n; j0 += cholBlock {
+		j1 := min(j0+cholBlock, n)
+		// Factor the diagonal block in place (serial: it is at most
+		// cholBlock wide and sits on the critical path).
+		for c := j0; c < j1; c++ {
+			crow := l.data[c*n : c*n+j1]
+			d := crow[c]
+			for k := j0; k < c; k++ {
+				d -= crow[k] * crow[k]
+			}
+			if d <= 0 || math.IsNaN(d) {
+				return nil, ErrNotPositiveDefinite
+			}
+			cc := math.Sqrt(d)
+			crow[c] = cc
+			for i := c + 1; i < j1; i++ {
+				irow := l.data[i*n : i*n+j1]
+				s := irow[c]
+				for k := j0; k < c; k++ {
+					s -= irow[k] * crow[k]
+				}
+				irow[c] = s / cc
+			}
+		}
+		if j1 == n {
+			break
+		}
+		// Panel solve: L[i, j0:j1] · L[j0:j1, j0:j1]ᵀ = A[i, j0:j1]
+		// row by row (rows are independent).
+		Parfor(n-j1, func(lo, hi int) {
+			for i := j1 + lo; i < j1+hi; i++ {
+				irow := l.data[i*n : i*n+j1]
+				for c := j0; c < j1; c++ {
+					crow := l.data[c*n : c*n+j1]
+					s := irow[c]
+					for k := j0; k < c; k++ {
+						s -= irow[k] * crow[k]
+					}
+					irow[c] = s / crow[c]
+				}
+			}
+		})
+		// Trailing update: A[i, j2] -= L[i, j0:j1] · L[j2, j0:j1] for
+		// j1 <= j2 <= i — a SYRK through the batched dot kernel.
+		Parfor(n-j1, func(lo, hi int) {
+			buf := make([]float64, hi)
+			for i := j1 + lo; i < j1+hi; i++ {
+				cnt := i - j1 + 1
+				dots := buf[:cnt]
+				DotBatch(l.data[i*n+j0:i*n+j1], l.data[j1*n+j0:], n, cnt, dots)
+				irow := l.data[i*n+j1 : i*n+i+1]
+				for t, v := range dots {
+					irow[t] -= v
+				}
+			}
+		})
+	}
+	return &Cholesky{l: l}, nil
+}

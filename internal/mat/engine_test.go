@@ -1,0 +1,323 @@
+package mat
+
+import (
+	"math"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/randx"
+)
+
+// naiveMul is the reference O(n³) triple loop the fast paths are
+// pinned against.
+func naiveMul(a, b *Dense) *Dense {
+	out := NewDense(a.rows, b.cols)
+	for i := 0; i < a.rows; i++ {
+		for j := 0; j < b.cols; j++ {
+			var s float64
+			for k := 0; k < a.cols; k++ {
+				s += a.At(i, k) * b.At(k, j)
+			}
+			out.Set(i, j, s)
+		}
+	}
+	return out
+}
+
+// naiveCholesky is the unblocked serial factorization previously used
+// in production, kept as the parity reference.
+func naiveCholesky(a *Dense) (*Dense, error) {
+	n := a.rows
+	l := NewDense(n, n)
+	for j := 0; j < n; j++ {
+		d := a.At(j, j)
+		for k := 0; k < j; k++ {
+			ljk := l.At(j, k)
+			d -= ljk * ljk
+		}
+		if d <= 0 || math.IsNaN(d) {
+			return nil, ErrNotPositiveDefinite
+		}
+		ljj := math.Sqrt(d)
+		l.Set(j, j, ljj)
+		for i := j + 1; i < n; i++ {
+			s := a.At(i, j)
+			for k := 0; k < j; k++ {
+				s -= l.At(i, k) * l.At(j, k)
+			}
+			l.Set(i, j, s/ljj)
+		}
+	}
+	return l, nil
+}
+
+func randDense(src *randx.Source, r, c int) *Dense {
+	m := NewDense(r, c)
+	for i := range m.data {
+		m.data[i] = src.Uniform(-1, 1)
+	}
+	return m
+}
+
+// forEachKernelPath runs fn under both the assembly and pure-Go
+// dispatch (the former only where the CPU supports it).
+func forEachKernelPath(t *testing.T, fn func(t *testing.T)) {
+	t.Helper()
+	prev := setUseAsm(false)
+	defer setUseAsm(prev)
+	t.Run("go", fn)
+	if setUseAsm(true) || useAsm {
+		t.Run("asm", fn)
+	}
+	setUseAsm(prev)
+}
+
+func TestMulMatchesNaive(t *testing.T) {
+	forEachKernelPath(t, func(t *testing.T) {
+		src := randx.New(11)
+		for _, dims := range [][3]int{{1, 1, 1}, {3, 5, 7}, {17, 9, 31}, {64, 64, 64}, {130, 33, 67}} {
+			a := randDense(src, dims[0], dims[1])
+			b := randDense(src, dims[1], dims[2])
+			fast, err := Mul(a, b)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := naiveMul(a, b)
+			if d := maxAbsDiff(fast, want); d > 1e-12 {
+				t.Fatalf("dims %v: max diff %g", dims, d)
+			}
+		}
+	})
+}
+
+func TestSymRankKMatchesNaive(t *testing.T) {
+	forEachKernelPath(t, func(t *testing.T) {
+		src := randx.New(12)
+		for _, dims := range [][2]int{{1, 1}, {2, 3}, {9, 4}, {33, 24}, {77, 13}, {130, 26}} {
+			x := randDense(src, dims[0], dims[1])
+			fast := SymRankK(x)
+			want := naiveMul(x, x.T())
+			if d := maxAbsDiff(fast, want); d > 1e-12 {
+				t.Fatalf("dims %v: max diff %g", dims, d)
+			}
+			// Exact symmetry (mirrored, not recomputed).
+			for i := 0; i < fast.Rows(); i++ {
+				for j := 0; j < i; j++ {
+					if fast.At(i, j) != fast.At(j, i) {
+						t.Fatalf("dims %v: not symmetric at (%d,%d)", dims, i, j)
+					}
+				}
+			}
+		}
+	})
+}
+
+func TestCholeskyMatchesNaive(t *testing.T) {
+	forEachKernelPath(t, func(t *testing.T) {
+		src := randx.New(13)
+		for _, n := range []int{1, 2, 5, 63, 64, 65, 130, 200} {
+			a := randSPD(src, n)
+			fast, err := NewCholesky(a)
+			if err != nil {
+				t.Fatalf("n=%d: %v", n, err)
+			}
+			want, err := naiveCholesky(a)
+			if err != nil {
+				t.Fatalf("n=%d: naive: %v", n, err)
+			}
+			if d := maxAbsDiff(fast.l, want); d > 1e-12 {
+				t.Fatalf("n=%d: max diff %g", n, d)
+			}
+		}
+	})
+}
+
+func TestDotBatchParity(t *testing.T) {
+	forEachKernelPath(t, func(t *testing.T) {
+		src := randx.New(14)
+		for _, tc := range [][3]int{{1, 1, 1}, {3, 5, 2}, {24, 24, 17}, {26, 31, 9}, {7, 7, 40}} {
+			d, ld, count := tc[0], tc[1], tc[2]
+			x := make([]float64, d)
+			for i := range x {
+				x[i] = src.Uniform(-2, 2)
+			}
+			y := make([]float64, (count-1)*ld+d)
+			for i := range y {
+				y[i] = src.Uniform(-2, 2)
+			}
+			out := make([]float64, count)
+			DotBatch(x, y, ld, count, out)
+			for tt := 0; tt < count; tt++ {
+				var want float64
+				for k := 0; k < d; k++ {
+					want += x[k] * y[tt*ld+k]
+				}
+				if math.Abs(out[tt]-want) > 1e-12 {
+					t.Fatalf("d=%d ld=%d t=%d: got %v want %v", d, ld, tt, out[tt], want)
+				}
+			}
+		}
+	})
+}
+
+func TestExpNegInPlaceParity(t *testing.T) {
+	forEachKernelPath(t, func(t *testing.T) {
+		src := randx.New(15)
+		for _, n := range []int{1, 3, 4, 7, 100} {
+			p := make([]float64, n)
+			want := make([]float64, n)
+			for i := range p {
+				switch i % 5 {
+				case 0:
+					p[i] = 0
+				case 1:
+					p[i] = -750 // underflow region
+				default:
+					p[i] = -src.Uniform(0, 50)
+				}
+				want[i] = math.Exp(p[i])
+			}
+			expNegInPlace(p)
+			for i := range p {
+				diff := math.Abs(p[i] - want[i])
+				if diff > 1e-12 {
+					t.Fatalf("n=%d i=%d: |%g - %g| = %g", n, i, p[i], want[i], diff)
+				}
+			}
+			if p[0] != 1 {
+				t.Fatalf("exp(0) = %v, want exactly 1", p[0])
+			}
+		}
+	})
+}
+
+func TestRBFRowParity(t *testing.T) {
+	forEachKernelPath(t, func(t *testing.T) {
+		src := randx.New(16)
+		for _, n := range []int{1, 4, 5, 31, 64} {
+			gamma := src.Uniform(0.01, 2)
+			norms := make([]float64, n)
+			dots := make([]float64, n)
+			for i := range norms {
+				norms[i] = src.Uniform(0, 30)
+				dots[i] = src.Uniform(-10, 10)
+			}
+			selfNorm := src.Uniform(0, 30)
+			got := append([]float64(nil), dots...)
+			RBFRow(got, norms, selfNorm, gamma)
+			for i := range got {
+				d2 := selfNorm + norms[i] - 2*dots[i]
+				if d2 < 0 {
+					d2 = 0
+				}
+				want := math.Exp(-gamma * d2)
+				if math.Abs(got[i]-want) > 1e-12 {
+					t.Fatalf("n=%d i=%d: got %g want %g", n, i, got[i], want)
+				}
+			}
+		}
+	})
+}
+
+func TestAddScaledParity(t *testing.T) {
+	forEachKernelPath(t, func(t *testing.T) {
+		src := randx.New(17)
+		for _, n := range []int{0, 1, 3, 4, 9, 100} {
+			dst := make([]float64, n)
+			srcv := make([]float64, n)
+			want := make([]float64, n)
+			for i := 0; i < n; i++ {
+				dst[i] = src.Uniform(-1, 1)
+				srcv[i] = src.Uniform(-1, 1)
+				want[i] = dst[i] + 0.37*srcv[i]
+			}
+			AddScaled(dst, 0.37, srcv)
+			for i := range dst {
+				if math.Abs(dst[i]-want[i]) > 1e-12 {
+					t.Fatalf("n=%d i=%d: got %g want %g", n, i, dst[i], want[i])
+				}
+			}
+		}
+	})
+}
+
+func TestMirrorLower(t *testing.T) {
+	forEachKernelPath(t, func(t *testing.T) {
+		src := randx.New(18)
+		for _, n := range []int{1, 2, 5, 127, 128, 129, 200, 333} {
+			m := randDense(src, n, n)
+			want := NewDense(n, n)
+			for i := 0; i < n; i++ {
+				for j := 0; j < n; j++ {
+					if j <= i {
+						want.Set(i, j, m.At(i, j))
+					} else {
+						want.Set(i, j, m.At(j, i))
+					}
+				}
+			}
+			MirrorLower(m)
+			for i := 0; i < n; i++ {
+				for j := 0; j < n; j++ {
+					if m.At(i, j) != want.At(i, j) {
+						t.Fatalf("n=%d (%d,%d): got %v want %v", n, i, j, m.At(i, j), want.At(i, j))
+					}
+				}
+			}
+		}
+	})
+}
+
+func TestParforCoversRange(t *testing.T) {
+	for _, n := range []int{0, 1, 7, 8, 100, 1000} {
+		seen := make([]int32, n)
+		Parfor(n, func(lo, hi int) {
+			if lo < 0 || hi > n || lo >= hi {
+				t.Errorf("bad range [%d,%d) for n=%d", lo, hi, n)
+			}
+			for i := lo; i < hi; i++ {
+				atomic.AddInt32(&seen[i], 1)
+			}
+		})
+		for i, c := range seen {
+			if c != 1 {
+				t.Fatalf("n=%d: index %d visited %d times", n, i, c)
+			}
+		}
+	}
+}
+
+func BenchmarkSymRankK1000x24(b *testing.B) {
+	src := randx.New(20)
+	x := randDense(src, 1000, 24)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		SymRankK(x)
+	}
+}
+
+func BenchmarkCholesky500(b *testing.B) {
+	src := randx.New(21)
+	a := randSPD(src, 500)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := NewCholesky(a); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkMul300(b *testing.B) {
+	src := randx.New(22)
+	x := randDense(src, 300, 300)
+	y := randDense(src, 300, 300)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Mul(x, y); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

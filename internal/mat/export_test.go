@@ -1,0 +1,6 @@
+package mat
+
+// setUseAsm forces the kernel dispatch for tests and returns the
+// previous value. On non-amd64 builds useAsm is a constant false and
+// the force is a no-op.
+func setUseAsm(on bool) (prev bool) { return swapUseAsm(on) }

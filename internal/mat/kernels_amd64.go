@@ -1,0 +1,57 @@
+//go:build amd64 && !purego
+
+package mat
+
+// Assembly bindings (kernels_amd64.s) plus the one-time CPUID probe
+// that decides whether the AVX2/FMA fast paths are safe to use.
+
+//go:noescape
+func dotsRowAVX2(x, y *float64, ld, dq, groups uintptr, out *float64)
+
+//go:noescape
+func transposeBlockAVX2(src, dst *float64, stride, ni, nj uintptr)
+
+//go:noescape
+func expNegAVX2(p *float64, n uintptr)
+
+//go:noescape
+func rbfRowAVX2(p, norms *float64, selfNorm, gamma float64, n uintptr)
+
+//go:noescape
+func axpyAVX2(dst, src *float64, alpha float64, nq uintptr)
+
+func cpuidAsm(leaf, sub uint32) (eax, ebx, ecx, edx uint32)
+
+func xgetbvAsm() (eax, edx uint32)
+
+// useAsm reports whether the CPU and OS support AVX2+FMA with
+// OS-managed YMM state.
+var useAsm = func() bool {
+	maxLeaf, _, _, _ := cpuidAsm(0, 0)
+	if maxLeaf < 7 {
+		return false
+	}
+	_, _, ecx1, _ := cpuidAsm(1, 0)
+	const fmaBit, osxsaveBit, avxBit = 1 << 12, 1 << 27, 1 << 28
+	if ecx1&fmaBit == 0 || ecx1&osxsaveBit == 0 || ecx1&avxBit == 0 {
+		return false
+	}
+	// OS must save/restore XMM (bit 1) and YMM (bit 2) state.
+	xcr0, _ := xgetbvAsm()
+	if xcr0&0x6 != 0x6 {
+		return false
+	}
+	_, ebx7, _, _ := cpuidAsm(7, 0)
+	const avx2Bit = 1 << 5
+	return ebx7&avx2Bit != 0
+}()
+
+// swapUseAsm flips the dispatch flag (test hook).
+func swapUseAsm(on bool) (prev bool) {
+	prev, useAsm = useAsm, on && useAsmDetected
+	return prev
+}
+
+// useAsmDetected remembers the CPUID probe so tests cannot enable the
+// assembly paths on hardware that lacks them.
+var useAsmDetected = useAsm

@@ -1,0 +1,476 @@
+//go:build amd64 && !purego
+
+#include "textflag.h"
+
+// AVX2/FMA compute kernels for the flat linear-algebra engine. Every
+// function here has a pure-Go twin in kernels_go.go; dispatch happens
+// once at package init via the CPUID probe below.
+
+// func cpuidAsm(leaf, sub uint32) (eax, ebx, ecx, edx uint32)
+TEXT ·cpuidAsm(SB), NOSPLIT, $0-24
+	MOVL leaf+0(FP), AX
+	MOVL sub+4(FP), CX
+	CPUID
+	MOVL AX, eax+8(FP)
+	MOVL BX, ebx+12(FP)
+	MOVL CX, ecx+16(FP)
+	MOVL DX, edx+20(FP)
+	RET
+
+// func xgetbvAsm() (eax, edx uint32)
+TEXT ·xgetbvAsm(SB), NOSPLIT, $0-8
+	XORL CX, CX
+	XGETBV
+	MOVL AX, eax+0(FP)
+	MOVL DX, edx+4(FP)
+	RET
+
+// func dotsRowAVX2(x, y *float64, ld, dq, groups uintptr, out *float64)
+// out[g*8+t] = x · y[(g*8+t)*ld : ...] for g < groups, t < 8: the
+// batched dot-product kernel: 8 rows per group, amortized across a
+// Gram row. Columns beyond 4*dq are the caller's scalar tail.
+TEXT ·dotsRowAVX2(SB), NOSPLIT, $8-48
+	MOVQ y+8(FP), AX     // group base
+	MOVQ ld+16(FP), R8
+	MOVQ out+40(FP), DX
+	SHLQ $3, R8          // stride in bytes
+	MOVQ groups+32(FP), CX
+	MOVQ CX, groups-8(SP)
+
+group:
+	MOVQ x+0(FP), SI
+	MOVQ AX, DI          // y0
+	MOVQ DI, R9
+	ADDQ R8, R9          // y1
+	MOVQ R9, R10
+	ADDQ R8, R10         // y2
+	MOVQ R10, R11
+	ADDQ R8, R11         // y3
+	MOVQ R11, R12
+	ADDQ R8, R12         // y4
+	MOVQ R12, R13
+	ADDQ R8, R13         // y5
+	MOVQ R13, R14
+	ADDQ R8, R14         // y6
+	MOVQ R14, BX
+	ADDQ R8, BX          // y7
+
+	VXORPD Y0, Y0, Y0
+	VXORPD Y1, Y1, Y1
+	VXORPD Y2, Y2, Y2
+	VXORPD Y3, Y3, Y3
+	VXORPD Y4, Y4, Y4
+	VXORPD Y5, Y5, Y5
+	VXORPD Y6, Y6, Y6
+	VXORPD Y7, Y7, Y7
+
+	MOVQ dq+24(FP), CX
+	MOVQ CX, R15
+	SHRQ $1, CX
+	TESTQ CX, CX
+	JE    ktail
+
+kloop:
+	VMOVUPD (SI), Y8
+	VMOVUPD (DI), Y9
+	VFMADD231PD Y8, Y9, Y0
+	VMOVUPD (R9), Y10
+	VFMADD231PD Y8, Y10, Y1
+	VMOVUPD (R10), Y11
+	VFMADD231PD Y8, Y11, Y2
+	VMOVUPD (R11), Y12
+	VFMADD231PD Y8, Y12, Y3
+	VMOVUPD (R12), Y9
+	VFMADD231PD Y8, Y9, Y4
+	VMOVUPD (R13), Y10
+	VFMADD231PD Y8, Y10, Y5
+	VMOVUPD (R14), Y11
+	VFMADD231PD Y8, Y11, Y6
+	VMOVUPD (BX), Y12
+	VFMADD231PD Y8, Y12, Y7
+
+	VMOVUPD 32(SI), Y8
+	VMOVUPD 32(DI), Y9
+	VFMADD231PD Y8, Y9, Y0
+	VMOVUPD 32(R9), Y10
+	VFMADD231PD Y8, Y10, Y1
+	VMOVUPD 32(R10), Y11
+	VFMADD231PD Y8, Y11, Y2
+	VMOVUPD 32(R11), Y12
+	VFMADD231PD Y8, Y12, Y3
+	VMOVUPD 32(R12), Y9
+	VFMADD231PD Y8, Y9, Y4
+	VMOVUPD 32(R13), Y10
+	VFMADD231PD Y8, Y10, Y5
+	VMOVUPD 32(R14), Y11
+	VFMADD231PD Y8, Y11, Y6
+	VMOVUPD 32(BX), Y12
+	VFMADD231PD Y8, Y12, Y7
+
+	ADDQ $64, SI
+	ADDQ $64, DI
+	ADDQ $64, R9
+	ADDQ $64, R10
+	ADDQ $64, R11
+	ADDQ $64, R12
+	ADDQ $64, R13
+	ADDQ $64, R14
+	ADDQ $64, BX
+	DECQ CX
+	JNE  kloop
+
+ktail:
+	ANDQ $1, R15
+	JE   reduce
+	VMOVUPD (SI), Y8
+	VMOVUPD (DI), Y9
+	VFMADD231PD Y8, Y9, Y0
+	VMOVUPD (R9), Y10
+	VFMADD231PD Y8, Y10, Y1
+	VMOVUPD (R10), Y11
+	VFMADD231PD Y8, Y11, Y2
+	VMOVUPD (R11), Y12
+	VFMADD231PD Y8, Y12, Y3
+	VMOVUPD (R12), Y9
+	VFMADD231PD Y8, Y9, Y4
+	VMOVUPD (R13), Y10
+	VFMADD231PD Y8, Y10, Y5
+	VMOVUPD (R14), Y11
+	VFMADD231PD Y8, Y11, Y6
+	VMOVUPD (BX), Y12
+	VFMADD231PD Y8, Y12, Y7
+
+reduce:
+	VHADDPD Y1, Y0, Y0
+	VHADDPD Y3, Y2, Y2
+	VPERM2F128 $0x21, Y2, Y0, Y8
+	VPERM2F128 $0x30, Y2, Y0, Y9
+	VADDPD Y8, Y9, Y8
+	VMOVUPD Y8, (DX)
+
+	VHADDPD Y5, Y4, Y4
+	VHADDPD Y7, Y6, Y6
+	VPERM2F128 $0x21, Y6, Y4, Y8
+	VPERM2F128 $0x30, Y6, Y4, Y9
+	VADDPD Y8, Y9, Y8
+	VMOVUPD Y8, 32(DX)
+
+	ADDQ $64, DX
+	LEAQ (AX)(R8*8), AX  // base += 8*ld
+	MOVQ groups-8(SP), CX
+	DECQ CX
+	MOVQ CX, groups-8(SP)
+	JNE  group
+
+	VZEROUPPER
+	RET
+
+// func transposeBlockAVX2(src, dst *float64, stride, ni, nj uintptr)
+// dst[j*stride+i] = src[i*stride+j] for i < ni, j < nj, both multiples
+// of 4, via 4x4 register transposes. Used by MirrorLower for tiles
+// strictly below the diagonal.
+TEXT ·transposeBlockAVX2(SB), NOSPLIT, $0-40
+	MOVQ src+0(FP), AX   // src row-block base
+	MOVQ dst+8(FP), BX   // dst col-block base
+	MOVQ stride+16(FP), R8
+	MOVQ ni+24(FP), R13
+	SHLQ $3, R8          // stride in bytes
+	SHRQ $2, R13         // ni/4 blocks
+	LEAQ (R8)(R8*2), R9  // 3*stride (to locate row 3 from base)
+	MOVQ R8, R12
+	SHLQ $2, R12         // 4*stride
+	TESTQ R13, R13
+	JE   done
+
+iblock:
+	MOVQ nj+32(FP), CX
+	SHRQ $2, CX          // nj/4 blocks
+	MOVQ AX, DX          // srcp
+	MOVQ BX, R11         // dstp
+	TESTQ CX, CX
+	JE   inext
+
+jblock:
+	// Load a 4x4 from src rows.
+	VMOVUPD (DX), Y0
+	VMOVUPD (DX)(R8*1), Y1
+	VMOVUPD (DX)(R8*2), Y2
+	VMOVUPD (DX)(R9*1), Y3
+	// Transpose in registers.
+	VUNPCKLPD Y1, Y0, Y4 // [r0c0 r1c0 | r0c2 r1c2]
+	VUNPCKHPD Y1, Y0, Y5 // [r0c1 r1c1 | r0c3 r1c3]
+	VUNPCKLPD Y3, Y2, Y6
+	VUNPCKHPD Y3, Y2, Y7
+	VPERM2F128 $0x20, Y6, Y4, Y0 // column 0
+	VPERM2F128 $0x20, Y7, Y5, Y1 // column 1
+	VPERM2F128 $0x31, Y6, Y4, Y2 // column 2
+	VPERM2F128 $0x31, Y7, Y5, Y3 // column 3
+	// Store as 4 rows of dst.
+	VMOVUPD Y0, (R11)
+	VMOVUPD Y1, (R11)(R8*1)
+	VMOVUPD Y2, (R11)(R8*2)
+	VMOVUPD Y3, (R11)(R9*1)
+
+	ADDQ $32, DX         // srcp += 4 columns
+	ADDQ R12, R11        // dstp += 4 rows
+	DECQ CX
+	JNE  jblock
+
+inext:
+	ADDQ R12, AX         // src base += 4 rows
+	ADDQ $32, BX         // dst base += 4 columns
+	DECQ R13
+	JNE  iblock
+
+done:
+	VZEROUPPER
+	RET
+
+// EXPNEGY0: Y0 (non-positive arguments) -> Y0 = exp(Y0).
+// Clobbers Y1, Y2, Y11; expects the constant registers loaded by
+// EXPCONSTS. Arguments below -708 flush to +0. Degree-11 Taylor on the
+// reduced argument |r| <= ln2/2 keeps the relative error ~1e-14.
+#define EXPCONSTS \
+	VMOVUPD exp_log2e<>(SB), Y15 \
+	VMOVUPD exp_ln2hi<>(SB), Y14 \
+	VMOVUPD exp_ln2lo<>(SB), Y13 \
+	VMOVUPD exp_min<>(SB), Y12
+
+// Steps: mask = x > -708 (GT_OQ); k = round(x*log2e); two-step
+// reduction r = x - k*ln2hi - k*ln2lo; degree-11 Horner for exp(r);
+// scale by 2^k by adding k to the exponent bits; mask flushes
+// underflow to +0.
+#define EXPNEGY0 \
+	VCMPPD $0x1E, Y12, Y0, Y11 \
+	VMULPD Y15, Y0, Y1 \
+	VROUNDPD $0, Y1, Y1 \
+	VFNMADD231PD Y14, Y1, Y0 \
+	VFNMADD231PD Y13, Y1, Y0 \
+	VMOVUPD exp_c11<>(SB), Y2 \
+	VFMADD213PD exp_c10<>(SB), Y0, Y2 \
+	VFMADD213PD exp_c9<>(SB), Y0, Y2 \
+	VFMADD213PD exp_c8<>(SB), Y0, Y2 \
+	VFMADD213PD exp_c7<>(SB), Y0, Y2 \
+	VFMADD213PD exp_c6<>(SB), Y0, Y2 \
+	VFMADD213PD exp_c5<>(SB), Y0, Y2 \
+	VFMADD213PD exp_c4<>(SB), Y0, Y2 \
+	VFMADD213PD exp_c3<>(SB), Y0, Y2 \
+	VFMADD213PD exp_c2<>(SB), Y0, Y2 \
+	VFMADD213PD exp_c1<>(SB), Y0, Y2 \
+	VFMADD213PD exp_c0<>(SB), Y0, Y2 \
+	VCVTPD2DQY Y1, X1 \
+	VPMOVSXDQ X1, Y1 \
+	VPSLLQ $52, Y1, Y1 \
+	VPADDQ Y1, Y2, Y2 \
+	VANDPD Y11, Y2, Y0
+
+// EXPNEG2: like EXPNEGY0 but transforms Y0 and Y3 together, using
+// temps Y1/Y2/Y11 and Y4/Y5/Y6. The two interleaved Horner chains
+// hide the FMA latency a single chain would serialize on.
+#define EXPNEG2 \
+	VCMPPD $0x1E, Y12, Y0, Y11 \
+	VCMPPD $0x1E, Y12, Y3, Y6 \
+	VMULPD Y15, Y0, Y1 \
+	VMULPD Y15, Y3, Y4 \
+	VROUNDPD $0, Y1, Y1 \
+	VROUNDPD $0, Y4, Y4 \
+	VFNMADD231PD Y14, Y1, Y0 \
+	VFNMADD231PD Y14, Y4, Y3 \
+	VFNMADD231PD Y13, Y1, Y0 \
+	VFNMADD231PD Y13, Y4, Y3 \
+	VMOVUPD exp_c11<>(SB), Y2 \
+	VMOVUPD exp_c11<>(SB), Y5 \
+	VFMADD213PD exp_c10<>(SB), Y0, Y2 \
+	VFMADD213PD exp_c10<>(SB), Y3, Y5 \
+	VFMADD213PD exp_c9<>(SB), Y0, Y2 \
+	VFMADD213PD exp_c9<>(SB), Y3, Y5 \
+	VFMADD213PD exp_c8<>(SB), Y0, Y2 \
+	VFMADD213PD exp_c8<>(SB), Y3, Y5 \
+	VFMADD213PD exp_c7<>(SB), Y0, Y2 \
+	VFMADD213PD exp_c7<>(SB), Y3, Y5 \
+	VFMADD213PD exp_c6<>(SB), Y0, Y2 \
+	VFMADD213PD exp_c6<>(SB), Y3, Y5 \
+	VFMADD213PD exp_c5<>(SB), Y0, Y2 \
+	VFMADD213PD exp_c5<>(SB), Y3, Y5 \
+	VFMADD213PD exp_c4<>(SB), Y0, Y2 \
+	VFMADD213PD exp_c4<>(SB), Y3, Y5 \
+	VFMADD213PD exp_c3<>(SB), Y0, Y2 \
+	VFMADD213PD exp_c3<>(SB), Y3, Y5 \
+	VFMADD213PD exp_c2<>(SB), Y0, Y2 \
+	VFMADD213PD exp_c2<>(SB), Y3, Y5 \
+	VFMADD213PD exp_c1<>(SB), Y0, Y2 \
+	VFMADD213PD exp_c1<>(SB), Y3, Y5 \
+	VFMADD213PD exp_c0<>(SB), Y0, Y2 \
+	VFMADD213PD exp_c0<>(SB), Y3, Y5 \
+	VCVTPD2DQY Y1, X1 \
+	VCVTPD2DQY Y4, X4 \
+	VPMOVSXDQ X1, Y1 \
+	VPMOVSXDQ X4, Y4 \
+	VPSLLQ $52, Y1, Y1 \
+	VPSLLQ $52, Y4, Y4 \
+	VPADDQ Y1, Y2, Y2 \
+	VPADDQ Y4, Y5, Y5 \
+	VANDPD Y11, Y2, Y0 \
+	VANDPD Y6, Y5, Y3
+
+// func expNegAVX2(p *float64, n uintptr)
+// In-place exp() over n non-positive float64s; n must be a multiple
+// of 4 (the caller handles the tail).
+TEXT ·expNegAVX2(SB), NOSPLIT, $0-16
+	MOVQ p+0(FP), SI
+	MOVQ n+8(FP), CX
+	SHRQ $2, CX
+	TESTQ CX, CX
+	JE   done
+	EXPCONSTS
+
+	MOVQ CX, DX
+	SHRQ $1, DX
+	TESTQ DX, DX
+	JE   tail1
+
+loop2:
+	VMOVUPD (SI), Y0
+	VMOVUPD 32(SI), Y3
+	EXPNEG2
+	VMOVUPD Y0, (SI)
+	VMOVUPD Y3, 32(SI)
+	ADDQ $64, SI
+	DECQ DX
+	JNE  loop2
+
+tail1:
+	ANDQ $1, CX
+	JE   done
+	VMOVUPD (SI), Y0
+	EXPNEGY0
+	VMOVUPD Y0, (SI)
+
+done:
+	VZEROUPPER
+	RET
+
+// func rbfRowAVX2(p, norms *float64, selfNorm, gamma float64, n uintptr)
+// p[j] = exp(-gamma * max(0, selfNorm + norms[j] - 2*p[j])) for j < n,
+// n a multiple of 4 (the caller handles the tail). This fuses the
+// squared-norm trick ||a-b||^2 = ||a||^2 + ||b||^2 - 2 a.b with the
+// Gaussian map so a Gram row never leaves registers between the two.
+TEXT ·rbfRowAVX2(SB), NOSPLIT, $0-40
+	MOVQ p+0(FP), SI
+	MOVQ norms+8(FP), DI
+	MOVQ n+32(FP), CX
+	SHRQ $2, CX
+	TESTQ CX, CX
+	JE   done
+	EXPCONSTS
+	VBROADCASTSD selfNorm+16(FP), Y10
+	VBROADCASTSD gamma+24(FP), Y9
+	VXORPD exp_signmask<>(SB), Y9, Y9 // -gamma
+	VMOVUPD exp_negtwo<>(SB), Y8
+	VXORPD Y7, Y7, Y7            // zeros
+
+	MOVQ CX, DX
+	SHRQ $1, DX
+	TESTQ DX, DX
+	JE   tail1
+
+loop2:
+	VMOVUPD (DI), Y0             // norms[j]
+	VMOVUPD 32(DI), Y3
+	VADDPD Y10, Y0, Y0           // + selfNorm
+	VADDPD Y10, Y3, Y3
+	VFMADD231PD (SI), Y8, Y0     // - 2*p[j]
+	VFMADD231PD 32(SI), Y8, Y3
+	VMAXPD Y7, Y0, Y0            // clamp tiny negative distances to 0
+	VMAXPD Y7, Y3, Y3
+	VMULPD Y9, Y0, Y0            // -gamma*d2
+	VMULPD Y9, Y3, Y3
+	EXPNEG2
+	VMOVUPD Y0, (SI)
+	VMOVUPD Y3, 32(SI)
+	ADDQ $64, SI
+	ADDQ $64, DI
+	DECQ DX
+	JNE  loop2
+
+tail1:
+	ANDQ $1, CX
+	JE   done
+	VMOVUPD (DI), Y0
+	VADDPD Y10, Y0, Y0
+	VFMADD231PD (SI), Y8, Y0
+	VMAXPD Y7, Y0, Y0
+	VMULPD Y9, Y0, Y0
+	EXPNEGY0
+	VMOVUPD Y0, (SI)
+
+done:
+	VZEROUPPER
+	RET
+
+// func axpyAVX2(dst, src *float64, alpha float64, nq uintptr)
+// dst[i] += alpha*src[i] for i < 4*nq (the caller handles the tail).
+TEXT ·axpyAVX2(SB), NOSPLIT, $0-32
+	MOVQ dst+0(FP), DI
+	MOVQ src+8(FP), SI
+	VBROADCASTSD alpha+16(FP), Y3
+	MOVQ nq+24(FP), CX
+
+	// 2x unroll: 8 elements per iteration.
+	MOVQ CX, DX
+	SHRQ $1, DX
+	TESTQ DX, DX
+	JE   tail1
+
+loop2:
+	VMOVUPD (SI), Y0
+	VMOVUPD 32(SI), Y1
+	VFMADD213PD (DI), Y3, Y0
+	VFMADD213PD 32(DI), Y3, Y1
+	VMOVUPD Y0, (DI)
+	VMOVUPD Y1, 32(DI)
+	ADDQ $64, SI
+	ADDQ $64, DI
+	DECQ DX
+	JNE  loop2
+
+tail1:
+	ANDQ $1, CX
+	JE   done
+	VMOVUPD (SI), Y0
+	VFMADD213PD (DI), Y3, Y0
+	VMOVUPD Y0, (DI)
+
+done:
+	VZEROUPPER
+	RET
+
+#define DUP4(name, val) \
+	DATA name<>+0(SB)/8, val \
+	DATA name<>+8(SB)/8, val \
+	DATA name<>+16(SB)/8, val \
+	DATA name<>+24(SB)/8, val \
+	GLOBL name<>(SB), RODATA, $32
+
+DUP4(exp_log2e, $1.4426950408889634074)
+DUP4(exp_ln2hi, $0.693145751953125)
+DUP4(exp_ln2lo, $1.42860682030941723212e-6)
+DUP4(exp_min, $-708.0)
+DUP4(exp_c0, $1.0)
+DUP4(exp_c1, $1.0)
+DUP4(exp_c2, $0.5)
+DUP4(exp_c3, $0.16666666666666666667)
+DUP4(exp_c4, $0.041666666666666666667)
+DUP4(exp_c5, $0.0083333333333333333333)
+DUP4(exp_c6, $0.0013888888888888888889)
+DUP4(exp_c7, $1.9841269841269841270e-4)
+DUP4(exp_c8, $2.4801587301587301587e-5)
+DUP4(exp_c9, $2.7557319223985890653e-6)
+DUP4(exp_c10, $2.7557319223985890653e-7)
+DUP4(exp_c11, $2.5052108385441718775e-8)
+DUP4(exp_negtwo, $-2.0)
+DATA exp_signmask<>+0(SB)/8, $0x8000000000000000
+DATA exp_signmask<>+8(SB)/8, $0x8000000000000000
+DATA exp_signmask<>+16(SB)/8, $0x8000000000000000
+DATA exp_signmask<>+24(SB)/8, $0x8000000000000000
+GLOBL exp_signmask<>(SB), RODATA, $32

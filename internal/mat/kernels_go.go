@@ -1,0 +1,125 @@
+package mat
+
+import "math"
+
+// Pure-Go twins of the AVX2 kernels in kernels_amd64.s. They are the
+// only implementations on non-amd64 targets (or with the purego build
+// tag) and the reference the assembly is tested against. The exported
+// batched primitives (DotBatch, RBFRow, AddScaled)
+// dispatch on useAsm, set once at init.
+
+// DotBatch computes out[t] = x · y[t*ld : t*ld+len(x)] for t < count:
+// one vector against count equally-strided rows of a flat buffer. It
+// is the workhorse behind SymRankK, the Cholesky trailing update, and
+// the kernel package's Gram and batched-prediction paths.
+// Requires len(x) <= ld and (count-1)*ld+len(x) <= len(y).
+func DotBatch(x, y []float64, ld, count int, out []float64) {
+	if count <= 0 {
+		return
+	}
+	_ = out[count-1]
+	t := 0
+	if useAsm && len(x) >= 4 && count >= 8 {
+		dq := uintptr(len(x) / 4)
+		groups := count / 8
+		t = groups * 8
+		_ = y[(t-1)*ld+len(x)-1]
+		_ = out[t-1]
+		dotsRowAVX2(&x[0], &y[0], uintptr(ld), dq, uintptr(groups), &out[0])
+		if tail := x[len(x)&^3:]; len(tail) > 0 {
+			for u := 0; u < t; u++ {
+				row := y[u*ld+len(x)-len(tail):]
+				s := out[u]
+				for k, v := range tail {
+					s += v * row[k]
+				}
+				out[u] = s
+			}
+		}
+	}
+	for ; t < count; t++ {
+		row := y[t*ld : t*ld+len(x)]
+		var s float64
+		for k, v := range x {
+			s += v * row[k]
+		}
+		out[t] = s
+	}
+}
+
+// expNegGo is the scalar fallback for expNegAVX2.
+func expNegGo(p []float64) {
+	for i, v := range p {
+		p[i] = math.Exp(v)
+	}
+}
+
+// expNegInPlace replaces each p[i] with exp(p[i]). Arguments must be
+// non-positive (RBF exponents); values below -708 flush to +0. The
+// production exp path is the one fused into RBFRow; this standalone
+// wrapper exists to pin the vectorized exponential against math.Exp
+// directly in tests (including the underflow flush).
+func expNegInPlace(p []float64) {
+	if !useAsm {
+		expNegGo(p)
+		return
+	}
+	m := len(p) &^ 3
+	if m > 0 {
+		expNegAVX2(&p[0], uintptr(m))
+	}
+	if m < len(p) {
+		expNegGo(p[m:])
+	}
+}
+
+// rbfRowGo is the scalar fallback for rbfRowAVX2.
+func rbfRowGo(p, norms []float64, selfNorm, gamma float64) {
+	for j, dot := range p {
+		d2 := selfNorm + norms[j] - 2*dot
+		if d2 < 0 {
+			d2 = 0
+		}
+		p[j] = math.Exp(-gamma * d2)
+	}
+}
+
+// RBFRow maps a row of dot products to Gaussian kernel values in
+// place: p[j] = exp(-gamma * max(0, selfNorm + norms[j] - 2 p[j])),
+// the squared-norm form of exp(-gamma ||a-b||^2). norms must have at
+// least len(p) entries and gamma must be positive.
+func RBFRow(p, norms []float64, selfNorm, gamma float64) {
+	if !useAsm {
+		rbfRowGo(p, norms, selfNorm, gamma)
+		return
+	}
+	m := len(p) &^ 3
+	if m > 0 {
+		_ = norms[m-1]
+		rbfRowAVX2(&p[0], &norms[0], selfNorm, gamma, uintptr(m))
+	}
+	if m < len(p) {
+		rbfRowGo(p[m:], norms[m:], selfNorm, gamma)
+	}
+}
+
+// addScaledGo is the scalar fallback for axpyAVX2.
+func addScaledGo(dst []float64, alpha float64, src []float64) {
+	for i := range dst {
+		dst[i] += alpha * src[i]
+	}
+}
+
+// AddScaled computes dst += alpha*src in place.
+func AddScaled(dst []float64, alpha float64, src []float64) {
+	if !useAsm || len(dst) < 4 {
+		addScaledGo(dst, alpha, src)
+		return
+	}
+	m := len(dst) &^ 3
+	_ = src[m-1]
+	axpyAVX2(&dst[0], &src[0], alpha, uintptr(m/4))
+	if m < len(dst) {
+		addScaledGo(dst[m:], alpha, src[m:])
+	}
+}

@@ -1,0 +1,22 @@
+//go:build !amd64 || purego
+
+package mat
+
+// Non-amd64 (or purego) build: the exported primitives always take
+// the pure-Go paths in kernels_go.go. The stubs below are never
+// reached; they exist so the dispatch code compiles everywhere.
+
+const useAsm = false
+
+func dotsRowAVX2(x, y *float64, ld, dq, groups uintptr, out *float64) { panic("mat: no asm") }
+
+func transposeBlockAVX2(src, dst *float64, stride, ni, nj uintptr) { panic("mat: no asm") }
+
+func expNegAVX2(p *float64, n uintptr) { panic("mat: no asm") }
+
+func rbfRowAVX2(p, norms *float64, selfNorm, gamma float64, n uintptr) { panic("mat: no asm") }
+
+func axpyAVX2(dst, src *float64, alpha float64, nq uintptr) { panic("mat: no asm") }
+
+// swapUseAsm is a no-op without assembly kernels (test hook).
+func swapUseAsm(bool) (prev bool) { return false }

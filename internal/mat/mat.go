@@ -1,11 +1,21 @@
 // Package mat implements the dense linear algebra needed by the F2PM
-// learners: column-major-free simple dense matrices, Cholesky
-// factorization for symmetric positive-definite systems (LS-SVM, ridge
-// fallback), and Householder QR for least-squares (linear regression).
+// learners: flat row-major dense matrices, Cholesky factorization for
+// symmetric positive-definite systems (LS-SVM, ridge fallback), and
+// Householder QR for least-squares (linear regression).
 //
-// The package is deliberately small: it implements exactly the operations
-// the learners need, with clear failure modes (ErrSingular,
-// ErrNotPositiveDefinite) instead of NaN propagation.
+// The hot paths run on a flat, cache-blocked, parallel engine
+// (engine.go): SymRankK builds X·Xᵀ Gram matrices, Mul streams
+// k-panels through AddScaled, and NewCholesky is a blocked
+// right-looking factorization whose cubic trailing update reuses the
+// batched dot kernel. Inner loops dispatch to AVX2/FMA assembly
+// (kernels_amd64.s) when the CPU supports it, with pure-Go fallbacks
+// (kernels_go.go) everywhere else; all parallelism goes through
+// Parfor, which only ever splits disjoint row ranges, so results are
+// bitwise deterministic regardless of GOMAXPROCS.
+//
+// The package implements exactly the operations the learners need,
+// with clear failure modes (ErrSingular, ErrNotPositiveDefinite)
+// instead of NaN propagation.
 package mat
 
 import (
@@ -97,29 +107,6 @@ func (m *Dense) T() *Dense {
 	return out
 }
 
-// Mul returns the matrix product a·b.
-func Mul(a, b *Dense) (*Dense, error) {
-	if a.cols != b.rows {
-		return nil, fmt.Errorf("%w: %dx%d times %dx%d", ErrShape, a.rows, a.cols, b.rows, b.cols)
-	}
-	out := NewDense(a.rows, b.cols)
-	// ikj loop order for cache-friendly access of b.
-	for i := 0; i < a.rows; i++ {
-		arow := a.data[i*a.cols : (i+1)*a.cols]
-		orow := out.data[i*out.cols : (i+1)*out.cols]
-		for k, av := range arow {
-			if av == 0 {
-				continue
-			}
-			brow := b.data[k*b.cols : (k+1)*b.cols]
-			for j, bv := range brow {
-				orow[j] += av * bv
-			}
-		}
-	}
-	return out, nil
-}
-
 // MulVec returns the matrix-vector product m·x.
 func (m *Dense) MulVec(x []float64) ([]float64, error) {
 	if m.cols != len(x) {
@@ -149,47 +136,11 @@ func Dot(a, b []float64) float64 {
 // Norm2 returns the Euclidean norm of v.
 func Norm2(v []float64) float64 { return math.Sqrt(Dot(v, v)) }
 
-// AddScaled computes dst += alpha*src in place.
-func AddScaled(dst []float64, alpha float64, src []float64) {
-	for i := range dst {
-		dst[i] += alpha * src[i]
-	}
-}
-
 // Cholesky holds the lower-triangular factor L with A = L·Lᵀ.
+// NewCholesky (engine.go) builds it with a blocked parallel
+// factorization.
 type Cholesky struct {
 	l *Dense
-}
-
-// NewCholesky factorizes the symmetric positive-definite matrix a. Only
-// the lower triangle of a is read. It returns ErrNotPositiveDefinite when
-// a pivot is non-positive (within a tolerance scaled by the diagonal).
-func NewCholesky(a *Dense) (*Cholesky, error) {
-	if a.rows != a.cols {
-		return nil, ErrNonSquare
-	}
-	n := a.rows
-	l := NewDense(n, n)
-	for j := 0; j < n; j++ {
-		d := a.At(j, j)
-		for k := 0; k < j; k++ {
-			ljk := l.At(j, k)
-			d -= ljk * ljk
-		}
-		if d <= 0 || math.IsNaN(d) {
-			return nil, ErrNotPositiveDefinite
-		}
-		ljj := math.Sqrt(d)
-		l.Set(j, j, ljj)
-		for i := j + 1; i < n; i++ {
-			s := a.At(i, j)
-			for k := 0; k < j; k++ {
-				s -= l.At(i, k) * l.At(j, k)
-			}
-			l.Set(i, j, s/ljj)
-		}
-	}
-	return &Cholesky{l: l}, nil
 }
 
 // Solve solves A·x = b given the factorization.
@@ -374,24 +325,9 @@ func RidgeNormal(a *Dense, b []float64, lambda float64) ([]float64, error) {
 		return nil, ErrShape
 	}
 	n := a.cols
-	ata := NewDense(n, n)
-	for i := 0; i < a.rows; i++ {
-		row := a.Row(i)
-		for p := 0; p < n; p++ {
-			if row[p] == 0 {
-				continue
-			}
-			for q := p; q < n; q++ {
-				ata.data[p*n+q] += row[p] * row[q]
-			}
-		}
-	}
-	// Mirror upper to lower.
-	for p := 0; p < n; p++ {
-		for q := p + 1; q < n; q++ {
-			ata.data[q*n+p] = ata.data[p*n+q]
-		}
-	}
+	// AᵀA is the row Gram matrix of Aᵀ; one transpose buys the fast
+	// SymRankK path for the (a.rows × n²) accumulation.
+	ata := SymRankK(a.T())
 	var trace float64
 	for i := 0; i < n; i++ {
 		trace += ata.data[i*n+i]
@@ -409,11 +345,4 @@ func RidgeNormal(a *Dense, b []float64, lambda float64) ([]float64, error) {
 		}
 	}
 	return SolveSPD(ata, atb)
-}
-
-func max(a, b int) int {
-	if a > b {
-		return a
-	}
-	return b
 }

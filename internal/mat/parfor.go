@@ -1,0 +1,72 @@
+package mat
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// parforMinChunk is the smallest row range worth handing to a worker;
+// below it the goroutine hand-off costs more than the work.
+const parforMinChunk = 8
+
+// parforActive guards against nested or concurrent parallel regions:
+// when the training pipeline already runs one model fit per CPU, the
+// per-fit Gram/Cholesky loops would otherwise spawn another GOMAXPROCS
+// goroutines each, oversubscribing CPU-bound work ~P×. The first
+// region to claim the token parallelizes; any region starting while it
+// runs executes inline (same results — ranges are disjoint either
+// way).
+var parforActive atomic.Bool
+
+// Parfor runs fn over disjoint sub-ranges covering [0, n), using up to
+// GOMAXPROCS goroutines. Chunks are claimed from an atomic counter so
+// uneven per-row costs (e.g. triangular loops) still balance. fn must
+// only write state disjoint across ranges; results are then independent
+// of scheduling, keeping callers bitwise deterministic. With one
+// available CPU, a small n, or another Parfor region already running,
+// fn runs inline on the caller's goroutine.
+func Parfor(n int, fn func(lo, hi int)) {
+	if n <= 0 {
+		return
+	}
+	workers := runtime.GOMAXPROCS(0)
+	if workers > n/parforMinChunk {
+		workers = n / parforMinChunk
+	}
+	if workers <= 1 {
+		fn(0, n)
+		return
+	}
+	if !parforActive.CompareAndSwap(false, true) {
+		fn(0, n)
+		return
+	}
+	defer parforActive.Store(false)
+	// ~4 chunks per worker keeps the tail short without excessive
+	// cross-goroutine traffic.
+	chunk := n / (workers * 4)
+	if chunk < parforMinChunk {
+		chunk = parforMinChunk
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				lo := int(next.Add(int64(chunk))) - chunk
+				if lo >= n {
+					return
+				}
+				hi := lo + chunk
+				if hi > n {
+					hi = n
+				}
+				fn(lo, hi)
+			}
+		}()
+	}
+	wg.Wait()
+}

@@ -1,0 +1,41 @@
+package kernel
+
+import (
+	"testing"
+
+	"repro/internal/randx"
+)
+
+// benchX generates an n×d feature matrix resembling standardized F2PM
+// features.
+func benchX(n, d int) [][]float64 {
+	src := randx.New(42)
+	X := make([][]float64, n)
+	for i := range X {
+		row := make([]float64, d)
+		for j := range row {
+			row[j] = src.Norm(0, 1)
+		}
+		X[i] = row
+	}
+	return X
+}
+
+func benchmarkMatrix(b *testing.B, k Kernel, n, d int) {
+	X := benchX(n, d)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g := Matrix(k, X)
+		if g.Rows() != n {
+			b.Fatal("bad Gram")
+		}
+	}
+}
+
+func BenchmarkMatrixRBF1000(b *testing.B)    { benchmarkMatrix(b, RBF{Gamma: 1.0 / 24}, 1000, 24) }
+func BenchmarkMatrixLinear1000(b *testing.B) { benchmarkMatrix(b, Linear{}, 1000, 24) }
+func BenchmarkMatrixPoly1000(b *testing.B) {
+	benchmarkMatrix(b, Poly{Degree: 2, Scale: 1, Coef0: 1}, 1000, 24)
+}
+func BenchmarkMatrixRBF300(b *testing.B) { benchmarkMatrix(b, RBF{Gamma: 1.0 / 24}, 300, 24) }

@@ -1,0 +1,175 @@
+package kernel
+
+import (
+	"math"
+
+	"repro/internal/mat"
+)
+
+// Rows is a flat, stride-padded copy of feature rows with cached
+// squared norms. It is the batched evaluation layout: Gram
+// construction and batched prediction (EvalInto) run straight over the
+// flat buffer instead of per-pair interface calls, so the built-in
+// kernels hit mat's blocked dot/exp engine.
+type Rows struct {
+	n, d, stride int
+	data         []float64 // n*stride, rows padded with zeros
+	norms        []float64 // ||x_i||²
+}
+
+// NewRows copies X (rows of equal length) into the flat layout.
+func NewRows(X [][]float64) *Rows {
+	n := len(X)
+	r := &Rows{n: n}
+	if n == 0 {
+		return r
+	}
+	r.d = len(X[0])
+	// Pad the stride to a multiple of 4 so the vectorized dot kernel
+	// never needs a scalar tail: the zero padding adds nothing.
+	r.stride = (r.d + 3) &^ 3
+	r.data = make([]float64, n*r.stride)
+	r.norms = make([]float64, n)
+	for i, row := range X {
+		copy(r.data[i*r.stride:], row)
+	}
+	mat.Parfor(n, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			row := r.padded(i)
+			var s float64
+			for _, v := range row {
+				s += v * v
+			}
+			r.norms[i] = s
+		}
+	})
+	return r
+}
+
+// Len returns the number of rows.
+func (r *Rows) Len() int { return r.n }
+
+// Dim returns the feature dimension.
+func (r *Rows) Dim() int { return r.d }
+
+// Row returns a view of row i (without padding).
+func (r *Rows) Row(i int) []float64 { return r.data[i*r.stride : i*r.stride+r.d] }
+
+// padded returns row i including its zero padding, the shape the
+// batched dot kernel wants.
+func (r *Rows) padded(i int) []float64 { return r.data[i*r.stride : (i+1)*r.stride] }
+
+// Matrix computes the Gram matrix K[i][j] = k(X[i], X[j]) exploiting
+// symmetry: the lower triangle is built row-parallel and mirrored. The
+// built-in kernels take a flat fast path — one X·Xᵀ pass plus, for
+// RBF, the squared-norm identity ‖a−b‖² = ‖a‖² + ‖b‖² − 2a·b fused
+// with the exponential — while custom kernels fall back to per-pair
+// Eval.
+func Matrix(k Kernel, X [][]float64) *mat.Dense {
+	return MatrixRows(k, NewRows(X))
+}
+
+// MatrixRows is Matrix for callers that already hold the flat layout.
+func MatrixRows(k Kernel, r *Rows) *mat.Dense {
+	n := r.n
+	out := mat.NewDense(n, n)
+	switch kk := k.(type) {
+	case Linear:
+		gramDots(r, out, nil)
+	case RBF:
+		if kk.Gamma > 0 {
+			gramDots(r, out, func(row []float64, i int) {
+				mat.RBFRow(row, r.norms, r.norms[i], kk.Gamma)
+			})
+			break
+		}
+		gramGeneric(k, r, out)
+	case Poly:
+		gramDots(r, out, func(row []float64, _ int) {
+			powRow(row, kk.Scale, kk.Coef0, kk.Degree)
+		})
+	default:
+		gramGeneric(k, r, out)
+	}
+	mat.MirrorLower(out)
+	return out
+}
+
+// gramDots fills the lower triangle of out with pairwise dot products,
+// applying transform (if any) to each row while it is still cache-hot.
+func gramDots(r *Rows, out *mat.Dense, transform func(row []float64, i int)) {
+	n := r.n
+	mat.Parfor(n, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			row := out.Row(i)[:i+1]
+			mat.DotBatch(r.padded(i), r.data, r.stride, i+1, row)
+			if transform != nil {
+				transform(row, i)
+			}
+		}
+	})
+}
+
+// gramGeneric fills the lower triangle with per-pair Eval calls (the
+// pre-engine path, kept for custom kernels).
+func gramGeneric(k Kernel, r *Rows, out *mat.Dense) {
+	mat.Parfor(r.n, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			row := out.Row(i)
+			for j := 0; j <= i; j++ {
+				row[j] = k.Eval(r.Row(i), r.Row(j))
+			}
+		}
+	})
+}
+
+// powRow applies v -> (scale*v + coef0)^degree in place, using
+// repeated multiplication for small integer degrees (math.Pow costs
+// more than the dot product it follows).
+func powRow(vals []float64, scale, coef0, degree float64) {
+	if n := int(degree); degree == float64(n) && n >= 0 && n <= 8 {
+		for j, v := range vals {
+			base := scale*v + coef0
+			p := 1.0
+			for e := 0; e < n; e++ {
+				p *= base
+			}
+			vals[j] = p
+		}
+		return
+	}
+	for j, v := range vals {
+		vals[j] = math.Pow(scale*v+coef0, degree)
+	}
+}
+
+// EvalInto computes out[i] = k(r.X[i], x) for every stored row without
+// allocating: the batched prediction path behind svm.Predict,
+// lssvm.Predict and ml.PredictAll. Built-in kernels go through the
+// flat engine; custom kernels fall back to per-row Eval.
+func EvalInto(k Kernel, r *Rows, x, out []float64) {
+	switch kk := k.(type) {
+	case Linear:
+		mat.DotBatch(x, r.data, r.stride, r.n, out)
+	case RBF:
+		if kk.Gamma > 0 {
+			mat.DotBatch(x, r.data, r.stride, r.n, out)
+			var xn float64
+			for _, v := range x {
+				xn += v * v
+			}
+			mat.RBFRow(out, r.norms, xn, kk.Gamma)
+			return
+		}
+		for i := 0; i < r.n; i++ {
+			out[i] = k.Eval(r.Row(i), x)
+		}
+	case Poly:
+		mat.DotBatch(x, r.data, r.stride, r.n, out)
+		powRow(out[:r.n], kk.Scale, kk.Coef0, kk.Degree)
+	default:
+		for i := 0; i < r.n; i++ {
+			out[i] = k.Eval(r.Row(i), x)
+		}
+	}
+}

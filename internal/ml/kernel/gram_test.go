@@ -1,0 +1,142 @@
+package kernel
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/randx"
+)
+
+// naiveMatrix is the per-pair reference the flat fast paths are pinned
+// against.
+func naiveMatrix(k Kernel, X [][]float64) [][]float64 {
+	n := len(X)
+	out := make([][]float64, n)
+	for i := range out {
+		out[i] = make([]float64, n)
+	}
+	for i := 0; i < n; i++ {
+		for j := i; j < n; j++ {
+			v := k.Eval(X[i], X[j])
+			out[i][j] = v
+			out[j][i] = v
+		}
+	}
+	return out
+}
+
+func randX(seed uint64, n, d int) [][]float64 {
+	src := randx.New(seed)
+	X := make([][]float64, n)
+	for i := range X {
+		row := make([]float64, d)
+		for j := range row {
+			row[j] = src.Norm(0, 1)
+		}
+		X[i] = row
+	}
+	return X
+}
+
+// closeRel checks |got-want| <= tol*max(1, |want|): absolute for the
+// O(1) RBF values, relative for large polynomial values.
+func closeRel(got, want, tol float64) bool {
+	if math.IsNaN(got) && math.IsNaN(want) {
+		return true // e.g. fractional Poly degree on a negative base
+	}
+	scale := math.Abs(want)
+	if scale < 1 {
+		scale = 1
+	}
+	return math.Abs(got-want) <= tol*scale
+}
+
+func testKernels() []Kernel {
+	return []Kernel{
+		Linear{},
+		RBF{Gamma: 1.0 / 7},
+		RBF{Gamma: 2.5},
+		Poly{Degree: 2, Scale: 1, Coef0: 1},
+		Poly{Degree: 3, Scale: 0.5, Coef0: 2},
+		Poly{Degree: 1.5, Scale: 1, Coef0: 3}, // non-integer: math.Pow path
+		customKernel{},                        // generic fallback
+	}
+}
+
+func TestMatrixMatchesNaive(t *testing.T) {
+	for _, k := range testKernels() {
+		for _, dims := range [][2]int{{1, 1}, {2, 3}, {9, 7}, {40, 24}, {65, 13}} {
+			X := randX(uint64(dims[0]*100+dims[1]), dims[0], dims[1])
+			got := Matrix(k, X)
+			want := naiveMatrix(k, X)
+			for i := 0; i < len(X); i++ {
+				for j := 0; j < len(X); j++ {
+					if !closeRel(got.At(i, j), want[i][j], 1e-12) {
+						t.Fatalf("%s dims %v (%d,%d): got %g want %g",
+							k.Name(), dims, i, j, got.At(i, j), want[i][j])
+					}
+				}
+			}
+			// Exact (bitwise) symmetry — the upper triangle is a
+			// mirror, so even NaNs must match.
+			for i := 0; i < got.Rows(); i++ {
+				for j := 0; j < i; j++ {
+					if math.Float64bits(got.At(i, j)) != math.Float64bits(got.At(j, i)) {
+						t.Fatalf("%s: Gram not symmetric at (%d,%d)", k.Name(), i, j)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestMatrixRBFDiagonal(t *testing.T) {
+	X := randX(5, 30, 12)
+	g := Matrix(RBF{Gamma: 0.3}, X)
+	for i := 0; i < g.Rows(); i++ {
+		if math.Abs(g.At(i, i)-1) > 1e-12 {
+			t.Fatalf("diag[%d] = %v, want 1", i, g.At(i, i))
+		}
+	}
+}
+
+func TestEvalIntoMatchesEval(t *testing.T) {
+	for _, k := range testKernels() {
+		X := randX(9, 37, 11)
+		rows := NewRows(X)
+		queries := randX(10, 5, 11)
+		out := make([]float64, len(X))
+		for _, q := range queries {
+			EvalInto(k, rows, q, out)
+			for i := range X {
+				want := k.Eval(X[i], q)
+				if !closeRel(out[i], want, 1e-12) {
+					t.Fatalf("%s row %d: got %g want %g", k.Name(), i, out[i], want)
+				}
+			}
+		}
+	}
+}
+
+func TestRowsLayout(t *testing.T) {
+	X := [][]float64{{1, 2, 3}, {4, 5, 6}}
+	r := NewRows(X)
+	if r.Len() != 2 || r.Dim() != 3 {
+		t.Fatalf("Len/Dim = %d/%d", r.Len(), r.Dim())
+	}
+	for i, row := range X {
+		for j, v := range row {
+			if r.Row(i)[j] != v {
+				t.Fatalf("Row(%d)[%d] = %v, want %v", i, j, r.Row(i)[j], v)
+			}
+		}
+	}
+	// Norms match direct computation.
+	if math.Abs(r.norms[0]-14) > 1e-12 || math.Abs(r.norms[1]-77) > 1e-12 {
+		t.Fatalf("norms = %v", r.norms)
+	}
+	// Empty input.
+	if NewRows(nil).Len() != 0 {
+		t.Fatal("empty Rows has rows")
+	}
+}

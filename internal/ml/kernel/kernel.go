@@ -2,6 +2,14 @@
 // learners (paper §III-D): the linear kernel, the Gaussian RBF kernel
 // ("the non-linear map to a high, possibly infinite dimensional space"),
 // and a polynomial kernel, plus Gram-matrix construction.
+//
+// Gram matrices and batched prediction run on a flat engine (gram.go):
+// rows are copied once into a stride-padded buffer (Rows), pairwise
+// dot products come from one parallel X·Xᵀ pass through mat.DotBatch,
+// and the RBF map uses the squared-norm identity
+// ‖a−b‖² = ‖a‖² + ‖b‖² − 2a·b fused with a vectorized exponential
+// (mat.RBFRow). Per-pair Eval remains the contract for custom kernels
+// and the reference the fast paths are pinned against in tests.
 package kernel
 
 import (
@@ -91,21 +99,6 @@ func AutoGamma(X [][]float64) float64 {
 	return 1 / (float64(d) * meanVar)
 }
 
-// Matrix computes the Gram matrix K[i][j] = k(X[i], X[j]) exploiting
-// symmetry.
-func Matrix(k Kernel, X [][]float64) *mat.Dense {
-	n := len(X)
-	out := mat.NewDense(n, n)
-	for i := 0; i < n; i++ {
-		for j := i; j < n; j++ {
-			v := k.Eval(X[i], X[j])
-			out.Set(i, j, v)
-			out.Set(j, i, v)
-		}
-	}
-	return out
-}
-
 // Standardizer z-scores features using training statistics; both SVM
 // learners need it because the raw F2PM features span 10⁰..10⁶ scales,
 // which would make RBF distances meaningless (WEKA's SMOreg normalizes
@@ -149,10 +142,16 @@ func FitStandardizer(X [][]float64) *Standardizer {
 // Apply transforms one row into z-scores (new slice).
 func (s *Standardizer) Apply(x []float64) []float64 {
 	out := make([]float64, len(x))
-	for j := range x {
-		out[j] = (x[j] - s.Mean[j]) / s.Std[j]
-	}
+	s.ApplyInto(x, out)
 	return out
+}
+
+// ApplyInto transforms one row into z-scores, writing into dst so
+// batched prediction loops can reuse one buffer.
+func (s *Standardizer) ApplyInto(x, dst []float64) {
+	for j := range x {
+		dst[j] = (x[j] - s.Mean[j]) / s.Std[j]
+	}
 }
 
 // ApplyAll transforms every row.

@@ -12,6 +12,12 @@
 // purpose: the paper's λ grid (10⁰..10⁹) and Table I's weight magnitudes
 // (~10⁻⁴) only make sense on raw scales, where memory features are ~10⁶ KB
 // and CPU features ~10².
+//
+// The solver uses the covariance ("Gram") formulation: XᵀX, Xᵀy and
+// the column sums are computed once on mat's flat engine, after which
+// every coordinate update costs O(d) instead of O(n) — the same trick
+// glmnet uses, and the reason the long warm-started regularization
+// paths in package featsel stay cheap.
 package lasso
 
 import (
@@ -19,6 +25,7 @@ import (
 	"fmt"
 	"math"
 
+	"repro/internal/mat"
 	"repro/internal/ml"
 )
 
@@ -112,32 +119,50 @@ func (m *Model) Fit(X [][]float64, y []float64) error {
 		intercept = 0
 	}
 
-	// Column-major copy for cache-friendly coordinate sweeps, plus
-	// per-column squared norms a_k = (2/n)·Σ x_ik².
-	cols := make([][]float64, dim)
+	// Covariance (Gram) formulation, the glmnet trick: precompute
+	// G = XᵀX (d×d, via the flat SymRankK engine), q = Xᵀy and the
+	// column sums s once, then each coordinate update costs O(d)
+	// instead of O(n). The residual correlation needed by the update is
+	//
+	//	Σ_i x_ik r_i = q_k − b·s_k − (Gβ)_k
+	//
+	// with u = Gβ and v = sᵀβ maintained incrementally as β changes.
+	xt := mat.NewDense(dim, n)
+	for i, row := range X {
+		for k, v := range row {
+			xt.Row(k)[i] = v
+		}
+	}
+	g := mat.SymRankK(xt)
+	q, err := xt.MulVec(y)
+	if err != nil {
+		return err
+	}
+	colSum := make([]float64, dim)
 	colSq := make([]float64, dim)
 	for k := 0; k < dim; k++ {
-		c := make([]float64, n)
-		var sq float64
-		for i := 0; i < n; i++ {
-			v := X[i][k]
-			c[i] = v
-			sq += v * v
+		row := xt.Row(k)
+		var sum float64
+		for _, v := range row {
+			sum += v
 		}
-		cols[k] = c
-		colSq[k] = 2 * sq / fn
+		colSum[k] = sum
+		colSq[k] = 2 * g.At(k, k) / fn
 	}
+	var ybar float64
+	for _, v := range y {
+		ybar += v
+	}
+	ybar /= fn
 
-	// Residual r_i = y_i - intercept - Σ_k β_k x_ik under current β.
-	resid := make([]float64, n)
-	for i := 0; i < n; i++ {
-		s := y[i] - intercept
-		for k := 0; k < dim; k++ {
-			if beta[k] != 0 {
-				s -= beta[k] * cols[k][i]
-			}
+	// Warm-start state: u = G·β, v = sᵀβ.
+	u := make([]float64, dim)
+	var v float64
+	for k, b := range beta {
+		if b != 0 {
+			mat.AddScaled(u, b, g.Row(k))
+			v += b * colSum[k]
 		}
-		resid[i] = s
 	}
 
 	lam := m.opts.Lambda
@@ -151,17 +176,12 @@ func (m *Model) Fit(X [][]float64, y []float64) error {
 				continue
 			}
 			// c_k = (2/n)·Σ x_ik (r_i + x_ik β_k)
-			col := cols[k]
-			var dot float64
-			for i := 0; i < n; i++ {
-				dot += col[i] * resid[i]
-			}
+			dot := q[k] - intercept*colSum[k] - u[k]
 			ck := 2*dot/fn + colSq[k]*beta[k]
 			newBeta := softThreshold(ck, lam) / colSq[k]
 			if d := newBeta - beta[k]; d != 0 {
-				for i := 0; i < n; i++ {
-					resid[i] -= d * col[i]
-				}
+				mat.AddScaled(u, d, g.Row(k))
+				v += d * colSum[k]
 				if ad := math.Abs(d); ad > maxDelta {
 					maxDelta = ad
 				}
@@ -172,17 +192,11 @@ func (m *Model) Fit(X [][]float64, y []float64) error {
 			beta[k] = newBeta
 		}
 		if m.opts.FitIntercept {
-			// The optimal unpenalized intercept shift is the residual mean.
-			var mean float64
-			for _, r := range resid {
-				mean += r
-			}
-			mean /= fn
+			// The optimal unpenalized intercept shift is the residual
+			// mean ȳ − b − (sᵀβ)/n.
+			mean := ybar - intercept - v/fn
 			if mean != 0 {
 				intercept += mean
-				for i := range resid {
-					resid[i] -= mean
-				}
 			}
 		}
 		if maxDelta <= m.opts.Tol*(scale+1e-12) {

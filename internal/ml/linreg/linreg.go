@@ -33,13 +33,13 @@ func (m *Model) Fit(X [][]float64, y []float64) error {
 	if err != nil {
 		return err
 	}
-	// Design matrix with a leading 1-column for the intercept.
+	// Design matrix with a leading 1-column for the intercept, filled
+	// row-wise on the flat layout.
 	a := mat.NewDense(len(X), dim+1)
 	for i, row := range X {
-		a.Set(i, 0, 1)
-		for j, v := range row {
-			a.Set(i, j+1, v)
-		}
+		arow := a.Row(i)
+		arow[0] = 1
+		copy(arow[1:], row)
 	}
 	sol, err := mat.LeastSquares(a, y)
 	if err != nil {

@@ -48,9 +48,13 @@ type Model struct {
 	kern kernel.Kernel
 	std  *kernel.Standardizer
 
-	trainX [][]float64
-	alpha  []float64
-	bias   float64
+	// trainRows is the flat layout shared by training (Gram), the
+	// batched prediction path, and serialization — the only retained
+	// copy of the standardized training set (every point is a support
+	// vector, so this dominates model memory).
+	trainRows *kernel.Rows
+	alpha     []float64
+	bias      float64
 
 	yMean, yStd float64
 	dim         int
@@ -95,7 +99,8 @@ func (m *Model) Fit(X [][]float64, y []float64) error {
 	}
 	m.kern = kern
 
-	a := kernel.Matrix(kern, Xs)
+	rows := kernel.NewRows(Xs)
+	a := kernel.MatrixRows(kern, rows)
 	ridge := 1 / m.opts.Gamma
 	for i := 0; i < n; i++ {
 		a.Set(i, i, a.At(i, i)+ridge)
@@ -136,7 +141,7 @@ func (m *Model) Fit(X [][]float64, y []float64) error {
 		alpha[i] = nu[i] - b*eta[i]
 	}
 
-	m.trainX = Xs
+	m.trainRows = rows
 	m.alpha = alpha
 	m.bias = b
 	m.dim = dim
@@ -150,15 +155,46 @@ func (m *Model) Predict(x []float64) float64 {
 	if !m.fitted || len(x) != m.dim {
 		return math.NaN()
 	}
-	xs := m.std.Apply(x)
+	scratch := make([]float64, m.dim+len(m.alpha))
+	return m.predictInto(x, scratch[:m.dim], scratch[m.dim:])
+}
+
+// PredictBatch implements ml.BatchPredictor, reusing one scratch
+// buffer across rows and evaluating every training point through the
+// batched kernel path.
+func (m *Model) PredictBatch(X [][]float64, out []float64) {
+	if !m.fitted {
+		for i := range X {
+			out[i] = math.NaN()
+		}
+		return
+	}
+	scratch := make([]float64, m.dim+len(m.alpha))
+	xbuf, kbuf := scratch[:m.dim], scratch[m.dim:]
+	for i, x := range X {
+		if len(x) != m.dim {
+			out[i] = math.NaN()
+			continue
+		}
+		out[i] = m.predictInto(x, xbuf, kbuf)
+	}
+}
+
+// predictInto evaluates one row using caller-provided scratch.
+func (m *Model) predictInto(x, xbuf, kbuf []float64) float64 {
+	m.std.ApplyInto(x, xbuf)
+	kernel.EvalInto(m.kern, m.trainRows, xbuf, kbuf)
 	s := m.bias
-	for i, tx := range m.trainX {
-		s += m.alpha[i] * m.kern.Eval(tx, xs)
+	for i, a := range m.alpha {
+		s += a * kbuf[i]
 	}
 	return s*m.yStd + m.yMean
 }
 
-var _ ml.Regressor = (*Model)(nil)
+var (
+	_ ml.Regressor      = (*Model)(nil)
+	_ ml.BatchPredictor = (*Model)(nil)
+)
 
 // lssvmJSON is the serialized model state.
 type lssvmJSON struct {
@@ -187,10 +223,14 @@ func (m *Model) MarshalJSON() ([]byte, error) {
 	}
 	opts := m.opts
 	opts.Kernel = nil
+	trainX := make([][]float64, m.trainRows.Len())
+	for i := range trainX {
+		trainX[i] = m.trainRows.Row(i)
+	}
 	return json.Marshal(lssvmJSON{
 		Options: opts, Kernel: kj,
 		Mean: m.std.Mean, Std: m.std.Std,
-		TrainX: m.trainX, Alpha: m.alpha, Bias: m.bias,
+		TrainX: trainX, Alpha: m.alpha, Bias: m.bias,
 		YMean: m.yMean, YStd: m.yStd, Dim: m.dim,
 	})
 }
@@ -220,7 +260,7 @@ func (m *Model) UnmarshalJSON(data []byte) error {
 	m.opts = s.Options
 	m.kern = kern
 	m.std = &kernel.Standardizer{Mean: s.Mean, Std: s.Std}
-	m.trainX = s.TrainX
+	m.trainRows = kernel.NewRows(s.TrainX)
 	m.alpha = s.Alpha
 	m.bias = s.Bias
 	m.yMean = s.YMean

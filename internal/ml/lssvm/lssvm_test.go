@@ -230,3 +230,64 @@ func TestJSONErrors(t *testing.T) {
 		t.Fatal("standardizer dimension mismatch accepted")
 	}
 }
+
+func TestPredictBatchMatchesPredict(t *testing.T) {
+	for _, k := range []kernel.Kernel{nil, kernel.Linear{}} {
+		opts := DefaultOptions()
+		opts.Kernel = k
+		m, err := New(opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		src := randx.New(93)
+		X, y := sineData(src, 50, 1)
+		if err := m.Fit(X, y); err != nil {
+			t.Fatal(err)
+		}
+		queries, _ := sineData(src, 20, 1)
+		queries = append(queries, []float64{1, 2}) // wrong dim -> NaN
+		out := make([]float64, len(queries))
+		m.PredictBatch(queries, out)
+		for i, q := range queries {
+			want := m.Predict(q)
+			if math.IsNaN(want) != math.IsNaN(out[i]) || (!math.IsNaN(want) && math.Abs(out[i]-want) > 1e-9) {
+				t.Fatalf("row %d: batch %v, single %v", i, out[i], want)
+			}
+		}
+	}
+	m, _ := New(DefaultOptions())
+	out := make([]float64, 1)
+	m.PredictBatch([][]float64{{1}}, out)
+	if !math.IsNaN(out[0]) {
+		t.Fatal("unfitted PredictBatch returned a number")
+	}
+}
+
+// TestBatchAfterJSONRoundTrip ensures the flat prediction layout is
+// rebuilt on deserialization.
+func TestBatchAfterJSONRoundTrip(t *testing.T) {
+	src := randx.New(94)
+	X, y := sineData(src, 30, 1)
+	m, err := New(DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Fit(X, y); err != nil {
+		t.Fatal(err)
+	}
+	data, err := m.MarshalJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Model
+	if err := back.UnmarshalJSON(data); err != nil {
+		t.Fatal(err)
+	}
+	out := make([]float64, len(X))
+	back.PredictBatch(X, out)
+	for i := range X {
+		if math.Abs(out[i]-m.Predict(X[i])) > 1e-9 {
+			t.Fatalf("row %d drifted after round trip", i)
+		}
+	}
+}

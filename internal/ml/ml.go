@@ -59,9 +59,22 @@ func CheckTrainingSet(X [][]float64, y []float64) (dim int, err error) {
 	return dim, nil
 }
 
-// PredictAll applies the model to every row.
+// BatchPredictor is implemented by regressors with an optimized
+// batched prediction path (the kernel machines evaluate all support
+// vectors through flat batched kernels and reuse scratch buffers
+// across rows). Semantics must match calling Predict per row.
+type BatchPredictor interface {
+	PredictBatch(X [][]float64, out []float64)
+}
+
+// PredictAll applies the model to every row, taking the batched path
+// when the model provides one.
 func PredictAll(r Regressor, X [][]float64) []float64 {
 	out := make([]float64, len(X))
+	if bp, ok := r.(BatchPredictor); ok {
+		bp.PredictBatch(X, out)
+		return out
+	}
 	for i, row := range X {
 		out[i] = r.Predict(row)
 	}

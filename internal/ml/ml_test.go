@@ -78,3 +78,27 @@ func TestMeanVariance(t *testing.T) {
 		t.Fatal("Variance(nil) wrong")
 	}
 }
+
+// batchStub records whether the batched path was taken.
+type batchStub struct {
+	stub
+	batched bool
+}
+
+func (b *batchStub) PredictBatch(X [][]float64, out []float64) {
+	b.batched = true
+	for i := range X {
+		out[i] = b.stub.Predict(X[i])
+	}
+}
+
+func TestPredictAllUsesBatchPath(t *testing.T) {
+	b := &batchStub{stub: stub{v: 3}}
+	out := PredictAll(b, [][]float64{{1}, {2}})
+	if !b.batched {
+		t.Fatal("PredictAll ignored the BatchPredictor fast path")
+	}
+	if out[0] != 3 || out[1] != 3 {
+		t.Fatalf("PredictAll = %v", out)
+	}
+}

@@ -10,6 +10,12 @@
 // excluding β_i and S the soft-threshold operator. Inputs and targets are
 // standardized internally (as WEKA's SMOreg does), since the raw F2PM
 // features span six orders of magnitude.
+//
+// The solver works directly on flat Gram rows from the kernel engine
+// (no row copies; the +1 bias folds in place) and shrinks its active
+// set: coordinates that stop moving are skipped until a final full
+// sweep certifies optimality. Prediction batches all support vectors
+// through kernel.EvalInto.
 package svm
 
 import (
@@ -17,6 +23,7 @@ import (
 	"fmt"
 	"math"
 
+	"repro/internal/mat"
 	"repro/internal/ml"
 	"repro/internal/ml/kernel"
 )
@@ -66,9 +73,12 @@ type Model struct {
 	kern kernel.Kernel
 	std  *kernel.Standardizer
 
-	// support set: training rows with non-zero beta.
-	supportX [][]float64
-	beta     []float64
+	// support set: training rows with non-zero beta. supportRows is
+	// the flat layout used by the batched prediction path.
+	supportX    [][]float64
+	beta        []float64
+	supportRows *kernel.Rows
+	betaSum     float64
 
 	yMean, yStd float64
 	dim         int
@@ -118,56 +128,18 @@ func (m *Model) Fit(X [][]float64, y []float64) error {
 	}
 	m.kern = kern
 
-	// Gram matrix with bias fold-in: K' = K + 1.
-	gram := kernel.Matrix(kern, Xs)
-	gn := gram.Rows()
-	kp := make([][]float64, gn)
-	for i := 0; i < gn; i++ {
-		row := make([]float64, gn)
-		copy(row, gram.Row(i))
+	// Gram matrix built on the flat engine, with the bias folded in
+	// place: K' = K + 1. No row copies — the coordinate-descent loop
+	// works directly on the flat Gram rows.
+	gram := kernel.MatrixRows(kern, kernel.NewRows(Xs))
+	for i := 0; i < n; i++ {
+		row := gram.Row(i)
 		for j := range row {
 			row[j]++
 		}
-		kp[i] = row
 	}
 
-	beta := make([]float64, n)
-	f := make([]float64, n) // f_i = Σ_j K'_ij β_j
-	C := m.opts.C
-	eps := m.opts.Epsilon
-
-	var pass int
-	for pass = 0; pass < m.opts.MaxPasses; pass++ {
-		maxDelta := 0.0
-		for i := 0; i < n; i++ {
-			kii := kp[i][i]
-			if kii <= 0 {
-				continue
-			}
-			g := f[i] - kii*beta[i] // prediction excluding i
-			target := ys[i] - g
-			nb := softThreshold(target, eps) / kii
-			if nb > C {
-				nb = C
-			} else if nb < -C {
-				nb = -C
-			}
-			if d := nb - beta[i]; d != 0 {
-				row := kp[i]
-				for j := 0; j < n; j++ {
-					f[j] += d * row[j]
-				}
-				beta[i] = nb
-				if ad := math.Abs(d); ad > maxDelta {
-					maxDelta = ad
-				}
-			}
-		}
-		if maxDelta < m.opts.Tol*C {
-			pass++
-			break
-		}
-	}
+	beta, pass := solveDual(gram, ys, m.opts)
 
 	// Retain only support vectors.
 	m.supportX = m.supportX[:0]
@@ -182,7 +154,90 @@ func (m *Model) Fit(X [][]float64, y []float64) error {
 	m.fitted = true
 	m.Passes = pass
 	m.SupportVectors = len(m.beta)
+	m.initPredict()
 	return nil
+}
+
+// initPredict builds the flat support-vector layout used by the
+// batched prediction path.
+func (m *Model) initPredict() {
+	m.supportRows = kernel.NewRows(m.supportX)
+	m.betaSum = 0
+	for _, b := range m.beta {
+		m.betaSum += b
+	}
+}
+
+// solveDual minimizes W(β) = ½βᵀK'β − ysᵀβ + ε‖β‖₁ s.t. |β_i| ≤ C by
+// cyclic coordinate descent with active-set shrinking: coordinates
+// that stay put for two consecutive sweeps leave the active set, so
+// late sweeps only touch the (few) moving coordinates. Before
+// accepting convergence on a shrunk set, one full sweep over all
+// eligible coordinates verifies global optimality and reactivates
+// everything if any coordinate still moves. gram is the bias-folded
+// kernel matrix K' = K + 1; it returns the dual coefficients and the
+// sweeps used.
+func solveDual(gram *mat.Dense, ys []float64, opts Options) (beta []float64, pass int) {
+	n := len(ys)
+	beta = make([]float64, n)
+	f := make([]float64, n) // f_i = Σ_j K'_ij β_j
+	C := opts.C
+	eps := opts.Epsilon
+	tol := opts.Tol * C
+
+	eligible := make([]int, 0, n) // coordinates with a usable diagonal
+	for i := 0; i < n; i++ {
+		if gram.Row(i)[i] > 0 {
+			eligible = append(eligible, i)
+		}
+	}
+	active := append(make([]int, 0, len(eligible)), eligible...)
+	strikes := make([]uint8, n)
+	const maxStrikes = 2
+
+	for pass = 0; pass < opts.MaxPasses; pass++ {
+		fullSweep := len(active) == len(eligible)
+		maxDelta := 0.0
+		kept := active[:0]
+		for _, i := range active {
+			row := gram.Row(i)
+			kii := row[i]
+			g := f[i] - kii*beta[i] // prediction excluding i
+			target := ys[i] - g
+			nb := softThreshold(target, eps) / kii
+			if nb > C {
+				nb = C
+			} else if nb < -C {
+				nb = -C
+			}
+			if d := nb - beta[i]; d != 0 {
+				mat.AddScaled(f, d, row)
+				beta[i] = nb
+				if ad := math.Abs(d); ad > maxDelta {
+					maxDelta = ad
+				}
+				strikes[i] = 0
+			} else {
+				strikes[i]++
+			}
+			if strikes[i] < maxStrikes {
+				kept = append(kept, i)
+			}
+		}
+		active = kept
+		if maxDelta < tol {
+			if fullSweep {
+				pass++
+				break
+			}
+			// Shrunk convergence: verify with a full sweep.
+			active = append(active[:0], eligible...)
+			for _, i := range eligible {
+				strikes[i] = 0
+			}
+		}
+	}
+	return beta, pass
 }
 
 func softThreshold(z, eps float64) float64 {
@@ -202,15 +257,48 @@ func (m *Model) Predict(x []float64) float64 {
 	if !m.fitted || len(x) != m.dim {
 		return math.NaN()
 	}
-	xs := m.std.Apply(x)
-	var s float64
-	for i, sv := range m.supportX {
-		s += m.beta[i] * (m.kern.Eval(sv, xs) + 1)
+	scratch := make([]float64, m.dim+len(m.beta))
+	return m.predictInto(x, scratch[:m.dim], scratch[m.dim:])
+}
+
+// PredictBatch implements ml.BatchPredictor, reusing one scratch
+// buffer across rows and evaluating every support vector through the
+// batched kernel path.
+func (m *Model) PredictBatch(X [][]float64, out []float64) {
+	if !m.fitted {
+		for i := range X {
+			out[i] = math.NaN()
+		}
+		return
+	}
+	scratch := make([]float64, m.dim+len(m.beta))
+	xbuf, kbuf := scratch[:m.dim], scratch[m.dim:]
+	for i, x := range X {
+		if len(x) != m.dim {
+			out[i] = math.NaN()
+			continue
+		}
+		out[i] = m.predictInto(x, xbuf, kbuf)
+	}
+}
+
+// predictInto evaluates one row using caller-provided scratch: xbuf
+// holds the standardized input (dim), kbuf the kernel values (one per
+// support vector).
+func (m *Model) predictInto(x, xbuf, kbuf []float64) float64 {
+	m.std.ApplyInto(x, xbuf)
+	kernel.EvalInto(m.kern, m.supportRows, xbuf, kbuf)
+	s := m.betaSum // Σ β_i · 1 from the folded bias
+	for i, b := range m.beta {
+		s += b * kbuf[i]
 	}
 	return s*m.yStd + m.yMean
 }
 
-var _ ml.Regressor = (*Model)(nil)
+var (
+	_ ml.Regressor      = (*Model)(nil)
+	_ ml.BatchPredictor = (*Model)(nil)
+)
 
 // svmJSON is the serialized model state.
 type svmJSON struct {
@@ -276,5 +364,6 @@ func (m *Model) UnmarshalJSON(data []byte) error {
 	m.dim = s.Dim
 	m.fitted = true
 	m.SupportVectors = len(s.Beta)
+	m.initPredict()
 	return nil
 }

@@ -4,6 +4,7 @@ import (
 	"math"
 	"testing"
 
+	"repro/internal/mat"
 	"repro/internal/ml"
 	"repro/internal/ml/kernel"
 	"repro/internal/randx"
@@ -304,3 +305,194 @@ type weirdKernel struct{}
 
 func (weirdKernel) Eval(a, b []float64) float64 { return 1 }
 func (weirdKernel) Name() string                { return "weird" }
+
+func TestPredictBatchMatchesPredict(t *testing.T) {
+	for _, k := range []kernel.Kernel{nil, kernel.Linear{}, kernel.Poly{Degree: 2, Scale: 1, Coef0: 1}} {
+		opts := DefaultOptions()
+		opts.Kernel = k
+		m, err := New(opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		src := randx.New(91)
+		X, y := sineData(src, 60, 1)
+		if err := m.Fit(X, y); err != nil {
+			t.Fatal(err)
+		}
+		queries, _ := sineData(src, 20, 1)
+		queries = append(queries, []float64{1, 2}) // wrong dim -> NaN
+		out := make([]float64, len(queries))
+		m.PredictBatch(queries, out)
+		for i, q := range queries {
+			want := m.Predict(q)
+			if math.IsNaN(want) != math.IsNaN(out[i]) || (!math.IsNaN(want) && math.Abs(out[i]-want) > 1e-9) {
+				t.Fatalf("row %d: batch %v, single %v", i, out[i], want)
+			}
+		}
+	}
+	// Unfitted batch returns NaNs.
+	m, _ := New(DefaultOptions())
+	out := make([]float64, 2)
+	m.PredictBatch([][]float64{{1}, {2}}, out)
+	for _, v := range out {
+		if !math.IsNaN(v) {
+			t.Fatal("unfitted PredictBatch returned a number")
+		}
+	}
+}
+
+// exhaustiveDual is the pre-shrinking reference solver: plain cyclic
+// coordinate descent sweeping every coordinate every pass on the same
+// bias-folded Gram matrix solveDual works on.
+func exhaustiveDual(gram *mat.Dense, ys []float64, opts Options) []float64 {
+	n := len(ys)
+	beta := make([]float64, n)
+	f := make([]float64, n)
+	for pass := 0; pass < opts.MaxPasses; pass++ {
+		maxDelta := 0.0
+		for i := 0; i < n; i++ {
+			row := gram.Row(i)
+			kii := row[i]
+			if kii <= 0 {
+				continue
+			}
+			target := ys[i] - (f[i] - kii*beta[i])
+			nb := softThreshold(target, opts.Epsilon) / kii
+			if nb > opts.C {
+				nb = opts.C
+			} else if nb < -opts.C {
+				nb = -opts.C
+			}
+			if d := nb - beta[i]; d != 0 {
+				for j := 0; j < n; j++ {
+					f[j] += d * row[j]
+				}
+				beta[i] = nb
+				if ad := math.Abs(d); ad > maxDelta {
+					maxDelta = ad
+				}
+			}
+		}
+		if maxDelta < opts.Tol*opts.C {
+			break
+		}
+	}
+	return beta
+}
+
+// dualObjective evaluates W(β) = ½βᵀK'β − ysᵀβ + ε‖β‖₁.
+func dualObjective(gram *mat.Dense, ys, beta []float64, eps float64) float64 {
+	var quad, lin, l1 float64
+	for i, bi := range beta {
+		if bi == 0 {
+			continue
+		}
+		row := gram.Row(i)
+		var s float64
+		for j, bj := range beta {
+			if bj != 0 {
+				s += bj * row[j]
+			}
+		}
+		quad += bi * s
+		lin += bi * ys[i]
+		l1 += math.Abs(bi)
+	}
+	return 0.5*quad - lin + eps*l1
+}
+
+// TestShrinkingMatchesExhaustive pins the active-set solver to the
+// exhaustive full-sweep reference on the same Gram matrix: coordinate
+// descent decreases W(β) monotonically under any schedule, so the
+// shrunk solve must reach (essentially) the same dual objective, and
+// its predictions must stay within the ε-tube of the reference's.
+func TestShrinkingMatchesExhaustive(t *testing.T) {
+	src := randx.New(92)
+	X, y := sineData(src, 80, 2)
+	// Default tolerance, but a generous sweep budget: MaxPasses is a
+	// time budget in production, and the comparison below is only
+	// meaningful once both solvers actually reach their stopping rule.
+	opts := DefaultOptions()
+	opts.MaxPasses = 5000
+
+	// Same standardization and Gram construction as Fit.
+	std := kernel.FitStandardizer(X)
+	Xs := std.ApplyAll(X)
+	yMean, yStd := ml.Mean(y), math.Sqrt(ml.Variance(y))
+	n := len(X)
+	ys := make([]float64, n)
+	for i, v := range y {
+		ys[i] = (v - yMean) / yStd
+	}
+	kern := kernel.RBF{Gamma: 1 / float64(len(X[0]))}
+	gram := kernel.Matrix(kern, Xs)
+	for i := 0; i < n; i++ {
+		row := gram.Row(i)
+		for j := range row {
+			row[j]++
+		}
+	}
+
+	shrunk, pass := solveDual(gram, ys, opts)
+	if pass >= opts.MaxPasses {
+		t.Fatalf("shrinking solver did not converge in %d passes", opts.MaxPasses)
+	}
+	exh := exhaustiveDual(gram, ys, opts)
+
+	wS := dualObjective(gram, ys, shrunk, opts.Epsilon)
+	wE := dualObjective(gram, ys, exh, opts.Epsilon)
+	// Both stop when no coordinate moves more than Tol·C; their dual
+	// objectives must agree to well inside that resolution.
+	if slack := 1e-4 * (1 + math.Abs(wE)); math.Abs(wS-wE) > slack {
+		t.Fatalf("dual objective: shrunk %v vs exhaustive %v (slack %v)", wS, wE, slack)
+	}
+	// Near-optimal solutions may differ inside the ε-insensitive tube;
+	// predictions (in standardized units) must not differ by more.
+	var worst float64
+	for j := 0; j < n; j++ {
+		row := gram.Row(j)
+		var ps, pe float64
+		for i := 0; i < n; i++ {
+			ps += shrunk[i] * row[i]
+			pe += exh[i] * row[i]
+		}
+		if d := math.Abs(ps - pe); d > worst {
+			worst = d
+		}
+	}
+	if worst > 2*opts.Epsilon {
+		t.Fatalf("standardized predictions differ by %v (> 2ε = %v)", worst, 2*opts.Epsilon)
+	}
+}
+
+// degenerateKernel makes every folded diagonal K'_ii = Eval+1 = 0, so
+// no coordinate is usable. Fit must still converge immediately instead
+// of burning MaxPasses on full-sweep verification resets.
+type degenerateKernel struct{}
+
+func (degenerateKernel) Eval(a, b []float64) float64 { return -1 }
+func (degenerateKernel) Name() string                { return "degenerate" }
+
+func TestDegenerateDiagonalConverges(t *testing.T) {
+	opts := DefaultOptions()
+	opts.Kernel = degenerateKernel{}
+	m, err := New(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := randx.New(95)
+	X, y := sineData(src, 20, 1)
+	if err := m.Fit(X, y); err != nil {
+		t.Fatal(err)
+	}
+	if m.Passes != 1 {
+		t.Fatalf("Passes = %d, want immediate convergence (1)", m.Passes)
+	}
+	if m.SupportVectors != 0 {
+		t.Fatalf("SupportVectors = %d, want 0", m.SupportVectors)
+	}
+	// With no usable coordinates the model predicts the target mean.
+	if got := m.Predict(X[0]); math.Abs(got-ml.Mean(y)) > 1e-9 {
+		t.Fatalf("Predict = %v, want mean %v", got, ml.Mean(y))
+	}
+}

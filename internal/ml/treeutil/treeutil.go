@@ -45,6 +45,11 @@ func BestSplit(X [][]float64, y []float64, idx []int, minLeaf int) (best Split, 
 
 	type pair struct{ v, y float64 }
 	pairs := make([]pair, n)
+	// Suffix sums give the right-side statistics by direct accumulation
+	// instead of subtracting from the node totals, which suffers
+	// catastrophic cancellation when one side dominates.
+	sufSum := make([]float64, n+1)
+	sufSq := make([]float64, n+1)
 
 	best.Reduction = -1
 	for f := 0; f < dim; f++ {
@@ -54,6 +59,10 @@ func BestSplit(X [][]float64, y []float64, idx []int, minLeaf int) (best Split, 
 		sort.Slice(pairs, func(a, b int) bool { return pairs[a].v < pairs[b].v })
 		if pairs[0].v == pairs[n-1].v {
 			continue // constant feature
+		}
+		for k := n - 1; k >= 0; k-- {
+			sufSum[k] = sufSum[k+1] + pairs[k].y
+			sufSq[k] = sufSq[k+1] + pairs[k].y*pairs[k].y
 		}
 		var lSum, lSq float64
 		for k := 0; k < n-1; k++ {
@@ -70,8 +79,8 @@ func BestSplit(X [][]float64, y []float64, idx []int, minLeaf int) (best Split, 
 			if pairs[k].v == pairs[k+1].v {
 				continue // cannot split between equal values
 			}
-			rSum := sum - lSum
-			rSq := sumSq - lSq
+			rSum := sufSum[k+1]
+			rSq := sufSq[k+1]
 			sdr := nodeSD -
 				float64(nl)/fn*sdFromSums(lSum, lSq, float64(nl)) -
 				float64(nr)/fn*sdFromSums(rSum, rSq, float64(nr))
