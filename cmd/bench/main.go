@@ -6,6 +6,13 @@
 // Usage:
 //
 //	go run ./cmd/bench [-bench regexp] [-benchtime 1x] [-pkg ./...] [-out file] [-label note]
+//	    [-compare baseline.json] [-tolerance 0.15]
+//
+// With -compare, the freshly measured results are diffed against a
+// previously committed report: every benchmark present in both is
+// checked on ns/op and allocs/op, and the command exits non-zero when
+// any metric regresses by more than the tolerance fraction — the
+// guard-rail CI runs against the committed BENCH file.
 package main
 
 import (
@@ -55,6 +62,8 @@ func main() {
 	pkg := flag.String("pkg", "./...", "packages to benchmark")
 	out := flag.String("out", "", "output file (default BENCH_<date>.json)")
 	label := flag.String("label", "", "free-form label recorded in the report")
+	compare := flag.String("compare", "", "baseline BENCH json to diff against; exit non-zero on regressions")
+	tolerance := flag.Float64("tolerance", 0.15, "allowed regression fraction for -compare (0.15 = +15%)")
 	flag.Parse()
 
 	results, err := run(*benchPat, *benchTime, *pkg)
@@ -87,6 +96,70 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Printf("wrote %d results to %s\n", len(results), path)
+
+	if *compare != "" {
+		regressions, err := compareBaseline(*compare, results, *tolerance)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "bench:", err)
+			os.Exit(1)
+		}
+		if regressions > 0 {
+			fmt.Fprintf(os.Stderr, "bench: %d metric(s) regressed beyond +%.0f%%\n", regressions, *tolerance*100)
+			os.Exit(1)
+		}
+	}
+}
+
+// compareBaseline diffs the fresh results against a committed BENCH
+// report, printing one line per shared benchmark and returning the
+// number of metrics (ns/op, allocs/op) that regressed beyond the
+// tolerance fraction. Benchmarks present only on one side are noted
+// but never fail the run; a small absolute slack on allocs keeps
+// near-zero counts from flapping.
+func compareBaseline(path string, fresh []Result, tol float64) (int, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return 0, fmt.Errorf("reading baseline: %w", err)
+	}
+	var base File
+	if err := json.Unmarshal(raw, &base); err != nil {
+		return 0, fmt.Errorf("parsing baseline %s: %w", path, err)
+	}
+	byName := make(map[string]Result, len(base.Results))
+	for _, r := range base.Results {
+		byName[r.Name] = r
+	}
+	const allocSlack = 8
+	regressions := 0
+	compared := 0
+	for _, r := range fresh {
+		b, ok := byName[r.Name]
+		if !ok {
+			fmt.Printf("%-40s (not in baseline)\n", r.Name)
+			continue
+		}
+		compared++
+		nsRatio := r.NsPerOp / b.NsPerOp
+		status := "ok"
+		if r.NsPerOp > b.NsPerOp*(1+tol) {
+			status = "REGRESSED ns/op"
+			regressions++
+		}
+		if r.AllocsPerOp > int64(float64(b.AllocsPerOp)*(1+tol))+allocSlack {
+			if status == "ok" {
+				status = "REGRESSED allocs/op"
+			} else {
+				status += "+allocs"
+			}
+			regressions++
+		}
+		fmt.Printf("%-40s ns/op %12.0f -> %12.0f (%+5.1f%%)  allocs %7d -> %7d  %s\n",
+			r.Name, b.NsPerOp, r.NsPerOp, (nsRatio-1)*100, b.AllocsPerOp, r.AllocsPerOp, status)
+	}
+	if compared == 0 {
+		return 0, fmt.Errorf("no benchmarks shared with baseline %s", path)
+	}
+	return regressions, nil
 }
 
 // run executes go test -bench and parses the output.

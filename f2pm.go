@@ -16,6 +16,29 @@
 //	best := report.Best()              // lowest S-MAE model
 //	rttf := best.Model.Predict(features)
 //
+// # Incremental retraining
+//
+// The paper's collection loop — "further system runs can be executed
+// to collect new data ... and to produce new models" — is served by
+// Pipeline.Update: after Run, feed the pipeline the same history
+// extended with newly completed failure runs (e.g. accumulated from
+// the live monitor feeding a LiveAggregator on the deployment side)
+// and every model is brought up to date at a cost scaling with the
+// new data, not the whole history:
+//
+//	report, _ = pipe.Update(history)   // history = old runs + new runs
+//
+// Under the hood, only the new runs are aggregated; the LS-SVM
+// extends its kernel system with a bordered Cholesky factorization
+// (internal/mat's Cholesky.Extend over a grown kernel row store), the
+// Lasso models fold the new rows into their retained covariance state
+// with rank-1 updates, the regularization path re-solves the whole λ
+// grid from one shared covariance (lasso FitPath, behind LassoPath),
+// and the remaining learners refit on the combined set. Large buffers
+// are recycled through an internal pool, so steady-state retrains and
+// single-sample Predict calls stop paying allocation and page-zeroing
+// costs.
+//
 // Subsystems re-exported here:
 //
 //   - data model and CSV codec (History, Run, Datapoint)

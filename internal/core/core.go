@@ -198,9 +198,34 @@ func (r *Report) ByName(name string, fs FeatureSet) *ModelResult {
 	return nil
 }
 
-// Pipeline is a configured F2PM instance.
+// Pipeline is a configured F2PM instance. Run executes the full
+// model-generation phase and retains its working state (datasets,
+// lasso covariance, trained models), so Update can later extend the
+// models with newly collected runs at a cost scaling with the new
+// data — the paper's "regenerate models as new failure runs
+// accumulate" loop made cheap. Run and Update are safe for concurrent
+// use with each other but hand out reports sharing live model state.
 type Pipeline struct {
 	cfg Config
+
+	mu sync.Mutex
+	st *pipeState
+}
+
+// pipeState is what Run retains for incremental retraining.
+type pipeState struct {
+	seenRuns int // runs of the history consumed so far
+	rowsSeen int // labeled rows consumed (stable SplitByRow assignment)
+	train    *aggregate.Dataset
+	val      *aggregate.Dataset
+	// redTrain/redVal are the Lasso-reduced family's datasets (nil when
+	// the reduced family is absent).
+	redTrain *aggregate.Dataset
+	redVal   *aggregate.Dataset
+	// cov is the training-set covariance behind the regularization
+	// path and the selection, maintained incrementally.
+	cov *lasso.Cov
+	rep *Report
 }
 
 // New validates the configuration and returns a pipeline.
@@ -244,35 +269,33 @@ func (p *Pipeline) Run(h *trace.History) (*Report, error) {
 	}
 	rep.SMAEThreshold = metrics.RelativeThreshold(val.RTTF, p.cfg.SMAEFraction)
 
-	// Feature selection phase (§III-C) on the training set only.
+	// Feature selection phase (§III-C) on the training set only. One
+	// covariance build serves the whole path and the selection λ, and
+	// is retained for incremental recomputation in Update.
+	var cov *lasso.Cov
+	if len(p.cfg.FeatureLambdas) > 0 || p.cfg.SelectionLambda > 0 {
+		if cov, err = lasso.NewCov(train.X, train.RTTF); err != nil {
+			return nil, fmt.Errorf("core: feature covariance: %w", err)
+		}
+	}
 	if len(p.cfg.FeatureLambdas) > 0 {
-		rep.Path, err = featsel.Path(train, p.cfg.FeatureLambdas)
+		rep.Path, err = featsel.PathFromCov(cov, train.ColNames, p.cfg.FeatureLambdas)
 		if err != nil {
 			return nil, fmt.Errorf("core: feature selection path: %w", err)
 		}
 	}
 
 	// Build the two training-set families.
-	type family struct {
-		fs         FeatureSet
-		train, val *aggregate.Dataset
-	}
+	st := &pipeState{seenRuns: len(h.Runs), rowsSeen: ds.NumRows(), train: train, val: val, cov: cov}
 	families := []family{{fs: AllParams, train: train, val: val}}
 	if p.cfg.SelectionLambda > 0 {
-		redTrain, sel, err := featsel.Select(train, p.cfg.SelectionLambda)
-		switch {
-		case errors.Is(err, featsel.ErrEmptySelection):
-			// λ killed everything: skip the reduced family but keep the
-			// (empty) selection in the report.
-			rep.Selection = sel
-		case err != nil:
-			return nil, fmt.Errorf("core: feature selection: %w", err)
-		default:
-			rep.Selection = sel
-			redVal, err := val.Project(sel.Selected)
-			if err != nil {
-				return nil, fmt.Errorf("core: projecting validation set: %w", err)
-			}
+		sel, redTrain, redVal, err := selectFamily(cov, train, val, p.cfg.SelectionLambda)
+		if err != nil {
+			return nil, err
+		}
+		rep.Selection = sel
+		if redTrain != nil {
+			st.redTrain, st.redVal = redTrain, redVal
 			families = append(families, family{fs: LassoParams, train: redTrain, val: redVal})
 		}
 	}
@@ -323,7 +346,51 @@ func (p *Pipeline) Run(h *trace.History) (*Report, error) {
 		return false
 	})
 	rep.Results = results
+	st.rep = rep
+	p.mu.Lock()
+	p.st = st
+	p.mu.Unlock()
 	return rep, nil
+}
+
+// family pairs a feature set with its train/validation datasets.
+type family struct {
+	fs         FeatureSet
+	train, val *aggregate.Dataset
+}
+
+// selectionAt computes the selection path point at lambda (the
+// features surviving the paper's λ-selection).
+func selectionAt(cov *lasso.Cov, colNames []string, lambda float64) (featsel.PathPoint, error) {
+	pts, err := featsel.PathFromCov(cov, colNames, []float64{lambda})
+	if err != nil {
+		return featsel.PathPoint{}, fmt.Errorf("core: feature selection: %w", err)
+	}
+	return pts[0], nil
+}
+
+// selectFamily computes the selection path point at lambda and, when
+// the selection is non-empty, the projected train/validation datasets
+// of the reduced family (nil datasets otherwise).
+func selectFamily(cov *lasso.Cov, train, val *aggregate.Dataset, lambda float64) (featsel.PathPoint, *aggregate.Dataset, *aggregate.Dataset, error) {
+	sel, err := selectionAt(cov, train.ColNames, lambda)
+	if err != nil {
+		return sel, nil, nil, err
+	}
+	if sel.NumSelected() == 0 {
+		// λ killed everything: no reduced family, but the (empty)
+		// selection still goes into the report.
+		return sel, nil, nil, nil
+	}
+	redTrain, err := train.Project(sel.Selected)
+	if err != nil {
+		return sel, nil, nil, fmt.Errorf("core: projecting training set: %w", err)
+	}
+	redVal, err := val.Project(sel.Selected)
+	if err != nil {
+		return sel, nil, nil, fmt.Errorf("core: projecting validation set: %w", err)
+	}
+	return sel, redTrain, redVal, nil
 }
 
 // runOne trains and validates a single model.

@@ -1,0 +1,328 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/aggregate"
+	"repro/internal/featsel"
+	"repro/internal/metrics"
+	"repro/internal/ml"
+	"repro/internal/randx"
+	"repro/internal/trace"
+)
+
+// ErrNotRun is returned by Update on a pipeline that has not executed
+// Run yet.
+var ErrNotRun = errors.New("core: Update before Run")
+
+// Update retrains the pipeline incrementally on a history that extends
+// the one Run consumed: runs beyond the ones already seen are
+// aggregated, labeled, split, and folded into the retained state, and
+// every model is brought up to date — models implementing
+// ml.IncrementalRegressor (LS-SVM, Lasso) extend their fit at a cost
+// scaling with the new rows, the rest refit on the combined training
+// set — then everything re-validates on the grown validation set. The
+// regularization path and the λ-selection recompute from the
+// incrementally maintained covariance, so feature selection never
+// revisits the row history either; when the surviving feature set
+// changes, the reduced-family models refit from scratch on the new
+// projection.
+//
+// The runs already consumed must be unchanged (completed runs are
+// immutable in the paper's collection loop; feed new failure runs as
+// they finish, e.g. from the FMS side of the live monitor). New runs
+// are assigned to the train/validation side by a deterministic
+// per-run (or per-row, for SplitByRow) draw from SplitSeed, so the
+// assignment of existing data never changes as more arrives. A call
+// with no new labeled data returns the previous report unchanged.
+func (p *Pipeline) Update(h *trace.History) (*Report, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	st := p.st
+	if st == nil {
+		return nil, ErrNotRun
+	}
+	if len(h.Runs) < st.seenRuns {
+		return nil, fmt.Errorf("core: history has %d runs, fewer than the %d already consumed", len(h.Runs), st.seenRuns)
+	}
+	if len(h.Runs) == st.seenRuns {
+		return st.rep, nil
+	}
+	if err := h.Validate(); err != nil {
+		return nil, err
+	}
+
+	// Aggregate only the new runs (§III-B on the delta).
+	sub := &trace.History{Runs: h.Runs[st.seenRuns:]}
+	newDs, err := aggregate.Aggregate(sub, p.cfg.Aggregation)
+	switch {
+	case errors.Is(err, aggregate.ErrNoData):
+		st.seenRuns = len(h.Runs)
+		return st.rep, nil
+	case err != nil:
+		return nil, fmt.Errorf("core: aggregation: %w", err)
+	}
+	newDs = aggregate.DropUnlabeled(newDs)
+	for i := range newDs.Run {
+		newDs.Run[i] += st.seenRuns // back to history-global run indices
+	}
+	if newDs.NumRows() == 0 {
+		st.seenRuns = len(h.Runs)
+		return st.rep, nil
+	}
+
+	newTrain, newVal, err := p.assignNew(newDs, st)
+	if err != nil {
+		return nil, err
+	}
+
+	// Fallible feature-selection phase first, so an error here leaves
+	// the retained state untouched and a retry sees the same history
+	// (Cov.Append validates before mutating).
+	if st.cov != nil && newTrain.NumRows() > 0 {
+		if err := st.cov.Append(newTrain.X, newTrain.RTTF); err != nil {
+			return nil, fmt.Errorf("core: extending feature covariance: %w", err)
+		}
+	}
+	rep := &Report{}
+	if len(p.cfg.FeatureLambdas) > 0 {
+		rep.Path, err = featsel.PathFromCov(st.cov, st.train.ColNames, p.cfg.FeatureLambdas)
+		if err != nil {
+			return nil, fmt.Errorf("core: feature selection path: %w", err)
+		}
+	}
+	var sel featsel.PathPoint
+	if p.cfg.SelectionLambda > 0 {
+		if sel, err = selectionAt(st.cov, st.train.ColNames, p.cfg.SelectionLambda); err != nil {
+			return nil, err
+		}
+	}
+
+	// Commit the new rows into the retained state. Everything below
+	// projects by column names taken from the same datasets, so it
+	// cannot fail on consistent state.
+	st.seenRuns = len(h.Runs)
+	st.rowsSeen += newDs.NumRows()
+	appendRows(st.train, newTrain)
+	appendRows(st.val, newVal)
+	rep.TrainRows = st.train.NumRows()
+	rep.ValRows = st.val.NumRows()
+	rep.Columns = st.train.NumCols()
+	rep.SMAEThreshold = metrics.RelativeThreshold(st.val.RTTF, p.cfg.SMAEFraction)
+
+	families := []family{{fs: AllParams, train: st.train, val: st.val}}
+	newByFS := map[FeatureSet]*aggregate.Dataset{AllParams: newTrain}
+	rebuilt := map[FeatureSet]bool{}
+	if p.cfg.SelectionLambda > 0 {
+		prev := st.rep.Selection
+		rep.Selection = sel
+		switch {
+		case sel.NumSelected() == 0:
+			// Selection collapsed to nothing: reduced family disappears.
+			st.redTrain, st.redVal = nil, nil
+		case st.redTrain != nil && sameSelection(prev.Selected, sel.Selected):
+			// Same surviving features: extend the retained projections
+			// with the projected new rows only — incremental models
+			// keep their history and nothing rescans it.
+			newRed, err := newTrain.Project(sel.Selected)
+			if err != nil {
+				return nil, fmt.Errorf("core: projecting new rows: %w", err)
+			}
+			newRedVal, err := newVal.Project(sel.Selected)
+			if err != nil {
+				return nil, fmt.Errorf("core: projecting new rows: %w", err)
+			}
+			appendRows(st.redTrain, newRed)
+			appendRows(st.redVal, newRedVal)
+			families = append(families, family{fs: LassoParams, train: st.redTrain, val: st.redVal})
+			newByFS[LassoParams] = newRed
+		default:
+			// Selection changed (or the family is new): the projected
+			// history changes shape, so the whole history reprojects
+			// and the reduced models refit from scratch.
+			redTrain, err := st.train.Project(sel.Selected)
+			if err != nil {
+				return nil, fmt.Errorf("core: projecting training set: %w", err)
+			}
+			redVal, err := st.val.Project(sel.Selected)
+			if err != nil {
+				return nil, fmt.Errorf("core: projecting validation set: %w", err)
+			}
+			st.redTrain, st.redVal = redTrain, redVal
+			families = append(families, family{fs: LassoParams, train: redTrain, val: redVal})
+			rebuilt[LassoParams] = true
+		}
+	} else {
+		st.redTrain, st.redVal = nil, nil
+	}
+
+	// Bring every (model × family) pair up to date on a bounded pool.
+	type job struct {
+		order int
+		spec  ModelSpec
+		fam   family
+	}
+	var jobs []job
+	for _, fam := range families {
+		for _, spec := range p.cfg.Models {
+			jobs = append(jobs, job{order: len(jobs), spec: spec, fam: fam})
+		}
+	}
+	results := make([]ModelResult, len(jobs))
+	workers := p.cfg.Parallelism
+	if workers <= 0 {
+		workers = 1
+	}
+	if workers > len(jobs) {
+		workers = len(jobs)
+	}
+	var wg sync.WaitGroup
+	ch := make(chan job)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := range ch {
+				prior := st.rep.ByName(j.spec.Name, j.fam.fs)
+				if rebuilt[j.fam.fs] {
+					prior = nil
+				}
+				results[j.order] = p.updateOne(j.spec, j.fam, prior, newByFS[j.fam.fs], rep.SMAEThreshold)
+			}
+		}()
+	}
+	for _, j := range jobs {
+		ch <- j
+	}
+	close(ch)
+	wg.Wait()
+
+	sort.SliceStable(results, func(i, j int) bool {
+		if results[i].Features != results[j].Features {
+			return results[i].Features == AllParams
+		}
+		return false
+	})
+	rep.Results = results
+	st.rep = rep
+	return rep, nil
+}
+
+// updateOne brings one model up to date: an incremental update of the
+// prior model where supported, a from-scratch refit otherwise (or when
+// the incremental path fails), then a full re-validation. Training
+// time records what this round actually cost — the headline number
+// incremental retraining shrinks.
+func (p *Pipeline) updateOne(spec ModelSpec, fam family, prior *ModelResult, newRows *aggregate.Dataset, threshold float64) ModelResult {
+	res := ModelResult{Spec: spec, Features: fam.fs}
+	var model ml.Regressor
+	tTrain := metrics.StartTimer()
+	if prior != nil && prior.Err == nil {
+		if newRows == nil || newRows.NumRows() == 0 {
+			model = prior.Model // nothing new on the training side
+		} else if inc, ok := prior.Model.(ml.IncrementalRegressor); ok {
+			if err := inc.Update(newRows.X, newRows.RTTF); err == nil {
+				model = inc
+			}
+			// A failed incremental update (e.g. a border that breaks
+			// positive definiteness) leaves the model unchanged; fall
+			// through to the from-scratch refit.
+		}
+	}
+	if model == nil {
+		m, err := spec.New()
+		if err != nil {
+			res.Err = fmt.Errorf("core: constructing %s: %w", spec.Name, err)
+			return res
+		}
+		if err := m.Fit(fam.train.X, fam.train.RTTF); err != nil {
+			res.Err = fmt.Errorf("core: training %s/%s: %w", spec.Name, fam.fs, err)
+			return res
+		}
+		model = m
+	}
+	trainDur := tTrain.Elapsed()
+
+	tVal := metrics.StartTimer()
+	predicted := ml.PredictAll(model, fam.val.X)
+	report, err := metrics.Evaluate(predicted, fam.val.RTTF, threshold)
+	if err != nil {
+		res.Err = fmt.Errorf("core: validating %s/%s: %w", spec.Name, fam.fs, err)
+		return res
+	}
+	report.ValidationTime = tVal.Elapsed()
+	report.TrainingTime = trainDur
+
+	res.Model = model
+	res.Report = report
+	res.Predicted = predicted
+	res.Observed = ml.CloneVector(fam.val.RTTF)
+	return res
+}
+
+// assignNew splits newly aggregated rows into train/validation parts
+// with a stable per-run (SplitByRun) or per-row (SplitByRow) draw:
+// each unit's side depends only on SplitSeed and its identity, never
+// on how much data arrived before or after it.
+func (p *Pipeline) assignNew(ds *aggregate.Dataset, st *pipeState) (train, val *aggregate.Dataset, err error) {
+	src := randx.New(p.cfg.SplitSeed)
+	inVal := make([]bool, ds.NumRows())
+	switch p.cfg.SplitMode {
+	case aggregate.SplitByRun:
+		byRun := map[int]bool{}
+		for i, r := range ds.Run {
+			side, ok := byRun[r]
+			if !ok {
+				side = src.Fork(uint64(r)).Float64() < p.cfg.ValidationFrac
+				byRun[r] = side
+			}
+			inVal[i] = side
+		}
+	case aggregate.SplitByRow:
+		for i := range inVal {
+			inVal[i] = src.Fork(uint64(st.rowsSeen+i)).Float64() < p.cfg.ValidationFrac
+		}
+	default:
+		return nil, nil, fmt.Errorf("core: unknown split mode %d", p.cfg.SplitMode)
+	}
+	return subsetRows(ds, inVal, false), subsetRows(ds, inVal, true), nil
+}
+
+// sameSelection reports whether two selections name the same columns
+// in the same order (projections are order-sensitive).
+func sameSelection(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// appendRows extends dst with src's rows (same column layout).
+func appendRows(dst, src *aggregate.Dataset) {
+	dst.X = append(dst.X, src.X...)
+	dst.RTTF = append(dst.RTTF, src.RTTF...)
+	dst.Run = append(dst.Run, src.Run...)
+	dst.AggTgen = append(dst.AggTgen, src.AggTgen...)
+}
+
+// subsetRows filters a dataset by mask value.
+func subsetRows(d *aggregate.Dataset, mask []bool, keep bool) *aggregate.Dataset {
+	out := &aggregate.Dataset{ColNames: d.ColNames}
+	for i := range d.X {
+		if mask[i] == keep {
+			out.X = append(out.X, d.X[i])
+			out.RTTF = append(out.RTTF, d.RTTF[i])
+			out.Run = append(out.Run, d.Run[i])
+			out.AggTgen = append(out.AggTgen, d.AggTgen[i])
+		}
+	}
+	return out
+}

@@ -1,0 +1,181 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/ml"
+	"repro/internal/ml/lssvm"
+	"repro/internal/trace"
+)
+
+// updateConfig is fastConfig plus the incremental learners (LS-SVM and
+// a Lasso predictor), the models Update extends in place.
+func updateConfig() Config {
+	cfg := fastConfig()
+	cfg.Models = append(DefaultModels(nil)[:3:3], // linear, m5p, reptree
+		ModelSpec{Name: "svm2", DisplayName: "SVM2", New: func() (ml.Regressor, error) { return lssvm.New(lssvm.DefaultOptions()) }},
+	)
+	cfg.Models = append(cfg.Models, DefaultModels([]float64{1e5})[5:]...)
+	return cfg
+}
+
+// TestPipelineUpdate runs the incremental retraining loop: Run on a
+// prefix of the runs, Update with the full history, and checks the
+// result against a fresh full Run structurally — every model present,
+// metrics finite and sane, row accounting exact.
+func TestPipelineUpdate(t *testing.T) {
+	h := testHistory(t)
+	failed := h.FailedRuns()
+	if len(failed) < 6 {
+		t.Skipf("only %d failed runs", len(failed))
+	}
+	cut := len(failed) - 2
+	prefix := &trace.History{Runs: append([]trace.Run(nil), failed[:cut]...)}
+	full := &trace.History{Runs: failed}
+
+	p, err := New(updateConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep0, err := p.Run(prefix)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep1, err := p.Update(full)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if rep1.TrainRows+rep1.ValRows <= rep0.TrainRows+rep0.ValRows {
+		t.Fatalf("rows did not grow: %d+%d -> %d+%d",
+			rep0.TrainRows, rep0.ValRows, rep1.TrainRows, rep1.ValRows)
+	}
+	if len(rep1.Results) == 0 {
+		t.Fatal("no results")
+	}
+	if len(rep1.Path) != len(p.cfg.FeatureLambdas) {
+		t.Fatalf("path has %d points, want %d", len(rep1.Path), len(p.cfg.FeatureLambdas))
+	}
+	for i := range rep1.Results {
+		res := &rep1.Results[i]
+		if res.Err != nil {
+			t.Fatalf("%s/%s failed: %v", res.Spec.Name, res.Features, res.Err)
+		}
+		if math.IsNaN(res.Report.SoftMAE) || res.Report.SoftMAE < 0 {
+			t.Fatalf("%s/%s: S-MAE %v", res.Spec.Name, res.Features, res.Report.SoftMAE)
+		}
+		if len(res.Predicted) != rep1.ValRows && res.Features == AllParams {
+			t.Fatalf("%s/%s: %d predictions for %d validation rows",
+				res.Spec.Name, res.Features, len(res.Predicted), rep1.ValRows)
+		}
+	}
+	// The incremental LS-SVM must be the same model object, extended.
+	before := rep0.ByName("svm2", AllParams)
+	after := rep1.ByName("svm2", AllParams)
+	if before == nil || after == nil {
+		t.Fatal("svm2 missing from a report")
+	}
+	if before.Model != after.Model {
+		t.Fatal("svm2 was refit from scratch instead of updated in place")
+	}
+	// Total rows must match a fresh full run's accounting.
+	pf, err := New(updateConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	repFull, err := pf.Run(full)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := rep1.TrainRows+rep1.ValRows, repFull.TrainRows+repFull.ValRows; got != want {
+		t.Fatalf("total rows %d, want %d", got, want)
+	}
+}
+
+// TestPipelineUpdateNoNewData checks the no-op contracts.
+func TestPipelineUpdateNoNewData(t *testing.T) {
+	h := testHistory(t)
+	failed := h.FailedRuns()
+	full := &trace.History{Runs: failed}
+
+	p, err := New(updateConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Update(full); err != ErrNotRun {
+		t.Fatalf("Update before Run: %v", err)
+	}
+	rep0, err := p.Run(full)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep1, err := p.Update(full)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep1 != rep0 {
+		t.Fatal("no-op update should return the previous report")
+	}
+	if _, err := p.Update(&trace.History{Runs: failed[:1]}); err == nil {
+		t.Fatal("shrunk history accepted")
+	}
+	// An appended run with no fail event contributes no labeled rows.
+	unfailed := append(append([]trace.Run(nil), failed...), trace.Run{
+		Datapoints: []trace.Datapoint{{Tgen: 1}, {Tgen: 2}},
+	})
+	rep2, err := p.Update(&trace.History{Runs: unfailed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep2 != rep0 {
+		t.Fatal("unlabeled-only update should return the previous report")
+	}
+}
+
+// TestPipelineUpdateStableAssignment checks that splitting the same
+// new runs across one or two Update calls lands every run on the same
+// side — the property that keeps incremental training sets consistent.
+func TestPipelineUpdateStableAssignment(t *testing.T) {
+	h := testHistory(t)
+	failed := h.FailedRuns()
+	if len(failed) < 6 {
+		t.Skipf("only %d failed runs", len(failed))
+	}
+	cut := len(failed) - 3
+	prefix := &trace.History{Runs: append([]trace.Run(nil), failed[:cut]...)}
+	mid := &trace.History{Runs: append([]trace.Run(nil), failed[:cut+1]...)}
+	full := &trace.History{Runs: failed}
+
+	one, err := New(updateConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := one.Run(prefix); err != nil {
+		t.Fatal(err)
+	}
+	repOne, err := one.Update(full)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	two, err := New(updateConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := two.Run(prefix); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := two.Update(mid); err != nil {
+		t.Fatal(err)
+	}
+	repTwo, err := two.Update(full)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if repOne.TrainRows != repTwo.TrainRows || repOne.ValRows != repTwo.ValRows {
+		t.Fatalf("one-shot %d/%d vs chunked %d/%d rows",
+			repOne.TrainRows, repOne.ValRows, repTwo.TrainRows, repTwo.ValRows)
+	}
+}

@@ -67,11 +67,29 @@ func LambdaGrid(loExp, hiExp int) []float64 {
 }
 
 // Path runs Lasso regularization at every λ in lambdas (ascending order
-// recommended; warm starts chain consecutive fits). The dataset must
-// carry finite RTTF labels.
+// recommended; warm starts chain consecutive solutions). The dataset
+// must carry finite RTTF labels. The whole grid shares one covariance
+// build (lasso.FitPath): XᵀX and Xᵀy are computed once instead of once
+// per λ, which is what keeps long paths cheap.
 func Path(ds *aggregate.Dataset, lambdas []float64) ([]PathPoint, error) {
 	if ds.NumRows() == 0 {
 		return nil, aggregate.ErrNoData
+	}
+	cov, err := lasso.NewCov(ds.X, ds.RTTF)
+	if err != nil {
+		return nil, fmt.Errorf("featsel: building covariance: %w", err)
+	}
+	return PathFromCov(cov, ds.ColNames, lambdas)
+}
+
+// PathFromCov is Path over an existing covariance state, the entry
+// point for incremental retraining: callers that maintain a lasso.Cov
+// across appended training rows (core.Pipeline.Update) recompute the
+// whole regularization path at O(d²)-per-λ cost, never touching the
+// row history.
+func PathFromCov(cov *lasso.Cov, colNames []string, lambdas []float64) ([]PathPoint, error) {
+	if len(colNames) != cov.Dim() {
+		return nil, fmt.Errorf("featsel: %d column names for dimension %d", len(colNames), cov.Dim())
 	}
 	if len(lambdas) == 0 {
 		return nil, fmt.Errorf("featsel: empty lambda grid")
@@ -81,25 +99,19 @@ func Path(ds *aggregate.Dataset, lambdas []float64) ([]PathPoint, error) {
 			return nil, fmt.Errorf("featsel: invalid lambda %v", l)
 		}
 	}
-	// One model reused across the grid: each Fit warm-starts from the
-	// previous λ's solution, the standard regularization-path trick.
-	m, err := lasso.New(lasso.DefaultOptions(lambdas[0]))
+	res, err := lasso.FitPathCov(cov, lambdas, lasso.DefaultOptions(lambdas[0]))
 	if err != nil {
-		return nil, err
+		return nil, fmt.Errorf("featsel: lasso path: %w", err)
 	}
-	out := make([]PathPoint, 0, len(lambdas))
-	for _, lam := range lambdas {
-		if err := m.SetLambda(lam); err != nil {
-			return nil, err
-		}
-		if err := m.Fit(ds.X, ds.RTTF); err != nil {
-			return nil, fmt.Errorf("featsel: lasso at lambda %g: %w", lam, err)
-		}
-		pp := PathPoint{Lambda: lam, Weights: map[string]float64{}, Iterations: m.Iterations}
-		for _, idx := range m.Selected() {
-			name := ds.ColNames[idx]
-			pp.Selected = append(pp.Selected, name)
-			pp.Weights[name] = m.Coef[idx]
+	out := make([]PathPoint, 0, len(res))
+	for _, r := range res {
+		pp := PathPoint{Lambda: r.Lambda, Weights: map[string]float64{}, Iterations: r.Iterations}
+		for idx, b := range r.Coef {
+			if b != 0 {
+				name := colNames[idx]
+				pp.Selected = append(pp.Selected, name)
+				pp.Weights[name] = b
+			}
 		}
 		out = append(out, pp)
 	}

@@ -122,28 +122,64 @@ func NewCholesky(a *Dense) (*Cholesky, error) {
 		return nil, ErrNonSquare
 	}
 	n := a.rows
-	l := NewDense(n, n)
-	// Copy the lower triangle; the upper stays zero.
+	c := &Cholesky{n: n, stride: n, data: make([]float64, n*n)}
+	// Copy the lower triangle; the upper is never read.
 	for i := 0; i < n; i++ {
-		copy(l.data[i*n:i*n+i+1], a.data[i*n:i*n+i+1])
+		copy(c.data[i*n:i*n+i+1], a.data[i*n:i*n+i+1])
 	}
+	if err := cholFactor(c.data, n, n); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+// NewCholeskyGrow is NewCholesky with spare capacity: the factor
+// buffer is sized for capRows rows (drawn from pool when given), so
+// later Extend calls up to that size run fully in place with no
+// reallocation or triangle copy. Incremental retrainers use it to
+// pre-pay for the appends they expect.
+func NewCholeskyGrow(a *Dense, capRows int, pool *Pool) (*Cholesky, error) {
+	if a.rows != a.cols {
+		return nil, ErrNonSquare
+	}
+	n := a.rows
+	if capRows < n {
+		capRows = n
+	}
+	c := &Cholesky{n: n, stride: capRows, data: pool.GetVec(capRows * capRows)}
+	for i := 0; i < n; i++ {
+		copy(c.data[i*capRows:i*capRows+i+1], a.data[i*n:i*n+i+1])
+	}
+	if err := cholFactor(c.data, n, capRows); err != nil {
+		pool.PutVec(c.data)
+		return nil, err
+	}
+	return c, nil
+}
+
+// cholFactor runs the blocked right-looking factorization in place
+// over an n×n lower triangle stored with row stride ld (ld >= n; the
+// columns beyond n are untouched, which lets Extend factor a trailing
+// block inside a larger strided buffer). Input is the lower triangle
+// of A; output is L.
+func cholFactor(d []float64, n, ld int) error {
 	for j0 := 0; j0 < n; j0 += cholBlock {
 		j1 := min(j0+cholBlock, n)
 		// Factor the diagonal block in place (serial: it is at most
 		// cholBlock wide and sits on the critical path).
 		for c := j0; c < j1; c++ {
-			crow := l.data[c*n : c*n+j1]
-			d := crow[c]
+			crow := d[c*ld : c*ld+j1]
+			pv := crow[c]
 			for k := j0; k < c; k++ {
-				d -= crow[k] * crow[k]
+				pv -= crow[k] * crow[k]
 			}
-			if d <= 0 || math.IsNaN(d) {
-				return nil, ErrNotPositiveDefinite
+			if pv <= 0 || math.IsNaN(pv) {
+				return ErrNotPositiveDefinite
 			}
-			cc := math.Sqrt(d)
+			cc := math.Sqrt(pv)
 			crow[c] = cc
 			for i := c + 1; i < j1; i++ {
-				irow := l.data[i*n : i*n+j1]
+				irow := d[i*ld : i*ld+j1]
 				s := irow[c]
 				for k := j0; k < c; k++ {
 					s -= irow[k] * crow[k]
@@ -158,9 +194,9 @@ func NewCholesky(a *Dense) (*Cholesky, error) {
 		// row by row (rows are independent).
 		Parfor(n-j1, func(lo, hi int) {
 			for i := j1 + lo; i < j1+hi; i++ {
-				irow := l.data[i*n : i*n+j1]
+				irow := d[i*ld : i*ld+j1]
 				for c := j0; c < j1; c++ {
-					crow := l.data[c*n : c*n+j1]
+					crow := d[c*ld : c*ld+j1]
 					s := irow[c]
 					for k := j0; k < c; k++ {
 						s -= irow[k] * crow[k]
@@ -176,13 +212,13 @@ func NewCholesky(a *Dense) (*Cholesky, error) {
 			for i := j1 + lo; i < j1+hi; i++ {
 				cnt := i - j1 + 1
 				dots := buf[:cnt]
-				DotBatch(l.data[i*n+j0:i*n+j1], l.data[j1*n+j0:], n, cnt, dots)
-				irow := l.data[i*n+j1 : i*n+i+1]
+				DotBatch(d[i*ld+j0:i*ld+j1], d[j1*ld+j0:], ld, cnt, dots)
+				irow := d[i*ld+j1 : i*ld+i+1]
 				for t, v := range dots {
 					irow[t] -= v
 				}
 			}
 		})
 	}
-	return &Cholesky{l: l}, nil
+	return nil
 }

@@ -125,7 +125,7 @@ func TestCholeskyMatchesNaive(t *testing.T) {
 			if err != nil {
 				t.Fatalf("n=%d: naive: %v", n, err)
 			}
-			if d := maxAbsDiff(fast.l, want); d > 1e-12 {
+			if d := maxAbsDiff(fast.L(), want); d > 1e-12 {
 				t.Fatalf("n=%d: max diff %g", n, d)
 			}
 		}

@@ -138,68 +138,137 @@ func Norm2(v []float64) float64 { return math.Sqrt(Dot(v, v)) }
 
 // Cholesky holds the lower-triangular factor L with A = L·Lᵀ.
 // NewCholesky (engine.go) builds it with a blocked parallel
-// factorization.
+// factorization. The factor lives in a strided buffer whose stride may
+// exceed the factored dimension: the spare columns/rows are headroom
+// that lets Extend (extend.go) grow the factorization in place when
+// new training rows arrive, without copying the existing triangle.
+// Only the lower triangle of the buffer is ever written or read.
 type Cholesky struct {
-	l *Dense
+	n      int       // factored dimension
+	stride int       // row stride of data (capacity dimension, >= n)
+	data   []float64 // stride*stride buffer, lower triangle valid
+}
+
+// Size returns the dimension of the factored matrix.
+func (c *Cholesky) Size() int { return c.n }
+
+// L returns a copy of the lower-triangular factor (upper triangle
+// zero), mainly for tests and diagnostics.
+func (c *Cholesky) L() *Dense {
+	out := NewDense(c.n, c.n)
+	for i := 0; i < c.n; i++ {
+		copy(out.data[i*c.n:i*c.n+i+1], c.data[i*c.stride:i*c.stride+i+1])
+	}
+	return out
 }
 
 // Solve solves A·x = b given the factorization.
 func (c *Cholesky) Solve(b []float64) ([]float64, error) {
-	n := c.l.rows
+	n := c.n
 	if len(b) != n {
 		return nil, ErrShape
 	}
-	// Forward substitution: L·y = b.
-	y := make([]float64, n)
-	for i := 0; i < n; i++ {
-		s := b[i]
-		row := c.l.Row(i)
-		for k := 0; k < i; k++ {
-			s -= row[k] * y[k]
-		}
-		y[i] = s / row[i]
-	}
-	// Back substitution: Lᵀ·x = y.
 	x := make([]float64, n)
-	for i := n - 1; i >= 0; i-- {
-		s := y[i]
-		for k := i + 1; k < n; k++ {
-			s -= c.l.At(k, i) * x[k]
-		}
-		x[i] = s / c.l.At(i, i)
-	}
+	y := make([]float64, n)
+	c.solveInto(x, b, y)
 	return x, nil
 }
 
+// solveInto is Solve with caller-provided destination and scratch
+// (each of length Size), so repeated retrains can run allocation-free
+// through a Pool. dst and b may alias. Both substitutions are blocked:
+// the cross-block bulk of the work runs through the batched kernels
+// (DotBatch forward, AddScaled backward) and only the 64-wide in-block
+// triangular solves stay scalar.
+func (c *Cholesky) solveInto(dst, b, y []float64) {
+	n, ld := c.n, c.stride
+	d := c.data
+	const blk = 64
+	// Forward substitution: L·y = b. After a block of y is final, its
+	// contribution is pushed onto all remaining rows in one batched
+	// pass (dst doubles as the dot buffer; it is rewritten below).
+	copy(y, b)
+	for j0 := 0; j0 < n; j0 += blk {
+		j1 := min(j0+blk, n)
+		for i := j0; i < j1; i++ {
+			s := y[i]
+			row := d[i*ld+j0 : i*ld+i]
+			for k, v := range row {
+				s -= v * y[j0+k]
+			}
+			y[i] = s / d[i*ld+i]
+		}
+		if j1 < n {
+			dots := dst[:n-j1]
+			DotBatch(y[j0:j1], d[j1*ld+j0:], ld, n-j1, dots)
+			for t, v := range dots {
+				y[j1+t] -= v
+			}
+		}
+	}
+	// Back substitution: Lᵀ·x = y, blocks in reverse. A solved block's
+	// contribution to every earlier row is one AddScaled per column —
+	// row-contiguous access instead of the scalar column walk.
+	for j1 := n; j1 > 0; j1 -= blk {
+		j0 := max(j1-blk, 0)
+		for i := j1 - 1; i >= j0; i-- {
+			s := y[i]
+			for k := i + 1; k < j1; k++ {
+				s -= d[k*ld+i] * dst[k]
+			}
+			dst[i] = s / d[i*ld+i]
+		}
+		for k := j0; k < j1; k++ {
+			if xv := dst[k]; xv != 0 {
+				AddScaled(y[:j0], -xv, d[k*ld:k*ld+j0])
+			}
+		}
+	}
+}
+
 // SolveSPD solves the symmetric positive-definite system a·x = b via
-// Cholesky. If a is not positive definite it retries once with a small
+// Cholesky. If a is not positive definite it retries with a small
 // diagonal ridge (jitter) proportional to the mean diagonal, which is the
 // standard remedy for nearly singular kernel matrices in LS-SVM.
 func SolveSPD(a *Dense, b []float64) ([]float64, error) {
-	ch, err := NewCholesky(a)
+	ch, _, err := NewCholeskyJittered(a, 0, nil)
+	if err != nil {
+		return nil, err
+	}
+	return ch.Solve(b)
+}
+
+// NewCholeskyJittered is the jitter-escalation policy behind SolveSPD
+// as a reusable factorization: when a is not positive definite to
+// working precision, a diagonal shift proportional to the mean
+// diagonal is escalated ×100 up to 8 times. It returns the factor
+// (with capRows growth headroom, as NewCholeskyGrow) and the shift
+// that was added to a's diagonal; a itself is never modified.
+func NewCholeskyJittered(a *Dense, capRows int, pool *Pool) (*Cholesky, float64, error) {
+	ch, err := NewCholeskyGrow(a, capRows, pool)
 	if err == nil {
-		return ch.Solve(b)
+		return ch, 0, nil
 	}
 	if !errors.Is(err, ErrNotPositiveDefinite) {
-		return nil, err
+		return nil, 0, err
 	}
 	n := a.rows
 	var trace float64
 	for i := 0; i < n; i++ {
 		trace += math.Abs(a.At(i, i))
 	}
-	jitter := 1e-10 * (trace/float64(n) + 1)
+	jitter := 1e-10 * (trace/float64(max(n, 1)) + 1)
 	for attempt := 0; attempt < 8; attempt++ {
 		aj := a.Clone()
 		for i := 0; i < n; i++ {
 			aj.Set(i, i, aj.At(i, i)+jitter)
 		}
-		if ch, err = NewCholesky(aj); err == nil {
-			return ch.Solve(b)
+		if ch, err = NewCholeskyGrow(aj, capRows, pool); err == nil {
+			return ch, jitter, nil
 		}
 		jitter *= 100
 	}
-	return nil, ErrNotPositiveDefinite
+	return nil, 0, ErrNotPositiveDefinite
 }
 
 // QR holds a Householder QR factorization of an m×n matrix with m >= n.

@@ -1,0 +1,112 @@
+package mat
+
+import (
+	"math/bits"
+	"sync"
+)
+
+// Pool recycles float64 buffers and Dense matrices across repeated
+// retrains, so incremental pipelines stop paying allocation and
+// page-zeroing for every Gram build, factor growth, or prediction
+// scratch. Buffers are kept in power-of-two size classes; Get returns
+// a slice whose contents are arbitrary (callers that need zeros use
+// the Zero variants, whose explicit clear over warm pages is still far
+// cheaper than faulting fresh ones).
+//
+// A nil *Pool is valid and falls back to plain allocation, so APIs can
+// take an optional pool. The zero value is ready to use, and all
+// methods are safe for concurrent callers.
+type Pool struct {
+	mu   sync.Mutex
+	vecs [poolClasses][][]float64
+}
+
+// poolClasses covers buffers up to 2^35 elements, far beyond anything
+// the learners build.
+const poolClasses = 36
+
+// poolBucketCap bounds the retained free list per size class so one
+// burst of large builds cannot pin memory forever.
+const poolBucketCap = 64
+
+// class returns the size-class index for a request of n elements: the
+// smallest c with 1<<c >= n.
+func poolClass(n int) int { return bits.Len(uint(n - 1)) }
+
+// GetVec returns a slice of length n with arbitrary contents. The
+// backing array comes from the pool when a buffer of the right class
+// is free, and is freshly allocated (rounded up to the class size)
+// otherwise.
+func (p *Pool) GetVec(n int) []float64 {
+	if n <= 0 {
+		return nil
+	}
+	if p == nil {
+		return make([]float64, n)
+	}
+	c := poolClass(n)
+	p.mu.Lock()
+	if l := len(p.vecs[c]); l > 0 {
+		v := p.vecs[c][l-1]
+		p.vecs[c][l-1] = nil
+		p.vecs[c] = p.vecs[c][:l-1]
+		p.mu.Unlock()
+		return v[:n]
+	}
+	p.mu.Unlock()
+	return make([]float64, n, 1<<c)
+}
+
+// GetVecZero returns a zeroed slice of length n from the pool.
+func (p *Pool) GetVecZero(n int) []float64 {
+	v := p.GetVec(n)
+	clear(v)
+	return v
+}
+
+// PutVec returns a buffer to the pool. Only buffers whose capacity is
+// an exact class size are retained (everything GetVec hands out
+// qualifies); others are dropped for the GC. The caller must not use
+// v afterwards.
+func (p *Pool) PutVec(v []float64) {
+	if p == nil || cap(v) == 0 {
+		return
+	}
+	c := poolClass(cap(v))
+	if 1<<c != cap(v) {
+		return
+	}
+	p.mu.Lock()
+	if len(p.vecs[c]) < poolBucketCap {
+		p.vecs[c] = append(p.vecs[c], v[:0])
+	}
+	p.mu.Unlock()
+}
+
+// GetDense returns an r×c matrix with arbitrary contents, backed by a
+// pooled buffer.
+func (p *Pool) GetDense(r, c int) *Dense {
+	if r < 0 || c < 0 {
+		panic(errNegativeDimension)
+	}
+	return &Dense{rows: r, cols: c, data: p.GetVec(r * c)}
+}
+
+// GetDenseZero returns a zeroed r×c matrix backed by a pooled buffer.
+func (p *Pool) GetDenseZero(r, c int) *Dense {
+	if r < 0 || c < 0 {
+		panic(errNegativeDimension)
+	}
+	return &Dense{rows: r, cols: c, data: p.GetVecZero(r * c)}
+}
+
+// PutDense returns a matrix's backing buffer to the pool. The caller
+// must not use m (or views into it) afterwards.
+func (p *Pool) PutDense(m *Dense) {
+	if p == nil || m == nil {
+		return
+	}
+	p.PutVec(m.data)
+	m.data = nil
+	m.rows, m.cols = 0, 0
+}

@@ -1,6 +1,7 @@
 package kernel
 
 import (
+	"fmt"
 	"math"
 
 	"repro/internal/mat"
@@ -44,6 +45,67 @@ func NewRows(X [][]float64) *Rows {
 		}
 	})
 	return r
+}
+
+// Append grows the flat row store with new feature rows, keeping the
+// stride-padded layout and cached norms. The backing buffers grow with
+// amortized headroom, so the streaming-retrain pattern — many small
+// appends — does not recopy the history each time. Appending to an
+// empty Rows fixes the dimension from the first row.
+func (r *Rows) Append(Xnew [][]float64) error {
+	if len(Xnew) == 0 {
+		return nil
+	}
+	if r.n == 0 && r.d == 0 {
+		*r = *NewRows(Xnew)
+		return nil
+	}
+	for i, row := range Xnew {
+		if len(row) != r.d {
+			return fmt.Errorf("kernel: appended row %d has %d features, want %d", i, len(row), r.d)
+		}
+	}
+	n := r.n + len(Xnew)
+	r.data = growSlice(r.data, n*r.stride)
+	r.norms = growSlice(r.norms, n)
+	for i, row := range Xnew {
+		gi := r.n + i
+		dst := r.data[gi*r.stride : (gi+1)*r.stride]
+		copy(dst, row)
+		var s float64
+		for _, v := range dst {
+			s += v * v
+		}
+		r.norms[gi] = s
+	}
+	r.n = n
+	return nil
+}
+
+// Truncate drops rows from the tail, keeping the backing capacity, so
+// a failed incremental update can roll the store back to its previous
+// length.
+func (r *Rows) Truncate(n int) {
+	if n < 0 || n > r.n {
+		panic(fmt.Sprintf("kernel: truncating %d rows to %d", r.n, n))
+	}
+	r.data = r.data[:n*r.stride]
+	r.norms = r.norms[:n]
+	r.n = n
+}
+
+// growSlice extends s to length n, zero-filling the new tail and
+// reallocating with 1.5× headroom when capacity runs out.
+func growSlice(s []float64, n int) []float64 {
+	if n <= cap(s) {
+		old := len(s)
+		s = s[:n]
+		clear(s[old:])
+		return s
+	}
+	ns := make([]float64, n, max(n, cap(s)*3/2))
+	copy(ns, s)
+	return ns
 }
 
 // Len returns the number of rows.
@@ -108,6 +170,123 @@ func gramDots(r *Rows, out *mat.Dense, transform func(row []float64, i int)) {
 			}
 		}
 	})
+}
+
+// ExtendMatrixRows extends a Gram matrix previously computed over the
+// first oldN rows of r to cover all of r (after Rows.Append), reusing
+// every stored kernel value: only the border — new rows against the
+// whole set — is evaluated, with the fused RBF/poly transforms applied
+// to border rows only. old must be the oldN×oldN matrix MatrixRows
+// produced. The result is a fresh n×n matrix (drawn from pool when
+// given); old is not modified, so the caller decides when to recycle
+// it.
+func ExtendMatrixRows(k Kernel, r *Rows, oldN int, old *mat.Dense, pool *mat.Pool) *mat.Dense {
+	n := r.n
+	if oldN > n || old.Rows() != oldN || old.Cols() != oldN {
+		panic(fmt.Sprintf("kernel: extending %dx%d Gram to %d rows", old.Rows(), old.Cols(), n))
+	}
+	out := pool.GetDense(n, n)
+	mat.Parfor(oldN, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			copy(out.Row(i)[:oldN], old.Row(i))
+		}
+	})
+	transform := borderTransform(k, r)
+	mat.Parfor(n-oldN, func(lo, hi int) {
+		for i := oldN + lo; i < oldN+hi; i++ {
+			row := out.Row(i)[:i+1]
+			if transform == nil && !isFlatKernel(k) {
+				for j := 0; j <= i; j++ {
+					row[j] = k.Eval(r.Row(i), r.Row(j))
+				}
+				continue
+			}
+			mat.DotBatch(r.padded(i), r.data, r.stride, i+1, row)
+			if transform != nil {
+				transform(row, r.norms, r.norms[i])
+			}
+		}
+	})
+	// Mirror only the new columns; the old block is already symmetric.
+	mat.Parfor(n, func(lo, hi int) {
+		for j := lo; j < hi; j++ {
+			drow := out.Row(j)
+			for i := max(j+1, oldN); i < n; i++ {
+				drow[i] = out.At(i, j)
+			}
+		}
+	})
+	return out
+}
+
+// GramBorder fills the bordered blocks of the Gram matrix for the rows
+// appended after oldN: a21 (m×oldN) holds k(new_i, old_j) and a22
+// (m×m, lower triangle only) holds k(new_i, new_j). This is the shape
+// mat.Cholesky.Extend consumes, letting incremental retrainers grow
+// their factor without materializing the full extended Gram.
+func GramBorder(k Kernel, r *Rows, oldN int, a21, a22 *mat.Dense) {
+	m := r.n - oldN
+	if a21.Rows() != m || a21.Cols() != oldN || a22.Rows() != m || a22.Cols() != m {
+		panic(fmt.Sprintf("kernel: GramBorder blocks %dx%d/%dx%d for %d+%d rows",
+			a21.Rows(), a21.Cols(), a22.Rows(), a22.Cols(), oldN, m))
+	}
+	transform := borderTransform(k, r)
+	flat := transform != nil || isFlatKernel(k)
+	mat.Parfor(m, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			gi := oldN + i
+			r21 := a21.Row(i)
+			r22 := a22.Row(i)[:i+1]
+			if !flat {
+				for j := 0; j < oldN; j++ {
+					r21[j] = k.Eval(r.Row(gi), r.Row(j))
+				}
+				for j := 0; j <= i; j++ {
+					r22[j] = k.Eval(r.Row(gi), r.Row(oldN+j))
+				}
+				continue
+			}
+			mat.DotBatch(r.padded(gi), r.data, r.stride, oldN, r21)
+			mat.DotBatch(r.padded(gi), r.data[oldN*r.stride:], r.stride, i+1, r22)
+			if transform != nil {
+				transform(r21, r.norms, r.norms[gi])
+				transform(r22, r.norms[oldN:], r.norms[gi])
+			}
+		}
+	})
+}
+
+// borderTransform returns the in-place map from dot products to kernel
+// values for the built-in non-linear kernels (norms is the slice of
+// squared norms aligned with the row being transformed), or nil when
+// the dot products are the kernel values (Linear) or the kernel needs
+// the per-pair fallback.
+func borderTransform(k Kernel, r *Rows) func(row, norms []float64, selfNorm float64) {
+	switch kk := k.(type) {
+	case RBF:
+		if kk.Gamma > 0 {
+			return func(row, norms []float64, selfNorm float64) {
+				mat.RBFRow(row, norms, selfNorm, kk.Gamma)
+			}
+		}
+	case Poly:
+		return func(row, _ []float64, _ float64) {
+			powRow(row, kk.Scale, kk.Coef0, kk.Degree)
+		}
+	}
+	return nil
+}
+
+// isFlatKernel reports whether plain dot products are the kernel
+// values (so the flat path applies with no transform).
+func isFlatKernel(k Kernel) bool {
+	switch kk := k.(type) {
+	case Linear:
+		return true
+	case RBF:
+		return kk.Gamma > 0 // only the transform-less case falls through
+	}
+	return false
 }
 
 // gramGeneric fills the lower triangle with per-pair Eval calls (the

@@ -1,0 +1,220 @@
+package lasso
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/mat"
+	"repro/internal/ml"
+)
+
+// Cov is the covariance-formulation state of the glmnet trick shared
+// by every Lasso fit on the same design: the Gram matrix G = XᵀX, the
+// correlations q = Xᵀy, the column sums and the target sum. Building
+// it costs one pass over the data; afterwards each coordinate update
+// is O(d), a whole λ-grid path reuses it unchanged (FitPath), and
+// appended training rows fold in with rank-1 updates (Append) so
+// incremental retraining never revisits the history.
+type Cov struct {
+	dim    int
+	n      int
+	g      *mat.Dense // XᵀX
+	q      []float64  // Xᵀy
+	colSum []float64  // Σ_i x_ik
+	ySum   float64    // Σ_i y_i
+}
+
+// NewCov computes the covariance state from a training set.
+func NewCov(X [][]float64, y []float64) (*Cov, error) {
+	dim, err := ml.CheckTrainingSet(X, y)
+	if err != nil {
+		return nil, err
+	}
+	n := len(X)
+	// G is the row Gram of Xᵀ; one transpose buys the flat SymRankK
+	// engine for the heavy accumulation.
+	xt := mat.NewDense(dim, n)
+	for i, row := range X {
+		for k, v := range row {
+			xt.Row(k)[i] = v
+		}
+	}
+	c := &Cov{dim: dim, n: n, g: mat.SymRankK(xt)}
+	if c.q, err = xt.MulVec(y); err != nil {
+		return nil, err
+	}
+	c.colSum = make([]float64, dim)
+	for k := 0; k < dim; k++ {
+		row := xt.Row(k)
+		var sum float64
+		for _, v := range row {
+			sum += v
+		}
+		c.colSum[k] = sum
+	}
+	for _, v := range y {
+		c.ySum += v
+	}
+	return c, nil
+}
+
+// N returns the number of accumulated training rows.
+func (c *Cov) N() int { return c.n }
+
+// Dim returns the feature dimension.
+func (c *Cov) Dim() int { return c.dim }
+
+// Append folds new training rows into the covariance state with one
+// rank-1 update per row — O(m·d²) for m new rows, independent of how
+// much history G already summarizes.
+func (c *Cov) Append(Xnew [][]float64, ynew []float64) error {
+	if len(Xnew) == 0 && len(ynew) == 0 {
+		return nil
+	}
+	dim, err := ml.CheckTrainingSet(Xnew, ynew)
+	if err != nil {
+		return err
+	}
+	if dim != c.dim {
+		return fmt.Errorf("lasso: appended rows have %d features, want %d", dim, c.dim)
+	}
+	for i, x := range Xnew {
+		yi := ynew[i]
+		for k, v := range x {
+			if v != 0 {
+				mat.AddScaled(c.g.Row(k), v, x)
+			}
+			c.q[k] += v * yi
+			c.colSum[k] += v
+		}
+		c.ySum += yi
+	}
+	c.n += len(Xnew)
+	return nil
+}
+
+// solve runs cyclic coordinate descent for one λ on the covariance
+// state, warm-starting from beta/intercept (both updated in place;
+// beta has length Dim). It returns the sweeps used. This is the one
+// solver behind Model.Fit, Model.Update and FitPath, so every path —
+// cold, warm, incremental — performs identical arithmetic.
+func (c *Cov) solve(beta []float64, intercept *float64, lam float64, opts Options) int {
+	dim := c.dim
+	fn := float64(c.n)
+	colSq := make([]float64, dim)
+	for k := 0; k < dim; k++ {
+		colSq[k] = 2 * c.g.At(k, k) / fn
+	}
+	ybar := c.ySum / fn
+	b0 := *intercept
+	if !opts.FitIntercept {
+		b0 = 0
+	}
+
+	// Warm-start state: u = G·β, v = sᵀβ, maintained incrementally as
+	// β changes.
+	u := make([]float64, dim)
+	var v float64
+	for k, b := range beta {
+		if b != 0 {
+			mat.AddScaled(u, b, c.g.Row(k))
+			v += b * c.colSum[k]
+		}
+	}
+
+	var iter int
+	for iter = 0; iter < opts.MaxIter; iter++ {
+		maxDelta := 0.0
+		scale := 0.0
+		for k := 0; k < dim; k++ {
+			if colSq[k] == 0 {
+				beta[k] = 0 // constant zero column gets no weight
+				continue
+			}
+			// c_k = (2/n)·Σ x_ik (r_i + x_ik β_k)
+			dot := c.q[k] - b0*c.colSum[k] - u[k]
+			ck := 2*dot/fn + colSq[k]*beta[k]
+			newBeta := softThreshold(ck, lam) / colSq[k]
+			if d := newBeta - beta[k]; d != 0 {
+				mat.AddScaled(u, d, c.g.Row(k))
+				v += d * c.colSum[k]
+				if ad := math.Abs(d); ad > maxDelta {
+					maxDelta = ad
+				}
+			}
+			if ab := math.Abs(beta[k]); ab > scale {
+				scale = ab
+			}
+			beta[k] = newBeta
+		}
+		if opts.FitIntercept {
+			// The optimal unpenalized intercept shift is the residual
+			// mean ȳ − b − (sᵀβ)/n.
+			mean := ybar - b0 - v/fn
+			if mean != 0 {
+				b0 += mean
+			}
+		}
+		if maxDelta <= opts.Tol*(scale+1e-12) {
+			iter++
+			break
+		}
+	}
+	*intercept = b0
+	return iter
+}
+
+// PathResult is the solution at one λ of a regularization path.
+type PathResult struct {
+	// Lambda is the penalty this solution was computed at.
+	Lambda float64
+	// Coef and Intercept are the fitted parameters.
+	Coef      []float64
+	Intercept float64
+	// Iterations is the number of coordinate-descent sweeps used.
+	Iterations int
+}
+
+// FitPath solves the Lasso at every λ in lambdas over one shared
+// covariance build: XᵀX and Xᵀy are computed once and the
+// coefficients warm-start from the previous grid point, exactly the
+// arithmetic of chaining warm-started Fits but without the per-λ
+// covariance rebuild (ascending λ order recommended). opts.Lambda is
+// ignored; the grid supplies the penalties.
+func FitPath(X [][]float64, y []float64, lambdas []float64, opts Options) ([]PathResult, error) {
+	cov, err := NewCov(X, y)
+	if err != nil {
+		return nil, err
+	}
+	return FitPathCov(cov, lambdas, opts)
+}
+
+// FitPathCov is FitPath for callers that already hold (and possibly
+// incrementally maintain) the covariance state.
+func FitPathCov(cov *Cov, lambdas []float64, opts Options) ([]PathResult, error) {
+	if len(lambdas) == 0 {
+		return nil, fmt.Errorf("lasso: empty lambda grid")
+	}
+	for _, l := range lambdas {
+		if l < 0 || math.IsNaN(l) {
+			return nil, fmt.Errorf("lasso: negative lambda %v", l)
+		}
+	}
+	opts.Lambda = lambdas[0]
+	if err := opts.Validate(); err != nil {
+		return nil, err
+	}
+	beta := make([]float64, cov.dim)
+	var intercept float64
+	out := make([]PathResult, 0, len(lambdas))
+	for _, lam := range lambdas {
+		iters := cov.solve(beta, &intercept, lam, opts)
+		out = append(out, PathResult{
+			Lambda:     lam,
+			Coef:       append([]float64(nil), beta...),
+			Intercept:  intercept,
+			Iterations: iters,
+		})
+	}
+	return out, nil
+}

@@ -1,0 +1,237 @@
+package lasso
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/randx"
+)
+
+// pathGrid is a λ grid matched to makeSparseProblem's scales.
+func pathGrid() []float64 {
+	return []float64{0.01, 0.1, 0.5, 1, 2, 5, 10, 20}
+}
+
+// TestFitPathMatchesWarmStartedFits pins FitPath against its
+// from-scratch counterpart: the warm-started per-λ Fit loop featsel
+// used before (one model reused across the grid, covariance rebuilt
+// every λ). The arithmetic is identical, so the match is exact.
+func TestFitPathMatchesWarmStartedFits(t *testing.T) {
+	src := randx.New(21)
+	X, y := makeSparseProblem(src, 300)
+	grid := pathGrid()
+
+	got, err := FitPath(X, y, grid, DefaultOptions(grid[0]))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := New(DefaultOptions(grid[0]))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for gi, lam := range grid {
+		if err := m.SetLambda(lam); err != nil {
+			t.Fatal(err)
+		}
+		if err := m.Fit(X, y); err != nil {
+			t.Fatal(err)
+		}
+		if got[gi].Lambda != lam {
+			t.Fatalf("grid[%d]: lambda %g, want %g", gi, got[gi].Lambda, lam)
+		}
+		if d := math.Abs(got[gi].Intercept - m.Intercept); d > 1e-8 {
+			t.Fatalf("lambda %g: intercept diff %g", lam, d)
+		}
+		for k := range m.Coef {
+			if d := math.Abs(got[gi].Coef[k] - m.Coef[k]); d > 1e-8 {
+				t.Fatalf("lambda %g: coef[%d] diff %g", lam, k, d)
+			}
+		}
+		if got[gi].Iterations != m.Iterations {
+			t.Fatalf("lambda %g: %d iterations, want %d", lam, got[gi].Iterations, m.Iterations)
+		}
+	}
+}
+
+// TestCovAppendMatchesFresh checks the rank-1 append path reproduces
+// the covariance state a fresh build over the combined rows computes,
+// including across repeated small appends.
+func TestCovAppendMatchesFresh(t *testing.T) {
+	src := randx.New(22)
+	X, y := makeSparseProblem(src, 240)
+	grown, err := NewCov(X[:100], y[:100])
+	if err != nil {
+		t.Fatal(err)
+	}
+	for at := 100; at < len(X); at += 35 {
+		end := min(at+35, len(X))
+		if err := grown.Append(X[at:end], y[at:end]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	fresh, err := NewCov(X, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if grown.N() != fresh.N() || grown.Dim() != fresh.Dim() {
+		t.Fatalf("state %d/%d, want %d/%d", grown.N(), grown.Dim(), fresh.N(), fresh.Dim())
+	}
+	for k := 0; k < fresh.Dim(); k++ {
+		for j := 0; j < fresh.Dim(); j++ {
+			if d := math.Abs(grown.g.At(k, j) - fresh.g.At(k, j)); d > 1e-8 {
+				t.Fatalf("g[%d][%d] diff %g", k, j, d)
+			}
+		}
+		if d := math.Abs(grown.q[k] - fresh.q[k]); d > 1e-8 {
+			t.Fatalf("q[%d] diff %g", k, d)
+		}
+		if d := math.Abs(grown.colSum[k] - fresh.colSum[k]); d > 1e-8 {
+			t.Fatalf("colSum[%d] diff %g", k, d)
+		}
+	}
+	if d := math.Abs(grown.ySum - fresh.ySum); d > 1e-8 {
+		t.Fatalf("ySum diff %g", d)
+	}
+	// Dimension mismatch is rejected.
+	if err := grown.Append([][]float64{{1, 2}}, []float64{1}); err == nil {
+		t.Fatal("expected dimension error")
+	}
+}
+
+// TestModelUpdateMatchesCombinedFit checks the incremental Update
+// reaches the same optimum a from-scratch fit on the combined data
+// does (same convex objective, so both converge to it).
+func TestModelUpdateMatchesCombinedFit(t *testing.T) {
+	src := randx.New(23)
+	X, y := makeSparseProblem(src, 260)
+	for _, lam := range []float64{0.1, 2} {
+		inc, err := New(DefaultOptions(lam))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := inc.Fit(X[:200], y[:200]); err != nil {
+			t.Fatal(err)
+		}
+		if err := inc.Update(X[200:230], y[200:230]); err != nil {
+			t.Fatal(err)
+		}
+		if err := inc.Update(X[230:], y[230:]); err != nil {
+			t.Fatal(err)
+		}
+		ref, err := New(DefaultOptions(lam))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := ref.Fit(X, y); err != nil {
+			t.Fatal(err)
+		}
+		for k := range ref.Coef {
+			if d := math.Abs(inc.Coef[k] - ref.Coef[k]); d > 1e-4 {
+				t.Fatalf("lambda %g: coef[%d] %g vs %g", lam, k, inc.Coef[k], ref.Coef[k])
+			}
+		}
+		if d := math.Abs(inc.Intercept - ref.Intercept); d > 1e-4 {
+			t.Fatalf("lambda %g: intercept %g vs %g", lam, inc.Intercept, ref.Intercept)
+		}
+	}
+	// Update before Fit is an error.
+	cold, _ := New(DefaultOptions(1))
+	if err := cold.Update(X[:2], y[:2]); err == nil {
+		t.Fatal("expected error for Update before Fit")
+	}
+}
+
+// benchPathProblem builds a correlated design resembling the raw F2PM
+// features (used/free pairs) at paper scale.
+func benchPathProblem(n, d int) ([][]float64, []float64) {
+	src := randx.New(99)
+	X := make([][]float64, n)
+	y := make([]float64, n)
+	for i := range X {
+		row := make([]float64, d)
+		base := src.Uniform(0, 1e6)
+		for j := range row {
+			if j%2 == 0 {
+				row[j] = base + src.Norm(0, 1e3)
+			} else {
+				row[j] = src.Uniform(0, 100)
+			}
+		}
+		X[i] = row
+		y[i] = 1e-4*row[0] - 2e-4*row[2] + 0.5*row[1] + src.Norm(0, 10)
+	}
+	return X, y
+}
+
+// benchGrid24 is the 24-λ grid of BenchmarkLassoFitPath: the paper's
+// decade grid 10⁰..10⁹ refined with intermediate points.
+func benchGrid24() []float64 {
+	out := make([]float64, 0, 24)
+	for e := 0; e < 12; e++ {
+		out = append(out, math.Pow(10, float64(e)*0.834), 3*math.Pow(10, float64(e)*0.834))
+	}
+	return out
+}
+
+// benchPathN is the training-set size of the path benchmarks — the
+// paper-scale row count where the per-λ covariance rebuild (O(n·d²))
+// dominates the sweeps (O(d²) each).
+const benchPathN = 4000
+
+// decadeGrid is the paper's default λ grid 10⁰..10⁹.
+func decadeGrid() []float64 {
+	out := make([]float64, 10)
+	for e := range out {
+		out[e] = math.Pow(10, float64(e))
+	}
+	return out
+}
+
+func benchFitPath(b *testing.B, grid []float64) {
+	X, y := benchPathProblem(benchPathN, 30)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := FitPath(X, y, grid, DefaultOptions(grid[0]))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(res) != len(grid) {
+			b.Fatal("short path")
+		}
+	}
+}
+
+// BenchmarkLassoFitPath measures the shared-covariance path solver
+// over a 24-λ grid.
+func BenchmarkLassoFitPath(b *testing.B) { benchFitPath(b, benchGrid24()) }
+
+// BenchmarkLassoPathDefaultGrid is FitPath over the paper's default
+// 10⁰..10⁹ grid — compare with BenchmarkLassoFitPerLambda, its
+// from-scratch counterpart on the same grid.
+func BenchmarkLassoPathDefaultGrid(b *testing.B) { benchFitPath(b, decadeGrid()) }
+
+// BenchmarkLassoFitPerLambda is the from-scratch counterpart of
+// BenchmarkLassoPathDefaultGrid: the warm-started per-λ Fit loop that
+// rebuilds the covariance at every grid point (featsel's pre-FitPath
+// behaviour).
+func BenchmarkLassoFitPerLambda(b *testing.B) {
+	X, y := benchPathProblem(benchPathN, 30)
+	grid := decadeGrid()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m, err := New(DefaultOptions(grid[0]))
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, lam := range grid {
+			if err := m.SetLambda(lam); err != nil {
+				b.Fatal(err)
+			}
+			if err := m.Fit(X, y); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}

@@ -25,7 +25,6 @@ import (
 	"fmt"
 	"math"
 
-	"repro/internal/mat"
 	"repro/internal/ml"
 )
 
@@ -72,6 +71,11 @@ type Model struct {
 	// Iterations is the number of sweeps the last Fit used.
 	Iterations int
 	fitted     bool
+	// cov is the covariance state retained by Fit so Update can fold
+	// new rows in with rank-1 updates instead of revisiting the
+	// history. It is small (d×d) and not serialized; a restored model
+	// cannot be updated until it is refitted.
+	cov *Cov
 }
 
 // New returns an unfitted Lasso model.
@@ -99,116 +103,54 @@ func (m *Model) SetLambda(lambda float64) error {
 	return nil
 }
 
-// Fit runs cyclic coordinate descent. A warm start is used when the
-// model was previously fitted with the same dimensionality (regularization
-// paths exploit this).
+// Fit runs cyclic coordinate descent on the covariance (Gram)
+// formulation — see Cov for the glmnet trick. A warm start is used
+// when the model was previously fitted with the same dimensionality
+// (regularization paths exploit this). The covariance state is
+// retained, so a later Update extends the fit at the cost of the new
+// rows only.
 func (m *Model) Fit(X [][]float64, y []float64) error {
-	dim, err := ml.CheckTrainingSet(X, y)
+	cov, err := NewCov(X, y)
 	if err != nil {
 		return err
 	}
-	n := len(X)
-	fn := float64(n)
-
-	beta := make([]float64, dim)
-	if m.fitted && len(m.Coef) == dim {
+	beta := make([]float64, cov.dim)
+	if m.fitted && len(m.Coef) == cov.dim {
 		copy(beta, m.Coef) // warm start
 	}
 	intercept := m.Intercept
 	if !m.opts.FitIntercept {
 		intercept = 0
 	}
-
-	// Covariance (Gram) formulation, the glmnet trick: precompute
-	// G = XᵀX (d×d, via the flat SymRankK engine), q = Xᵀy and the
-	// column sums s once, then each coordinate update costs O(d)
-	// instead of O(n). The residual correlation needed by the update is
-	//
-	//	Σ_i x_ik r_i = q_k − b·s_k − (Gβ)_k
-	//
-	// with u = Gβ and v = sᵀβ maintained incrementally as β changes.
-	xt := mat.NewDense(dim, n)
-	for i, row := range X {
-		for k, v := range row {
-			xt.Row(k)[i] = v
-		}
-	}
-	g := mat.SymRankK(xt)
-	q, err := xt.MulVec(y)
-	if err != nil {
-		return err
-	}
-	colSum := make([]float64, dim)
-	colSq := make([]float64, dim)
-	for k := 0; k < dim; k++ {
-		row := xt.Row(k)
-		var sum float64
-		for _, v := range row {
-			sum += v
-		}
-		colSum[k] = sum
-		colSq[k] = 2 * g.At(k, k) / fn
-	}
-	var ybar float64
-	for _, v := range y {
-		ybar += v
-	}
-	ybar /= fn
-
-	// Warm-start state: u = G·β, v = sᵀβ.
-	u := make([]float64, dim)
-	var v float64
-	for k, b := range beta {
-		if b != 0 {
-			mat.AddScaled(u, b, g.Row(k))
-			v += b * colSum[k]
-		}
-	}
-
-	lam := m.opts.Lambda
-	var iter int
-	for iter = 0; iter < m.opts.MaxIter; iter++ {
-		maxDelta := 0.0
-		scale := 0.0
-		for k := 0; k < dim; k++ {
-			if colSq[k] == 0 {
-				beta[k] = 0 // constant zero column gets no weight
-				continue
-			}
-			// c_k = (2/n)·Σ x_ik (r_i + x_ik β_k)
-			dot := q[k] - intercept*colSum[k] - u[k]
-			ck := 2*dot/fn + colSq[k]*beta[k]
-			newBeta := softThreshold(ck, lam) / colSq[k]
-			if d := newBeta - beta[k]; d != 0 {
-				mat.AddScaled(u, d, g.Row(k))
-				v += d * colSum[k]
-				if ad := math.Abs(d); ad > maxDelta {
-					maxDelta = ad
-				}
-			}
-			if ab := math.Abs(beta[k]); ab > scale {
-				scale = ab
-			}
-			beta[k] = newBeta
-		}
-		if m.opts.FitIntercept {
-			// The optimal unpenalized intercept shift is the residual
-			// mean ȳ − b − (sᵀβ)/n.
-			mean := ybar - intercept - v/fn
-			if mean != 0 {
-				intercept += mean
-			}
-		}
-		if maxDelta <= m.opts.Tol*(scale+1e-12) {
-			iter++
-			break
-		}
-	}
+	iter := cov.solve(beta, &intercept, m.opts.Lambda, m.opts)
 
 	m.Coef = beta
 	m.Intercept = intercept
 	m.Iterations = iter
 	m.fitted = true
+	m.cov = cov
+	return nil
+}
+
+// Update implements ml.IncrementalRegressor: new training rows fold
+// into the retained covariance state with rank-1 updates and the
+// coordinates re-converge warm-started from the current solution, so
+// the cost scales with the new rows (plus O(d²) sweeps), not the
+// history. The result converges to the same optimum as refitting on
+// the combined data.
+func (m *Model) Update(Xnew [][]float64, ynew []float64) error {
+	if !m.fitted || m.cov == nil {
+		return fmt.Errorf("lasso: Update before Fit (restored models must be refitted): %w", ml.ErrNotFitted)
+	}
+	if err := m.cov.Append(Xnew, ynew); err != nil {
+		return err
+	}
+	intercept := m.Intercept
+	if !m.opts.FitIntercept {
+		intercept = 0
+	}
+	m.Iterations = m.cov.solve(m.Coef, &intercept, m.opts.Lambda, m.opts)
+	m.Intercept = intercept
 	return nil
 }
 
@@ -260,7 +202,10 @@ func (m *Model) Selected() []int {
 	return out
 }
 
-var _ ml.Regressor = (*Model)(nil)
+var (
+	_ ml.Regressor            = (*Model)(nil)
+	_ ml.IncrementalRegressor = (*Model)(nil)
+)
 
 // lassoJSON is the serialized model state.
 type lassoJSON struct {

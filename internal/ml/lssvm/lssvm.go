@@ -10,6 +10,13 @@
 // A·η = 1, A·ν = y, b = (1ᵀν)/(1ᵀη), α = ν − b·η. Every training point
 // becomes a support vector, which is why LS-SVM training cost is cubic in
 // n — the reason it sits near plain SVM in the paper's Table III.
+//
+// The cubic cost is paid once: the factor is retained with growth
+// headroom, and Update extends the fitted model with new training runs
+// at O(n²·m) — the kernel border is evaluated against the flat row
+// store, the factor grows in place via mat.Cholesky.Extend, and only
+// the two O(n²) triangular solves re-run. This is the incremental
+// retraining path behind core.Pipeline.Update.
 package lssvm
 
 import (
@@ -29,6 +36,14 @@ type Options struct {
 	// Kernel computes similarities on standardized inputs; nil selects
 	// RBF with the 1/d heuristic.
 	Kernel kernel.Kernel
+	// Standardizer optionally fixes the feature standardization
+	// instead of fitting it from the training data. Incremental
+	// updates always freeze the initial fit's standardizer (changing
+	// it would invalidate every cached kernel value); pinning it here
+	// additionally lets a from-scratch Fit reproduce an incrementally
+	// updated model exactly, which is how the parity tests cross-check
+	// Update.
+	Standardizer *kernel.Standardizer
 }
 
 // DefaultOptions returns common LS-SVM settings.
@@ -59,6 +74,16 @@ type Model struct {
 	yMean, yStd float64
 	dim         int
 	fitted      bool
+
+	// Incremental-retraining state: the Cholesky factor of the
+	// regularized kernel system (grown in place by Update), the total
+	// diagonal shift it was factored with (ridge plus any jitter), and
+	// the raw targets, re-standardized over the combined history on
+	// every update. chol is nil on a deserialized model and rebuilt
+	// lazily by the first Update.
+	chol    *mat.Cholesky
+	diagAdd float64
+	yRaw    []float64
 }
 
 // New returns an unfitted LS-SVM.
@@ -72,7 +97,19 @@ func New(opts Options) (*Model, error) {
 // Name implements ml.Regressor; the paper's tables call this model "SVM2".
 func (m *Model) Name() string { return "svm2" }
 
-// Fit solves the LS-SVM linear system.
+// pool recycles factor buffers, border blocks and prediction scratch
+// across models: the training pipeline fits and retrains many LS-SVMs
+// on same-sized data, so recycled buffers stay warm.
+var pool = &mat.Pool{}
+
+// growHeadroom returns the factor capacity Fit reserves for n training
+// rows: ~12% spare so the typical incremental batches extend the
+// factor fully in place.
+func growHeadroom(n int) int { return n + n/8 + 32 }
+
+// Fit solves the LS-SVM linear system. The Cholesky factor of the
+// regularized kernel matrix is retained (with spare capacity), so a
+// later Update extends it at a cost scaling with the new rows.
 func (m *Model) Fit(X [][]float64, y []float64) error {
 	dim, err := ml.CheckTrainingSet(X, y)
 	if err != nil {
@@ -80,24 +117,18 @@ func (m *Model) Fit(X [][]float64, y []float64) error {
 	}
 	n := len(X)
 
-	m.std = kernel.FitStandardizer(X)
-	Xs := m.std.ApplyAll(X)
-
-	m.yMean = ml.Mean(y)
-	m.yStd = math.Sqrt(ml.Variance(y))
-	if m.yStd == 0 {
-		m.yStd = 1
+	std := m.opts.Standardizer
+	if std == nil {
+		std = kernel.FitStandardizer(X)
+	} else if len(std.Mean) != dim || len(std.Std) != dim {
+		return fmt.Errorf("lssvm: pinned standardizer has dimension %d, want %d", len(std.Mean), dim)
 	}
-	ys := make([]float64, n)
-	for i, v := range y {
-		ys[i] = (v - m.yMean) / m.yStd
-	}
+	Xs := std.ApplyAll(X)
 
 	kern := m.opts.Kernel
 	if kern == nil {
 		kern = kernel.RBF{Gamma: 1 / float64(dim)}
 	}
-	m.kern = kern
 
 	rows := kernel.NewRows(Xs)
 	a := kernel.MatrixRows(kern, rows)
@@ -105,26 +136,60 @@ func (m *Model) Fit(X [][]float64, y []float64) error {
 	for i := 0; i < n; i++ {
 		a.Set(i, i, a.At(i, i)+ridge)
 	}
+	ch, jitter, err := mat.NewCholeskyJittered(a, growHeadroom(n), pool)
+	if err != nil {
+		return fmt.Errorf("lssvm: solving kernel system: %w", err)
+	}
+	sol, err := solveSystem(ch, y)
+	if err != nil {
+		return err
+	}
 
+	// Commit only now: a failure above leaves a previously fitted
+	// model fully usable.
+	m.std = std
+	m.kern = kern
+	m.trainRows = rows
+	m.dim = dim
+	m.chol = ch
+	m.diagAdd = ridge + jitter
+	m.yRaw = ml.CloneVector(y)
+	m.applySolution(sol)
+	m.fitted = true
+	return nil
+}
+
+// solution is the model state derived from a factor and raw targets.
+type solution struct {
+	alpha       []float64
+	bias        float64
+	yMean, yStd float64
+}
+
+// solveSystem derives the bias and dual coefficients from a factor and
+// the raw targets: the targets are standardized over the full history,
+// then the block elimination runs its two triangular solves — O(n²),
+// the cheap tail of both Fit and Update. It mutates nothing, so
+// callers commit results only on success.
+func solveSystem(ch *mat.Cholesky, yRaw []float64) (solution, error) {
+	n := len(yRaw)
+	sol := solution{yMean: ml.Mean(yRaw), yStd: math.Sqrt(ml.Variance(yRaw))}
+	if sol.yStd == 0 {
+		sol.yStd = 1
+	}
+	ys := make([]float64, n)
 	ones := make([]float64, n)
-	for i := range ones {
+	for i, v := range yRaw {
+		ys[i] = (v - sol.yMean) / sol.yStd
 		ones[i] = 1
 	}
-	ch, err := mat.NewCholesky(a)
-	var eta, nu []float64
-	if err == nil {
-		if eta, err = ch.Solve(ones); err == nil {
-			nu, err = ch.Solve(ys)
-		}
-	}
+	eta, err := ch.Solve(ones)
 	if err != nil {
-		// Near-singular kernel matrix: fall back to the jittered solver.
-		if eta, err = mat.SolveSPD(a, ones); err != nil {
-			return fmt.Errorf("lssvm: solving kernel system: %w", err)
-		}
-		if nu, err = mat.SolveSPD(a, ys); err != nil {
-			return fmt.Errorf("lssvm: solving kernel system: %w", err)
-		}
+		return sol, fmt.Errorf("lssvm: solving kernel system: %w", err)
+	}
+	nu, err := ch.Solve(ys)
+	if err != nil {
+		return sol, fmt.Errorf("lssvm: solving kernel system: %w", err)
 	}
 	sumEta := 0.0
 	sumNu := 0.0
@@ -133,35 +198,139 @@ func (m *Model) Fit(X [][]float64, y []float64) error {
 		sumNu += nu[i]
 	}
 	if sumEta == 0 {
-		return fmt.Errorf("lssvm: degenerate system (1ᵀη = 0)")
+		return sol, fmt.Errorf("lssvm: degenerate system (1ᵀη = 0)")
 	}
-	b := sumNu / sumEta
-	alpha := make([]float64, n)
+	sol.bias = sumNu / sumEta
+	sol.alpha = nu
 	for i := 0; i < n; i++ {
-		alpha[i] = nu[i] - b*eta[i]
+		sol.alpha[i] = nu[i] - sol.bias*eta[i]
 	}
+	return sol, nil
+}
 
-	m.trainRows = rows
-	m.alpha = alpha
-	m.bias = b
-	m.dim = dim
-	m.fitted = true
+// applySolution installs a solved coefficient set.
+func (m *Model) applySolution(sol solution) {
+	m.alpha = sol.alpha
+	m.bias = sol.bias
+	m.yMean = sol.yMean
+	m.yStd = sol.yStd
+}
+
+// Update implements ml.IncrementalRegressor: new training runs extend
+// the fitted model in place instead of triggering a from-scratch
+// retrain. The flat row store grows by the standardized new rows, the
+// kernel border (new×old and new×new blocks only) is evaluated, and
+// the Cholesky factor of the regularized system is extended with a
+// bordered factorization — O(n²·m) for m new rows against O(n³/3) for
+// a rebuild. The feature standardizer and kernel are frozen at the
+// initial Fit (a from-scratch Fit with Options.Standardizer pinned to
+// the same statistics reproduces the updated model); the target
+// standardization is recomputed exactly over the combined history.
+//
+// On error the model is unchanged and still usable; a caller that
+// needs the new data anyway should fall back to Fit on the combined
+// training set.
+func (m *Model) Update(Xnew [][]float64, ynew []float64) error {
+	if !m.fitted {
+		return ml.ErrNotFitted
+	}
+	if len(Xnew) == 0 && len(ynew) == 0 {
+		return nil
+	}
+	dim, err := ml.CheckTrainingSet(Xnew, ynew)
+	if err != nil {
+		return err
+	}
+	if dim != m.dim {
+		return fmt.Errorf("lssvm: appended rows have %d features, want %d", dim, m.dim)
+	}
+	if m.chol == nil {
+		// Deserialized model: rebuild the factor once, then extend.
+		if err := m.rebuildFactor(); err != nil {
+			return err
+		}
+	}
+	oldN := m.trainRows.Len()
+	mNew := len(Xnew)
+	Xs := m.std.ApplyAll(Xnew)
+	if err := m.trainRows.Append(Xs); err != nil {
+		return err
+	}
+	a21 := pool.GetDense(mNew, oldN)
+	a22 := pool.GetDense(mNew, mNew)
+	kernel.GramBorder(m.kern, m.trainRows, oldN, a21, a22)
+	for i := 0; i < mNew; i++ {
+		a22.Set(i, i, a22.At(i, i)+m.diagAdd)
+	}
+	err = m.chol.Extend(a21, a22, pool)
+	// A border that breaks positive definiteness gets the same jitter
+	// escalation as Fit, applied to the new block (the factored
+	// history keeps its original shift).
+	jitter := 1e-10 * (m.diagAdd + 1)
+	for attempt := 0; err == mat.ErrNotPositiveDefinite && attempt < 8; attempt++ {
+		for i := 0; i < mNew; i++ {
+			a22.Set(i, i, a22.At(i, i)+jitter)
+		}
+		err = m.chol.Extend(a21, a22, pool)
+		jitter *= 100
+	}
+	pool.PutDense(a21)
+	pool.PutDense(a22)
+	if err != nil {
+		m.trainRows.Truncate(oldN)
+		return fmt.Errorf("lssvm: extending kernel system: %w", err)
+	}
+	combined := append(m.yRaw, ynew...)
+	sol, err := solveSystem(m.chol, combined)
+	if err != nil {
+		// Roll the extension back; the model keeps its previous fit.
+		m.trainRows.Truncate(oldN)
+		m.chol.Truncate(oldN)
+		return err
+	}
+	m.yRaw = combined
+	m.applySolution(sol)
+	return nil
+}
+
+// rebuildFactor refactors the full regularized kernel system from the
+// stored training rows — the one-time O(n³) cost a deserialized model
+// pays before its first incremental update.
+func (m *Model) rebuildFactor() error {
+	if len(m.yRaw) != m.trainRows.Len() {
+		return fmt.Errorf("lssvm: restored model carries no targets; refit before Update")
+	}
+	a := kernel.MatrixRows(m.kern, m.trainRows)
+	ridge := 1 / m.opts.Gamma
+	for i := 0; i < a.Rows(); i++ {
+		a.Set(i, i, a.At(i, i)+ridge)
+	}
+	ch, jitter, err := mat.NewCholeskyJittered(a, growHeadroom(a.Rows()), pool)
+	if err != nil {
+		return fmt.Errorf("lssvm: refactoring kernel system: %w", err)
+	}
+	m.chol = ch
+	m.diagAdd = ridge + jitter
 	return nil
 }
 
 // Predict implements ml.Regressor:
-// f(x) = Σ_i α_i k(x_i, x) + b, de-standardized.
+// f(x) = Σ_i α_i k(x_i, x) + b, de-standardized. Scratch comes from
+// the shared pool, so single-sample prediction is allocation-free
+// after warm-up — the live-monitoring hot path.
 func (m *Model) Predict(x []float64) float64 {
 	if !m.fitted || len(x) != m.dim {
 		return math.NaN()
 	}
-	scratch := make([]float64, m.dim+len(m.alpha))
-	return m.predictInto(x, scratch[:m.dim], scratch[m.dim:])
+	scratch := pool.GetVec(m.dim + len(m.alpha))
+	out := m.predictInto(x, scratch[:m.dim], scratch[m.dim:])
+	pool.PutVec(scratch)
+	return out
 }
 
-// PredictBatch implements ml.BatchPredictor, reusing one scratch
-// buffer across rows and evaluating every training point through the
-// batched kernel path.
+// PredictBatch implements ml.BatchPredictor, reusing one pooled
+// scratch buffer across rows and evaluating every training point
+// through the batched kernel path.
 func (m *Model) PredictBatch(X [][]float64, out []float64) {
 	if !m.fitted {
 		for i := range X {
@@ -169,7 +338,7 @@ func (m *Model) PredictBatch(X [][]float64, out []float64) {
 		}
 		return
 	}
-	scratch := make([]float64, m.dim+len(m.alpha))
+	scratch := pool.GetVec(m.dim + len(m.alpha))
 	xbuf, kbuf := scratch[:m.dim], scratch[m.dim:]
 	for i, x := range X {
 		if len(x) != m.dim {
@@ -178,6 +347,7 @@ func (m *Model) PredictBatch(X [][]float64, out []float64) {
 		}
 		out[i] = m.predictInto(x, xbuf, kbuf)
 	}
+	pool.PutVec(scratch)
 }
 
 // predictInto evaluates one row using caller-provided scratch.
@@ -192,17 +362,22 @@ func (m *Model) predictInto(x, xbuf, kbuf []float64) float64 {
 }
 
 var (
-	_ ml.Regressor      = (*Model)(nil)
-	_ ml.BatchPredictor = (*Model)(nil)
+	_ ml.Regressor            = (*Model)(nil)
+	_ ml.BatchPredictor       = (*Model)(nil)
+	_ ml.IncrementalRegressor = (*Model)(nil)
 )
 
-// lssvmJSON is the serialized model state.
+// lssvmJSON is the serialized model state. TrainY carries the raw
+// targets so a restored model can keep taking incremental updates
+// (absent in payloads from older versions, which then require a refit
+// before Update).
 type lssvmJSON struct {
 	Options Options         `json:"options"`
 	Kernel  json.RawMessage `json:"kernel"`
 	Mean    []float64       `json:"mean"`
 	Std     []float64       `json:"std"`
 	TrainX  [][]float64     `json:"train_x"`
+	TrainY  []float64       `json:"train_y,omitempty"`
 	Alpha   []float64       `json:"alpha"`
 	Bias    float64         `json:"bias"`
 	YMean   float64         `json:"y_mean"`
@@ -223,6 +398,7 @@ func (m *Model) MarshalJSON() ([]byte, error) {
 	}
 	opts := m.opts
 	opts.Kernel = nil
+	opts.Standardizer = nil // carried by Mean/Std
 	trainX := make([][]float64, m.trainRows.Len())
 	for i := range trainX {
 		trainX[i] = m.trainRows.Row(i)
@@ -230,7 +406,7 @@ func (m *Model) MarshalJSON() ([]byte, error) {
 	return json.Marshal(lssvmJSON{
 		Options: opts, Kernel: kj,
 		Mean: m.std.Mean, Std: m.std.Std,
-		TrainX: trainX, Alpha: m.alpha, Bias: m.bias,
+		TrainX: trainX, TrainY: m.yRaw, Alpha: m.alpha, Bias: m.bias,
 		YMean: m.yMean, YStd: m.yStd, Dim: m.dim,
 	})
 }
@@ -244,6 +420,9 @@ func (m *Model) UnmarshalJSON(data []byte) error {
 	if s.Dim <= 0 || len(s.TrainX) != len(s.Alpha) {
 		return fmt.Errorf("lssvm: malformed serialized model (dim=%d, %d points, %d alphas)",
 			s.Dim, len(s.TrainX), len(s.Alpha))
+	}
+	if len(s.TrainY) != 0 && len(s.TrainY) != len(s.TrainX) {
+		return fmt.Errorf("lssvm: %d targets for %d training points", len(s.TrainY), len(s.TrainX))
 	}
 	if len(s.Mean) != s.Dim || len(s.Std) != s.Dim {
 		return fmt.Errorf("lssvm: standardizer dimension mismatch")
@@ -266,6 +445,9 @@ func (m *Model) UnmarshalJSON(data []byte) error {
 	m.yMean = s.YMean
 	m.yStd = s.YStd
 	m.dim = s.Dim
+	m.yRaw = s.TrainY
+	m.chol = nil // rebuilt lazily by the first Update
+	m.diagAdd = 0
 	m.fitted = true
 	return nil
 }

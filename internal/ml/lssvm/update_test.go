@@ -1,0 +1,250 @@
+package lssvm
+
+import (
+	"encoding/json"
+	"math"
+	"testing"
+
+	"repro/internal/ml/kernel"
+	"repro/internal/randx"
+)
+
+// multiData builds a d-dimensional smooth regression problem.
+func multiData(src *randx.Source, n, d int) (X [][]float64, y []float64) {
+	for i := 0; i < n; i++ {
+		row := make([]float64, d)
+		var s float64
+		for j := range row {
+			row[j] = src.Uniform(-2, 2)
+			s += row[j] * math.Sin(float64(j+1)*row[j])
+		}
+		X = append(X, row)
+		y = append(y, s+src.Norm(0, 0.05))
+	}
+	return X, y
+}
+
+// updateKernels is the roster the incremental retrain is pinned over.
+func updateKernels(d int) []kernel.Kernel {
+	return []kernel.Kernel{
+		kernel.Linear{},
+		kernel.RBF{Gamma: 1 / float64(d)},
+		kernel.Poly{Degree: 2, Scale: 0.5, Coef0: 1},
+	}
+}
+
+// TestUpdateMatchesPinnedFit pins the incremental Update to its
+// from-scratch counterpart: a Fit over the combined data with the same
+// (frozen) standardizer, for every built-in kernel, including repeated
+// small appends.
+func TestUpdateMatchesPinnedFit(t *testing.T) {
+	src := randx.New(31)
+	const d, base, total = 4, 120, 180
+	X, y := multiData(src, total, d)
+	Xq, _ := multiData(src, 40, d)
+	std := kernel.FitStandardizer(X[:base])
+
+	for _, k := range updateKernels(d) {
+		opts := DefaultOptions()
+		opts.Kernel = k
+		opts.Standardizer = std
+
+		inc, err := New(opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := inc.Fit(X[:base], y[:base]); err != nil {
+			t.Fatalf("%s: fit: %v", k.Name(), err)
+		}
+		// Three appends of uneven size, the streaming pattern.
+		for _, cut := range [][2]int{{base, base + 7}, {base + 7, base + 40}, {base + 40, total}} {
+			if err := inc.Update(X[cut[0]:cut[1]], y[cut[0]:cut[1]]); err != nil {
+				t.Fatalf("%s: update [%d:%d]: %v", k.Name(), cut[0], cut[1], err)
+			}
+		}
+
+		ref, err := New(opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := ref.Fit(X, y); err != nil {
+			t.Fatalf("%s: combined fit: %v", k.Name(), err)
+		}
+
+		for i, q := range Xq {
+			got, want := inc.Predict(q), ref.Predict(q)
+			if d := math.Abs(got - want); d > 1e-8 {
+				t.Fatalf("%s: query %d: incremental %g vs from-scratch %g (diff %g)",
+					k.Name(), i, got, want, d)
+			}
+		}
+		if inc.bias != inc.bias || math.Abs(inc.bias-ref.bias) > 1e-8 {
+			t.Fatalf("%s: bias %g vs %g", k.Name(), inc.bias, ref.bias)
+		}
+		for i := range ref.alpha {
+			if d := math.Abs(inc.alpha[i] - ref.alpha[i]); d > 1e-8 {
+				t.Fatalf("%s: alpha[%d] diff %g", k.Name(), i, d)
+			}
+		}
+	}
+}
+
+// TestUpdateDefaultStandardizer checks the documented frozen-
+// standardizer semantics without pinning: Update keeps the initial
+// fit's statistics and still tracks the target function.
+func TestUpdateDefaultStandardizer(t *testing.T) {
+	src := randx.New(32)
+	X, y := multiData(src, 200, 3)
+	m, err := New(DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Fit(X[:150], y[:150]); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Update(X[150:], y[150:]); err != nil {
+		t.Fatal(err)
+	}
+	Xq, yq := multiData(src, 60, 3)
+	if e := mae(m, Xq, yq); e > 0.5 {
+		t.Fatalf("updated model MAE %g", e)
+	}
+	// The raw history must cover every appended row.
+	if len(m.yRaw) != 200 || m.trainRows.Len() != 200 {
+		t.Fatalf("history %d rows / %d targets", m.trainRows.Len(), len(m.yRaw))
+	}
+}
+
+// TestUpdateErrors covers the failure contract.
+func TestUpdateErrors(t *testing.T) {
+	src := randx.New(33)
+	X, y := multiData(src, 60, 3)
+	m, err := New(DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Update(X[:2], y[:2]); err == nil {
+		t.Fatal("expected error before Fit")
+	}
+	if err := m.Fit(X[:50], y[:50]); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Update([][]float64{{1, 2}}, []float64{1}); err == nil {
+		t.Fatal("expected dimension error")
+	}
+	if err := m.Update(nil, nil); err != nil {
+		t.Fatalf("empty update: %v", err)
+	}
+	if m.trainRows.Len() != 50 {
+		t.Fatalf("row count changed to %d", m.trainRows.Len())
+	}
+}
+
+// TestUpdateAfterRoundTrip checks a deserialized model (factor
+// discarded) rebuilds it and keeps accepting updates.
+func TestUpdateAfterRoundTrip(t *testing.T) {
+	src := randx.New(34)
+	const d = 3
+	X, y := multiData(src, 160, d)
+	std := kernel.FitStandardizer(X[:100])
+	opts := DefaultOptions()
+	opts.Standardizer = std
+
+	m, err := New(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Fit(X[:100], y[:100]); err != nil {
+		t.Fatal(err)
+	}
+	data, err := json.Marshal(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Model
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if err := back.Update(X[100:], y[100:]); err != nil {
+		t.Fatalf("update after round-trip: %v", err)
+	}
+	ref, err := New(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ref.Fit(X, y); err != nil {
+		t.Fatal(err)
+	}
+	Xq, _ := multiData(src, 30, d)
+	for i, q := range Xq {
+		if diff := math.Abs(back.Predict(q) - ref.Predict(q)); diff > 1e-8 {
+			t.Fatalf("query %d: diff %g", i, diff)
+		}
+	}
+}
+
+// TestPredictAllocationFree pins the pooled scratch path: after
+// warm-up, single-sample prediction must not allocate.
+func TestPredictAllocationFree(t *testing.T) {
+	src := randx.New(35)
+	X, y := multiData(src, 80, 5)
+	m, err := New(DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Fit(X, y); err != nil {
+		t.Fatal(err)
+	}
+	q := X[3]
+	m.Predict(q) // warm the pool
+	if allocs := testing.AllocsPerRun(50, func() { m.Predict(q) }); allocs > 0 {
+		t.Fatalf("Predict allocates %v times per call", allocs)
+	}
+}
+
+// benchRetrainData is the shared n=1050 problem of the retrain
+// benchmarks: a 1000-row history plus a 50-row append (5%).
+func benchRetrainData() ([][]float64, []float64) {
+	src := randx.New(77)
+	return multiData(src, 1050, 30)
+}
+
+// BenchmarkRetrainAppend measures the incremental retrain: append 50
+// rows (5%) to a fitted n=1000 history via Update. The from-scratch
+// counterpart is BenchmarkRetrainScratch.
+func BenchmarkRetrainAppend(b *testing.B) {
+	X, y := benchRetrainData()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		m, err := New(DefaultOptions())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := m.Fit(X[:1000], y[:1000]); err != nil {
+			b.Fatal(err)
+		}
+		b.StartTimer()
+		if err := m.Update(X[1000:], y[1000:]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkRetrainScratch is the from-scratch rebuild on the combined
+// n=1050 data that BenchmarkRetrainAppend's Update replaces.
+func BenchmarkRetrainScratch(b *testing.B) {
+	X, y := benchRetrainData()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m, err := New(DefaultOptions())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := m.Fit(X, y); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

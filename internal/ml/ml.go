@@ -59,6 +59,19 @@ func CheckTrainingSet(X [][]float64, y []float64) (dim int, err error) {
 	return dim, nil
 }
 
+// IncrementalRegressor is implemented by regressors whose fit can be
+// extended with appended training rows at a cost scaling with the new
+// rows rather than the whole history (the incremental-retraining
+// contract used by core.Pipeline.Update). Update must converge to the
+// same solution a from-scratch Fit on the combined data would reach,
+// modulo any preprocessing statistics the model documents as frozen at
+// the initial Fit. Implementations must not retain references into
+// Xnew or ynew after returning.
+type IncrementalRegressor interface {
+	Regressor
+	Update(Xnew [][]float64, ynew []float64) error
+}
+
 // BatchPredictor is implemented by regressors with an optimized
 // batched prediction path (the kernel machines evaluate all support
 // vectors through flat batched kernels and reuse scratch buffers

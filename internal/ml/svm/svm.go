@@ -251,19 +251,26 @@ func softThreshold(z, eps float64) float64 {
 	}
 }
 
+// pool recycles prediction scratch across calls and models, so
+// single-sample prediction — the live-monitoring hot path — is
+// allocation-free after warm-up.
+var pool = &mat.Pool{}
+
 // Predict implements ml.Regressor:
 // f(x) = Σ_i β_i (k(x_i, x) + 1), de-standardized.
 func (m *Model) Predict(x []float64) float64 {
 	if !m.fitted || len(x) != m.dim {
 		return math.NaN()
 	}
-	scratch := make([]float64, m.dim+len(m.beta))
-	return m.predictInto(x, scratch[:m.dim], scratch[m.dim:])
+	scratch := pool.GetVec(m.dim + len(m.beta))
+	out := m.predictInto(x, scratch[:m.dim], scratch[m.dim:])
+	pool.PutVec(scratch)
+	return out
 }
 
-// PredictBatch implements ml.BatchPredictor, reusing one scratch
-// buffer across rows and evaluating every support vector through the
-// batched kernel path.
+// PredictBatch implements ml.BatchPredictor, reusing one pooled
+// scratch buffer across rows and evaluating every support vector
+// through the batched kernel path.
 func (m *Model) PredictBatch(X [][]float64, out []float64) {
 	if !m.fitted {
 		for i := range X {
@@ -271,7 +278,7 @@ func (m *Model) PredictBatch(X [][]float64, out []float64) {
 		}
 		return
 	}
-	scratch := make([]float64, m.dim+len(m.beta))
+	scratch := pool.GetVec(m.dim + len(m.beta))
 	xbuf, kbuf := scratch[:m.dim], scratch[m.dim:]
 	for i, x := range X {
 		if len(x) != m.dim {
@@ -280,6 +287,7 @@ func (m *Model) PredictBatch(X [][]float64, out []float64) {
 		}
 		out[i] = m.predictInto(x, xbuf, kbuf)
 	}
+	pool.PutVec(scratch)
 }
 
 // predictInto evaluates one row using caller-provided scratch: xbuf

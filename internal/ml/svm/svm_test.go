@@ -496,3 +496,22 @@ func TestDegenerateDiagonalConverges(t *testing.T) {
 		t.Fatalf("Predict = %v, want mean %v", got, ml.Mean(y))
 	}
 }
+
+// TestPredictAllocationFree pins the pooled scratch path: after
+// warm-up, single-sample prediction must not allocate.
+func TestPredictAllocationFree(t *testing.T) {
+	src := randx.New(96)
+	X, y := sineData(src, 80, 0.05)
+	m, err := New(DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Fit(X, y); err != nil {
+		t.Fatal(err)
+	}
+	q := X[3]
+	m.Predict(q) // warm the pool
+	if allocs := testing.AllocsPerRun(50, func() { m.Predict(q) }); allocs > 0 {
+		t.Fatalf("Predict allocates %v times per call", allocs)
+	}
+}

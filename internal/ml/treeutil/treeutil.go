@@ -2,12 +2,44 @@
 // tree learners (M5P and REP-Tree): both grow regression trees by
 // maximizing the reduction of target variance across a binary split on a
 // numeric attribute, differing only in leaf models and pruning.
+//
+// Tree growth calls BestSplit and Partition once per node over
+// thousands of nodes per pipeline run, so both are allocation-free on
+// the steady state: sort/suffix scratch is recycled through a
+// sync.Pool, the sort is a generics-based pdqsort (no reflect-Swapper
+// allocation per feature), and Partition reorders the index slice in
+// place instead of building new ones.
 package treeutil
 
 import (
 	"math"
-	"sort"
+	"slices"
+	"sync"
 )
+
+// pair is one (feature value, target) sample of a split scan.
+type pair struct{ v, y float64 }
+
+// splitScratch is the per-BestSplit working set, recycled across calls.
+type splitScratch struct {
+	pairs  []pair
+	sufSum []float64
+	sufSq  []float64
+}
+
+var splitPool = sync.Pool{New: func() any { return new(splitScratch) }}
+
+// grab returns the scratch sized for n rows.
+func (s *splitScratch) grab(n int) {
+	if cap(s.pairs) < n {
+		s.pairs = make([]pair, n)
+		s.sufSum = make([]float64, n+1)
+		s.sufSq = make([]float64, n+1)
+	}
+	s.pairs = s.pairs[:n]
+	s.sufSum = s.sufSum[:n+1]
+	s.sufSq = s.sufSq[:n+1]
+}
 
 // Split describes a candidate binary split: rows with
 // X[i][Feature] <= Threshold go left.
@@ -43,20 +75,32 @@ func BestSplit(X [][]float64, y []float64, idx []int, minLeaf int) (best Split, 
 	fn := float64(n)
 	nodeSD := sdFromSums(sum, sumSq, fn)
 
-	type pair struct{ v, y float64 }
-	pairs := make([]pair, n)
+	sc := splitPool.Get().(*splitScratch)
+	defer splitPool.Put(sc)
+	sc.grab(n)
+	pairs := sc.pairs
 	// Suffix sums give the right-side statistics by direct accumulation
 	// instead of subtracting from the node totals, which suffers
 	// catastrophic cancellation when one side dominates.
-	sufSum := make([]float64, n+1)
-	sufSq := make([]float64, n+1)
+	sufSum := sc.sufSum
+	sufSq := sc.sufSq
+	sufSum[n] = 0
+	sufSq[n] = 0
 
 	best.Reduction = -1
 	for f := 0; f < dim; f++ {
 		for k, i := range idx {
 			pairs[k] = pair{v: X[i][f], y: y[i]}
 		}
-		sort.Slice(pairs, func(a, b int) bool { return pairs[a].v < pairs[b].v })
+		slices.SortFunc(pairs, func(a, b pair) int {
+			switch {
+			case a.v < b.v:
+				return -1
+			case a.v > b.v:
+				return 1
+			}
+			return 0
+		})
 		if pairs[0].v == pairs[n-1].v {
 			continue // constant feature
 		}
@@ -110,16 +154,32 @@ func sdFromSums(sum, sumSq, n float64) float64 {
 	return math.Sqrt(v)
 }
 
-// Partition splits idx in two by the given split, preserving order.
+// idxPool recycles the temporary buffer of the in-place Partition.
+var idxPool = sync.Pool{New: func() any { return new([]int) }}
+
+// Partition splits idx in two by the given split, in place and
+// preserving relative order. The returned slices alias idx — callers
+// own disjoint index ranges during tree recursion, so reordering
+// within the range is free.
 func Partition(X [][]float64, idx []int, s Split) (left, right []int) {
+	bufp := idxPool.Get().(*[]int)
+	if cap(*bufp) < len(idx) {
+		*bufp = make([]int, len(idx))
+	}
+	buf := (*bufp)[:len(idx)]
+	nl, nr := 0, 0
 	for _, i := range idx {
 		if X[i][s.Feature] <= s.Threshold {
-			left = append(left, i)
+			idx[nl] = i
+			nl++
 		} else {
-			right = append(right, i)
+			buf[nr] = i
+			nr++
 		}
 	}
-	return left, right
+	copy(idx[nl:], buf[:nr])
+	idxPool.Put(bufp)
+	return idx[:nl], idx[nl:]
 }
 
 // SD returns the population standard deviation of y over idx.
