@@ -6,13 +6,19 @@
 // Usage:
 //
 //	go run ./cmd/bench [-bench regexp] [-benchtime 1x] [-pkg ./...] [-out file] [-label note]
-//	    [-compare baseline.json] [-tolerance 0.15]
+//	    [-compare baseline.json] [-tolerance 0.15] [-trend N] [-trend-glob 'BENCH_*.json']
 //
 // With -compare, the freshly measured results are diffed against a
 // previously committed report: every benchmark present in both is
 // checked on ns/op and allocs/op, and the command exits non-zero when
 // any metric regresses by more than the tolerance fraction — the
 // guard-rail CI runs against the committed BENCH file.
+//
+// With -trend N, the last N committed BENCH_*.json reports (by date,
+// oldest first) plus the fresh measurement are lined up per benchmark
+// and the ns/op deltas between consecutive reports are printed — the
+// slow-regression radar the single-baseline -compare gate misses.
+// Trend output is informational only and never fails the run.
 package main
 
 import (
@@ -23,8 +29,10 @@ import (
 	"fmt"
 	"os"
 	"os/exec"
+	"path/filepath"
 	"regexp"
 	"runtime"
+	"sort"
 	"strconv"
 	"strings"
 	"time"
@@ -64,6 +72,8 @@ func main() {
 	label := flag.String("label", "", "free-form label recorded in the report")
 	compare := flag.String("compare", "", "baseline BENCH json to diff against; exit non-zero on regressions")
 	tolerance := flag.Float64("tolerance", 0.15, "allowed regression fraction for -compare (0.15 = +15%)")
+	trendN := flag.Int("trend", 0, "print per-benchmark ns/op deltas across the last N committed BENCH reports (0 disables)")
+	trendGlob := flag.String("trend-glob", "BENCH_*.json", "glob of committed BENCH reports for -trend")
 	flag.Parse()
 
 	results, err := run(*benchPat, *benchTime, *pkg)
@@ -97,6 +107,14 @@ func main() {
 	}
 	fmt.Printf("wrote %d results to %s\n", len(results), path)
 
+	if *trendN > 0 {
+		// Informational only: a broken history file must not fail a run
+		// whose measurement succeeded.
+		if err := printTrend(*trendGlob, *trendN, path, report); err != nil {
+			fmt.Fprintln(os.Stderr, "bench: trend:", err)
+		}
+	}
+
 	if *compare != "" {
 		regressions, err := compareBaseline(*compare, results, *tolerance)
 		if err != nil {
@@ -108,6 +126,78 @@ func main() {
 			os.Exit(1)
 		}
 	}
+}
+
+// printTrend lines up the last keep committed reports matching glob
+// (sorted by date, then filename) plus the fresh report, and prints the
+// ns/op series with consecutive deltas for every benchmark the fresh
+// run measured.
+func printTrend(glob string, keep int, freshPath string, fresh File) error {
+	paths, err := filepath.Glob(glob)
+	if err != nil {
+		return fmt.Errorf("trend glob %q: %w", glob, err)
+	}
+	type dated struct {
+		path string
+		file File
+	}
+	var reports []dated
+	for _, p := range paths {
+		if same, err := filepath.Abs(p); err == nil {
+			if fp, err2 := filepath.Abs(freshPath); err2 == nil && same == fp {
+				continue // the file just written is appended as the newest point
+			}
+		}
+		raw, err := os.ReadFile(p)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "bench: skipping %s: %v\n", p, err)
+			continue
+		}
+		var f File
+		if err := json.Unmarshal(raw, &f); err != nil {
+			fmt.Fprintf(os.Stderr, "bench: skipping %s (not a BENCH report): %v\n", p, err)
+			continue
+		}
+		reports = append(reports, dated{path: p, file: f})
+	}
+	sort.Slice(reports, func(i, j int) bool {
+		if reports[i].file.Date != reports[j].file.Date {
+			return reports[i].file.Date < reports[j].file.Date
+		}
+		return reports[i].path < reports[j].path
+	})
+	if len(reports) > keep {
+		reports = reports[len(reports)-keep:]
+	}
+	reports = append(reports, dated{path: freshPath + " (new)", file: fresh})
+
+	fmt.Printf("\ntrend across %d report(s):\n", len(reports))
+	for _, r := range reports {
+		fmt.Printf("  %-10s %s (%s)\n", r.file.Date, r.path, r.file.Label)
+	}
+	for _, want := range fresh.Results {
+		series := make([]float64, 0, len(reports))
+		for _, r := range reports {
+			for _, res := range r.file.Results {
+				if res.Name == want.Name {
+					series = append(series, res.NsPerOp)
+					break
+				}
+			}
+		}
+		if len(series) < 2 {
+			fmt.Printf("%-40s (only in the fresh run)\n", want.Name)
+			continue
+		}
+		var b strings.Builder
+		fmt.Fprintf(&b, "%-40s %12.0f", want.Name, series[0])
+		for i := 1; i < len(series); i++ {
+			fmt.Fprintf(&b, " -> %12.0f (%+5.1f%%)", series[i], (series[i]/series[i-1]-1)*100)
+		}
+		fmt.Fprintf(&b, "   total %+5.1f%%", (series[len(series)-1]/series[0]-1)*100)
+		fmt.Println(b.String())
+	}
+	return nil
 }
 
 // compareBaseline diffs the fresh results against a committed BENCH

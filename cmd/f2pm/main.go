@@ -124,18 +124,25 @@ func main() {
 		fmt.Printf("\nbest model: %s (%s features), S-MAE %.3f s\n",
 			best.Spec.DisplayName, best.Features, best.Report.SoftMAE)
 		if *saveBest != "" {
+			dep, err := f2pm.DeploymentFromReport(report)
+			if err != nil {
+				fatal(err)
+			}
 			f, err := os.Create(*saveBest)
 			if err != nil {
 				fatal(err)
 			}
-			if err := f2pm.SaveModel(f, best.Model); err != nil {
+			// The deployment envelope carries the feature subset and
+			// aggregation config, so Lasso-family winners deploy
+			// correctly (cmd/predict projects live rows through it).
+			if err := f2pm.SaveDeployment(f, dep); err != nil {
 				f.Close()
 				fatal(err)
 			}
 			if err := f.Close(); err != nil {
 				fatal(err)
 			}
-			fmt.Printf("saved model to %s (load with f2pm.LoadModel)\n", *saveBest)
+			fmt.Printf("saved model to %s (load with f2pm.LoadDeployment)\n", *saveBest)
 		}
 	}
 }

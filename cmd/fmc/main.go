@@ -4,16 +4,22 @@
 // failure condition fires, it ships a fail event; restarting the
 // monitored application is left to the operator or an external agent.
 //
+// SIGINT/SIGTERM stop the loop cleanly: the in-flight sample is shipped
+// (every datapoint is flushed to the socket as soon as it is taken), the
+// goodbye message is sent, and the connection closes.
+//
 // Usage:
 //
 //	fmc -server 10.0.0.2:7070 -id web-vm-1 -interval 1.5s
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 	"os/signal"
+	"syscall"
 	"time"
 
 	f2pm "repro"
@@ -30,7 +36,10 @@ func main() {
 	)
 	flag.Parse()
 
-	cli, err := f2pm.DialMonitor(*server, *id)
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	cli, err := f2pm.DialMonitorContext(ctx, *server, *id)
 	if err != nil {
 		fatal(err)
 	}
@@ -45,15 +54,16 @@ func main() {
 			fmt.Fprintf(os.Stderr, "fmc: failure condition met at uptime %.1fs\n", d.Tgen)
 		},
 	}
-	if err := coll.Start(); err != nil {
+	if err := coll.Start(ctx); err != nil {
 		fatal(err)
 	}
 	fmt.Fprintf(os.Stderr, "fmc: sampling every %v, shipping to %s as %q\n", *interval, *server, *id)
 
-	stop := make(chan os.Signal, 1)
-	signal.Notify(stop, os.Interrupt)
-	<-stop
+	<-ctx.Done()
+	// Stop waits for the loop to finish its current iteration, so the
+	// last sampled datapoint is already on the wire when we close.
 	coll.Stop()
+	fmt.Fprintln(os.Stderr, "fmc: stopped")
 }
 
 func hostnameOr(fallback string) string {

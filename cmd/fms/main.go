@@ -1,50 +1,112 @@
 // Command fms runs the Feature Monitor Server (paper §III-E): it accepts
 // FMC connections over TCP, assembles each client's datapoint stream into
-// a data history, and writes one CSV per client on shutdown (SIGINT) or
-// after -duration.
+// a data history, and writes one CSV per client on shutdown
+// (SIGINT/SIGTERM) or after -duration.
+//
+// With -serve-model, the FMS also serves predictions: every received
+// datapoint feeds the sender's session in a prediction service, RTTF
+// estimates stream to stdout, and predictions below -alert-below are
+// flagged — the paper's deployment loop (monitor → aggregate → predict
+// → act) in one process.
 //
 // Usage:
 //
 //	fms -listen :7070 -outdir histories/
+//	fms -listen :7070 -serve-model best.model -alert-below 60
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 	"os/signal"
 	"path/filepath"
-	"time"
+	"syscall"
 
 	f2pm "repro"
 )
 
 func main() {
 	var (
-		listen   = flag.String("listen", "127.0.0.1:7070", "TCP listen address")
-		outdir   = flag.String("outdir", ".", "directory for per-client history CSVs")
-		duration = flag.Duration("duration", 0, "stop after this long (0 = until SIGINT)")
+		listen     = flag.String("listen", "127.0.0.1:7070", "TCP listen address")
+		outdir     = flag.String("outdir", ".", "directory for per-client history CSVs")
+		duration   = flag.Duration("duration", 0, "stop after this long (0 = until SIGINT/SIGTERM)")
+		servePath  = flag.String("serve-model", "", "serve live RTTF predictions with this model file")
+		alertBelow = flag.Float64("alert-below", 0, "flag predictions below this many seconds (0 disables)")
+		window     = flag.Float64("window", 30, "aggregation window for models saved without metadata")
 	)
 	flag.Parse()
 
-	srv, err := f2pm.NewMonitorServer(*listen)
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if *duration > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *duration)
+		defer cancel()
+	}
+
+	var (
+		svc  *f2pm.PredictionService
+		opts []f2pm.MonitorServerOption
+	)
+	opts = append(opts, f2pm.WithMonitorContext(ctx))
+	if *servePath != "" {
+		mf, err := os.Open(*servePath)
+		if err != nil {
+			fatal(err)
+		}
+		dep, err := f2pm.LoadDeployment(mf)
+		mf.Close()
+		if err != nil {
+			fatal(err)
+		}
+		if dep.Aggregation.Validate() != nil {
+			cfg := f2pm.DefaultAggregationConfig()
+			cfg.WindowSec = *window
+			dep.Aggregation = cfg
+		}
+		// The service deliberately does NOT share the signal context:
+		// it must outlive the monitor server during the ordered drain
+		// below, or connection handlers still delivering buffered
+		// datapoints would race its self-shutdown and lose windows.
+		svc, err = f2pm.NewPredictionService(context.Background(),
+			f2pm.WithDeployment(dep),
+			f2pm.WithEstimateFunc(func(e f2pm.Estimate) {
+				fmt.Printf("client=%s t=%.1fs predicted_rttf=%.1fs model=%s/v%d\n",
+					e.SessionID, e.Tgen, e.RTTF, e.ModelName, e.ModelVersion)
+			}),
+			f2pm.WithAlertFunc(*alertBelow, func(a f2pm.Alert) {
+				fmt.Fprintf(os.Stderr, "fms: ALERT client=%s RTTF %.1fs below %.1fs\n",
+					a.SessionID, a.RTTF, a.Threshold)
+			}),
+		)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "fms: serving %s model predictions\n", dep.Name)
+		opts = append(opts, f2pm.WithMonitorStream(svc))
+	}
+
+	srv, err := f2pm.NewMonitorServer(*listen, opts...)
 	if err != nil {
 		fatal(err)
 	}
 	fmt.Fprintf(os.Stderr, "fms: listening on %s\n", srv.Addr())
 
-	stop := make(chan os.Signal, 1)
-	signal.Notify(stop, os.Interrupt)
-	if *duration > 0 {
-		select {
-		case <-stop:
-		case <-time.After(*duration):
-		}
-	} else {
-		<-stop
-	}
+	<-ctx.Done()
+	// Drain in dependency order: the server stops feeding first, then
+	// the service finishes its queued predictions, then the assembled
+	// histories (including any unfinished final run) are written out —
+	// no datapoint received before shutdown is lost.
 	if err := srv.Close(); err != nil {
 		fmt.Fprintln(os.Stderr, "fms: close:", err)
+	}
+	if svc != nil {
+		svc.Close()
+		st := svc.Stats()
+		fmt.Fprintf(os.Stderr, "fms: served %d predictions (%d alerts) across %d sessions\n",
+			st.Predictions, st.Alerts, st.Sessions)
 	}
 
 	for _, id := range srv.Clients() {

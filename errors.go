@@ -1,0 +1,58 @@
+package f2pm
+
+import (
+	"repro/internal/aggregate"
+	"repro/internal/core"
+	"repro/internal/ml"
+	"repro/internal/serve"
+	"repro/internal/trace"
+)
+
+// The error taxonomy of the public API. Every sentinel is re-exported
+// from the subsystem that raises it, so callers can errors.Is against
+// f2pm names without importing internal packages:
+//
+//   - data:     ErrNoFailedRuns, ErrNoLabeledData
+//   - training: ErrNoModels, ErrNotRun, ErrNotFitted, ErrNoTrainingData,
+//     ErrDimension
+//   - serving:  ErrServiceClosed, ErrSessionClosed, ErrTooManySessions,
+//     ErrNoModel, ErrDuplicateSession, ErrUnknownFeature,
+//     ErrAggregationMismatch
+//
+// Context cancellation is reported as context.Canceled /
+// context.DeadlineExceeded from every context-accepting call
+// (Pipeline.RunContext/UpdateContext, the serving layer, the monitor).
+var (
+	// ErrNoFailedRuns means the history holds no completed failure runs
+	// to learn from.
+	ErrNoFailedRuns = trace.ErrNoFailedRuns
+	// ErrNoLabeledData means aggregation produced no RTTF-labeled rows.
+	ErrNoLabeledData = aggregate.ErrNoData
+	// ErrNoModels means the pipeline roster is empty.
+	ErrNoModels = core.ErrNoModels
+	// ErrNotRun is returned by Update on a pipeline that never Ran.
+	ErrNotRun = core.ErrNotRun
+	// ErrNotFitted is returned by Predict before a successful Fit.
+	ErrNotFitted = ml.ErrNotFitted
+	// ErrNoTrainingData is returned by Fit on an empty training set.
+	ErrNoTrainingData = ml.ErrNoData
+	// ErrDimension is returned on inconsistent feature dimensions.
+	ErrDimension = ml.ErrDimension
+	// ErrServiceClosed is returned once a prediction service stopped.
+	ErrServiceClosed = serve.ErrServiceClosed
+	// ErrSessionClosed is returned by operations on a closed session.
+	ErrSessionClosed = serve.ErrSessionClosed
+	// ErrTooManySessions is returned by StartSession past the
+	// WithMaxSessions limit.
+	ErrTooManySessions = serve.ErrTooManySessions
+	// ErrNoModel means no deployment is available to serve.
+	ErrNoModel = serve.ErrNoModel
+	// ErrDuplicateSession is returned by StartSession for an active id.
+	ErrDuplicateSession = serve.ErrDuplicateSession
+	// ErrUnknownFeature means a deployment names a column the service's
+	// aggregated layout does not produce.
+	ErrUnknownFeature = serve.ErrUnknownFeature
+	// ErrAggregationMismatch means a deployment was trained under a
+	// different windowing configuration than the service runs.
+	ErrAggregationMismatch = serve.ErrAggregationMismatch
+)

@@ -9,6 +9,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"sync/atomic"
@@ -67,7 +68,7 @@ func main() {
 			bootTick.Store(tick.Load()) // "restart" the monitored system
 		},
 	}
-	if err := coll.Start(); err != nil {
+	if err := coll.Start(context.Background()); err != nil {
 		log.Fatal(err)
 	}
 

@@ -1,0 +1,187 @@
+// Serving: the paper's deployed end state (§I, §III-E) on the public
+// API. A pipeline trains RTTF models offline, the best model is
+// deployed into a PredictionService, a live monitor streams datapoints
+// into per-client sessions (monitor → aggregate → predict → act in one
+// process), and when further runs accumulate the pipeline's incremental
+// Update produces a fresh model that is hot-swapped into the running
+// service without dropping a single estimate.
+//
+// Run with:
+//
+//	go run ./examples/serving
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"sync/atomic"
+	"time"
+
+	f2pm "repro"
+)
+
+const (
+	totalMem   = 2 * 1024 * 1024 // KB
+	sampleSec  = 1.5             // simulated seconds between datapoints
+	leakPerDP  = 40 * 1024       // KB leaked per datapoint
+	baseUsedKB = 300 * 1024
+)
+
+// leakDatapoint fabricates the feature snapshot of a machine that has
+// been leaking for `step` samples.
+func leakDatapoint(step int) f2pm.Datapoint {
+	var d f2pm.Datapoint
+	d.Tgen = float64(step) * sampleSec
+	used := float64(baseUsedKB + step*leakPerDP)
+	if used > totalMem {
+		used = totalMem
+	}
+	d.Features[f2pm.MemUsed] = used
+	d.Features[f2pm.MemFree] = totalMem - used
+	d.Features[f2pm.NumThreads] = 200 + float64(step)
+	d.Features[f2pm.CPUUser] = 25
+	d.Features[f2pm.CPUIdle] = 75
+	return d
+}
+
+// syntheticHistory builds n completed leak-to-failure runs.
+func syntheticHistory(n int) *f2pm.History {
+	h := &f2pm.History{}
+	for r := 0; r < n; r++ {
+		var run f2pm.Run
+		for step := 0; ; step++ {
+			d := leakDatapoint(step)
+			run.Datapoints = append(run.Datapoints, d)
+			if d.Features[f2pm.MemFree] <= 0.02*totalMem {
+				run.Failed = true
+				run.FailTime = d.Tgen
+				break
+			}
+		}
+		h.Runs = append(h.Runs, run)
+	}
+	return h
+}
+
+func main() {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+
+	// 1. Offline phase: train on collected failure runs and pick the
+	// best model (skip the slow SVM family to keep the demo snappy).
+	cfg := f2pm.DefaultConfig()
+	cfg.Aggregation.WindowSec = 15
+	cfg.SelectionLambda = 0 // all-params only, fast
+	cfg.FeatureLambdas = nil
+	cfg.Models = f2pm.DefaultModels(nil)[:3] // linear, M5P, REP-Tree
+	pipe, err := f2pm.NewPipeline(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	history := syntheticHistory(6)
+	report, err := pipe.RunContext(ctx, history)
+	if err != nil {
+		log.Fatal(err)
+	}
+	dep, err := f2pm.DeploymentFromReport(report)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("trained on %d runs; deploying %s (S-MAE %.1f s)\n",
+		len(history.Runs), dep.Name, report.Best().Report.SoftMAE)
+
+	// 2. Serving phase: a prediction service fed directly by the FMS.
+	var estimates, alerts atomic.Int64
+	svc, err := f2pm.NewPredictionService(ctx,
+		f2pm.WithDeployment(dep),
+		f2pm.WithMaxSessions(64),
+		f2pm.WithEstimateFunc(func(e f2pm.Estimate) {
+			if estimates.Add(1)%8 == 1 { // sample the stream for the demo
+				fmt.Printf("  client=%s t=%.0fs predicted_rttf=%.0fs (model v%d)\n",
+					e.SessionID, e.Tgen, e.RTTF, e.ModelVersion)
+			}
+		}),
+		f2pm.WithAlertFunc(60, func(a f2pm.Alert) {
+			alerts.Add(1)
+			fmt.Printf("  ALERT client=%s RTTF %.0fs < %.0fs — rejuvenate now\n",
+				a.SessionID, a.RTTF, a.Threshold)
+		}),
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer svc.Close()
+
+	srv, err := f2pm.NewMonitorServer("127.0.0.1:0",
+		f2pm.WithMonitorStream(svc), f2pm.WithMonitorContext(ctx))
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer srv.Close()
+	fmt.Printf("FMS listening on %s, feeding the prediction service\n", srv.Addr())
+
+	// A monitored client ships two leak-to-failure runs over real TCP.
+	cli, err := f2pm.DialMonitorContext(ctx, srv.Addr(), "web-vm-1")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer cli.Close()
+	streamRun := func() {
+		for step := 0; ; step++ {
+			d := leakDatapoint(step)
+			if err := cli.SendDatapoint(&d); err != nil {
+				log.Fatal(err)
+			}
+			if d.Features[f2pm.MemFree] <= 0.02*totalMem {
+				if err := cli.SendFail(d.Tgen); err != nil {
+					log.Fatal(err)
+				}
+				return
+			}
+		}
+	}
+	fmt.Println("streaming run 1 under model v1:")
+	streamRun()
+	waitFor(func() bool { h, ok := srv.History("web-vm-1"); return ok && len(h.FailedRuns()) >= 1 })
+
+	// 3. Retrain and hot-swap: the served client's completed run joins
+	// the history, Update extends every model incrementally, and the
+	// new best model replaces the running one atomically.
+	served, _ := srv.History("web-vm-1")
+	history.Runs = append(history.Runs, served.FailedRuns()...)
+	report, err = pipe.UpdateContext(ctx, history)
+	if err != nil {
+		log.Fatal(err)
+	}
+	dep2, err := f2pm.DeploymentFromReport(report)
+	if err != nil {
+		log.Fatal(err)
+	}
+	version, err := svc.Deploy(dep2)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("retrained on %d runs; hot-swapped %s in as v%d\n",
+		len(history.Runs), dep2.Name, version)
+
+	fmt.Println("streaming run 2 under model v2:")
+	streamRun()
+	waitFor(func() bool { h, ok := srv.History("web-vm-1"); return ok && len(h.FailedRuns()) >= 2 })
+	svc.Close() // drain queued windows before reading the counters
+
+	st := svc.Stats()
+	fmt.Printf("served %d estimates (%d alerts) across %d session(s), final model v%d\n",
+		st.Predictions, st.Alerts, st.Sessions, st.ModelVersion)
+}
+
+// waitFor polls cond until it holds (the TCP stream is asynchronous).
+func waitFor(cond func() bool) {
+	deadline := time.Now().Add(10 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			log.Fatal("timed out waiting for the monitor stream to drain")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}

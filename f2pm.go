@@ -39,6 +39,39 @@
 // single-sample Predict calls stop paying allocation and page-zeroing
 // costs.
 //
+// # Serving
+//
+// The deployment side — the paper's always-on loop where a monitor
+// streams system features and the framework continuously emits RTTF
+// estimates — is the serving layer: a PredictionService owns a
+// versioned model registry and any number of per-client sessions, each
+// running a LiveAggregator; completed windows across all sessions are
+// predicted in batches, and threshold-crossing alerts drive the
+// proactive action:
+//
+//	dep, _ := f2pm.DeploymentFromReport(report)   // best model + feature
+//	                                              // subset + agg config
+//	svc, _ := f2pm.NewPredictionService(ctx,
+//	    f2pm.WithDeployment(dep),
+//	    f2pm.WithAlertFunc(60, func(a f2pm.Alert) { /* rejuvenate */ }))
+//	srv, _ := f2pm.NewMonitorServer(addr, f2pm.WithMonitorStream(svc))
+//
+// FMS-received datapoints now feed sessions directly (auto-created per
+// client id): monitor → aggregate → predict → act in one process. As
+// retraining produces new models, svc.Deploy(dep) hot-swaps the served
+// model atomically — in-flight batches finish with the model they
+// snapshotted, and everything enqueued after Deploy returns uses the
+// new one, including Lasso-selected models whose feature projection is
+// rebuilt from the deployment. SaveDeployment/LoadDeployment persist a
+// deployment with its feature subset and aggregation config, so a
+// model file alone is enough to serve correctly.
+//
+// Long-running calls accept a context (RunContext, UpdateContext,
+// DialMonitorContext, WithMonitorContext, NewPredictionService);
+// cancellation stops sessions, the monitor server, and in-flight
+// pipeline calls promptly. Failures surface through the Err* sentinel
+// taxonomy (see errors.go) for errors.Is dispatch.
+//
 // Subsystems re-exported here:
 //
 //   - data model and CSV codec (History, Run, Datapoint)
@@ -182,6 +215,9 @@ type (
 	FeatureSet = core.FeatureSet
 	// Metrics bundles MAE, RAE, MaxAE, S-MAE and timings for one model.
 	Metrics = metrics.Report
+	// UpdateInfo describes what the last Pipeline.Update did to one
+	// model (incremental extension vs refit, standardizer drift).
+	UpdateInfo = ml.UpdateInfo
 )
 
 // The two training-set families of the paper's Tables II-IV.

@@ -2,8 +2,12 @@ package f2pm_test
 
 import (
 	"bytes"
+	"context"
+	"errors"
 	"math"
+	"sync/atomic"
 	"testing"
+	"time"
 
 	f2pm "repro"
 )
@@ -240,5 +244,136 @@ func TestPublicRTEstimator(t *testing.T) {
 	}
 	if len(g) != 3 || len(r) != 3 {
 		t.Fatalf("pairs = %d/%d", len(g), len(r))
+	}
+}
+
+// TestPublicServing exercises the serving layer through the facade:
+// pipeline → DeploymentFromReport (Lasso subset carried along) →
+// SaveDeployment/LoadDeployment round trip → PredictionService fed by a
+// real monitor server, with a hot-swap mid-stream, all under one
+// cancellable context.
+func TestPublicServing(t *testing.T) {
+	res := simulateHistory(t)
+	if len(res.History.FailedRuns()) < 3 {
+		t.Fatalf("only %d failed runs", len(res.History.FailedRuns()))
+	}
+	cfg := f2pm.DefaultConfig()
+	cfg.Aggregation.WindowSec = 15
+	cfg.SelectionLambda = 1e6
+	cfg.Models = f2pm.DefaultModels(nil)[:3]
+	pipe, err := f2pm.NewPipeline(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	report, err := pipe.RunContext(ctx, &res.History)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dep, err := f2pm.DeploymentFromReport(report)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dep.Aggregation != cfg.Aggregation {
+		t.Fatalf("deployment aggregation %+v", dep.Aggregation)
+	}
+	if report.Best().Features == f2pm.LassoParams && len(dep.Features) == 0 {
+		t.Fatal("Lasso winner deployed without its feature subset")
+	}
+
+	// Persistence round trip keeps the serving configuration.
+	var buf bytes.Buffer
+	if err := f2pm.SaveDeployment(&buf, dep); err != nil {
+		t.Fatal(err)
+	}
+	dep2, err := f2pm.LoadDeployment(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dep2.Aggregation != dep.Aggregation || len(dep2.Features) != len(dep.Features) {
+		t.Fatalf("deployment round trip changed config: %+v vs %+v", dep2, dep)
+	}
+
+	// Serve the restored deployment behind a real FMS.
+	var estimates atomic.Int64
+	var lastVersion atomic.Uint64
+	svc, err := f2pm.NewPredictionService(ctx,
+		f2pm.WithDeployment(dep2),
+		f2pm.WithMaxSessions(8),
+		f2pm.WithEstimateFunc(func(e f2pm.Estimate) {
+			estimates.Add(1)
+			lastVersion.Store(e.ModelVersion)
+			if math.IsNaN(e.RTTF) {
+				t.Errorf("NaN estimate: %+v", e)
+			}
+		}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svc.Close()
+	srv, err := f2pm.NewMonitorServer("127.0.0.1:0",
+		f2pm.WithMonitorStream(svc), f2pm.WithMonitorContext(ctx))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	cli, err := f2pm.DialMonitorContext(ctx, srv.Addr(), "vm-1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cli.Close()
+
+	runs := res.History.FailedRuns()
+	stream := func(run f2pm.Run) {
+		for i := range run.Datapoints {
+			if err := cli.SendDatapoint(&run.Datapoints[i]); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := cli.SendFail(run.FailTime); err != nil {
+			t.Fatal(err)
+		}
+	}
+	stream(runs[0])
+	waitAtLeast(t, &estimates, 5)
+
+	// Hot-swap the all-params family's model in mid-stream.
+	alt := report.ByName(report.Best().Spec.Name, f2pm.AllParams)
+	if alt == nil {
+		t.Fatal("all-params model missing")
+	}
+	ver, err := svc.Deploy(&f2pm.Deployment{
+		Model: alt.Model, Name: alt.Spec.Name, Aggregation: cfg.Aggregation,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := estimates.Load()
+	stream(runs[1])
+	waitAtLeast(t, &estimates, before+5)
+	if got := lastVersion.Load(); got != ver {
+		t.Fatalf("post-swap estimates carry version %d, want %d", got, ver)
+	}
+
+	// Cancelling the shared context stops the service and the server.
+	cancel()
+	if err := svc.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := svc.StartSession("late"); !errors.Is(err, f2pm.ErrServiceClosed) {
+		t.Fatalf("StartSession after cancel: %v", err)
+	}
+}
+
+// waitAtLeast polls an estimate counter (the TCP stream is async).
+func waitAtLeast(t *testing.T, c *atomic.Int64, want int64) {
+	t.Helper()
+	deadline := time.Now().Add(15 * time.Second)
+	for c.Load() < want {
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out: %d estimates, want ≥ %d", c.Load(), want)
+		}
+		time.Sleep(2 * time.Millisecond)
 	}
 }

@@ -1,0 +1,226 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/aggregate"
+	"repro/internal/ml"
+	"repro/internal/trace"
+)
+
+// slowModel is a linear-mean stub whose Fit blocks long enough for a
+// cancellation to land between models.
+type slowModel struct {
+	delay  time.Duration
+	onFit  func() // invoked at the start of every Fit/Update
+	mean   float64
+	fitted bool
+}
+
+func (m *slowModel) Name() string { return "slow" }
+func (m *slowModel) Fit(X [][]float64, y []float64) error {
+	if m.onFit != nil {
+		m.onFit()
+	}
+	time.Sleep(m.delay)
+	m.mean = ml.Mean(y)
+	m.fitted = true
+	return nil
+}
+func (m *slowModel) Predict([]float64) float64 { return m.mean }
+func (m *slowModel) Update(X [][]float64, y []float64) error {
+	return m.Fit(X, y)
+}
+
+// slowRoster builds n slow-model specs sharing one onFit hook.
+func slowRoster(n int, delay time.Duration, onFit func()) []ModelSpec {
+	specs := make([]ModelSpec, n)
+	for i := range specs {
+		name := "slow"
+		if i > 0 {
+			name = "slow" + string(rune('a'+i))
+		}
+		specs[i] = ModelSpec{
+			Name:        name,
+			DisplayName: name,
+			New:         func() (ml.Regressor, error) { return &slowModel{delay: delay, onFit: onFit}, nil },
+		}
+	}
+	return specs
+}
+
+func contextConfig(models []ModelSpec) Config {
+	cfg := DefaultConfig()
+	cfg.Aggregation.WindowSec = 15
+	cfg.FeatureLambdas = nil
+	cfg.SelectionLambda = 0
+	cfg.Models = models
+	cfg.Parallelism = 1
+	return cfg
+}
+
+func TestRunContextAlreadyCancelled(t *testing.T) {
+	p, err := New(contextConfig(slowRoster(1, 0, nil)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := p.RunContext(ctx, testHistory(t)); !errors.Is(err, context.Canceled) {
+		t.Fatalf("RunContext on cancelled ctx: %v", err)
+	}
+	// Nothing was committed: Update must still refuse.
+	if _, err := p.Update(testHistory(t)); !errors.Is(err, ErrNotRun) {
+		t.Fatalf("Update after cancelled Run: %v", err)
+	}
+}
+
+func TestRunContextCancelMidTraining(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	// The first Fit cancels the context; the remaining models must be
+	// skipped and the run must report the cancellation.
+	roster := slowRoster(8, 10*time.Millisecond, func() { cancel() })
+	p, err := New(contextConfig(roster))
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	if _, err := p.RunContext(ctx, testHistory(t)); !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled RunContext returned %v", err)
+	}
+	// 8 × 10ms serial fits would take ≥80ms; cancellation after the
+	// first must come back well before that.
+	if took := time.Since(start); took > 5*time.Second {
+		t.Fatalf("cancelled run took %v", took)
+	}
+	if _, err := p.Update(testHistory(t)); !errors.Is(err, ErrNotRun) {
+		t.Fatalf("pipeline committed state from a cancelled run: %v", err)
+	}
+}
+
+func TestUpdateContextCancelMidTraining(t *testing.T) {
+	h := testHistory(t)
+	failed := h.FailedRuns()
+	if len(failed) < 3 {
+		t.Skipf("only %d failed runs", len(failed))
+	}
+	prefix := &trace.History{Runs: append([]trace.Run(nil), failed[:len(failed)-1]...)}
+	full := &trace.History{Runs: failed}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	var fits int
+	roster := slowRoster(4, 0, func() {
+		fits++
+		if fits > 4 { // first 4 fits belong to Run; cancel during Update
+			cancel()
+		}
+	})
+	cfg := contextConfig(roster)
+	// Per-row splitting guarantees the appended runs contribute training
+	// rows, so Update actually reaches the per-model phase.
+	cfg.SplitMode = aggregate.SplitByRow
+	p, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Run(prefix); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.UpdateContext(ctx, full); !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled UpdateContext returned %v", err)
+	}
+	// The pipeline stays self-consistent: a retry on a fresh context
+	// succeeds and reports every model trained.
+	rep, err := p.Update(full)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range rep.Results {
+		if rep.Results[i].Err != nil {
+			t.Fatalf("%s: %v after retry", rep.Results[i].Spec.Name, rep.Results[i].Err)
+		}
+	}
+}
+
+func TestUpdateSurfacesUpdateInfo(t *testing.T) {
+	h := testHistory(t)
+	failed := h.FailedRuns()
+	if len(failed) < 3 {
+		t.Skipf("only %d failed runs", len(failed))
+	}
+	prefix := &trace.History{Runs: append([]trace.Run(nil), failed[:len(failed)-1]...)}
+	full := &trace.History{Runs: failed}
+
+	p, err := New(updateConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep0, err := p.Run(prefix)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep0.Aggregation != p.cfg.Aggregation {
+		t.Fatalf("Run report aggregation %+v, want %+v", rep0.Aggregation, p.cfg.Aggregation)
+	}
+	rep, err := p.Update(full)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Aggregation != p.cfg.Aggregation {
+		t.Fatalf("Update report aggregation %+v", rep.Aggregation)
+	}
+	res := rep.ByName("svm2", AllParams)
+	if res == nil || res.Err != nil {
+		t.Fatalf("svm2 missing or failed: %+v", res)
+	}
+	if !res.Update.Incremental || res.Update.DriftRefit {
+		t.Fatalf("svm2 update info %+v, want incremental without drift refit", res.Update)
+	}
+	if rep.TrainRows > rep0.TrainRows && res.Update.DriftScore <= 0 {
+		t.Fatalf("svm2 drift score %v, want > 0 (drift is measured on every appended batch)", res.Update.DriftScore)
+	}
+}
+
+// TestUpdateNoNewDataSkipsGenuineFailures pins the repair semantics: a
+// no-new-data Update re-trains models skipped by a cancelled context,
+// but never re-runs a model that genuinely failed on this data.
+func TestUpdateNoNewDataSkipsGenuineFailures(t *testing.T) {
+	var fitCalls atomic.Int64
+	failSpec := ModelSpec{
+		Name:        "alwaysfails",
+		DisplayName: "alwaysfails",
+		New: func() (ml.Regressor, error) {
+			return &slowModel{onFit: func() { fitCalls.Add(1) }}, nil
+		},
+	}
+	roster := append(slowRoster(1, 0, nil), failSpec)
+	roster[1].New = func() (ml.Regressor, error) {
+		fitCalls.Add(1)
+		return nil, errors.New("constructor always fails")
+	}
+	p, err := New(contextConfig(roster))
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := testHistory(t)
+	rep, err := p.Run(h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res := rep.ByName("alwaysfails", AllParams); res == nil || res.Err == nil {
+		t.Fatalf("failing model did not record its error: %+v", res)
+	}
+	calls := fitCalls.Load()
+	for i := 0; i < 3; i++ {
+		if _, err := p.Update(h); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := fitCalls.Load(); got != calls {
+		t.Fatalf("no-new-data Update re-ran a genuinely failing model: %d -> %d construction attempts", calls, got)
+	}
+}

@@ -9,6 +9,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"runtime"
@@ -153,12 +154,20 @@ type ModelResult struct {
 	// Err records a per-model training failure; the pipeline continues
 	// with the remaining models.
 	Err error
+	// Update describes what the last Pipeline.Update did to this model
+	// (incremental extension vs refit, standardizer drift); zero after
+	// Run.
+	Update ml.UpdateInfo
 }
 
 // Report is the pipeline output.
 type Report struct {
 	// TrainRows, ValRows, Columns describe the aggregated dataset.
 	TrainRows, ValRows, Columns int
+	// Aggregation is the windowing configuration the dataset was built
+	// with — the config a deployment-side aggregator must reuse so live
+	// rows match the training layout (serve.FromReport reads it).
+	Aggregation aggregate.Config
 	// Path is the Lasso regularization path over FeatureLambdas
 	// computed on the training set (Figure 4).
 	Path []featsel.PathPoint
@@ -244,8 +253,19 @@ var ErrNoModels = errors.New("core: no models configured")
 
 // Run executes the full pipeline on a data history.
 func (p *Pipeline) Run(h *trace.History) (*Report, error) {
+	return p.RunContext(context.Background(), h)
+}
+
+// RunContext is Run with cancellation: the training phase checks ctx
+// between models (an individual Fit is never interrupted mid-solve),
+// and a cancelled run returns ctx's error without committing any
+// pipeline state.
+func (p *Pipeline) RunContext(ctx context.Context, h *trace.History) (*Report, error) {
 	if len(p.cfg.Models) == 0 {
 		return nil, ErrNoModels
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
 	}
 	if len(h.FailedRuns()) == 0 {
 		return nil, trace.ErrNoFailedRuns
@@ -263,9 +283,10 @@ func (p *Pipeline) Run(h *trace.History) (*Report, error) {
 	}
 
 	rep := &Report{
-		TrainRows: train.NumRows(),
-		ValRows:   val.NumRows(),
-		Columns:   ds.NumCols(),
+		TrainRows:   train.NumRows(),
+		ValRows:     val.NumRows(),
+		Columns:     ds.NumCols(),
+		Aggregation: p.cfg.Aggregation,
 	}
 	rep.SMAEThreshold = metrics.RelativeThreshold(val.RTTF, p.cfg.SMAEFraction)
 
@@ -327,6 +348,9 @@ func (p *Pipeline) Run(h *trace.History) (*Report, error) {
 		go func() {
 			defer wg.Done()
 			for j := range ch {
+				if ctx.Err() != nil {
+					continue // cancelled: skip the remaining queue
+				}
 				results[j.order] = p.runOne(j.spec, j.fam.fs, j.fam.train, j.fam.val, rep.SMAEThreshold)
 			}
 		}()
@@ -336,6 +360,9 @@ func (p *Pipeline) Run(h *trace.History) (*Report, error) {
 	}
 	close(ch)
 	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 
 	// Order: feature set (all first), then roster order — the paper's
 	// table layout.

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sort"
@@ -39,17 +40,31 @@ var ErrNotRun = errors.New("core: Update before Run")
 // assignment of existing data never changes as more arrives. A call
 // with no new labeled data returns the previous report unchanged.
 func (p *Pipeline) Update(h *trace.History) (*Report, error) {
+	return p.UpdateContext(context.Background(), h)
+}
+
+// UpdateContext is Update with cancellation. Before the new rows are
+// committed into the retained state, cancellation aborts cleanly with
+// nothing changed. Once committed, the per-model training phase checks
+// ctx between models: models not reached record ctx's error as their
+// per-model Err (the next Update refits them from the combined set),
+// the partial report is committed so the pipeline state stays
+// self-consistent, and ctx's error is returned.
+func (p *Pipeline) UpdateContext(ctx context.Context, h *trace.History) (*Report, error) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	st := p.st
 	if st == nil {
 		return nil, ErrNotRun
 	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	if len(h.Runs) < st.seenRuns {
 		return nil, fmt.Errorf("core: history has %d runs, fewer than the %d already consumed", len(h.Runs), st.seenRuns)
 	}
 	if len(h.Runs) == st.seenRuns {
-		return st.rep, nil
+		return p.repair(ctx, st)
 	}
 	if err := h.Validate(); err != nil {
 		return nil, err
@@ -61,7 +76,7 @@ func (p *Pipeline) Update(h *trace.History) (*Report, error) {
 	switch {
 	case errors.Is(err, aggregate.ErrNoData):
 		st.seenRuns = len(h.Runs)
-		return st.rep, nil
+		return p.repair(ctx, st)
 	case err != nil:
 		return nil, fmt.Errorf("core: aggregation: %w", err)
 	}
@@ -71,7 +86,7 @@ func (p *Pipeline) Update(h *trace.History) (*Report, error) {
 	}
 	if newDs.NumRows() == 0 {
 		st.seenRuns = len(h.Runs)
-		return st.rep, nil
+		return p.repair(ctx, st)
 	}
 
 	newTrain, newVal, err := p.assignNew(newDs, st)
@@ -81,13 +96,17 @@ func (p *Pipeline) Update(h *trace.History) (*Report, error) {
 
 	// Fallible feature-selection phase first, so an error here leaves
 	// the retained state untouched and a retry sees the same history
-	// (Cov.Append validates before mutating).
+	// (Cov.Append validates before mutating). This is also the last
+	// clean cancellation point.
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	if st.cov != nil && newTrain.NumRows() > 0 {
 		if err := st.cov.Append(newTrain.X, newTrain.RTTF); err != nil {
 			return nil, fmt.Errorf("core: extending feature covariance: %w", err)
 		}
 	}
-	rep := &Report{}
+	rep := &Report{Aggregation: p.cfg.Aggregation}
 	if len(p.cfg.FeatureLambdas) > 0 {
 		rep.Path, err = featsel.PathFromCov(st.cov, st.train.ColNames, p.cfg.FeatureLambdas)
 		if err != nil {
@@ -186,6 +205,12 @@ func (p *Pipeline) Update(h *trace.History) (*Report, error) {
 		go func() {
 			defer wg.Done()
 			for j := range ch {
+				if err := ctx.Err(); err != nil {
+					// Cancelled mid-update: record the skip so the next
+					// Update refits this model from the combined set.
+					results[j.order] = ModelResult{Spec: j.spec, Features: j.fam.fs, Err: err}
+					continue
+				}
 				prior := st.rep.ByName(j.spec.Name, j.fam.fs)
 				if rebuilt[j.fam.fs] {
 					prior = nil
@@ -208,7 +233,56 @@ func (p *Pipeline) Update(h *trace.History) (*Report, error) {
 	})
 	rep.Results = results
 	st.rep = rep
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	return rep, nil
+}
+
+// repair is the no-new-data tail of Update: normally it just hands back
+// the retained report, but models skipped by a cancelled UpdateContext
+// (their Err is the context error) are refit from scratch on the
+// retained datasets, so a retry after cancellation converges to a fully
+// trained report. Genuine training failures are NOT retried — they
+// failed on this exact data and would only burn the training cost
+// again. Caller holds p.mu.
+func (p *Pipeline) repair(ctx context.Context, st *pipeState) (*Report, error) {
+	broken := false
+	for i := range st.rep.Results {
+		if cancelledResult(&st.rep.Results[i]) {
+			broken = true
+			break
+		}
+	}
+	if !broken {
+		return st.rep, nil
+	}
+	famOf := map[FeatureSet]family{AllParams: {fs: AllParams, train: st.train, val: st.val}}
+	if st.redTrain != nil {
+		famOf[LassoParams] = family{fs: LassoParams, train: st.redTrain, val: st.redVal}
+	}
+	for i := range st.rep.Results {
+		res := &st.rep.Results[i]
+		if !cancelledResult(res) {
+			continue
+		}
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		fam, ok := famOf[res.Features]
+		if !ok {
+			continue // family no longer exists (selection collapsed)
+		}
+		*res = p.updateOne(res.Spec, fam, nil, nil, st.rep.SMAEThreshold)
+	}
+	return st.rep, nil
+}
+
+// cancelledResult reports whether a result's error came from a
+// cancelled context rather than the model itself.
+func cancelledResult(res *ModelResult) bool {
+	return res.Err != nil &&
+		(errors.Is(res.Err, context.Canceled) || errors.Is(res.Err, context.DeadlineExceeded))
 }
 
 // updateOne brings one model up to date: an incremental update of the
@@ -223,9 +297,14 @@ func (p *Pipeline) updateOne(spec ModelSpec, fam family, prior *ModelResult, new
 	if prior != nil && prior.Err == nil {
 		if newRows == nil || newRows.NumRows() == 0 {
 			model = prior.Model // nothing new on the training side
+			res.Update = ml.UpdateInfo{Incremental: true}
 		} else if inc, ok := prior.Model.(ml.IncrementalRegressor); ok {
 			if err := inc.Update(newRows.X, newRows.RTTF); err == nil {
 				model = inc
+				res.Update = ml.UpdateInfo{Incremental: true}
+				if ur, ok := inc.(ml.UpdateReporter); ok {
+					res.Update = ur.LastUpdate()
+				}
 			}
 			// A failed incremental update (e.g. a border that breaks
 			// positive definiteness) leaves the model unchanged; fall

@@ -44,6 +44,17 @@ type Options struct {
 	// updated model exactly, which is how the parity tests cross-check
 	// Update.
 	Standardizer *kernel.Standardizer
+	// DriftThreshold enables standardizer drift detection in Update:
+	// when the appended rows' per-feature statistics deviate from the
+	// frozen standardizer by more than this much — mean shifted by more
+	// than DriftThreshold frozen σ, or σ ratio off 1 by more than
+	// DriftThreshold — the incremental path is abandoned and the model
+	// refits from scratch on the combined history with freshly fitted
+	// statistics (unless Standardizer is pinned, which wins). 0
+	// disables detection; the outcome of each Update is reported via
+	// LastUpdate. Batches smaller than driftSigmaMinBatch rows score
+	// only the mean shift — their sample σ is too noisy to trust.
+	DriftThreshold float64
 }
 
 // DefaultOptions returns common LS-SVM settings.
@@ -53,6 +64,9 @@ func DefaultOptions() Options { return Options{Gamma: 10} }
 func (o *Options) Validate() error {
 	if o.Gamma <= 0 {
 		return fmt.Errorf("lssvm: Gamma must be positive, got %v", o.Gamma)
+	}
+	if o.DriftThreshold < 0 {
+		return fmt.Errorf("lssvm: DriftThreshold must be non-negative, got %v", o.DriftThreshold)
 	}
 	return nil
 }
@@ -84,6 +98,10 @@ type Model struct {
 	chol    *mat.Cholesky
 	diagAdd float64
 	yRaw    []float64
+
+	// lastUpdate reports what the latest Update call did (drift score
+	// of the appended batch, incremental vs drift-triggered refit).
+	lastUpdate ml.UpdateInfo
 }
 
 // New returns an unfitted LS-SVM.
@@ -156,6 +174,7 @@ func (m *Model) Fit(X [][]float64, y []float64) error {
 	m.yRaw = ml.CloneVector(y)
 	m.applySolution(sol)
 	m.fitted = true
+	m.lastUpdate = ml.UpdateInfo{} // a fresh fit resets the update report
 	return nil
 }
 
@@ -253,6 +272,22 @@ func (m *Model) Update(Xnew [][]float64, ynew []float64) error {
 	oldN := m.trainRows.Len()
 	mNew := len(Xnew)
 	Xs := m.std.ApplyAll(Xnew)
+
+	// Standardizer drift check (on the standardized batch, where the
+	// frozen statistics predict mean 0 / σ 1 per feature): past the
+	// threshold the incremental path would keep standardizing new data
+	// with stale statistics, so refit from scratch instead.
+	// Drift is still measured (and reported) with a pinned standardizer,
+	// but never acted on: a refit would reuse the pinned statistics and
+	// reproduce the incremental result at O(n³) — the pin wins.
+	drift := driftScore(Xs)
+	if m.opts.DriftThreshold > 0 && drift > m.opts.DriftThreshold && m.opts.Standardizer == nil {
+		if err := m.refitCombined(Xnew, ynew); err != nil {
+			return err
+		}
+		m.lastUpdate = ml.UpdateInfo{DriftScore: drift, DriftRefit: true}
+		return nil
+	}
 	if err := m.trainRows.Append(Xs); err != nil {
 		return err
 	}
@@ -290,7 +325,74 @@ func (m *Model) Update(Xnew [][]float64, ynew []float64) error {
 	}
 	m.yRaw = combined
 	m.applySolution(sol)
+	m.lastUpdate = ml.UpdateInfo{Incremental: true, DriftScore: drift}
 	return nil
+}
+
+// LastUpdate implements ml.UpdateReporter.
+func (m *Model) LastUpdate() ml.UpdateInfo { return m.lastUpdate }
+
+// driftSigmaMinBatch is the smallest batch whose sample σ is compared
+// against the frozen statistics: below it the σ estimate is dominated
+// by sampling noise (a single row always has σ 0, which would read as
+// full drift), so only the mean-shift term is scored.
+const driftSigmaMinBatch = 8
+
+// driftScore measures how far a standardized batch sits from the frozen
+// statistics: the largest per-feature |mean| (in σ units) and, for
+// batches of at least driftSigmaMinBatch rows, |σ − 1|. A batch drawn
+// from the training distribution scores near 0.
+func driftScore(Xs [][]float64) float64 {
+	n := len(Xs)
+	if n == 0 {
+		return 0
+	}
+	d := len(Xs[0])
+	score := 0.0
+	for j := 0; j < d; j++ {
+		var sum, ss float64
+		for i := 0; i < n; i++ {
+			sum += Xs[i][j]
+		}
+		mean := sum / float64(n)
+		if v := math.Abs(mean); v > score {
+			score = v
+		}
+		if n < driftSigmaMinBatch {
+			continue
+		}
+		for i := 0; i < n; i++ {
+			dv := Xs[i][j] - mean
+			ss += dv * dv
+		}
+		sd := math.Sqrt(ss / float64(n))
+		if v := math.Abs(sd - 1); v > score {
+			score = v
+		}
+	}
+	return score
+}
+
+// refitCombined retrains from scratch on the retained history plus the
+// new rows, with freshly fitted statistics (the drift-triggered refit
+// path). The retained rows are de-standardized back to raw feature
+// space first; on error the previous fit stays intact.
+func (m *Model) refitCombined(Xnew [][]float64, ynew []float64) error {
+	n := m.trainRows.Len()
+	X := make([][]float64, 0, n+len(Xnew))
+	for i := 0; i < n; i++ {
+		xs := m.trainRows.Row(i)
+		raw := make([]float64, m.dim)
+		for j, v := range xs {
+			raw[j] = v*m.std.Std[j] + m.std.Mean[j]
+		}
+		X = append(X, raw)
+	}
+	X = append(X, Xnew...)
+	y := make([]float64, 0, n+len(ynew))
+	y = append(y, m.yRaw...)
+	y = append(y, ynew...)
+	return m.Fit(X, y)
 }
 
 // rebuildFactor refactors the full regularized kernel system from the
@@ -365,6 +467,7 @@ var (
 	_ ml.Regressor            = (*Model)(nil)
 	_ ml.BatchPredictor       = (*Model)(nil)
 	_ ml.IncrementalRegressor = (*Model)(nil)
+	_ ml.UpdateReporter       = (*Model)(nil)
 )
 
 // lssvmJSON is the serialized model state. TrainY carries the raw

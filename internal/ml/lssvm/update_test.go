@@ -5,6 +5,7 @@ import (
 	"math"
 	"testing"
 
+	"repro/internal/ml"
 	"repro/internal/ml/kernel"
 	"repro/internal/randx"
 )
@@ -246,5 +247,159 @@ func BenchmarkRetrainScratch(b *testing.B) {
 		if err := m.Fit(X, y); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// TestUpdateDriftDetection covers the standardizer drift gate: an
+// in-distribution append keeps the incremental path, a far-shifted
+// append past DriftThreshold triggers a full refit with fresh
+// statistics, and the refit model matches a from-scratch Fit on the
+// combined data exactly.
+func TestUpdateDriftDetection(t *testing.T) {
+	src := randx.New(7)
+	const d, base = 4, 100
+	X, y := multiData(src, base, d)
+	Xq, _ := multiData(src, 30, d)
+
+	opts := DefaultOptions()
+	opts.DriftThreshold = 2 // generous: in-distribution batches stay under
+	m, err := New(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Fit(X, y); err != nil {
+		t.Fatal(err)
+	}
+	if got := m.LastUpdate(); got != (ml.UpdateInfo{}) {
+		t.Fatalf("LastUpdate before any Update: %+v", got)
+	}
+
+	// In-distribution append: incremental, no refit.
+	Xin, yin := multiData(src, 25, d)
+	if err := m.Update(Xin, yin); err != nil {
+		t.Fatal(err)
+	}
+	info := m.LastUpdate()
+	if !info.Incremental || info.DriftRefit {
+		t.Fatalf("in-distribution update: %+v", info)
+	}
+	if info.DriftScore <= 0 || info.DriftScore > opts.DriftThreshold {
+		t.Fatalf("in-distribution drift score %v", info.DriftScore)
+	}
+
+	// Far-shifted append: every feature moved by ~10 raw units (≫2σ of
+	// the Uniform(-2,2) training features) must trip the gate.
+	Xfar, yfar := multiData(src, 25, d)
+	for i := range Xfar {
+		for j := range Xfar[i] {
+			Xfar[i][j] += 10
+		}
+	}
+	if err := m.Update(Xfar, yfar); err != nil {
+		t.Fatal(err)
+	}
+	info = m.LastUpdate()
+	if !info.DriftRefit || info.Incremental {
+		t.Fatalf("shifted update did not trigger a drift refit: %+v", info)
+	}
+	if info.DriftScore <= opts.DriftThreshold {
+		t.Fatalf("drift score %v not above threshold %v", info.DriftScore, opts.DriftThreshold)
+	}
+
+	// The refit model must equal a from-scratch Fit on the combined
+	// history (fresh statistics on both sides).
+	combinedX := append(append(append([][]float64{}, X...), Xin...), Xfar...)
+	combinedY := append(append(append([]float64{}, y...), yin...), yfar...)
+	ref, err := New(DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ref.Fit(combinedX, combinedY); err != nil {
+		t.Fatal(err)
+	}
+	for i, q := range Xq {
+		got, want := m.Predict(q), ref.Predict(q)
+		if math.Abs(got-want) > 1e-8*(1+math.Abs(want)) {
+			t.Fatalf("query %d: drift refit predicts %v, from-scratch %v", i, got, want)
+		}
+	}
+
+	// A single-row in-distribution append must stay incremental even
+	// under a tight threshold: tiny batches score only the mean shift
+	// (their sample σ is always 0, which must not read as drift).
+	mOne, err := New(Options{Gamma: 10, DriftThreshold: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := mOne.Fit(X, y); err != nil {
+		t.Fatal(err)
+	}
+	refits := 0
+	for i := 0; i < len(Xin); i++ {
+		if err := mOne.Update(Xin[i:i+1], yin[i:i+1]); err != nil {
+			t.Fatal(err)
+		}
+		if mOne.LastUpdate().DriftRefit {
+			refits++
+		}
+	}
+	// Per-row z-scores occasionally exceed 1, so the odd refit is fine;
+	// what must not happen is the σ-term degenerate case where every
+	// single-row update refits.
+	if refits == len(Xin) {
+		t.Fatalf("every single-row append triggered a drift refit (%d/%d)", refits, len(Xin))
+	}
+
+	// Disabled detection (threshold 0) keeps the incremental path even
+	// under the same shift.
+	m2, err := New(DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m2.Fit(X, y); err != nil {
+		t.Fatal(err)
+	}
+	if err := m2.Update(Xfar, yfar); err != nil {
+		t.Fatal(err)
+	}
+	if info := m2.LastUpdate(); !info.Incremental || info.DriftRefit {
+		t.Fatalf("threshold 0 still refit: %+v", info)
+	}
+}
+
+// TestDriftGateRespectsPinnedStandardizer pins that a pinned
+// standardizer disables the drift *action*: a refit would reuse the
+// pinned statistics and reproduce the incremental result at O(n³), so
+// the incremental path must be kept (drift still reported).
+func TestDriftGateRespectsPinnedStandardizer(t *testing.T) {
+	src := randx.New(11)
+	const d, base = 3, 80
+	X, y := multiData(src, base, d)
+
+	opts := DefaultOptions()
+	opts.Standardizer = kernel.FitStandardizer(X)
+	opts.DriftThreshold = 0.5
+	m, err := New(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Fit(X, y); err != nil {
+		t.Fatal(err)
+	}
+	Xfar, yfar := multiData(src, 20, d)
+	for i := range Xfar {
+		for j := range Xfar[i] {
+			Xfar[i][j] += 10
+		}
+	}
+	if err := m.Update(Xfar, yfar); err != nil {
+		t.Fatal(err)
+	}
+	info := m.LastUpdate()
+	if info.DriftRefit || !info.Incremental {
+		t.Fatalf("pinned standardizer still acted on drift: %+v", info)
+	}
+	if info.DriftScore <= opts.DriftThreshold {
+		t.Fatalf("drift score %v not reported past threshold", info.DriftScore)
 	}
 }

@@ -72,6 +72,32 @@ type IncrementalRegressor interface {
 	Update(Xnew [][]float64, ynew []float64) error
 }
 
+// UpdateInfo describes what the latest Update call actually did, for
+// surfacing in pipeline reports: whether the model extended its fit
+// incrementally or fell back to a full refit, and — for models that
+// freeze preprocessing statistics at the initial Fit — how far the
+// appended rows had drifted from those statistics.
+type UpdateInfo struct {
+	// Incremental is true when the fit was extended in place at a cost
+	// scaling with the new rows.
+	Incremental bool
+	// DriftScore is the standardizer drift of the appended rows: the
+	// largest per-feature deviation of their mean (in frozen-σ units)
+	// or of their σ ratio from 1. Zero when the model does not track
+	// drift.
+	DriftScore float64
+	// DriftRefit is true when DriftScore exceeded the configured
+	// threshold and the model refit from scratch with fresh statistics.
+	DriftRefit bool
+}
+
+// UpdateReporter is implemented by incremental regressors that report
+// what their latest Update did (core.Pipeline.Update surfaces this in
+// the per-model results).
+type UpdateReporter interface {
+	LastUpdate() UpdateInfo
+}
+
 // BatchPredictor is implemented by regressors with an optimized
 // batched prediction path (the kernel machines evaluate all support
 // vectors through flat batched kernels and reuse scratch buffers

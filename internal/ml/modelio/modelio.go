@@ -3,6 +3,13 @@
 // pipeline) can be deployed next to a live monitor without retraining.
 // All six paper methods round-trip; predictions after Load match the
 // original model exactly.
+//
+// Since format version 2 the envelope also carries deployment metadata —
+// the column names the model consumes (the Lasso-selected subset for
+// reduced-family models) and the aggregation configuration the training
+// used — so the serving side can rebuild the exact feature layout and
+// projection without out-of-band knowledge. Version-1 envelopes (no
+// metadata) still load.
 package modelio
 
 import (
@@ -10,6 +17,7 @@ import (
 	"fmt"
 	"io"
 
+	"repro/internal/aggregate"
 	"repro/internal/ml"
 	"repro/internal/ml/lasso"
 	"repro/internal/ml/linreg"
@@ -19,14 +27,27 @@ import (
 	"repro/internal/ml/svm"
 )
 
-// FormatVersion is bumped when the envelope layout changes.
-const FormatVersion = 1
+// FormatVersion is bumped when the envelope layout changes. Version 2
+// added the optional deployment metadata block.
+const FormatVersion = 2
+
+// Meta is the deployment metadata saved alongside a model.
+type Meta struct {
+	// Features names the dataset columns the model consumes, in model
+	// input order. Empty means the full aggregated layout.
+	Features []string `json:"features,omitempty"`
+	// Aggregation, when non-nil, is the windowing configuration the
+	// training pipeline used; a live aggregator built from it emits
+	// rows in the layout Features indexes into.
+	Aggregation *aggregate.Config `json:"aggregation,omitempty"`
+}
 
 // envelope wraps a serialized model with its kind tag.
 type envelope struct {
 	Format  string          `json:"format"`
 	Version int             `json:"version"`
 	Kind    string          `json:"kind"`
+	Meta    *Meta           `json:"meta,omitempty"`
 	Payload json.RawMessage `json:"payload"`
 }
 
@@ -52,8 +73,11 @@ func kindOf(m ml.Regressor) (string, error) {
 	}
 }
 
-// Save writes a fitted model to w.
-func Save(w io.Writer, m ml.Regressor) error {
+// Save writes a fitted model to w with no deployment metadata.
+func Save(w io.Writer, m ml.Regressor) error { return SaveWithMeta(w, m, nil) }
+
+// SaveWithMeta writes a fitted model plus its deployment metadata.
+func SaveWithMeta(w io.Writer, m ml.Regressor, meta *Meta) error {
 	kind, err := kindOf(m)
 	if err != nil {
 		return err
@@ -62,23 +86,30 @@ func Save(w io.Writer, m ml.Regressor) error {
 	if err != nil {
 		return fmt.Errorf("modelio: serializing %s model: %w", kind, err)
 	}
-	env := envelope{Format: formatName, Version: FormatVersion, Kind: kind, Payload: payload}
+	env := envelope{Format: formatName, Version: FormatVersion, Kind: kind, Meta: meta, Payload: payload}
 	enc := json.NewEncoder(w)
 	return enc.Encode(&env)
 }
 
 // Load reads a model written by Save and returns a ready predictor.
 func Load(r io.Reader) (ml.Regressor, error) {
+	m, _, err := LoadWithMeta(r)
+	return m, err
+}
+
+// LoadWithMeta reads a model and its deployment metadata. Envelopes
+// from format version 1 load with nil metadata.
+func LoadWithMeta(r io.Reader) (ml.Regressor, *Meta, error) {
 	var env envelope
 	dec := json.NewDecoder(r)
 	if err := dec.Decode(&env); err != nil {
-		return nil, fmt.Errorf("modelio: decoding envelope: %w", err)
+		return nil, nil, fmt.Errorf("modelio: decoding envelope: %w", err)
 	}
 	if env.Format != formatName {
-		return nil, fmt.Errorf("modelio: not an f2pm model file (format %q)", env.Format)
+		return nil, nil, fmt.Errorf("modelio: not an f2pm model file (format %q)", env.Format)
 	}
-	if env.Version != FormatVersion {
-		return nil, fmt.Errorf("modelio: unsupported format version %d (want %d)", env.Version, FormatVersion)
+	if env.Version < 1 || env.Version > FormatVersion {
+		return nil, nil, fmt.Errorf("modelio: unsupported format version %d (want 1..%d)", env.Version, FormatVersion)
 	}
 	var m ml.Regressor
 	switch env.Kind {
@@ -87,38 +118,38 @@ func Load(r io.Reader) (ml.Regressor, error) {
 	case "lasso":
 		lm, err := lasso.New(lasso.DefaultOptions(0))
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 		m = lm
 	case "m5p":
 		mm, err := m5p.New(m5p.DefaultOptions())
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 		m = mm
 	case "reptree":
 		rm, err := reptree.New(reptree.DefaultOptions())
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 		m = rm
 	case "svm":
 		sm, err := svm.New(svm.DefaultOptions())
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 		m = sm
 	case "lssvm":
 		lm, err := lssvm.New(lssvm.DefaultOptions())
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 		m = lm
 	default:
-		return nil, fmt.Errorf("modelio: unknown model kind %q", env.Kind)
+		return nil, nil, fmt.Errorf("modelio: unknown model kind %q", env.Kind)
 	}
 	if err := json.Unmarshal(env.Payload, m); err != nil {
-		return nil, fmt.Errorf("modelio: deserializing %s model: %w", env.Kind, err)
+		return nil, nil, fmt.Errorf("modelio: deserializing %s model: %w", env.Kind, err)
 	}
-	return m, nil
+	return m, env.Meta, nil
 }

@@ -6,6 +6,7 @@ import (
 	"strings"
 	"testing"
 
+	"repro/internal/aggregate"
 	"repro/internal/ml"
 	"repro/internal/ml/lasso"
 	"repro/internal/ml/linreg"
@@ -199,5 +200,88 @@ func TestPredictAfterLoadWithoutRefit(t *testing.T) {
 	}
 	if math.IsNaN(loaded.Predict([]float64{5, 2})) {
 		t.Fatal("loaded model not ready")
+	}
+}
+
+// TestMetaRoundTrip pins the version-2 envelope: the feature subset and
+// aggregation config survive SaveWithMeta → LoadWithMeta.
+func TestMetaRoundTrip(t *testing.T) {
+	X, y := trainingData(60)
+	lin := linreg.New()
+	if err := lin.Fit(X, y); err != nil {
+		t.Fatal(err)
+	}
+	agg := aggregate.Config{WindowSec: 45, IncludeSlopes: true, IncludeIntergen: true}
+	meta := &Meta{
+		Features:    []string{"mem_used", "num_threads_slope"},
+		Aggregation: &agg,
+	}
+	var buf bytes.Buffer
+	if err := SaveWithMeta(&buf, lin, meta); err != nil {
+		t.Fatal(err)
+	}
+	m, got, err := LoadWithMeta(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Name() != "linear" {
+		t.Fatalf("loaded kind %q", m.Name())
+	}
+	if got == nil || got.Aggregation == nil {
+		t.Fatalf("metadata lost: %+v", got)
+	}
+	if *got.Aggregation != agg {
+		t.Fatalf("aggregation %+v, want %+v", *got.Aggregation, agg)
+	}
+	if len(got.Features) != 2 || got.Features[0] != "mem_used" || got.Features[1] != "num_threads_slope" {
+		t.Fatalf("features %v", got.Features)
+	}
+}
+
+// TestSaveWithoutMetaLoadsNil pins that plain Save yields nil metadata.
+func TestSaveWithoutMetaLoadsNil(t *testing.T) {
+	X, y := trainingData(60)
+	lin := linreg.New()
+	if err := lin.Fit(X, y); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := Save(&buf, lin); err != nil {
+		t.Fatal(err)
+	}
+	_, meta, err := LoadWithMeta(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if meta != nil {
+		t.Fatalf("unexpected metadata %+v", meta)
+	}
+}
+
+// TestLoadVersion1Envelope pins backward compatibility: a pre-metadata
+// (version 1) envelope still loads, with nil metadata.
+func TestLoadVersion1Envelope(t *testing.T) {
+	X, y := trainingData(60)
+	lin := linreg.New()
+	if err := lin.Fit(X, y); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := Save(&buf, lin); err != nil {
+		t.Fatal(err)
+	}
+	// Rewrite the envelope as version 1 without meta, byte-compatible
+	// with what the previous release wrote.
+	v1 := strings.Replace(buf.String(), `"version":2`, `"version":1`, 1)
+	m, meta, err := LoadWithMeta(strings.NewReader(v1))
+	if err != nil {
+		t.Fatalf("version-1 envelope rejected: %v", err)
+	}
+	if meta != nil {
+		t.Fatalf("version-1 envelope produced metadata %+v", meta)
+	}
+	want := lin.Predict(X[0])
+	if got := m.Predict(X[0]); got != want {
+		t.Fatalf("prediction drifted across v1 load: %v vs %v", got, want)
 	}
 }

@@ -2,6 +2,7 @@ package monitor
 
 import (
 	"bufio"
+	"context"
 	"fmt"
 	"net"
 	"sync"
@@ -32,7 +33,16 @@ type Client struct {
 
 // Dial connects to the FMS at addr and sends the hello handshake.
 func Dial(addr, clientID string) (*Client, error) {
-	conn, err := net.DialTimeout("tcp", addr, 10*time.Second)
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	return DialContext(ctx, addr, clientID)
+}
+
+// DialContext is Dial under a caller-supplied context: the connection
+// attempt aborts when ctx is cancelled or times out.
+func DialContext(ctx context.Context, addr, clientID string) (*Client, error) {
+	var d net.Dialer
+	conn, err := d.DialContext(ctx, "tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("monitor: dialing FMS at %s: %w", addr, err)
 	}
@@ -85,10 +95,13 @@ type Collector struct {
 	done chan struct{}
 }
 
-// Start begins the sampling loop in a goroutine. Sampling errors are
-// counted but do not stop the loop (a transient /proc read failure must
-// not kill a week-long collection).
-func (c *Collector) Start() error {
+// Start begins the sampling loop in a goroutine; the loop ends when ctx
+// is cancelled or Stop is called. Each datapoint is shipped (and
+// flushed to the socket) as soon as it is sampled, so stopping never
+// drops collected data. Sampling errors are counted but do not stop
+// the loop (a transient /proc read failure must not kill a week-long
+// collection).
+func (c *Collector) Start(ctx context.Context) error {
 	if c.Client == nil || c.Source == nil {
 		return fmt.Errorf("monitor: collector needs a client and a source")
 	}
@@ -97,16 +110,18 @@ func (c *Collector) Start() error {
 	}
 	c.stop = make(chan struct{})
 	c.done = make(chan struct{})
-	go c.loop()
+	go c.loop(ctx)
 	return nil
 }
 
-func (c *Collector) loop() {
+func (c *Collector) loop(ctx context.Context) {
 	defer close(c.done)
 	ticker := time.NewTicker(c.Interval)
 	defer ticker.Stop()
 	for {
 		select {
+		case <-ctx.Done():
+			return
 		case <-c.stop:
 			return
 		case <-ticker.C:

@@ -3,12 +3,14 @@ package monitor
 import (
 	"bufio"
 	"bytes"
+	"context"
 	"io"
 	"math"
 	"net"
 	"os"
 	"path/filepath"
 	"strings"
+	"sync"
 	"testing"
 	"time"
 
@@ -214,7 +216,7 @@ func TestCollectorLoop(t *testing.T) {
 			}
 		},
 	}
-	if err := coll.Start(); err != nil {
+	if err := coll.Start(context.Background()); err != nil {
 		t.Fatal(err)
 	}
 	select {
@@ -238,7 +240,7 @@ func TestCollectorLoop(t *testing.T) {
 
 func TestCollectorStartValidation(t *testing.T) {
 	c := &Collector{}
-	if err := c.Start(); err == nil {
+	if err := c.Start(context.Background()); err == nil {
 		t.Fatal("empty collector started")
 	}
 	srv, err := NewServer("127.0.0.1:0")
@@ -252,7 +254,7 @@ func TestCollectorStartValidation(t *testing.T) {
 	}
 	defer cli.Close()
 	c = &Collector{Client: cli, Source: SourceFunc(func() (trace.Datapoint, error) { return sampleDatapoint(1), nil })}
-	if err := c.Start(); err == nil {
+	if err := c.Start(context.Background()); err == nil {
 		t.Fatal("zero interval accepted")
 	}
 }
@@ -495,4 +497,115 @@ func TestServerIgnoresOutOfOrderDatapoints(t *testing.T) {
 		time.Sleep(10 * time.Millisecond)
 	}
 	t.Fatal("run never assembled")
+}
+
+// recordingStream collects StreamHandler callbacks.
+type recordingStream struct {
+	mu    sync.Mutex
+	dps   map[string][]trace.Datapoint
+	fails map[string][]float64
+}
+
+func newRecordingStream() *recordingStream {
+	return &recordingStream{dps: map[string][]trace.Datapoint{}, fails: map[string][]float64{}}
+}
+
+func (r *recordingStream) HandleDatapoint(id string, d trace.Datapoint) {
+	r.mu.Lock()
+	r.dps[id] = append(r.dps[id], d)
+	r.mu.Unlock()
+}
+
+func (r *recordingStream) HandleFail(id string, tgen float64) {
+	r.mu.Lock()
+	r.fails[id] = append(r.fails[id], tgen)
+	r.mu.Unlock()
+}
+
+// TestServerStreamHandler pins the live hook: every accepted datapoint
+// and fail event reaches the handler in wire order, and dropped
+// (out-of-order) datapoints do not.
+func TestServerStreamHandler(t *testing.T) {
+	rec := newRecordingStream()
+	srv, err := NewServer("127.0.0.1:0", WithStream(rec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	cli, err := Dial(srv.Addr(), "vm-s")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tg := range []float64{0, 1.5, 3, 1 /* out of order: dropped */, 4.5} {
+		d := sampleDatapoint(tg)
+		if err := cli.SendDatapoint(&d); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := cli.SendFail(4.5); err != nil {
+		t.Fatal(err)
+	}
+	cli.Close()
+
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		rec.mu.Lock()
+		nd, nf := len(rec.dps["vm-s"]), len(rec.fails["vm-s"])
+		rec.mu.Unlock()
+		if nd == 4 && nf == 1 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("stream saw %d datapoints / %d fails, want 4 / 1", nd, nf)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	rec.mu.Lock()
+	defer rec.mu.Unlock()
+	want := []float64{0, 1.5, 3, 4.5}
+	for i, d := range rec.dps["vm-s"] {
+		if d.Tgen != want[i] {
+			t.Fatalf("datapoint %d has Tgen %v, want %v (wire order broken)", i, d.Tgen, want[i])
+		}
+	}
+	if rec.fails["vm-s"][0] != 4.5 {
+		t.Fatalf("fail tgen %v", rec.fails["vm-s"][0])
+	}
+}
+
+// TestServerContextClose pins WithServerContext: cancelling the context
+// closes the server — even with a client connection still open — and
+// new dials are refused.
+func TestServerContextClose(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	srv, err := NewServer("127.0.0.1:0", WithServerContext(ctx))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cli, err := Dial(srv.Addr(), "idle")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cli.Close()
+	d := sampleDatapoint(1)
+	if err := cli.SendDatapoint(&d); err != nil {
+		t.Fatal(err)
+	}
+	cancel()
+
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if _, err := Dial(srv.Addr(), "late"); err != nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("server still accepting after context cancellation")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	// Close after context shutdown is a clean no-op.
+	if err := srv.Close(); err != nil && !strings.Contains(err.Error(), "use of closed") {
+		t.Fatalf("close after cancel: %v", err)
+	}
 }

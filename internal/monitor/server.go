@@ -2,6 +2,7 @@ package monitor
 
 import (
 	"bufio"
+	"context"
 	"errors"
 	"fmt"
 	"io"
@@ -11,12 +12,51 @@ import (
 	"repro/internal/trace"
 )
 
+// StreamHandler receives the live FMC event stream as the server
+// assembles it: one call per accepted datapoint and per fail event.
+// Calls for one client are made sequentially from that client's
+// connection goroutine (per-client order is the wire order); calls for
+// different clients are concurrent. Handlers must not call back into
+// the server's Close. This is the hook that feeds a serving-side
+// prediction service directly from the monitor — monitor → aggregate →
+// predict → act in one process, no CSV round-trip.
+type StreamHandler interface {
+	// HandleDatapoint is called for every datapoint recorded into the
+	// client's history.
+	HandleDatapoint(clientID string, d trace.Datapoint)
+	// HandleFail is called when the client reports the failure
+	// condition at elapsed time tgen, closing its current run.
+	HandleFail(clientID string, tgen float64)
+}
+
+// ServerOption configures an FMS.
+type ServerOption func(*serverConfig)
+
+type serverConfig struct {
+	stream StreamHandler
+	ctx    context.Context
+}
+
+// WithStream attaches a live event handler to the server.
+func WithStream(h StreamHandler) ServerOption {
+	return func(c *serverConfig) { c.stream = h }
+}
+
+// WithServerContext ties the server lifetime to ctx: when ctx is
+// cancelled the server closes (stops accepting, drains handlers)
+// exactly as an explicit Close would.
+func WithServerContext(ctx context.Context) ServerOption {
+	return func(c *serverConfig) { c.ctx = ctx }
+}
+
 // Server is the Feature Monitor Server (FMS). It accepts any number of
 // FMC connections; each client's stream of datapoint/fail messages is
 // assembled into a per-client trace.History (a fail message closes the
 // current run and opens the next one).
 type Server struct {
 	listener net.Listener
+	stream   StreamHandler
+	stop     chan struct{} // closed by Close
 
 	mu        sync.Mutex
 	histories map[string]*trace.History
@@ -27,18 +67,34 @@ type Server struct {
 }
 
 // NewServer starts an FMS listening on addr (e.g. "127.0.0.1:0").
-func NewServer(addr string) (*Server, error) {
+func NewServer(addr string, opts ...ServerOption) (*Server, error) {
+	var cfg serverConfig
+	for _, o := range opts {
+		o(&cfg)
+	}
 	l, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("monitor: listening on %s: %w", addr, err)
 	}
 	s := &Server{
 		listener:  l,
+		stream:    cfg.stream,
+		stop:      make(chan struct{}),
 		histories: make(map[string]*trace.History),
 		open:      make(map[string]*trace.Run),
 	}
 	s.wg.Add(1)
 	go s.acceptLoop()
+	if cfg.ctx != nil {
+		ctx := cfg.ctx
+		go func() {
+			select {
+			case <-ctx.Done():
+				s.Close()
+			case <-s.stop:
+			}
+		}()
+	}
 	return s, nil
 }
 
@@ -68,9 +124,20 @@ func (s *Server) acceptLoop() {
 	}
 }
 
-// handle consumes one client connection until EOF or error.
+// handle consumes one client connection until EOF, error, or Close.
 func (s *Server) handle(conn net.Conn) {
 	defer conn.Close()
+	// Unblock the blocking read when the server closes, so Close never
+	// waits on an idle connection.
+	stopDone := make(chan struct{})
+	defer close(stopDone)
+	go func() {
+		select {
+		case <-s.stop:
+			conn.Close()
+		case <-stopDone:
+		}
+	}()
 	r := bufio.NewReader(conn)
 
 	hello, err := readMessage(r)
@@ -95,13 +162,18 @@ func (s *Server) handle(conn net.Conn) {
 			if err != nil {
 				return
 			}
+			accepted := false
 			s.mu.Lock()
 			run := s.openRun(id)
 			// Enforce monotone Tgen within the run; drop stragglers.
 			if n := len(run.Datapoints); n == 0 || d.Tgen >= run.Datapoints[n-1].Tgen {
 				run.Datapoints = append(run.Datapoints, d)
+				accepted = true
 			}
 			s.mu.Unlock()
+			if accepted && s.stream != nil {
+				s.stream.HandleDatapoint(id, d)
+			}
 		case TypeFail:
 			s.mu.Lock()
 			run := s.openRun(id)
@@ -110,9 +182,13 @@ func (s *Server) handle(conn net.Conn) {
 			if n := len(run.Datapoints); n > 0 && run.FailTime < run.Datapoints[n-1].Tgen {
 				run.FailTime = run.Datapoints[n-1].Tgen
 			}
+			failTime := run.FailTime
 			s.histories[id].Runs = append(s.histories[id].Runs, *run)
 			delete(s.open, id)
 			s.mu.Unlock()
+			if s.stream != nil {
+				s.stream.HandleFail(id, failTime)
+			}
 		case TypeBye:
 			return
 		}
@@ -162,15 +238,19 @@ func (s *Server) Clients() []string {
 }
 
 // Close stops accepting and waits for handler goroutines to finish.
+// Every caller waits for the drain, even when racing another Close
+// (e.g. the WithServerContext watcher): a returned Close means no
+// handler is still delivering datapoints.
 func (s *Server) Close() error {
 	s.mu.Lock()
-	if s.closed {
-		s.mu.Unlock()
-		return nil
-	}
+	already := s.closed
 	s.closed = true
 	s.mu.Unlock()
-	err := s.listener.Close()
+	var err error
+	if !already {
+		close(s.stop)
+		err = s.listener.Close()
+	}
 	s.wg.Wait()
 	return err
 }

@@ -1,0 +1,99 @@
+package serve
+
+import (
+	"fmt"
+
+	"repro/internal/aggregate"
+	"repro/internal/core"
+	"repro/internal/ml"
+	"repro/internal/ml/modelio"
+)
+
+// Deployment is one servable model together with everything the serving
+// side needs to feed it: the column names it consumes (the
+// Lasso-selected subset for reduced-family models; empty means the full
+// aggregated layout) and the aggregation configuration its training
+// used, so live rows are windowed exactly like the training rows.
+type Deployment struct {
+	// Model is the trained predictor.
+	Model ml.Regressor
+	// Name labels the model in estimates and logs ("svm2", ...).
+	Name string
+	// Features names the dataset columns the model consumes, in model
+	// input order; empty means the full layout.
+	Features []string
+	// Aggregation is the windowing configuration live aggregators must
+	// reuse.
+	Aggregation aggregate.Config
+}
+
+// FromReport builds the deployment of a pipeline report's best model —
+// the bridge from Pipeline.Run/Update to the serving layer. The
+// report's aggregation config and, for a Lasso-family winner, the
+// selected feature subset are carried along so the model deploys
+// correctly without out-of-band knowledge.
+func FromReport(rep *core.Report) (*Deployment, error) {
+	best := rep.Best()
+	if best == nil {
+		return nil, ErrNoModel
+	}
+	dep := &Deployment{
+		Model:       best.Model,
+		Name:        best.Spec.Name,
+		Aggregation: rep.Aggregation,
+	}
+	if best.Features == core.LassoParams {
+		dep.Features = append([]string(nil), rep.Selection.Selected...)
+	}
+	return dep, nil
+}
+
+// Meta converts the deployment's serving configuration to the modelio
+// metadata block, for persisting with SaveDeployment.
+func (d *Deployment) Meta() *modelio.Meta {
+	agg := d.Aggregation
+	return &modelio.Meta{
+		Features:    append([]string(nil), d.Features...),
+		Aggregation: &agg,
+	}
+}
+
+// modelVersion is one immutable registry entry: a deployment plus the
+// projection from the service's full column layout into the model's
+// input order. Entries are swapped atomically; in-flight batches keep
+// predicting with the snapshot they loaded.
+type modelVersion struct {
+	dep     Deployment
+	version uint64
+	proj    []int // full-layout column indices, nil = identity
+}
+
+// newModelVersion resolves the deployment's feature names against the
+// service's column layout; the caller assigns the version once the
+// entry is known good.
+func newModelVersion(dep *Deployment, colIdx map[string]int) (*modelVersion, error) {
+	mv := &modelVersion{dep: *dep}
+	if len(dep.Features) > 0 {
+		mv.proj = make([]int, len(dep.Features))
+		for i, name := range dep.Features {
+			j, ok := colIdx[name]
+			if !ok {
+				return nil, fmt.Errorf("%w: %q not in the aggregated layout", ErrUnknownFeature, name)
+			}
+			mv.proj[i] = j
+		}
+	}
+	return mv, nil
+}
+
+// project maps one full-layout row into the model's input order.
+func (mv *modelVersion) project(row []float64) []float64 {
+	if mv.proj == nil {
+		return row
+	}
+	out := make([]float64, len(mv.proj))
+	for i, j := range mv.proj {
+		out[i] = row[j]
+	}
+	return out
+}

@@ -1,0 +1,526 @@
+// Package serve is the production serving layer of the F2PM
+// reproduction (paper §III-E deployment, §I's proactive-rejuvenation
+// loop): a PredictionService owns a versioned model registry and a set
+// of per-client sessions, turns each client's live datapoint stream
+// into aggregated feature rows, predicts Remaining Time To Failure in
+// cross-session batches, and raises threshold-crossing alerts so an
+// operator (or an automated rejuvenation action) can act before the
+// failure.
+//
+// The pieces:
+//
+//   - Deployment: a trained model plus the feature subset and
+//     aggregation config it was trained with (FromReport extracts it
+//     from a pipeline report; modelio persists it).
+//   - Service: the registry + dispatcher. Deploy atomically hot-swaps
+//     the served model; rows already queued keep their ordering and
+//     every row enqueued after Deploy returns is predicted by the new
+//     model — never a stale one.
+//   - Session: one monitored client. Push feeds datapoints through a
+//     LiveAggregator; completed windows are queued for the next
+//     prediction batch, so thousands of concurrent sessions amortize
+//     the kernel/tree evaluation hot path.
+//
+// A Service plugs directly into the FMS via monitor.WithStream, closing
+// the loop monitor → aggregate → predict → act in one process.
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/aggregate"
+	"repro/internal/ml"
+	"repro/internal/monitor"
+	"repro/internal/trace"
+)
+
+// Sentinel errors of the serving layer.
+var (
+	// ErrServiceClosed is returned once the service's context is
+	// cancelled or Close has run.
+	ErrServiceClosed = errors.New("serve: service closed")
+	// ErrSessionClosed is returned by operations on a closed session.
+	ErrSessionClosed = errors.New("serve: session closed")
+	// ErrTooManySessions is returned by StartSession past the
+	// WithMaxSessions limit.
+	ErrTooManySessions = errors.New("serve: session limit reached")
+	// ErrNoModel means no deployment is available (no WithDeployment /
+	// WithModelSource, or a report with no successful model).
+	ErrNoModel = errors.New("serve: no model deployed")
+	// ErrDuplicateSession is returned by StartSession for an id that is
+	// already active.
+	ErrDuplicateSession = errors.New("serve: session id already active")
+	// ErrUnknownFeature means a deployment names a column the service's
+	// aggregated layout does not produce.
+	ErrUnknownFeature = errors.New("serve: unknown feature")
+	// ErrAggregationMismatch means a deployment was trained under a
+	// different windowing configuration than the service runs.
+	ErrAggregationMismatch = errors.New("serve: deployment aggregation config differs from service")
+)
+
+// Estimate is one RTTF prediction for one session.
+type Estimate struct {
+	// SessionID names the monitored client.
+	SessionID string
+	// Tgen is the aggregated timestamp (elapsed seconds since the
+	// client's system start) of the window the estimate is for.
+	Tgen float64
+	// RTTF is the predicted remaining time to failure, seconds.
+	RTTF float64
+	// ModelVersion and ModelName identify the registry entry that
+	// produced the estimate (versions start at 1 and grow with every
+	// Deploy).
+	ModelVersion uint64
+	ModelName    string
+}
+
+// Alert is an estimate that crossed the alert threshold from above —
+// the "act now" signal of the paper's proactive-rejuvenation loop.
+type Alert struct {
+	Estimate
+	// Threshold is the configured alert level, seconds.
+	Threshold float64
+}
+
+// AlertFunc consumes threshold-crossing alerts.
+type AlertFunc func(Alert)
+
+// EstimateFunc consumes every emitted estimate.
+type EstimateFunc func(Estimate)
+
+// ModelSource supplies deployments on demand — the hook that connects
+// the service to wherever fresh models come from (a retraining
+// pipeline, a model file, a registry service).
+type ModelSource interface {
+	Deployment(ctx context.Context) (*Deployment, error)
+}
+
+// ModelSourceFunc adapts a function to ModelSource.
+type ModelSourceFunc func(ctx context.Context) (*Deployment, error)
+
+// Deployment implements ModelSource.
+func (f ModelSourceFunc) Deployment(ctx context.Context) (*Deployment, error) { return f(ctx) }
+
+// Option configures a Service.
+type Option func(*config)
+
+type config struct {
+	dep           *Deployment
+	source        ModelSource
+	estimateFunc  EstimateFunc
+	alertFunc     AlertFunc
+	alertBelow    float64
+	maxSessions   int
+	batchInterval time.Duration
+}
+
+// WithDeployment sets the initial model.
+func WithDeployment(dep *Deployment) Option {
+	return func(c *config) { c.dep = dep }
+}
+
+// WithModelSource sets where the service pulls deployments from: the
+// initial model at New (unless WithDeployment supplied one), and again
+// on every Refresh — the hot-swap path for "further system runs ...
+// produce new models".
+func WithModelSource(src ModelSource) Option {
+	return func(c *config) { c.source = src }
+}
+
+// WithEstimateFunc registers a service-wide estimate consumer, invoked
+// from the dispatch goroutine in per-session order. It must be fast and
+// must not call back into Flush or Close.
+func WithEstimateFunc(fn EstimateFunc) Option {
+	return func(c *config) { c.estimateFunc = fn }
+}
+
+// WithAlertFunc raises an alert whenever a session's predicted RTTF
+// crosses below threshold seconds (edge-triggered: one alert per
+// crossing, re-armed when the prediction recovers or the run ends).
+func WithAlertFunc(threshold float64, fn AlertFunc) Option {
+	return func(c *config) { c.alertBelow, c.alertFunc = threshold, fn }
+}
+
+// WithMaxSessions bounds the number of concurrently active sessions
+// (0 = unlimited).
+func WithMaxSessions(n int) Option {
+	return func(c *config) { c.maxSessions = n }
+}
+
+// WithBatchInterval makes the dispatcher coalesce completed windows for
+// up to d before predicting, trading latency for bigger prediction
+// batches across sessions. 0 (the default) dispatches as soon as the
+// dispatcher is free.
+func WithBatchInterval(d time.Duration) Option {
+	return func(c *config) { c.batchInterval = d }
+}
+
+// pendingRow is one completed window awaiting its prediction batch.
+type pendingRow struct {
+	sess *Session
+	tgen float64
+	row  []float64 // full aggregated layout
+	// endRun marks the final window of a run: after its estimate is
+	// delivered, the session's alert re-arms for the next run.
+	endRun bool
+}
+
+// Stats is a snapshot of service counters.
+type Stats struct {
+	// Sessions is the number of currently active sessions.
+	Sessions int
+	// Predictions counts estimates emitted since New.
+	Predictions uint64
+	// Alerts counts threshold crossings since New.
+	Alerts uint64
+	// ModelVersion is the currently served registry version.
+	ModelVersion uint64
+}
+
+// Service is the prediction service: a versioned model registry, the
+// session set, and the batching dispatcher. All methods are safe for
+// concurrent use. The service stops — sessions refuse further pushes,
+// the dispatcher drains and exits — when the context given to New is
+// cancelled or Close is called.
+type Service struct {
+	cfg    config
+	agg    aggregate.Config
+	names  []string
+	colIdx map[string]int
+
+	ctx    context.Context
+	cancel context.CancelFunc
+
+	cur      atomic.Pointer[modelVersion]
+	nextVer  atomic.Uint64
+	deployMu sync.Mutex // serializes Deploy (version allocation + store)
+
+	mu       sync.Mutex // guards sessions, pending, closed
+	sessions map[string]*Session
+	pending  []pendingRow
+	closed   bool
+
+	kick       chan struct{} // wakes the dispatcher, capacity 1
+	dispatchMu sync.Mutex    // serializes batch processing (dispatcher, Flush)
+	wg         sync.WaitGroup
+
+	predictions atomic.Uint64
+	alerts      atomic.Uint64
+}
+
+// New builds and starts a prediction service. The initial model comes
+// from WithDeployment or, failing that, from WithModelSource; one of
+// the two is required. Cancelling ctx closes the service.
+func New(ctx context.Context, opts ...Option) (*Service, error) {
+	var cfg config
+	for _, o := range opts {
+		o(&cfg)
+	}
+	dep := cfg.dep
+	if dep == nil && cfg.source != nil {
+		var err error
+		if dep, err = cfg.source.Deployment(ctx); err != nil {
+			return nil, fmt.Errorf("serve: pulling initial model: %w", err)
+		}
+	}
+	if dep == nil || dep.Model == nil {
+		return nil, ErrNoModel
+	}
+	if err := dep.Aggregation.Validate(); err != nil {
+		return nil, fmt.Errorf("serve: deployment aggregation: %w", err)
+	}
+	la, err := aggregate.NewLiveAggregator(dep.Aggregation)
+	if err != nil {
+		return nil, err
+	}
+	names := la.ColNames()
+	s := &Service{
+		cfg:      cfg,
+		agg:      dep.Aggregation,
+		names:    names,
+		colIdx:   make(map[string]int, len(names)),
+		sessions: make(map[string]*Session),
+		kick:     make(chan struct{}, 1),
+	}
+	for i, n := range names {
+		s.colIdx[n] = i
+	}
+	mv, err := newModelVersion(dep, s.colIdx)
+	if err != nil {
+		return nil, err
+	}
+	mv.version = s.nextVer.Add(1)
+	s.cur.Store(mv)
+	s.ctx, s.cancel = context.WithCancel(ctx)
+	s.wg.Add(1)
+	go s.dispatcher()
+	return s, nil
+}
+
+// ColNames returns the full aggregated column layout sessions emit.
+func (s *Service) ColNames() []string { return append([]string(nil), s.names...) }
+
+// Aggregation returns the windowing configuration the service runs.
+func (s *Service) Aggregation() aggregate.Config { return s.agg }
+
+// ModelVersion returns the currently served registry version.
+func (s *Service) ModelVersion() uint64 { return s.cur.Load().version }
+
+// Deploy atomically hot-swaps the served model and returns the new
+// registry version. The deployment must have been trained under the
+// service's aggregation config (its feature subset may differ — the
+// projection is rebuilt). In-flight batches finish with the model they
+// snapshotted; every window enqueued after Deploy returns is predicted
+// by the new model.
+func (s *Service) Deploy(dep *Deployment) (uint64, error) {
+	if dep == nil || dep.Model == nil {
+		return 0, ErrNoModel
+	}
+	if dep.Aggregation != s.agg {
+		return 0, ErrAggregationMismatch
+	}
+	mv, err := newModelVersion(dep, s.colIdx)
+	if err != nil {
+		return 0, err
+	}
+	// Serialize concurrent deploys so a failed attempt never burns a
+	// version and the served version never moves backwards.
+	s.deployMu.Lock()
+	defer s.deployMu.Unlock()
+	mv.version = s.nextVer.Add(1)
+	s.cur.Store(mv)
+	return mv.version, nil
+}
+
+// Refresh pulls a fresh deployment from the configured ModelSource and
+// hot-swaps it in, returning the new registry version.
+func (s *Service) Refresh(ctx context.Context) (uint64, error) {
+	if s.cfg.source == nil {
+		return 0, fmt.Errorf("serve: Refresh without a ModelSource")
+	}
+	dep, err := s.cfg.source.Deployment(ctx)
+	if err != nil {
+		return 0, fmt.Errorf("serve: pulling model: %w", err)
+	}
+	return s.Deploy(dep)
+}
+
+// StartSession registers a new monitored client and returns its
+// session. The id must not be active already.
+func (s *Service) StartSession(id string, opts ...SessionOption) (*Session, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil, ErrServiceClosed
+	}
+	if _, ok := s.sessions[id]; ok {
+		return nil, fmt.Errorf("%w: %q", ErrDuplicateSession, id)
+	}
+	if s.cfg.maxSessions > 0 && len(s.sessions) >= s.cfg.maxSessions {
+		return nil, ErrTooManySessions
+	}
+	ss, err := newSession(s, id, opts...)
+	if err != nil {
+		return nil, err
+	}
+	s.sessions[id] = ss
+	return ss, nil
+}
+
+// Session returns the active session with the given id, if any.
+func (s *Service) Session(id string) (*Session, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	ss, ok := s.sessions[id]
+	return ss, ok
+}
+
+// Sessions returns the ids of all active sessions.
+func (s *Service) Sessions() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]string, 0, len(s.sessions))
+	for id := range s.sessions {
+		out = append(out, id)
+	}
+	return out
+}
+
+// Stats returns a snapshot of the service counters.
+func (s *Service) Stats() Stats {
+	s.mu.Lock()
+	n := len(s.sessions)
+	s.mu.Unlock()
+	return Stats{
+		Sessions:     n,
+		Predictions:  s.predictions.Load(),
+		Alerts:       s.alerts.Load(),
+		ModelVersion: s.cur.Load().version,
+	}
+}
+
+// HandleDatapoint implements monitor.StreamHandler: datapoints from the
+// FMS stream feed the sender's session, which is auto-created on first
+// contact (datapoints for clients beyond the session limit are
+// dropped).
+func (s *Service) HandleDatapoint(clientID string, d trace.Datapoint) {
+	ss, ok := s.Session(clientID)
+	if !ok {
+		var err error
+		if ss, err = s.StartSession(clientID); err != nil {
+			return
+		}
+	}
+	_ = ss.Push(d)
+}
+
+// HandleFail implements monitor.StreamHandler: a fail event flushes the
+// session's current window and resets it for the client's next run.
+func (s *Service) HandleFail(clientID string, tgen float64) {
+	if ss, ok := s.Session(clientID); ok {
+		_ = ss.EndRun()
+	}
+}
+
+var _ monitor.StreamHandler = (*Service)(nil)
+
+// enqueue queues one completed window for the next prediction batch.
+func (s *Service) enqueue(ss *Session, tgen float64, row []float64, endRun bool) error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return ErrServiceClosed
+	}
+	s.pending = append(s.pending, pendingRow{sess: ss, tgen: tgen, row: row, endRun: endRun})
+	s.mu.Unlock()
+	select {
+	case s.kick <- struct{}{}:
+	default:
+	}
+	return nil
+}
+
+// dispatcher is the batching loop: woken by enqueue, it predicts all
+// queued windows in one batch per model snapshot, optionally coalescing
+// for batchInterval first.
+func (s *Service) dispatcher() {
+	defer s.wg.Done()
+	for {
+		select {
+		case <-s.ctx.Done():
+			s.shutdown()
+			return
+		case <-s.kick:
+		}
+		if d := s.cfg.batchInterval; d > 0 {
+			t := time.NewTimer(d)
+			select {
+			case <-s.ctx.Done():
+				t.Stop()
+				s.shutdown()
+				return
+			case <-t.C:
+			}
+		}
+		s.Flush()
+	}
+}
+
+// shutdown runs on the dispatcher goroutine when the service context is
+// cancelled (directly or via Close): it stops new enqueues, drains the
+// windows already queued — a clean shutdown never drops completed work
+// — and closes every session.
+func (s *Service) shutdown() {
+	s.mu.Lock()
+	s.closed = true
+	sessions := make([]*Session, 0, len(s.sessions))
+	for _, ss := range s.sessions {
+		sessions = append(sessions, ss)
+	}
+	s.mu.Unlock()
+	s.Flush()
+	for _, ss := range sessions {
+		ss.markClosed()
+	}
+}
+
+// Flush synchronously predicts every queued window. Sessions keep
+// pushing concurrently; rows enqueued while a batch is in flight are
+// picked up by the next iteration. Callbacks run on the calling
+// goroutine.
+func (s *Service) Flush() {
+	s.dispatchMu.Lock()
+	defer s.dispatchMu.Unlock()
+	for {
+		s.mu.Lock()
+		batch := s.pending
+		s.pending = nil
+		s.mu.Unlock()
+		if len(batch) == 0 {
+			return
+		}
+		// Snapshot the model AFTER taking the batch: a Deploy that
+		// returned before any of these rows were enqueued is
+		// necessarily visible here, so no row is ever predicted by a
+		// model older than the one current at its enqueue time.
+		mv := s.cur.Load()
+		X := make([][]float64, len(batch))
+		for i := range batch {
+			X[i] = mv.project(batch[i].row)
+		}
+		out := ml.PredictAll(mv.dep.Model, X)
+		for i := range batch {
+			est := Estimate{
+				SessionID:    batch[i].sess.id,
+				Tgen:         batch[i].tgen,
+				RTTF:         out[i],
+				ModelVersion: mv.version,
+				ModelName:    mv.dep.Name,
+			}
+			s.deliver(batch[i].sess, est)
+			if batch[i].endRun {
+				batch[i].sess.resetAlert()
+			}
+		}
+	}
+}
+
+// deliver records an estimate on its session and fans it out to the
+// configured consumers, raising an alert on a downward threshold
+// crossing.
+func (s *Service) deliver(ss *Session, est Estimate) {
+	s.predictions.Add(1)
+	crossed := ss.record(est, s.cfg.alertBelow)
+	if fn := ss.onEstimate; fn != nil {
+		fn(est)
+	}
+	if fn := s.cfg.estimateFunc; fn != nil {
+		fn(est)
+	}
+	if crossed && s.cfg.alertFunc != nil {
+		s.alerts.Add(1)
+		s.cfg.alertFunc(Alert{Estimate: est, Threshold: s.cfg.alertBelow})
+	}
+}
+
+// removeSession detaches a closed session.
+func (s *Service) removeSession(id string) {
+	s.mu.Lock()
+	delete(s.sessions, id)
+	s.mu.Unlock()
+}
+
+// Close stops the service: the dispatcher drains queued windows and
+// exits, sessions are closed, and further pushes fail with
+// ErrServiceClosed. Close is idempotent and equivalent to cancelling
+// the context given to New; it returns once the drain has finished.
+func (s *Service) Close() error {
+	s.cancel()
+	s.wg.Wait()
+	return nil
+}

@@ -1,0 +1,494 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"math"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/aggregate"
+	"repro/internal/ml"
+	"repro/internal/trace"
+)
+
+// stubModel is a deterministic ml.Regressor: it returns base plus the
+// sum of its inputs, so tests can verify both the projection and which
+// registry version produced an estimate.
+type stubModel struct {
+	base float64
+}
+
+func (m *stubModel) Name() string                     { return "stub" }
+func (m *stubModel) Fit([][]float64, []float64) error { return nil }
+func (m *stubModel) Predict(x []float64) float64 {
+	s := m.base
+	for _, v := range x {
+		s += v
+	}
+	return s
+}
+
+var _ ml.Regressor = (*stubModel)(nil)
+
+// rawAgg is a minimal windowing config: 14 raw feature columns, no
+// derived metrics, 10-second windows.
+func rawAgg() aggregate.Config {
+	return aggregate.Config{WindowSec: 10}
+}
+
+// dp builds a datapoint with the given uptime and num_threads value.
+func dp(tgen, threads float64) trace.Datapoint {
+	var d trace.Datapoint
+	d.Tgen = tgen
+	d.Features[trace.NumThreads] = threads
+	return d
+}
+
+// collectSvc builds a service around a stub deployment and returns it
+// with a slice collecting every estimate (Flush before reading).
+func collectSvc(t *testing.T, dep *Deployment, opts ...Option) (*Service, *estimates) {
+	t.Helper()
+	est := &estimates{}
+	opts = append(opts, WithDeployment(dep), WithEstimateFunc(est.add))
+	svc, err := New(context.Background(), opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { svc.Close() })
+	return svc, est
+}
+
+// estimates is a concurrency-safe estimate recorder.
+type estimates struct {
+	mu sync.Mutex
+	es []Estimate
+}
+
+func (e *estimates) add(est Estimate) {
+	e.mu.Lock()
+	e.es = append(e.es, est)
+	e.mu.Unlock()
+}
+
+func (e *estimates) all() []Estimate {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return append([]Estimate(nil), e.es...)
+}
+
+func TestServiceBasicFlow(t *testing.T) {
+	dep := &Deployment{Model: &stubModel{base: 100}, Name: "stub", Aggregation: rawAgg()}
+	svc, est := collectSvc(t, dep)
+
+	if svc.ModelVersion() != 1 {
+		t.Fatalf("initial version %d, want 1", svc.ModelVersion())
+	}
+	if got := len(svc.ColNames()); got != trace.NumFeatures {
+		t.Fatalf("layout has %d columns, want %d", got, trace.NumFeatures)
+	}
+
+	ss, err := svc.StartSession("vm-1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Window [0,10) holds threads 2 and 4 (mean 3); Tgen=12 completes it.
+	for _, d := range []trace.Datapoint{dp(1, 2), dp(5, 4), dp(12, 8)} {
+		if err := ss.Push(d); err != nil {
+			t.Fatal(err)
+		}
+	}
+	svc.Flush()
+	got := est.all()
+	if len(got) != 1 {
+		t.Fatalf("%d estimates, want 1", len(got))
+	}
+	e := got[0]
+	if e.SessionID != "vm-1" || e.ModelVersion != 1 || e.ModelName != "stub" {
+		t.Fatalf("bad estimate identity: %+v", e)
+	}
+	if want := 100.0 + 3; e.RTTF != want {
+		t.Fatalf("RTTF %v, want %v (mean of window)", e.RTTF, want)
+	}
+	if want := 3.0; e.Tgen != want {
+		t.Fatalf("Tgen %v, want %v", e.Tgen, want)
+	}
+	if last, ok := ss.Latest(); !ok || last != e {
+		t.Fatalf("Latest() = %+v, %v", last, ok)
+	}
+
+	// EndRun predicts the final partial window (threads 8 at Tgen 12).
+	if err := ss.EndRun(); err != nil {
+		t.Fatal(err)
+	}
+	svc.Flush()
+	got = est.all()
+	if len(got) != 2 {
+		t.Fatalf("%d estimates after EndRun, want 2", len(got))
+	}
+	if want := 100.0 + 8; got[1].RTTF != want {
+		t.Fatalf("final-window RTTF %v, want %v", got[1].RTTF, want)
+	}
+	if st := svc.Stats(); st.Predictions != 2 || st.Sessions != 1 {
+		t.Fatalf("stats %+v", st)
+	}
+}
+
+func TestServiceProjection(t *testing.T) {
+	names := trace.FeatureNames()
+	// The model consumes two columns, deliberately out of layout order.
+	dep := &Deployment{
+		Model:       &stubModel{},
+		Aggregation: rawAgg(),
+		Features:    []string{names[trace.MemUsed], names[trace.NumThreads]},
+	}
+	svc, est := collectSvc(t, dep)
+	ss, err := svc.StartSession("s")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var d trace.Datapoint
+	d.Tgen = 1
+	d.Features[trace.NumThreads] = 7
+	d.Features[trace.MemUsed] = 11
+	d.Features[trace.CPUIdle] = 999 // not selected: must not leak in
+	if err := ss.Push(d); err != nil {
+		t.Fatal(err)
+	}
+	if err := ss.Flush(); err != nil { // predict the incomplete window
+		t.Fatal(err)
+	}
+	svc.Flush()
+	got := est.all()
+	if len(got) != 1 {
+		t.Fatalf("%d estimates, want 1", len(got))
+	}
+	if want := 7.0 + 11; got[0].RTTF != want {
+		t.Fatalf("projected RTTF %v, want %v", got[0].RTTF, want)
+	}
+}
+
+func TestServiceDeployValidation(t *testing.T) {
+	dep := &Deployment{Model: &stubModel{}, Aggregation: rawAgg()}
+	svc, _ := collectSvc(t, dep)
+
+	other := rawAgg()
+	other.WindowSec = 99
+	if _, err := svc.Deploy(&Deployment{Model: &stubModel{}, Aggregation: other}); !errors.Is(err, ErrAggregationMismatch) {
+		t.Fatalf("mismatched aggregation: %v", err)
+	}
+	bad := &Deployment{Model: &stubModel{}, Aggregation: rawAgg(), Features: []string{"no_such_column"}}
+	if _, err := svc.Deploy(bad); !errors.Is(err, ErrUnknownFeature) {
+		t.Fatalf("unknown feature: %v", err)
+	}
+	if _, err := svc.Deploy(nil); !errors.Is(err, ErrNoModel) {
+		t.Fatalf("nil deployment: %v", err)
+	}
+	v, err := svc.Deploy(&Deployment{Model: &stubModel{base: 1}, Aggregation: rawAgg()})
+	if err != nil || v != 2 {
+		t.Fatalf("valid redeploy: v=%d err=%v", v, err)
+	}
+}
+
+func TestServiceHotSwap(t *testing.T) {
+	dep := &Deployment{Model: &stubModel{base: 1000}, Aggregation: rawAgg()}
+	svc, est := collectSvc(t, dep)
+	ss, err := svc.StartSession("s")
+	if err != nil {
+		t.Fatal(err)
+	}
+	push := func(tgen float64) {
+		t.Helper()
+		if err := ss.Push(dp(tgen, 0)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	push(1)
+	push(11) // completes window 0 under v1
+	svc.Flush()
+
+	v, err := svc.Deploy(&Deployment{Model: &stubModel{base: 2000}, Aggregation: rawAgg()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != 2 || svc.ModelVersion() != 2 {
+		t.Fatalf("version %d / %d, want 2", v, svc.ModelVersion())
+	}
+	push(21) // completes window 1 — enqueued after Deploy returned
+	svc.Flush()
+
+	got := est.all()
+	if len(got) != 2 {
+		t.Fatalf("%d estimates, want 2", len(got))
+	}
+	if got[0].ModelVersion != 1 || got[0].RTTF != 1000 {
+		t.Fatalf("pre-swap estimate %+v", got[0])
+	}
+	if got[1].ModelVersion != 2 || got[1].RTTF != 2000 {
+		t.Fatalf("post-swap estimate %+v used a stale model", got[1])
+	}
+}
+
+func TestServiceAlertsEdgeTriggered(t *testing.T) {
+	// The stub predicts base+sum; drive RTTF via the num_threads value.
+	dep := &Deployment{Model: &stubModel{}, Aggregation: rawAgg()}
+	var alerts []Alert
+	var mu sync.Mutex
+	est := &estimates{}
+	svc, err := New(context.Background(),
+		WithDeployment(dep),
+		WithEstimateFunc(est.add),
+		WithAlertFunc(50, func(a Alert) {
+			mu.Lock()
+			alerts = append(alerts, a)
+			mu.Unlock()
+		}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svc.Close()
+	ss, err := svc.StartSession("s")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One datapoint per window: predictions 100, 40, 30, 120, 20.
+	values := []float64{100, 40, 30, 120, 20}
+	for i, v := range values {
+		if err := ss.Push(dp(float64(i*10)+1, v)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := ss.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	svc.Flush()
+	if n := len(est.all()); n != len(values) {
+		t.Fatalf("%d estimates, want %d", n, len(values))
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	// 40 crosses down (alert), 30 stays below (no alert), 120 re-arms,
+	// 20 crosses down again (alert).
+	if len(alerts) != 2 {
+		t.Fatalf("%d alerts, want 2: %+v", len(alerts), alerts)
+	}
+	if alerts[0].RTTF != 40 || alerts[1].RTTF != 20 {
+		t.Fatalf("alerts fired at %v and %v, want 40 and 20", alerts[0].RTTF, alerts[1].RTTF)
+	}
+	if alerts[0].Threshold != 50 {
+		t.Fatalf("alert threshold %v, want 50", alerts[0].Threshold)
+	}
+	if st := svc.Stats(); st.Alerts != 2 {
+		t.Fatalf("stats alerts %d, want 2", st.Alerts)
+	}
+}
+
+func TestServiceSessionLimits(t *testing.T) {
+	dep := &Deployment{Model: &stubModel{}, Aggregation: rawAgg()}
+	svc, _ := collectSvc(t, dep, WithMaxSessions(2))
+	if _, err := svc.StartSession("a"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := svc.StartSession("a"); !errors.Is(err, ErrDuplicateSession) {
+		t.Fatalf("duplicate id: %v", err)
+	}
+	if _, err := svc.StartSession("b"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := svc.StartSession("c"); !errors.Is(err, ErrTooManySessions) {
+		t.Fatalf("over limit: %v", err)
+	}
+	// Closing a session frees its slot.
+	a, _ := svc.Session("a")
+	if err := a.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Push(dp(1, 0)); !errors.Is(err, ErrSessionClosed) {
+		t.Fatalf("push on closed session: %v", err)
+	}
+	if _, err := svc.StartSession("c"); err != nil {
+		t.Fatalf("slot not freed: %v", err)
+	}
+}
+
+func TestServiceNoModel(t *testing.T) {
+	if _, err := New(context.Background()); !errors.Is(err, ErrNoModel) {
+		t.Fatalf("New without model: %v", err)
+	}
+}
+
+func TestServiceModelSourceAndRefresh(t *testing.T) {
+	base := 1.0
+	src := ModelSourceFunc(func(context.Context) (*Deployment, error) {
+		d := &Deployment{Model: &stubModel{base: base}, Aggregation: rawAgg()}
+		return d, nil
+	})
+	svc, err := New(context.Background(), WithModelSource(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svc.Close()
+	if svc.ModelVersion() != 1 {
+		t.Fatalf("initial version %d", svc.ModelVersion())
+	}
+	base = 2
+	v, err := svc.Refresh(context.Background())
+	if err != nil || v != 2 {
+		t.Fatalf("refresh: v=%d err=%v", v, err)
+	}
+}
+
+func TestServiceContextCancelStopsEverything(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	dep := &Deployment{Model: &stubModel{}, Aggregation: rawAgg()}
+	est := &estimates{}
+	svc, err := New(ctx, WithDeployment(dep), WithEstimateFunc(est.add))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ss, err := svc.StartSession("s")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A window completed before cancellation must still be predicted
+	// (clean shutdown drains the queue).
+	if err := ss.Push(dp(1, 5)); err != nil {
+		t.Fatal(err)
+	}
+	if err := ss.Push(dp(11, 5)); err != nil {
+		t.Fatal(err)
+	}
+	cancel()
+
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if err := ss.Push(dp(21, 5)); err != nil {
+			if !errors.Is(err, ErrSessionClosed) && !errors.Is(err, ErrServiceClosed) {
+				t.Fatalf("unexpected push error: %v", err)
+			}
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("session still accepting pushes after cancel")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if err := svc.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := svc.StartSession("late"); !errors.Is(err, ErrServiceClosed) {
+		t.Fatalf("StartSession after cancel: %v", err)
+	}
+	if n := len(est.all()); n < 1 {
+		t.Fatal("queued window was dropped on shutdown")
+	}
+}
+
+func TestSessionResetDiscardsWindow(t *testing.T) {
+	dep := &Deployment{Model: &stubModel{}, Aggregation: rawAgg()}
+	svc, est := collectSvc(t, dep)
+	ss, err := svc.StartSession("s")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ss.Push(dp(1, 123)); err != nil {
+		t.Fatal(err)
+	}
+	ss.Reset()
+	if err := ss.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	svc.Flush()
+	if n := len(est.all()); n != 0 {
+		t.Fatalf("%d estimates after Reset, want 0", n)
+	}
+}
+
+func TestEstimateNaNOnDimensionMismatch(t *testing.T) {
+	// A model that consumes the full layout but returns NaN must not
+	// trip the alert machinery.
+	nan := math.NaN()
+	dep := &Deployment{Model: &stubModel{base: nan}, Aggregation: rawAgg()}
+	var fired atomic.Bool
+	svc, err := New(context.Background(), WithDeployment(dep),
+		WithAlertFunc(50, func(Alert) { fired.Store(true) }))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svc.Close()
+	ss, _ := svc.StartSession("s")
+	if err := ss.Push(dp(1, 1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := ss.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	svc.Flush()
+	if fired.Load() {
+		t.Fatal("NaN prediction raised an alert")
+	}
+}
+
+// TestEndRunAlertRearmOrdering pins the alert semantics around run
+// boundaries: the final (typically low) partial window of a failing run
+// must not duplicate the run's already-fired alert, and the re-arm must
+// land after that final estimate so the next run can alert again.
+func TestEndRunAlertRearmOrdering(t *testing.T) {
+	dep := &Deployment{Model: &stubModel{}, Aggregation: rawAgg()}
+	var mu sync.Mutex
+	var alerts []Alert
+	svc, err := New(context.Background(),
+		WithDeployment(dep),
+		WithAlertFunc(50, func(a Alert) {
+			mu.Lock()
+			alerts = append(alerts, a)
+			mu.Unlock()
+		}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svc.Close()
+	ss, err := svc.StartSession("s")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Run 1: 100 → 40 (alert) → partial window 20 flushed by EndRun.
+	// The 20 continues the same decline: no second alert.
+	for i, v := range []float64{100, 40} {
+		if err := ss.Push(dp(float64(i*10)+1, v)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := ss.Push(dp(21, 20)); err != nil { // starts window 2
+		t.Fatal(err)
+	}
+	if err := ss.EndRun(); err != nil {
+		t.Fatal(err)
+	}
+	svc.Flush()
+	mu.Lock()
+	n := len(alerts)
+	mu.Unlock()
+	if n != 1 {
+		t.Fatalf("run 1 raised %d alerts, want 1 (final window must not re-fire)", n)
+	}
+
+	// Run 2 (after the reset) goes below immediately: re-armed, one
+	// fresh alert.
+	if err := ss.Push(dp(1, 30)); err != nil {
+		t.Fatal(err)
+	}
+	if err := ss.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	svc.Flush()
+	mu.Lock()
+	n = len(alerts)
+	mu.Unlock()
+	if n != 2 {
+		t.Fatalf("run 2 did not re-arm: %d alerts total, want 2", n)
+	}
+}

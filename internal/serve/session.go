@@ -1,0 +1,184 @@
+package serve
+
+import (
+	"math"
+	"sync"
+
+	"repro/internal/aggregate"
+	"repro/internal/trace"
+)
+
+// SessionOption configures one session.
+type SessionOption func(*Session)
+
+// OnEstimate registers a per-session estimate consumer, invoked from
+// the dispatch goroutine in emission order. It must be fast and must
+// not call back into the service's Flush or Close.
+func OnEstimate(fn EstimateFunc) SessionOption {
+	return func(ss *Session) { ss.onEstimate = fn }
+}
+
+// Session is one monitored client inside a Service: it owns the
+// client's LiveAggregator and alert state. Push is safe for one
+// producer goroutine per session (the FMS connection handler, or a
+// local sampling loop); the accessor methods are safe for concurrent
+// use with Push.
+type Session struct {
+	svc        *Service
+	id         string
+	onEstimate EstimateFunc
+
+	mu     sync.Mutex
+	la     *aggregate.LiveAggregator
+	closed bool
+
+	estMu    sync.Mutex
+	last     Estimate
+	hasLast  bool
+	belowThr bool // alert armed/disarmed state (edge-triggered alerts)
+	count    uint64
+}
+
+// newSession builds a session with its own live aggregator.
+func newSession(s *Service, id string, opts ...SessionOption) (*Session, error) {
+	la, err := aggregate.NewLiveAggregator(s.agg)
+	if err != nil {
+		return nil, err
+	}
+	ss := &Session{svc: s, id: id, la: la}
+	for _, o := range opts {
+		o(ss)
+	}
+	return ss, nil
+}
+
+// ID returns the session's client id.
+func (ss *Session) ID() string { return ss.id }
+
+// Push feeds one datapoint. When the datapoint completes an aggregation
+// window, the window's feature row is queued for the next prediction
+// batch. Out-of-order timestamps (Tgen going backwards) are treated as
+// a restart of the monitored system, exactly like the training-side
+// aggregation.
+func (ss *Session) Push(d trace.Datapoint) error {
+	ss.mu.Lock()
+	if ss.closed {
+		ss.mu.Unlock()
+		return ErrSessionClosed
+	}
+	row, tgen, ok := ss.la.Push(d)
+	ss.mu.Unlock()
+	if !ok {
+		return nil
+	}
+	return ss.svc.enqueue(ss, tgen, row, false)
+}
+
+// Flush queues the current (incomplete) window, if any, for prediction
+// without resetting the aggregator — the "give me an estimate now" path
+// for windows still filling up.
+func (ss *Session) Flush() error {
+	ss.mu.Lock()
+	if ss.closed {
+		ss.mu.Unlock()
+		return ErrSessionClosed
+	}
+	row, tgen, ok := ss.la.Flush()
+	ss.mu.Unlock()
+	if !ok {
+		return nil
+	}
+	return ss.svc.enqueue(ss, tgen, row, false)
+}
+
+// EndRun marks the end of the client's current run (a fail event, or a
+// deliberate restart such as a rejuvenation action): the final partial
+// window is still predicted, then the aggregator and the alert state
+// reset for the next run. The alert re-arm rides with the final
+// window's delivery — resetting earlier would let that (typically low)
+// estimate re-fire an alert the run already raised, and would leak its
+// below-threshold state into the next run.
+func (ss *Session) EndRun() error {
+	ss.mu.Lock()
+	if ss.closed {
+		ss.mu.Unlock()
+		return ErrSessionClosed
+	}
+	row, tgen, ok := ss.la.Flush()
+	ss.la.Reset()
+	ss.mu.Unlock()
+	if !ok {
+		ss.resetAlert()
+		return nil
+	}
+	if err := ss.svc.enqueue(ss, tgen, row, true); err != nil {
+		ss.resetAlert()
+		return err
+	}
+	return nil
+}
+
+// resetAlert re-arms the edge-triggered alert for the next run.
+func (ss *Session) resetAlert() {
+	ss.estMu.Lock()
+	ss.belowThr = false
+	ss.estMu.Unlock()
+}
+
+// Reset discards the partially filled window and re-arms the alert
+// state without emitting anything — for when the monitored system was
+// just restarted (e.g. by a rejuvenation action) and the buffered
+// datapoints describe the old incarnation.
+func (ss *Session) Reset() {
+	ss.mu.Lock()
+	ss.la.Reset()
+	ss.mu.Unlock()
+	ss.resetAlert()
+}
+
+// Latest returns the most recent estimate, if any.
+func (ss *Session) Latest() (Estimate, bool) {
+	ss.estMu.Lock()
+	defer ss.estMu.Unlock()
+	return ss.last, ss.hasLast
+}
+
+// Count returns how many estimates this session has received.
+func (ss *Session) Count() uint64 {
+	ss.estMu.Lock()
+	defer ss.estMu.Unlock()
+	return ss.count
+}
+
+// record stores an estimate and reports whether it crossed the alert
+// threshold downward (edge-triggered: the alert re-arms only after the
+// prediction recovers above the threshold or the run ends).
+func (ss *Session) record(est Estimate, threshold float64) (crossed bool) {
+	ss.estMu.Lock()
+	defer ss.estMu.Unlock()
+	ss.last = est
+	ss.hasLast = true
+	ss.count++
+	if threshold <= 0 || math.IsNaN(est.RTTF) {
+		return false
+	}
+	below := est.RTTF >= 0 && est.RTTF < threshold
+	crossed = below && !ss.belowThr
+	ss.belowThr = below
+	return crossed
+}
+
+// Close detaches the session from the service; in-flight windows are
+// still predicted, further pushes fail with ErrSessionClosed.
+func (ss *Session) Close() error {
+	ss.markClosed()
+	ss.svc.removeSession(ss.id)
+	return nil
+}
+
+// markClosed flips the closed flag without detaching.
+func (ss *Session) markClosed() {
+	ss.mu.Lock()
+	ss.closed = true
+	ss.mu.Unlock()
+}

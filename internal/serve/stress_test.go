@@ -1,0 +1,204 @@
+package serve
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/aggregate"
+	"repro/internal/monitor"
+	"repro/internal/trace"
+)
+
+// TestServingStress drives ≥100 simultaneous monitor clients over real
+// TCP through a PredictionService attached to the FMS, with an atomic
+// model hot-swap mid-stream. It asserts exact event accounting (zero
+// dropped datapoints, windows, or estimates), per-session version
+// monotonicity, and that no estimate enqueued after the swap completed
+// was produced by the stale model. Run under -race this is the
+// concurrency gate for the serving layer.
+func TestServingStress(t *testing.T) {
+	if testing.Short() {
+		t.Skip("stress test")
+	}
+	const (
+		numClients    = 120
+		phase1Windows = 19 // Tgen 0..19, 1s windows: 19 completed windows
+		phase2Windows = 21 // Tgen 20..39 completes 20 more + EndRun flush
+		perClient     = phase1Windows + phase2Windows
+	)
+	agg := aggregate.Config{WindowSec: 1}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+
+	type tagged struct {
+		est Estimate
+	}
+	var mu sync.Mutex
+	bySession := make(map[string][]tagged)
+	est := func(e Estimate) {
+		mu.Lock()
+		bySession[e.SessionID] = append(bySession[e.SessionID], tagged{est: e})
+		mu.Unlock()
+	}
+
+	svc, err := New(ctx,
+		WithDeployment(&Deployment{Model: &stubModel{base: 1}, Name: "v1", Aggregation: agg}),
+		WithEstimateFunc(est),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svc.Close()
+
+	srv, err := monitor.NewServer("127.0.0.1:0", monitor.WithStream(svc), monitor.WithServerContext(ctx))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	// Connect all clients first so the sessions run concurrently.
+	clients := make([]*monitor.Client, numClients)
+	for i := range clients {
+		c, err := monitor.DialContext(ctx, srv.Addr(), fmt.Sprintf("vm-%03d", i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		clients[i] = c
+		defer c.Close()
+	}
+
+	send := func(lo, hi int) {
+		var wg sync.WaitGroup
+		for i, c := range clients {
+			wg.Add(1)
+			go func(i int, c *monitor.Client) {
+				defer wg.Done()
+				for tg := lo; tg < hi; tg++ {
+					var d trace.Datapoint
+					d.Tgen = float64(tg)
+					d.Features[trace.NumThreads] = float64(i)
+					if err := c.SendDatapoint(&d); err != nil {
+						t.Errorf("client %d: %v", i, err)
+						return
+					}
+				}
+			}(i, c)
+		}
+		wg.Wait()
+	}
+
+	waitPredictions := func(want uint64) {
+		t.Helper()
+		deadline := time.Now().Add(30 * time.Second)
+		for {
+			if got := svc.Stats().Predictions; got >= want {
+				if got > want {
+					t.Fatalf("%d predictions, want exactly %d — duplicated events", got, want)
+				}
+				return
+			}
+			if time.Now().After(deadline) {
+				t.Fatalf("timed out: %d predictions, want %d — dropped events",
+					svc.Stats().Predictions, want)
+			}
+			time.Sleep(5 * time.Millisecond)
+		}
+	}
+
+	// Phase 1 under model v1.
+	send(0, 20)
+	waitPredictions(numClients * phase1Windows)
+
+	// Hot-swap: after Deploy returns, every estimate for a window
+	// enqueued from here on must carry version 2.
+	swapVer, err := svc.Deploy(&Deployment{Model: &stubModel{base: 2}, Name: "v2", Aggregation: agg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if swapVer != 2 {
+		t.Fatalf("swap version %d, want 2", swapVer)
+	}
+
+	// Phase 2 under model v2, ending every run with a fail event (the
+	// final partial window must still be predicted — no dropped final
+	// datapoints).
+	send(20, 40)
+	var wg sync.WaitGroup
+	for _, c := range clients {
+		wg.Add(1)
+		go func(c *monitor.Client) {
+			defer wg.Done()
+			if err := c.SendFail(39); err != nil {
+				t.Error(err)
+			}
+		}(c)
+	}
+	wg.Wait()
+	waitPredictions(numClients * perClient)
+
+	// Exact accounting and version discipline per session.
+	mu.Lock()
+	defer mu.Unlock()
+	if len(bySession) != numClients {
+		t.Fatalf("%d sessions saw estimates, want %d", len(bySession), numClients)
+	}
+	for id, events := range bySession {
+		if len(events) != perClient {
+			t.Fatalf("session %s: %d estimates, want %d", id, len(events), perClient)
+		}
+		prev := uint64(0)
+		for i, ev := range events {
+			v := ev.est.ModelVersion
+			if v < prev {
+				t.Fatalf("session %s: version went backwards at estimate %d (%d after %d)", id, i, v, prev)
+			}
+			prev = v
+			if i < phase1Windows {
+				continue // pre-swap estimates may be v1 or v2 is impossible; they are v1
+			}
+			if v != swapVer {
+				t.Fatalf("session %s: estimate %d predicted by stale model v%d after swap to v%d",
+					id, i, v, swapVer)
+			}
+			if want := 2.0 + float64(sessionIndex(id)); ev.est.RTTF != want {
+				t.Fatalf("session %s: post-swap RTTF %v, want %v", id, ev.est.RTTF, want)
+			}
+		}
+	}
+
+	// Cancelling the service context stops sessions and the monitor
+	// server promptly.
+	cancel()
+	if err := svc.Close(); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan struct{})
+	go func() { srv.Close(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("monitor server did not close promptly after context cancellation")
+	}
+	for _, id := range svc.Sessions() {
+		ss, ok := svc.Session(id)
+		if !ok {
+			continue
+		}
+		var d trace.Datapoint
+		d.Tgen = 100
+		if err := ss.Push(d); err == nil {
+			t.Fatalf("session %s still accepts pushes after cancellation", id)
+		}
+	}
+}
+
+// sessionIndex parses the numeric suffix of a vm-### session id.
+func sessionIndex(id string) int {
+	var n int
+	fmt.Sscanf(id, "vm-%d", &n)
+	return n
+}

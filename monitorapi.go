@@ -1,6 +1,7 @@
 package f2pm
 
 import (
+	"context"
 	"io"
 
 	"repro/internal/ml/modelio"
@@ -13,6 +14,11 @@ type (
 	// MonitorServer is the FMS: it assembles per-client data histories
 	// from datapoint/fail streams.
 	MonitorServer = monitor.Server
+	// MonitorServerOption configures an FMS.
+	MonitorServerOption = monitor.ServerOption
+	// MonitorStreamHandler receives the live FMC event stream (a
+	// PredictionService implements it).
+	MonitorStreamHandler = monitor.StreamHandler
 	// MonitorClient is the FMC: it ships datapoints and fail events.
 	MonitorClient = monitor.Client
 	// Collector drives a real-time FMC sampling loop.
@@ -26,12 +32,31 @@ type (
 )
 
 // NewMonitorServer starts an FMS on addr (use "host:0" for an ephemeral
-// port; the chosen address is available via Addr).
-func NewMonitorServer(addr string) (*MonitorServer, error) { return monitor.NewServer(addr) }
+// port; the chosen address is available via Addr). Options attach a
+// live stream handler (WithMonitorStream) and tie the server lifetime
+// to a context (WithMonitorContext).
+func NewMonitorServer(addr string, opts ...MonitorServerOption) (*MonitorServer, error) {
+	return monitor.NewServer(addr, opts...)
+}
+
+// WithMonitorStream feeds every accepted datapoint and fail event to h
+// as the server assembles it — pass a *PredictionService to close the
+// monitor → aggregate → predict → act loop in one process.
+func WithMonitorStream(h MonitorStreamHandler) MonitorServerOption { return monitor.WithStream(h) }
+
+// WithMonitorContext closes the server when ctx is cancelled.
+func WithMonitorContext(ctx context.Context) MonitorServerOption {
+	return monitor.WithServerContext(ctx)
+}
 
 // DialMonitor connects an FMC to the FMS at addr.
 func DialMonitor(addr, clientID string) (*MonitorClient, error) {
 	return monitor.Dial(addr, clientID)
+}
+
+// DialMonitorContext is DialMonitor under a caller-supplied context.
+func DialMonitorContext(ctx context.Context, addr, clientID string) (*MonitorClient, error) {
+	return monitor.DialContext(ctx, addr, clientID)
 }
 
 // NewProcSource returns a /proc-backed feature source (root "" means
@@ -39,7 +64,8 @@ func DialMonitor(addr, clientID string) (*MonitorClient, error) {
 func NewProcSource(root string) *ProcSource { return monitor.NewProcSource(root) }
 
 // SaveModel persists a trained model (any of the six methods) as a
-// versioned JSON envelope, for deployment without retraining.
+// versioned JSON envelope, for deployment without retraining. To carry
+// the feature subset and aggregation config along, use SaveDeployment.
 func SaveModel(w io.Writer, m Regressor) error { return modelio.Save(w, m) }
 
 // LoadModel restores a model written by SaveModel; the result predicts

@@ -1,0 +1,105 @@
+package f2pm
+
+import (
+	"context"
+	"io"
+	"time"
+
+	"repro/internal/ml/modelio"
+	"repro/internal/serve"
+)
+
+// Serving layer (paper §III-E deployment, §I's proactive-rejuvenation
+// loop): a sessioned, context-aware prediction service with a
+// hot-swappable model registry. See the package documentation's
+// "Serving" section for the end-to-end flow.
+type (
+	// PredictionService owns the model registry, the per-client
+	// sessions, and the batching dispatcher.
+	PredictionService = serve.Service
+	// ServeSession is one monitored client inside a PredictionService.
+	ServeSession = serve.Session
+	// Deployment is a servable model plus its feature subset and
+	// aggregation config.
+	Deployment = serve.Deployment
+	// Estimate is one RTTF prediction for one session.
+	Estimate = serve.Estimate
+	// Alert is an estimate that crossed the alert threshold.
+	Alert = serve.Alert
+	// ModelSource supplies deployments on demand (retraining pipeline,
+	// model file, registry service).
+	ModelSource = serve.ModelSource
+	// ModelSourceFunc adapts a function to ModelSource.
+	ModelSourceFunc = serve.ModelSourceFunc
+	// ServeOption configures a PredictionService.
+	ServeOption = serve.Option
+	// SessionOption configures one session.
+	SessionOption = serve.SessionOption
+	// ServeStats is a snapshot of service counters.
+	ServeStats = serve.Stats
+)
+
+// NewPredictionService builds and starts a prediction service; the
+// initial model comes from WithDeployment or WithModelSource.
+// Cancelling ctx closes the service (sessions stop, queued windows are
+// drained).
+func NewPredictionService(ctx context.Context, opts ...ServeOption) (*PredictionService, error) {
+	return serve.New(ctx, opts...)
+}
+
+// DeploymentFromReport extracts the report's best model as a
+// deployment, carrying the Lasso-selected feature subset and the
+// aggregation config along — the bridge from Pipeline.Run/Update to
+// the serving layer.
+func DeploymentFromReport(rep *Report) (*Deployment, error) { return serve.FromReport(rep) }
+
+// WithDeployment sets the service's initial model.
+func WithDeployment(dep *Deployment) ServeOption { return serve.WithDeployment(dep) }
+
+// WithModelSource sets where the service pulls deployments from (the
+// initial model, and every Refresh).
+func WithModelSource(src ModelSource) ServeOption { return serve.WithModelSource(src) }
+
+// WithEstimateFunc registers a service-wide estimate consumer.
+func WithEstimateFunc(fn func(Estimate)) ServeOption { return serve.WithEstimateFunc(fn) }
+
+// WithAlertFunc raises an edge-triggered alert whenever a session's
+// predicted RTTF crosses below threshold seconds.
+func WithAlertFunc(threshold float64, fn func(Alert)) ServeOption {
+	return serve.WithAlertFunc(threshold, fn)
+}
+
+// WithMaxSessions bounds the number of concurrently active sessions.
+func WithMaxSessions(n int) ServeOption { return serve.WithMaxSessions(n) }
+
+// WithBatchInterval coalesces completed windows for up to d before each
+// prediction batch.
+func WithBatchInterval(d time.Duration) ServeOption { return serve.WithBatchInterval(d) }
+
+// OnEstimate registers a per-session estimate consumer.
+func OnEstimate(fn func(Estimate)) SessionOption { return serve.OnEstimate(fn) }
+
+// SaveDeployment persists a deployment — model plus feature subset and
+// aggregation config — as a versioned envelope, so Lasso-selected
+// models deploy correctly from the file alone.
+func SaveDeployment(w io.Writer, dep *Deployment) error {
+	return modelio.SaveWithMeta(w, dep.Model, dep.Meta())
+}
+
+// LoadDeployment restores a deployment written by SaveDeployment (or by
+// SaveModel, in which case the feature subset is empty and the
+// aggregation config zero — the caller supplies the windowing).
+func LoadDeployment(r io.Reader) (*Deployment, error) {
+	m, meta, err := modelio.LoadWithMeta(r)
+	if err != nil {
+		return nil, err
+	}
+	dep := &Deployment{Model: m, Name: m.Name()}
+	if meta != nil {
+		dep.Features = meta.Features
+		if meta.Aggregation != nil {
+			dep.Aggregation = *meta.Aggregation
+		}
+	}
+	return dep, nil
+}
