@@ -3,8 +3,17 @@
 // deployed into a PredictionService, a live monitor streams datapoints
 // into per-client sessions (monitor → aggregate → predict → act in one
 // process), and when further runs accumulate the pipeline's incremental
-// Update produces a fresh model that is hot-swapped into the running
-// service without dropping a single estimate.
+// Update produces a fresh model that goes live without dropping a
+// single estimate.
+//
+// The deploy loop here is the *bounded* variant a weeks-long
+// deployment needs: the pipeline retrains under a WindowPolicy (the
+// oldest runs are evicted, so memory stays flat while the models track
+// the recent workload), the service pulls each retrained model through
+// a ModelSource ticker (WithRefreshInterval — no explicit Deploy
+// call), and idle client sessions are reclaimed by the TTL sweep
+// (WithSessionTTL), their last estimates surfacing through the evict
+// hook.
 //
 // Run with:
 //
@@ -75,6 +84,14 @@ func main() {
 	cfg.SelectionLambda = 0 // all-params only, fast
 	cfg.FeatureLambdas = nil
 	cfg.Models = f2pm.DefaultModels(nil)[:3] // linear, M5P, REP-Tree
+	// Bounded retraining: keep only the most recent 4 runs — every
+	// Update both appends the new runs and evicts the oldest, so a
+	// deployment retraining forever holds a flat-sized history. The
+	// per-row split keeps both the train and validation sides populated
+	// inside such a small window (a whole-run split can strand the only
+	// validation run at the window's old edge, deferring eviction).
+	cfg.Window = f2pm.WindowPolicy{MaxRuns: 4}
+	cfg.SplitMode = f2pm.SplitByRow
 	pipe, err := f2pm.NewPipeline(cfg)
 	if err != nil {
 		log.Fatal(err)
@@ -92,9 +109,21 @@ func main() {
 		len(history.Runs), dep.Name, report.Best().Report.SoftMAE)
 
 	// 2. Serving phase: a prediction service fed directly by the FMS.
+	// The model registry refreshes itself from `latest` (stocked by the
+	// retrain loop below), and sessions idle past the TTL are evicted
+	// with their final snapshot reported — both tiers stay bounded.
+	var latest atomic.Pointer[f2pm.Deployment]
+	latest.Store(dep)
 	var estimates, alerts atomic.Int64
 	svc, err := f2pm.NewPredictionService(ctx,
-		f2pm.WithDeployment(dep),
+		f2pm.WithModelSource(f2pm.ModelSourceFunc(
+			func(context.Context) (*f2pm.Deployment, error) { return latest.Load(), nil })),
+		f2pm.WithRefreshInterval(50*time.Millisecond),
+		f2pm.WithSessionTTL(1500*time.Millisecond),
+		f2pm.WithSessionEvictFunc(func(ev f2pm.EvictedSession) {
+			fmt.Printf("  evicted idle session %s after %d estimates (last RTTF %.0fs)\n",
+				ev.ID, ev.Estimates, ev.Last.RTTF)
+		}),
 		f2pm.WithMaxSessions(64),
 		f2pm.WithEstimateFunc(func(e f2pm.Estimate) {
 			if estimates.Add(1)%8 == 1 { // sample the stream for the demo
@@ -145,34 +174,41 @@ func main() {
 	streamRun()
 	waitFor(func() bool { h, ok := srv.History("web-vm-1"); return ok && len(h.FailedRuns()) >= 1 })
 
-	// 3. Retrain and hot-swap: the served client's completed run joins
-	// the history, Update extends every model incrementally, and the
-	// new best model replaces the running one atomically.
-	served, _ := srv.History("web-vm-1")
-	history.Runs = append(history.Runs, served.FailedRuns()...)
-	report, err = pipe.UpdateContext(ctx, history)
-	if err != nil {
-		log.Fatal(err)
-	}
-	dep2, err := f2pm.DeploymentFromReport(report)
-	if err != nil {
-		log.Fatal(err)
-	}
-	version, err := svc.Deploy(dep2)
-	if err != nil {
-		log.Fatal(err)
-	}
-	fmt.Printf("retrained on %d runs; hot-swapped %s in as v%d\n",
-		len(history.Runs), dep2.Name, version)
+	// 3. The bounded deploy loop: each completed run joins the history,
+	// Update slides the training window (appending the new run,
+	// evicting past the policy), and the auto-refresh ticker pulls the
+	// retrained model live — no Deploy call anywhere.
+	for round := 2; round <= 3; round++ {
+		served, _ := srv.History("web-vm-1")
+		history.Runs = history.Runs[:0:0]
+		history.Runs = append(history.Runs, syntheticHistory(6).Runs...)
+		history.Runs = append(history.Runs, served.FailedRuns()...)
+		prevVer := svc.ModelVersion()
+		report, err = pipe.UpdateContext(ctx, history)
+		if err != nil {
+			log.Fatal(err)
+		}
+		dep, err = f2pm.DeploymentFromReport(report)
+		if err != nil {
+			log.Fatal(err)
+		}
+		latest.Store(dep)
+		waitFor(func() bool { return svc.ModelVersion() > prevVer })
+		fmt.Printf("retrained: window starts at run %d, %d train rows retained; auto-refreshed %s to v%d\n",
+			report.WindowStart, report.TrainRows, dep.Name, svc.ModelVersion())
 
-	fmt.Println("streaming run 2 under model v2:")
-	streamRun()
-	waitFor(func() bool { h, ok := srv.History("web-vm-1"); return ok && len(h.FailedRuns()) >= 2 })
-	svc.Close() // drain queued windows before reading the counters
+		fmt.Printf("streaming run %d under v%d:\n", round, svc.ModelVersion())
+		streamRun()
+		waitFor(func() bool { h, ok := srv.History("web-vm-1"); return ok && len(h.FailedRuns()) >= round })
+	}
+
+	// 4. The client goes quiet; the TTL sweep reclaims its session.
+	waitFor(func() bool { return svc.Stats().EvictedSessions >= 1 })
 
 	st := svc.Stats()
-	fmt.Printf("served %d estimates (%d alerts) across %d session(s), final model v%d\n",
-		st.Predictions, st.Alerts, st.Sessions, st.ModelVersion)
+	fmt.Printf("served %d estimates (%d alerts), %d session(s) evicted, queue depth %d, final model v%d\n",
+		st.Predictions, st.Alerts, st.EvictedSessions, st.QueueDepth, st.ModelVersion)
+	svc.Close()
 }
 
 // waitFor polls cond until it holds (the TCP stream is asynchronous).

@@ -39,6 +39,33 @@
 // single-sample Predict calls stop paying allocation and page-zeroing
 // costs.
 //
+// # Sliding-window retraining
+//
+// Grow-only incremental retraining still accumulates the whole history
+// — a problem for deployments that retrain continuously for weeks.
+// Config.Window bounds it: under a WindowPolicy (max runs and/or max
+// monitored age), Update also *evicts* the oldest runs from everything
+// the pipeline retains, at a cost scaling with the rows moved, not the
+// history:
+//
+//	cfg := f2pm.DefaultConfig()
+//	cfg.Window = f2pm.WindowPolicy{MaxRuns: 200}   // or MaxAgeSec
+//	pipe, _ := f2pm.NewPipeline(cfg)
+//	report, _ = pipe.Update(history)               // append AND evict
+//
+// Under the hood the LS-SVM downdates its Cholesky factor in place (a
+// blocked Householder sweep absorbs the evicted columns' outer
+// product, with a jittered re-factorization fallback for
+// ill-conditioned windows), its flat kernel row store advances a ring
+// head, the Lasso covariance subtracts the departing rows with rank-1
+// downdates, and the feature-selection path re-solves from the same
+// windowed covariance. Models that cannot slide refit on the surviving
+// window. Parity is exact to numerical tolerance: a slide matches a
+// from-scratch fit on the surviving window, while steady-state slides
+// run entirely inside pre-reserved buffer headroom — flat memory, no
+// growth, and a ~3-4x speedup over the rebuild at n=1000 (see
+// BENCH_*_pr4.json: SlideWindow vs SlideScratch).
+//
 // # Serving
 //
 // The deployment side — the paper's always-on loop where a monitor
@@ -62,9 +89,16 @@
 // model atomically — in-flight batches finish with the model they
 // snapshotted, and everything enqueued after Deploy returns uses the
 // new one, including Lasso-selected models whose feature projection is
-// rebuilt from the deployment. SaveDeployment/LoadDeployment persist a
-// deployment with its feature subset and aggregation config, so a
-// model file alone is enough to serve correctly.
+// rebuilt from the deployment. WithRefreshInterval wires the swap to a
+// ModelSource ticker so retrained models go live hands-off, and
+// WithSessionTTL bounds the serving tier's memory the same way the
+// WindowPolicy bounds training: idle sessions are evicted by a
+// background sweep (final snapshots via WithSessionEvictFunc), while
+// Stats exposes queue depth, batch latency, and the
+// eviction/refresh counters for backpressure monitoring.
+// SaveDeployment/LoadDeployment persist a deployment with its feature
+// subset and aggregation config, so a model file alone is enough to
+// serve correctly.
 //
 // Long-running calls accept a context (RunContext, UpdateContext,
 // DialMonitorContext, WithMonitorContext, NewPredictionService);
@@ -181,6 +215,18 @@ func NewLiveAggregator(cfg AggregationConfig) (*LiveAggregator, error) {
 // inter-generation-time metric.
 func DefaultAggregationConfig() AggregationConfig { return aggregate.DefaultConfig() }
 
+// SplitMode selects how rows are assigned to the train/validation
+// sides (Config.SplitMode).
+type SplitMode = aggregate.SplitMode
+
+// The split modes: by whole run (the paper's setup; keeps a run's rows
+// together) or by row (finer-grained; guarantees both sides stay
+// populated under small sliding windows).
+const (
+	SplitByRun = aggregate.SplitByRun
+	SplitByRow = aggregate.SplitByRow
+)
+
 // Feature selection (paper §III-C).
 type (
 	// PathPoint is the outcome of Lasso regularization at one λ.
@@ -216,8 +262,13 @@ type (
 	// Metrics bundles MAE, RAE, MaxAE, S-MAE and timings for one model.
 	Metrics = metrics.Report
 	// UpdateInfo describes what the last Pipeline.Update did to one
-	// model (incremental extension vs refit, standardizer drift).
+	// model (incremental extension vs refit, standardizer drift,
+	// evicted-row count).
 	UpdateInfo = ml.UpdateInfo
+	// WindowPolicy bounds the history a long-lived pipeline retains
+	// (Config.Window): Update evicts the oldest runs so continuous
+	// retraining runs at flat memory.
+	WindowPolicy = core.WindowPolicy
 )
 
 // The two training-set families of the paper's Tables II-IV.

@@ -72,6 +72,68 @@ func DefaultModels(lassoLambdas []float64) []ModelSpec {
 	return specs
 }
 
+// WindowPolicy bounds the history a long-lived pipeline retains:
+// Update evicts the oldest runs' rows from the retained datasets, the
+// feature-selection covariance, and every sliding-capable model
+// (ml.WindowedRegressor — LS-SVM via its Cholesky downdating, Lasso
+// via covariance rank-1 downdates), so weeks of continuous retraining
+// run at flat memory instead of unbounded growth. Models that cannot
+// slide refit from scratch on the surviving window. Eviction is by
+// whole runs (the train/validation split assigns whole runs, so the
+// window stays split-consistent), and the newest run is always
+// retained; a slide that would leave the training or validation set
+// empty is deferred until more data arrives.
+type WindowPolicy struct {
+	// MaxRuns keeps at most the most recent MaxRuns runs
+	// (0 = unbounded).
+	MaxRuns int
+	// MaxAgeSec bounds the monitored time the window spans: the oldest
+	// runs are evicted until the summed durations (Run.Duration) of the
+	// surviving runs fit within MaxAgeSec (0 = unbounded).
+	MaxAgeSec float64
+}
+
+// Bounded reports whether the policy evicts anything at all.
+func (w WindowPolicy) Bounded() bool { return w.MaxRuns > 0 || w.MaxAgeSec > 0 }
+
+// Validate reports policy errors.
+func (w WindowPolicy) Validate() error {
+	if w.MaxRuns < 0 {
+		return fmt.Errorf("core: WindowPolicy.MaxRuns must be non-negative, got %d", w.MaxRuns)
+	}
+	if w.MaxAgeSec < 0 {
+		return fmt.Errorf("core: WindowPolicy.MaxAgeSec must be non-negative, got %v", w.MaxAgeSec)
+	}
+	return nil
+}
+
+// start returns the first run index the window retains.
+func (w WindowPolicy) start(runs []trace.Run) int {
+	n := len(runs)
+	if n == 0 {
+		return 0
+	}
+	start := 0
+	if w.MaxRuns > 0 && n > w.MaxRuns {
+		start = n - w.MaxRuns
+	}
+	if w.MaxAgeSec > 0 {
+		var sum float64
+		cut := n - 1 // the newest run always survives
+		for i := n - 1; i >= start; i-- {
+			sum += runs[i].Duration()
+			if sum > w.MaxAgeSec {
+				break
+			}
+			cut = i
+		}
+		if cut > start {
+			start = cut
+		}
+	}
+	return start
+}
+
 // Config assembles a pipeline.
 type Config struct {
 	// Aggregation is the §III-B configuration.
@@ -91,6 +153,12 @@ type Config struct {
 	// Lasso-reduced training set (the paper tabulates λ = 10⁹).
 	// 0 disables the reduced-feature family entirely.
 	SelectionLambda float64
+	// Window bounds the retained history for long-lived incremental
+	// pipelines (the zero value retains everything): Update evicts the
+	// oldest runs past the policy from the datasets, the feature
+	// covariance, and every model — sliding-capable models downdate in
+	// place, the rest refit on the surviving window.
+	Window WindowPolicy
 	// Models is the method roster; nil uses DefaultModels(FeatureLambdas).
 	Models []ModelSpec
 	// Parallelism bounds concurrent model training (0 = serial).
@@ -134,7 +202,7 @@ func (c *Config) Validate() error {
 	if c.Parallelism < 0 {
 		return fmt.Errorf("core: Parallelism must be non-negative, got %d", c.Parallelism)
 	}
-	return nil
+	return c.Window.Validate()
 }
 
 // ModelResult is one trained-and-validated model.
@@ -176,6 +244,10 @@ type Report struct {
 	Selection featsel.PathPoint
 	// SMAEThreshold is the absolute S-MAE tolerance applied, in seconds.
 	SMAEThreshold float64
+	// WindowStart is the history-global index of the first run the
+	// retained sliding window covers (0 when the pipeline retains
+	// everything; see Config.Window).
+	WindowStart int
 	// Results holds one entry per (model × feature set), ordered by
 	// model roster then feature set.
 	Results []ModelResult
@@ -225,8 +297,11 @@ type Pipeline struct {
 type pipeState struct {
 	seenRuns int // runs of the history consumed so far
 	rowsSeen int // labeled rows consumed (stable SplitByRow assignment)
-	train    *aggregate.Dataset
-	val      *aggregate.Dataset
+	// windowStart is the first run index the retained window covers
+	// (rows of earlier runs have been evicted under Config.Window).
+	windowStart int
+	train       *aggregate.Dataset
+	val         *aggregate.Dataset
 	// redTrain/redVal are the Lasso-reduced family's datasets (nil when
 	// the reduced family is absent).
 	redTrain *aggregate.Dataset

@@ -94,16 +94,46 @@ func (p *Pipeline) UpdateContext(ctx context.Context, h *trace.History) (*Report
 		return nil, err
 	}
 
+	// Sliding window (Config.Window): decide which leading runs leave
+	// the retained state this round. New rows already outside the
+	// window never enter it, and a slide that would leave either the
+	// training or the validation side empty is deferred until more
+	// data arrives.
+	winStart := st.windowStart
+	evictTrain, evictVal := 0, 0
+	if p.cfg.Window.Bounded() {
+		if s := p.cfg.Window.start(h.Runs); s > winStart {
+			nt, nv := dropRunsBefore(newTrain, s), dropRunsBefore(newVal, s)
+			et, ev := rowsBefore(st.train, s), rowsBefore(st.val, s)
+			if st.train.NumRows()-et+nt.NumRows() > 0 && st.val.NumRows()-ev+nv.NumRows() > 0 {
+				winStart, evictTrain, evictVal = s, et, ev
+				newTrain, newVal = nt, nv
+			}
+		}
+	}
+	// The departing training rows are captured (cheap header copies)
+	// before the retained slices are compacted: the covariance
+	// downdates and the lasso-family sliding models need the rows
+	// themselves, not just the count.
+	evTrainX := append([][]float64(nil), st.train.X[:evictTrain]...)
+	evTrainY := append([]float64(nil), st.train.RTTF[:evictTrain]...)
+
 	// Fallible feature-selection phase first, so an error here leaves
 	// the retained state untouched and a retry sees the same history
-	// (Cov.Append validates before mutating). This is also the last
-	// clean cancellation point.
+	// (Cov.Append and Cov.Evict validate before mutating, and by
+	// construction the evicted rows always match the state). This is
+	// also the last clean cancellation point.
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
 	if st.cov != nil && newTrain.NumRows() > 0 {
 		if err := st.cov.Append(newTrain.X, newTrain.RTTF); err != nil {
 			return nil, fmt.Errorf("core: extending feature covariance: %w", err)
+		}
+	}
+	if st.cov != nil && evictTrain > 0 {
+		if err := st.cov.Evict(evTrainX, evTrainY); err != nil {
+			return nil, fmt.Errorf("core: downdating feature covariance: %w", err)
 		}
 	}
 	rep := &Report{Aggregation: p.cfg.Aggregation}
@@ -120,20 +150,24 @@ func (p *Pipeline) UpdateContext(ctx context.Context, h *trace.History) (*Report
 		}
 	}
 
-	// Commit the new rows into the retained state. Everything below
-	// projects by column names taken from the same datasets, so it
-	// cannot fail on consistent state.
+	// Commit the new rows into the retained state and slide the window
+	// forward. Everything below projects by column names taken from the
+	// same datasets, so it cannot fail on consistent state.
 	st.seenRuns = len(h.Runs)
 	st.rowsSeen += newDs.NumRows()
 	appendRows(st.train, newTrain)
 	appendRows(st.val, newVal)
+	evictRows(st.train, evictTrain)
+	evictRows(st.val, evictVal)
+	st.windowStart = winStart
 	rep.TrainRows = st.train.NumRows()
 	rep.ValRows = st.val.NumRows()
 	rep.Columns = st.train.NumCols()
+	rep.WindowStart = winStart
 	rep.SMAEThreshold = metrics.RelativeThreshold(st.val.RTTF, p.cfg.SMAEFraction)
 
 	families := []family{{fs: AllParams, train: st.train, val: st.val}}
-	newByFS := map[FeatureSet]*aggregate.Dataset{AllParams: newTrain}
+	deltas := map[FeatureSet]famDelta{AllParams: {newRows: newTrain, evictX: evTrainX, evictY: evTrainY}}
 	rebuilt := map[FeatureSet]bool{}
 	if p.cfg.SelectionLambda > 0 {
 		prev := st.rep.Selection
@@ -145,7 +179,11 @@ func (p *Pipeline) UpdateContext(ctx context.Context, h *trace.History) (*Report
 		case st.redTrain != nil && sameSelection(prev.Selected, sel.Selected):
 			// Same surviving features: extend the retained projections
 			// with the projected new rows only — incremental models
-			// keep their history and nothing rescans it.
+			// keep their history and nothing rescans it. The reduced
+			// datasets mirror the full ones row for row, so the same
+			// prefix leaves them.
+			evRedX := append([][]float64(nil), st.redTrain.X[:evictTrain]...)
+			evRedY := append([]float64(nil), st.redTrain.RTTF[:evictTrain]...)
 			newRed, err := newTrain.Project(sel.Selected)
 			if err != nil {
 				return nil, fmt.Errorf("core: projecting new rows: %w", err)
@@ -156,8 +194,10 @@ func (p *Pipeline) UpdateContext(ctx context.Context, h *trace.History) (*Report
 			}
 			appendRows(st.redTrain, newRed)
 			appendRows(st.redVal, newRedVal)
+			evictRows(st.redTrain, evictTrain)
+			evictRows(st.redVal, evictVal)
 			families = append(families, family{fs: LassoParams, train: st.redTrain, val: st.redVal})
-			newByFS[LassoParams] = newRed
+			deltas[LassoParams] = famDelta{newRows: newRed, evictX: evRedX, evictY: evRedY}
 		default:
 			// Selection changed (or the family is new): the projected
 			// history changes shape, so the whole history reprojects
@@ -215,7 +255,7 @@ func (p *Pipeline) UpdateContext(ctx context.Context, h *trace.History) (*Report
 				if rebuilt[j.fam.fs] {
 					prior = nil
 				}
-				results[j.order] = p.updateOne(j.spec, j.fam, prior, newByFS[j.fam.fs], rep.SMAEThreshold)
+				results[j.order] = p.updateOne(j.spec, j.fam, prior, deltas[j.fam.fs], rep.SMAEThreshold)
 			}
 		}()
 	}
@@ -273,7 +313,7 @@ func (p *Pipeline) repair(ctx context.Context, st *pipeState) (*Report, error) {
 		if !ok {
 			continue // family no longer exists (selection collapsed)
 		}
-		*res = p.updateOne(res.Spec, fam, nil, nil, st.rep.SMAEThreshold)
+		*res = p.updateOne(res.Spec, fam, nil, famDelta{}, st.rep.SMAEThreshold)
 	}
 	return st.rep, nil
 }
@@ -285,25 +325,62 @@ func cancelledResult(res *ModelResult) bool {
 		(errors.Is(res.Err, context.Canceled) || errors.Is(res.Err, context.DeadlineExceeded))
 }
 
-// updateOne brings one model up to date: an incremental update of the
-// prior model where supported, a from-scratch refit otherwise (or when
-// the incremental path fails), then a full re-validation. Training
-// time records what this round actually cost — the headline number
-// incremental retraining shrinks.
-func (p *Pipeline) updateOne(spec ModelSpec, fam family, prior *ModelResult, newRows *aggregate.Dataset, threshold float64) ModelResult {
+// famDelta is what changed for one training-set family this round:
+// the appended rows and the evicted leading rows (with their targets,
+// for learners that summarize the history).
+type famDelta struct {
+	newRows *aggregate.Dataset
+	evictX  [][]float64
+	evictY  []float64
+}
+
+// updateOne brings one model up to date: a sliding-window update
+// (ml.WindowedRegressor) when the window evicted rows, an incremental
+// append (ml.IncrementalRegressor) when it only grew, a from-scratch
+// refit on the retained window otherwise (or when the in-place path
+// fails), then a full re-validation. Training time records what this
+// round actually cost — the headline number incremental retraining
+// shrinks.
+func (p *Pipeline) updateOne(spec ModelSpec, fam family, prior *ModelResult, d famDelta, threshold float64) ModelResult {
 	res := ModelResult{Spec: spec, Features: fam.fs}
+	evict := len(d.evictX)
+	newCount := 0
+	if d.newRows != nil {
+		newCount = d.newRows.NumRows()
+	}
 	var model ml.Regressor
 	tTrain := metrics.StartTimer()
 	if prior != nil && prior.Err == nil {
-		if newRows == nil || newRows.NumRows() == 0 {
-			model = prior.Model // nothing new on the training side
+		switch {
+		case newCount == 0 && evict == 0:
+			model = prior.Model // nothing changed on the training side
 			res.Update = ml.UpdateInfo{Incremental: true}
-		} else if inc, ok := prior.Model.(ml.IncrementalRegressor); ok {
-			if err := inc.Update(newRows.X, newRows.RTTF); err == nil {
-				model = inc
-				res.Update = ml.UpdateInfo{Incremental: true}
-				if ur, ok := inc.(ml.UpdateReporter); ok {
-					res.Update = ur.LastUpdate()
+		case evict > 0:
+			if wr, ok := prior.Model.(ml.WindowedRegressor); ok {
+				var nx [][]float64
+				var ny []float64
+				if d.newRows != nil {
+					nx, ny = d.newRows.X, d.newRows.RTTF
+				}
+				if err := wr.UpdateWindow(nx, ny, d.evictX, d.evictY); err == nil {
+					model = wr
+					res.Update = ml.UpdateInfo{Incremental: true, Evicted: evict}
+					if ur, ok := wr.(ml.UpdateReporter); ok {
+						res.Update = ur.LastUpdate()
+					}
+				}
+			}
+			// Models that cannot slide (or whose slide failed) refit
+			// from scratch below — on the surviving window only, so
+			// their cost is bounded too.
+		default:
+			if inc, ok := prior.Model.(ml.IncrementalRegressor); ok {
+				if err := inc.Update(d.newRows.X, d.newRows.RTTF); err == nil {
+					model = inc
+					res.Update = ml.UpdateInfo{Incremental: true}
+					if ur, ok := inc.(ml.UpdateReporter); ok {
+						res.Update = ur.LastUpdate()
+					}
 				}
 			}
 			// A failed incremental update (e.g. a border that breaks
@@ -382,6 +459,53 @@ func sameSelection(a, b []string) bool {
 		}
 	}
 	return true
+}
+
+// rowsBefore counts the leading rows whose run index precedes start.
+// Rows are appended in run order, so they always form a prefix.
+func rowsBefore(d *aggregate.Dataset, start int) int {
+	n := 0
+	for _, r := range d.Run {
+		if r >= start {
+			break
+		}
+		n++
+	}
+	return n
+}
+
+// dropRunsBefore returns ds without the leading rows of runs before
+// start (a re-sliced view; ds is a freshly aggregated delta, never the
+// retained state).
+func dropRunsBefore(ds *aggregate.Dataset, start int) *aggregate.Dataset {
+	k := rowsBefore(ds, start)
+	if k == 0 {
+		return ds
+	}
+	return &aggregate.Dataset{
+		ColNames: ds.ColNames,
+		X:        ds.X[k:],
+		RTTF:     ds.RTTF[k:],
+		Run:      ds.Run[k:],
+		AggTgen:  ds.AggTgen[k:],
+	}
+}
+
+// evictRows removes the leading k rows of a retained dataset by
+// copying the survivors into fresh backing. Fresh, not in place, for
+// two reasons: a plain re-slice would pin the evicted rows in the old
+// backing array (the opposite of the bounded-memory contract), and an
+// in-place shift would corrupt the sibling dataset — Project shares
+// the label/bookkeeping slices between the full and reduced datasets.
+// The allocation is bounded by the surviving window.
+func evictRows(d *aggregate.Dataset, k int) {
+	if k <= 0 {
+		return
+	}
+	d.X = append([][]float64(nil), d.X[k:]...)
+	d.RTTF = append([]float64(nil), d.RTTF[k:]...)
+	d.Run = append([]int(nil), d.Run[k:]...)
+	d.AggTgen = append([]float64(nil), d.AggTgen[k:]...)
 }
 
 // appendRows extends dst with src's rows (same column layout).

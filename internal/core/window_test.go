@@ -1,0 +1,215 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/featsel"
+	"repro/internal/ml"
+	"repro/internal/ml/lasso"
+	"repro/internal/trace"
+)
+
+// windowConfig is updateConfig with a MaxRuns sliding window.
+func windowConfig(maxRuns int) Config {
+	cfg := updateConfig()
+	cfg.Window = WindowPolicy{MaxRuns: maxRuns}
+	return cfg
+}
+
+// TestWindowPolicyStart covers the cutoff arithmetic of both bounds.
+func TestWindowPolicyStart(t *testing.T) {
+	runs := make([]trace.Run, 6)
+	for i := range runs {
+		runs[i].Failed = true
+		runs[i].FailTime = 100 // each run spans 100 monitored seconds
+	}
+	cases := []struct {
+		w    WindowPolicy
+		want int
+	}{
+		{WindowPolicy{}, 0},
+		{WindowPolicy{MaxRuns: 10}, 0},
+		{WindowPolicy{MaxRuns: 6}, 0},
+		{WindowPolicy{MaxRuns: 2}, 4},
+		{WindowPolicy{MaxAgeSec: 1000}, 0},
+		{WindowPolicy{MaxAgeSec: 250}, 4},             // two full runs fit
+		{WindowPolicy{MaxAgeSec: 50}, 5},              // newest always survives
+		{WindowPolicy{MaxRuns: 4, MaxAgeSec: 150}, 5}, // tighter bound wins
+	}
+	for i, tc := range cases {
+		if got := tc.w.start(runs); got != tc.want {
+			t.Fatalf("case %d (%+v): start %d, want %d", i, tc.w, got, tc.want)
+		}
+	}
+	if (WindowPolicy{}).Bounded() || !(WindowPolicy{MaxRuns: 1}).Bounded() {
+		t.Fatal("Bounded misreports")
+	}
+	if err := (WindowPolicy{MaxRuns: -1}).Validate(); err == nil {
+		t.Fatal("negative MaxRuns accepted")
+	}
+	if err := (WindowPolicy{MaxAgeSec: -1}).Validate(); err == nil {
+		t.Fatal("negative MaxAgeSec accepted")
+	}
+}
+
+// TestPipelineWindowEviction drives Run + repeated Updates under a
+// MaxRuns window and checks the retained state against a fresh
+// pipeline that only ever saw the surviving window: identical row
+// accounting, identical feature covariance (to fp tolerance via the
+// regularization path), models trained on windowed data only, and the
+// sliding LS-SVM updated in place rather than refit.
+func TestPipelineWindowEviction(t *testing.T) {
+	h := testHistory(t)
+	failed := h.FailedRuns()
+	if len(failed) < 6 {
+		t.Skipf("only %d failed runs", len(failed))
+	}
+	const maxRuns = 3
+
+	p, err := New(windowConfig(maxRuns))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Run(&trace.History{Runs: append([]trace.Run(nil), failed[:3]...)}); err != nil {
+		t.Fatal(err)
+	}
+	before := p.st.rep.ByName("svm2", AllParams)
+	// Feed the remaining runs one at a time. Each round slides up to
+	// the policy cutoff — or less, when evicting that far would leave
+	// the train or validation side empty (the deferral valve, which a
+	// 3-run window hits whenever all survivors drew the same side).
+	var rep *Report
+	prevStart, sawEvict := 0, false
+	for cut := 4; cut <= len(failed); cut++ {
+		rep, err = p.Update(&trace.History{Runs: append([]trace.Run(nil), failed[:cut]...)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rep.WindowStart > cut-maxRuns || rep.WindowStart < prevStart {
+			t.Fatalf("cut %d: WindowStart %d (prev %d, policy cutoff %d)",
+				cut, rep.WindowStart, prevStart, cut-maxRuns)
+		}
+		if rep.WindowStart > prevStart {
+			sawEvict = true
+		}
+		prevStart = rep.WindowStart
+		if rep.TrainRows == 0 || rep.ValRows == 0 {
+			t.Fatalf("cut %d: empty side %d/%d", cut, rep.TrainRows, rep.ValRows)
+		}
+		for _, r := range p.st.train.Run {
+			if r < rep.WindowStart {
+				t.Fatalf("cut %d: train row from evicted run %d (window starts at %d)", cut, r, rep.WindowStart)
+			}
+		}
+		for _, r := range p.st.val.Run {
+			if r < rep.WindowStart {
+				t.Fatalf("cut %d: val row from evicted run %d", cut, r)
+			}
+		}
+	}
+	if !sawEvict {
+		t.Fatal("no round ever slid the window")
+	}
+
+	// A fresh pipeline over only the surviving runs must agree on the
+	// total row accounting (the split draw differs — run indices are
+	// renumbered — so sides are compared in aggregate).
+	pw, err := New(windowConfig(maxRuns))
+	if err != nil {
+		t.Fatal(err)
+	}
+	repW, err := pw.Run(&trace.History{Runs: append([]trace.Run(nil), failed[rep.WindowStart:]...)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.TrainRows+rep.ValRows != repW.TrainRows+repW.ValRows {
+		t.Fatalf("windowed rows %d+%d, fresh window %d+%d",
+			rep.TrainRows, rep.ValRows, repW.TrainRows, repW.ValRows)
+	}
+	// Parity of the incrementally slid covariance: the regularization
+	// path from the retained Cov must match one rebuilt from scratch
+	// over the surviving training rows (same split, same data).
+	cov2, err := lasso.NewCov(p.st.train.X, p.st.train.RTTF)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path2, err := featsel.PathFromCov(cov2, p.st.train.ColNames, p.cfg.FeatureLambdas)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Path) != len(path2) {
+		t.Fatalf("path lengths %d vs %d", len(rep.Path), len(path2))
+	}
+	for i := range rep.Path {
+		a, b := rep.Path[i], path2[i]
+		if !sameSelection(a.Selected, b.Selected) {
+			t.Fatalf("path[%d] (λ=%g): selection %v vs fresh %v", i, a.Lambda, a.Selected, b.Selected)
+		}
+		for name, w := range a.Weights {
+			if d := math.Abs(w - b.Weights[name]); d > 1e-8*(1+math.Abs(w)) {
+				t.Fatalf("path[%d] (λ=%g): weight %s diff %g", i, a.Lambda, name, d)
+			}
+		}
+	}
+
+	// The LS-SVM slid in place: same object, windowed history, and the
+	// update info reports the eviction.
+	after := rep.ByName("svm2", AllParams)
+	if before == nil || after == nil {
+		t.Fatal("svm2 missing")
+	}
+	if after.Err != nil {
+		t.Fatalf("svm2: %v", after.Err)
+	}
+	if before.Model != after.Model {
+		t.Fatal("svm2 was refit instead of slid in place")
+	}
+	if !after.Update.Incremental {
+		t.Fatalf("svm2 update info %+v", after.Update)
+	}
+	// Lasso slides through its covariance downdates.
+	for i := range rep.Results {
+		res := &rep.Results[i]
+		if res.Err != nil {
+			t.Fatalf("%s/%s: %v", res.Spec.Name, res.Features, res.Err)
+		}
+		if _, ok := res.Model.(*lasso.Model); ok && res.Features == AllParams {
+			if !res.Update.Incremental {
+				t.Fatalf("lasso did not slide: %+v", res.Update)
+			}
+		}
+	}
+}
+
+// TestPipelineWindowDeferredEviction pins the safety valve: a window
+// that would evict everything (all surviving runs landed on one side
+// of the split) is deferred rather than leaving a family empty.
+func TestPipelineWindowDeferredEviction(t *testing.T) {
+	h := testHistory(t)
+	failed := h.FailedRuns()
+	if len(failed) < 4 {
+		t.Skipf("only %d failed runs", len(failed))
+	}
+	cfg := windowConfig(1) // one-run window: the lone run is on one split side
+	p, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Run(&trace.History{Runs: append([]trace.Run(nil), failed[:3]...)}); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := p.Update(&trace.History{Runs: append([]trace.Run(nil), failed[:4]...)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.TrainRows == 0 || rep.ValRows == 0 {
+		t.Fatalf("deferred eviction still emptied a side: %d/%d", rep.TrainRows, rep.ValRows)
+	}
+	// The window start never exceeds what keeps both sides non-empty.
+	if rep.WindowStart > 3 {
+		t.Fatalf("WindowStart %d past the last run", rep.WindowStart)
+	}
+}
+
+var _ = ml.UpdateInfo{}

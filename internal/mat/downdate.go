@@ -1,0 +1,313 @@
+package mat
+
+import "math"
+
+// Cholesky downdating: the sliding-window inverse of Extend. When the
+// oldest k training rows leave the window, the factored system loses
+// its leading k rows/columns:
+//
+//	[ A11  A21ᵀ ]        [ L11  0   ]
+//	[ A21  A22  ]   L  =  [ L21  L22 ]   =>   A22 = L21·L21ᵀ + L22·L22ᵀ
+//
+// so the factor of the surviving block is NOT L22 — it must absorb the
+// deleted columns' outer product L21·L21ᵀ. Because that term is
+// positive semidefinite, leading-row removal is a *positive* rank-k
+// update of a triangular factor (the benign direction: no hyperbolic
+// rotations, unconditional stability): find orthogonal Q with
+// [L22 | L21]·Q = [L' | 0], i.e. an LQ re-triangularization of the
+// factor rows with the evicted columns appended. Each Householder
+// reflector here aggregates the k Givens rotations that would zero one
+// row of the L21 panel, which turns the classic scalar rotation sweep
+// into panel-wide DotBatch/AddScaled calls on the SIMD engine. Cost is
+// O(k·m²) for a surviving window of m rows — proportional to the rows
+// evicted, not the history — against O(m³/3) for refactoring.
+//
+// Past the cost crossover (k a large fraction of m), or if the sweep
+// detects a conditioning breakdown (non-finite or collapsed pivot),
+// the blocked re-factorization fallback reconstructs the surviving
+// Gram from the (orthogonally invariant) factor rows and refactors it
+// with the same jitter escalation as NewCholeskyJittered.
+
+// downdateCondTol is the conditioning threshold of the rotation sweep:
+// a reflector pivot below maxDiag·downdateCondTol means the surviving
+// block is numerically singular and the sweep's O(k·m²) arithmetic can
+// no longer be trusted, so the blocked re-factorization (which can
+// jitter the diagonal) takes over.
+const downdateCondTol = 1e-14
+
+// Downdate removes the leading k rows/columns from the factorization
+// in place: after a successful call the receiver factors the trailing
+// (n−k)×(n−k) block of the original matrix, stored at the top-left of
+// the same buffer (composing with Extend, repeated evict+append cycles
+// run inside the headroom NewCholeskyGrow reserved — no growth, no
+// copy of the history). It returns the diagonal shift the fallback
+// re-factorization added (0 on the rotation path and whenever the
+// surviving block is numerically positive definite).
+//
+// On error the factor state is lost (the sweep mutates in place);
+// callers that need rollback must rebuild from their retained data.
+// pool (nil ok) supplies the panel and reconstruction scratch.
+func (c *Cholesky) Downdate(k int, pool *Pool) (shift float64, err error) {
+	if k < 0 || k > c.n {
+		return 0, ErrShape
+	}
+	if k == 0 {
+		return 0, nil
+	}
+	n, ld := c.n, c.stride
+	m := n - k
+	c.n = m
+	if m == 0 {
+		return 0, nil
+	}
+	d := c.data
+	// Save the evicted columns L21 as a contiguous m×kp panel, kp
+	// padded to a multiple of 4 with zero columns so the batched
+	// reflector kernels never need a scalar tail. Then shift the
+	// surviving L22 block up-left into its final position: rows move to
+	// strictly earlier offsets, so ascending order never overwrites an
+	// unread source.
+	kp := (k + 3) &^ 3
+	panel := pool.GetVec(m * kp)
+	for i := 0; i < m; i++ {
+		row := panel[i*kp : (i+1)*kp]
+		copy(row, d[(k+i)*ld:(k+i)*ld+k])
+		clear(row[k:])
+	}
+	for i := 0; i < m; i++ {
+		copy(d[i*ld:i*ld+i+1], d[(k+i)*ld+k:(k+i)*ld+k+i+1])
+	}
+	shift, err = c.absorbPanel(panel, m, kp, pool)
+	pool.PutVec(panel)
+	return shift, err
+}
+
+// ddBlock is the number of reflectors aggregated per compact-WY block:
+// a block touches an 8-wide (one cache line) column panel of the
+// factor per trailing row instead of 8 scattered single elements, and
+// its small cross-coupling system stays in registers.
+const ddBlock = 8
+
+// ddTile is the trailing-row tile the block is applied over: the
+// per-tile dot buffer (ddBlock×ddTile×8B ≈ 12 KB) stays L1-resident.
+const ddTile = 192
+
+// absorbPanel re-triangularizes [L | panel] by Householder reflectors,
+// folding the m×k panel's outer product into the m×m factor (stride
+// c.stride). Reflectors are processed in compact-WY blocks of ddBlock
+// and applied to the trailing rows tile-wise, so the heavy arithmetic
+// is batched panel dots (SIMD) plus one contiguous AddScaled per
+// (row, reflector) — no strided single-element column walks. It falls
+// back to refactorPanel past the flop crossover (sweep 2km² vs
+// refactor ~2m³/3+km²) or on a conditioning breakdown.
+func (c *Cholesky) absorbPanel(panel []float64, m, k int, pool *Pool) (float64, error) {
+	if 3*k > 2*m {
+		return c.refactorPanel(panel, m, k, pool)
+	}
+	ld, d := c.stride, c.data
+	scratch := pool.GetVec(ddBlock*ddTile + ddBlock*ddBlock + 2*ddBlock + ddBlock*k)
+	z := scratch[:ddBlock*ddTile]
+	svv := scratch[ddBlock*ddTile : ddBlock*ddTile+ddBlock*ddBlock]
+	v1s := scratch[ddBlock*ddTile+ddBlock*ddBlock:][:ddBlock]
+	taus := scratch[ddBlock*ddTile+ddBlock*ddBlock+ddBlock:][:ddBlock]
+	// vp is the zero-padded 8×k copy of the block's Householder panels
+	// the fused Combo8 kernel streams (it always reads 8 rows).
+	vp := scratch[ddBlock*ddTile+ddBlock*ddBlock+2*ddBlock:][: ddBlock*k : ddBlock*k]
+	defer pool.PutVec(scratch)
+	maxDiag := 0.0
+	for i0 := 0; i0 < m; i0 += ddBlock {
+		i1 := min(i0+ddBlock, m)
+		b := i1 - i0
+		// Pivot rows: construct the block's reflectors sequentially,
+		// applying its earlier reflectors row by row as we go.
+		for i := i0; i < i1; i++ {
+			prow := panel[i*k : i*k+k]
+			for j := i0; j < i; j++ {
+				jj := j - i0
+				if taus[jj] == 0 {
+					continue
+				}
+				pj := panel[j*k : j*k+k]
+				var dot float64
+				for t, v := range pj {
+					dot += v * prow[t]
+				}
+				a := d[i*ld+j]
+				w := taus[jj] * (dot + v1s[jj]*a)
+				d[i*ld+j] = a - w*v1s[jj]
+				AddScaled(prow, -w, pj)
+			}
+			jj := i - i0
+			lii := d[i*ld+i]
+			var pn float64
+			for _, v := range prow {
+				pn += v * v
+			}
+			r := math.Sqrt(lii*lii + pn)
+			if math.IsNaN(r) || !(r > maxDiag*downdateCondTol) {
+				// Collapsed or corrupt pivot: the remaining sweep would
+				// divide by ~0. Restore the invariant the fallback's
+				// reconstruction needs — every row transformed by the
+				// same orthogonal product — before handing over: the
+				// block's completed reflectors are flushed onto the
+				// rows they have not reached yet (the pivot loop
+				// applied them only up to row i), and the processed
+				// pivot rows' panels are zeroed (their true
+				// post-transform panels are zero; the buffer holds the
+				// Householder v-panels only the flush still needed).
+				c.applyBlock(panel, m, k, i0, jj, i+1, z, svv, v1s, taus, vp)
+				clear(panel[:i*k])
+				return c.refactorPanel(panel, m, k, pool)
+			}
+			if r > maxDiag {
+				maxDiag = r
+			}
+			if pn == 0 {
+				// Row already triangular; keep the pivot positive and
+				// record an identity reflector.
+				d[i*ld+i] = math.Abs(lii)
+				v1s[jj], taus[jj] = 0, 0
+				continue
+			}
+			// Householder vector v = (lii, prow) − r·e1 maps the row to
+			// (r, 0): v1 computed cancellation-free (lii > 0 on a valid
+			// factor), τ = 2/vᵀv. prow is left holding v's panel part.
+			v1 := -pn / (lii + r)
+			if lii < 0 {
+				v1 = lii - r
+			}
+			v1s[jj] = v1
+			taus[jj] = 2 / (v1*v1 + pn)
+			d[i*ld+i] = r
+		}
+		c.applyBlock(panel, m, k, i0, b, i1, z, svv, v1s, taus, vp)
+		// The block's pivot rows are final; zero their buffered
+		// v-panels so a later block's conditioning fallback can
+		// reconstruct the row Gram of [L | panel] directly.
+		clear(panel[i0*k : i1*k])
+	}
+	return 0, nil
+}
+
+// applyBlock applies the b reflectors of the block starting at column
+// i0 (Householder panels in panel rows i0..i0+b−1, column parts v1s,
+// scales taus) to every trailing row ≥ start. The sequential product
+// H_b···H_1 is evaluated in WY form: per row, the reflector
+// projections z_j = v_jᵀx use the row's ORIGINAL values (batched,
+// tile-wise), and the cross-coupling c_j = τ_j(z_j − Σ_{u<j} v_jᵀv_u·c_u)
+// forward-substitutes through the small precomputed v_jᵀv_u system.
+func (c *Cholesky) applyBlock(panel []float64, m, k, i0, b, start int, z, svv, v1s, taus, vp []float64) {
+	if b == 0 || start >= m {
+		return
+	}
+	ld, d := c.stride, c.data
+	// Cross terms v_jᵀv_u (u < j): the column parts live on distinct
+	// columns, so only the panel parts couple.
+	for j := 1; j < b; j++ {
+		pj := panel[(i0+j)*k : (i0+j)*k+k]
+		DotBatch(pj, panel[i0*k:], k, j, svv[j*ddBlock:j*ddBlock+j])
+	}
+	// Stage the block's Householder panels into the fixed 8×k buffer
+	// the fused kernel streams; unused rows are zeroed (a zero
+	// coefficient must not pull in NaNs from recycled pool memory).
+	copy(vp, panel[i0*k:(i0+b)*k])
+	clear(vp[b*k:])
+	v1a := (*[ddBlock]float64)(v1s)
+	taua := (*[ddBlock]float64)(taus)
+	sva := (*[ddBlock * ddBlock]float64)(svv)
+	// The panel stride is pre-padded to a multiple of 4, so the fused
+	// kernel can be invoked without wrapper dispatch or scalar tails.
+	asm := useAsm && k >= 4
+	for t0 := start; t0 < m; t0 += ddTile {
+		t1 := min(t0+ddTile, m)
+		tn := t1 - t0
+		// Batched projections over the tile's original panel rows.
+		for j := 0; j < b; j++ {
+			pj := panel[(i0+j)*k : (i0+j)*k+k]
+			DotBatch(pj, panel[t0*k:], k, tn, z[j*ddTile:j*ddTile+tn])
+		}
+		for t := t0; t < t1; t++ {
+			tt := t - t0
+			prow := panel[t*k : t*k+k]
+			aseg := d[t*ld+i0 : t*ld+i0+b]
+			// cs accumulates −c_j (the Combo8 "+=" coefficients), so
+			// the forward recurrence c_j = τ_j(z_j − Σ_{u<j} v_jᵀv_u·c_u)
+			// reads them with a sign flip.
+			var cs [ddBlock]float64
+			for j := 0; j < b; j++ {
+				s := z[j*ddTile+tt] + v1a[j]*aseg[j]
+				for u := 0; u < j; u++ {
+					s += sva[j*ddBlock+u] * cs[u]
+				}
+				cj := taua[j] * s
+				cs[j] = -cj
+				aseg[j] -= cj * v1a[j]
+			}
+			if asm {
+				combo8AVX2(&prow[0], &vp[0], &cs[0], uintptr(k), uintptr(k>>2))
+			} else {
+				combo8Go(prow, vp, k, &cs)
+			}
+		}
+	}
+}
+
+// refactorPanel is the blocked re-factorization fallback: the
+// surviving Gram A' = L·Lᵀ + panel·panelᵀ is reconstructed from the
+// (possibly mid-sweep) factor rows — right-multiplying [L | panel] by
+// an orthogonal Q never changes that product, so the reconstruction is
+// valid at any point of the sweep — and refactored in place with the
+// same escalating diagonal jitter as NewCholeskyJittered. Returns the
+// jitter that was needed.
+func (c *Cholesky) refactorPanel(panel []float64, m, k int, pool *Pool) (float64, error) {
+	ld, d := c.stride, c.data
+	// Zero the junk above each row's diagonal so equal-length batched
+	// dots see the true (zero-padded) factor rows.
+	for i := 0; i < m; i++ {
+		clear(d[i*ld+i+1 : i*ld+m])
+	}
+	ga := pool.GetDense(m, m)
+	scratch := pool.GetVec(m)
+	Parfor(m, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			row := ga.Row(i)[:i+1]
+			DotBatch(d[i*ld:i*ld+m], d, ld, i+1, row)
+		}
+	})
+	// panel·panelᵀ folds in as a second batched pass (serial rows so
+	// the shared scratch is safe; the panel is only m×k).
+	for i := 0; i < m; i++ {
+		dots := scratch[:i+1]
+		DotBatch(panel[i*k:i*k+k], panel, k, i+1, dots)
+		row := ga.Row(i)
+		for j, v := range dots {
+			row[j] += v
+		}
+	}
+	var trace float64
+	for i := 0; i < m; i++ {
+		trace += math.Abs(ga.At(i, i))
+	}
+	jitter := 0.0
+	var err error
+	for attempt := 0; attempt < 9; attempt++ {
+		for i := 0; i < m; i++ {
+			copy(d[i*ld:i*ld+i+1], ga.Row(i)[:i+1])
+			d[i*ld+i] += jitter
+		}
+		if err = cholFactor(d, m, ld); err == nil {
+			break
+		}
+		if jitter == 0 {
+			jitter = 1e-10 * (trace/float64(m) + 1)
+		} else {
+			jitter *= 100
+		}
+	}
+	pool.PutVec(scratch)
+	pool.PutDense(ga)
+	if err != nil {
+		return 0, err
+	}
+	return jitter, nil
+}

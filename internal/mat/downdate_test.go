@@ -1,0 +1,415 @@
+package mat
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/randx"
+)
+
+// trailSPD returns the trailing m×m block of a.
+func trailSPD(a *Dense, k int) *Dense {
+	m := a.Rows() - k
+	out := NewDense(m, m)
+	for i := 0; i < m; i++ {
+		copy(out.Row(i), a.Row(k + i)[k:])
+	}
+	return out
+}
+
+// TestCholDowndateMatchesTrailingFactor pins Downdate against a
+// from-scratch factorization of the surviving block, across sizes that
+// exercise both the Householder sweep and the re-factorization
+// fallback (3k > 2m).
+func TestCholDowndateMatchesTrailingFactor(t *testing.T) {
+	forEachKernelPath(t, func(t *testing.T) {
+		src := randx.New(51)
+		pool := &Pool{}
+		for _, tc := range []struct{ n, k int }{
+			{2, 1}, {8, 3}, {40, 1}, {65, 13}, {100, 37}, {100, 80}, {130, 50}, {64, 60},
+		} {
+			a := randSPD(src, tc.n)
+			ch, err := NewCholeskyGrow(a, tc.n, pool)
+			if err != nil {
+				t.Fatalf("n=%d: %v", tc.n, err)
+			}
+			shift, err := ch.Downdate(tc.k, pool)
+			if err != nil {
+				t.Fatalf("downdate n=%d k=%d: %v", tc.n, tc.k, err)
+			}
+			if shift != 0 {
+				t.Fatalf("downdate n=%d k=%d: well-conditioned block needed jitter %g", tc.n, tc.k, shift)
+			}
+			m := tc.n - tc.k
+			if ch.Size() != m {
+				t.Fatalf("downdate n=%d k=%d: size %d", tc.n, tc.k, ch.Size())
+			}
+			want, err := NewCholesky(trailSPD(a, tc.k))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if d := maxAbsDiff(ch.L(), want.L()); d > 1e-8 {
+				t.Fatalf("downdate n=%d k=%d: factor diff %g", tc.n, tc.k, d)
+			}
+		}
+	})
+}
+
+// TestCholDowndateEdges covers the degenerate arguments: k=0 is a
+// no-op, k=n empties the factor (and a later Extend regrows it from
+// nothing), negative or oversized k is rejected.
+func TestCholDowndateEdges(t *testing.T) {
+	src := randx.New(52)
+	pool := &Pool{}
+	a := randSPD(src, 20)
+	ch, err := NewCholesky(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ch.Downdate(0, pool); err != nil || ch.Size() != 20 {
+		t.Fatalf("k=0: %v size %d", err, ch.Size())
+	}
+	if _, err := ch.Downdate(-1, pool); err != ErrShape {
+		t.Fatalf("k=-1: %v", err)
+	}
+	if _, err := ch.Downdate(21, pool); err != ErrShape {
+		t.Fatalf("k=21: %v", err)
+	}
+	if _, err := ch.Downdate(20, pool); err != nil || ch.Size() != 0 {
+		t.Fatalf("k=n: %v size %d", err, ch.Size())
+	}
+	// Regrow from empty: Extend with the full matrix as the border.
+	a21 := NewDense(5, 0)
+	if err := ch.Extend(a21, subSPD(a, 5), pool); err != nil {
+		t.Fatalf("extend from empty: %v", err)
+	}
+	want, _ := NewCholesky(subSPD(a, 5))
+	if d := maxAbsDiff(ch.L(), want.L()); d > 1e-10 {
+		t.Fatalf("regrow from empty: factor diff %g", d)
+	}
+}
+
+// slideState drives a factored sliding window over a stream of feature
+// rows: A = X·Xᵀ + ridge·I over the rows currently in the window.
+type slideState struct {
+	rows  [][]float64
+	ridge float64
+}
+
+func (s *slideState) gram(lo, hi int) *Dense {
+	m := hi - lo
+	a := NewDense(m, m)
+	for i := 0; i < m; i++ {
+		for j := 0; j < m; j++ {
+			a.Set(i, j, Dot(s.rows[lo+i], s.rows[lo+j]))
+		}
+		a.Set(i, i, a.At(i, i)+s.ridge)
+	}
+	return a
+}
+
+func (s *slideState) border(lo, mid, hi int) (a21, a22 *Dense) {
+	a21 = NewDense(hi-mid, mid-lo)
+	a22 = NewDense(hi-mid, hi-mid)
+	for i := mid; i < hi; i++ {
+		for j := lo; j < mid; j++ {
+			a21.Set(i-mid, j-lo, Dot(s.rows[i], s.rows[j]))
+		}
+		for j := mid; j <= i; j++ {
+			a22.Set(i-mid, j-mid, Dot(s.rows[i], s.rows[j]))
+		}
+		a22.Set(i-mid, i-mid, a22.At(i-mid, i-mid)+s.ridge)
+	}
+	return a21, a22
+}
+
+// TestCholSlideCycles runs 25 evict+append cycles inside the reserved
+// headroom and pins every cycle's factor to a from-scratch
+// factorization of the current window — and the buffer capacity to its
+// initial value (bounded memory is the whole point).
+func TestCholSlideCycles(t *testing.T) {
+	forEachKernelPath(t, func(t *testing.T) {
+		src := randx.New(53)
+		const d, window, slide, cycles = 6, 60, 9, 25
+		st := &slideState{ridge: float64(window)}
+		newRow := func() []float64 {
+			r := make([]float64, d)
+			for j := range r {
+				r[j] = src.Uniform(-1, 1)
+			}
+			return r
+		}
+		for i := 0; i < window; i++ {
+			st.rows = append(st.rows, newRow())
+		}
+		pool := &Pool{}
+		ch, err := NewCholeskyGrow(st.gram(0, window), window+slide, pool)
+		if err != nil {
+			t.Fatal(err)
+		}
+		capDim := ch.Cap()
+		lo := 0
+		for cyc := 0; cyc < cycles; cyc++ {
+			hi := len(st.rows)
+			for i := 0; i < slide; i++ {
+				st.rows = append(st.rows, newRow())
+			}
+			a21, a22 := st.border(lo, hi, hi+slide)
+			if err := ch.Extend(a21, a22, pool); err != nil {
+				t.Fatalf("cycle %d: extend: %v", cyc, err)
+			}
+			if shift, err := ch.Downdate(slide, pool); err != nil || shift != 0 {
+				t.Fatalf("cycle %d: downdate: shift %g err %v", cyc, shift, err)
+			}
+			lo += slide
+			want, err := NewCholesky(st.gram(lo, lo+window))
+			if err != nil {
+				t.Fatalf("cycle %d: reference: %v", cyc, err)
+			}
+			if diff := maxAbsDiff(ch.L(), want.L()); diff > 1e-8 {
+				t.Fatalf("cycle %d: factor diff %g", cyc, diff)
+			}
+			if ch.Cap() != capDim {
+				t.Fatalf("cycle %d: capacity grew %d -> %d", cyc, capDim, ch.Cap())
+			}
+		}
+	})
+}
+
+// TestCholDowndateIllConditioned drives the conditioning fallback: a
+// window whose surviving block is numerically singular (duplicated
+// generator rows, no ridge) must come back factored — via the jittered
+// re-factorization if the sweep's pivots collapse — and still solve to
+// a bounded residual.
+func TestCholDowndateIllConditioned(t *testing.T) {
+	src := randx.New(54)
+	const n, k = 30, 4
+	base := make([][]float64, 0, n)
+	proto := make([]float64, 3)
+	for j := range proto {
+		proto[j] = src.Uniform(-1, 1)
+	}
+	for i := 0; i < n; i++ {
+		// Nearly collinear rows: rank ~3 with 1e-13 perturbations.
+		r := make([]float64, 3)
+		for j := range r {
+			r[j] = proto[j]*float64(1+i%3) + src.Uniform(-1, 1)*1e-13
+		}
+		base = append(base, r)
+	}
+	a := NewDense(n, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			a.Set(i, j, Dot(base[i], base[j]))
+		}
+	}
+	pool := &Pool{}
+	ch, jit, err := NewCholeskyJittered(a, n, pool)
+	if err != nil {
+		t.Fatalf("jittered factor: %v", err)
+	}
+	if jit == 0 {
+		t.Fatalf("test matrix unexpectedly positive definite")
+	}
+	if _, err := ch.Downdate(k, pool); err != nil {
+		t.Fatalf("downdate: %v", err)
+	}
+	m := n - k
+	if ch.Size() != m {
+		t.Fatalf("size %d", ch.Size())
+	}
+	// The factor must be finite and usable: reconstruct L·Lᵀ and check
+	// it stays close to the (jittered) trailing block, modulo any
+	// additional fallback shift on the diagonal.
+	l := ch.L()
+	for i := 0; i < m; i++ {
+		for j := 0; j <= i; j++ {
+			if math.IsNaN(l.At(i, j)) || math.IsInf(l.At(i, j), 0) {
+				t.Fatalf("factor has non-finite entry at (%d,%d)", i, j)
+			}
+		}
+		if l.At(i, i) <= 0 {
+			t.Fatalf("non-positive pivot %g at %d", l.At(i, i), i)
+		}
+	}
+	lt := l.T()
+	lltDense, _ := Mul(l, lt)
+	var maxOff float64
+	for i := 0; i < m; i++ {
+		for j := 0; j < m; j++ {
+			if i == j {
+				continue
+			}
+			want := a.At(k+i, k+j)
+			if dd := math.Abs(lltDense.At(i, j) - want); dd > maxOff {
+				maxOff = dd
+			}
+		}
+	}
+	scale := 0.0
+	for i := 0; i < m; i++ {
+		scale = math.Max(scale, math.Abs(a.At(k+i, k+i)))
+	}
+	if maxOff > 1e-6*(scale+1) {
+		t.Fatalf("off-diagonal reconstruction error %g (scale %g)", maxOff, scale)
+	}
+}
+
+// TestSolve2MatchesSolve pins the combined two-RHS solve against two
+// independent Solve calls (identical blocked arithmetic per RHS).
+func TestSolve2MatchesSolve(t *testing.T) {
+	forEachKernelPath(t, func(t *testing.T) {
+		src := randx.New(56)
+		for _, n := range []int{1, 5, 64, 130, 257} {
+			a := randSPD(src, n)
+			ch, err := NewCholesky(a)
+			if err != nil {
+				t.Fatal(err)
+			}
+			b := make([]float64, n)
+			b2 := make([]float64, n)
+			for i := range b {
+				b[i] = src.Uniform(-1, 1)
+				b2[i] = src.Uniform(-1, 1)
+			}
+			x, x2, err := ch.Solve2(b, b2)
+			if err != nil {
+				t.Fatal(err)
+			}
+			w1, err := ch.Solve(b)
+			if err != nil {
+				t.Fatal(err)
+			}
+			w2, err := ch.Solve(b2)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := 0; i < n; i++ {
+				if x[i] != w1[i] || x2[i] != w2[i] {
+					t.Fatalf("n=%d: Solve2 diverges at %d: (%g,%g) vs (%g,%g)",
+						n, i, x[i], x2[i], w1[i], w2[i])
+				}
+			}
+		}
+		if _, _, err := (&Cholesky{n: 3, stride: 3, data: make([]float64, 9)}).Solve2(make([]float64, 2), make([]float64, 3)); err != ErrShape {
+			t.Fatalf("shape mismatch: %v", err)
+		}
+	})
+}
+
+// TestCholDowndateSolve checks solves against the trailing system
+// after a downdate (the path lssvm's SlideWindow actually exercises).
+func TestCholDowndateSolve(t *testing.T) {
+	src := randx.New(55)
+	const n, k = 90, 17
+	a := randSPD(src, n)
+	pool := &Pool{}
+	ch, err := NewCholeskyGrow(a, n, pool)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ch.Downdate(k, pool); err != nil {
+		t.Fatal(err)
+	}
+	m := n - k
+	b := make([]float64, m)
+	for i := range b {
+		b[i] = src.Uniform(-1, 1)
+	}
+	x, err := ch.Solve(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := SolveSPD(trailSPD(a, k), b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range x {
+		if d := math.Abs(x[i] - want[i]); d > 1e-8 {
+			t.Fatalf("solution diff %g at %d", d, i)
+		}
+	}
+}
+
+// BenchmarkDowndate50of1050 measures the raw factor downdate the
+// n=1000 LS-SVM slide pays: evicting 50 leading rows from a factored
+// 1050-dim system (the from-scratch comparison lives in lssvm's
+// SlideWindow benchmarks).
+func BenchmarkDowndate50of1050(b *testing.B) {
+	src := randx.New(91)
+	a := randSPD(src, 1050)
+	pool := &Pool{}
+	base, err := NewCholeskyGrow(a, 1100, pool)
+	if err != nil {
+		b.Fatal(err)
+	}
+	saved := make([]float64, len(base.data))
+	copy(saved, base.data)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		copy(base.data, saved)
+		base.n = 1050
+		b.StartTimer()
+		if _, err := base.Downdate(50, pool); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// TestCholDowndateMidSweepFallback pins the conditioning fallback when
+// it trips mid-sweep, after reflectors have completed: the completed
+// reflectors' panel rows hold Householder v-vectors (true panels are
+// zero) and the block's pending reflectors have not reached every row
+// yet, so the fallback must restore the row-Gram invariant before
+// reconstructing — or it silently factors the wrong matrix.
+func TestCholDowndateMidSweepFallback(t *testing.T) {
+	forEachKernelPath(t, func(t *testing.T) {
+		src := randx.New(57)
+		const n, k = 8, 1
+		// A valid factor whose LAST row is (0,...,0,1e-20): its pivot
+		// collapses against maxDiag ~O(1) only after the six preceding
+		// reflectors completed, which is exactly the corruption window.
+		l := NewDense(n, n)
+		for i := 0; i < n-1; i++ {
+			for j := 0; j < i; j++ {
+				l.Set(i, j, src.Uniform(-1, 1))
+			}
+			l.Set(i, i, src.Uniform(1, 2))
+		}
+		l.Set(n-1, n-1, 1e-20)
+		lt := l.T()
+		a, _ := Mul(l, lt)
+		pool := &Pool{}
+		ch, err := NewCholeskyGrow(a, n, pool)
+		if err != nil {
+			t.Fatal(err)
+		}
+		shift, err := ch.Downdate(k, pool)
+		if err != nil {
+			t.Fatalf("downdate: %v", err)
+		}
+		m := n - k
+		if ch.Size() != m {
+			t.Fatalf("size %d", ch.Size())
+		}
+		// The factored system must reproduce the true surviving block:
+		// off-diagonals exactly (to tolerance), diagonals modulo the
+		// fallback's uniform jitter.
+		lf := ch.L()
+		lft := lf.T()
+		recon, _ := Mul(lf, lft)
+		for i := 0; i < m; i++ {
+			for j := 0; j < m; j++ {
+				want := a.At(k+i, k+j)
+				if i == j {
+					want += shift
+				}
+				if d := math.Abs(recon.At(i, j) - want); d > 1e-8 {
+					t.Fatalf("reconstruction (%d,%d): %g vs %g (diff %g, shift %g)",
+						i, j, recon.At(i, j), want, d, shift)
+				}
+			}
+		}
+	})
+}

@@ -20,6 +20,9 @@ func rbfRowAVX2(p, norms *float64, selfNorm, gamma float64, n uintptr)
 //go:noescape
 func axpyAVX2(dst, src *float64, alpha float64, nq uintptr)
 
+//go:noescape
+func combo8AVX2(dst, src, coefs *float64, stride, nq uintptr)
+
 func cpuidAsm(leaf, sub uint32) (eax, ebx, ecx, edx uint32)
 
 func xgetbvAsm() (eax, edx uint32)

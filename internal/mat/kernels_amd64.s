@@ -474,3 +474,116 @@ DATA exp_signmask<>+8(SB)/8, $0x8000000000000000
 DATA exp_signmask<>+16(SB)/8, $0x8000000000000000
 DATA exp_signmask<>+24(SB)/8, $0x8000000000000000
 GLOBL exp_signmask<>(SB), RODATA, $32
+
+// func combo8AVX2(dst, src, coefs *float64, stride, nq uintptr)
+// dst[0:4nq] += sum_{j<8} coefs[j] * src[j*stride : j*stride+4nq].
+// The 8 coefficient broadcasts stay resident in Y8-Y15; the chunk loop
+// is 2x unrolled (8 elements) with independent accumulators so the
+// FMA chains overlap. The reflector-block application of Cholesky
+// downdating is the caller: one call replaces 8 separate axpys.
+TEXT ·combo8AVX2(SB), NOSPLIT, $0-40
+	MOVQ dst+0(FP), DI
+	MOVQ src+8(FP), SI
+	MOVQ coefs+16(FP), BX
+	MOVQ stride+24(FP), R9
+	SHLQ $3, R9           // stride in bytes
+	MOVQ nq+32(FP), CX
+
+	VBROADCASTSD (BX), Y8
+	VBROADCASTSD 8(BX), Y9
+	VBROADCASTSD 16(BX), Y10
+	VBROADCASTSD 24(BX), Y11
+	VBROADCASTSD 32(BX), Y12
+	VBROADCASTSD 40(BX), Y13
+	VBROADCASTSD 48(BX), Y14
+	VBROADCASTSD 56(BX), Y15
+
+	// Row base pointers: SI,R10..R14,AX,DX hold rows 0..7.
+	LEAQ (SI)(R9*1), R10
+	LEAQ (SI)(R9*2), R11
+	LEAQ (R10)(R9*2), R12
+	LEAQ (R11)(R9*2), R13
+	LEAQ (R12)(R9*2), R14
+	LEAQ (R13)(R9*2), AX
+	LEAQ (R14)(R9*2), DX
+
+	// 2x unroll: 8 elements per iteration, two accumulators.
+	MOVQ CX, BX
+	SHRQ $1, BX
+	TESTQ BX, BX
+	JE   tail1
+
+loop2:
+	VMOVUPD (DI), Y0
+	VMOVUPD 32(DI), Y1
+	VMOVUPD (SI), Y2
+	VFMADD231PD Y8, Y2, Y0
+	VMOVUPD 32(SI), Y3
+	VFMADD231PD Y8, Y3, Y1
+	VMOVUPD (R10), Y4
+	VFMADD231PD Y9, Y4, Y0
+	VMOVUPD 32(R10), Y5
+	VFMADD231PD Y9, Y5, Y1
+	VMOVUPD (R11), Y2
+	VFMADD231PD Y10, Y2, Y0
+	VMOVUPD 32(R11), Y3
+	VFMADD231PD Y10, Y3, Y1
+	VMOVUPD (R12), Y4
+	VFMADD231PD Y11, Y4, Y0
+	VMOVUPD 32(R12), Y5
+	VFMADD231PD Y11, Y5, Y1
+	VMOVUPD (R13), Y2
+	VFMADD231PD Y12, Y2, Y0
+	VMOVUPD 32(R13), Y3
+	VFMADD231PD Y12, Y3, Y1
+	VMOVUPD (R14), Y4
+	VFMADD231PD Y13, Y4, Y0
+	VMOVUPD 32(R14), Y5
+	VFMADD231PD Y13, Y5, Y1
+	VMOVUPD (AX), Y2
+	VFMADD231PD Y14, Y2, Y0
+	VMOVUPD 32(AX), Y3
+	VFMADD231PD Y14, Y3, Y1
+	VMOVUPD (DX), Y4
+	VFMADD231PD Y15, Y4, Y0
+	VMOVUPD 32(DX), Y5
+	VFMADD231PD Y15, Y5, Y1
+	VMOVUPD Y0, (DI)
+	VMOVUPD Y1, 32(DI)
+	ADDQ $64, DI
+	ADDQ $64, SI
+	ADDQ $64, R10
+	ADDQ $64, R11
+	ADDQ $64, R12
+	ADDQ $64, R13
+	ADDQ $64, R14
+	ADDQ $64, AX
+	ADDQ $64, DX
+	DECQ BX
+	JNE  loop2
+
+tail1:
+	ANDQ $1, CX
+	JE   done
+	VMOVUPD (DI), Y0
+	VMOVUPD (SI), Y2
+	VFMADD231PD Y8, Y2, Y0
+	VMOVUPD (R10), Y3
+	VFMADD231PD Y9, Y3, Y0
+	VMOVUPD (R11), Y4
+	VFMADD231PD Y10, Y4, Y0
+	VMOVUPD (R12), Y5
+	VFMADD231PD Y11, Y5, Y0
+	VMOVUPD (R13), Y2
+	VFMADD231PD Y12, Y2, Y0
+	VMOVUPD (R14), Y3
+	VFMADD231PD Y13, Y3, Y0
+	VMOVUPD (AX), Y4
+	VFMADD231PD Y14, Y4, Y0
+	VMOVUPD (DX), Y5
+	VFMADD231PD Y15, Y5, Y0
+	VMOVUPD Y0, (DI)
+
+done:
+	VZEROUPPER
+	RET

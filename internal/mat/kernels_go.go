@@ -110,6 +110,21 @@ func addScaledGo(dst []float64, alpha float64, src []float64) {
 	}
 }
 
+// combo8Go is the pure-Go twin of combo8AVX2: dst += Σ_{j<8}
+// coefs[j]·src[j*stride : j*stride+len(dst)], the fused "apply eight
+// Householder reflectors to one panel row" primitive of Cholesky
+// downdating. The caller (applyBlock) dispatches on useAsm and
+// guarantees a 4-multiple row width, so no wrapper or scalar tail is
+// needed.
+func combo8Go(dst, src []float64, stride int, coefs *[8]float64) {
+	for j, a := range coefs {
+		if a == 0 {
+			continue
+		}
+		addScaledGo(dst, a, src[j*stride:j*stride+len(dst)])
+	}
+}
+
 // AddScaled computes dst += alpha*src in place.
 func AddScaled(dst []float64, alpha float64, src []float64) {
 	if !useAsm || len(dst) < 4 {

@@ -18,5 +18,7 @@ func rbfRowAVX2(p, norms *float64, selfNorm, gamma float64, n uintptr) { panic("
 
 func axpyAVX2(dst, src *float64, alpha float64, nq uintptr) { panic("mat: no asm") }
 
+func combo8AVX2(dst, src, coefs *float64, stride, nq uintptr) { panic("mat: no asm") }
+
 // swapUseAsm is a no-op without assembly kernels (test hook).
 func swapUseAsm(bool) (prev bool) { return false }

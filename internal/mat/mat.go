@@ -152,6 +152,12 @@ type Cholesky struct {
 // Size returns the dimension of the factored matrix.
 func (c *Cholesky) Size() int { return c.n }
 
+// Cap returns the capacity dimension of the factor buffer — the
+// largest system the factorization can grow to without reallocating.
+// Sliding-window tests assert it stays flat across evict+append
+// cycles.
+func (c *Cholesky) Cap() int { return c.stride }
+
 // L returns a copy of the lower-triangular factor (upper triangle
 // zero), mainly for tests and diagnostics.
 func (c *Cholesky) L() *Dense {
@@ -221,6 +227,85 @@ func (c *Cholesky) solveInto(dst, b, y []float64) {
 		for k := j0; k < j1; k++ {
 			if xv := dst[k]; xv != 0 {
 				AddScaled(y[:j0], -xv, d[k*ld:k*ld+j0])
+			}
+		}
+	}
+}
+
+// Solve2 solves A·x = b and A·x2 = b2 in one pass over the factor:
+// both substitutions interleave the two right-hand sides, so the
+// factor's memory traffic — what bounds large triangular solves — is
+// paid once instead of twice. The LS-SVM block elimination (η and ν
+// solved against the same factor) is the caller.
+func (c *Cholesky) Solve2(b, b2 []float64) (x, x2 []float64, err error) {
+	n := c.n
+	if len(b) != n || len(b2) != n {
+		return nil, nil, ErrShape
+	}
+	x = make([]float64, n)
+	x2 = make([]float64, n)
+	y := make([]float64, 2*n)
+	c.solve2Into(x, x2, b, b2, y)
+	return x, x2, nil
+}
+
+// solve2Into is Solve2 with caller-provided destinations and scratch
+// (scratch of length 2n). It is solveInto's blocked structure with the
+// two right-hand sides pushed back-to-back per block: the second push
+// finds the factor block still cache-resident, so the combined solve
+// costs far less than two independent ones.
+func (c *Cholesky) solve2Into(dst, dst2, b, b2, y []float64) {
+	n, ld := c.n, c.stride
+	d := c.data
+	const blk = 64
+	ya, yb := y[:n], y[n:2*n]
+	copy(ya, b)
+	copy(yb, b2)
+	for j0 := 0; j0 < n; j0 += blk {
+		j1 := min(j0+blk, n)
+		for i := j0; i < j1; i++ {
+			row := d[i*ld+j0 : i*ld+i]
+			s, s2 := ya[i], yb[i]
+			for k, v := range row {
+				s -= v * ya[j0+k]
+				s2 -= v * yb[j0+k]
+			}
+			pv := d[i*ld+i]
+			ya[i] = s / pv
+			yb[i] = s2 / pv
+		}
+		if j1 < n {
+			dots := dst[:n-j1]
+			DotBatch(ya[j0:j1], d[j1*ld+j0:], ld, n-j1, dots)
+			for t, v := range dots {
+				ya[j1+t] -= v
+			}
+			DotBatch(yb[j0:j1], d[j1*ld+j0:], ld, n-j1, dots)
+			for t, v := range dots {
+				yb[j1+t] -= v
+			}
+		}
+	}
+	for j1 := n; j1 > 0; j1 -= blk {
+		j0 := max(j1-blk, 0)
+		for i := j1 - 1; i >= j0; i-- {
+			s, s2 := ya[i], yb[i]
+			for k := i + 1; k < j1; k++ {
+				v := d[k*ld+i]
+				s -= v * dst[k]
+				s2 -= v * dst2[k]
+			}
+			pv := d[i*ld+i]
+			dst[i] = s / pv
+			dst2[i] = s2 / pv
+		}
+		for k := j0; k < j1; k++ {
+			row := d[k*ld : k*ld+j0]
+			if xv := dst[k]; xv != 0 {
+				AddScaled(ya[:j0], -xv, row)
+			}
+			if xv2 := dst2[k]; xv2 != 0 {
+				AddScaled(yb[:j0], -xv2, row)
 			}
 		}
 	}

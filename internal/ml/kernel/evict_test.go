@@ -1,0 +1,161 @@
+package kernel
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/mat"
+	"repro/internal/randx"
+)
+
+// randRows builds n random d-dimensional rows.
+func randRows(src *randx.Source, n, d int) [][]float64 {
+	X := make([][]float64, n)
+	for i := range X {
+		X[i] = make([]float64, d)
+		for j := range X[i] {
+			X[i][j] = src.Uniform(-2, 2)
+		}
+	}
+	return X
+}
+
+// TestEvictFrontMatchesFresh pins the evicted store — rows, norms, and
+// every built-in kernel's Gram — against a fresh store built from the
+// surviving rows only.
+func TestEvictFrontMatchesFresh(t *testing.T) {
+	src := randx.New(61)
+	const n, d, k = 40, 5, 13
+	X := randRows(src, n, d)
+	r := NewRows(X)
+	r.EvictFront(k)
+	want := NewRows(X[k:])
+	if r.Len() != want.Len() || r.Dim() != want.Dim() {
+		t.Fatalf("evicted %dx%d, want %dx%d", r.Len(), r.Dim(), want.Len(), want.Dim())
+	}
+	for i := 0; i < want.Len(); i++ {
+		for j := 0; j < d; j++ {
+			if r.Row(i)[j] != want.Row(i)[j] {
+				t.Fatalf("row %d col %d: %g vs %g", i, j, r.Row(i)[j], want.Row(i)[j])
+			}
+		}
+		if r.norms()[i] != want.norms()[i] {
+			t.Fatalf("norm %d: %g vs %g", i, r.norms()[i], want.norms()[i])
+		}
+	}
+	for _, kk := range []Kernel{Linear{}, RBF{Gamma: 1.0 / d}, Poly{Degree: 2, Scale: 0.5, Coef0: 1}} {
+		got := MatrixRows(kk, r)
+		ref := MatrixRows(kk, want)
+		for i := 0; i < got.Rows(); i++ {
+			for j := 0; j < got.Cols(); j++ {
+				if got.At(i, j) != ref.At(i, j) {
+					t.Fatalf("%s: Gram(%d,%d) %g vs %g", kk.Name(), i, j, got.At(i, j), ref.At(i, j))
+				}
+			}
+		}
+	}
+}
+
+// TestEvictAppendCyclesFlatCapacity drives the sliding-window pattern
+// — evict k, append k, repeatedly — and asserts both parity with a
+// fresh store and that the backing capacity stops growing after the
+// first reallocation (the bounded-memory contract).
+func TestEvictAppendCyclesFlatCapacity(t *testing.T) {
+	src := randx.New(62)
+	const window, slide, cycles, d = 50, 7, 30, 4
+	X := randRows(src, window+slide*cycles, d)
+	r := NewRows(X[:window])
+	maxCap := 0
+	for c := 0; c < cycles; c++ {
+		r.EvictFront(slide)
+		lo := window + c*slide
+		if err := r.Append(X[lo : lo+slide]); err != nil {
+			t.Fatalf("cycle %d: %v", c, err)
+		}
+		if c == cycles/2 {
+			maxCap = r.Cap()
+		}
+		if maxCap > 0 && r.Cap() > maxCap {
+			t.Fatalf("cycle %d: capacity grew %d -> %d", c, maxCap, r.Cap())
+		}
+		want := NewRows(X[lo+slide-window : lo+slide])
+		for i := 0; i < window; i++ {
+			for j := 0; j < d; j++ {
+				if r.Row(i)[j] != want.Row(i)[j] {
+					t.Fatalf("cycle %d row %d: %g vs %g", c, i, r.Row(i)[j], want.Row(i)[j])
+				}
+			}
+			if r.norms()[i] != want.norms()[i] {
+				t.Fatalf("cycle %d norm %d diff", c, i)
+			}
+		}
+	}
+	if r.Cap() > 2*(window+slide) {
+		t.Fatalf("steady-state capacity %d for a %d-row window", r.Cap(), window)
+	}
+}
+
+// TestEvictFrontEdges covers the O(1) contract's edges: evicting zero,
+// everything, and out-of-range counts.
+func TestEvictFrontEdges(t *testing.T) {
+	src := randx.New(63)
+	X := randRows(src, 6, 3)
+	r := NewRows(X)
+	r.EvictFront(0)
+	if r.Len() != 6 {
+		t.Fatalf("evict 0: %d rows", r.Len())
+	}
+	r.EvictFront(6)
+	if r.Len() != 0 {
+		t.Fatalf("evict all: %d rows", r.Len())
+	}
+	// The emptied store still accepts appends (dimension retained).
+	if err := r.Append(X[:2]); err != nil {
+		t.Fatal(err)
+	}
+	if r.Len() != 2 || r.Row(1)[2] != X[1][2] {
+		t.Fatalf("append after full evict: %d rows", r.Len())
+	}
+	for _, bad := range []int{-1, 3} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("EvictFront(%d) did not panic", bad)
+				}
+			}()
+			r.EvictFront(bad)
+		}()
+	}
+}
+
+// TestGramEvictRows pins the shrunk Gram against a fresh build over
+// the surviving rows — zero kernel evaluations on the evict path.
+func TestGramEvictRows(t *testing.T) {
+	src := randx.New(64)
+	const n, d, k = 30, 4, 11
+	X := randRows(src, n, d)
+	pool := &mat.Pool{}
+	for _, kk := range []Kernel{Linear{}, RBF{Gamma: 1.0 / d}} {
+		full := Matrix(kk, X)
+		got := GramEvictRows(full, k, pool)
+		want := Matrix(kk, X[k:])
+		for i := 0; i < want.Rows(); i++ {
+			for j := 0; j < want.Cols(); j++ {
+				if math.Abs(got.At(i, j)-want.At(i, j)) > 1e-12 {
+					t.Fatalf("%s: (%d,%d) %g vs %g", kk.Name(), i, j, got.At(i, j), want.At(i, j))
+				}
+			}
+		}
+		pool.PutDense(got)
+	}
+	// Evicting everything leaves an empty matrix; shape misuse panics.
+	if g := GramEvictRows(Matrix(Linear{}, X), n, pool); g.Rows() != 0 {
+		t.Fatalf("full evict left %d rows", g.Rows())
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("oversized evict did not panic")
+		}
+	}()
+	GramEvictRows(Matrix(Linear{}, X), n+1, pool)
+}

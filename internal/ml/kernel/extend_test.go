@@ -50,8 +50,8 @@ func TestRowsAppendLayout(t *testing.T) {
 				t.Fatalf("row %d col %d: %g vs %g", i, j, grown.Row(i)[j], all.Row(i)[j])
 			}
 		}
-		if grown.norms[i] != all.norms[i] {
-			t.Fatalf("norm %d: %g vs %g", i, grown.norms[i], all.norms[i])
+		if grown.norms()[i] != all.norms()[i] {
+			t.Fatalf("norm %d: %g vs %g", i, grown.norms()[i], all.norms()[i])
 		}
 	}
 	// Appending to an empty Rows adopts the dimension.

@@ -12,10 +12,19 @@ import (
 // construction and batched prediction (EvalInto) run straight over the
 // flat buffer instead of per-pair interface calls, so the built-in
 // kernels hit mat's blocked dot/exp engine.
+//
+// The store is ring-capable for sliding windows: EvictFront drops the
+// oldest rows in O(1) by advancing a head offset, keeping the live
+// region contiguous (the batched kernels need flat rows, so a true
+// wrap-around ring is out); Append reclaims the evicted front by
+// compacting in place before it would otherwise grow. Steady-state
+// evict+append cycles therefore run at a flat capacity — the
+// bounded-memory contract of the sliding-window retrainers.
 type Rows struct {
 	n, d, stride int
-	data         []float64 // n*stride, rows padded with zeros
-	norms        []float64 // ||x_i||²
+	head         int       // first live row of buf
+	buf          []float64 // backing; live rows at [head*stride, (head+n)*stride)
+	normsBuf     []float64 // backing for ||x_i||², aligned with buf rows
 }
 
 // NewRows copies X (rows of equal length) into the flat layout.
@@ -29,10 +38,10 @@ func NewRows(X [][]float64) *Rows {
 	// Pad the stride to a multiple of 4 so the vectorized dot kernel
 	// never needs a scalar tail: the zero padding adds nothing.
 	r.stride = (r.d + 3) &^ 3
-	r.data = make([]float64, n*r.stride)
-	r.norms = make([]float64, n)
+	r.buf = make([]float64, n*r.stride)
+	r.normsBuf = make([]float64, n)
 	for i, row := range X {
-		copy(r.data[i*r.stride:], row)
+		copy(r.buf[i*r.stride:], row)
 	}
 	mat.Parfor(n, func(lo, hi int) {
 		for i := lo; i < hi; i++ {
@@ -41,17 +50,26 @@ func NewRows(X [][]float64) *Rows {
 			for _, v := range row {
 				s += v * v
 			}
-			r.norms[i] = s
+			r.normsBuf[i] = s
 		}
 	})
 	return r
 }
 
+// flat returns the live stride-padded region (row 0 first), the layout
+// the batched kernels consume.
+func (r *Rows) flat() []float64 { return r.buf[r.head*r.stride:] }
+
+// norms returns the live squared-norm slice aligned with flat.
+func (r *Rows) norms() []float64 { return r.normsBuf[r.head:] }
+
 // Append grows the flat row store with new feature rows, keeping the
 // stride-padded layout and cached norms. The backing buffers grow with
-// amortized headroom, so the streaming-retrain pattern — many small
-// appends — does not recopy the history each time. Appending to an
-// empty Rows fixes the dimension from the first row.
+// amortized headroom — and reuse the space EvictFront freed at the
+// front before growing — so both the streaming-retrain pattern (many
+// small appends) and the sliding-window pattern (evict+append cycles)
+// run at bounded, eventually flat capacity. Appending to an empty Rows
+// fixes the dimension from the first row.
 func (r *Rows) Append(Xnew [][]float64) error {
 	if len(Xnew) == 0 {
 		return nil
@@ -65,21 +83,52 @@ func (r *Rows) Append(Xnew [][]float64) error {
 			return fmt.Errorf("kernel: appended row %d has %d features, want %d", i, len(row), r.d)
 		}
 	}
-	n := r.n + len(Xnew)
-	r.data = growSlice(r.data, n*r.stride)
-	r.norms = growSlice(r.norms, n)
+	m := len(Xnew)
+	r.reserveTail(m)
 	for i, row := range Xnew {
-		gi := r.n + i
-		dst := r.data[gi*r.stride : (gi+1)*r.stride]
+		gi := r.head + r.n + i
+		dst := r.buf[gi*r.stride : (gi+1)*r.stride]
 		copy(dst, row)
+		clear(dst[r.d:]) // the padding must stay zero for the dot kernel
 		var s float64
 		for _, v := range dst {
 			s += v * v
 		}
-		r.norms[gi] = s
+		r.normsBuf[gi] = s
 	}
-	r.n = n
+	r.n += m
 	return nil
+}
+
+// reserveTail makes room for m more rows after the live region:
+// reslice within capacity when the tail has room, compact the live
+// rows to the front when only the evicted head has it, and reallocate
+// with 1.5× headroom otherwise.
+func (r *Rows) reserveTail(m int) {
+	need := (r.head + r.n + m) * r.stride
+	if need <= cap(r.buf) && r.head+r.n+m <= cap(r.normsBuf) {
+		r.buf = r.buf[:need]
+		r.normsBuf = r.normsBuf[:r.head+r.n+m]
+		return
+	}
+	if r.head > 0 && (r.n+m)*r.stride <= cap(r.buf) && r.n+m <= cap(r.normsBuf) {
+		// Compact: the freed front plus the tail fits the append. copy
+		// handles the overlapping forward move.
+		copy(r.buf[:r.n*r.stride], r.buf[r.head*r.stride:(r.head+r.n)*r.stride])
+		copy(r.normsBuf[:r.n], r.normsBuf[r.head:r.head+r.n])
+		r.head = 0
+		r.buf = r.buf[:(r.n+m)*r.stride]
+		r.normsBuf = r.normsBuf[:r.n+m]
+		return
+	}
+	newLen := (r.n + m) * r.stride
+	nb := make([]float64, newLen, max(newLen, cap(r.buf)*3/2))
+	copy(nb, r.buf[r.head*r.stride:])
+	nn := make([]float64, r.n+m, max(r.n+m, cap(r.normsBuf)*3/2))
+	copy(nn, r.normsBuf[r.head:])
+	r.head = 0
+	r.buf = nb
+	r.normsBuf = nn
 }
 
 // Truncate drops rows from the tail, keeping the backing capacity, so
@@ -89,23 +138,49 @@ func (r *Rows) Truncate(n int) {
 	if n < 0 || n > r.n {
 		panic(fmt.Sprintf("kernel: truncating %d rows to %d", r.n, n))
 	}
-	r.data = r.data[:n*r.stride]
-	r.norms = r.norms[:n]
 	r.n = n
+	r.buf = r.buf[:(r.head+n)*r.stride]
+	r.normsBuf = r.normsBuf[:r.head+n]
 }
 
-// growSlice extends s to length n, zero-filling the new tail and
-// reallocating with 1.5× headroom when capacity runs out.
-func growSlice(s []float64, n int) []float64 {
-	if n <= cap(s) {
-		old := len(s)
-		s = s[:n]
-		clear(s[old:])
-		return s
+// EvictFront drops the k oldest rows in O(1): the head offset advances
+// and the freed space is reclaimed by a later Append's compaction. The
+// complement of Truncate for sliding windows.
+func (r *Rows) EvictFront(k int) {
+	if k < 0 || k > r.n {
+		panic(fmt.Sprintf("kernel: evicting %d of %d rows", k, r.n))
 	}
-	ns := make([]float64, n, max(n, cap(s)*3/2))
-	copy(ns, s)
-	return ns
+	r.head += k
+	r.n -= k
+	if r.n == 0 {
+		r.head = 0
+		r.buf = r.buf[:0]
+		r.normsBuf = r.normsBuf[:0]
+	}
+}
+
+// Tail returns a zero-copy read-only view of the store without its
+// first k rows: row i of the view is row k+i of r, sharing the backing
+// buffers. Sliding retrainers evaluate kernel borders against the
+// surviving window through it before committing the eviction. Any
+// mutation of r (or of the view) invalidates the other.
+func (r *Rows) Tail(k int) *Rows {
+	if k < 0 || k > r.n {
+		panic(fmt.Sprintf("kernel: tail view past %d of %d rows", k, r.n))
+	}
+	v := *r
+	v.head += k
+	v.n -= k
+	return &v
+}
+
+// Cap returns the row capacity of the backing buffer. Sliding-window
+// tests assert it stays flat across evict+append cycles.
+func (r *Rows) Cap() int {
+	if r.stride == 0 {
+		return 0
+	}
+	return cap(r.buf) / r.stride
 }
 
 // Len returns the number of rows.
@@ -115,11 +190,17 @@ func (r *Rows) Len() int { return r.n }
 func (r *Rows) Dim() int { return r.d }
 
 // Row returns a view of row i (without padding).
-func (r *Rows) Row(i int) []float64 { return r.data[i*r.stride : i*r.stride+r.d] }
+func (r *Rows) Row(i int) []float64 {
+	gi := r.head + i
+	return r.buf[gi*r.stride : gi*r.stride+r.d]
+}
 
 // padded returns row i including its zero padding, the shape the
 // batched dot kernel wants.
-func (r *Rows) padded(i int) []float64 { return r.data[i*r.stride : (i+1)*r.stride] }
+func (r *Rows) padded(i int) []float64 {
+	gi := r.head + i
+	return r.buf[gi*r.stride : (gi+1)*r.stride]
+}
 
 // Matrix computes the Gram matrix K[i][j] = k(X[i], X[j]) exploiting
 // symmetry: the lower triangle is built row-parallel and mirrored. The
@@ -141,7 +222,7 @@ func MatrixRows(k Kernel, r *Rows) *mat.Dense {
 	case RBF:
 		if kk.Gamma > 0 {
 			gramDots(r, out, func(row []float64, i int) {
-				mat.RBFRow(row, r.norms, r.norms[i], kk.Gamma)
+				mat.RBFRow(row, r.norms(), r.norms()[i], kk.Gamma)
 			})
 			break
 		}
@@ -164,7 +245,7 @@ func gramDots(r *Rows, out *mat.Dense, transform func(row []float64, i int)) {
 	mat.Parfor(n, func(lo, hi int) {
 		for i := lo; i < hi; i++ {
 			row := out.Row(i)[:i+1]
-			mat.DotBatch(r.padded(i), r.data, r.stride, i+1, row)
+			mat.DotBatch(r.padded(i), r.flat(), r.stride, i+1, row)
 			if transform != nil {
 				transform(row, i)
 			}
@@ -180,12 +261,26 @@ func gramDots(r *Rows, out *mat.Dense, transform func(row []float64, i int)) {
 // produced. The result is a fresh n×n matrix (drawn from pool when
 // given); old is not modified, so the caller decides when to recycle
 // it.
+//
+// The scratch matrix is handed back to pool when a custom kernel's
+// Eval panics during the border evaluation (the one error path of
+// this function — shape misuse panics before anything is drawn), so a
+// failed extension does not strand a Gram-sized buffer outside the
+// pool. The guarantee covers the panic unwinding this goroutine: on
+// multi-core runs large borders evaluate on Parfor workers, where an
+// Eval panic is fatal to the process and pooling is moot anyway.
 func ExtendMatrixRows(k Kernel, r *Rows, oldN int, old *mat.Dense, pool *mat.Pool) *mat.Dense {
 	n := r.n
 	if oldN > n || old.Rows() != oldN || old.Cols() != oldN {
 		panic(fmt.Sprintf("kernel: extending %dx%d Gram to %d rows", old.Rows(), old.Cols(), n))
 	}
 	out := pool.GetDense(n, n)
+	done := false
+	defer func() {
+		if !done {
+			pool.PutDense(out)
+		}
+	}()
 	mat.Parfor(oldN, func(lo, hi int) {
 		for i := lo; i < hi; i++ {
 			copy(out.Row(i)[:oldN], old.Row(i))
@@ -201,9 +296,9 @@ func ExtendMatrixRows(k Kernel, r *Rows, oldN int, old *mat.Dense, pool *mat.Poo
 				}
 				continue
 			}
-			mat.DotBatch(r.padded(i), r.data, r.stride, i+1, row)
+			mat.DotBatch(r.padded(i), r.flat(), r.stride, i+1, row)
 			if transform != nil {
-				transform(row, r.norms, r.norms[i])
+				transform(row, r.norms(), r.norms()[i])
 			}
 		}
 	})
@@ -214,6 +309,27 @@ func ExtendMatrixRows(k Kernel, r *Rows, oldN int, old *mat.Dense, pool *mat.Poo
 			for i := max(j+1, oldN); i < n; i++ {
 				drow[i] = out.At(i, j)
 			}
+		}
+	})
+	done = true
+	return out
+}
+
+// GramEvictRows shrinks a Gram matrix after the leading k rows left
+// the window: the surviving (n−k)×(n−k) block is copied into a fresh
+// matrix (drawn from pool when given) without re-evaluating a single
+// kernel — K[i][j] over the survivors is exactly the trailing block.
+// g is not modified, so the caller decides when to recycle it.
+func GramEvictRows(g *mat.Dense, k int, pool *mat.Pool) *mat.Dense {
+	n := g.Rows()
+	if g.Cols() != n || k < 0 || k > n {
+		panic(fmt.Sprintf("kernel: evicting %d rows of a %dx%d Gram", k, g.Rows(), g.Cols()))
+	}
+	m := n - k
+	out := pool.GetDense(m, m)
+	mat.Parfor(m, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			copy(out.Row(i), g.Row(k + i)[k:k+m])
 		}
 	})
 	return out
@@ -246,11 +362,11 @@ func GramBorder(k Kernel, r *Rows, oldN int, a21, a22 *mat.Dense) {
 				}
 				continue
 			}
-			mat.DotBatch(r.padded(gi), r.data, r.stride, oldN, r21)
-			mat.DotBatch(r.padded(gi), r.data[oldN*r.stride:], r.stride, i+1, r22)
+			mat.DotBatch(r.padded(gi), r.flat(), r.stride, oldN, r21)
+			mat.DotBatch(r.padded(gi), r.flat()[oldN*r.stride:], r.stride, i+1, r22)
 			if transform != nil {
-				transform(r21, r.norms, r.norms[gi])
-				transform(r22, r.norms[oldN:], r.norms[gi])
+				transform(r21, r.norms(), r.norms()[gi])
+				transform(r22, r.norms()[oldN:], r.norms()[gi])
 			}
 		}
 	})
@@ -329,22 +445,22 @@ func powRow(vals []float64, scale, coef0, degree float64) {
 func EvalInto(k Kernel, r *Rows, x, out []float64) {
 	switch kk := k.(type) {
 	case Linear:
-		mat.DotBatch(x, r.data, r.stride, r.n, out)
+		mat.DotBatch(x, r.flat(), r.stride, r.n, out)
 	case RBF:
 		if kk.Gamma > 0 {
-			mat.DotBatch(x, r.data, r.stride, r.n, out)
+			mat.DotBatch(x, r.flat(), r.stride, r.n, out)
 			var xn float64
 			for _, v := range x {
 				xn += v * v
 			}
-			mat.RBFRow(out, r.norms, xn, kk.Gamma)
+			mat.RBFRow(out, r.norms(), xn, kk.Gamma)
 			return
 		}
 		for i := 0; i < r.n; i++ {
 			out[i] = k.Eval(r.Row(i), x)
 		}
 	case Poly:
-		mat.DotBatch(x, r.data, r.stride, r.n, out)
+		mat.DotBatch(x, r.flat(), r.stride, r.n, out)
 		powRow(out[:r.n], kk.Scale, kk.Coef0, kk.Degree)
 	default:
 		for i := 0; i < r.n; i++ {

@@ -132,8 +132,8 @@ func TestRowsLayout(t *testing.T) {
 		}
 	}
 	// Norms match direct computation.
-	if math.Abs(r.norms[0]-14) > 1e-12 || math.Abs(r.norms[1]-77) > 1e-12 {
-		t.Fatalf("norms = %v", r.norms)
+	if math.Abs(r.norms()[0]-14) > 1e-12 || math.Abs(r.norms()[1]-77) > 1e-12 {
+		t.Fatalf("norms = %v", r.norms())
 	}
 	// Empty input.
 	if NewRows(nil).Len() != 0 {

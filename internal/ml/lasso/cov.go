@@ -93,6 +93,42 @@ func (c *Cov) Append(Xnew [][]float64, ynew []float64) error {
 	return nil
 }
 
+// Evict subtracts the contribution of the oldest training rows from
+// the covariance state with one rank-1 downdate per row — the mirror
+// of Append, and the reason a sliding-window pipeline never rebuilds
+// XᵀX from the surviving history. Callers pass the evicted rows
+// themselves (the state is a summary; it cannot reconstruct them).
+// The state is validated before any mutation, so a failed call leaves
+// it untouched.
+func (c *Cov) Evict(Xold [][]float64, yold []float64) error {
+	if len(Xold) == 0 && len(yold) == 0 {
+		return nil
+	}
+	dim, err := ml.CheckTrainingSet(Xold, yold)
+	if err != nil {
+		return err
+	}
+	if dim != c.dim {
+		return fmt.Errorf("lasso: evicted rows have %d features, want %d", dim, c.dim)
+	}
+	if len(Xold) > c.n {
+		return fmt.Errorf("lasso: evicting %d rows of %d accumulated", len(Xold), c.n)
+	}
+	for i, x := range Xold {
+		yi := yold[i]
+		for k, v := range x {
+			if v != 0 {
+				mat.AddScaled(c.g.Row(k), -v, x)
+			}
+			c.q[k] -= v * yi
+			c.colSum[k] -= v
+		}
+		c.ySum -= yi
+	}
+	c.n -= len(Xold)
+	return nil
+}
+
 // solve runs cyclic coordinate descent for one λ on the covariance
 // state, warm-starting from beta/intercept (both updated in place;
 // beta has length Dim). It returns the sweeps used. This is the one

@@ -1,0 +1,160 @@
+package lasso
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/randx"
+)
+
+// TestCovEvictMatchesFresh pins Append+Evict cycles of the covariance
+// state against a fresh build over the surviving window.
+func TestCovEvictMatchesFresh(t *testing.T) {
+	src := randx.New(71)
+	const total, window, slide, cycles = 400, 150, 25, 10
+	X, y := makeSparseProblem(src, total)
+
+	cov, err := NewCov(X[:window], y[:window])
+	if err != nil {
+		t.Fatal(err)
+	}
+	lo := 0
+	for c := 0; c < cycles; c++ {
+		hi := window + c*slide
+		if err := cov.Append(X[hi:hi+slide], y[hi:hi+slide]); err != nil {
+			t.Fatalf("cycle %d: append: %v", c, err)
+		}
+		if err := cov.Evict(X[lo:lo+slide], y[lo:lo+slide]); err != nil {
+			t.Fatalf("cycle %d: evict: %v", c, err)
+		}
+		lo += slide
+		want, err := NewCov(X[lo:hi+slide], y[lo:hi+slide])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if cov.N() != want.N() {
+			t.Fatalf("cycle %d: N %d vs %d", c, cov.N(), want.N())
+		}
+		for k := 0; k < cov.Dim(); k++ {
+			for j := 0; j < cov.Dim(); j++ {
+				if d := math.Abs(cov.g.At(k, j) - want.g.At(k, j)); d > 1e-8 {
+					t.Fatalf("cycle %d: G(%d,%d) diff %g", c, k, j, d)
+				}
+			}
+			if d := math.Abs(cov.q[k] - want.q[k]); d > 1e-8 {
+				t.Fatalf("cycle %d: q[%d] diff %g", c, k, d)
+			}
+			if d := math.Abs(cov.colSum[k] - want.colSum[k]); d > 1e-8 {
+				t.Fatalf("cycle %d: colSum[%d] diff %g", c, k, d)
+			}
+		}
+		if d := math.Abs(cov.ySum - want.ySum); d > 1e-8 {
+			t.Fatalf("cycle %d: ySum diff %g", c, d)
+		}
+	}
+}
+
+// TestCovEvictErrors covers the validation contract: bad dimensions
+// and over-eviction are rejected without mutating the state.
+func TestCovEvictErrors(t *testing.T) {
+	src := randx.New(72)
+	X, y := makeSparseProblem(src, 40)
+	cov, err := NewCov(X, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cov.Evict(nil, nil); err != nil {
+		t.Fatalf("empty evict: %v", err)
+	}
+	if err := cov.Evict([][]float64{{1, 2}}, []float64{1}); err == nil {
+		t.Fatal("dimension mismatch accepted")
+	}
+	big, by := makeSparseProblem(src, 41)
+	if err := cov.Evict(big, by); err == nil {
+		t.Fatal("over-eviction accepted")
+	}
+	if cov.N() != 40 {
+		t.Fatalf("failed evicts mutated N to %d", cov.N())
+	}
+}
+
+// TestModelUpdateWindowMatchesFit pins the sliding-window lasso model
+// against a from-scratch Fit on the surviving window, over repeated
+// slides (the coordinate solver converges to the same optimum; the
+// shared tolerance bounds the difference).
+func TestModelUpdateWindowMatchesFit(t *testing.T) {
+	src := randx.New(73)
+	const total, window, slide, cycles = 500, 200, 30, 8
+	X, y := makeSparseProblem(src, total)
+
+	opts := DefaultOptions(0.5)
+	opts.Tol = 1e-10 // tight, so both solvers land on the same optimum
+	m, err := New(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Fit(X[:window], y[:window]); err != nil {
+		t.Fatal(err)
+	}
+	lo := 0
+	for c := 0; c < cycles; c++ {
+		hi := window + c*slide
+		if err := m.UpdateWindow(X[hi:hi+slide], y[hi:hi+slide], X[lo:lo+slide], y[lo:lo+slide]); err != nil {
+			t.Fatalf("cycle %d: %v", c, err)
+		}
+		lo += slide
+	}
+	ref, err := New(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ref.Fit(X[lo:window+(cycles-1)*slide+slide], y[lo:window+(cycles-1)*slide+slide]); err != nil {
+		t.Fatal(err)
+	}
+	if d := math.Abs(m.Intercept - ref.Intercept); d > 1e-6 {
+		t.Fatalf("intercept diff %g", d)
+	}
+	for k := range ref.Coef {
+		if d := math.Abs(m.Coef[k] - ref.Coef[k]); d > 1e-6 {
+			t.Fatalf("coef[%d] diff %g (%g vs %g)", k, d, m.Coef[k], ref.Coef[k])
+		}
+	}
+	// Evict-only and append-only degenerate calls keep working.
+	if err := m.UpdateWindow(nil, nil, X[lo:lo+5], y[lo:lo+5]); err != nil {
+		t.Fatalf("evict-only: %v", err)
+	}
+	if err := m.UpdateWindow(X[:5], y[:5], nil, nil); err != nil {
+		t.Fatalf("append-only: %v", err)
+	}
+	// Errors leave the model unchanged.
+	before := append([]float64(nil), m.Coef...)
+	if err := m.UpdateWindow([][]float64{{1}}, []float64{1}, nil, nil); err == nil {
+		t.Fatal("dimension mismatch accepted")
+	}
+	for k := range before {
+		if m.Coef[k] != before[k] {
+			t.Fatal("failed UpdateWindow mutated coefficients")
+		}
+	}
+}
+
+// TestModelUpdateWindowShapeGuard pins the validate-before-mutate
+// contract on the shape Append would only reject after the eviction
+// already mutated the state: zero rows with non-empty targets.
+func TestModelUpdateWindowShapeGuard(t *testing.T) {
+	src := randx.New(74)
+	X, y := makeSparseProblem(src, 60)
+	m, err := New(DefaultOptions(0.5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Fit(X, y); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.UpdateWindow(nil, []float64{5}, X[:3], y[:3]); err == nil {
+		t.Fatal("rows/targets mismatch accepted")
+	}
+	if m.cov.N() != 60 {
+		t.Fatalf("failed UpdateWindow mutated the covariance (N %d)", m.cov.N())
+	}
+}

@@ -154,6 +154,48 @@ func (m *Model) Update(Xnew [][]float64, ynew []float64) error {
 	return nil
 }
 
+// UpdateWindow implements ml.WindowedRegressor: the sliding-window
+// retrain. New rows fold into the retained covariance with rank-1
+// updates, the evicted rows' contributions are subtracted with rank-1
+// downdates (Cov.Evict — the state summarizes the history, so the
+// caller supplies the departing rows), and the coordinates re-converge
+// warm-started. The result converges to the optimum of a from-scratch
+// Fit on the surviving window, at a cost scaling with the rows moved.
+// On error the model is unchanged.
+func (m *Model) UpdateWindow(Xnew [][]float64, ynew []float64, evictX [][]float64, evictY []float64) error {
+	if !m.fitted || m.cov == nil {
+		return fmt.Errorf("lasso: UpdateWindow before Fit (restored models must be refitted): %w", ml.ErrNotFitted)
+	}
+	// Evict first (its row-count bound is against the pre-append
+	// window, the caller's view), then append; everything is validated
+	// before mutating — including the empty-rows/non-empty-targets
+	// shape Append would only reject after the eviction — so an error
+	// leaves the model untouched.
+	if len(Xnew) != len(ynew) {
+		return fmt.Errorf("%w: %d appended rows vs %d targets", ml.ErrDimension, len(Xnew), len(ynew))
+	}
+	if len(Xnew) > 0 {
+		if dim, err := ml.CheckTrainingSet(Xnew, ynew); err != nil {
+			return err
+		} else if dim != m.cov.Dim() {
+			return fmt.Errorf("lasso: appended rows have %d features, want %d", dim, m.cov.Dim())
+		}
+	}
+	if err := m.cov.Evict(evictX, evictY); err != nil {
+		return err
+	}
+	if err := m.cov.Append(Xnew, ynew); err != nil {
+		return err
+	}
+	intercept := m.Intercept
+	if !m.opts.FitIntercept {
+		intercept = 0
+	}
+	m.Iterations = m.cov.solve(m.Coef, &intercept, m.opts.Lambda, m.opts)
+	m.Intercept = intercept
+	return nil
+}
+
 // softThreshold is the Lasso shrinkage operator S(z, λ).
 func softThreshold(z, lambda float64) float64 {
 	switch {
@@ -205,6 +247,7 @@ func (m *Model) Selected() []int {
 var (
 	_ ml.Regressor            = (*Model)(nil)
 	_ ml.IncrementalRegressor = (*Model)(nil)
+	_ ml.WindowedRegressor    = (*Model)(nil)
 )
 
 // lassoJSON is the serialized model state.

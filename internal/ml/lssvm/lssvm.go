@@ -202,11 +202,9 @@ func solveSystem(ch *mat.Cholesky, yRaw []float64) (solution, error) {
 		ys[i] = (v - sol.yMean) / sol.yStd
 		ones[i] = 1
 	}
-	eta, err := ch.Solve(ones)
-	if err != nil {
-		return sol, fmt.Errorf("lssvm: solving kernel system: %w", err)
-	}
-	nu, err := ch.Solve(ys)
+	// One combined pass for both right-hand sides: the factor's memory
+	// traffic dominates large solves and is paid once.
+	eta, nu, err := ch.Solve2(ones, ys)
 	if err != nil {
 		return sol, fmt.Errorf("lssvm: solving kernel system: %w", err)
 	}
@@ -291,29 +289,9 @@ func (m *Model) Update(Xnew [][]float64, ynew []float64) error {
 	if err := m.trainRows.Append(Xs); err != nil {
 		return err
 	}
-	a21 := pool.GetDense(mNew, oldN)
-	a22 := pool.GetDense(mNew, mNew)
-	kernel.GramBorder(m.kern, m.trainRows, oldN, a21, a22)
-	for i := 0; i < mNew; i++ {
-		a22.Set(i, i, a22.At(i, i)+m.diagAdd)
-	}
-	err = m.chol.Extend(a21, a22, pool)
-	// A border that breaks positive definiteness gets the same jitter
-	// escalation as Fit, applied to the new block (the factored
-	// history keeps its original shift).
-	jitter := 1e-10 * (m.diagAdd + 1)
-	for attempt := 0; err == mat.ErrNotPositiveDefinite && attempt < 8; attempt++ {
-		for i := 0; i < mNew; i++ {
-			a22.Set(i, i, a22.At(i, i)+jitter)
-		}
-		err = m.chol.Extend(a21, a22, pool)
-		jitter *= 100
-	}
-	pool.PutDense(a21)
-	pool.PutDense(a22)
-	if err != nil {
+	if err := m.extendFactor(m.trainRows, oldN, mNew); err != nil {
 		m.trainRows.Truncate(oldN)
-		return fmt.Errorf("lssvm: extending kernel system: %w", err)
+		return err
 	}
 	combined := append(m.yRaw, ynew...)
 	sol, err := solveSystem(m.chol, combined)
@@ -326,6 +304,36 @@ func (m *Model) Update(Xnew [][]float64, ynew []float64) error {
 	m.yRaw = combined
 	m.applySolution(sol)
 	m.lastUpdate = ml.UpdateInfo{Incremental: true, DriftScore: drift}
+	return nil
+}
+
+// extendFactor evaluates the kernel border for the mNew rows of r
+// after oldN and extends the Cholesky factor in place, escalating a
+// diagonal jitter on the new block when the border breaks positive
+// definiteness (the factored history keeps its original shift). All
+// pooled border scratch is returned on every path. On error the factor
+// is unchanged; the caller rolls back its row store.
+func (m *Model) extendFactor(r *kernel.Rows, oldN, mNew int) error {
+	a21 := pool.GetDense(mNew, oldN)
+	a22 := pool.GetDense(mNew, mNew)
+	kernel.GramBorder(m.kern, r, oldN, a21, a22)
+	for i := 0; i < mNew; i++ {
+		a22.Set(i, i, a22.At(i, i)+m.diagAdd)
+	}
+	err := m.chol.Extend(a21, a22, pool)
+	jitter := 1e-10 * (m.diagAdd + 1)
+	for attempt := 0; err == mat.ErrNotPositiveDefinite && attempt < 8; attempt++ {
+		for i := 0; i < mNew; i++ {
+			a22.Set(i, i, a22.At(i, i)+jitter)
+		}
+		err = m.chol.Extend(a21, a22, pool)
+		jitter *= 100
+	}
+	pool.PutDense(a21)
+	pool.PutDense(a22)
+	if err != nil {
+		return fmt.Errorf("lssvm: extending kernel system: %w", err)
+	}
 	return nil
 }
 

@@ -1,0 +1,404 @@
+package lssvm
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/ml"
+	"repro/internal/ml/kernel"
+	"repro/internal/randx"
+)
+
+// TestSlideWindowMatchesPinnedFit pins the sliding-window retrain to
+// its from-scratch counterpart — a Fit over the surviving window with
+// the same (frozen) standardizer — for every built-in kernel, across
+// repeated slide cycles of uneven sizes.
+func TestSlideWindowMatchesPinnedFit(t *testing.T) {
+	src := randx.New(81)
+	const d, window, total = 4, 120, 320
+	X, y := multiData(src, total, d)
+	Xq, _ := multiData(src, 40, d)
+	std := kernel.FitStandardizer(X[:window])
+
+	// (evict, append) per cycle: uneven, including evict-only and
+	// append-heavy slides.
+	cycles := [][2]int{{20, 20}, {7, 31}, {0, 12}, {45, 17}, {30, 0}, {15, 15}}
+
+	for _, k := range updateKernels(d) {
+		opts := DefaultOptions()
+		opts.Kernel = k
+		opts.Standardizer = std
+
+		inc, err := New(opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := inc.Fit(X[:window], y[:window]); err != nil {
+			t.Fatalf("%s: fit: %v", k.Name(), err)
+		}
+		lo, hi := 0, window
+		for ci, c := range cycles {
+			evict, app := c[0], c[1]
+			if err := inc.SlideWindow(X[hi:hi+app], y[hi:hi+app], evict); err != nil {
+				t.Fatalf("%s: cycle %d: %v", k.Name(), ci, err)
+			}
+			lo += evict
+			hi += app
+			info := inc.LastUpdate()
+			if !info.Incremental || info.Evicted != evict {
+				t.Fatalf("%s: cycle %d: update info %+v", k.Name(), ci, info)
+			}
+			if inc.trainRows.Len() != hi-lo || len(inc.yRaw) != hi-lo {
+				t.Fatalf("%s: cycle %d: window %d rows / %d targets, want %d",
+					k.Name(), ci, inc.trainRows.Len(), len(inc.yRaw), hi-lo)
+			}
+		}
+
+		ref, err := New(opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := ref.Fit(X[lo:hi], y[lo:hi]); err != nil {
+			t.Fatalf("%s: window fit: %v", k.Name(), err)
+		}
+		for i, q := range Xq {
+			got, want := inc.Predict(q), ref.Predict(q)
+			if diff := math.Abs(got - want); diff > 1e-8 {
+				t.Fatalf("%s: query %d: slide %g vs from-scratch %g (diff %g)",
+					k.Name(), i, got, want, diff)
+			}
+		}
+		if math.Abs(inc.bias-ref.bias) > 1e-8 {
+			t.Fatalf("%s: bias %g vs %g", k.Name(), inc.bias, ref.bias)
+		}
+		for i := range ref.alpha {
+			if diff := math.Abs(inc.alpha[i] - ref.alpha[i]); diff > 1e-8 {
+				t.Fatalf("%s: alpha[%d] diff %g", k.Name(), i, diff)
+			}
+		}
+	}
+}
+
+// TestSlideWindowFlatMemory runs 24 steady-state slide cycles and
+// asserts the factor and row-store capacities stop growing — the
+// bounded-memory acceptance criterion.
+func TestSlideWindowFlatMemory(t *testing.T) {
+	src := randx.New(82)
+	const d, window, slide, cycles = 5, 150, 15, 24
+	X, y := multiData(src, window+slide*cycles, d)
+	m, err := New(DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Fit(X[:window], y[:window]); err != nil {
+		t.Fatal(err)
+	}
+	var factorCap, rowCap int
+	for c := 0; c < cycles; c++ {
+		lo := window + c*slide
+		if err := m.SlideWindow(X[lo:lo+slide], y[lo:lo+slide], slide); err != nil {
+			t.Fatalf("cycle %d: %v", c, err)
+		}
+		if c == 2 {
+			// Allow the first cycles to claim their steady-state
+			// buffers, then require flatness.
+			factorCap, rowCap = m.FactorCap(), m.RowCap()
+		}
+		if c > 2 && (m.FactorCap() != factorCap || m.RowCap() != rowCap) {
+			t.Fatalf("cycle %d: capacity grew (factor %d -> %d, rows %d -> %d)",
+				c, factorCap, m.FactorCap(), rowCap, m.RowCap())
+		}
+	}
+	if m.trainRows.Len() != window {
+		t.Fatalf("window drifted to %d rows", m.trainRows.Len())
+	}
+	// The slid fit must predict as well as a from-scratch fit on the
+	// same window (frozen standardizer aside, they are the same model).
+	Xq, yq := multiData(src, 50, d)
+	lo := slide * cycles
+	ref, err := New(DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ref.Fit(X[lo:lo+window], y[lo:lo+window]); err != nil {
+		t.Fatal(err)
+	}
+	if e, er := mae(m, Xq, yq), mae(ref, Xq, yq); e > er*1.2+0.1 {
+		t.Fatalf("slid model MAE %g vs from-scratch %g", e, er)
+	}
+}
+
+// TestSlideWindowErrors covers the argument contract and the
+// model-unchanged-on-error guarantee.
+func TestSlideWindowErrors(t *testing.T) {
+	src := randx.New(83)
+	X, y := multiData(src, 80, 3)
+	m, err := New(DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.SlideWindow(X[:5], y[:5], 0); err == nil {
+		t.Fatal("SlideWindow before Fit accepted")
+	}
+	if err := m.Fit(X[:60], y[:60]); err != nil {
+		t.Fatal(err)
+	}
+	for _, bad := range []int{-1, 61} {
+		if err := m.SlideWindow(nil, nil, bad); err == nil {
+			t.Fatalf("evict %d accepted", bad)
+		}
+	}
+	if err := m.SlideWindow(nil, nil, 60); err == nil {
+		t.Fatal("empty surviving window accepted")
+	}
+	if err := m.SlideWindow([][]float64{{1, 2}}, []float64{1}, 5); err == nil {
+		t.Fatal("dimension mismatch accepted")
+	}
+	if err := m.SlideWindow(nil, nil, 0); err != nil {
+		t.Fatalf("no-op slide: %v", err)
+	}
+	if m.trainRows.Len() != 60 || len(m.yRaw) != 60 {
+		t.Fatalf("failed slides mutated the window: %d rows / %d targets",
+			m.trainRows.Len(), len(m.yRaw))
+	}
+	// Downdate is the evict-only convenience; UpdateWindow adapts the
+	// ml.WindowedRegressor shape.
+	if err := m.Downdate(10); err != nil {
+		t.Fatal(err)
+	}
+	if m.trainRows.Len() != 50 {
+		t.Fatalf("Downdate left %d rows", m.trainRows.Len())
+	}
+	if err := m.UpdateWindow(X[60:70], y[60:70], X[10:15], y[10:15]); err != nil {
+		t.Fatal(err)
+	}
+	if m.trainRows.Len() != 55 {
+		t.Fatalf("UpdateWindow left %d rows", m.trainRows.Len())
+	}
+	if err := m.UpdateWindow(nil, nil, X[:3], y[:2]); err == nil {
+		t.Fatal("mismatched evict rows/targets accepted")
+	}
+}
+
+// TestSlideWindowAfterRoundTrip checks a deserialized model (factor
+// discarded) rebuilds it lazily and slides correctly afterwards.
+func TestSlideWindowAfterRoundTrip(t *testing.T) {
+	src := randx.New(84)
+	const d = 3
+	X, y := multiData(src, 200, d)
+	std := kernel.FitStandardizer(X[:120])
+	opts := DefaultOptions()
+	opts.Standardizer = std
+	m, err := New(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Fit(X[:120], y[:120]); err != nil {
+		t.Fatal(err)
+	}
+	data, err := m.MarshalJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Model
+	if err := back.UnmarshalJSON(data); err != nil {
+		t.Fatal(err)
+	}
+	if err := back.SlideWindow(X[120:160], y[120:160], 40); err != nil {
+		t.Fatalf("slide after round-trip: %v", err)
+	}
+	ref, err := New(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ref.Fit(X[40:160], y[40:160]); err != nil {
+		t.Fatal(err)
+	}
+	Xq, _ := multiData(src, 30, d)
+	for i, q := range Xq {
+		if diff := math.Abs(back.Predict(q) - ref.Predict(q)); diff > 1e-8 {
+			t.Fatalf("query %d: diff %g", i, diff)
+		}
+	}
+}
+
+// TestSlideWindowDrift checks the drift gate on the sliding path: a
+// far-shifted append refits from scratch on the *surviving window*
+// with fresh statistics (bounded even under drift), matching a
+// from-scratch Fit on the same window.
+func TestSlideWindowDrift(t *testing.T) {
+	src := randx.New(85)
+	const d, base = 4, 100
+	X, y := multiData(src, base, d)
+	opts := DefaultOptions()
+	opts.DriftThreshold = 2
+	m, err := New(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Fit(X, y); err != nil {
+		t.Fatal(err)
+	}
+	Xfar, yfar := multiData(src, 30, d)
+	for i := range Xfar {
+		for j := range Xfar[i] {
+			Xfar[i][j] += 10
+		}
+	}
+	if err := m.SlideWindow(Xfar, yfar, 40); err != nil {
+		t.Fatal(err)
+	}
+	info := m.LastUpdate()
+	if !info.DriftRefit || info.Incremental || info.Evicted != 40 {
+		t.Fatalf("drift slide info %+v", info)
+	}
+	if m.trainRows.Len() != base-40+30 {
+		t.Fatalf("drift refit window %d rows", m.trainRows.Len())
+	}
+	combinedX := append(append([][]float64{}, X[40:]...), Xfar...)
+	combinedY := append(append([]float64{}, y[40:]...), yfar...)
+	ref, err := New(DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ref.Fit(combinedX, combinedY); err != nil {
+		t.Fatal(err)
+	}
+	Xq, _ := multiData(src, 30, d)
+	for i, q := range Xq {
+		got, want := m.Predict(q), ref.Predict(q)
+		if math.Abs(got-want) > 1e-8*(1+math.Abs(want)) {
+			t.Fatalf("query %d: drift slide %v vs from-scratch %v", i, got, want)
+		}
+	}
+}
+
+// TestSlideWindowIllConditioned drives repeated slides over
+// near-duplicate rows — a kernel system that already needed jitter at
+// Fit and whose borders keep breaking positive definiteness, so the
+// extend-side jitter escalation and the downdating sweep's robustness
+// are both exercised. The model must stay finite and usable throughout.
+func TestSlideWindowIllConditioned(t *testing.T) {
+	src := randx.New(86)
+	const d, window, slide, cycles = 3, 60, 10, 12
+	proto := make([]float64, d)
+	for j := range proto {
+		proto[j] = src.Uniform(-1, 1)
+	}
+	mkRow := func() []float64 {
+		// Exact duplicates: the Gram is rank-1, so every border breaks
+		// positive definiteness and the escalation paths must engage.
+		r := make([]float64, d)
+		copy(r, proto)
+		return r
+	}
+	var X [][]float64
+	var y []float64
+	for i := 0; i < window+slide*cycles; i++ {
+		X = append(X, mkRow())
+		y = append(y, src.Uniform(0, 1))
+	}
+	opts := DefaultOptions()
+	opts.Kernel = kernel.Linear{}
+	// A huge γ makes the ridge 1/γ vanishing, so the rank-1 Gram
+	// really is indefinite to working precision and the jitter
+	// escalation must engage.
+	opts.Gamma = 1e16
+	m, err := New(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Fit(X[:window], y[:window]); err != nil {
+		t.Fatalf("ill-conditioned fit: %v", err)
+	}
+	if m.diagAdd <= 1/m.opts.Gamma {
+		t.Fatalf("fit did not need jitter (diagAdd %g)", m.diagAdd)
+	}
+	for c := 0; c < cycles; c++ {
+		lo := window + c*slide
+		if err := m.SlideWindow(X[lo:lo+slide], y[lo:lo+slide], slide); err != nil {
+			t.Fatalf("cycle %d: %v", c, err)
+		}
+		if m.trainRows.Len() != window {
+			t.Fatalf("cycle %d: window %d rows", c, m.trainRows.Len())
+		}
+		out := m.Predict(X[lo])
+		if math.IsNaN(out) || math.IsInf(out, 0) {
+			t.Fatalf("cycle %d: prediction %v", c, out)
+		}
+	}
+}
+
+// benchSlideData is the n=1000 window plus enough fresh rows for the
+// slide benchmarks (50 out / 50 in, the acceptance-criterion shape).
+func benchSlideData() ([][]float64, []float64) {
+	src := randx.New(88)
+	return multiData(src, 1050, 30)
+}
+
+// BenchmarkSlideWindow measures one full window slide on an n=1000
+// LS-SVM: evict the 50 oldest rows, append 50 fresh ones, re-solve.
+// The from-scratch counterpart is BenchmarkSlideScratch; the
+// acceptance criterion is ≥3× over the rebuild.
+func BenchmarkSlideWindow(b *testing.B) {
+	X, y := benchSlideData()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		m, err := New(DefaultOptions())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := m.Fit(X[:1000], y[:1000]); err != nil {
+			b.Fatal(err)
+		}
+		b.StartTimer()
+		if err := m.SlideWindow(X[1000:], y[1000:], 50); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSlideScratch is the from-scratch rebuild on the slid
+// n=1000 window that BenchmarkSlideWindow's SlideWindow replaces.
+func BenchmarkSlideScratch(b *testing.B) {
+	X, y := benchSlideData()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m, err := New(DefaultOptions())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := m.Fit(X[50:], y[50:]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSlideWindowSteady measures the steady-state slide: the
+// model is fitted once and then slides continuously (the deployment
+// pattern), so per-op cost excludes any warm-up and buffer claiming.
+func BenchmarkSlideWindowSteady(b *testing.B) {
+	src := randx.New(89)
+	const window, slide = 1000, 50
+	X, y := multiData(src, window, 30)
+	m, err := New(DefaultOptions())
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := m.Fit(X, y); err != nil {
+		b.Fatal(err)
+	}
+	fresh, fy := multiData(src, slide, 30)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := m.SlideWindow(fresh, fy, slide); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+var _ = ml.UpdateInfo{} // keep the import when build tags strip tests

@@ -72,6 +72,25 @@ type IncrementalRegressor interface {
 	Update(Xnew [][]float64, ynew []float64) error
 }
 
+// WindowedRegressor extends the incremental contract with bounded
+// memory: the fit can also *evict* its oldest training rows, so a
+// long-lived deployment retrains on a sliding window instead of an
+// ever-growing history (core.Pipeline enforces this under a
+// WindowPolicy). UpdateWindow must converge to the same solution a
+// from-scratch Fit on the surviving window (old rows after the evicted
+// prefix, then the new rows) would reach, modulo any preprocessing
+// statistics the model documents as frozen.
+//
+// evictX/evictY are the evicted rows in history order. Learners that
+// summarize the history instead of retaining it (lasso's covariance
+// state) need them to subtract contributions; learners that retain
+// their training set may use only the count. Implementations must not
+// retain references into any argument after returning.
+type WindowedRegressor interface {
+	IncrementalRegressor
+	UpdateWindow(Xnew [][]float64, ynew []float64, evictX [][]float64, evictY []float64) error
+}
+
 // UpdateInfo describes what the latest Update call actually did, for
 // surfacing in pipeline reports: whether the model extended its fit
 // incrementally or fell back to a full refit, and — for models that
@@ -89,6 +108,9 @@ type UpdateInfo struct {
 	// DriftRefit is true when DriftScore exceeded the configured
 	// threshold and the model refit from scratch with fresh statistics.
 	DriftRefit bool
+	// Evicted counts the oldest training rows a sliding-window update
+	// removed from the fit (0 for plain appends).
+	Evicted int
 }
 
 // UpdateReporter is implemented by incremental regressors that report

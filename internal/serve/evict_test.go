@@ -1,0 +1,276 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/trace"
+)
+
+// TestSessionTTLEviction covers the idle-TTL sweep end to end: idle
+// sessions are evicted with their Latest() snapshot delivered exactly
+// once, active sessions survive, queued windows of evicted sessions
+// are still predicted, and the counters add up.
+func TestSessionTTLEviction(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+
+	var mu sync.Mutex
+	evicted := map[string]EvictedSession{}
+	svc, err := New(ctx,
+		WithDeployment(&Deployment{Model: &stubModel{base: 1}, Name: "v1", Aggregation: rawAgg()}),
+		WithSessionTTL(50*time.Millisecond),
+		WithSessionEvictFunc(func(ev EvictedSession) {
+			mu.Lock()
+			if _, dup := evicted[ev.ID]; dup {
+				t.Errorf("session %s evicted twice", ev.ID)
+			}
+			evicted[ev.ID] = ev
+			mu.Unlock()
+		}),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svc.Close()
+
+	// An idle session with one delivered estimate.
+	idle, err := svc.StartSession("idle")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := idle.Push(dp(0, 3)); err != nil {
+		t.Fatal(err)
+	}
+	if err := idle.Push(dp(10, 3)); err != nil { // completes the 10s window
+		t.Fatal(err)
+	}
+	waitFor(t, func() bool { _, ok := idle.Latest(); return ok })
+
+	// A busy session that keeps touching its activity stamp.
+	busy, err := svc.StartSession("busy")
+	if err != nil {
+		t.Fatal(err)
+	}
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		tg := 0.0
+		for {
+			select {
+			case <-stop:
+				return
+			case <-time.After(5 * time.Millisecond):
+				tg++
+				_ = busy.Push(dp(tg, 1))
+			}
+		}
+	}()
+
+	// Wait for the idle session to be evicted.
+	waitFor(t, func() bool { return svc.Stats().EvictedSessions >= 1 })
+	close(stop)
+	wg.Wait()
+
+	mu.Lock()
+	ev, ok := evicted["idle"]
+	mu.Unlock()
+	if !ok {
+		t.Fatal("idle session not delivered to the evict hook")
+	}
+	if !ev.HasEstimate || ev.Estimates != 1 {
+		t.Fatalf("evicted snapshot %+v", ev)
+	}
+	if ev.Last.RTTF != 1+3 { // stub base 1 + num_threads 3
+		t.Fatalf("evicted snapshot RTTF %v", ev.Last.RTTF)
+	}
+	if _, stillThere := svc.Session("idle"); stillThere {
+		t.Fatal("evicted session still registered")
+	}
+	if _, gone := svc.Session("busy"); !gone {
+		t.Fatal("busy session was evicted despite activity")
+	}
+	if err := idle.Push(dp(100, 1)); !errors.Is(err, ErrSessionClosed) {
+		t.Fatalf("push into evicted session: %v", err)
+	}
+	// A client with the same id can come back as a fresh session.
+	if _, err := svc.StartSession("idle"); err != nil {
+		t.Fatalf("re-register after eviction: %v", err)
+	}
+	st := svc.Stats()
+	if st.Predictions == 0 || st.LastBatchSize == 0 || st.LastBatchLatency <= 0 {
+		t.Fatalf("stats not populated: %+v", st)
+	}
+}
+
+// TestSessionEvictionRace is the race gate for eviction vs in-flight
+// prediction: many sessions push windows while an aggressive TTL
+// sweeps them out. Every completed window must be predicted exactly
+// once (no drops, no duplicates), the session count must stay bounded,
+// and evict-hook deliveries must match the eviction counter. Run with
+// -race.
+func TestSessionEvictionRace(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+
+	const clients = 60
+	const windows = 5
+	var estimates atomic.Uint64
+	var hookCalls atomic.Uint64
+	perSession := make([]atomic.Uint64, clients)
+	svc, err := New(ctx,
+		WithDeployment(&Deployment{Model: &stubModel{base: 1}, Name: "v1", Aggregation: rawAgg()}),
+		WithSessionTTL(2*time.Millisecond), // aggressive: sweeps race live pushes
+		WithSessionEvictFunc(func(EvictedSession) { hookCalls.Add(1) }),
+		WithEstimateFunc(func(e Estimate) {
+			estimates.Add(1)
+			var idx int
+			fmt.Sscanf(e.SessionID, "c-%d", &idx)
+			perSession[idx].Add(1)
+		}),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svc.Close()
+
+	var wg sync.WaitGroup
+	var pushed atomic.Uint64
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			id := fmt.Sprintf("c-%d", c)
+			// Each client completes `windows` aggregation windows,
+			// re-registering whenever the sweep evicted it. A window
+			// only counts as pushed when its completing datapoint was
+			// accepted — exact accounting needs exact production
+			// numbers.
+			done := 0
+			tg := 0.0
+			for done < windows {
+				ss, err := svc.StartSession(id)
+				if errors.Is(err, ErrDuplicateSession) {
+					var ok bool
+					if ss, ok = svc.Session(id); !ok {
+						continue
+					}
+				} else if err != nil {
+					t.Errorf("client %d: %v", c, err)
+					return
+				}
+				// Feed one full window: a point inside, then the
+				// boundary point that completes it.
+				if ss.Push(dp(tg, float64(c))) != nil {
+					continue // evicted mid-window: start over
+				}
+				tg += 10
+				if ss.Push(dp(tg, float64(c))) != nil {
+					continue
+				}
+				pushed.Add(1)
+				done++
+				if done%2 == 0 {
+					time.Sleep(3 * time.Millisecond) // let the sweep catch some
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+
+	// Every accepted window must be predicted exactly once.
+	waitFor(t, func() bool { return estimates.Load() >= pushed.Load() })
+	time.Sleep(20 * time.Millisecond) // would catch duplicates arriving late
+	if got, want := estimates.Load(), pushed.Load(); got != want {
+		t.Fatalf("%d estimates for %d accepted windows", got, want)
+	}
+	st := svc.Stats()
+	if st.EvictedSessions != hookCalls.Load() {
+		t.Fatalf("evicted counter %d vs %d hook deliveries", st.EvictedSessions, hookCalls.Load())
+	}
+	if st.EvictedSessions == 0 {
+		t.Fatal("aggressive TTL evicted nothing — the race went unexercised")
+	}
+	if st.Sessions > clients {
+		t.Fatalf("%d sessions for %d clients", st.Sessions, clients)
+	}
+	if st.QueueDepth != 0 {
+		t.Fatalf("queue depth %d after drain", st.QueueDepth)
+	}
+}
+
+// TestAutoRefresh covers WithRefreshInterval: the service hot-swaps
+// models from its source on the ticker without any Refresh call, a
+// failing source keeps the current model serving, and the refresh
+// counter tracks successful swaps.
+func TestAutoRefresh(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+
+	var pulls atomic.Uint64
+	var failing atomic.Bool
+	src := ModelSourceFunc(func(ctx context.Context) (*Deployment, error) {
+		n := pulls.Add(1)
+		if failing.Load() {
+			return nil, errors.New("registry down")
+		}
+		return &Deployment{Model: &stubModel{base: float64(n)}, Name: fmt.Sprintf("v%d", n), Aggregation: rawAgg()}, nil
+	})
+	svc, err := New(ctx,
+		WithModelSource(src),
+		WithRefreshInterval(5*time.Millisecond),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svc.Close()
+
+	if svc.ModelVersion() != 1 {
+		t.Fatalf("initial version %d", svc.ModelVersion())
+	}
+	waitFor(t, func() bool { return svc.ModelVersion() >= 3 })
+	if svc.Stats().Refreshes < 2 {
+		t.Fatalf("refresh counter %d", svc.Stats().Refreshes)
+	}
+	// A broken source must not disturb the served model.
+	failing.Store(true)
+	ver := svc.ModelVersion()
+	time.Sleep(25 * time.Millisecond)
+	if svc.ModelVersion() != ver {
+		t.Fatalf("version moved to %d while the source was failing", svc.ModelVersion())
+	}
+	failing.Store(false)
+	waitFor(t, func() bool { return svc.ModelVersion() > ver })
+}
+
+// TestRefreshIntervalRequiresSource pins the option contract.
+func TestRefreshIntervalRequiresSource(t *testing.T) {
+	_, err := New(context.Background(),
+		WithDeployment(&Deployment{Model: &stubModel{}, Name: "v1", Aggregation: rawAgg()}),
+		WithRefreshInterval(time.Second),
+	)
+	if err == nil {
+		t.Fatal("WithRefreshInterval without a source accepted")
+	}
+}
+
+// waitFor polls cond until it holds or the deadline passes.
+func waitFor(t *testing.T, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatal("condition not reached in time")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+var _ = trace.Datapoint{}

@@ -66,13 +66,18 @@ type modelVersion struct {
 	dep     Deployment
 	version uint64
 	proj    []int // full-layout column indices, nil = identity
+	// origin is the *Deployment this entry was built from: Refresh
+	// skips the redeploy when the ModelSource hands back the same
+	// pointer, so an auto-refresh ticker over an unchanged model does
+	// not burn registry versions.
+	origin *Deployment
 }
 
 // newModelVersion resolves the deployment's feature names against the
 // service's column layout; the caller assigns the version once the
 // entry is known good.
 func newModelVersion(dep *Deployment, colIdx map[string]int) (*modelVersion, error) {
-	mv := &modelVersion{dep: *dep}
+	mv := &modelVersion{dep: *dep, origin: dep}
 	if len(dep.Features) > 0 {
 		mv.proj = make([]int, len(dep.Features))
 		for i, name := range dep.Features {

@@ -106,17 +106,39 @@ type ModelSourceFunc func(ctx context.Context) (*Deployment, error)
 // Deployment implements ModelSource.
 func (f ModelSourceFunc) Deployment(ctx context.Context) (*Deployment, error) { return f(ctx) }
 
+// EvictedSession is the final snapshot of a session the idle-TTL sweep
+// removed: its id, its last estimate (if it ever received one), and
+// how many estimates it consumed — everything a spill-to-disk or
+// audit hook needs, returned exactly once per eviction.
+type EvictedSession struct {
+	// ID names the monitored client the session belonged to.
+	ID string
+	// Last is the most recent estimate delivered to the session; only
+	// meaningful when HasEstimate is true.
+	Last Estimate
+	// HasEstimate reports whether the session ever received an estimate.
+	HasEstimate bool
+	// Estimates counts the estimates the session received in total.
+	Estimates uint64
+}
+
+// EvictFunc consumes evicted-session snapshots.
+type EvictFunc func(EvictedSession)
+
 // Option configures a Service.
 type Option func(*config)
 
 type config struct {
-	dep           *Deployment
-	source        ModelSource
-	estimateFunc  EstimateFunc
-	alertFunc     AlertFunc
-	alertBelow    float64
-	maxSessions   int
-	batchInterval time.Duration
+	dep             *Deployment
+	source          ModelSource
+	estimateFunc    EstimateFunc
+	alertFunc       AlertFunc
+	alertBelow      float64
+	maxSessions     int
+	batchInterval   time.Duration
+	sessionTTL      time.Duration
+	evictFunc       EvictFunc
+	refreshInterval time.Duration
 }
 
 // WithDeployment sets the initial model.
@@ -160,6 +182,41 @@ func WithBatchInterval(d time.Duration) Option {
 	return func(c *config) { c.batchInterval = d }
 }
 
+// WithSessionTTL bounds session memory for million-client deployments:
+// a background sweep evicts sessions that saw no activity (pushes,
+// flushes, or estimate deliveries) for longer than ttl. Evicted
+// sessions behave like closed ones — windows already queued are still
+// predicted and counted, further pushes fail with ErrSessionClosed,
+// and a client that reconnects through the FMS stream simply gets a
+// fresh session. Pick a ttl comfortably above the monitoring sampling
+// interval, or live sessions churn. 0 (the default) disables eviction.
+func WithSessionTTL(ttl time.Duration) Option {
+	return func(c *config) { c.sessionTTL = ttl }
+}
+
+// WithSessionEvictFunc registers a consumer for evicted-session
+// snapshots (WithSessionTTL): each eviction delivers the session's id
+// and Latest() estimate exactly once, from the sweep goroutine — the
+// hook for spilling long-idle client state to disk.
+func WithSessionEvictFunc(fn EvictFunc) Option {
+	return func(c *config) { c.evictFunc = fn }
+}
+
+// WithRefreshInterval makes the service pull a fresh deployment from
+// its ModelSource every d and hot-swap it in — the paper's "further
+// runs produce new models" loop without the caller ever invoking
+// Refresh. Pull errors leave the current model serving and the next
+// tick retries. Requires WithModelSource; 0 (the default) disables the
+// ticker.
+//
+// Unchanged models are detected by pointer identity: a source should
+// cache its *Deployment and hand the same pointer back until a new
+// model exists (see Refresh), or every tick burns a registry version
+// re-deploying an identical model.
+func WithRefreshInterval(d time.Duration) Option {
+	return func(c *config) { c.refreshInterval = d }
+}
+
 // pendingRow is one completed window awaiting its prediction batch.
 type pendingRow struct {
 	sess *Session
@@ -170,7 +227,11 @@ type pendingRow struct {
 	endRun bool
 }
 
-// Stats is a snapshot of service counters.
+// Stats is a snapshot of service counters — the backpressure and
+// lifecycle observability surface: queue depth says how far the
+// dispatcher is behind, last-batch latency/size say what each
+// dispatch costs, and the eviction/refresh counters expose the
+// background loops.
 type Stats struct {
 	// Sessions is the number of currently active sessions.
 	Sessions int
@@ -180,6 +241,20 @@ type Stats struct {
 	Alerts uint64
 	// ModelVersion is the currently served registry version.
 	ModelVersion uint64
+	// QueueDepth is the number of completed windows waiting for the
+	// next prediction batch. Persistent growth means the service is
+	// past its sustainable load (the queue is unbounded by design —
+	// zero-drop — so depth is the backpressure signal).
+	QueueDepth int
+	// EvictedSessions counts idle-TTL session evictions since New.
+	EvictedSessions uint64
+	// Refreshes counts successful ModelSource hot-swaps since New
+	// (both auto-refresh ticks and explicit Refresh calls).
+	Refreshes uint64
+	// LastBatchLatency is the wall time of the most recent prediction
+	// batch, and LastBatchSize its window count.
+	LastBatchLatency time.Duration
+	LastBatchSize    int
 }
 
 // Service is the prediction service: a versioned model registry, the
@@ -200,17 +275,25 @@ type Service struct {
 	nextVer  atomic.Uint64
 	deployMu sync.Mutex // serializes Deploy (version allocation + store)
 
-	mu       sync.Mutex // guards sessions, pending, closed
+	mu       sync.Mutex // guards sessions, pending, inflight, closed
 	sessions map[string]*Session
 	pending  []pendingRow
+	// inflight holds the sessions of the batch currently being
+	// predicted: the idle sweep must not evict them — their estimates
+	// have not been delivered, so their snapshots would not be final.
+	inflight map[*Session]bool
 	closed   bool
 
 	kick       chan struct{} // wakes the dispatcher, capacity 1
 	dispatchMu sync.Mutex    // serializes batch processing (dispatcher, Flush)
 	wg         sync.WaitGroup
 
-	predictions atomic.Uint64
-	alerts      atomic.Uint64
+	predictions   atomic.Uint64
+	alerts        atomic.Uint64
+	evicted       atomic.Uint64
+	refreshes     atomic.Uint64
+	lastBatchNs   atomic.Int64
+	lastBatchSize atomic.Int64
 }
 
 // New builds and starts a prediction service. The initial model comes
@@ -245,6 +328,7 @@ func New(ctx context.Context, opts ...Option) (*Service, error) {
 		names:    names,
 		colIdx:   make(map[string]int, len(names)),
 		sessions: make(map[string]*Session),
+		inflight: make(map[*Session]bool),
 		kick:     make(chan struct{}, 1),
 	}
 	for i, n := range names {
@@ -256,10 +340,112 @@ func New(ctx context.Context, opts ...Option) (*Service, error) {
 	}
 	mv.version = s.nextVer.Add(1)
 	s.cur.Store(mv)
+	if cfg.refreshInterval > 0 && cfg.source == nil {
+		return nil, fmt.Errorf("serve: WithRefreshInterval requires a ModelSource")
+	}
 	s.ctx, s.cancel = context.WithCancel(ctx)
 	s.wg.Add(1)
 	go s.dispatcher()
+	if cfg.sessionTTL > 0 {
+		s.wg.Add(1)
+		go s.sweeper()
+	}
+	if cfg.refreshInterval > 0 {
+		s.wg.Add(1)
+		go s.refresher()
+	}
 	return s, nil
+}
+
+// sweeper is the idle-TTL eviction loop: every quarter TTL it removes
+// sessions whose last activity is older than the TTL. Sessions with
+// windows still awaiting prediction are spared until those estimates
+// are delivered, so eviction never drops completed work and the evict
+// hook's snapshot is truly final.
+func (s *Service) sweeper() {
+	defer s.wg.Done()
+	interval := s.cfg.sessionTTL / 4
+	if interval < time.Millisecond {
+		interval = time.Millisecond
+	}
+	if interval > time.Minute {
+		interval = time.Minute
+	}
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-s.ctx.Done():
+			return
+		case <-t.C:
+			s.sweepIdle(time.Now())
+		}
+	}
+}
+
+// sweepIdle evicts every session idle since before now−TTL: the
+// session is closed and detached under the service lock, then its
+// final snapshot goes to the evict hook. A session racing the sweep
+// with a concurrent Push either touches its activity stamp in time to
+// survive, or pushes into a closed session and gets ErrSessionClosed —
+// its already-queued windows are predicted either way, so the event
+// accounting stays exact.
+func (s *Service) sweepIdle(now time.Time) {
+	cutoff := now.Add(-s.cfg.sessionTTL).UnixNano()
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	// Sessions with windows still awaiting delivery — queued, or in
+	// the batch a Flush is predicting right now — are spared this
+	// round: the evict hook's snapshot must be final. The delivery
+	// itself touches the activity stamp, so such a session is
+	// reconsidered one idle TTL after its last estimate, not dropped
+	// forever.
+	queued := make(map[*Session]bool, len(s.pending))
+	for i := range s.pending {
+		queued[s.pending[i].sess] = true
+	}
+	var victims []*Session
+	for id, ss := range s.sessions {
+		if ss.lastActive.Load() < cutoff && !queued[ss] && !s.inflight[ss] {
+			victims = append(victims, ss)
+			delete(s.sessions, id)
+			// Close under the service lock: a racing Push has either
+			// already enqueued (visible in pending above, so the
+			// session was spared) or will observe the closed flag —
+			// nothing slips a window in after the final snapshot.
+			// Safe: no caller holds a session lock while acquiring
+			// s.mu.
+			ss.markClosed()
+		}
+	}
+	s.mu.Unlock()
+	for _, ss := range victims {
+		s.evicted.Add(1)
+		if fn := s.cfg.evictFunc; fn != nil {
+			last, ok := ss.Latest()
+			fn(EvictedSession{ID: ss.id, Last: last, HasEstimate: ok, Estimates: ss.Count()})
+		}
+	}
+}
+
+// refresher is the auto-refresh loop behind WithRefreshInterval: each
+// tick pulls a deployment from the ModelSource and hot-swaps it; a
+// failed pull keeps the current model and the next tick retries.
+func (s *Service) refresher() {
+	defer s.wg.Done()
+	t := time.NewTicker(s.cfg.refreshInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-s.ctx.Done():
+			return
+		case <-t.C:
+			_, _ = s.Refresh(s.ctx)
+		}
+	}
 }
 
 // ColNames returns the full aggregated column layout sessions emit.
@@ -298,7 +484,10 @@ func (s *Service) Deploy(dep *Deployment) (uint64, error) {
 }
 
 // Refresh pulls a fresh deployment from the configured ModelSource and
-// hot-swaps it in, returning the new registry version.
+// hot-swaps it in, returning the new registry version. A source that
+// hands back the same *Deployment it served last time is a no-op: the
+// current version keeps serving and no registry version is burned, so
+// an auto-refresh ticker over an unchanged model stays quiet.
 func (s *Service) Refresh(ctx context.Context) (uint64, error) {
 	if s.cfg.source == nil {
 		return 0, fmt.Errorf("serve: Refresh without a ModelSource")
@@ -307,7 +496,14 @@ func (s *Service) Refresh(ctx context.Context) (uint64, error) {
 	if err != nil {
 		return 0, fmt.Errorf("serve: pulling model: %w", err)
 	}
-	return s.Deploy(dep)
+	if cur := s.cur.Load(); cur.origin == dep {
+		return cur.version, nil
+	}
+	ver, err := s.Deploy(dep)
+	if err == nil {
+		s.refreshes.Add(1)
+	}
+	return ver, err
 }
 
 // StartSession registers a new monitored client and returns its
@@ -355,12 +551,18 @@ func (s *Service) Sessions() []string {
 func (s *Service) Stats() Stats {
 	s.mu.Lock()
 	n := len(s.sessions)
+	depth := len(s.pending)
 	s.mu.Unlock()
 	return Stats{
-		Sessions:     n,
-		Predictions:  s.predictions.Load(),
-		Alerts:       s.alerts.Load(),
-		ModelVersion: s.cur.Load().version,
+		Sessions:         n,
+		Predictions:      s.predictions.Load(),
+		Alerts:           s.alerts.Load(),
+		ModelVersion:     s.cur.Load().version,
+		QueueDepth:       depth,
+		EvictedSessions:  s.evicted.Load(),
+		Refreshes:        s.refreshes.Load(),
+		LastBatchLatency: time.Duration(s.lastBatchNs.Load()),
+		LastBatchSize:    int(s.lastBatchSize.Load()),
 	}
 }
 
@@ -390,11 +592,23 @@ func (s *Service) HandleFail(clientID string, tgen float64) {
 var _ monitor.StreamHandler = (*Service)(nil)
 
 // enqueue queues one completed window for the next prediction batch.
+// The session's closed flag is re-checked under the service lock: a
+// push that raced the idle sweep past its own closed-check must not
+// slip a window in after the sweep delivered the session's final
+// snapshot. (Lock order s.mu→ss.mu matches the sweep; no caller holds
+// a session lock while acquiring s.mu.)
 func (s *Service) enqueue(ss *Session, tgen float64, row []float64, endRun bool) error {
 	s.mu.Lock()
 	if s.closed {
 		s.mu.Unlock()
 		return ErrServiceClosed
+	}
+	ss.mu.Lock()
+	dead := ss.closed
+	ss.mu.Unlock()
+	if dead {
+		s.mu.Unlock()
+		return ErrSessionClosed
 	}
 	s.pending = append(s.pending, pendingRow{sess: ss, tgen: tgen, row: row, endRun: endRun})
 	s.mu.Unlock()
@@ -460,10 +674,18 @@ func (s *Service) Flush() {
 		s.mu.Lock()
 		batch := s.pending
 		s.pending = nil
+		// Publish the batch's sessions as in flight for the idle sweep
+		// (cleared — or replaced by the next batch's — under the same
+		// lock the sweep takes).
+		clear(s.inflight)
+		for i := range batch {
+			s.inflight[batch[i].sess] = true
+		}
 		s.mu.Unlock()
 		if len(batch) == 0 {
 			return
 		}
+		start := time.Now()
 		// Snapshot the model AFTER taking the batch: a Deploy that
 		// returned before any of these rows were enqueued is
 		// necessarily visible here, so no row is ever predicted by a
@@ -487,6 +709,8 @@ func (s *Service) Flush() {
 				batch[i].sess.resetAlert()
 			}
 		}
+		s.lastBatchNs.Store(int64(time.Since(start)))
+		s.lastBatchSize.Store(int64(len(batch)))
 	}
 }
 

@@ -3,6 +3,8 @@ package serve
 import (
 	"math"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"repro/internal/aggregate"
 	"repro/internal/trace"
@@ -28,6 +30,11 @@ type Session struct {
 	id         string
 	onEstimate EstimateFunc
 
+	// lastActive is the UnixNano timestamp of the session's latest
+	// activity (push, flush, estimate delivery); the idle-TTL sweep
+	// evicts sessions whose stamp falls behind the TTL.
+	lastActive atomic.Int64
+
 	mu     sync.Mutex
 	la     *aggregate.LiveAggregator
 	closed bool
@@ -46,11 +53,15 @@ func newSession(s *Service, id string, opts ...SessionOption) (*Session, error) 
 		return nil, err
 	}
 	ss := &Session{svc: s, id: id, la: la}
+	ss.touch()
 	for _, o := range opts {
 		o(ss)
 	}
 	return ss, nil
 }
+
+// touch refreshes the idle-TTL activity stamp.
+func (ss *Session) touch() { ss.lastActive.Store(time.Now().UnixNano()) }
 
 // ID returns the session's client id.
 func (ss *Session) ID() string { return ss.id }
@@ -61,6 +72,7 @@ func (ss *Session) ID() string { return ss.id }
 // a restart of the monitored system, exactly like the training-side
 // aggregation.
 func (ss *Session) Push(d trace.Datapoint) error {
+	ss.touch()
 	ss.mu.Lock()
 	if ss.closed {
 		ss.mu.Unlock()
@@ -78,6 +90,7 @@ func (ss *Session) Push(d trace.Datapoint) error {
 // without resetting the aggregator — the "give me an estimate now" path
 // for windows still filling up.
 func (ss *Session) Flush() error {
+	ss.touch()
 	ss.mu.Lock()
 	if ss.closed {
 		ss.mu.Unlock()
@@ -99,6 +112,7 @@ func (ss *Session) Flush() error {
 // estimate re-fire an alert the run already raised, and would leak its
 // below-threshold state into the next run.
 func (ss *Session) EndRun() error {
+	ss.touch()
 	ss.mu.Lock()
 	if ss.closed {
 		ss.mu.Unlock()
@@ -130,6 +144,7 @@ func (ss *Session) resetAlert() {
 // just restarted (e.g. by a rejuvenation action) and the buffered
 // datapoints describe the old incarnation.
 func (ss *Session) Reset() {
+	ss.touch()
 	ss.mu.Lock()
 	ss.la.Reset()
 	ss.mu.Unlock()
@@ -154,6 +169,7 @@ func (ss *Session) Count() uint64 {
 // threshold downward (edge-triggered: the alert re-arms only after the
 // prediction recovers above the threshold or the run ends).
 func (ss *Session) record(est Estimate, threshold float64) (crossed bool) {
+	ss.touch()
 	ss.estMu.Lock()
 	defer ss.estMu.Unlock()
 	ss.last = est

@@ -170,6 +170,29 @@ func TestServingStress(t *testing.T) {
 		}
 	}
 
+	// Backpressure observability: after the drain the queue is empty,
+	// the batch telemetry reflects real work, and the lifecycle
+	// counters are exact (no evictions configured here — TTL is off).
+	st := svc.Stats()
+	if st.QueueDepth != 0 {
+		t.Fatalf("queue depth %d after drain", st.QueueDepth)
+	}
+	if st.Predictions != numClients*perClient {
+		t.Fatalf("stats predictions %d, want %d", st.Predictions, numClients*perClient)
+	}
+	if st.Sessions != numClients {
+		t.Fatalf("stats sessions %d, want %d", st.Sessions, numClients)
+	}
+	if st.LastBatchSize <= 0 || st.LastBatchLatency <= 0 {
+		t.Fatalf("batch telemetry missing: size %d latency %v", st.LastBatchSize, st.LastBatchLatency)
+	}
+	if st.EvictedSessions != 0 || st.Refreshes != 0 {
+		t.Fatalf("spurious lifecycle counters: %+v", st)
+	}
+	if st.ModelVersion != swapVer {
+		t.Fatalf("stats model version %d, want %d", st.ModelVersion, swapVer)
+	}
+
 	// Cancelling the service context stops sessions and the monitor
 	// server promptly.
 	cancel()

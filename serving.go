@@ -35,8 +35,12 @@ type (
 	ServeOption = serve.Option
 	// SessionOption configures one session.
 	SessionOption = serve.SessionOption
-	// ServeStats is a snapshot of service counters.
+	// ServeStats is a snapshot of service counters (queue depth, batch
+	// latency, session/eviction/refresh accounting).
 	ServeStats = serve.Stats
+	// EvictedSession is the final snapshot of a session removed by the
+	// idle-TTL sweep.
+	EvictedSession = serve.EvictedSession
 )
 
 // NewPredictionService builds and starts a prediction service; the
@@ -75,6 +79,23 @@ func WithMaxSessions(n int) ServeOption { return serve.WithMaxSessions(n) }
 // WithBatchInterval coalesces completed windows for up to d before each
 // prediction batch.
 func WithBatchInterval(d time.Duration) ServeOption { return serve.WithBatchInterval(d) }
+
+// WithSessionTTL evicts sessions idle longer than ttl via a background
+// sweep, bounding session memory for long-lived deployments (windows
+// already queued are still predicted; evicted clients re-register on
+// their next datapoint).
+func WithSessionTTL(ttl time.Duration) ServeOption { return serve.WithSessionTTL(ttl) }
+
+// WithSessionEvictFunc consumes each evicted session's final snapshot
+// (id, Latest estimate, estimate count) exactly once.
+func WithSessionEvictFunc(fn func(EvictedSession)) ServeOption {
+	return serve.WithSessionEvictFunc(fn)
+}
+
+// WithRefreshInterval pulls a fresh deployment from the ModelSource
+// every d and hot-swaps it in, so retrained models go live without the
+// caller invoking Refresh.
+func WithRefreshInterval(d time.Duration) ServeOption { return serve.WithRefreshInterval(d) }
 
 // OnEstimate registers a per-session estimate consumer.
 func OnEstimate(fn func(Estimate)) SessionOption { return serve.OnEstimate(fn) }
