@@ -55,4 +55,9 @@ var (
 	// ErrAggregationMismatch means a deployment was trained under a
 	// different windowing configuration than the service runs.
 	ErrAggregationMismatch = serve.ErrAggregationMismatch
+	// ErrWindowShed means a completed window was dropped by the load
+	// shedder (WithShedPolicy): the session's shard was past its queue
+	// depth threshold and the session's priority below the policy
+	// floor.
+	ErrWindowShed = serve.ErrWindowShed
 )

@@ -15,6 +15,14 @@
 // (WithSessionTTL), their last estimates surfacing through the evict
 // hook.
 //
+// The service itself runs the fleet-scale shape: the dispatch hot path
+// is sharded (WithServeShards — per-shard queues, dispatchers, and
+// session-map slices, so the idle sweep and slow batches never stall
+// the other shards), and a ShedPolicy bounds overload by dropping
+// windows of low-priority sessions first — the monitored client is
+// registered at the priority floor (WithSessionPriority), so its
+// windows are never shed.
+//
 // Run with:
 //
 //	go run ./examples/serving
@@ -88,8 +96,10 @@ func main() {
 	// Update both appends the new runs and evicts the oldest, so a
 	// deployment retraining forever holds a flat-sized history. The
 	// per-row split keeps both the train and validation sides populated
-	// inside such a small window (a whole-run split can strand the only
-	// validation run at the window's old edge, deferring eviction).
+	// inside such a small window; a whole-run split (SplitByRun) works
+	// too — when a slide strands every surviving run on one side, the
+	// pipeline re-draws the stranded runs' assignment (stable, seeded;
+	// Report.SplitRedrawn) instead of deferring the eviction.
 	cfg.Window = f2pm.WindowPolicy{MaxRuns: 4}
 	cfg.SplitMode = f2pm.SplitByRow
 	pipe, err := f2pm.NewPipeline(cfg)
@@ -120,6 +130,11 @@ func main() {
 			func(context.Context) (*f2pm.Deployment, error) { return latest.Load(), nil })),
 		f2pm.WithRefreshInterval(50*time.Millisecond),
 		f2pm.WithSessionTTL(1500*time.Millisecond),
+		// Fleet-scale dispatch: 4 shards (sessions hash across them;
+		// enqueue/predict/sweep contend per shard), shedding windows of
+		// below-floor sessions once a shard queues 10k windows.
+		f2pm.WithServeShards(4),
+		f2pm.WithShedPolicy(f2pm.ShedPolicy{MaxQueueDepth: 10_000, MinPriority: 1}),
 		f2pm.WithSessionEvictFunc(func(ev f2pm.EvictedSession) {
 			fmt.Printf("  evicted idle session %s after %d estimates (last RTTF %.0fs)\n",
 				ev.ID, ev.Estimates, ev.Last.RTTF)
@@ -141,6 +156,14 @@ func main() {
 		log.Fatal(err)
 	}
 	defer svc.Close()
+
+	// Register the monitored client at the priority floor before it
+	// connects: sessions auto-created by the FMS stream default to
+	// priority 0, which the shed policy above would drop first under
+	// overload.
+	if _, err := svc.StartSession("web-vm-1", f2pm.WithSessionPriority(1)); err != nil {
+		log.Fatal(err)
+	}
 
 	srv, err := f2pm.NewMonitorServer("127.0.0.1:0",
 		f2pm.WithMonitorStream(svc), f2pm.WithMonitorContext(ctx))
@@ -206,8 +229,8 @@ func main() {
 	waitFor(func() bool { return svc.Stats().EvictedSessions >= 1 })
 
 	st := svc.Stats()
-	fmt.Printf("served %d estimates (%d alerts), %d session(s) evicted, queue depth %d, final model v%d\n",
-		st.Predictions, st.Alerts, st.EvictedSessions, st.QueueDepth, st.ModelVersion)
+	fmt.Printf("served %d estimates (%d alerts) on %d shards, %d session(s) evicted, %d window(s) shed, queue depth %d, final model v%d\n",
+		st.Predictions, st.Alerts, st.Shards, st.EvictedSessions, st.ShedWindows, st.QueueDepth, st.ModelVersion)
 	svc.Close()
 }
 

@@ -100,6 +100,20 @@
 // subset and aggregation config, so a model file alone is enough to
 // serve correctly.
 //
+// The serving hot path is sharded for fleet-scale client counts
+// (WithServeShards, default GOMAXPROCS): sessions hash onto shards,
+// each with its own pending queue, dispatcher goroutine, and slice of
+// the session map, so enqueue, prediction, and the idle-TTL sweep
+// contend per shard instead of on one service lock — a sweep over 10⁵
+// sessions never stalls the other shards' predictions, and the
+// hot-swap freshness guarantee holds shard by shard. Under sustained
+// overload, WithShedPolicy turns unbounded queue growth into bounded,
+// priority-ordered loss: past a per-shard queue depth, completed
+// windows of sessions below the priority floor (WithSessionPriority)
+// are dropped with exact accounting (ErrWindowShed,
+// ServeStats.ShedWindows) while higher-priority sessions keep their
+// zero-drop guarantee.
+//
 // Long-running calls accept a context (RunContext, UpdateContext,
 // DialMonitorContext, WithMonitorContext, NewPredictionService);
 // cancellation stops sessions, the monitor server, and in-flight

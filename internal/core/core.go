@@ -248,6 +248,11 @@ type Report struct {
 	// retained sliding window covers (0 when the pipeline retains
 	// everything; see Config.Window).
 	WindowStart int
+	// SplitRedrawn reports that this Update resolved a starved window
+	// slide by re-drawing the surviving runs' train/validation
+	// assignment (the SplitByRun starvation valve): every model was
+	// refit from scratch on the re-drawn window this round.
+	SplitRedrawn bool
 	// Results holds one entry per (model × feature set), ordered by
 	// model roster then feature set.
 	Results []ModelResult

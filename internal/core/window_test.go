@@ -76,15 +76,20 @@ func TestPipelineWindowEviction(t *testing.T) {
 	}
 	before := p.st.rep.ByName("svm2", AllParams)
 	// Feed the remaining runs one at a time. Each round slides up to
-	// the policy cutoff — or less, when evicting that far would leave
-	// the train or validation side empty (the deferral valve, which a
-	// 3-run window hits whenever all survivors drew the same side).
+	// the policy cutoff; when evicting that far would strand every
+	// surviving run on one split side, the round re-draws the
+	// survivors' assignment (Report.SplitRedrawn — the starvation
+	// valve) and refits from scratch on the re-drawn window, so the
+	// in-place-slide assertions below only apply to redraw-free tails.
 	var rep *Report
-	prevStart, sawEvict := 0, false
+	prevStart, sawEvict, sawRedraw := 0, false, false
 	for cut := 4; cut <= len(failed); cut++ {
 		rep, err = p.Update(&trace.History{Runs: append([]trace.Run(nil), failed[:cut]...)})
 		if err != nil {
 			t.Fatal(err)
+		}
+		if rep.SplitRedrawn {
+			sawRedraw = true
 		}
 		if rep.WindowStart > cut-maxRuns || rep.WindowStart < prevStart {
 			t.Fatalf("cut %d: WindowStart %d (prev %d, policy cutoff %d)",
@@ -153,8 +158,10 @@ func TestPipelineWindowEviction(t *testing.T) {
 		}
 	}
 
-	// The LS-SVM slid in place: same object, windowed history, and the
-	// update info reports the eviction.
+	// The LS-SVM slid in place — same object, windowed history, update
+	// info reporting the eviction — unless a starved round re-drew the
+	// split (the re-draw moves runs between sides, so every model
+	// refits once; redraw_test.go pins that path's parity).
 	after := rep.ByName("svm2", AllParams)
 	if before == nil || after == nil {
 		t.Fatal("svm2 missing")
@@ -162,20 +169,23 @@ func TestPipelineWindowEviction(t *testing.T) {
 	if after.Err != nil {
 		t.Fatalf("svm2: %v", after.Err)
 	}
-	if before.Model != after.Model {
-		t.Fatal("svm2 was refit instead of slid in place")
+	if !sawRedraw {
+		if before.Model != after.Model {
+			t.Fatal("svm2 was refit instead of slid in place")
+		}
+		if !after.Update.Incremental {
+			t.Fatalf("svm2 update info %+v", after.Update)
+		}
 	}
-	if !after.Update.Incremental {
-		t.Fatalf("svm2 update info %+v", after.Update)
-	}
-	// Lasso slides through its covariance downdates.
+	// Lasso slides through its covariance downdates (on redraw-free
+	// rounds; the final round's flag says which case the tail hit).
 	for i := range rep.Results {
 		res := &rep.Results[i]
 		if res.Err != nil {
 			t.Fatalf("%s/%s: %v", res.Spec.Name, res.Features, res.Err)
 		}
 		if _, ok := res.Model.(*lasso.Model); ok && res.Features == AllParams {
-			if !res.Update.Incremental {
+			if !rep.SplitRedrawn && !res.Update.Incremental {
 				t.Fatalf("lasso did not slide: %+v", res.Update)
 			}
 		}

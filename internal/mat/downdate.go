@@ -37,12 +37,19 @@ const downdateCondTol = 1e-14
 
 // Downdate removes the leading k rows/columns from the factorization
 // in place: after a successful call the receiver factors the trailing
-// (n−k)×(n−k) block of the original matrix, stored at the top-left of
-// the same buffer (composing with Extend, repeated evict+append cycles
-// run inside the headroom NewCholeskyGrow reserved — no growth, no
-// copy of the history). It returns the diagonal shift the fallback
-// re-factorization added (0 on the rotation path and whenever the
-// surviving block is numerically positive definite).
+// (n−k)×(n−k) block of the original matrix (composing with Extend,
+// repeated evict+append cycles run inside the headroom NewCholeskyGrow
+// reserved — no growth, no copy of the history). It returns the
+// diagonal shift the fallback re-factorization added (0 on the
+// rotation path and whenever the surviving block is numerically
+// positive definite).
+//
+// The surviving triangle is NOT moved: the factor's origin offset
+// advances past the evicted rows, so the O(m²/2) up-left copy the
+// slide used to pay on every call is deferred to a single compaction
+// when a later Extend actually runs out of headroom (reserve). A
+// steady evict+append cycle therefore compacts once per
+// capacity-ful of evictions instead of once per slide.
 //
 // On error the factor state is lost (the sweep mutates in place);
 // callers that need rollback must rebuild from their retained data.
@@ -58,15 +65,15 @@ func (c *Cholesky) Downdate(k int, pool *Pool) (shift float64, err error) {
 	m := n - k
 	c.n = m
 	if m == 0 {
+		// Nothing survives; reset the origin so a later Extend sees the
+		// whole buffer.
+		c.origin = 0
 		return 0, nil
 	}
-	d := c.data
+	d := c.base()
 	// Save the evicted columns L21 as a contiguous m×kp panel, kp
 	// padded to a multiple of 4 with zero columns so the batched
-	// reflector kernels never need a scalar tail. Then shift the
-	// surviving L22 block up-left into its final position: rows move to
-	// strictly earlier offsets, so ascending order never overwrites an
-	// unread source.
+	// reflector kernels never need a scalar tail.
 	kp := (k + 3) &^ 3
 	panel := pool.GetVec(m * kp)
 	for i := 0; i < m; i++ {
@@ -74,9 +81,9 @@ func (c *Cholesky) Downdate(k int, pool *Pool) (shift float64, err error) {
 		copy(row, d[(k+i)*ld:(k+i)*ld+k])
 		clear(row[k:])
 	}
-	for i := 0; i < m; i++ {
-		copy(d[i*ld:i*ld+i+1], d[(k+i)*ld+k:(k+i)*ld+k+i+1])
-	}
+	// Advance the origin past the evicted rows: the surviving L22 block
+	// stays put and the absorb sweep runs on the origin-shifted view.
+	c.origin += k
 	shift, err = c.absorbPanel(panel, m, kp, pool)
 	pool.PutVec(panel)
 	return shift, err
@@ -104,7 +111,7 @@ func (c *Cholesky) absorbPanel(panel []float64, m, k int, pool *Pool) (float64, 
 	if 3*k > 2*m {
 		return c.refactorPanel(panel, m, k, pool)
 	}
-	ld, d := c.stride, c.data
+	ld, d := c.stride, c.base()
 	scratch := pool.GetVec(ddBlock*ddTile + ddBlock*ddBlock + 2*ddBlock + ddBlock*k)
 	z := scratch[:ddBlock*ddTile]
 	svv := scratch[ddBlock*ddTile : ddBlock*ddTile+ddBlock*ddBlock]
@@ -200,7 +207,7 @@ func (c *Cholesky) applyBlock(panel []float64, m, k, i0, b, start int, z, svv, v
 	if b == 0 || start >= m {
 		return
 	}
-	ld, d := c.stride, c.data
+	ld, d := c.stride, c.base()
 	// Cross terms v_jᵀv_u (u < j): the column parts live on distinct
 	// columns, so only the panel parts couple.
 	for j := 1; j < b; j++ {
@@ -260,7 +267,7 @@ func (c *Cholesky) applyBlock(panel []float64, m, k, i0, b, start int, z, svv, v
 // same escalating diagonal jitter as NewCholeskyJittered. Returns the
 // jitter that was needed.
 func (c *Cholesky) refactorPanel(panel []float64, m, k int, pool *Pool) (float64, error) {
-	ld, d := c.stride, c.data
+	ld, d := c.stride, c.base()
 	// Zero the junk above each row's diagonal so equal-length batched
 	// dots see the true (zero-padded) factor rows.
 	for i := 0; i < m; i++ {

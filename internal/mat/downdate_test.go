@@ -349,7 +349,7 @@ func BenchmarkDowndate50of1050(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		b.StopTimer()
 		copy(base.data, saved)
-		base.n = 1050
+		base.n, base.origin = 1050, 0
 		b.StartTimer()
 		if _, err := base.Downdate(50, pool); err != nil {
 			b.Fatal(err)
@@ -411,5 +411,92 @@ func TestCholDowndateMidSweepFallback(t *testing.T) {
 				}
 			}
 		}
+	})
+}
+
+// TestCholOffsetOrigin pins the deferred-compaction contract of the
+// factor's origin offset: Downdate advances the origin instead of
+// copying the surviving triangle up-left, solves and extends run
+// correctly on the shifted view, and the compaction back to origin 0
+// happens exactly when an Extend needs the reclaimed headroom — never
+// reallocating while the logical system still fits the buffer.
+func TestCholOffsetOrigin(t *testing.T) {
+	forEachKernelPath(t, func(t *testing.T) {
+		src := randx.New(57)
+		const d = 5
+		st := &slideState{ridge: 40}
+		newRow := func() []float64 {
+			r := make([]float64, d)
+			for j := range r {
+				r[j] = src.Uniform(-1, 1)
+			}
+			return r
+		}
+		for i := 0; i < 70; i++ {
+			st.rows = append(st.rows, newRow())
+		}
+		pool := &Pool{}
+		ch, err := NewCholeskyGrow(st.gram(0, 40), 60, pool)
+		if err != nil {
+			t.Fatal(err)
+		}
+		capDim := ch.Cap()
+		check := func(step string, lo, hi, wantOrigin int) {
+			t.Helper()
+			if ch.origin != wantOrigin {
+				t.Fatalf("%s: origin %d, want %d", step, ch.origin, wantOrigin)
+			}
+			if ch.Cap() != capDim {
+				t.Fatalf("%s: capacity moved %d -> %d", step, capDim, ch.Cap())
+			}
+			want, err := NewCholesky(st.gram(lo, hi))
+			if err != nil {
+				t.Fatalf("%s: reference: %v", step, err)
+			}
+			if diff := maxAbsDiff(ch.L(), want.L()); diff > 1e-8 {
+				t.Fatalf("%s: factor diff %g", step, diff)
+			}
+			b := make([]float64, hi-lo)
+			for i := range b {
+				b[i] = src.Uniform(-1, 1)
+			}
+			x1, err := ch.Solve(b)
+			if err != nil {
+				t.Fatalf("%s: solve: %v", step, err)
+			}
+			x2, _ := want.Solve(b)
+			for i := range x1 {
+				if diff := math.Abs(x1[i] - x2[i]); diff > 1e-8 {
+					t.Fatalf("%s: solve diff %g at %d", step, diff, i)
+				}
+			}
+		}
+
+		// Two evictions in a row: the origin accumulates, nothing is
+		// copied, the factor still matches the trailing window.
+		if _, err := ch.Downdate(6, pool); err != nil {
+			t.Fatal(err)
+		}
+		check("downdate 6", 6, 40, 6)
+		if _, err := ch.Downdate(4, pool); err != nil {
+			t.Fatal(err)
+		}
+		check("downdate 4 more", 10, 40, 10)
+
+		// An Extend that still fits past the origin leaves it alone.
+		a21, a22 := st.border(10, 40, 60)
+		if err := ch.Extend(a21, a22, pool); err != nil {
+			t.Fatal(err)
+		}
+		check("extend within headroom", 10, 60, 10)
+
+		// An Extend past the shifted headroom compacts (origin back to
+		// 0) instead of reallocating: the logical 60-row system exactly
+		// fills the original buffer.
+		a21, a22 = st.border(10, 60, 70)
+		if err := ch.Extend(a21, a22, pool); err != nil {
+			t.Fatal(err)
+		}
+		check("extend with compaction", 10, 70, 0)
 	})
 }

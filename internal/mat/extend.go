@@ -40,7 +40,7 @@ func (c *Cholesky) Extend(a21, a22 *Dense, pool *Pool) error {
 	nn := n + m
 	c.reserve(nn, pool)
 	ld := c.stride
-	d := c.data
+	d := c.base()
 
 	// Stage the border inside the factor storage: row n+i holds
 	// [A21_i | lower(A22)_i].
@@ -117,12 +117,19 @@ func (c *Cholesky) Truncate(n int) {
 	c.n = n
 }
 
-// reserve guarantees the factor buffer holds nn rows, reallocating
-// with headroom (and copying the valid lower triangle) when it does
-// not. Spare capacity means the common case — repeated small appends —
-// never copies.
+// reserve guarantees the factor buffer holds nn rows past the current
+// origin. The cheap outs come first: enough headroom already (the
+// common case — repeated small appends never copy), then reclaiming
+// the rows earlier Downdates abandoned in front of the origin
+// (compact: one triangle copy per capacity-ful of evictions). Only
+// when the buffer is genuinely too small does it reallocate with
+// growth headroom.
 func (c *Cholesky) reserve(nn int, pool *Pool) {
+	if c.origin+nn <= c.stride {
+		return
+	}
 	if nn <= c.stride {
+		c.compact()
 		return
 	}
 	newCap := c.stride * extendGrowth / 2
@@ -130,10 +137,12 @@ func (c *Cholesky) reserve(nn int, pool *Pool) {
 		newCap = nn
 	}
 	nd := pool.GetVec(newCap * newCap)
+	d := c.base()
 	for i := 0; i < c.n; i++ {
-		copy(nd[i*newCap:i*newCap+i+1], c.data[i*c.stride:i*c.stride+i+1])
+		copy(nd[i*newCap:i*newCap+i+1], d[i*c.stride:i*c.stride+i+1])
 	}
 	pool.PutVec(c.data)
 	c.data = nd
 	c.stride = newCap
+	c.origin = 0
 }

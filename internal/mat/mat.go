@@ -143,10 +143,40 @@ func Norm2(v []float64) float64 { return math.Sqrt(Dot(v, v)) }
 // that lets Extend (extend.go) grow the factorization in place when
 // new training rows arrive, without copying the existing triangle.
 // Only the lower triangle of the buffer is ever written or read.
+//
+// The factor's logical (0,0) sits at buffer position (origin, origin):
+// Downdate (downdate.go) evicts leading rows by just advancing the
+// origin — the surviving triangle stays where it is instead of being
+// copied up-left on every slide — and the deferred compaction back to
+// origin 0 runs only when Extend actually needs the headroom (see
+// compact), so steady-state evict+append cycles amortize the copy away.
 type Cholesky struct {
 	n      int       // factored dimension
 	stride int       // row stride of data (capacity dimension, >= n)
+	origin int       // row/col offset of the factor inside data (origin+n <= stride)
 	data   []float64 // stride*stride buffer, lower triangle valid
+}
+
+// base returns the origin-shifted view of the factor buffer: element
+// (i, j) of the logical factor lives at base()[i*stride+j]. All factor
+// algorithms index through it, so an origin advance is free for them.
+func (c *Cholesky) base() []float64 { return c.data[c.origin*(c.stride+1):] }
+
+// compact shifts the factor triangle back to origin 0, reclaiming the
+// rows/columns earlier Downdates abandoned in front of it. Rows move
+// to strictly smaller offsets, so ascending order never overwrites an
+// unread source. Called by reserve when an Extend needs the headroom —
+// the "periodic" in periodic compaction: one triangle copy per
+// capacity-ful of evictions instead of one per Downdate.
+func (c *Cholesky) compact() {
+	if c.origin == 0 {
+		return
+	}
+	ld, o := c.stride, c.origin
+	for i := 0; i < c.n; i++ {
+		copy(c.data[i*ld:i*ld+i+1], c.data[(o+i)*ld+o:(o+i)*ld+o+i+1])
+	}
+	c.origin = 0
 }
 
 // Size returns the dimension of the factored matrix.
@@ -162,8 +192,9 @@ func (c *Cholesky) Cap() int { return c.stride }
 // zero), mainly for tests and diagnostics.
 func (c *Cholesky) L() *Dense {
 	out := NewDense(c.n, c.n)
+	d := c.base()
 	for i := 0; i < c.n; i++ {
-		copy(out.data[i*c.n:i*c.n+i+1], c.data[i*c.stride:i*c.stride+i+1])
+		copy(out.data[i*c.n:i*c.n+i+1], d[i*c.stride:i*c.stride+i+1])
 	}
 	return out
 }
@@ -188,7 +219,7 @@ func (c *Cholesky) Solve(b []float64) ([]float64, error) {
 // triangular solves stay scalar.
 func (c *Cholesky) solveInto(dst, b, y []float64) {
 	n, ld := c.n, c.stride
-	d := c.data
+	d := c.base()
 	const blk = 64
 	// Forward substitution: L·y = b. After a block of y is final, its
 	// contribution is pushed onto all remaining rows in one batched
@@ -256,7 +287,7 @@ func (c *Cholesky) Solve2(b, b2 []float64) (x, x2 []float64, err error) {
 // costs far less than two independent ones.
 func (c *Cholesky) solve2Into(dst, dst2, b, b2, y []float64) {
 	n, ld := c.n, c.stride
-	d := c.data
+	d := c.base()
 	const blk = 64
 	ya, yb := y[:n], y[n:2*n]
 	copy(ya, b)

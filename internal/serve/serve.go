@@ -12,7 +12,7 @@
 //   - Deployment: a trained model plus the feature subset and
 //     aggregation config it was trained with (FromReport extracts it
 //     from a pipeline report; modelio persists it).
-//   - Service: the registry + dispatcher. Deploy atomically hot-swaps
+//   - Service: the registry + dispatchers. Deploy atomically hot-swaps
 //     the served model; rows already queued keep their ordering and
 //     every row enqueued after Deploy returns is predicted by the new
 //     model — never a stale one.
@@ -20,6 +20,18 @@
 //     LiveAggregator; completed windows are queued for the next
 //     prediction batch, so thousands of concurrent sessions amortize
 //     the kernel/tree evaluation hot path.
+//
+// The hot path is sharded for fleet-scale client counts: sessions hash
+// onto WithShards shards, each with its own pending queue, dispatcher
+// goroutine, and slice of the session map. Enqueue, prediction, and
+// the idle-TTL sweep only ever take one shard's lock, so a sweep over
+// 10⁵ sessions or a slow batch on one shard never stalls the others.
+// Per-shard batches still merge all of that shard's sessions into one
+// PredictBatch call over the same immutable registry snapshot, so the
+// post-Deploy freshness guarantee holds shard by shard. Under
+// sustained overload an optional ShedPolicy drops completed windows of
+// low-priority sessions (WithSessionPriority) instead of queuing them,
+// with exact shed accounting in Stats.
 //
 // A Service plugs directly into the FMS via monitor.WithStream, closing
 // the loop monitor → aggregate → predict → act in one process.
@@ -29,6 +41,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"runtime"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -61,6 +74,12 @@ var (
 	// ErrAggregationMismatch means a deployment was trained under a
 	// different windowing configuration than the service runs.
 	ErrAggregationMismatch = errors.New("serve: deployment aggregation config differs from service")
+	// ErrWindowShed is returned by Push/Flush/EndRun when the completed
+	// window was dropped by the ShedPolicy: the session's shard is past
+	// its queue-depth threshold and the session's priority is below the
+	// policy's floor. The window is counted in Stats.ShedWindows and
+	// will never be predicted.
+	ErrWindowShed = errors.New("serve: window shed under overload")
 )
 
 // Estimate is one RTTF prediction for one session.
@@ -125,6 +144,26 @@ type EvictedSession struct {
 // EvictFunc consumes evicted-session snapshots.
 type EvictFunc func(EvictedSession)
 
+// ShedPolicy is the load-shedding configuration: past a per-shard
+// queue depth, completed windows of sessions below the priority floor
+// are dropped instead of queued. Queue growth is the service's
+// backpressure signal (Stats.QueueDepth); the policy turns sustained
+// growth into bounded, priority-ordered loss instead of unbounded
+// latency for everyone. The zero value never sheds.
+type ShedPolicy struct {
+	// MaxQueueDepth is the per-shard pending-window depth at which
+	// shedding starts (0 disables shedding entirely). Depth is checked
+	// at enqueue time under the shard lock, so the accounting is exact:
+	// every completed window is either predicted exactly once or
+	// counted in Stats.ShedWindows exactly once.
+	MaxQueueDepth int
+	// MinPriority is the priority floor: sessions whose priority
+	// (WithSessionPriority, default 0) is below it are shed first —
+	// i.e. their windows are dropped while the shard is over
+	// MaxQueueDepth. Sessions at or above the floor are never shed.
+	MinPriority int
+}
+
 // Option configures a Service.
 type Option func(*config)
 
@@ -139,6 +178,8 @@ type config struct {
 	sessionTTL      time.Duration
 	evictFunc       EvictFunc
 	refreshInterval time.Duration
+	shards          int
+	shed            ShedPolicy
 }
 
 // WithDeployment sets the initial model.
@@ -155,8 +196,10 @@ func WithModelSource(src ModelSource) Option {
 }
 
 // WithEstimateFunc registers a service-wide estimate consumer, invoked
-// from the dispatch goroutine in per-session order. It must be fast and
-// must not call back into Flush or Close.
+// from the dispatch goroutines in per-session order. It must be fast
+// and must not call back into Flush or Close. With more than one shard
+// it may be invoked concurrently for sessions of different shards, so
+// it must be safe for concurrent use.
 func WithEstimateFunc(fn EstimateFunc) Option {
 	return func(c *config) { c.estimateFunc = fn }
 }
@@ -164,6 +207,7 @@ func WithEstimateFunc(fn EstimateFunc) Option {
 // WithAlertFunc raises an alert whenever a session's predicted RTTF
 // crosses below threshold seconds (edge-triggered: one alert per
 // crossing, re-armed when the prediction recovers or the run ends).
+// Like WithEstimateFunc it may be invoked concurrently across shards.
 func WithAlertFunc(threshold float64, fn AlertFunc) Option {
 	return func(c *config) { c.alertBelow, c.alertFunc = threshold, fn }
 }
@@ -174,8 +218,8 @@ func WithMaxSessions(n int) Option {
 	return func(c *config) { c.maxSessions = n }
 }
 
-// WithBatchInterval makes the dispatcher coalesce completed windows for
-// up to d before predicting, trading latency for bigger prediction
+// WithBatchInterval makes each dispatcher coalesce completed windows
+// for up to d before predicting, trading latency for bigger prediction
 // batches across sessions. 0 (the default) dispatches as soon as the
 // dispatcher is free.
 func WithBatchInterval(d time.Duration) Option {
@@ -188,8 +232,10 @@ func WithBatchInterval(d time.Duration) Option {
 // sessions behave like closed ones — windows already queued are still
 // predicted and counted, further pushes fail with ErrSessionClosed,
 // and a client that reconnects through the FMS stream simply gets a
-// fresh session. Pick a ttl comfortably above the monitoring sampling
-// interval, or live sessions churn. 0 (the default) disables eviction.
+// fresh session. The sweep walks one shard at a time, so it never
+// stalls the enqueue/predict hot path of the other shards. Pick a ttl
+// comfortably above the monitoring sampling interval, or live sessions
+// churn. 0 (the default) disables eviction.
 func WithSessionTTL(ttl time.Duration) Option {
 	return func(c *config) { c.sessionTTL = ttl }
 }
@@ -217,6 +263,25 @@ func WithRefreshInterval(d time.Duration) Option {
 	return func(c *config) { c.refreshInterval = d }
 }
 
+// WithShards sets how many shards (and dispatcher goroutines) the
+// service runs. Sessions hash onto shards by id; each shard owns a
+// slice of the session map, its own pending queue, and one dispatcher,
+// so enqueue, prediction, and the idle sweep contend per shard instead
+// of on one service lock. 0 (the default) uses GOMAXPROCS. One shard
+// reproduces the single-dispatcher behavior exactly.
+func WithShards(n int) Option {
+	return func(c *config) { c.shards = n }
+}
+
+// WithShedPolicy enables priority-based load shedding under sustained
+// overload: when a shard's pending queue is past the policy's depth
+// threshold, completed windows of sessions below the priority floor
+// are dropped (Push returns ErrWindowShed) instead of queued, and
+// counted exactly in Stats.ShedWindows. The zero policy never sheds.
+func WithShedPolicy(p ShedPolicy) Option {
+	return func(c *config) { c.shed = p }
+}
+
 // pendingRow is one completed window awaiting its prediction batch.
 type pendingRow struct {
 	sess *Session
@@ -229,39 +294,67 @@ type pendingRow struct {
 
 // Stats is a snapshot of service counters — the backpressure and
 // lifecycle observability surface: queue depth says how far the
-// dispatcher is behind, last-batch latency/size say what each
-// dispatch costs, and the eviction/refresh counters expose the
-// background loops.
+// dispatchers are behind, last-batch latency/size say what each
+// dispatch costs, and the eviction/refresh/shed counters expose the
+// background loops and the load shedder.
 type Stats struct {
 	// Sessions is the number of currently active sessions.
 	Sessions int
+	// Shards is the number of dispatch shards the service runs.
+	Shards int
 	// Predictions counts estimates emitted since New.
 	Predictions uint64
 	// Alerts counts threshold crossings since New.
 	Alerts uint64
 	// ModelVersion is the currently served registry version.
 	ModelVersion uint64
-	// QueueDepth is the number of completed windows waiting for the
-	// next prediction batch. Persistent growth means the service is
-	// past its sustainable load (the queue is unbounded by design —
-	// zero-drop — so depth is the backpressure signal).
+	// QueueDepth is the number of completed windows waiting for their
+	// next prediction batch, summed over all shards. The counter is
+	// maintained atomically under the shard locks, so a snapshot taken
+	// mid-sweep or mid-batch is never negative and never double-counts
+	// a window. Persistent growth means the service is past its
+	// sustainable load — the backpressure signal the ShedPolicy acts
+	// on.
 	QueueDepth int
+	// ShedWindows counts completed windows dropped by the ShedPolicy
+	// since New. Every completed window is either predicted exactly
+	// once or counted here exactly once — the two never overlap.
+	ShedWindows uint64
 	// EvictedSessions counts idle-TTL session evictions since New.
 	EvictedSessions uint64
 	// Refreshes counts successful ModelSource hot-swaps since New
 	// (both auto-refresh ticks and explicit Refresh calls).
 	Refreshes uint64
 	// LastBatchLatency is the wall time of the most recent prediction
-	// batch, and LastBatchSize its window count.
+	// batch (on any shard), and LastBatchSize its window count.
 	LastBatchLatency time.Duration
 	LastBatchSize    int
 }
 
+// shard is one slice of the serving hot path: a share of the session
+// map (by id hash), its own pending queue and in-flight set, and one
+// dispatcher goroutine draining it. All shard state is guarded by the
+// shard's own mutex, so the service never takes a global lock on the
+// enqueue/predict/sweep paths.
+type shard struct {
+	mu       sync.Mutex // guards sessions, pending, inflight, closed
+	sessions map[string]*Session
+	pending  []pendingRow
+	// inflight holds the sessions of the batch currently being
+	// predicted: the idle sweep must not evict them — their estimates
+	// have not been delivered, so their snapshots would not be final.
+	inflight map[*Session]bool
+	closed   bool
+
+	kick       chan struct{} // wakes the shard's dispatcher, capacity 1
+	dispatchMu sync.Mutex    // serializes this shard's batch processing
+}
+
 // Service is the prediction service: a versioned model registry, the
-// session set, and the batching dispatcher. All methods are safe for
-// concurrent use. The service stops — sessions refuse further pushes,
-// the dispatcher drains and exits — when the context given to New is
-// cancelled or Close is called.
+// sharded session set, and the batching dispatchers. All methods are
+// safe for concurrent use. The service stops — sessions refuse further
+// pushes, the dispatchers drain and exit — when the context given to
+// New is cancelled or Close is called.
 type Service struct {
 	cfg    config
 	agg    aggregate.Config
@@ -275,19 +368,20 @@ type Service struct {
 	nextVer  atomic.Uint64
 	deployMu sync.Mutex // serializes Deploy (version allocation + store)
 
-	mu       sync.Mutex // guards sessions, pending, inflight, closed
-	sessions map[string]*Session
-	pending  []pendingRow
-	// inflight holds the sessions of the batch currently being
-	// predicted: the idle sweep must not evict them — their estimates
-	// have not been delivered, so their snapshots would not be final.
-	inflight map[*Session]bool
-	closed   bool
+	shards []*shard
+	// closed flips before the per-shard closed flags: StartSession
+	// checks it so no session can appear on a shard the shutdown pass
+	// has not reached yet.
+	closed       atomic.Bool
+	shutdownOnce sync.Once
+	wg           sync.WaitGroup
 
-	kick       chan struct{} // wakes the dispatcher, capacity 1
-	dispatchMu sync.Mutex    // serializes batch processing (dispatcher, Flush)
-	wg         sync.WaitGroup
-
+	// sessionCount is the global active-session count: reserved before
+	// insert in StartSession so WithMaxSessions holds exactly across
+	// shards without a global lock.
+	sessionCount  atomic.Int64
+	queueDepth    atomic.Int64
+	shedWindows   atomic.Uint64
 	predictions   atomic.Uint64
 	alerts        atomic.Uint64
 	evicted       atomic.Uint64
@@ -303,6 +397,12 @@ func New(ctx context.Context, opts ...Option) (*Service, error) {
 	var cfg config
 	for _, o := range opts {
 		o(&cfg)
+	}
+	if cfg.shards < 0 {
+		return nil, fmt.Errorf("serve: WithShards(%d): shard count must be non-negative", cfg.shards)
+	}
+	if cfg.shed.MaxQueueDepth < 0 || cfg.shed.MinPriority < 0 {
+		return nil, fmt.Errorf("serve: ShedPolicy fields must be non-negative: %+v", cfg.shed)
 	}
 	dep := cfg.dep
 	if dep == nil && cfg.source != nil {
@@ -322,14 +422,23 @@ func New(ctx context.Context, opts ...Option) (*Service, error) {
 		return nil, err
 	}
 	names := la.ColNames()
+	nShards := cfg.shards
+	if nShards == 0 {
+		nShards = runtime.GOMAXPROCS(0)
+	}
 	s := &Service{
-		cfg:      cfg,
-		agg:      dep.Aggregation,
-		names:    names,
-		colIdx:   make(map[string]int, len(names)),
-		sessions: make(map[string]*Session),
-		inflight: make(map[*Session]bool),
-		kick:     make(chan struct{}, 1),
+		cfg:    cfg,
+		agg:    dep.Aggregation,
+		names:  names,
+		colIdx: make(map[string]int, len(names)),
+		shards: make([]*shard, nShards),
+	}
+	for i := range s.shards {
+		s.shards[i] = &shard{
+			sessions: make(map[string]*Session),
+			inflight: make(map[*Session]bool),
+			kick:     make(chan struct{}, 1),
+		}
 	}
 	for i, n := range names {
 		s.colIdx[n] = i
@@ -344,8 +453,10 @@ func New(ctx context.Context, opts ...Option) (*Service, error) {
 		return nil, fmt.Errorf("serve: WithRefreshInterval requires a ModelSource")
 	}
 	s.ctx, s.cancel = context.WithCancel(ctx)
-	s.wg.Add(1)
-	go s.dispatcher()
+	for _, sh := range s.shards {
+		s.wg.Add(1)
+		go s.dispatcher(sh)
+	}
 	if cfg.sessionTTL > 0 {
 		s.wg.Add(1)
 		go s.sweeper()
@@ -355,6 +466,20 @@ func New(ctx context.Context, opts ...Option) (*Service, error) {
 		go s.refresher()
 	}
 	return s, nil
+}
+
+// shardFor hashes a session id onto its shard (FNV-1a: cheap, stable,
+// and uniform enough that 10⁴ ids spread within a few percent).
+func (s *Service) shardFor(id string) *shard {
+	const (
+		offset32 = 2166136261
+		prime32  = 16777619
+	)
+	h := uint32(offset32)
+	for i := 0; i < len(id); i++ {
+		h = (h ^ uint32(id[i])) * prime32
+	}
+	return s.shards[h%uint32(len(s.shards))]
 }
 
 // sweeper is the idle-TTL eviction loop: every quarter TTL it removes
@@ -383,50 +508,59 @@ func (s *Service) sweeper() {
 	}
 }
 
-// sweepIdle evicts every session idle since before now−TTL: the
-// session is closed and detached under the service lock, then its
-// final snapshot goes to the evict hook. A session racing the sweep
-// with a concurrent Push either touches its activity stamp in time to
+// sweepIdle evicts every session idle since before now−TTL, one shard
+// at a time: victims are closed and detached under their shard's lock
+// only, then their final snapshots go to the evict hook with no lock
+// held — the enqueue/predict hot path of every other shard (and of
+// this shard, between the lock release and the hook calls) never
+// stalls behind the sweep. A session racing the sweep with a
+// concurrent Push either touches its activity stamp in time to
 // survive, or pushes into a closed session and gets ErrSessionClosed —
 // its already-queued windows are predicted either way, so the event
 // accounting stays exact.
 func (s *Service) sweepIdle(now time.Time) {
 	cutoff := now.Add(-s.cfg.sessionTTL).UnixNano()
-	s.mu.Lock()
-	if s.closed {
-		s.mu.Unlock()
-		return
-	}
-	// Sessions with windows still awaiting delivery — queued, or in
-	// the batch a Flush is predicting right now — are spared this
-	// round: the evict hook's snapshot must be final. The delivery
-	// itself touches the activity stamp, so such a session is
-	// reconsidered one idle TTL after its last estimate, not dropped
-	// forever.
-	queued := make(map[*Session]bool, len(s.pending))
-	for i := range s.pending {
-		queued[s.pending[i].sess] = true
-	}
-	var victims []*Session
-	for id, ss := range s.sessions {
-		if ss.lastActive.Load() < cutoff && !queued[ss] && !s.inflight[ss] {
-			victims = append(victims, ss)
-			delete(s.sessions, id)
-			// Close under the service lock: a racing Push has either
-			// already enqueued (visible in pending above, so the
-			// session was spared) or will observe the closed flag —
-			// nothing slips a window in after the final snapshot.
-			// Safe: no caller holds a session lock while acquiring
-			// s.mu.
-			ss.markClosed()
+	for _, sh := range s.shards {
+		var victims []*Session
+		sh.mu.Lock()
+		if sh.closed {
+			sh.mu.Unlock()
+			return
 		}
-	}
-	s.mu.Unlock()
-	for _, ss := range victims {
-		s.evicted.Add(1)
-		if fn := s.cfg.evictFunc; fn != nil {
-			last, ok := ss.Latest()
-			fn(EvictedSession{ID: ss.id, Last: last, HasEstimate: ok, Estimates: ss.Count()})
+		// Sessions with windows still awaiting delivery — queued, or in
+		// the batch this shard's dispatcher is predicting right now —
+		// are spared this round: the evict hook's snapshot must be
+		// final. The delivery itself touches the activity stamp, so
+		// such a session is reconsidered one idle TTL after its last
+		// estimate, not dropped forever.
+		queued := make(map[*Session]bool, len(sh.pending))
+		for i := range sh.pending {
+			queued[sh.pending[i].sess] = true
+		}
+		for id, ss := range sh.sessions {
+			if ss.lastActive.Load() < cutoff && !queued[ss] && !sh.inflight[ss] {
+				victims = append(victims, ss)
+				delete(sh.sessions, id)
+				// Free the slot at delete time, not after the evict
+				// hooks: a StartSession racing a slow hook must see the
+				// capacity the map already reflects.
+				s.sessionCount.Add(-1)
+				// Close under the shard lock: a racing Push has either
+				// already enqueued (visible in pending above, so the
+				// session was spared) or will observe the closed flag —
+				// nothing slips a window in after the final snapshot.
+				// Safe: no caller holds a session lock while acquiring
+				// a shard lock.
+				ss.markClosed()
+			}
+		}
+		sh.mu.Unlock()
+		for _, ss := range victims {
+			s.evicted.Add(1)
+			if fn := s.cfg.evictFunc; fn != nil {
+				last, ok := ss.Latest()
+				fn(EvictedSession{ID: ss.id, Last: last, HasEstimate: ok, Estimates: ss.Count()})
+			}
 		}
 	}
 }
@@ -462,7 +596,9 @@ func (s *Service) ModelVersion() uint64 { return s.cur.Load().version }
 // service's aggregation config (its feature subset may differ — the
 // projection is rebuilt). In-flight batches finish with the model they
 // snapshotted; every window enqueued after Deploy returns is predicted
-// by the new model.
+// by the new model, on every shard: each shard snapshots the registry
+// after taking its queue, so a row enqueued post-Deploy can only land
+// in a batch whose snapshot already sees the new model.
 func (s *Service) Deploy(dep *Deployment) (uint64, error) {
 	if dep == nil || dep.Model == nil {
 		return 0, ErrNoModel
@@ -509,56 +645,70 @@ func (s *Service) Refresh(ctx context.Context) (uint64, error) {
 // StartSession registers a new monitored client and returns its
 // session. The id must not be active already.
 func (s *Service) StartSession(id string, opts ...SessionOption) (*Session, error) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if s.closed {
+	if s.closed.Load() {
 		return nil, ErrServiceClosed
 	}
-	if _, ok := s.sessions[id]; ok {
+	sh := s.shardFor(id)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if sh.closed {
+		return nil, ErrServiceClosed
+	}
+	if _, ok := sh.sessions[id]; ok {
 		return nil, fmt.Errorf("%w: %q", ErrDuplicateSession, id)
 	}
-	if s.cfg.maxSessions > 0 && len(s.sessions) >= s.cfg.maxSessions {
+	// Reserve a slot in the global count before inserting: the limit
+	// holds exactly across shards without any cross-shard lock.
+	if n := s.sessionCount.Add(1); s.cfg.maxSessions > 0 && n > int64(s.cfg.maxSessions) {
+		s.sessionCount.Add(-1)
 		return nil, ErrTooManySessions
 	}
-	ss, err := newSession(s, id, opts...)
+	ss, err := newSession(s, sh, id, opts...)
 	if err != nil {
+		s.sessionCount.Add(-1)
 		return nil, err
 	}
-	s.sessions[id] = ss
+	sh.sessions[id] = ss
 	return ss, nil
 }
 
 // Session returns the active session with the given id, if any.
 func (s *Service) Session(id string) (*Session, bool) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	ss, ok := s.sessions[id]
+	sh := s.shardFor(id)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	ss, ok := sh.sessions[id]
 	return ss, ok
 }
 
 // Sessions returns the ids of all active sessions.
 func (s *Service) Sessions() []string {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	out := make([]string, 0, len(s.sessions))
-	for id := range s.sessions {
-		out = append(out, id)
+	var out []string
+	for _, sh := range s.shards {
+		sh.mu.Lock()
+		for id := range sh.sessions {
+			out = append(out, id)
+		}
+		sh.mu.Unlock()
 	}
 	return out
 }
 
-// Stats returns a snapshot of the service counters.
+// Stats returns a snapshot of the service counters. Every field is
+// read from an atomic, so Stats never contends with the hot path and a
+// snapshot taken mid-sweep or mid-batch is internally consistent: the
+// queue depth is the exact sum over shards (never negative, never
+// double-counted) and the shed/prediction counters partition the
+// completed windows.
 func (s *Service) Stats() Stats {
-	s.mu.Lock()
-	n := len(s.sessions)
-	depth := len(s.pending)
-	s.mu.Unlock()
 	return Stats{
-		Sessions:         n,
+		Sessions:         int(s.sessionCount.Load()),
+		Shards:           len(s.shards),
 		Predictions:      s.predictions.Load(),
 		Alerts:           s.alerts.Load(),
 		ModelVersion:     s.cur.Load().version,
-		QueueDepth:       depth,
+		QueueDepth:       int(s.queueDepth.Load()),
+		ShedWindows:      s.shedWindows.Load(),
 		EvictedSessions:  s.evicted.Load(),
 		Refreshes:        s.refreshes.Load(),
 		LastBatchLatency: time.Duration(s.lastBatchNs.Load()),
@@ -591,97 +741,126 @@ func (s *Service) HandleFail(clientID string, tgen float64) {
 
 var _ monitor.StreamHandler = (*Service)(nil)
 
-// enqueue queues one completed window for the next prediction batch.
-// The session's closed flag is re-checked under the service lock: a
-// push that raced the idle sweep past its own closed-check must not
-// slip a window in after the sweep delivered the session's final
-// snapshot. (Lock order s.mu→ss.mu matches the sweep; no caller holds
-// a session lock while acquiring s.mu.)
+// enqueue queues one completed window on the session's shard for the
+// next prediction batch, or sheds it under the ShedPolicy. The
+// session's closed flag is re-checked under the shard lock: a push
+// that raced the idle sweep past its own closed-check must not slip a
+// window in after the sweep delivered the session's final snapshot.
+// (Lock order sh.mu→ss.mu matches the sweep; no caller holds a
+// session lock while acquiring a shard lock.)
 func (s *Service) enqueue(ss *Session, tgen float64, row []float64, endRun bool) error {
-	s.mu.Lock()
-	if s.closed {
-		s.mu.Unlock()
+	sh := ss.shard
+	sh.mu.Lock()
+	if sh.closed {
+		sh.mu.Unlock()
 		return ErrServiceClosed
 	}
 	ss.mu.Lock()
 	dead := ss.closed
 	ss.mu.Unlock()
 	if dead {
-		s.mu.Unlock()
+		sh.mu.Unlock()
 		return ErrSessionClosed
 	}
-	s.pending = append(s.pending, pendingRow{sess: ss, tgen: tgen, row: row, endRun: endRun})
-	s.mu.Unlock()
+	if p := s.cfg.shed; p.MaxQueueDepth > 0 && len(sh.pending) >= p.MaxQueueDepth && ss.priority < p.MinPriority {
+		// Shed: counted under the shard lock, so the windows predicted
+		// and the windows shed partition the accepted ones exactly.
+		s.shedWindows.Add(1)
+		sh.mu.Unlock()
+		return ErrWindowShed
+	}
+	sh.pending = append(sh.pending, pendingRow{sess: ss, tgen: tgen, row: row, endRun: endRun})
+	// Depth is incremented under the same lock the batch take
+	// decrements under, so the global counter is a sum of per-shard
+	// terms that are individually never negative — a concurrent Stats
+	// read can never see a negative or double-counted depth.
+	s.queueDepth.Add(1)
+	sh.mu.Unlock()
 	select {
-	case s.kick <- struct{}{}:
+	case sh.kick <- struct{}{}:
 	default:
 	}
 	return nil
 }
 
-// dispatcher is the batching loop: woken by enqueue, it predicts all
-// queued windows in one batch per model snapshot, optionally coalescing
-// for batchInterval first.
-func (s *Service) dispatcher() {
+// dispatcher is one shard's batching loop: woken by enqueue, it
+// predicts the shard's queued windows in one batch per registry
+// snapshot, optionally coalescing for batchInterval first.
+func (s *Service) dispatcher(sh *shard) {
 	defer s.wg.Done()
 	for {
 		select {
 		case <-s.ctx.Done():
-			s.shutdown()
+			s.shutdownOnce.Do(s.shutdown)
 			return
-		case <-s.kick:
+		case <-sh.kick:
 		}
 		if d := s.cfg.batchInterval; d > 0 {
 			t := time.NewTimer(d)
 			select {
 			case <-s.ctx.Done():
 				t.Stop()
-				s.shutdown()
+				s.shutdownOnce.Do(s.shutdown)
 				return
 			case <-t.C:
 			}
 		}
-		s.Flush()
+		s.flushShard(sh)
 	}
 }
 
-// shutdown runs on the dispatcher goroutine when the service context is
-// cancelled (directly or via Close): it stops new enqueues, drains the
-// windows already queued — a clean shutdown never drops completed work
-// — and closes every session.
+// shutdown runs exactly once, on the first dispatcher goroutine to see
+// the cancelled context: it stops new enqueues shard by shard, drains
+// the windows already queued everywhere — a clean shutdown never drops
+// completed work — and closes every session.
 func (s *Service) shutdown() {
-	s.mu.Lock()
-	s.closed = true
-	sessions := make([]*Session, 0, len(s.sessions))
-	for _, ss := range s.sessions {
-		sessions = append(sessions, ss)
+	s.closed.Store(true)
+	var sessions []*Session
+	for _, sh := range s.shards {
+		sh.mu.Lock()
+		sh.closed = true
+		for _, ss := range sh.sessions {
+			sessions = append(sessions, ss)
+		}
+		sh.mu.Unlock()
 	}
-	s.mu.Unlock()
 	s.Flush()
 	for _, ss := range sessions {
 		ss.markClosed()
 	}
 }
 
-// Flush synchronously predicts every queued window. Sessions keep
-// pushing concurrently; rows enqueued while a batch is in flight are
-// picked up by the next iteration. Callbacks run on the calling
-// goroutine.
+// Flush synchronously predicts every queued window on every shard.
+// Sessions keep pushing concurrently; rows enqueued while a batch is
+// in flight are picked up by the next iteration. Callbacks run on the
+// calling goroutine.
 func (s *Service) Flush() {
-	s.dispatchMu.Lock()
-	defer s.dispatchMu.Unlock()
+	for _, sh := range s.shards {
+		s.flushShard(sh)
+	}
+}
+
+// flushShard drains one shard's pending queue: per iteration it takes
+// the queue, snapshots the registry, merges the batch into one
+// PredictBatch call, and delivers the estimates in enqueue order.
+func (s *Service) flushShard(sh *shard) {
+	sh.dispatchMu.Lock()
+	defer sh.dispatchMu.Unlock()
 	for {
-		s.mu.Lock()
-		batch := s.pending
-		s.pending = nil
+		sh.mu.Lock()
+		batch := sh.pending
+		sh.pending = nil
 		// Publish the batch's sessions as in flight for the idle sweep
 		// (cleared — or replaced by the next batch's — under the same
 		// lock the sweep takes).
-		clear(s.inflight)
+		clear(sh.inflight)
 		for i := range batch {
-			s.inflight[batch[i].sess] = true
+			sh.inflight[batch[i].sess] = true
 		}
-		s.mu.Unlock()
+		if len(batch) > 0 {
+			s.queueDepth.Add(-int64(len(batch)))
+		}
+		sh.mu.Unlock()
 		if len(batch) == 0 {
 			return
 		}
@@ -732,15 +911,19 @@ func (s *Service) deliver(ss *Session, est Estimate) {
 	}
 }
 
-// removeSession detaches a closed session.
-func (s *Service) removeSession(id string) {
-	s.mu.Lock()
-	delete(s.sessions, id)
-	s.mu.Unlock()
+// removeSession detaches a closed session from its shard.
+func (s *Service) removeSession(ss *Session) {
+	sh := ss.shard
+	sh.mu.Lock()
+	if cur, ok := sh.sessions[ss.id]; ok && cur == ss {
+		delete(sh.sessions, ss.id)
+		s.sessionCount.Add(-1)
+	}
+	sh.mu.Unlock()
 }
 
-// Close stops the service: the dispatcher drains queued windows and
-// exits, sessions are closed, and further pushes fail with
+// Close stops the service: the dispatchers drain queued windows and
+// exit, sessions are closed, and further pushes fail with
 // ErrServiceClosed. Close is idempotent and equivalent to cancelling
 // the context given to New; it returns once the drain has finished.
 func (s *Service) Close() error {

@@ -20,6 +20,16 @@ func OnEstimate(fn EstimateFunc) SessionOption {
 	return func(ss *Session) { ss.onEstimate = fn }
 }
 
+// WithSessionPriority sets the session's load-shedding priority
+// (default 0): under a ShedPolicy, sessions whose priority is below
+// the policy's MinPriority floor have their completed windows shed
+// while their shard is past the depth threshold; sessions at or above
+// the floor are never shed. Priority has no effect without a
+// ShedPolicy.
+func WithSessionPriority(p int) SessionOption {
+	return func(ss *Session) { ss.priority = p }
+}
+
 // Session is one monitored client inside a Service: it owns the
 // client's LiveAggregator and alert state. Push is safe for one
 // producer goroutine per session (the FMS connection handler, or a
@@ -27,8 +37,13 @@ func OnEstimate(fn EstimateFunc) SessionOption {
 // use with Push.
 type Session struct {
 	svc        *Service
+	shard      *shard
 	id         string
 	onEstimate EstimateFunc
+	// priority orders the session for load shedding (WithShedPolicy):
+	// lower-priority sessions are shed first. Immutable after
+	// StartSession.
+	priority int
 
 	// lastActive is the UnixNano timestamp of the session's latest
 	// activity (push, flush, estimate delivery); the idle-TTL sweep
@@ -47,12 +62,12 @@ type Session struct {
 }
 
 // newSession builds a session with its own live aggregator.
-func newSession(s *Service, id string, opts ...SessionOption) (*Session, error) {
+func newSession(s *Service, sh *shard, id string, opts ...SessionOption) (*Session, error) {
 	la, err := aggregate.NewLiveAggregator(s.agg)
 	if err != nil {
 		return nil, err
 	}
-	ss := &Session{svc: s, id: id, la: la}
+	ss := &Session{svc: s, shard: sh, id: id, la: la}
 	ss.touch()
 	for _, o := range opts {
 		o(ss)
@@ -188,7 +203,7 @@ func (ss *Session) record(est Estimate, threshold float64) (crossed bool) {
 // still predicted, further pushes fail with ErrSessionClosed.
 func (ss *Session) Close() error {
 	ss.markClosed()
-	ss.svc.removeSession(ss.id)
+	ss.svc.removeSession(ss)
 	return nil
 }
 

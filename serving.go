@@ -41,6 +41,11 @@ type (
 	// EvictedSession is the final snapshot of a session removed by the
 	// idle-TTL sweep.
 	EvictedSession = serve.EvictedSession
+	// ShedPolicy configures priority-based load shedding under
+	// sustained overload (WithShedPolicy): past a per-shard queue
+	// depth, windows of sessions below the priority floor are dropped
+	// with exact accounting instead of queued.
+	ShedPolicy = serve.ShedPolicy
 )
 
 // NewPredictionService builds and starts a prediction service; the
@@ -97,8 +102,27 @@ func WithSessionEvictFunc(fn func(EvictedSession)) ServeOption {
 // caller invoking Refresh.
 func WithRefreshInterval(d time.Duration) ServeOption { return serve.WithRefreshInterval(d) }
 
+// WithServeShards sets how many shards (and dispatcher goroutines) the
+// prediction service runs: sessions hash onto shards by id, each with
+// its own pending queue, dispatcher, and slice of the session map, so
+// enqueue, prediction, and the idle sweep contend per shard instead of
+// on one service lock. 0 (the default) uses GOMAXPROCS.
+func WithServeShards(n int) ServeOption { return serve.WithShards(n) }
+
+// WithShedPolicy enables priority-based load shedding under sustained
+// overload: past the policy's per-shard queue depth, completed windows
+// of sessions below the priority floor are dropped (ErrWindowShed) and
+// counted exactly in ServeStats.ShedWindows instead of queued.
+func WithShedPolicy(p ShedPolicy) ServeOption { return serve.WithShedPolicy(p) }
+
 // OnEstimate registers a per-session estimate consumer.
 func OnEstimate(fn func(Estimate)) SessionOption { return serve.OnEstimate(fn) }
+
+// WithSessionPriority sets the session's load-shedding priority
+// (default 0): under a ShedPolicy, sessions below the policy's
+// MinPriority floor are shed first; sessions at or above it are never
+// shed.
+func WithSessionPriority(p int) SessionOption { return serve.WithSessionPriority(p) }
 
 // SaveDeployment persists a deployment — model plus feature subset and
 // aggregation config — as a versioned envelope, so Lasso-selected
