@@ -1,0 +1,156 @@
+// Command fleetsim runs fleet-scale chaos scenarios against the real
+// serving stack: a scenario file describes a fleet of simulated
+// monitored applications (memory-leak ramps, the paper's TPC-W shape),
+// seeded fault injection (crash-restarts, connection flaps, slow
+// consumers, stale-model storms, leak bursts), timed assertions, and a
+// metrics report. Runs are deterministic: the same scenario and seed
+// always produce the same event log and assertion outcomes.
+//
+// Usage:
+//
+//	fleetsim run scenario.yaml           run, print the text report
+//	fleetsim run -json scenario.yaml     run, print the JSON report
+//	fleetsim run -replay-check s.yaml    run twice, verify determinism
+//	fleetsim validate scenario.yaml      parse + validate only
+//
+// The exit status is 0 only when the scenario passed (all assertions
+// held, no internal errors, and — with -replay-check — both runs
+// produced identical event logs).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/fleetsim"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+	}
+	switch os.Args[1] {
+	case "run":
+		runCmd(os.Args[2:])
+	case "validate":
+		validateCmd(os.Args[2:])
+	default:
+		usage()
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: fleetsim run [-json] [-replay-check] scenario.yaml\n       fleetsim validate scenario.yaml")
+	os.Exit(2)
+}
+
+func runCmd(args []string) {
+	fs := flag.NewFlagSet("run", flag.ExitOnError)
+	jsonOut := fs.Bool("json", false, "print the JSON report instead of text")
+	replay := fs.Bool("replay-check", false, "run the scenario twice and verify the event logs are identical")
+	fs.Parse(args)
+	if fs.NArg() != 1 {
+		usage()
+	}
+	sc := parse(fs.Arg(0))
+
+	rep, err := fleetsim.Run(sc)
+	if err != nil {
+		fatal(err)
+	}
+	if *replay {
+		rep2, err := fleetsim.Run(sc)
+		if err != nil {
+			fatal(fmt.Errorf("replay run: %w", err))
+		}
+		if rep.Fingerprint() != rep2.Fingerprint() {
+			fmt.Fprintln(os.Stderr, "fleetsim: REPLAY MISMATCH — the two runs diverged:")
+			fmt.Fprintln(os.Stderr, diffFingerprints(rep.Fingerprint(), rep2.Fingerprint()))
+			os.Exit(1)
+		}
+		fmt.Fprintln(os.Stderr, "fleetsim: replay check passed — identical event logs and assertion outcomes")
+	}
+
+	if *jsonOut {
+		out, err := rep.JSON()
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(string(out))
+	} else {
+		rep.WriteText(os.Stdout)
+	}
+	if !rep.Passed {
+		os.Exit(1)
+	}
+}
+
+func validateCmd(args []string) {
+	fs := flag.NewFlagSet("validate", flag.ExitOnError)
+	fs.Parse(args)
+	if fs.NArg() != 1 {
+		usage()
+	}
+	sc := parse(fs.Arg(0))
+	fmt.Printf("fleetsim: scenario %q valid: %d templates, %d events, %d final assertions\n",
+		sc.Name, len(sc.Fleet.Templates), len(sc.Events), len(sc.Final))
+}
+
+func parse(path string) *fleetsim.Scenario {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		fatal(err)
+	}
+	sc, err := fleetsim.ParseScenario(data)
+	if err != nil {
+		fatal(err)
+	}
+	return sc
+}
+
+// diffFingerprints returns the first few diverging lines of two
+// fingerprints.
+func diffFingerprints(a, b string) string {
+	al, bl := splitLines(a), splitLines(b)
+	out := ""
+	shown := 0
+	for i := 0; i < len(al) || i < len(bl); i++ {
+		var la, lb string
+		if i < len(al) {
+			la = al[i]
+		}
+		if i < len(bl) {
+			lb = bl[i]
+		}
+		if la == lb {
+			continue
+		}
+		out += fmt.Sprintf("  line %d:\n    run 1: %s\n    run 2: %s\n", i+1, la, lb)
+		if shown++; shown >= 5 {
+			out += "  ..."
+			break
+		}
+	}
+	return out
+}
+
+func splitLines(s string) []string {
+	var out []string
+	start := 0
+	for i := 0; i < len(s); i++ {
+		if s[i] == '\n' {
+			out = append(out, s[start:i])
+			start = i + 1
+		}
+	}
+	if start < len(s) {
+		out = append(out, s[start:])
+	}
+	return out
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "fleetsim:", err)
+	os.Exit(1)
+}

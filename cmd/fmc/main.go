@@ -8,6 +8,13 @@
 // (every datapoint is flushed to the socket as soon as it is taken), the
 // goodbye message is sent, and the connection closes.
 //
+// Dial failures and mid-stream disconnects no longer abandon the run:
+// the client reconnects with capped exponential backoff plus jitter
+// (-retry-base/-retry-max/-retry-attempts) and resumes the stream —
+// the FMS keeps each client's open run across connections, so the
+// window survives with at most a sampling gap for the outage. Set
+// -retry-attempts to bound the reconnect budget (0 retries forever).
+//
 // Usage:
 //
 //	fmc -server 10.0.0.2:7070 -id web-vm-1 -interval 1.5s
@@ -27,19 +34,27 @@ import (
 
 func main() {
 	var (
-		server   = flag.String("server", "127.0.0.1:7070", "FMS address")
-		id       = flag.String("id", hostnameOr("fmc"), "client identifier")
-		interval = flag.Duration("interval", 1500*time.Millisecond, "sampling interval")
-		procRoot = flag.String("proc", "/proc", "procfs mount point")
-		memFrac  = flag.Float64("mem-frac", 0.02, "failure condition: free-memory fraction")
-		swapFrac = flag.Float64("swap-frac", 0.02, "failure condition: free-swap fraction")
+		server    = flag.String("server", "127.0.0.1:7070", "FMS address")
+		id        = flag.String("id", hostnameOr("fmc"), "client identifier")
+		interval  = flag.Duration("interval", 1500*time.Millisecond, "sampling interval")
+		procRoot  = flag.String("proc", "/proc", "procfs mount point")
+		memFrac   = flag.Float64("mem-frac", 0.02, "failure condition: free-memory fraction")
+		swapFrac  = flag.Float64("swap-frac", 0.02, "failure condition: free-swap fraction")
+		retryBase = flag.Duration("retry-base", 250*time.Millisecond, "reconnect backoff: initial delay")
+		retryMax  = flag.Duration("retry-max", 15*time.Second, "reconnect backoff: delay cap")
+		retryTry  = flag.Int("retry-attempts", 0, "reconnect backoff: max consecutive attempts (0 = unlimited)")
 	)
 	flag.Parse()
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
-	cli, err := f2pm.DialMonitorContext(ctx, *server, *id)
+	backoff := f2pm.RetryBackoff{Base: *retryBase, Max: *retryMax, MaxAttempts: *retryTry}
+	jitterRNG := f2pm.NewRandomSource(uint64(os.Getpid())<<16 ^ uint64(time.Now().UnixNano()))
+
+	// The initial dial retries too: an fmc booting before its FMS (or
+	// during a server deploy) connects when the server appears.
+	cli, err := f2pm.DialMonitorRetry(ctx, *server, *id, backoff, jitterRNG)
 	if err != nil {
 		fatal(err)
 	}
@@ -52,6 +67,18 @@ func main() {
 		Condition: f2pm.MemoryExhaustion(*memFrac, *swapFrac),
 		OnFail: func(d *f2pm.Datapoint) {
 			fmt.Fprintf(os.Stderr, "fmc: failure condition met at uptime %.1fs\n", d.Tgen)
+		},
+		Redial: func(ctx context.Context) (*f2pm.MonitorClient, error) {
+			return f2pm.DialMonitorContext(ctx, *server, *id)
+		},
+		Retry:    backoff,
+		RetryRNG: jitterRNG,
+		OnReconnect: func(attempt int, err error) {
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "fmc: reconnect attempt %d failed: %v\n", attempt, err)
+				return
+			}
+			fmt.Fprintf(os.Stderr, "fmc: reconnected to %s after %d attempt(s), resuming run\n", *server, attempt)
 		},
 	}
 	if err := coll.Start(ctx); err != nil {

@@ -111,8 +111,44 @@
 // priority-ordered loss: past a per-shard queue depth, completed
 // windows of sessions below the priority floor (WithSessionPriority)
 // are dropped with exact accounting (ErrWindowShed,
-// ServeStats.ShedWindows) while higher-priority sessions keep their
+// ServeStats.ShedWindows — attributed per priority in
+// ServeStats.ShedByPriority) while higher-priority sessions keep their
 // zero-drop guarantee.
+//
+// # Fleet simulation & chaos testing
+//
+// The whole train-serve loop is exercised end to end by the fleet
+// chaos harness (cmd/fleetsim): a YAML scenario describes a fleet of
+// simulated monitored applications — each a memory-leak ramp with the
+// paper's TPC-W failure shape, expanded from weighted templates onto a
+// spike or linear arrival ramp with seeded cold-start jitter — running
+// against a real PredictionService. A seeded chaos engine injects
+// crash-restarts, connection flaps, slow consumers, stale-model
+// storms, and leak bursts at scripted virtual times, and in-scenario
+// assertions check the system's invariants while the faults land:
+// never-crashed sessions lose no completed windows, every shed window
+// is attributed to a priority below the shed floor, retrains and
+// redraws happen, predictions and alerts flow.
+//
+// Runs are deterministic by construction — a virtual clock, manual
+// dispatch (no background goroutines), and a single seeded random
+// source forked per subsystem — so the same scenario and seed always
+// produce a byte-identical event log; `fleetsim run -replay-check`
+// verifies it, and CI runs the committed smoke scenario race-enabled
+// on every push. See examples/fleetsim for a walkthrough and
+// examples/fleetsim/scenarios for the committed scenarios. The same
+// fault-injection hooks the harness uses are part of the serving API:
+// WithServeClock substitutes the service's time source,
+// WithManualDispatch turns background dispatch off in favor of
+// explicit Flush/SweepIdleNow calls, WithShedFunc observes every shed
+// decision, and WithBatchFailpoint intercepts batches before
+// prediction.
+//
+// On the monitor side, DialMonitorRetry dials the FMS with capped
+// exponential backoff and seeded jitter, and a Collector configured
+// with Redial/Retry survives connection loss by reconnecting and
+// resuming its stream in place — the server keys open runs by client
+// id, so a resumed stream continues the same run.
 //
 // Long-running calls accept a context (RunContext, UpdateContext,
 // DialMonitorContext, WithMonitorContext, NewPredictionService);

@@ -1,0 +1,50 @@
+package core
+
+import (
+	"repro/internal/aggregate"
+)
+
+// Datasets returns deep copies of the train and validation datasets the
+// pipeline currently retains for a feature-set family (the sliding
+// window after any Update-driven evictions and redraws). ok is false
+// before the first successful Run, or for LassoParams when the reduced
+// family is absent (SelectionLambda 0, or a selection that kept no
+// features).
+//
+// The copies are independent of pipeline state, so callers can refit
+// models on them — the hook external harnesses use to verify that an
+// update's incremental result matches a from-scratch fit on the same
+// window (e.g. the SplitRedrawn parity assertion in the fleet
+// simulator).
+func (p *Pipeline) Datasets(fs FeatureSet) (train, val *aggregate.Dataset, ok bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.st == nil {
+		return nil, nil, false
+	}
+	switch fs {
+	case AllParams:
+		train, val = p.st.train, p.st.val
+	case LassoParams:
+		train, val = p.st.redTrain, p.st.redVal
+	}
+	if train == nil || val == nil {
+		return nil, nil, false
+	}
+	return cloneDataset(train), cloneDataset(val), true
+}
+
+// cloneDataset deep-copies a dataset.
+func cloneDataset(d *aggregate.Dataset) *aggregate.Dataset {
+	out := &aggregate.Dataset{
+		ColNames: append([]string(nil), d.ColNames...),
+		RTTF:     append([]float64(nil), d.RTTF...),
+		Run:      append([]int(nil), d.Run...),
+		AggTgen:  append([]float64(nil), d.AggTgen...),
+		X:        make([][]float64, len(d.X)),
+	}
+	for i, row := range d.X {
+		out.X[i] = append([]float64(nil), row...)
+	}
+	return out
+}

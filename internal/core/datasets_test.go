@@ -1,0 +1,54 @@
+package core
+
+import (
+	"testing"
+)
+
+func TestDatasetsAccessor(t *testing.T) {
+	h := testHistory(t)
+	cfg := fastConfig()
+	cfg.Models = cfg.Models[:1] // linear only
+	p, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, ok := p.Datasets(AllParams); ok {
+		t.Fatal("Datasets returned data before Run")
+	}
+	if _, err := p.Run(h); err != nil {
+		t.Fatal(err)
+	}
+
+	for _, fs := range []FeatureSet{AllParams, LassoParams} {
+		train, val, ok := p.Datasets(fs)
+		if !ok {
+			t.Fatalf("Datasets(%v) not available after Run", fs)
+		}
+		if len(train.X) == 0 || len(val.X) == 0 {
+			t.Fatalf("Datasets(%v): empty split (%d train, %d val rows)", fs, len(train.X), len(val.X))
+		}
+		if len(train.ColNames) != len(train.X[0]) {
+			t.Fatalf("Datasets(%v): %d column names for %d columns", fs, len(train.ColNames), len(train.X[0]))
+		}
+
+		// The returned datasets are deep copies: mutating them must not
+		// leak into the pipeline's retained state.
+		train.X[0][0] += 1e9
+		train.RTTF[0] += 1e9
+		train.ColNames[0] = "mutated"
+		again, _, ok := p.Datasets(fs)
+		if !ok {
+			t.Fatalf("Datasets(%v) vanished on second call", fs)
+		}
+		if again.X[0][0] == train.X[0][0] || again.RTTF[0] == train.RTTF[0] || again.ColNames[0] == "mutated" {
+			t.Fatalf("Datasets(%v) returned aliased state, not a copy", fs)
+		}
+	}
+
+	// LassoParams is the reduced set — never wider than the full one.
+	full, _, _ := p.Datasets(AllParams)
+	red, _, _ := p.Datasets(LassoParams)
+	if len(red.ColNames) > len(full.ColNames) {
+		t.Fatalf("reduced set has %d columns, full set %d", len(red.ColNames), len(full.ColNames))
+	}
+}

@@ -1,0 +1,191 @@
+package fleetsim
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/aggregate"
+	"repro/internal/core"
+	"repro/internal/ml"
+	"repro/internal/randx"
+	"repro/internal/serve"
+	"repro/internal/trace"
+)
+
+// trainer owns the model side of a simulation: the bootstrap training
+// phase that produces the initial deployment, and the live
+// Pipeline.Update loop fed by the fleet's completed failure runs.
+type trainer struct {
+	sc   *Scenario
+	pipe *core.Pipeline
+	hist trace.History
+
+	sinceRetrain int
+	retrains     int
+	redraws      int
+	parityChecks int
+	parityFails  []string
+}
+
+// roster resolves the scenario's model names against the default
+// roster.
+func roster(names []string) ([]core.ModelSpec, error) {
+	all := core.DefaultModels(nil)
+	var specs []core.ModelSpec
+	for _, name := range names {
+		found := false
+		for _, spec := range all {
+			if spec.Name == name {
+				specs = append(specs, spec)
+				found = true
+				break
+			}
+		}
+		if !found {
+			return nil, fmt.Errorf("fleetsim: unknown model %q", name)
+		}
+	}
+	return specs, nil
+}
+
+// newTrainer simulates the bootstrap training runs, fits the pipeline,
+// and returns the trainer plus the initial deployment.
+func newTrainer(sc *Scenario, rng *randx.Source) (*trainer, *serve.Deployment, error) {
+	specs, err := roster(sc.Train.Models)
+	if err != nil {
+		return nil, nil, err
+	}
+	pipe, err := core.New(core.Config{
+		Aggregation:    aggConfig(sc),
+		SplitMode:      aggregate.SplitByRun,
+		ValidationFrac: 0.3,
+		SplitSeed:      sc.Seed,
+		SMAEFraction:   0.1,
+		Window:         core.WindowPolicy{MaxRuns: sc.Train.MaxRuns},
+		Models:         specs,
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	tr := &trainer{sc: sc, pipe: pipe}
+
+	tmpl := &sc.Fleet.Templates[0]
+	if sc.Train.Template != "" {
+		for i := range sc.Fleet.Templates {
+			if sc.Fleet.Templates[i].Name == sc.Train.Template {
+				tmpl = &sc.Fleet.Templates[i]
+			}
+		}
+	}
+	for i := 0; i < sc.Train.Runs; i++ {
+		run, err := simulateRun(tmpl, rng.Fork(uint64(i)+1), sc.Tick.Seconds())
+		if err != nil {
+			return nil, nil, err
+		}
+		tr.hist.Runs = append(tr.hist.Runs, run)
+	}
+	rep, err := pipe.Run(&tr.hist)
+	if err != nil {
+		return nil, nil, fmt.Errorf("fleetsim: bootstrap training: %w", err)
+	}
+	dep, err := serve.FromReport(rep)
+	if err != nil {
+		return nil, nil, fmt.Errorf("fleetsim: bootstrap training: %w", err)
+	}
+	return tr, dep, nil
+}
+
+// simulateRun drives one offline client of the template until its
+// failure condition fires, returning the completed failed run.
+func simulateRun(tmpl *Template, rng *randx.Source, tickSec float64) (trace.Run, error) {
+	c := &client{tmpl: tmpl, rng: rng, burst: 1, leakRate: tmpl.LeakKBPerSec}
+	if tmpl.LeakJitter > 0 {
+		c.leakRate *= 1 + tmpl.LeakJitter*(2*rng.Float64()-1)
+	}
+	c.resetRun(0)
+	// The leak must exhaust memory+swap within a few multiples of the
+	// no-noise fill time, or the template is misconfigured.
+	fill := (tmpl.MemTotalKB + tmpl.SwapTotalKB) / c.leakRate / tickSec
+	maxTicks := int(4*fill) + 64
+	var run trace.Run
+	for tick := 0; tick < maxTicks; tick++ {
+		d, failed := c.step(tick, tickSec)
+		run.Datapoints = append(run.Datapoints, d)
+		if failed {
+			run.Failed = true
+			run.FailTime = d.Tgen
+			return run, nil
+		}
+	}
+	return run, fmt.Errorf("fleetsim: template %q never failed within %d ticks — leak rate too small for the scenario", tmpl.Name, maxTicks)
+}
+
+// completedRun records one fleet failure run. When the scenario's
+// retrain cadence is due it runs Pipeline.Update, returning the new
+// report (nil otherwise) for the runner to deploy and log.
+func (tr *trainer) completedRun(run trace.Run) (*core.Report, error) {
+	tr.hist.Runs = append(tr.hist.Runs, run)
+	if tr.sc.Train.RetrainEvery <= 0 {
+		return nil, nil
+	}
+	tr.sinceRetrain++
+	if tr.sinceRetrain < tr.sc.Train.RetrainEvery {
+		return nil, nil
+	}
+	tr.sinceRetrain = 0
+	rep, err := tr.pipe.Update(&tr.hist)
+	if err != nil {
+		return nil, err
+	}
+	tr.retrains++
+	if rep.SplitRedrawn {
+		tr.redraws++
+		if tr.sc.Train.VerifyRedraw {
+			tr.verifyRedraw(rep)
+		}
+	}
+	return rep, nil
+}
+
+// verifyRedraw fresh-fits every surviving model on the pipeline's
+// retained post-redraw window and checks that its validation
+// predictions match the incremental result to 1e-8 — the "a redraw is
+// just a refit" parity contract, asserted from outside the pipeline.
+func (tr *trainer) verifyRedraw(rep *core.Report) {
+	for _, fs := range []core.FeatureSet{core.AllParams, core.LassoParams} {
+		train, val, ok := tr.pipe.Datasets(fs)
+		if !ok {
+			continue
+		}
+		for i := range rep.Results {
+			res := &rep.Results[i]
+			if res.Features != fs || res.Err != nil {
+				continue
+			}
+			tr.parityChecks++
+			fresh, err := res.Spec.New()
+			if err != nil {
+				tr.parityFails = append(tr.parityFails, fmt.Sprintf("%s/%s: construct: %v", res.Spec.Name, fs, err))
+				continue
+			}
+			if err := fresh.Fit(train.X, train.RTTF); err != nil {
+				tr.parityFails = append(tr.parityFails, fmt.Sprintf("%s/%s: fit: %v", res.Spec.Name, fs, err))
+				continue
+			}
+			want := ml.PredictAll(fresh, val.X)
+			if len(want) != len(res.Predicted) {
+				tr.parityFails = append(tr.parityFails,
+					fmt.Sprintf("%s/%s: %d predictions, fresh fit has %d", res.Spec.Name, fs, len(res.Predicted), len(want)))
+				continue
+			}
+			for j := range want {
+				tol := 1e-8 * (1 + math.Abs(want[j]))
+				if math.Abs(want[j]-res.Predicted[j]) > tol {
+					tr.parityFails = append(tr.parityFails,
+						fmt.Sprintf("%s/%s: row %d: incremental %.12g vs fresh %.12g", res.Spec.Name, fs, j, res.Predicted[j], want[j]))
+					break
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,311 @@
+// Package fleetsim is the fleet-scale chaos harness: it runs a
+// simulated fleet of monitored applications against a real serving
+// stack (serve.Service, optionally a real FMS/FMC pair over TCP) under
+// a scenario script with seeded fault injection, deterministic replay,
+// and in-scenario assertions. See the Scenario type for the script
+// format and Run for the execution model.
+package fleetsim
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// The scenario files are YAML, but the repo takes no dependencies, so
+// this file implements the small block-style subset the scenarios use:
+//
+//   - nested maps via indentation ("key:" introducing a deeper block)
+//   - inline scalars ("key: value")
+//   - lists of scalars or maps ("- item", "- key: value" with
+//     continuation lines indented to the item body)
+//   - comments ("#" at line start or after whitespace), blank lines
+//   - quoted strings ('single' and "double" with \\ \" \n \t escapes)
+//   - scalars: null/~, true/false, integers, floats; everything else
+//     stays a string (durations like "30s" are parsed by the decoder)
+//
+// Not supported (and rejected or misparsed by design — scenarios are
+// authored, not interchanged): anchors/aliases, flow collections,
+// multi-line scalars, tabs in indentation, multiple documents.
+
+// yamlLine is one significant source line: its indentation depth in
+// spaces and its trimmed content.
+type yamlLine struct {
+	indent int
+	text   string
+	num    int // 1-based source line, for errors
+}
+
+// parseYAML parses a scenario document into nested
+// map[string]any / []any / scalar values.
+func parseYAML(data []byte) (any, error) {
+	lines, err := splitYAMLLines(string(data))
+	if err != nil {
+		return nil, err
+	}
+	if len(lines) == 0 {
+		return map[string]any{}, nil
+	}
+	p := &yamlParser{lines: lines}
+	v, err := p.parseBlock(lines[0].indent)
+	if err != nil {
+		return nil, err
+	}
+	if p.pos != len(p.lines) {
+		l := p.lines[p.pos]
+		return nil, fmt.Errorf("yaml: line %d: unexpected indentation", l.num)
+	}
+	return v, nil
+}
+
+// splitYAMLLines strips comments and blanks and computes indentation.
+func splitYAMLLines(doc string) ([]yamlLine, error) {
+	var out []yamlLine
+	for i, raw := range strings.Split(doc, "\n") {
+		line := stripComment(raw)
+		trimmed := strings.TrimSpace(line)
+		if trimmed == "" {
+			continue
+		}
+		indent := 0
+		for _, r := range line {
+			if r == ' ' {
+				indent++
+				continue
+			}
+			if r == '\t' {
+				return nil, fmt.Errorf("yaml: line %d: tab in indentation", i+1)
+			}
+			break
+		}
+		out = append(out, yamlLine{indent: indent, text: trimmed, num: i + 1})
+	}
+	return out, nil
+}
+
+// stripComment removes a trailing comment: "#" at line start or
+// preceded by whitespace, outside quotes.
+func stripComment(line string) string {
+	var quote byte
+	for i := 0; i < len(line); i++ {
+		c := line[i]
+		switch {
+		case quote != 0:
+			if c == quote {
+				quote = 0
+			} else if c == '\\' && quote == '"' {
+				i++ // skip the escaped character
+			}
+		case c == '\'' || c == '"':
+			quote = c
+		case c == '#' && (i == 0 || line[i-1] == ' ' || line[i-1] == '\t'):
+			return line[:i]
+		}
+	}
+	return line
+}
+
+type yamlParser struct {
+	lines []yamlLine
+	pos   int
+}
+
+// parseBlock parses the map or list starting at the current line, whose
+// indentation must be exactly indent.
+func (p *yamlParser) parseBlock(indent int) (any, error) {
+	l := p.lines[p.pos]
+	if l.text == "-" || strings.HasPrefix(l.text, "- ") {
+		return p.parseList(indent)
+	}
+	return p.parseMap(indent)
+}
+
+func (p *yamlParser) parseMap(indent int) (map[string]any, error) {
+	m := map[string]any{}
+	for p.pos < len(p.lines) {
+		l := p.lines[p.pos]
+		if l.indent != indent {
+			if l.indent > indent {
+				return nil, fmt.Errorf("yaml: line %d: unexpected indentation", l.num)
+			}
+			break
+		}
+		if l.text == "-" || strings.HasPrefix(l.text, "- ") {
+			return nil, fmt.Errorf("yaml: line %d: list item inside a map block", l.num)
+		}
+		key, rest, err := splitKey(l)
+		if err != nil {
+			return nil, err
+		}
+		if _, dup := m[key]; dup {
+			return nil, fmt.Errorf("yaml: line %d: duplicate key %q", l.num, key)
+		}
+		p.pos++
+		if rest != "" {
+			m[key] = parseScalar(rest)
+			continue
+		}
+		// "key:" with no inline value: a deeper block or null.
+		if p.pos < len(p.lines) && p.lines[p.pos].indent > indent {
+			v, err := p.parseBlock(p.lines[p.pos].indent)
+			if err != nil {
+				return nil, err
+			}
+			m[key] = v
+			continue
+		}
+		m[key] = nil
+	}
+	return m, nil
+}
+
+func (p *yamlParser) parseList(indent int) ([]any, error) {
+	var list []any
+	for p.pos < len(p.lines) {
+		l := p.lines[p.pos]
+		if l.indent != indent || (l.text != "-" && !strings.HasPrefix(l.text, "- ")) {
+			if l.indent > indent {
+				return nil, fmt.Errorf("yaml: line %d: unexpected indentation", l.num)
+			}
+			break
+		}
+		if l.text == "-" {
+			// Bare dash: the item is the deeper block that follows.
+			p.pos++
+			if p.pos >= len(p.lines) || p.lines[p.pos].indent <= indent {
+				list = append(list, nil)
+				continue
+			}
+			v, err := p.parseBlock(p.lines[p.pos].indent)
+			if err != nil {
+				return nil, err
+			}
+			list = append(list, v)
+			continue
+		}
+		item := strings.TrimSpace(l.text[2:])
+		if isMapEntry(item) {
+			// "- key: value": rewrite as a map line indented to the item
+			// body ("- " is two columns) and parse the map from here, so
+			// continuation lines at that indent join the same item.
+			p.lines[p.pos] = yamlLine{indent: indent + 2, text: item, num: l.num}
+			v, err := p.parseMap(indent + 2)
+			if err != nil {
+				return nil, err
+			}
+			list = append(list, v)
+			continue
+		}
+		p.pos++
+		list = append(list, parseScalar(item))
+	}
+	return list, nil
+}
+
+// splitKey splits "key: value" / "key:", unquoting the key.
+func splitKey(l yamlLine) (key, rest string, err error) {
+	i := keyColon(l.text)
+	if i < 0 {
+		return "", "", fmt.Errorf("yaml: line %d: expected \"key:\", got %q", l.num, l.text)
+	}
+	key = strings.TrimSpace(l.text[:i])
+	if s, ok := unquote(key); ok {
+		key = s
+	}
+	if key == "" {
+		return "", "", fmt.Errorf("yaml: line %d: empty key", l.num)
+	}
+	return key, strings.TrimSpace(l.text[i+1:]), nil
+}
+
+// keyColon finds the colon ending the key: the first ":" at end of
+// text or followed by a space, outside quotes.
+func keyColon(s string) int {
+	var quote byte
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		switch {
+		case quote != 0:
+			if c == quote {
+				quote = 0
+			} else if c == '\\' && quote == '"' {
+				i++
+			}
+		case c == '\'' || c == '"':
+			quote = c
+		case c == ':' && (i == len(s)-1 || s[i+1] == ' '):
+			return i
+		}
+	}
+	return -1
+}
+
+// isMapEntry reports whether a list item's text starts a map ("key: v"
+// or "key:") rather than being a plain scalar.
+func isMapEntry(item string) bool {
+	if _, ok := unquote(item); ok {
+		return false // a fully quoted scalar, even if it contains ":"
+	}
+	return keyColon(item) >= 0
+}
+
+// parseScalar interprets an inline scalar.
+func parseScalar(s string) any {
+	if v, ok := unquote(s); ok {
+		return v
+	}
+	switch s {
+	case "", "null", "~":
+		return nil
+	case "true":
+		return true
+	case "false":
+		return false
+	}
+	if i, err := strconv.ParseInt(s, 10, 64); err == nil {
+		return i
+	}
+	if f, err := strconv.ParseFloat(s, 64); err == nil {
+		return f
+	}
+	return s
+}
+
+// unquote strips matching single or double quotes, handling the basic
+// double-quote escapes; ok reports whether s was quoted.
+func unquote(s string) (string, bool) {
+	if len(s) < 2 {
+		return s, false
+	}
+	q := s[0]
+	if (q != '\'' && q != '"') || s[len(s)-1] != q {
+		return s, false
+	}
+	body := s[1 : len(s)-1]
+	if q == '\'' {
+		return strings.ReplaceAll(body, "''", "'"), true
+	}
+	var b strings.Builder
+	for i := 0; i < len(body); i++ {
+		c := body[i]
+		if c != '\\' || i == len(body)-1 {
+			b.WriteByte(c)
+			continue
+		}
+		i++
+		switch body[i] {
+		case 'n':
+			b.WriteByte('\n')
+		case 't':
+			b.WriteByte('\t')
+		case '"':
+			b.WriteByte('"')
+		case '\\':
+			b.WriteByte('\\')
+		default:
+			b.WriteByte('\\')
+			b.WriteByte(body[i])
+		}
+	}
+	return b.String(), true
+}

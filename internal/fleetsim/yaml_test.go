@@ -1,0 +1,88 @@
+package fleetsim
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestParseYAMLDocument(t *testing.T) {
+	doc := `
+# scenario header
+name: smoke          # inline comment
+seed: 42
+tick: 1s
+ratio: 0.5
+debug: true
+empty:
+nested:
+  a: 1
+  b:
+    c: "x: y"        # colon inside quotes
+scalars:
+  - one
+  - 2
+  - 3.5
+items:
+  - name: 'first'
+    weight: 2
+    sub:
+      deep: ok
+  - name: second
+    weight: 1
+`
+	got, err := parseYAML([]byte(doc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]any{
+		"name":  "smoke",
+		"seed":  int64(42),
+		"tick":  "1s",
+		"ratio": 0.5,
+		"debug": true,
+		"empty": nil,
+		"nested": map[string]any{
+			"a": int64(1),
+			"b": map[string]any{"c": "x: y"},
+		},
+		"scalars": []any{"one", int64(2), 3.5},
+		"items": []any{
+			map[string]any{"name": "first", "weight": int64(2),
+				"sub": map[string]any{"deep": "ok"}},
+			map[string]any{"name": "second", "weight": int64(1)},
+		},
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("parseYAML:\n got  %#v\n want %#v", got, want)
+	}
+}
+
+func TestParseYAMLErrors(t *testing.T) {
+	cases := map[string]string{
+		"tab indent":    "a:\n\tb: 1",
+		"no colon":      "just a scalar line",
+		"duplicate key": "a: 1\na: 2",
+		"bad indent":    "a: 1\n  b: 2",
+	}
+	for name, doc := range cases {
+		if _, err := parseYAML([]byte(doc)); err == nil {
+			t.Errorf("%s: parse succeeded, want error", name)
+		}
+	}
+}
+
+func TestParseYAMLScalars(t *testing.T) {
+	cases := []struct {
+		in   string
+		want any
+	}{
+		{"null", nil}, {"~", nil}, {"true", true}, {"false", false},
+		{"7", int64(7)}, {"-3", int64(-3)}, {"2.5", 2.5}, {"1e3", 1000.0},
+		{"30s", "30s"}, {"'7'", "7"}, {`"a\nb"`, "a\nb"}, {"''", ""},
+	}
+	for _, c := range cases {
+		if got := parseScalar(c.in); !reflect.DeepEqual(got, c.want) {
+			t.Errorf("parseScalar(%q) = %#v, want %#v", c.in, got, c.want)
+		}
+	}
+}

@@ -8,6 +8,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/randx"
 	"repro/internal/trace"
 )
 
@@ -82,6 +83,14 @@ func (c *Client) Close() error {
 // interval (the paper's implementation waits ~1.5 s between datapoints),
 // ships each datapoint, and, when the failure condition fires, ships the
 // fail event and invokes onFail (e.g. to restart the application).
+//
+// With Redial set, a mid-stream send failure no longer ends the loop:
+// the collector reconnects under the Retry backoff policy, re-sends the
+// event whose delivery failed, and resumes the run — the FMS keeps the
+// client's open run across connections (runs are keyed by client id and
+// closed only by fail events), so the stream picks up where it left off
+// with at most a sampling gap for the outage. Without Redial the loop
+// ends on the first send failure, as before.
 type Collector struct {
 	Client   *Client
 	Source   Source
@@ -90,6 +99,24 @@ type Collector struct {
 	Condition trace.FailCondition
 	// OnFail is called after a fail event is shipped; may be nil.
 	OnFail func(d *trace.Datapoint)
+
+	// Redial, when non-nil, turns mid-stream send failures into
+	// reconnect-and-resume: it must dial a fresh connection and send
+	// the hello handshake (e.g. wrap DialContext with the collector's
+	// address and client id). It is called once per attempt, between
+	// Retry backoff delays.
+	Redial func(ctx context.Context) (*Client, error)
+	// Retry shapes the backoff between redial attempts (zero value =
+	// defaults: 250 ms base, 15 s cap, factor 2, ±20 % jitter,
+	// unlimited attempts).
+	Retry Backoff
+	// RetryRNG seeds the backoff jitter; nil disables jitter (use a
+	// seeded randx.Source for reproducible reconnect timing).
+	RetryRNG *randx.Source
+	// OnReconnect observes the recovery path: called with the attempt
+	// number and outcome of every redial try (err == nil for the one
+	// that succeeded). Must not call back into Stop.
+	OnReconnect func(attempt int, err error)
 
 	stop chan struct{}
 	done chan struct{}
@@ -129,11 +156,11 @@ func (c *Collector) loop(ctx context.Context) {
 			if err != nil {
 				continue
 			}
-			if err := c.Client.SendDatapoint(&d); err != nil {
-				return // connection gone
+			if !c.ship(ctx, func() error { return c.Client.SendDatapoint(&d) }) {
+				return // connection gone and no (successful) redial
 			}
 			if c.Condition != nil && c.Condition(&d) {
-				if err := c.Client.SendFail(d.Tgen); err != nil {
+				if !c.ship(ctx, func() error { return c.Client.SendFail(d.Tgen) }) {
 					return
 				}
 				if c.OnFail != nil {
@@ -141,6 +168,59 @@ func (c *Collector) loop(ctx context.Context) {
 				}
 			}
 		}
+	}
+}
+
+// ship sends one event, reconnecting on failure when Redial is set: the
+// old connection is torn down, redial attempts run under the Retry
+// backoff until one succeeds (re-sending the event that failed, so the
+// seam loses nothing that was sampled) or the loop is stopped. Reports
+// whether the event was handed to a connection.
+func (c *Collector) ship(ctx context.Context, send func() error) bool {
+	err := send()
+	if err == nil {
+		return true
+	}
+	if c.Redial == nil {
+		return false
+	}
+	for attempt := 1; ; attempt++ {
+		if c.Retry.MaxAttempts > 0 && attempt > c.Retry.MaxAttempts {
+			return false
+		}
+		if ctx.Err() != nil || c.stopped() {
+			return false
+		}
+		if !c.Retry.sleep(ctx, attempt, c.RetryRNG) {
+			return false
+		}
+		if c.stopped() {
+			return false
+		}
+		cli, err := c.Redial(ctx)
+		if c.OnReconnect != nil {
+			c.OnReconnect(attempt, err)
+		}
+		if err != nil {
+			continue
+		}
+		c.Client.conn.Close() // tear down the dead connection
+		c.Client = cli
+		if err := send(); err == nil {
+			return true
+		}
+		// The fresh connection died inside the resend window — keep
+		// backing off and try again.
+	}
+}
+
+// stopped reports whether Stop has been called.
+func (c *Collector) stopped() bool {
+	select {
+	case <-c.stop:
+		return true
+	default:
+		return false
 	}
 }
 

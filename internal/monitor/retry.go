@@ -1,0 +1,109 @@
+package monitor
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"repro/internal/randx"
+)
+
+// Backoff is a capped exponential backoff policy with jitter, used by
+// DialRetryContext and by the Collector's reconnect path. The zero
+// value is usable and means "the defaults": 250 ms base, 15 s cap,
+// factor 2, ±20 % jitter, retry until the context is cancelled.
+type Backoff struct {
+	// Base is the delay before the first retry (default 250 ms).
+	Base time.Duration
+	// Max caps the grown delay (default 15 s).
+	Max time.Duration
+	// Factor is the per-attempt growth multiplier (default 2).
+	Factor float64
+	// Jitter spreads each delay uniformly within ±Jitter fraction of
+	// its value (default 0.2), so a fleet of clients that lost the same
+	// server does not redial in lockstep. Set negative for no jitter.
+	Jitter float64
+	// MaxAttempts bounds consecutive failed attempts before giving up
+	// (0 = retry until the context is cancelled).
+	MaxAttempts int
+}
+
+// withDefaults fills zero fields with the documented defaults.
+func (b Backoff) withDefaults() Backoff {
+	if b.Base <= 0 {
+		b.Base = 250 * time.Millisecond
+	}
+	if b.Max <= 0 {
+		b.Max = 15 * time.Second
+	}
+	if b.Factor < 1 {
+		b.Factor = 2
+	}
+	if b.Jitter == 0 {
+		b.Jitter = 0.2
+	}
+	return b
+}
+
+// Delay returns the backoff before retry attempt (1-based): the base
+// delay grown by Factor^(attempt-1), capped at Max, jittered from rng
+// (nil rng means no jitter — fully deterministic timing for tests and
+// seeded simulations that want it).
+func (b Backoff) Delay(attempt int, rng *randx.Source) time.Duration {
+	b = b.withDefaults()
+	d := float64(b.Base)
+	for i := 1; i < attempt; i++ {
+		d *= b.Factor
+		if d >= float64(b.Max) {
+			break
+		}
+	}
+	if d > float64(b.Max) {
+		d = float64(b.Max)
+	}
+	if rng != nil && b.Jitter > 0 {
+		d *= 1 + b.Jitter*(2*rng.Float64()-1)
+	}
+	return time.Duration(d)
+}
+
+// sleep waits for the attempt's backoff delay or until ctx is done,
+// reporting false on cancellation.
+func (b Backoff) sleep(ctx context.Context, attempt int, rng *randx.Source) bool {
+	t := time.NewTimer(b.Delay(attempt, rng))
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return false
+	case <-t.C:
+		return true
+	}
+}
+
+// DialRetryContext dials the FMS with capped exponential backoff: each
+// failed attempt waits the policy's (jittered) delay and tries again,
+// until the dial succeeds, ctx is cancelled, or MaxAttempts consecutive
+// failures. rng seeds the jitter; nil means none. This is the
+// cold-start counterpart of the Collector's mid-stream reconnect — an
+// FMC that boots before its FMS (or during a server deploy) connects
+// when the server appears instead of dying.
+func DialRetryContext(ctx context.Context, addr, clientID string, b Backoff, rng *randx.Source) (*Client, error) {
+	b = b.withDefaults()
+	var lastErr error
+	for attempt := 1; ; attempt++ {
+		c, err := DialContext(ctx, addr, clientID)
+		if err == nil {
+			return c, nil
+		}
+		lastErr = err
+		if ctx.Err() != nil {
+			return nil, fmt.Errorf("monitor: dial retry cancelled: %w", lastErr)
+		}
+		if b.MaxAttempts > 0 && attempt >= b.MaxAttempts {
+			return nil, fmt.Errorf("monitor: giving up after %d dial attempts: %w", attempt, lastErr)
+		}
+		if !b.sleep(ctx, attempt, rng) {
+			return nil, fmt.Errorf("monitor: dial retry cancelled: %w", lastErr)
+		}
+	}
+}

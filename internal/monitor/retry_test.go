@@ -1,0 +1,195 @@
+package monitor
+
+import (
+	"bufio"
+	"context"
+	"net"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/randx"
+	"repro/internal/trace"
+)
+
+// TestBackoffDelayShape pins the policy arithmetic: exponential growth
+// from Base by Factor, capped at Max, deterministic without an rng, and
+// jitter bounded by the configured fraction.
+func TestBackoffDelayShape(t *testing.T) {
+	b := Backoff{Base: 100 * time.Millisecond, Max: time.Second, Factor: 2, Jitter: -1}
+	want := []time.Duration{100, 200, 400, 800, 1000, 1000}
+	for i, w := range want {
+		if got := b.Delay(i+1, nil); got != w*time.Millisecond {
+			t.Fatalf("Delay(%d) = %v, want %v", i+1, got, w*time.Millisecond)
+		}
+	}
+	// Jitter stays within ±20 % and is reproducible under a seed.
+	j := Backoff{Base: 100 * time.Millisecond, Max: time.Second}
+	r1, r2 := randx.New(7), randx.New(7)
+	for i := 1; i <= 6; i++ {
+		d1, d2 := j.Delay(i, r1), j.Delay(i, r2)
+		if d1 != d2 {
+			t.Fatalf("jittered Delay(%d) not reproducible under the same seed: %v vs %v", i, d1, d2)
+		}
+		base := j.withDefaults().Delay(i, nil)
+		lo := time.Duration(float64(base) * 0.79)
+		hi := time.Duration(float64(base) * 1.21)
+		if d1 < lo || d1 > hi {
+			t.Fatalf("jittered Delay(%d) = %v outside [%v, %v]", i, d1, lo, hi)
+		}
+	}
+}
+
+// TestDialRetryGivesUp pins the bounded-attempts path: a dead address
+// with MaxAttempts set fails fast instead of spinning forever.
+func TestDialRetryGivesUp(t *testing.T) {
+	// A listener we close immediately: the port is valid but refuses.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	ln.Close()
+	start := time.Now()
+	_, err = DialRetryContext(context.Background(), addr, "c1",
+		Backoff{Base: time.Millisecond, Max: 2 * time.Millisecond, MaxAttempts: 3, Jitter: -1}, nil)
+	if err == nil {
+		t.Fatal("DialRetryContext succeeded against a closed port")
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("bounded retry took %v", elapsed)
+	}
+}
+
+// TestDialRetryCancelled pins the cancellation path: a cancelled
+// context aborts the retry loop with an error, promptly.
+func TestDialRetryCancelled(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	ln.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	if _, err := DialRetryContext(ctx, addr, "c1", Backoff{Base: 10 * time.Millisecond, Jitter: -1}, nil); err == nil {
+		t.Fatal("DialRetryContext succeeded after cancellation")
+	}
+}
+
+// readConn consumes one accepted FMS connection: it checks the hello,
+// then reads datapoints until limit messages arrived or the peer went
+// away, returning the Tgens seen.
+func readConn(t *testing.T, conn net.Conn, wantID string, limit int) []float64 {
+	t.Helper()
+	r := bufio.NewReader(conn)
+	hello, err := readMessage(r)
+	if err != nil || hello.Type != TypeHello {
+		t.Fatalf("bad hello: %v %v", hello, err)
+	}
+	if hello.ClientID != wantID {
+		t.Fatalf("hello from %q, want %q", hello.ClientID, wantID)
+	}
+	var tgens []float64
+	for len(tgens) < limit {
+		m, err := readMessage(r)
+		if err != nil {
+			break
+		}
+		if m.Type == TypeDatapoint {
+			tgens = append(tgens, m.Tgen)
+		}
+	}
+	return tgens
+}
+
+// TestCollectorReconnectResumes pins the satellite bugfix: a mid-stream
+// disconnect no longer abandons the run. The harness accepts the
+// collector's connection, reads a few datapoints, and hard-closes it;
+// the collector must redial under its backoff policy, re-send the event
+// whose delivery failed, and keep streaming on the new connection with
+// monotone timestamps across the seam.
+func TestCollectorReconnectResumes(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	addr := ln.Addr().String()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Second)
+	defer cancel()
+
+	var tick atomic.Int64
+	src := SourceFunc(func() (trace.Datapoint, error) {
+		var d trace.Datapoint
+		d.Tgen = float64(tick.Add(1))
+		return d, nil
+	})
+
+	cli, err := DialContext(ctx, addr, "resume-1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	conn1, err := ln.Accept()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var reconnects atomic.Int64
+	coll := &Collector{
+		Client:   cli,
+		Source:   src,
+		Interval: 2 * time.Millisecond,
+		Redial: func(ctx context.Context) (*Client, error) {
+			return DialContext(ctx, addr, "resume-1")
+		},
+		Retry:    Backoff{Base: 2 * time.Millisecond, Max: 20 * time.Millisecond, Jitter: -1},
+		RetryRNG: randx.New(1),
+		OnReconnect: func(attempt int, err error) {
+			if err == nil {
+				reconnects.Add(1)
+			}
+		},
+	}
+	if err := coll.Start(ctx); err != nil {
+		t.Fatal(err)
+	}
+	defer coll.Stop()
+
+	first := readConn(t, conn1, "resume-1", 5)
+	conn1.Close() // hard mid-stream disconnect
+	if len(first) == 0 {
+		t.Fatal("no datapoints before the disconnect")
+	}
+
+	conn2, err := ln.Accept() // the redial
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn2.Close()
+	second := readConn(t, conn2, "resume-1", 5)
+	if len(second) < 5 {
+		t.Fatalf("only %d datapoints after reconnect, want 5 — the run did not resume", len(second))
+	}
+	if reconnects.Load() == 0 {
+		t.Fatal("OnReconnect never reported a successful redial")
+	}
+
+	// Monotone across the seam: the stream resumes at (or after) the
+	// event whose send failed; nothing sampled is re-sent out of order.
+	for i := 1; i < len(first); i++ {
+		if first[i] <= first[i-1] {
+			t.Fatalf("first connection not monotone: %v", first)
+		}
+	}
+	for i := 1; i < len(second); i++ {
+		if second[i] <= second[i-1] {
+			t.Fatalf("second connection not monotone: %v", second)
+		}
+	}
+	if second[0] < first[len(first)-1] {
+		t.Fatalf("stream rewound across the seam: first ended at %v, second starts at %v",
+			first[len(first)-1], second[0])
+	}
+}

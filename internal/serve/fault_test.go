@@ -1,0 +1,210 @@
+package serve
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+// virtualClock is a hand-advanced time source for WithClock tests.
+type virtualClock struct {
+	t time.Time
+}
+
+func newVirtualClock() *virtualClock { return &virtualClock{t: time.Unix(1_000_000, 0)} }
+
+func (c *virtualClock) Now() time.Time          { return c.t }
+func (c *virtualClock) Advance(d time.Duration) { c.t = c.t.Add(d) }
+
+// TestManualDispatchFlow pins the caller-driven mode: without a
+// dispatcher goroutine, completed windows accumulate in the shard
+// queues (visible in QueueDepth), an explicit Flush predicts them on
+// the calling goroutine in enqueue order, and Close still drains
+// whatever is queued.
+func TestManualDispatchFlow(t *testing.T) {
+	dep := &Deployment{Model: &stubModel{}, Name: "stub", Aggregation: rawAgg()}
+	svc, est := collectSvc(t, dep, WithManualDispatch(), WithShards(2))
+
+	var sessions []*Session
+	for _, id := range []string{"a", "b", "c"} {
+		ss, err := svc.StartSession(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sessions = append(sessions, ss)
+	}
+	// Each session completes one window (crossing the 10 s boundary).
+	for i, ss := range sessions {
+		if err := ss.Push(dp(5, float64(i))); err != nil {
+			t.Fatal(err)
+		}
+		if err := ss.Push(dp(15, float64(i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// No dispatcher may have consumed anything.
+	if got := svc.Stats().QueueDepth; got != 3 {
+		t.Fatalf("QueueDepth = %d before Flush, want 3 (manual dispatch must not auto-drain)", got)
+	}
+	if got := len(est.all()); got != 0 {
+		t.Fatalf("%d estimates before Flush, want 0", got)
+	}
+	svc.Flush()
+	if got := len(est.all()); got != 3 {
+		t.Fatalf("%d estimates after Flush, want 3", got)
+	}
+	if got := svc.Stats().QueueDepth; got != 0 {
+		t.Fatalf("QueueDepth = %d after Flush, want 0", got)
+	}
+
+	// Close drains windows still queued at shutdown. Each push pair
+	// completes two more windows per session ([10,20) and [20,30)).
+	for i, ss := range sessions {
+		if err := ss.Push(dp(25, float64(i))); err != nil {
+			t.Fatal(err)
+		}
+		if err := ss.Push(dp(35, float64(i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := svc.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(est.all()); got != 9 {
+		t.Fatalf("%d estimates after Close, want 9 (drain-on-Close dropped windows)", got)
+	}
+}
+
+// TestManualSweepVirtualClock pins the WithClock + SweepIdleNow pair:
+// idle eviction follows the virtual clock exactly — advancing past the
+// TTL and sweeping evicts, with the snapshot delivered once — and
+// nothing is evicted by wall time.
+func TestManualSweepVirtualClock(t *testing.T) {
+	clock := newVirtualClock()
+	var evicted []EvictedSession
+	dep := &Deployment{Model: &stubModel{}, Name: "stub", Aggregation: rawAgg()}
+	svc, _ := collectSvc(t, dep,
+		WithManualDispatch(),
+		WithShards(1),
+		WithClock(clock.Now),
+		WithSessionTTL(time.Minute),
+		WithSessionEvictFunc(func(ev EvictedSession) { evicted = append(evicted, ev) }),
+	)
+	if _, err := svc.StartSession("idle"); err != nil {
+		t.Fatal(err)
+	}
+	busy, err := svc.StartSession("busy")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	clock.Advance(30 * time.Second)
+	if err := busy.Push(dp(1, 1)); err != nil { // re-stamps "busy" at +30s
+		t.Fatal(err)
+	}
+	svc.SweepIdleNow() // nobody is past the TTL yet
+	if len(evicted) != 0 {
+		t.Fatalf("sweep at +30s evicted %v, want none", evicted)
+	}
+	clock.Advance(45 * time.Second) // "idle" is 75s idle, "busy" 45s
+	svc.SweepIdleNow()
+	if len(evicted) != 1 || evicted[0].ID != "idle" {
+		t.Fatalf("sweep at +75s evicted %v, want exactly [idle]", evicted)
+	}
+	if got := svc.Stats().EvictedSessions; got != 1 {
+		t.Fatalf("EvictedSessions = %d, want 1", got)
+	}
+	if _, ok := svc.Session("busy"); !ok {
+		t.Fatal("busy session evicted despite activity inside the TTL")
+	}
+}
+
+// TestShedByPriorityAccounting pins the per-priority shed surface:
+// under a held-full queue (manual dispatch, so nothing drains), every
+// shed window lands in Stats.ShedByPriority under its session's
+// priority, the per-priority counts sum to ShedWindows, only
+// below-floor priorities ever appear, and the WithShedFunc hook sees
+// one event per drop with the right attribution.
+func TestShedByPriorityAccounting(t *testing.T) {
+	var events []Shed
+	dep := &Deployment{Model: &stubModel{}, Name: "stub", Aggregation: rawAgg()}
+	svc, _ := collectSvc(t, dep,
+		WithManualDispatch(),
+		WithShards(1),
+		WithShedPolicy(ShedPolicy{MaxQueueDepth: 2, MinPriority: 5}),
+		WithShedFunc(func(s Shed) { events = append(events, s) }),
+	)
+	vip, err := svc.StartSession("vip", WithSessionPriority(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	lowA, err := svc.StartSession("low-a", WithSessionPriority(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	lowB, err := svc.StartSession("low-b", WithSessionPriority(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Fill the queue to the threshold with the floor-priority session.
+	for i := 0; i < 3; i++ {
+		if err := vip.Push(dp(float64(10*i+5), 1)); err != nil {
+			t.Fatalf("vip push %d: %v", i, err)
+		}
+	}
+	// Queue depth is now 2 (two completed windows) — at the threshold.
+	// Below-floor sessions shed; the floor session still queues.
+	shedPushes := func(ss *Session, n int) int {
+		shed := 0
+		for i := 0; i < n; i++ {
+			err := ss.Push(dp(float64(10*i+5), 1))
+			if errors.Is(err, ErrWindowShed) {
+				shed++
+			} else if err != nil {
+				t.Fatalf("push: %v", err)
+			}
+		}
+		return shed
+	}
+	gotA := shedPushes(lowA, 4) // 3 completed windows, all shed
+	gotB := shedPushes(lowB, 3) // 2 completed windows, all shed
+	if gotA != 3 || gotB != 2 {
+		t.Fatalf("shed counts %d/%d, want 3/2", gotA, gotB)
+	}
+	if err := vip.Push(dp(35, 1)); err != nil {
+		t.Fatalf("floor-priority session shed: %v", err)
+	}
+
+	st := svc.Stats()
+	if st.ShedWindows != 5 {
+		t.Fatalf("ShedWindows = %d, want 5", st.ShedWindows)
+	}
+	var sum uint64
+	for prio, n := range st.ShedByPriority {
+		if prio >= 5 {
+			t.Fatalf("priority %d (at/above the floor) appears in ShedByPriority", prio)
+		}
+		sum += n
+	}
+	if sum != st.ShedWindows {
+		t.Fatalf("ShedByPriority sums to %d, ShedWindows is %d", sum, st.ShedWindows)
+	}
+	if st.ShedByPriority[1] != 3 || st.ShedByPriority[3] != 2 {
+		t.Fatalf("ShedByPriority = %v, want {1:3, 3:2}", st.ShedByPriority)
+	}
+	if len(events) != 5 {
+		t.Fatalf("%d shed events, want 5", len(events))
+	}
+	for _, ev := range events {
+		if ev.Priority >= 5 {
+			t.Fatalf("shed event for priority %d (at/above floor): %+v", ev.Priority, ev)
+		}
+		if ev.QueueDepth < 2 {
+			t.Fatalf("shed event below the depth threshold: %+v", ev)
+		}
+		if (ev.SessionID == "low-a") != (ev.Priority == 1) {
+			t.Fatalf("shed event misattributed: %+v", ev)
+		}
+	}
+}

@@ -144,6 +144,29 @@ type EvictedSession struct {
 // EvictFunc consumes evicted-session snapshots.
 type EvictFunc func(EvictedSession)
 
+// Shed describes one window dropped by the ShedPolicy — who lost it,
+// not just that something was lost: the session, its priority, the
+// window's aggregated timestamp, and the shard queue depth that
+// triggered the drop. Delivered to the WithShedFunc hook and counted
+// per priority in Stats.ShedByPriority, so operators (and fleetsim
+// assertions) can verify that only below-floor sessions pay under
+// overload.
+type Shed struct {
+	// SessionID names the session whose window was dropped.
+	SessionID string
+	// Priority is the session's load-shedding priority (below the
+	// policy floor by construction).
+	Priority int
+	// Tgen is the aggregated timestamp of the dropped window.
+	Tgen float64
+	// QueueDepth is the shard's pending depth at the moment of the
+	// drop (at or past the policy's MaxQueueDepth).
+	QueueDepth int
+}
+
+// ShedFunc consumes shed-window notifications.
+type ShedFunc func(Shed)
+
 // ShedPolicy is the load-shedding configuration: past a per-shard
 // queue depth, completed windows of sessions below the priority floor
 // are dropped instead of queued. Queue growth is the service's
@@ -180,6 +203,10 @@ type config struct {
 	refreshInterval time.Duration
 	shards          int
 	shed            ShedPolicy
+	shedFunc        ShedFunc
+	now             func() time.Time
+	manual          bool
+	batchFailpoint  func(shard, size int)
 }
 
 // WithDeployment sets the initial model.
@@ -282,6 +309,53 @@ func WithShedPolicy(p ShedPolicy) Option {
 	return func(c *config) { c.shed = p }
 }
 
+// WithShedFunc registers a consumer for shed-window notifications: one
+// call per dropped window, carrying the session id, its priority, the
+// window timestamp, and the triggering queue depth. The hook is called
+// from the shedding goroutine (the session's pusher) with no lock held;
+// it must be fast and safe for concurrent use across sessions. The
+// per-priority totals are also available lock-free via
+// Stats.ShedByPriority, so the hook is for event-level consumers
+// (structured logs, fleetsim event streams), not counting.
+func WithShedFunc(fn ShedFunc) Option {
+	return func(c *config) { c.shedFunc = fn }
+}
+
+// WithClock sets the service's time source (default time.Now). This is
+// the serving layer's first fault-injection hook: a simulator can run
+// the service under a virtual clock, so idle-TTL eviction and activity
+// stamps follow scenario time rather than wall time and a seeded
+// scenario replays deterministically. The function must be safe for
+// concurrent use and must never go backwards.
+func WithClock(now func() time.Time) Option {
+	return func(c *config) { c.now = now }
+}
+
+// WithManualDispatch disables every background goroutine of the
+// service — the per-shard dispatchers, the idle-TTL sweeper, and the
+// auto-refresh ticker. Completed windows accumulate in the shard
+// queues until the caller invokes Flush (prediction and all callbacks
+// run on the calling goroutine, in enqueue order per shard); the idle
+// sweep runs only via SweepIdleNow and model refresh only via Refresh.
+// Combined with WithClock this makes the service fully deterministic
+// under a single driving goroutine: the fleetsim harness uses it to
+// replay seeded chaos scenarios to identical event logs. Shutdown
+// semantics are unchanged — Close (or cancelling the context) still
+// drains every queued window before returning.
+func WithManualDispatch() Option {
+	return func(c *config) { c.manual = true }
+}
+
+// WithBatchFailpoint installs a hook called immediately before every
+// prediction batch with the shard index and batch size — a failure
+// point for chaos testing. The hook runs on the dispatching goroutine
+// with no lock held, so it can stall (simulating a slow consumer and
+// building real backpressure), panic (crash testing), or just count.
+// It must not call back into Flush or Close.
+func WithBatchFailpoint(fn func(shard, size int)) Option {
+	return func(c *config) { c.batchFailpoint = fn }
+}
+
 // pendingRow is one completed window awaiting its prediction batch.
 type pendingRow struct {
 	sess *Session
@@ -320,6 +394,13 @@ type Stats struct {
 	// since New. Every completed window is either predicted exactly
 	// once or counted here exactly once — the two never overlap.
 	ShedWindows uint64
+	// ShedByPriority breaks ShedWindows down by the shedding session's
+	// priority — who lost windows, not just how many. The map is a
+	// fresh copy per Stats call (nil when nothing was ever shed); its
+	// values always sum to ShedWindows, and under a correctly
+	// configured policy every key is below the policy's MinPriority
+	// floor.
+	ShedByPriority map[int]uint64
 	// EvictedSessions counts idle-TTL session evictions since New.
 	EvictedSessions uint64
 	// Refreshes counts successful ModelSource hot-swaps since New
@@ -364,6 +445,11 @@ type Service struct {
 	ctx    context.Context
 	cancel context.CancelFunc
 
+	// now is the pluggable time source (WithClock; default time.Now):
+	// activity stamps and the idle-TTL cutoff read scenario time from
+	// it, so a virtual-clock harness controls eviction deterministically.
+	now func() time.Time
+
 	cur      atomic.Pointer[modelVersion]
 	nextVer  atomic.Uint64
 	deployMu sync.Mutex // serializes Deploy (version allocation + store)
@@ -379,9 +465,14 @@ type Service struct {
 	// sessionCount is the global active-session count: reserved before
 	// insert in StartSession so WithMaxSessions holds exactly across
 	// shards without a global lock.
-	sessionCount  atomic.Int64
-	queueDepth    atomic.Int64
-	shedWindows   atomic.Uint64
+	sessionCount atomic.Int64
+	queueDepth   atomic.Int64
+	shedWindows  atomic.Uint64
+	// shedByPrio breaks shedWindows down by session priority. Guarded
+	// by shedMu (nested inside the shard lock on the shed path, so the
+	// per-priority totals always sum to shedWindows exactly).
+	shedMu        sync.Mutex
+	shedByPrio    map[int]uint64
 	predictions   atomic.Uint64
 	alerts        atomic.Uint64
 	evicted       atomic.Uint64
@@ -432,6 +523,10 @@ func New(ctx context.Context, opts ...Option) (*Service, error) {
 		names:  names,
 		colIdx: make(map[string]int, len(names)),
 		shards: make([]*shard, nShards),
+		now:    cfg.now,
+	}
+	if s.now == nil {
+		s.now = time.Now
 	}
 	for i := range s.shards {
 		s.shards[i] = &shard{
@@ -453,6 +548,19 @@ func New(ctx context.Context, opts ...Option) (*Service, error) {
 		return nil, fmt.Errorf("serve: WithRefreshInterval requires a ModelSource")
 	}
 	s.ctx, s.cancel = context.WithCancel(ctx)
+	if cfg.manual {
+		// Manual dispatch: no dispatchers, sweeper, or refresher — the
+		// caller drives Flush/SweepIdleNow/Refresh. One watcher keeps
+		// the shutdown contract: cancelling the context (or Close)
+		// still drains every queued window exactly once.
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			<-s.ctx.Done()
+			s.shutdownOnce.Do(s.shutdown)
+		}()
+		return s, nil
+	}
 	for _, sh := range s.shards {
 		s.wg.Add(1)
 		go s.dispatcher(sh)
@@ -466,6 +574,17 @@ func New(ctx context.Context, opts ...Option) (*Service, error) {
 		go s.refresher()
 	}
 	return s, nil
+}
+
+// shardIndex returns sh's position in the shard slice (for failpoint
+// and observability labels).
+func (s *Service) shardIndex(sh *shard) int {
+	for i, cand := range s.shards {
+		if cand == sh {
+			return i
+		}
+	}
+	return -1
 }
 
 // shardFor hashes a session id onto its shard (FNV-1a: cheap, stable,
@@ -503,8 +622,18 @@ func (s *Service) sweeper() {
 		case <-s.ctx.Done():
 			return
 		case <-t.C:
-			s.sweepIdle(time.Now())
+			s.sweepIdle(s.now())
 		}
+	}
+}
+
+// SweepIdleNow runs one idle-TTL eviction pass at the service clock's
+// current time, on the calling goroutine — the manual-dispatch
+// counterpart of the background sweeper (a virtual-clock harness
+// advances its clock, then sweeps). A no-op without WithSessionTTL.
+func (s *Service) SweepIdleNow() {
+	if s.cfg.sessionTTL > 0 {
+		s.sweepIdle(s.now())
 	}
 }
 
@@ -694,14 +823,25 @@ func (s *Service) Sessions() []string {
 	return out
 }
 
-// Stats returns a snapshot of the service counters. Every field is
-// read from an atomic, so Stats never contends with the hot path and a
-// snapshot taken mid-sweep or mid-batch is internally consistent: the
-// queue depth is the exact sum over shards (never negative, never
-// double-counted) and the shed/prediction counters partition the
-// completed windows.
+// Stats returns a snapshot of the service counters. Every scalar field
+// is read from an atomic (the per-priority shed map takes only its own
+// small mutex, never a shard lock), so Stats never contends with the
+// hot path and a snapshot taken mid-sweep or mid-batch is internally
+// consistent: the queue depth is the exact sum over shards (never
+// negative, never double-counted) and the shed/prediction counters
+// partition the completed windows.
 func (s *Service) Stats() Stats {
+	var byPrio map[int]uint64
+	s.shedMu.Lock()
+	if len(s.shedByPrio) > 0 {
+		byPrio = make(map[int]uint64, len(s.shedByPrio))
+		for p, n := range s.shedByPrio {
+			byPrio[p] = n
+		}
+	}
+	s.shedMu.Unlock()
 	return Stats{
+		ShedByPriority:   byPrio,
 		Sessions:         int(s.sessionCount.Load()),
 		Shards:           len(s.shards),
 		Predictions:      s.predictions.Load(),
@@ -764,9 +904,21 @@ func (s *Service) enqueue(ss *Session, tgen float64, row []float64, endRun bool)
 	}
 	if p := s.cfg.shed; p.MaxQueueDepth > 0 && len(sh.pending) >= p.MaxQueueDepth && ss.priority < p.MinPriority {
 		// Shed: counted under the shard lock, so the windows predicted
-		// and the windows shed partition the accepted ones exactly.
+		// and the windows shed partition the accepted ones exactly —
+		// and the per-priority breakdown (shedMu nests inside the
+		// shard lock) always sums to the total.
 		s.shedWindows.Add(1)
+		s.shedMu.Lock()
+		if s.shedByPrio == nil {
+			s.shedByPrio = make(map[int]uint64)
+		}
+		s.shedByPrio[ss.priority]++
+		s.shedMu.Unlock()
+		depth := len(sh.pending)
 		sh.mu.Unlock()
+		if fn := s.cfg.shedFunc; fn != nil {
+			fn(Shed{SessionID: ss.id, Priority: ss.priority, Tgen: tgen, QueueDepth: depth})
+		}
 		return ErrWindowShed
 	}
 	sh.pending = append(sh.pending, pendingRow{sess: ss, tgen: tgen, row: row, endRun: endRun})
@@ -863,6 +1015,9 @@ func (s *Service) flushShard(sh *shard) {
 		sh.mu.Unlock()
 		if len(batch) == 0 {
 			return
+		}
+		if fn := s.cfg.batchFailpoint; fn != nil {
+			fn(s.shardIndex(sh), len(batch))
 		}
 		start := time.Now()
 		// Snapshot the model AFTER taking the batch: a Deploy that

@@ -4,7 +4,6 @@ import (
 	"math"
 	"sync"
 	"sync/atomic"
-	"time"
 
 	"repro/internal/aggregate"
 	"repro/internal/trace"
@@ -75,8 +74,9 @@ func newSession(s *Service, sh *shard, id string, opts ...SessionOption) (*Sessi
 	return ss, nil
 }
 
-// touch refreshes the idle-TTL activity stamp.
-func (ss *Session) touch() { ss.lastActive.Store(time.Now().UnixNano()) }
+// touch refreshes the idle-TTL activity stamp (on the service clock, so
+// a virtual-time harness controls eviction).
+func (ss *Session) touch() { ss.lastActive.Store(ss.svc.now().UnixNano()) }
 
 // ID returns the session's client id.
 func (ss *Session) ID() string { return ss.id }

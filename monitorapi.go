@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/ml/modelio"
 	"repro/internal/monitor"
+	"repro/internal/randx"
 )
 
 // Feature monitoring utilities (paper §III-E): the Feature Monitor
@@ -29,7 +30,20 @@ type (
 	FeatureSourceFunc = monitor.SourceFunc
 	// ProcSource samples a live Linux host through /proc.
 	ProcSource = monitor.ProcSource
+	// RetryBackoff is a capped exponential backoff policy with jitter,
+	// used by DialMonitorRetry and the Collector's reconnect path (the
+	// Collector.Retry field). The zero value means the defaults: 250 ms
+	// base, 15 s cap, factor 2, ±20 % jitter, unlimited attempts.
+	RetryBackoff = monitor.Backoff
+	// RandomSource is a seeded deterministic random stream (xoshiro256**)
+	// — the same generator the simulation layers use — for reproducible
+	// retry jitter and fleet simulation.
+	RandomSource = randx.Source
 )
+
+// NewRandomSource returns a deterministic random stream seeded with
+// seed: the same seed always yields the same sequence.
+func NewRandomSource(seed uint64) *RandomSource { return randx.New(seed) }
 
 // NewMonitorServer starts an FMS on addr (use "host:0" for an ephemeral
 // port; the chosen address is available via Addr). Options attach a
@@ -57,6 +71,16 @@ func DialMonitor(addr, clientID string) (*MonitorClient, error) {
 // DialMonitorContext is DialMonitor under a caller-supplied context.
 func DialMonitorContext(ctx context.Context, addr, clientID string) (*MonitorClient, error) {
 	return monitor.DialContext(ctx, addr, clientID)
+}
+
+// DialMonitorRetry dials the FMS with capped exponential backoff: each
+// failed attempt waits the policy's (jittered) delay and retries until
+// the dial succeeds, ctx is cancelled, or MaxAttempts failures — so an
+// FMC that boots before its FMS connects when the server appears
+// instead of dying. Pass a seeded RandomSource for reproducible jitter,
+// or nil for none.
+func DialMonitorRetry(ctx context.Context, addr, clientID string, b RetryBackoff, rng *RandomSource) (*MonitorClient, error) {
+	return monitor.DialRetryContext(ctx, addr, clientID, b, rng)
 }
 
 // NewProcSource returns a /proc-backed feature source (root "" means

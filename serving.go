@@ -46,6 +46,11 @@ type (
 	// depth, windows of sessions below the priority floor are dropped
 	// with exact accounting instead of queued.
 	ShedPolicy = serve.ShedPolicy
+	// Shed describes one window dropped by the ShedPolicy: the session,
+	// its priority, the window timestamp, and the triggering queue
+	// depth. Delivered via WithShedFunc; per-priority totals are in
+	// ServeStats.ShedByPriority.
+	Shed = serve.Shed
 )
 
 // NewPredictionService builds and starts a prediction service; the
@@ -114,6 +119,29 @@ func WithServeShards(n int) ServeOption { return serve.WithShards(n) }
 // of sessions below the priority floor are dropped (ErrWindowShed) and
 // counted exactly in ServeStats.ShedWindows instead of queued.
 func WithShedPolicy(p ShedPolicy) ServeOption { return serve.WithShedPolicy(p) }
+
+// WithShedFunc registers a consumer for shed-window notifications — one
+// call per dropped window with the session id, priority, window
+// timestamp, and triggering queue depth, so operators see who loses
+// windows under overload, not just how many.
+func WithShedFunc(fn func(Shed)) ServeOption { return serve.WithShedFunc(fn) }
+
+// WithServeClock sets the prediction service's time source (default
+// time.Now) — the fault-injection hook that lets a simulation harness
+// run the serving tier under a virtual clock.
+func WithServeClock(now func() time.Time) ServeOption { return serve.WithClock(now) }
+
+// WithManualDispatch disables the service's background goroutines:
+// completed windows accumulate until an explicit Flush, the idle sweep
+// runs only via SweepIdleNow, and refresh only via Refresh. Combined
+// with WithServeClock this makes the serving tier deterministic under a
+// single driving goroutine — the fleetsim harness's replay mode.
+func WithManualDispatch() ServeOption { return serve.WithManualDispatch() }
+
+// WithBatchFailpoint installs a chaos-testing hook called before every
+// prediction batch with the shard index and batch size; stalling in it
+// simulates a slow consumer and builds real backpressure.
+func WithBatchFailpoint(fn func(shard, size int)) ServeOption { return serve.WithBatchFailpoint(fn) }
 
 // OnEstimate registers a per-session estimate consumer.
 func OnEstimate(fn func(Estimate)) SessionOption { return serve.OnEstimate(fn) }
