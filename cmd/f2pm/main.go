@@ -9,6 +9,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -28,6 +29,7 @@ func main() {
 		fast     = flag.Bool("fast", false, "skip the SVM family (much faster)")
 		parallel = flag.Int("parallel", runtime.NumCPU(), "concurrent model training (timings get noisy above 1)")
 		saveBest = flag.String("save-model", "", "write the best model to this path for deployment")
+		publish  = flag.String("publish", "", "publish the best model to this registry URL (cmd/fmr)")
 	)
 	flag.Parse()
 
@@ -123,6 +125,21 @@ func main() {
 	if best := report.Best(); best != nil {
 		fmt.Printf("\nbest model: %s (%s features), S-MAE %.3f s\n",
 			best.Spec.DisplayName, best.Features, best.Report.SoftMAE)
+		if *publish != "" {
+			dep, err := f2pm.DeploymentFromReport(report)
+			if err != nil {
+				fatal(err)
+			}
+			res, err := f2pm.PublishDeployment(context.Background(), *publish, dep)
+			if err != nil {
+				fatal(err)
+			}
+			if res.Changed {
+				fmt.Printf("published model v%d to %s (etag %s)\n", res.Version, *publish, res.ETag)
+			} else {
+				fmt.Printf("registry %s already serves these bytes (v%d, etag %s)\n", *publish, res.Version, res.ETag)
+			}
+		}
 		if *saveBest != "" {
 			dep, err := f2pm.DeploymentFromReport(report)
 			if err != nil {

@@ -9,10 +9,18 @@
 // flagged — the paper's deployment loop (monitor → aggregate → predict
 // → act) in one process.
 //
+// With -registry, the served model comes from a remote model registry
+// (cmd/fmr) instead of a local file: the service polls with conditional
+// GETs on the -refresh ticker, persists the last-good envelope to
+// -model-cache, heartbeats its health to the registry, and — when the
+// registry is unreachable — keeps serving the last-good model, flagged
+// stale, instead of dropping predictions.
+//
 // Usage:
 //
 //	fms -listen :7070 -outdir histories/
 //	fms -listen :7070 -serve-model best.model -alert-below 60
+//	fms -listen :7070 -registry http://10.0.0.9:7071 -model-cache last.model
 package main
 
 import (
@@ -23,6 +31,7 @@ import (
 	"os/signal"
 	"path/filepath"
 	"syscall"
+	"time"
 
 	f2pm "repro"
 )
@@ -35,8 +44,15 @@ func main() {
 		servePath  = flag.String("serve-model", "", "serve live RTTF predictions with this model file")
 		alertBelow = flag.Float64("alert-below", 0, "flag predictions below this many seconds (0 disables)")
 		window     = flag.Float64("window", 30, "aggregation window for models saved without metadata")
+		regURL     = flag.String("registry", "", "serve predictions with models pulled from this registry URL (cmd/fmr)")
+		refresh    = flag.Duration("refresh", 10*time.Second, "registry poll interval (with -registry)")
+		cacheFile  = flag.String("model-cache", "", "persist the last-good registry envelope here (survives restarts)")
+		node       = flag.String("node", "", "node id reported in registry heartbeats (default hostname)")
 	)
 	flag.Parse()
+	if *servePath != "" && *regURL != "" {
+		fatal(fmt.Errorf("-serve-model and -registry are mutually exclusive"))
+	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
@@ -51,7 +67,18 @@ func main() {
 		opts []f2pm.MonitorServerOption
 	)
 	opts = append(opts, f2pm.WithMonitorContext(ctx))
-	if *servePath != "" {
+	serveOpts := []f2pm.ServeOption{
+		f2pm.WithEstimateFunc(func(e f2pm.Estimate) {
+			fmt.Printf("client=%s t=%.1fs predicted_rttf=%.1fs model=%s/v%d\n",
+				e.SessionID, e.Tgen, e.RTTF, e.ModelName, e.ModelVersion)
+		}),
+		f2pm.WithAlertFunc(*alertBelow, func(a f2pm.Alert) {
+			fmt.Fprintf(os.Stderr, "fms: ALERT client=%s RTTF %.1fs below %.1fs\n",
+				a.SessionID, a.RTTF, a.Threshold)
+		}),
+	}
+	switch {
+	case *servePath != "":
 		mf, err := os.Open(*servePath)
 		if err != nil {
 			fatal(err)
@@ -71,21 +98,35 @@ func main() {
 		// below, or connection handlers still delivering buffered
 		// datapoints would race its self-shutdown and lose windows.
 		svc, err = f2pm.NewPredictionService(context.Background(),
-			f2pm.WithDeployment(dep),
-			f2pm.WithEstimateFunc(func(e f2pm.Estimate) {
-				fmt.Printf("client=%s t=%.1fs predicted_rttf=%.1fs model=%s/v%d\n",
-					e.SessionID, e.Tgen, e.RTTF, e.ModelName, e.ModelVersion)
-			}),
-			f2pm.WithAlertFunc(*alertBelow, func(a f2pm.Alert) {
-				fmt.Fprintf(os.Stderr, "fms: ALERT client=%s RTTF %.1fs below %.1fs\n",
-					a.SessionID, a.RTTF, a.Threshold)
-			}),
-		)
+			append(serveOpts, f2pm.WithDeployment(dep))...)
 		if err != nil {
 			fatal(err)
 		}
 		fmt.Fprintf(os.Stderr, "fms: serving %s model predictions\n", dep.Name)
 		opts = append(opts, f2pm.WithMonitorStream(svc))
+	case *regURL != "":
+		// Jittered backoff keeps a fleet that lost the same registry
+		// from probing it in lockstep.
+		src := f2pm.NewHTTPModelSource(*regURL, f2pm.HTTPSourceConfig{
+			CacheFile: *cacheFile,
+			RNG:       f2pm.NewRandomSource(uint64(time.Now().UnixNano())),
+		})
+		var err error
+		svc, err = f2pm.NewPredictionService(context.Background(),
+			append(serveOpts,
+				f2pm.WithModelSource(src),
+				f2pm.WithRefreshInterval(*refresh))...)
+		if err != nil {
+			fatal(fmt.Errorf("registry %s: %w", *regURL, err))
+		}
+		st := src.SourceStatus()
+		if st.Stale {
+			fmt.Fprintf(os.Stderr, "fms: registry unreachable (%s); serving last-good cached model\n", st.LastError)
+		} else {
+			fmt.Fprintf(os.Stderr, "fms: serving model from registry %s (etag %s)\n", *regURL, st.ETag)
+		}
+		opts = append(opts, f2pm.WithMonitorStream(svc))
+		go heartbeatLoop(ctx, *regURL, nodeID(*node), src, svc, *refresh)
 	}
 
 	srv, err := f2pm.NewMonitorServer(*listen, opts...)
@@ -127,6 +168,54 @@ func main() {
 		fmt.Fprintf(os.Stderr, "fms: wrote %s (%d runs, %d datapoints)\n",
 			path, len(h.Runs), h.TotalDatapoints())
 	}
+}
+
+// heartbeatLoop reports this node's health to the registry every poll
+// interval: which envelope it serves, its counters, and whether it is
+// serving stale. Heartbeat failures are logged once per transition —
+// an unreachable registry already shows up in Stats.
+func heartbeatLoop(ctx context.Context, regURL, node string, src *f2pm.HTTPModelSource, svc *f2pm.PredictionService, every time.Duration) {
+	client := f2pm.NewRegistryClient(regURL, nil)
+	t := time.NewTicker(every)
+	defer t.Stop()
+	down := false
+	for {
+		st := svc.Stats()
+		hb := f2pm.RegistryHeartbeat{
+			Node:         node,
+			ETag:         src.ETag(),
+			ModelVersion: st.ModelVersion,
+			Sessions:     st.Sessions,
+			Predictions:  st.Predictions,
+			Stale:        st.RegistryStale,
+			StaleAgeSec:  st.RegistryStaleAge.Seconds(),
+			LastError:    st.RegistryLastError,
+		}
+		hbCtx, cancel := context.WithTimeout(ctx, every)
+		_, err := client.SendHeartbeat(hbCtx, hb)
+		cancel()
+		if err != nil && !down {
+			fmt.Fprintf(os.Stderr, "fms: heartbeat: %v\n", err)
+		}
+		down = err != nil
+		select {
+		case <-ctx.Done():
+			return
+		case <-t.C:
+		}
+	}
+}
+
+// nodeID resolves the heartbeat node id: the -node flag, else the
+// hostname, else the pid.
+func nodeID(flagVal string) string {
+	if flagVal != "" {
+		return flagVal
+	}
+	if h, err := os.Hostname(); err == nil && h != "" {
+		return h
+	}
+	return fmt.Sprintf("fms-%d", os.Getpid())
 }
 
 func fatal(err error) {

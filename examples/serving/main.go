@@ -23,15 +23,28 @@
 // registered at the priority floor (WithSessionPriority), so its
 // windows are never shed.
 //
+// The finale scales the same loop out: the retrained model is
+// published to a remote model registry and two serving nodes pull it
+// through conditional-GET polling (HTTPModelSource) — surviving a
+// simulated registry outage by serving their last-good model
+// (stale-while-revalidate, staleness surfaced in Stats and in the
+// registry's fleet health view) and reconverging to the model
+// published during the outage on the first poll after recovery.
+//
 // Run with:
 //
 //	go run ./examples/serving
 package main
 
 import (
+	"bytes"
 	"context"
 	"fmt"
 	"log"
+	"net"
+	"net/http"
+	"os"
+	"path/filepath"
 	"sync/atomic"
 	"time"
 
@@ -48,9 +61,16 @@ const (
 // leakDatapoint fabricates the feature snapshot of a machine that has
 // been leaking for `step` samples.
 func leakDatapoint(step int) f2pm.Datapoint {
+	return leakDatapointRate(step, leakPerDP)
+}
+
+// leakDatapointRate is leakDatapoint with the leak rate as a knob —
+// the registry walkthrough drifts the workload to force a genuinely
+// different retrained model.
+func leakDatapointRate(step, rate int) f2pm.Datapoint {
 	var d f2pm.Datapoint
 	d.Tgen = float64(step) * sampleSec
-	used := float64(baseUsedKB + step*leakPerDP)
+	used := float64(baseUsedKB + step*rate)
 	if used > totalMem {
 		used = totalMem
 	}
@@ -62,21 +82,27 @@ func leakDatapoint(step int) f2pm.Datapoint {
 	return d
 }
 
+// leakRun generates one completed leak-to-failure run at the given
+// leak rate.
+func leakRun(rate int) f2pm.Run {
+	var run f2pm.Run
+	for step := 0; ; step++ {
+		d := leakDatapointRate(step, rate)
+		run.Datapoints = append(run.Datapoints, d)
+		if d.Features[f2pm.MemFree] <= 0.02*totalMem {
+			run.Failed = true
+			run.FailTime = d.Tgen
+			break
+		}
+	}
+	return run
+}
+
 // syntheticHistory builds n completed leak-to-failure runs.
 func syntheticHistory(n int) *f2pm.History {
 	h := &f2pm.History{}
 	for r := 0; r < n; r++ {
-		var run f2pm.Run
-		for step := 0; ; step++ {
-			d := leakDatapoint(step)
-			run.Datapoints = append(run.Datapoints, d)
-			if d.Features[f2pm.MemFree] <= 0.02*totalMem {
-				run.Failed = true
-				run.FailTime = d.Tgen
-				break
-			}
-		}
-		h.Runs = append(h.Runs, run)
+		h.Runs = append(h.Runs, leakRun(leakPerDP))
 	}
 	return h
 }
@@ -232,6 +258,194 @@ func main() {
 	fmt.Printf("served %d estimates (%d alerts) on %d shards, %d session(s) evicted, %d window(s) shed, queue depth %d, final model v%d\n",
 		st.Predictions, st.Alerts, st.Shards, st.EvictedSessions, st.ShedWindows, st.QueueDepth, st.ModelVersion)
 	svc.Close()
+
+	// 5. Scale out: the same deployment distributed through a remote
+	// model registry. Two serving nodes poll the registry with
+	// conditional GETs (an unchanged model costs a 304 and the refresh
+	// is a no-op), heartbeat their state into the fleet health view,
+	// and — when the registry dies mid-flight — keep predicting from
+	// their last-good model (stale-while-revalidate, surfaced in
+	// Stats), reconverging to everything published during the outage on
+	// the first poll after recovery.
+	registryWalkthrough(ctx, pipe, history, dep)
+}
+
+// regNode is one registry-backed serving node in the walkthrough.
+type regNode struct {
+	name string
+	src  *f2pm.HTTPModelSource
+	svc  *f2pm.PredictionService
+	sess *f2pm.ServeSession
+	step int
+}
+
+// feed pushes n monitor samples into the node's session (the demo's
+// stand-in for the FMS stream of part 2).
+func (n *regNode) feed(count int) {
+	for i := 0; i < count; i++ {
+		d := leakDatapoint(n.step)
+		n.step++
+		if err := n.sess.Push(d); err != nil {
+			log.Fatal(err)
+		}
+	}
+}
+
+func registryWalkthrough(ctx context.Context, pipe *f2pm.Pipeline, history *f2pm.History, dep *f2pm.Deployment) {
+	// The registry itself — one process the whole fleet converges on
+	// (in production: `fmr -listen :7071 -persist reg.model`). A kill
+	// switch in front simulates the outage.
+	reg := f2pm.NewModelRegistry()
+	var regDown atomic.Bool
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	proxy := &http.Server{Handler: http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if regDown.Load() {
+			http.Error(w, "registry down (simulated outage)", http.StatusServiceUnavailable)
+			return
+		}
+		reg.ServeHTTP(w, r)
+	})}
+	go proxy.Serve(ln)
+	defer proxy.Close()
+	regURL := "http://" + ln.Addr().String()
+
+	pub, err := f2pm.PublishDeployment(ctx, regURL, dep)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("registry up at %s; published %s as v%d (etag %.10s...)\n",
+		regURL, dep.Name, pub.Version, pub.ETag)
+
+	// Two serving nodes, each pulling through an HTTPModelSource: the
+	// on-disk cache survives restarts, the breaker backoff stays below
+	// the refresh interval so a healed registry reconverges on the very
+	// next poll.
+	cacheDir, err := os.MkdirTemp("", "f2pm-registry-demo")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(cacheDir)
+	const refreshEvery = 25 * time.Millisecond
+	var nodes []*regNode
+	for _, name := range []string{"node-a", "node-b"} {
+		src := f2pm.NewHTTPModelSource(regURL, f2pm.HTTPSourceConfig{
+			CacheFile:        filepath.Join(cacheDir, name+".model"),
+			Backoff:          f2pm.RetryBackoff{Base: 2 * time.Millisecond, Max: 10 * time.Millisecond},
+			BreakerThreshold: 3,
+			RNG:              f2pm.NewRandomSource(42),
+		})
+		svc, err := f2pm.NewPredictionService(ctx,
+			f2pm.WithModelSource(src),
+			f2pm.WithRefreshInterval(refreshEvery))
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer svc.Close()
+		sess, err := svc.StartSession("web-vm-" + name)
+		if err != nil {
+			log.Fatal(err)
+		}
+		nodes = append(nodes, &regNode{name: name, src: src, svc: svc, sess: sess})
+		fmt.Printf("  %s booted from the registry (model v%d)\n", name, svc.ModelVersion())
+	}
+
+	// Steady state: both nodes predict, heartbeat, and show as alive
+	// and current in the fleet health view.
+	for _, n := range nodes {
+		n.feed(40)
+	}
+	for _, n := range nodes {
+		node := n
+		waitFor(func() bool { return node.svc.Stats().Predictions > 0 })
+	}
+	reportFleet(ctx, regURL, nodes)
+
+	// The registry dies; the trainer (co-located with it, unaffected by
+	// the partition) retrains on a drifted workload — the leak got 2×
+	// faster — and publishes the new model into the cut-off registry.
+	regDown.Store(true)
+	fmt.Println("  registry OUTAGE begins; retraining on the drifted workload meanwhile")
+	for i := 0; i < 4; i++ {
+		history.Runs = append(history.Runs, leakRun(2*leakPerDP))
+	}
+	report, err := pipe.UpdateContext(ctx, history)
+	if err != nil {
+		log.Fatal(err)
+	}
+	dep2, err := f2pm.DeploymentFromReport(report)
+	if err != nil {
+		log.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := f2pm.SaveDeployment(&buf, dep2); err != nil {
+		log.Fatal(err)
+	}
+	pub2, err := reg.SetModel(buf.Bytes())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("  published v%d while the fleet is cut off (etag %.10s...)\n", pub2.Version, pub2.ETag)
+
+	// Mid-outage: both nodes keep predicting from their last-good
+	// model and say so out loud — staleness is surfaced, not swallowed.
+	for _, n := range nodes {
+		node := n
+		waitFor(func() bool { return node.svc.Stats().RegistryStale })
+		base := node.svc.Stats().Predictions
+		node.feed(40)
+		waitFor(func() bool { return node.svc.Stats().Predictions > base })
+		st := node.svc.Stats()
+		fmt.Printf("  %s serving STALE from last-good v%d (stale %.0fms, %d predictions; last error: %.40s...)\n",
+			node.name, st.ModelVersion, st.RegistryStaleAge.Seconds()*1000, st.Predictions, st.RegistryLastError)
+	}
+
+	// Recovery: the next poll converges every node to the model
+	// published during the outage.
+	regDown.Store(false)
+	for _, n := range nodes {
+		node := n
+		waitFor(func() bool {
+			st := node.svc.Stats()
+			return !st.RegistryStale && node.src.ETag() == pub2.ETag
+		})
+		fmt.Printf("  %s reconverged to the outage-time publish (model v%d)\n",
+			node.name, node.svc.ModelVersion())
+	}
+	reportFleet(ctx, regURL, nodes)
+}
+
+// reportFleet heartbeats every node's state to the registry and prints
+// the resulting /v1/health fleet view.
+func reportFleet(ctx context.Context, regURL string, nodes []*regNode) {
+	rc := f2pm.NewRegistryClient(regURL, nil)
+	for _, n := range nodes {
+		st := n.svc.Stats()
+		if _, err := rc.SendHeartbeat(ctx, f2pm.RegistryHeartbeat{
+			Node:         n.name,
+			ETag:         n.src.ETag(),
+			ModelVersion: st.ModelVersion,
+			Sessions:     st.Sessions,
+			Predictions:  st.Predictions,
+			Stale:        st.RegistryStale,
+			StaleAgeSec:  st.RegistryStaleAge.Seconds(),
+			LastError:    st.RegistryLastError,
+		}); err != nil {
+			log.Fatal(err)
+		}
+	}
+	h, err := rc.FetchHealth(ctx)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("  fleet health: model v%d (%s), %d/%d nodes alive, %d stale\n",
+		h.ModelVersion, h.ModelKind, h.AliveNodes, len(h.Nodes), h.StaleNodes)
+	for _, nh := range h.Nodes {
+		fmt.Printf("    %s: current=%v stale=%v predictions=%d\n",
+			nh.Node, nh.Current, nh.Stale, nh.Predictions)
+	}
 }
 
 // waitFor polls cond until it holds (the TCP stream is asynchronous).

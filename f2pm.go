@@ -115,6 +115,45 @@
 // ServeStats.ShedByPriority) while higher-priority sessions keep their
 // zero-drop guarantee.
 //
+// # Remote registry
+//
+// One process caps out at one machine; the remote model registry is
+// the control plane that lets N serving nodes share one trainer. A
+// ModelRegistry (daemonized as cmd/fmr) serves modelio deployment
+// envelopes over HTTP with strong ETags — quoted SHA-256 of the
+// envelope bytes, so a tag changes iff the bytes change — and serving
+// nodes poll it with conditional GETs through an HTTPModelSource on
+// the refresh ticker: an unchanged model costs one 304 round-trip and
+// the refresh stays a version-free no-op. The trainer publishes with
+// PublishDeployment (or cmd/f2pm -publish); garbage envelopes are
+// rejected with the load error and the current model keeps serving:
+//
+//	reg := f2pm.NewModelRegistry()        // or: fmr -listen :7071 -persist reg.model
+//	go http.ListenAndServe(":7071", reg)
+//	_, _ = f2pm.PublishDeployment(ctx, "http://127.0.0.1:7071", dep)
+//
+//	src := f2pm.NewHTTPModelSource("http://127.0.0.1:7071",
+//	    f2pm.HTTPSourceConfig{CacheFile: "/var/lib/fms/last-good.model"})
+//	svc, _ := f2pm.NewPredictionService(ctx,
+//	    f2pm.WithModelSource(src), f2pm.WithRefreshInterval(10*time.Second))
+//
+// The registry is a convergence point, never a single point of
+// failure: the source fails over stale-while-revalidate. When a poll
+// fails — registry down, timeout, garbage response — the node keeps
+// serving its last-good deployment (persisted to CacheFile across
+// restarts, so even a cold boot during an outage serves immediately),
+// a circuit breaker probes the dead registry on capped backoff
+// instead of hammering it every tick, and the outage is surfaced
+// rather than swallowed: ServeStats.RegistryStale/RegistryStaleAge/
+// RegistryLastError, mirrored into node heartbeats so the registry's
+// /v1/health view shows exactly which nodes are coasting and which
+// have converged (RegistryHealth, per-node liveness and ETag match).
+// After recovery the node converges to everything published during
+// the outage within one poll interval. cmd/fms wires all of it up
+// (-registry, -model-cache, -node); docs/registry-protocol.md is the
+// wire contract; the failover path is proven by a race-enabled HTTP
+// e2e test and the deterministic registry-outage fleetsim scenario.
+//
 // # Fleet simulation & chaos testing
 //
 // The whole train-serve loop is exercised end to end by the fleet

@@ -45,6 +45,13 @@ type SessionReport struct {
 	Lost      int    `json:"lost"`
 }
 
+// LatencyBucket is one row of the queue-latency histogram: how many
+// windows waited exactly Ticks virtual ticks for their estimate.
+type LatencyBucket struct {
+	Ticks int `json:"ticks"`
+	Count int `json:"count"`
+}
+
 // Report is the scenario outcome: counters, the per-session table, the
 // assertion results, and the full event log. Everything except
 // WallDuration is deterministic under a fixed scenario and seed.
@@ -76,9 +83,23 @@ type Report struct {
 	Batches         int            `json:"batches"`
 	MaxBatchSize    int            `json:"max_batch_size"`
 
-	MeanLatencyTicks float64 `json:"mean_latency_ticks"`
-	MaxLatencyTicks  int     `json:"max_latency_ticks"`
-	LostWindows      int     `json:"lost_windows"`
+	// Queue latency distribution, in virtual ticks from window
+	// completion to estimate delivery. The percentiles are
+	// nearest-rank over LatencyHistogram, so scenarios can assert tail
+	// latency (max_p99_latency), not just the mean.
+	MeanLatencyTicks float64         `json:"mean_latency_ticks"`
+	MaxLatencyTicks  int             `json:"max_latency_ticks"`
+	LatencyP50Ticks  int             `json:"latency_p50_ticks"`
+	LatencyP90Ticks  int             `json:"latency_p90_ticks"`
+	LatencyP99Ticks  int             `json:"latency_p99_ticks"`
+	LatencyHistogram []LatencyBucket `json:"latency_histogram,omitempty"`
+	LostWindows      int             `json:"lost_windows"`
+
+	// Registry mode (ServeConfig.Registry): how many retrains were
+	// published to the simulated registry, and whether the model
+	// source was still serving stale when the run ended.
+	Publishes    int  `json:"publishes,omitempty"`
+	FinallyStale bool `json:"finally_stale,omitempty"`
 
 	Sessions   []SessionReport `json:"sessions"`
 	Assertions []CheckResult   `json:"assertions"`
@@ -110,6 +131,8 @@ func (r *Report) Fingerprint() string {
 	}
 	fmt.Fprintf(&b, "predictions=%d shed=%d runs=%d lost=%d passed=%v\n",
 		r.Predictions, r.ShedWindows, r.CompletedRuns, r.LostWindows, r.Passed)
+	fmt.Fprintf(&b, "latency p50=%d p90=%d p99=%d max=%d publishes=%d\n",
+		r.LatencyP50Ticks, r.LatencyP90Ticks, r.LatencyP99Ticks, r.MaxLatencyTicks, r.Publishes)
 	return b.String()
 }
 
@@ -131,7 +154,11 @@ func (r *Report) WriteText(w io.Writer) {
 		r.Retrains, r.Redraws, r.ParityChecks, len(r.ParityFailures), r.Deploys, r.FinalModelVersion)
 	fmt.Fprintf(w, "  serving: %d predictions, %d alerts, %d batches (max %d), peak queue %d, %d evictions\n",
 		r.Predictions, r.Alerts, r.Batches, r.MaxBatchSize, r.MaxQueueDepth, r.EvictedSessions)
-	fmt.Fprintf(w, "  latency: mean %.2f ticks, max %d ticks\n", r.MeanLatencyTicks, r.MaxLatencyTicks)
+	fmt.Fprintf(w, "  latency: mean %.2f ticks, p50 %d, p90 %d, p99 %d, max %d ticks\n",
+		r.MeanLatencyTicks, r.LatencyP50Ticks, r.LatencyP90Ticks, r.LatencyP99Ticks, r.MaxLatencyTicks)
+	if r.Publishes > 0 || r.FinallyStale {
+		fmt.Fprintf(w, "  registry: %d publishes, finally stale: %v\n", r.Publishes, r.FinallyStale)
+	}
 	if r.ShedWindows > 0 {
 		prios := make([]int, 0, len(r.ShedByPriority))
 		for p := range r.ShedByPriority {

@@ -7,6 +7,7 @@ import (
 	"sort"
 	"time"
 
+	"repro/internal/monitor"
 	"repro/internal/randx"
 	"repro/internal/serve"
 	"repro/internal/trace"
@@ -40,6 +41,18 @@ type runner struct {
 	curDep     *serve.Deployment
 	deploys    int
 
+	// Simulated remote registry (Serve.Registry mode): retrains
+	// publish to regDep, the service converges by polling through
+	// regSrc on the virtual clock, and registry_outage makes the
+	// origin fail so the stale-while-revalidate path runs under
+	// deterministic replay.
+	regSrc         *serve.FailoverSource
+	regDep         *serve.Deployment
+	regOutageUntil int
+	publishes      int
+	regStale       bool
+	lastVersion    uint64
+
 	// Counters.
 	crashes       int
 	flaps         int
@@ -50,7 +63,8 @@ type runner struct {
 	latencySum    int
 	latencyCount  int
 	latencyMax    int
-	shedFloorBad  []string // shed events at/above the policy floor
+	latencyHist   map[int]int // latency in ticks → window count
+	shedFloorBad  []string    // shed events at/above the policy floor
 
 	log    []LogEntry
 	checks []CheckResult
@@ -64,10 +78,11 @@ type runner struct {
 func Run(sc *Scenario) (*Report, error) {
 	wall := time.Now()
 	r := &runner{
-		sc:       sc,
-		tickSec:  sc.Tick.Seconds(),
-		byID:     map[string]*client{},
-		sessions: map[string]*serve.Session{},
+		sc:          sc,
+		tickSec:     sc.Tick.Seconds(),
+		byID:        map[string]*client{},
+		sessions:    map[string]*serve.Session{},
+		latencyHist: map[int]int{},
 		// The virtual epoch is arbitrary but fixed: nothing in a run may
 		// read the wall clock.
 		now: time.Unix(1_000_000, 0),
@@ -94,7 +109,11 @@ func Run(sc *Scenario) (*Report, error) {
 	if err := r.startService(dep); err != nil {
 		return nil, err
 	}
-	r.logf("boot", "trained %d runs, deployed %q", sc.Train.Runs, dep.Name)
+	if sc.Serve.Registry != nil {
+		r.logf("boot", "trained %d runs, published %q to registry", sc.Train.Runs, dep.Name)
+	} else {
+		r.logf("boot", "trained %d runs, deployed %q", sc.Train.Runs, dep.Name)
+	}
 
 	ticks := int(sc.Duration / sc.Tick)
 	events := sc.Events
@@ -112,6 +131,9 @@ func Run(sc *Scenario) (*Report, error) {
 		r.stepClients(t)
 		if r.stormUntil > t {
 			r.stormTick()
+		}
+		if rc := sc.Serve.Registry; rc != nil && t%rc.PollEvery == 0 {
+			r.pollRegistry()
 		}
 		if t >= r.slowUntil && t%sc.Serve.FlushEvery == 0 {
 			r.svc.Flush()
@@ -194,12 +216,64 @@ func (r *runner) startService(dep *serve.Deployment) error {
 	if sc.Serve.AlertThreshold > 0 {
 		opts = append(opts, serve.WithAlertFunc(sc.Serve.AlertThreshold, func(serve.Alert) {}))
 	}
+	if rc := sc.Serve.Registry; rc != nil {
+		// The simulated registry is a pointer the trainer swaps on
+		// publish; registry_outage makes the origin fail. The real
+		// FailoverSource runs on the virtual clock with no jitter, so
+		// breaker cooldowns replay deterministically.
+		r.regDep = dep
+		origin := serve.ModelSourceFunc(func(context.Context) (*serve.Deployment, error) {
+			if r.tick < r.regOutageUntil {
+				return nil, fmt.Errorf("registry outage until tick %d", r.regOutageUntil)
+			}
+			return r.regDep, nil
+		})
+		r.regSrc = serve.NewFailoverSource(origin, serve.FailoverConfig{
+			BreakerThreshold: rc.BreakerFailures,
+			Backoff: monitor.Backoff{
+				Base:   rc.CooldownBase,
+				Max:    rc.CooldownMax,
+				Jitter: -1, // deterministic: no jitter
+			},
+			Clock: func() time.Time { return r.now },
+		})
+		opts = append(opts, serve.WithModelSource(r.regSrc))
+	}
 	svc, err := serve.New(context.Background(), opts...)
 	if err != nil {
 		return err
 	}
 	r.svc = svc
+	r.lastVersion = svc.Stats().ModelVersion
 	return nil
+}
+
+// pollRegistry is one refresh tick in registry mode: pull through the
+// failover source, log version convergence and staleness transitions —
+// all in virtual time, so outage → stale → recovery → reconvergence is
+// part of the deterministic fingerprint.
+func (r *runner) pollRegistry() {
+	ver, err := r.svc.Refresh(context.Background())
+	if err != nil {
+		// Only a true cold start reaches here (no last-good model);
+		// under scenario chaos the source serves stale instead.
+		r.errs = append(r.errs, fmt.Sprintf("registry poll: %v", err))
+		return
+	}
+	if ver != r.lastVersion {
+		r.deploys++
+		r.lastVersion = ver
+		r.logf("refresh", "poll converged to %q v%d", r.curDep.Name, ver)
+	}
+	st := r.regSrc.SourceStatus()
+	if st.Stale != r.regStale {
+		r.regStale = st.Stale
+		if st.Stale {
+			r.logf("stale", "registry unreachable, serving last-good model (failures %d)", st.Failures)
+		} else {
+			r.logf("fresh", "registry recovered, model source fresh again")
+		}
+	}
 }
 
 // onEstimate runs inside Flush/Close on the runner goroutine: it
@@ -216,6 +290,7 @@ func (r *runner) onEstimate(est serve.Estimate) {
 		c.pendingTicks = c.pendingTicks[1:]
 		r.latencySum += lat
 		r.latencyCount++
+		r.latencyHist[lat]++
 		if lat > r.latencyMax {
 			r.latencyMax = lat
 		}
@@ -386,6 +461,24 @@ func (r *runner) fail(c *client, tgen float64, t int) {
 		r.logf("retrain_error", "no deployable model: %v", err)
 		return
 	}
+	if r.sc.Serve.Registry != nil {
+		// Registry mode: the trainer publishes; the service converges
+		// at its next poll (the one-poll reconvergence the scenario
+		// asserts), not here.
+		r.regDep = dep
+		r.publishes++
+		r.prevDep, r.curDep = r.curDep, dep
+		redraw := ""
+		if rep.SplitRedrawn {
+			redraw = " (split redrawn)"
+		}
+		r.logf("publish", "retrain %d published %q (publish %d), window start %d%s",
+			r.tr.retrains, dep.Name, r.publishes, rep.WindowStart, redraw)
+		if rep.SplitRedrawn && r.sc.Train.VerifyRedraw {
+			r.logf("parity", "redraw parity: %d checks, %d failures", r.tr.parityChecks, len(r.tr.parityFails))
+		}
+		return
+	}
 	ver, err := r.svc.Deploy(dep)
 	if err != nil {
 		r.logf("retrain_error", "deploy: %v", err)
@@ -441,6 +534,9 @@ func (r *runner) fire(ev *ScenarioEvent) {
 	case "stale_model_storm":
 		r.stormUntil = t + r.atTick(ev.For)
 		r.logf("chaos", "stale_model_storm until tick %d", r.stormUntil)
+	case "registry_outage":
+		r.regOutageUntil = t + r.atTick(ev.For)
+		r.logf("chaos", "registry_outage until tick %d", r.regOutageUntil)
 	case "leak_burst":
 		n := int(ev.Fraction*float64(len(r.fleet)) + 0.5)
 		victims := r.pickVictims(n)
@@ -551,6 +647,24 @@ func (r *runner) evalCheck(c Check, at string) CheckResult {
 		}
 		res.Passed = lost == 0
 		res.Detail = fmt.Sprintf("%d windows lost across %d never-crashed sessions", lost, survivors)
+	case "registry_stale":
+		res.Passed = r.regSrc != nil && stats.RegistryStale
+		if r.regSrc == nil {
+			res.Detail = "no registry configured"
+		} else {
+			res.Detail = fmt.Sprintf("stale=%v last_error=%q", stats.RegistryStale, stats.RegistryLastError)
+		}
+	case "registry_fresh":
+		res.Passed = r.regSrc != nil && !stats.RegistryStale
+		if r.regSrc == nil {
+			res.Detail = "no registry configured"
+		} else {
+			res.Detail = fmt.Sprintf("stale=%v last_error=%q", stats.RegistryStale, stats.RegistryLastError)
+		}
+	case "min_publishes":
+		ge(float64(r.publishes), bound(1), "registry publishes")
+	case "max_p99_latency":
+		le(float64(r.latencyPercentile(99)), bound(0), "p99 latency ticks")
 	case "shed_only_below_floor":
 		res.Passed = len(r.shedFloorBad) == 0
 		if res.Passed {
@@ -562,6 +676,31 @@ func (r *runner) evalCheck(c Check, at string) CheckResult {
 		res.Detail = fmt.Sprintf("unknown check %q", c.Name)
 	}
 	return res
+}
+
+// latencyPercentile computes the nearest-rank p-th percentile of the
+// queue-latency distribution, in ticks (0 with no samples).
+func (r *runner) latencyPercentile(p float64) int {
+	if r.latencyCount == 0 {
+		return 0
+	}
+	rank := int(p/100*float64(r.latencyCount) + 0.9999999)
+	if rank < 1 {
+		rank = 1
+	}
+	ticks := make([]int, 0, len(r.latencyHist))
+	for t := range r.latencyHist {
+		ticks = append(ticks, t)
+	}
+	sort.Ints(ticks)
+	seen := 0
+	for _, t := range ticks {
+		seen += r.latencyHist[t]
+		if seen >= rank {
+			return t
+		}
+	}
+	return ticks[len(ticks)-1]
 }
 
 // report assembles the final Report from the drained run state.
@@ -596,9 +735,23 @@ func (r *runner) report(stats serve.Stats, ticks int) *Report {
 		Assertions:      r.checks,
 		Errors:          append([]string(nil), r.errs...),
 		Log:             r.log,
+
+		Publishes:    r.publishes,
+		FinallyStale: r.regStale,
 	}
 	if r.latencyCount > 0 {
 		rep.MeanLatencyTicks = float64(r.latencySum) / float64(r.latencyCount)
+		rep.LatencyP50Ticks = r.latencyPercentile(50)
+		rep.LatencyP90Ticks = r.latencyPercentile(90)
+		rep.LatencyP99Ticks = r.latencyPercentile(99)
+		ticks := make([]int, 0, len(r.latencyHist))
+		for t := range r.latencyHist {
+			ticks = append(ticks, t)
+		}
+		sort.Ints(ticks)
+		for _, t := range ticks {
+			rep.LatencyHistogram = append(rep.LatencyHistogram, LatencyBucket{Ticks: t, Count: r.latencyHist[t]})
+		}
 	}
 	for _, c := range r.fleet {
 		sr := SessionReport{

@@ -219,3 +219,54 @@ func TestApportion(t *testing.T) {
 		}
 	}
 }
+
+// TestRegistryOutageScenarioDeterministicReplay pins the committed
+// registry-outage CI scenario: the stale-while-revalidate cycle
+// (outage → stale-serving → recovery → one-poll reconvergence) must
+// pass, replay byte-identically, and leave its transitions in the
+// event log.
+func TestRegistryOutageScenarioDeterministicReplay(t *testing.T) {
+	sc := loadScenario(t, "../../examples/fleetsim/scenarios/registry-outage.yaml")
+	rep1, err := Run(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep2, err := Run(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep1.Passed {
+		rep1.WriteText(os.Stderr)
+		t.Fatal("registry-outage scenario failed")
+	}
+	if rep1.Fingerprint() != rep2.Fingerprint() {
+		t.Fatal("replay diverged: two runs of the same scenario+seed produced different event logs")
+	}
+	kinds := map[string]bool{}
+	for _, e := range rep1.Log {
+		kinds[e.Kind] = true
+	}
+	for _, k := range []string{"publish", "refresh", "stale", "fresh", "chaos"} {
+		if !kinds[k] {
+			t.Errorf("event log has no %q entries", k)
+		}
+	}
+	if rep1.Publishes == 0 {
+		t.Error("no retrain was published through the registry")
+	}
+	if rep1.FinallyStale {
+		t.Error("model source still stale after the registry recovered")
+	}
+	if rep1.LatencyP99Ticks == 0 || len(rep1.LatencyHistogram) == 0 {
+		t.Errorf("latency histogram not populated: p99=%d buckets=%d",
+			rep1.LatencyP99Ticks, len(rep1.LatencyHistogram))
+	}
+	var total int
+	for _, b := range rep1.LatencyHistogram {
+		total += b.Count
+	}
+	if uint64(total) != rep1.Predictions {
+		t.Errorf("histogram counts sum to %d, want %d (one sample per delivered window)",
+			total, rep1.Predictions)
+	}
+}

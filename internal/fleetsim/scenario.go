@@ -52,12 +52,34 @@ type ServeConfig struct {
 	// AlertThreshold raises alerts when predicted RTTF crosses below
 	// this many seconds (0 = no alerting).
 	AlertThreshold float64
+	// Registry, when present, routes model distribution through a
+	// simulated remote registry: retrains publish to the registry
+	// instead of deploying directly, and the service converges by
+	// polling through a serve.FailoverSource on the virtual clock —
+	// the stale-while-revalidate path under deterministic chaos
+	// (registry_outage).
+	Registry *RegistryConfig
 }
 
 // ShedConfig mirrors serve.ShedPolicy.
 type ShedConfig struct {
 	MaxQueueDepth int
 	MinPriority   int
+}
+
+// RegistryConfig shapes the simulated remote registry path.
+type RegistryConfig struct {
+	// PollEvery refreshes the service from the registry every N ticks
+	// (default 5) — the scenario's poll interval.
+	PollEvery int
+	// BreakerFailures is the circuit-breaker threshold (default 3
+	// consecutive failed polls).
+	BreakerFailures int
+	// CooldownBase/CooldownMax bound the breaker's capped-exponential
+	// cooldown in virtual time (defaults 2s / 4s — below the poll
+	// interval, so a healed registry reconverges on the next poll).
+	CooldownBase time.Duration
+	CooldownMax  time.Duration
 }
 
 // TrainConfig shapes the model side: the bootstrap training phase that
@@ -140,7 +162,7 @@ type ScenarioEvent struct {
 	// Down is the outage length (crash_restart, flap).
 	Down time.Duration
 	// For is the condition length (slow_consumer, stale_model_storm,
-	// leak_burst).
+	// leak_burst, registry_outage).
 	For time.Duration
 	// Factor multiplies the leak rate during a leak_burst (default 4).
 	Factor float64
@@ -168,6 +190,12 @@ type ScenarioEvent struct {
 //	                        below the shed policy floor
 //	require_redraw          at least one update redrew the split
 //	require_parity          every redraw parity check passed
+//	registry_stale          the model source is serving stale (registry
+//	                        mode only)
+//	registry_fresh          the model source is fresh — the node has a
+//	                        live registry read
+//	min_publishes: N        retrains published to the registry ≥ N
+//	max_p99_latency: N      p99 queue latency ≤ N ticks
 type Check struct {
 	Name  string
 	Value float64
@@ -177,12 +205,13 @@ type Check struct {
 
 // Actions and check names the decoder accepts.
 var (
-	knownActions = []string{"crash_restart", "flap", "slow_consumer", "stale_model_storm", "leak_burst", "assert"}
+	knownActions = []string{"crash_restart", "flap", "slow_consumer", "stale_model_storm", "leak_burst", "registry_outage", "assert"}
 	knownChecks  = []string{
 		"min_predictions", "min_alerts", "max_queue_depth", "min_sessions",
 		"min_completed_runs", "min_retrains", "min_model_version",
 		"min_shed", "max_shed",
 		"no_lost_windows", "shed_only_below_floor", "require_redraw", "require_parity",
+		"registry_stale", "registry_fresh", "min_publishes", "max_p99_latency",
 	}
 	knownModels = []string{"linear", "m5p", "reptree", "svm", "svm2"}
 )
@@ -374,7 +403,7 @@ func (d *decoder) scenario(m map[string]any) *Scenario {
 
 func (d *decoder) serve(m map[string]any) ServeConfig {
 	d.known(m, "serve", "shards", "window_sec", "include_slopes", "include_intergen",
-		"flush_every", "session_ttl", "sweep_every", "shed", "alert_threshold")
+		"flush_every", "session_ttl", "sweep_every", "shed", "alert_threshold", "registry")
 	cfg := ServeConfig{
 		Shards:          d.integer(m, "serve", "shards", 2),
 		WindowSec:       d.f64(m, "serve", "window_sec", 10),
@@ -390,6 +419,15 @@ func (d *decoder) serve(m map[string]any) ServeConfig {
 		cfg.Shed = &ShedConfig{
 			MaxQueueDepth: d.integer(sm, "serve.shed", "max_queue_depth", 64),
 			MinPriority:   d.integer(sm, "serve.shed", "min_priority", 0),
+		}
+	}
+	if rm, ok := d.child(m, "registry"); ok {
+		d.known(rm, "serve.registry", "poll_every", "breaker_failures", "cooldown_base", "cooldown_max")
+		cfg.Registry = &RegistryConfig{
+			PollEvery:       d.integer(rm, "serve.registry", "poll_every", 5),
+			BreakerFailures: d.integer(rm, "serve.registry", "breaker_failures", 3),
+			CooldownBase:    d.dur(rm, "serve.registry", "cooldown_base", 2*time.Second),
+			CooldownMax:     d.dur(rm, "serve.registry", "cooldown_max", 4*time.Second),
 		}
 	}
 	return cfg
@@ -620,9 +658,23 @@ func (d *decoder) validate(sc *Scenario) {
 			d.errf("train.template %q names no fleet template", tn)
 		}
 	}
+	if rc := sc.Serve.Registry; rc != nil {
+		if rc.PollEvery < 1 {
+			d.errf("serve.registry.poll_every must be at least 1")
+		}
+		if rc.BreakerFailures < 1 {
+			d.errf("serve.registry.breaker_failures must be at least 1")
+		}
+		if rc.CooldownBase <= 0 || rc.CooldownMax < rc.CooldownBase {
+			d.errf("serve.registry: cooldown_base must be positive and cooldown_max >= cooldown_base")
+		}
+	}
 	for i, ev := range sc.Events {
 		if ev.At < 0 || ev.At > sc.Duration {
 			d.errf("events[%d]: at=%v outside the scenario duration", i, ev.At)
+		}
+		if ev.Action == "registry_outage" && sc.Serve.Registry == nil {
+			d.errf("events[%d]: registry_outage needs a serve.registry block", i)
 		}
 	}
 	// Events must be sorted by time; ties keep file order (stable).

@@ -1,0 +1,133 @@
+package registry
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+)
+
+// Client talks to a registry server: the trainer publishes through it
+// (cmd/f2pm -publish), serving nodes heartbeat through it (cmd/fms
+// -registry), and tooling reads the fleet health view. The model *pull*
+// path on serving nodes is serve.HTTPModelSource, not this type — the
+// failover semantics live there.
+type Client struct {
+	base string
+	hc   *http.Client
+}
+
+// NewClient builds a client for the registry at base (e.g.
+// "http://10.0.0.9:7071"). A nil hc uses http.DefaultClient.
+func NewClient(base string, hc *http.Client) *Client {
+	if hc == nil {
+		hc = http.DefaultClient
+	}
+	return &Client{base: strings.TrimRight(base, "/"), hc: hc}
+}
+
+// Publish PUTs envelope bytes to /v1/model and returns the registry's
+// verdict. The registry validates by loading the envelope, so a bad
+// publish fails here with the server's 400 body instead of poisoning
+// the fleet.
+func (c *Client) Publish(ctx context.Context, envelope []byte) (PublishResult, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPut, c.base+"/v1/model", bytes.NewReader(envelope))
+	if err != nil {
+		return PublishResult{}, fmt.Errorf("registry publish: %w", err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	var res PublishResult
+	if err := c.do(req, &res); err != nil {
+		return PublishResult{}, fmt.Errorf("registry publish: %w", err)
+	}
+	return res, nil
+}
+
+// SendHeartbeat POSTs one node report and returns the registry's
+// current model ETag (empty before the first publish).
+func (c *Client) SendHeartbeat(ctx context.Context, hb Heartbeat) (modelETag string, err error) {
+	body, err := json.Marshal(hb)
+	if err != nil {
+		return "", fmt.Errorf("registry heartbeat: %w", err)
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+"/v1/heartbeat", bytes.NewReader(body))
+	if err != nil {
+		return "", fmt.Errorf("registry heartbeat: %w", err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	var res struct {
+		ModelETag string `json:"model_etag"`
+	}
+	if err := c.do(req, &res); err != nil {
+		return "", fmt.Errorf("registry heartbeat: %w", err)
+	}
+	return res.ModelETag, nil
+}
+
+// FetchHealth reads the fleet health view.
+func (c *Client) FetchHealth(ctx context.Context) (Health, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/v1/health", nil)
+	if err != nil {
+		return Health{}, fmt.Errorf("registry health: %w", err)
+	}
+	var h Health
+	if err := c.do(req, &h); err != nil {
+		return Health{}, fmt.Errorf("registry health: %w", err)
+	}
+	return h, nil
+}
+
+// FetchModel GETs the current envelope bytes and ETag (no conditional
+// logic — tooling use; serving nodes poll via serve.HTTPModelSource).
+func (c *Client) FetchModel(ctx context.Context) (data []byte, etag string, err error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/v1/model", nil)
+	if err != nil {
+		return nil, "", fmt.Errorf("registry fetch: %w", err)
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return nil, "", fmt.Errorf("registry fetch: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, "", fmt.Errorf("registry fetch: %s", httpError(resp))
+	}
+	data, err = io.ReadAll(io.LimitReader(resp.Body, 64<<20))
+	if err != nil {
+		return nil, "", fmt.Errorf("registry fetch: %w", err)
+	}
+	return data, resp.Header.Get("ETag"), nil
+}
+
+// do runs req, decoding a 2xx JSON body into out and turning anything
+// else into an error carrying the server's message.
+func (c *Client) do(req *http.Request, out any) error {
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode < 200 || resp.StatusCode >= 300 {
+		return fmt.Errorf("%s", httpError(resp))
+	}
+	if out == nil {
+		return nil
+	}
+	return json.NewDecoder(io.LimitReader(resp.Body, 1<<20)).Decode(out)
+}
+
+// httpError formats a non-2xx response as "status: first line of body".
+func httpError(resp *http.Response) string {
+	body, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+	msg := strings.TrimSpace(string(body))
+	if i := strings.IndexByte(msg, '\n'); i >= 0 {
+		msg = msg[:i]
+	}
+	if msg == "" {
+		return resp.Status
+	}
+	return resp.Status + ": " + msg
+}

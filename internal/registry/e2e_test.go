@@ -1,0 +1,277 @@
+package registry_test
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"path/filepath"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/aggregate"
+	"repro/internal/ml/linreg"
+	"repro/internal/ml/modelio"
+	"repro/internal/monitor"
+	"repro/internal/registry"
+	"repro/internal/serve"
+	"repro/internal/trace"
+)
+
+// e2eEnvelope trains a one-feature linear model (RTTF ≈ slope ·
+// n_threads + bias) and wraps it in a full v2 envelope: features and
+// aggregation, everything a cold serving node needs.
+func e2eEnvelope(t *testing.T, slope float64) []byte {
+	t.Helper()
+	m := linreg.New()
+	X := [][]float64{{1}, {2}, {3}, {4}}
+	y := make([]float64, len(X))
+	for i, x := range X {
+		y[i] = slope * x[0]
+	}
+	if err := m.Fit(X, y); err != nil {
+		t.Fatal(err)
+	}
+	agg := aggregate.Config{WindowSec: 10}
+	var buf bytes.Buffer
+	err := modelio.SaveWithMeta(&buf, m, &modelio.Meta{
+		Features:    []string{"n_threads"},
+		Aggregation: &agg,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// waitFor polls cond until it holds or the deadline passes.
+func waitFor(t *testing.T, d time.Duration, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(d)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Fatalf("timed out waiting for %s", what)
+}
+
+// TestRegistryFailoverEndToEnd is the acceptance-criteria e2e: a
+// serving node under live traffic, pulling its model from a real
+// registry over HTTP, survives the registry dying mid-refresh — zero
+// ErrNoModel, staleness surfaced in Stats — and after the registry
+// returns (with a new model published during the outage) the node
+// converges to the new version within one poll interval. Run with
+// -race in CI.
+func TestRegistryFailoverEndToEnd(t *testing.T) {
+	reg := registry.New()
+	envA := e2eEnvelope(t, 2)
+	pubA, err := reg.SetModel(envA)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The registry sits behind a kill switch: down() makes every
+	// request fail with a 503, the "registry died" chaos.
+	var down atomic.Bool
+	proxy := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if down.Load() {
+			http.Error(w, "registry is down", http.StatusServiceUnavailable)
+			return
+		}
+		reg.ServeHTTP(w, r)
+	}))
+	defer proxy.Close()
+
+	cache := filepath.Join(t.TempDir(), "last-good.model")
+	src := serve.NewHTTPModelSource(proxy.URL, serve.HTTPSourceConfig{
+		CacheFile: cache,
+		// Keep breaker cooldowns far below the refresh interval so a
+		// healed registry reconverges on the very next poll.
+		Backoff:          monitor.Backoff{Base: time.Millisecond, Max: 2 * time.Millisecond, Jitter: -1},
+		BreakerThreshold: 3,
+	})
+
+	const refreshEvery = 20 * time.Millisecond
+	var noModelErrs atomic.Int64
+	var predictions atomic.Int64
+	svc, err := serve.New(context.Background(),
+		serve.WithModelSource(src),
+		serve.WithRefreshInterval(refreshEvery),
+		serve.WithEstimateFunc(func(serve.Estimate) { predictions.Add(1) }),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svc.Close()
+	if got := src.ETag(); got != pubA.ETag {
+		t.Fatalf("initial pull etag %q, want %q", got, pubA.ETag)
+	}
+
+	// Live monitor traffic: a goroutine keeps completing windows for
+	// the whole test; any ErrNoModel is a dropped prediction.
+	trafficCtx, stopTraffic := context.WithCancel(context.Background())
+	defer stopTraffic()
+	trafficDone := make(chan struct{})
+	go func() {
+		defer close(trafficDone)
+		ss, err := svc.StartSession("node-client")
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		tgen := 0.0
+		for trafficCtx.Err() == nil {
+			var d trace.Datapoint
+			d.Tgen = tgen
+			d.Features[trace.NumThreads] = 3
+			tgen += 10 // one datapoint per window boundary
+			if err := ss.Push(d); err != nil {
+				if errors.Is(err, serve.ErrNoModel) {
+					noModelErrs.Add(1)
+				} else if !errors.Is(err, serve.ErrServiceClosed) && !errors.Is(err, serve.ErrSessionClosed) {
+					t.Errorf("push: %v", err)
+				}
+				return
+			}
+			svc.Flush()
+			time.Sleep(time.Millisecond)
+		}
+	}()
+
+	waitFor(t, 5*time.Second, "first predictions", func() bool { return predictions.Load() > 5 })
+	base := predictions.Load()
+
+	// Kill the registry mid-refresh; publish a new model it will serve
+	// once it comes back.
+	down.Store(true)
+	envB := e2eEnvelope(t, 5)
+	pubB, err := reg.SetModel(envB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pubB.ETag == pubA.ETag {
+		t.Fatal("test envelopes are identical")
+	}
+
+	// Note Refresh itself keeps succeeding as a no-op — the failover
+	// source absorbs the origin failure and serves the last-good model
+	// — so the outage surfaces through the staleness fields, not
+	// RefreshFailures.
+	waitFor(t, 5*time.Second, "staleness to surface", func() bool {
+		st := svc.Stats()
+		return st.RegistryStale && st.RegistryLastError != ""
+	})
+	// Outage persists across several refresh intervals; predictions
+	// must keep flowing from the last-good model the whole time.
+	time.Sleep(5 * refreshEvery)
+	st := svc.Stats()
+	if !st.RegistryStale {
+		t.Fatalf("staleness cleared while the registry was still down: %+v", st)
+	}
+	if st.ModelVersion != 1 {
+		t.Fatalf("model version %d during outage, want 1 (never dropped)", st.ModelVersion)
+	}
+	if got := predictions.Load(); got <= base {
+		t.Fatalf("predictions stalled during the outage: %d -> %d", base, got)
+	}
+
+	// Recovery: within one poll interval (generous CI slop) the node
+	// must converge to the envelope published during the outage.
+	healed := time.Now()
+	down.Store(false)
+	waitFor(t, 5*time.Second, "reconvergence to the new model", func() bool {
+		return src.ETag() == pubB.ETag && svc.Stats().ModelVersion == 2
+	})
+	converged := time.Since(healed)
+	if converged > 50*refreshEvery {
+		t.Errorf("reconvergence took %v — far beyond one %v poll interval", converged, refreshEvery)
+	}
+	waitFor(t, 5*time.Second, "staleness to clear", func() bool {
+		return !svc.Stats().RegistryStale
+	})
+
+	stopTraffic()
+	<-trafficDone
+	if n := noModelErrs.Load(); n != 0 {
+		t.Fatalf("%d ErrNoModel during the outage, want 0 — stale-while-revalidate failed", n)
+	}
+	// The node heartbeats its converged state; the registry health view
+	// must reflect it.
+	client := registry.NewClient(proxy.URL, nil)
+	finalStats := svc.Stats()
+	if _, err := client.SendHeartbeat(context.Background(), registry.Heartbeat{
+		Node:        "node-1",
+		ETag:        src.ETag(),
+		Sessions:    finalStats.Sessions,
+		Predictions: finalStats.Predictions,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	h, err := client.FetchHealth(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(h.Nodes) != 1 || !h.Nodes[0].Current || !h.Nodes[0].Alive {
+		t.Fatalf("health after reconvergence = %+v, want one alive current node", h)
+	}
+}
+
+// TestColdBootFromCacheDuringOutage proves a rebooted node serves
+// through an outage: its first life persists the last-good envelope,
+// its second life starts with the registry dead and still predicts.
+func TestColdBootFromCacheDuringOutage(t *testing.T) {
+	reg := registry.New()
+	if _, err := reg.SetModel(e2eEnvelope(t, 2)); err != nil {
+		t.Fatal(err)
+	}
+	var down atomic.Bool
+	proxy := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if down.Load() {
+			http.Error(w, "registry is down", http.StatusServiceUnavailable)
+			return
+		}
+		reg.ServeHTTP(w, r)
+	}))
+	defer proxy.Close()
+	cache := filepath.Join(t.TempDir(), "last-good.model")
+
+	// First life: healthy pull, cache written.
+	src1 := serve.NewHTTPModelSource(proxy.URL, serve.HTTPSourceConfig{CacheFile: cache})
+	if _, err := src1.Deployment(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+
+	// Second life: registry dead before the node boots.
+	down.Store(true)
+	src2 := serve.NewHTTPModelSource(proxy.URL, serve.HTTPSourceConfig{CacheFile: cache})
+	svc, err := serve.New(context.Background(), serve.WithModelSource(src2))
+	if err != nil {
+		t.Fatalf("cold boot from cache: %v", err)
+	}
+	defer svc.Close()
+	st := svc.Stats()
+	if st.ModelVersion != 1 || !st.RegistryStale {
+		t.Fatalf("cache-booted stats = %+v, want v1 serving stale", st)
+	}
+
+	ss, err := svc.StartSession("c")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var d trace.Datapoint
+	d.Features[trace.NumThreads] = 2
+	for i := 0; i < 3; i++ {
+		d.Tgen = float64(i * 10)
+		if err := ss.Push(d); err != nil {
+			t.Fatalf("push on cache-booted node: %v", err)
+		}
+	}
+	svc.Flush()
+	if svc.Stats().Predictions == 0 {
+		t.Fatal("cache-booted node delivered no predictions")
+	}
+}

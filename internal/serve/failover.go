@@ -1,0 +1,317 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"time"
+
+	"repro/internal/ml/modelio"
+	"repro/internal/monitor"
+	"repro/internal/randx"
+)
+
+// ErrRegistryUnavailable wraps every failure of a FailoverSource's
+// origin (network error, bad status, garbage envelope). When the
+// source has a last-good deployment it keeps serving that instead of
+// returning this error, so the sentinel only surfaces on a true cold
+// start: no origin, no disk cache, nothing to serve.
+var ErrRegistryUnavailable = errors.New("serve: model registry unavailable")
+
+// SourceStatus is a ModelSource's view of its upstream — the staleness
+// surface of the stale-while-revalidate failover path. A Service whose
+// ModelSource implements StatusSource re-exports this through
+// Stats.RegistryStale / RegistryStaleAge / RegistryLastError, so
+// operators see "serving stale since X because Y" instead of silence.
+type SourceStatus struct {
+	// Stale reports that the most recent origin poll failed: the
+	// deployments handed out since then are the last-good model, not a
+	// fresh registry read. A node serving stale keeps predicting — that
+	// is the point — but should be reconciled once the registry heals.
+	Stale bool
+	// StaleSince is when the current stale stretch began (zero when
+	// fresh).
+	StaleSince time.Time
+	// LastError is the most recent origin failure (empty when fresh).
+	LastError string
+	// ETag identifies the last-good envelope, when the origin speaks
+	// the registry's ETag protocol (empty otherwise).
+	ETag string
+	// Failures counts consecutive origin failures (0 when fresh).
+	Failures int
+	// BreakerOpen reports that the circuit breaker is holding probes
+	// back; NextProbe is when the next origin attempt is allowed.
+	BreakerOpen bool
+	NextProbe   time.Time
+	// CacheError is the most recent failure persisting or loading the
+	// on-disk last-good cache (best-effort, never fatal).
+	CacheError string
+}
+
+// StatusSource is a ModelSource that can report its upstream health.
+// Service.Stats surfaces it; FailoverSource and HTTPModelSource
+// implement it.
+type StatusSource interface {
+	ModelSource
+	SourceStatus() SourceStatus
+}
+
+// FailoverConfig shapes a FailoverSource.
+type FailoverConfig struct {
+	// CacheFile, when non-empty, is where the last-good deployment
+	// envelope is persisted (atomically: temp file + rename) and read
+	// back on a cold start — a node that reboots during a registry
+	// outage comes back serving its last-good model instead of failing
+	// closed. Optional.
+	CacheFile string
+	// Backoff grows the circuit breaker's cooldown between probes once
+	// the breaker is open: consecutive cooldowns follow the capped
+	// exponential (with jitter from RNG). The zero value uses the
+	// monitor defaults (250 ms base, 15 s cap, factor 2).
+	Backoff monitor.Backoff
+	// BreakerThreshold is how many consecutive origin failures open the
+	// circuit breaker (default 3). While open, Deployment serves the
+	// last-good model without touching the origin until the cooldown
+	// expires — a dead registry is probed on the backoff schedule, not
+	// hammered on every refresh tick.
+	BreakerThreshold int
+	// RNG seeds the cooldown jitter so a fleet of nodes that lost the
+	// same registry does not probe in lockstep. nil means no jitter —
+	// fully deterministic, what seeded simulations want.
+	RNG *randx.Source
+	// Clock is the time source (default time.Now) — virtual-clock
+	// harnesses inject theirs so breaker cooldowns follow scenario
+	// time.
+	Clock func() time.Time
+}
+
+// FailoverSource wraps any ModelSource with the robustness contract a
+// serving node needs from its model-distribution path: keep serving.
+//
+//   - Success path: origin deployments pass through; each new one is
+//     remembered as last-good and persisted to the on-disk cache.
+//   - Stale-while-revalidate: when the origin fails (unreachable,
+//     bad status, garbage envelope), Deployment returns the last-good
+//     deployment with a nil error — the Service's refresh tick becomes
+//     a no-op instead of a dropped model — and the staleness is
+//     surfaced through SourceStatus.
+//   - Circuit breaker: past BreakerThreshold consecutive failures the
+//     origin is left alone until the (backoff-grown) cooldown expires,
+//     so a dead registry is probed, not hammered.
+//   - Cold-start cache: with no last-good in memory the on-disk cache
+//     is loaded, so a node can boot — stale, and saying so — while the
+//     registry is down.
+//
+// All methods are safe for concurrent use. Origin calls are
+// serialized; SourceStatus never blocks behind a slow origin.
+type FailoverSource struct {
+	origin ModelSource
+	cfg    FailoverConfig
+	now    func() time.Time
+
+	// fetchMu serializes origin probes so concurrent Refresh calls do
+	// not stampede a struggling registry.
+	fetchMu sync.Mutex
+
+	// stateMu guards the failover state below. Never held across an
+	// origin call, so SourceStatus (and Stats) stay responsive while a
+	// probe hangs on a dead network.
+	stateMu    sync.Mutex
+	lastGood   *Deployment
+	stale      bool
+	staleSince time.Time
+	lastErr    error
+	failures   int
+	retryAt    time.Time
+	cacheErr   error
+	cacheRead  bool
+}
+
+// NewFailoverSource wraps origin with stale-while-revalidate failover,
+// a circuit breaker, and the optional on-disk last-good cache.
+func NewFailoverSource(origin ModelSource, cfg FailoverConfig) *FailoverSource {
+	if cfg.BreakerThreshold <= 0 {
+		cfg.BreakerThreshold = 3
+	}
+	fs := &FailoverSource{origin: origin, cfg: cfg, now: cfg.Clock}
+	if fs.now == nil {
+		fs.now = time.Now
+	}
+	return fs
+}
+
+// Deployment implements ModelSource: a fresh origin read when the
+// origin is healthy (and the breaker allows a probe), the last-good
+// deployment otherwise. It returns an error only when there is nothing
+// to serve at all — no successful read yet and no usable disk cache.
+func (fs *FailoverSource) Deployment(ctx context.Context) (*Deployment, error) {
+	fs.fetchMu.Lock()
+	defer fs.fetchMu.Unlock()
+
+	fs.stateMu.Lock()
+	open := fs.failures >= fs.cfg.BreakerThreshold && fs.now().Before(fs.retryAt)
+	fs.stateMu.Unlock()
+	if open {
+		return fs.serveStale(nil)
+	}
+
+	dep, err := fs.origin.Deployment(ctx)
+	if err == nil && (dep == nil || dep.Model == nil) {
+		// A "successful" read with no model in it is garbage: treat it
+		// like any other origin failure rather than dropping the served
+		// model.
+		err = ErrNoModel
+	}
+	if err == nil {
+		fs.noteSuccess(dep)
+		return dep, nil
+	}
+	fs.noteFailure(err)
+	return fs.serveStale(err)
+}
+
+// noteSuccess records a healthy origin read: failover state resets and
+// a new deployment is persisted to the cache.
+func (fs *FailoverSource) noteSuccess(dep *Deployment) {
+	fs.stateMu.Lock()
+	changed := dep != fs.lastGood
+	fs.lastGood = dep
+	fs.stale = false
+	fs.staleSince = time.Time{}
+	fs.lastErr = nil
+	fs.failures = 0
+	fs.retryAt = time.Time{}
+	fs.stateMu.Unlock()
+	if changed && fs.cfg.CacheFile != "" {
+		err := writeCacheFile(fs.cfg.CacheFile, dep)
+		fs.stateMu.Lock()
+		fs.cacheErr = err
+		fs.stateMu.Unlock()
+	}
+}
+
+// noteFailure records one origin failure and, past the threshold, arms
+// the breaker with the backoff-grown cooldown.
+func (fs *FailoverSource) noteFailure(err error) {
+	now := fs.now()
+	fs.stateMu.Lock()
+	defer fs.stateMu.Unlock()
+	fs.failures++
+	fs.lastErr = err
+	if !fs.stale {
+		fs.stale = true
+		fs.staleSince = now
+	}
+	if fs.failures >= fs.cfg.BreakerThreshold {
+		attempt := fs.failures - fs.cfg.BreakerThreshold + 1
+		fs.retryAt = now.Add(fs.cfg.Backoff.Delay(attempt, fs.cfg.RNG))
+	}
+}
+
+// serveStale hands out the last-good deployment (loading the disk
+// cache on a cold start), or the wrapped origin error when there is
+// truly nothing to serve.
+func (fs *FailoverSource) serveStale(err error) (*Deployment, error) {
+	fs.stateMu.Lock()
+	dep := fs.lastGood
+	tryCache := dep == nil && !fs.cacheRead && fs.cfg.CacheFile != ""
+	if err == nil {
+		err = fs.lastErr
+	}
+	fs.stateMu.Unlock()
+	if tryCache {
+		cached, cerr := readCacheFile(fs.cfg.CacheFile)
+		fs.stateMu.Lock()
+		fs.cacheRead = true
+		if cerr != nil {
+			fs.cacheErr = cerr
+		} else if fs.lastGood == nil {
+			fs.lastGood = cached
+			dep = cached
+		}
+		fs.stateMu.Unlock()
+	}
+	if dep != nil {
+		return dep, nil
+	}
+	if err == nil {
+		err = ErrNoModel
+	}
+	return nil, fmt.Errorf("%w: %v", ErrRegistryUnavailable, err)
+}
+
+// SourceStatus implements StatusSource.
+func (fs *FailoverSource) SourceStatus() SourceStatus {
+	fs.stateMu.Lock()
+	defer fs.stateMu.Unlock()
+	st := SourceStatus{
+		Stale:      fs.stale,
+		StaleSince: fs.staleSince,
+		Failures:   fs.failures,
+	}
+	if fs.lastErr != nil {
+		st.LastError = fs.lastErr.Error()
+	}
+	if fs.cacheErr != nil {
+		st.CacheError = fs.cacheErr.Error()
+	}
+	if fs.failures >= fs.cfg.BreakerThreshold {
+		st.NextProbe = fs.retryAt
+		st.BreakerOpen = fs.now().Before(fs.retryAt)
+	}
+	return st
+}
+
+// LastGood returns the current last-good deployment, if any — what the
+// source would serve during an outage.
+func (fs *FailoverSource) LastGood() (*Deployment, bool) {
+	fs.stateMu.Lock()
+	defer fs.stateMu.Unlock()
+	return fs.lastGood, fs.lastGood != nil
+}
+
+// writeCacheFile persists the deployment envelope atomically: write to
+// a temp file in the same directory, then rename over the target.
+func writeCacheFile(path string, dep *Deployment) error {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, ".model-cache-*")
+	if err != nil {
+		return fmt.Errorf("serve: model cache: %w", err)
+	}
+	defer os.Remove(tmp.Name())
+	if err := modelio.SaveWithMeta(tmp, dep.Model, dep.Meta()); err != nil {
+		tmp.Close()
+		return fmt.Errorf("serve: model cache: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("serve: model cache: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		return fmt.Errorf("serve: model cache: %w", err)
+	}
+	return nil
+}
+
+// readCacheFile restores the last-good deployment from the cache file.
+func readCacheFile(path string) (*Deployment, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("serve: model cache: %w", err)
+	}
+	defer f.Close()
+	m, meta, err := modelio.LoadWithMeta(f)
+	if err != nil {
+		return nil, fmt.Errorf("serve: model cache %s: %w", path, err)
+	}
+	dep := &Deployment{Model: m, Name: m.Name()}
+	if meta != nil {
+		dep.Features = meta.Features
+		if meta.Aggregation != nil {
+			dep.Aggregation = *meta.Aggregation
+		}
+	}
+	return dep, nil
+}

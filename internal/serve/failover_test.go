@@ -1,0 +1,344 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/ml/linreg"
+	"repro/internal/monitor"
+)
+
+// flakySource is a scriptable origin: each Deployment call pops the
+// next step (a deployment or an error) and counts probes.
+type flakySource struct {
+	mu     sync.Mutex
+	steps  []any // *Deployment or error
+	probes int
+}
+
+func (f *flakySource) Deployment(context.Context) (*Deployment, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.probes++
+	if len(f.steps) == 0 {
+		return nil, errors.New("script exhausted")
+	}
+	step := f.steps[0]
+	f.steps = f.steps[1:]
+	switch s := step.(type) {
+	case *Deployment:
+		return s, nil
+	case error:
+		return nil, s
+	}
+	panic("bad step")
+}
+
+func (f *flakySource) probeCount() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.probes
+}
+
+func stubDep(base float64) *Deployment {
+	return &Deployment{Model: &stubModel{base: base}, Name: "stub", Aggregation: rawAgg()}
+}
+
+// linregDep builds a deployment around a real serializable model — the
+// kind the on-disk cache can round-trip.
+func linregDep(t *testing.T) *Deployment {
+	t.Helper()
+	m := linreg.New()
+	if err := m.Fit([][]float64{{1}, {2}, {3}}, []float64{2, 4, 6}); err != nil {
+		t.Fatal(err)
+	}
+	return &Deployment{Model: m, Name: "linear", Features: []string{"n_threads"}, Aggregation: rawAgg()}
+}
+
+func TestFailoverStaleWhileRevalidate(t *testing.T) {
+	depA, depB := stubDep(1), stubDep(2)
+	origin := &flakySource{steps: []any{
+		depA,
+		errors.New("connection refused"),
+		errors.New("connection refused"),
+		depB,
+	}}
+	fs := NewFailoverSource(origin, FailoverConfig{BreakerThreshold: 10})
+	ctx := context.Background()
+
+	got, err := fs.Deployment(ctx)
+	if err != nil || got != depA {
+		t.Fatalf("healthy read = %v, %v; want depA", got, err)
+	}
+	if st := fs.SourceStatus(); st.Stale {
+		t.Fatalf("fresh source reports stale: %+v", st)
+	}
+
+	// Two failing polls: same pointer back, nil error, staleness
+	// surfaced — the Service refresh stays a silent no-op.
+	for i := 0; i < 2; i++ {
+		got, err = fs.Deployment(ctx)
+		if err != nil || got != depA {
+			t.Fatalf("stale read %d = %v, %v; want last-good depA with nil error", i, got, err)
+		}
+	}
+	st := fs.SourceStatus()
+	if !st.Stale || st.Failures != 2 || st.LastError == "" {
+		t.Fatalf("stale status = %+v, want stale with 2 failures", st)
+	}
+
+	// Recovery: the fresh deployment flows through and staleness clears.
+	got, err = fs.Deployment(ctx)
+	if err != nil || got != depB {
+		t.Fatalf("recovered read = %v, %v; want depB", got, err)
+	}
+	if st := fs.SourceStatus(); st.Stale || st.Failures != 0 {
+		t.Fatalf("recovered status = %+v, want fresh", st)
+	}
+}
+
+func TestFailoverColdStartNoCacheFails(t *testing.T) {
+	origin := &flakySource{steps: []any{errors.New("down")}}
+	fs := NewFailoverSource(origin, FailoverConfig{})
+	if _, err := fs.Deployment(context.Background()); !errors.Is(err, ErrRegistryUnavailable) {
+		t.Fatalf("cold start with nothing to serve: err = %v, want ErrRegistryUnavailable", err)
+	}
+}
+
+func TestFailoverGarbageOriginKeepsLastGood(t *testing.T) {
+	dep := stubDep(1)
+	origin := &flakySource{steps: []any{dep, (*Deployment)(nil), &Deployment{}}}
+	fs := NewFailoverSource(origin, FailoverConfig{BreakerThreshold: 10})
+	ctx := context.Background()
+	if _, err := fs.Deployment(ctx); err != nil {
+		t.Fatal(err)
+	}
+	// A nil deployment and a deployment with no model are both garbage:
+	// the last-good keeps serving.
+	for i := 0; i < 2; i++ {
+		got, err := fs.Deployment(ctx)
+		if err != nil || got != dep {
+			t.Fatalf("garbage read %d = %v, %v; want last-good", i, got, err)
+		}
+	}
+	if st := fs.SourceStatus(); !st.Stale || st.Failures != 2 {
+		t.Fatalf("status after garbage reads = %+v, want stale with 2 failures", st)
+	}
+}
+
+func TestFailoverCircuitBreaker(t *testing.T) {
+	now := time.Unix(1_000_000, 0)
+	clock := func() time.Time { return now }
+	dep := stubDep(1)
+	origin := &flakySource{steps: []any{
+		dep,
+		errors.New("down"), errors.New("down"), errors.New("down"),
+	}}
+	fs := NewFailoverSource(origin, FailoverConfig{
+		BreakerThreshold: 2,
+		Backoff:          monitor.Backoff{Base: 10 * time.Second, Max: 40 * time.Second, Jitter: -1},
+		Clock:            clock,
+	})
+	ctx := context.Background()
+	mustStale := func(label string) {
+		t.Helper()
+		got, err := fs.Deployment(ctx)
+		if err != nil || got != dep {
+			t.Fatalf("%s: = %v, %v; want last-good", label, got, err)
+		}
+	}
+
+	if _, err := fs.Deployment(ctx); err != nil {
+		t.Fatal(err)
+	}
+	mustStale("failure 1") // probes
+	mustStale("failure 2") // probes, breaker arms: cooldown 10s
+	if got := origin.probeCount(); got != 3 {
+		t.Fatalf("probes = %d, want 3", got)
+	}
+	st := fs.SourceStatus()
+	if !st.BreakerOpen || !st.NextProbe.Equal(now.Add(10*time.Second)) {
+		t.Fatalf("breaker status = %+v, want open until +10s", st)
+	}
+
+	// While the breaker is open, reads serve stale without probing.
+	now = now.Add(5 * time.Second)
+	mustStale("breaker open")
+	if got := origin.probeCount(); got != 3 {
+		t.Fatalf("breaker open still probed the origin (probes = %d)", got)
+	}
+
+	// Past the cooldown the origin is probed again; the failure grows
+	// the next cooldown (capped exponential: 20s).
+	now = now.Add(6 * time.Second)
+	mustStale("probe after cooldown")
+	if got := origin.probeCount(); got != 4 {
+		t.Fatalf("cooldown expiry did not probe (probes = %d)", got)
+	}
+	st = fs.SourceStatus()
+	if !st.NextProbe.Equal(now.Add(20 * time.Second)) {
+		t.Fatalf("second cooldown = %v, want +20s (got status %+v)", st.NextProbe.Sub(now), st)
+	}
+}
+
+func TestFailoverDiskCacheColdStart(t *testing.T) {
+	cache := filepath.Join(t.TempDir(), "last-good.model")
+	dep := linregDep(t)
+	ctx := context.Background()
+
+	// First life: a healthy read persists the envelope.
+	fs1 := NewFailoverSource(&flakySource{steps: []any{dep}}, FailoverConfig{CacheFile: cache})
+	if _, err := fs1.Deployment(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if st := fs1.SourceStatus(); st.CacheError != "" {
+		t.Fatalf("cache write failed: %s", st.CacheError)
+	}
+
+	// Second life: the registry is down from the start; the node boots
+	// from the disk cache — stale, and saying so.
+	fs2 := NewFailoverSource(&flakySource{}, FailoverConfig{CacheFile: cache})
+	got, err := fs2.Deployment(ctx)
+	if err != nil {
+		t.Fatalf("cold start with cache: %v", err)
+	}
+	if got.Name != "linear" || len(got.Features) != 1 || got.Features[0] != "n_threads" {
+		t.Fatalf("cached deployment = %+v, want the persisted linear model", got)
+	}
+	if got.Aggregation.WindowSec != rawAgg().WindowSec {
+		t.Fatalf("cached aggregation window = %v, want %v", got.Aggregation.WindowSec, rawAgg().WindowSec)
+	}
+	if st := fs2.SourceStatus(); !st.Stale {
+		t.Fatalf("cache-booted source not marked stale: %+v", st)
+	}
+	if pred := got.Model.Predict([]float64{2}); pred < 3.9 || pred > 4.1 {
+		t.Fatalf("cached model predicts %v, want ~4", pred)
+	}
+}
+
+// TestRefreshFailureNeverDropsModel is the regression test for the
+// refresh path: once a deployment is live, a ModelSource that starts
+// erroring must never drop it or regress its version — under
+// concurrent refreshes and live traffic (run with -race).
+func TestRefreshFailureNeverDropsModel(t *testing.T) {
+	var calls atomic.Int64
+	dep := stubDep(1)
+	src := ModelSourceFunc(func(context.Context) (*Deployment, error) {
+		if calls.Add(1) == 1 {
+			return dep, nil
+		}
+		return nil, errors.New("registry exploded")
+	})
+	est := &estimates{}
+	svc, err := New(context.Background(),
+		WithModelSource(src),
+		WithEstimateFunc(est.add),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svc.Close()
+	if v := svc.Stats().ModelVersion; v != 1 {
+		t.Fatalf("initial version = %d, want 1", v)
+	}
+
+	// Hammer Refresh from several goroutines while sessions push
+	// datapoints; every Refresh must fail without touching the model.
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				if _, err := svc.Refresh(context.Background()); err == nil {
+					t.Error("Refresh succeeded against an erroring source")
+					return
+				}
+			}
+		}()
+	}
+	for g := 0; g < 2; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			ss, err := svc.StartSession(fmt.Sprintf("client-%d", g))
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			for i := 0; i < 30; i++ {
+				if err := ss.Push(dp(float64(i*10), 1)); err != nil {
+					t.Errorf("push during refresh failures: %v", err)
+					return
+				}
+			}
+			if err := ss.EndRun(); err != nil {
+				t.Error(err)
+			}
+		}(g)
+	}
+	wg.Wait()
+	svc.Flush()
+
+	st := svc.Stats()
+	if st.ModelVersion != 1 {
+		t.Fatalf("version after refresh failures = %d, want 1 (never dropped, never regressed)", st.ModelVersion)
+	}
+	if st.RefreshFailures == 0 {
+		t.Fatal("RefreshFailures not counted")
+	}
+	if len(est.all()) == 0 {
+		t.Fatal("no estimates delivered while the source was failing — the model was dropped")
+	}
+	for _, e := range est.all() {
+		if e.ModelVersion != 1 || e.ModelName != "stub" {
+			t.Fatalf("estimate from wrong model: %+v", e)
+		}
+	}
+}
+
+// TestServiceStatsSurfacesStaleness wires a FailoverSource into a
+// Service and checks the Stats pass-through: stale flag, stale age on
+// the service clock, last error.
+func TestServiceStatsSurfacesStaleness(t *testing.T) {
+	now := time.Unix(1_000_000, 0)
+	var mu sync.Mutex
+	clock := func() time.Time { mu.Lock(); defer mu.Unlock(); return now }
+	advance := func(d time.Duration) { mu.Lock(); now = now.Add(d); mu.Unlock() }
+
+	dep := stubDep(1)
+	origin := &flakySource{steps: []any{dep, errors.New("unreachable")}}
+	fs := NewFailoverSource(origin, FailoverConfig{BreakerThreshold: 10, Clock: clock})
+	svc, err := New(context.Background(),
+		WithModelSource(fs),
+		WithClock(clock),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svc.Close()
+
+	if st := svc.Stats(); st.RegistryStale {
+		t.Fatalf("fresh service reports stale: %+v", st)
+	}
+
+	// One failing refresh: the source goes stale; 30 virtual seconds
+	// later the stale age reads 30s on the service clock.
+	if _, err := svc.Refresh(context.Background()); err != nil {
+		t.Fatalf("stale refresh should no-op, got %v", err)
+	}
+	advance(30 * time.Second)
+	st := svc.Stats()
+	if !st.RegistryStale || st.RegistryLastError == "" {
+		t.Fatalf("stats = %+v, want stale with an error", st)
+	}
+	if st.RegistryStaleAge != 30*time.Second {
+		t.Fatalf("stale age = %v, want 30s", st.RegistryStaleAge)
+	}
+}

@@ -1,0 +1,173 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/ml/modelio"
+	"repro/internal/monitor"
+	"repro/internal/randx"
+)
+
+// HTTPSourceConfig shapes an HTTPModelSource. The failover fields
+// (CacheFile, Backoff, BreakerThreshold, RNG, Clock) are passed through
+// to the embedded FailoverSource — see FailoverConfig for their
+// semantics.
+type HTTPSourceConfig struct {
+	// Client is the HTTP client used for registry requests (default
+	// http.DefaultClient; give it a timeout in production — a poll that
+	// hangs holds the refresh ticker, not the serving hot path, but it
+	// still delays reconvergence).
+	Client *http.Client
+	// MaxBytes caps the accepted envelope size (default 64 MiB) so a
+	// misbehaving registry cannot balloon the node's memory.
+	MaxBytes int64
+
+	// Failover knobs, passed through to the FailoverSource.
+	CacheFile        string
+	Backoff          monitor.Backoff
+	BreakerThreshold int
+	RNG              *randx.Source
+	Clock            func() time.Time
+}
+
+// HTTPModelSource pulls deployment envelopes from a model registry
+// (internal/registry, cmd/fmr) over HTTP with conditional GETs: every
+// poll sends If-None-Match with the last seen ETag, so an unchanged
+// model costs one 304 round-trip and no body, and the same *Deployment
+// pointer is handed back — the Service's refresh tick stays a no-op.
+//
+// The embedded FailoverSource supplies the robustness contract: when
+// the registry is unreachable or returns garbage the node keeps
+// serving the last-good deployment (persisted to CacheFile across
+// restarts), staleness is surfaced through SourceStatus/Stats, and a
+// circuit breaker probes a dead registry on a backoff schedule instead
+// of hammering it on every refresh tick.
+type HTTPModelSource struct {
+	*FailoverSource
+	f *httpFetcher
+}
+
+// NewHTTPModelSource builds a registry-backed model source polling url
+// (the registry base, e.g. "http://10.0.0.9:7071" — the /v1/model path
+// is appended).
+func NewHTTPModelSource(url string, cfg HTTPSourceConfig) *HTTPModelSource {
+	f := newHTTPFetcher(url, cfg.Client, cfg.MaxBytes)
+	fo := NewFailoverSource(f, FailoverConfig{
+		CacheFile:        cfg.CacheFile,
+		Backoff:          cfg.Backoff,
+		BreakerThreshold: cfg.BreakerThreshold,
+		RNG:              cfg.RNG,
+		Clock:            cfg.Clock,
+	})
+	return &HTTPModelSource{FailoverSource: fo, f: f}
+}
+
+// ETag returns the entity tag of the last successfully fetched
+// envelope — what a node heartbeat reports so the registry's health
+// view can tell which nodes have converged to the current model.
+func (s *HTTPModelSource) ETag() string {
+	s.f.mu.Lock()
+	defer s.f.mu.Unlock()
+	return s.f.etag
+}
+
+// SourceStatus implements StatusSource, adding the protocol-level ETag
+// to the embedded FailoverSource's view.
+func (s *HTTPModelSource) SourceStatus() SourceStatus {
+	st := s.FailoverSource.SourceStatus()
+	st.ETag = s.ETag()
+	return st
+}
+
+// httpFetcher is the origin behind an HTTPModelSource: one conditional
+// GET per call, ETag state, envelope parsing. Failure handling lives a
+// layer up in the FailoverSource.
+type httpFetcher struct {
+	url      string
+	hc       *http.Client
+	maxBytes int64
+
+	mu   sync.Mutex
+	etag string
+	cur  *Deployment
+}
+
+func newHTTPFetcher(url string, hc *http.Client, maxBytes int64) *httpFetcher {
+	if hc == nil {
+		hc = http.DefaultClient
+	}
+	if maxBytes <= 0 {
+		maxBytes = 64 << 20
+	}
+	return &httpFetcher{
+		url:      strings.TrimRight(url, "/") + "/v1/model",
+		hc:       hc,
+		maxBytes: maxBytes,
+	}
+}
+
+// Deployment implements ModelSource: a conditional GET against the
+// registry. 304 returns the previously parsed deployment (same
+// pointer); 200 parses and remembers the new envelope; anything else
+// is an error for the FailoverSource to absorb.
+func (f *httpFetcher) Deployment(ctx context.Context) (*Deployment, error) {
+	f.mu.Lock()
+	etag, cur := f.etag, f.cur
+	f.mu.Unlock()
+
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, f.url, nil)
+	if err != nil {
+		return nil, fmt.Errorf("registry: %w", err)
+	}
+	if etag != "" && cur != nil {
+		req.Header.Set("If-None-Match", etag)
+	}
+	resp, err := f.hc.Do(req)
+	if err != nil {
+		return nil, fmt.Errorf("registry: GET %s: %w", f.url, err)
+	}
+	defer func() {
+		io.Copy(io.Discard, io.LimitReader(resp.Body, 4096))
+		resp.Body.Close()
+	}()
+
+	switch resp.StatusCode {
+	case http.StatusNotModified:
+		return cur, nil
+	case http.StatusOK:
+		// fall through to parse
+	default:
+		return nil, fmt.Errorf("registry: GET %s: unexpected status %s", f.url, resp.Status)
+	}
+
+	body, err := io.ReadAll(io.LimitReader(resp.Body, f.maxBytes+1))
+	if err != nil {
+		return nil, fmt.Errorf("registry: reading envelope: %w", err)
+	}
+	if int64(len(body)) > f.maxBytes {
+		return nil, fmt.Errorf("registry: envelope exceeds %d bytes", f.maxBytes)
+	}
+	m, meta, err := modelio.LoadWithMeta(bytes.NewReader(body))
+	if err != nil {
+		return nil, fmt.Errorf("registry: bad envelope: %w", err)
+	}
+	dep := &Deployment{Model: m, Name: m.Name()}
+	if meta != nil {
+		dep.Features = meta.Features
+		if meta.Aggregation != nil {
+			dep.Aggregation = *meta.Aggregation
+		}
+	}
+	f.mu.Lock()
+	f.etag = resp.Header.Get("ETag")
+	f.cur = dep
+	f.mu.Unlock()
+	return dep, nil
+}

@@ -406,6 +406,25 @@ type Stats struct {
 	// Refreshes counts successful ModelSource hot-swaps since New
 	// (both auto-refresh ticks and explicit Refresh calls).
 	Refreshes uint64
+	// RefreshFailures counts ModelSource pulls that returned an error.
+	// A failed pull never drops or regresses the served model — the
+	// current deployment keeps serving and the next tick retries — so
+	// this counter plus RegistryStale is how refresh trouble surfaces.
+	RefreshFailures uint64
+	// RegistryStale reports that the service's ModelSource is serving
+	// its last-good deployment because the upstream registry is
+	// unreachable or returning garbage (stale-while-revalidate
+	// failover). Predictions keep flowing from the last-good model; the
+	// flag, RegistryStaleAge, and RegistryLastError say so out loud.
+	// Only populated when the ModelSource implements StatusSource
+	// (FailoverSource, HTTPModelSource).
+	RegistryStale bool
+	// RegistryStaleAge is how long the source has been serving stale
+	// (zero when fresh), on the service clock.
+	RegistryStaleAge time.Duration
+	// RegistryLastError is the most recent upstream failure (empty when
+	// fresh).
+	RegistryLastError string
 	// LastBatchLatency is the wall time of the most recent prediction
 	// batch (on any shard), and LastBatchSize its window count.
 	LastBatchLatency time.Duration
@@ -471,14 +490,15 @@ type Service struct {
 	// shedByPrio breaks shedWindows down by session priority. Guarded
 	// by shedMu (nested inside the shard lock on the shed path, so the
 	// per-priority totals always sum to shedWindows exactly).
-	shedMu        sync.Mutex
-	shedByPrio    map[int]uint64
-	predictions   atomic.Uint64
-	alerts        atomic.Uint64
-	evicted       atomic.Uint64
-	refreshes     atomic.Uint64
-	lastBatchNs   atomic.Int64
-	lastBatchSize atomic.Int64
+	shedMu          sync.Mutex
+	shedByPrio      map[int]uint64
+	predictions     atomic.Uint64
+	alerts          atomic.Uint64
+	evicted         atomic.Uint64
+	refreshes       atomic.Uint64
+	refreshFailures atomic.Uint64
+	lastBatchNs     atomic.Int64
+	lastBatchSize   atomic.Int64
 }
 
 // New builds and starts a prediction service. The initial model comes
@@ -759,6 +779,7 @@ func (s *Service) Refresh(ctx context.Context) (uint64, error) {
 	}
 	dep, err := s.cfg.source.Deployment(ctx)
 	if err != nil {
+		s.refreshFailures.Add(1)
 		return 0, fmt.Errorf("serve: pulling model: %w", err)
 	}
 	if cur := s.cur.Load(); cur.origin == dep {
@@ -840,7 +861,7 @@ func (s *Service) Stats() Stats {
 		}
 	}
 	s.shedMu.Unlock()
-	return Stats{
+	out := Stats{
 		ShedByPriority:   byPrio,
 		Sessions:         int(s.sessionCount.Load()),
 		Shards:           len(s.shards),
@@ -851,9 +872,25 @@ func (s *Service) Stats() Stats {
 		ShedWindows:      s.shedWindows.Load(),
 		EvictedSessions:  s.evicted.Load(),
 		Refreshes:        s.refreshes.Load(),
+		RefreshFailures:  s.refreshFailures.Load(),
 		LastBatchLatency: time.Duration(s.lastBatchNs.Load()),
 		LastBatchSize:    int(s.lastBatchSize.Load()),
 	}
+	// Staleness ride-along: a StatusSource (FailoverSource,
+	// HTTPModelSource) reports whether the deployments it hands out are
+	// fresh registry reads or the last-good failover copy. The source's
+	// own small mutex is the only lock involved — never a shard lock.
+	if sr, ok := s.cfg.source.(StatusSource); ok {
+		st := sr.SourceStatus()
+		out.RegistryStale = st.Stale
+		out.RegistryLastError = st.LastError
+		if st.Stale && !st.StaleSince.IsZero() {
+			if age := s.now().Sub(st.StaleSince); age > 0 {
+				out.RegistryStaleAge = age
+			}
+		}
+	}
+	return out
 }
 
 // HandleDatapoint implements monitor.StreamHandler: datapoints from the

@@ -1,0 +1,94 @@
+package f2pm
+
+import (
+	"bytes"
+	"context"
+	"net/http"
+	"time"
+
+	"repro/internal/registry"
+	"repro/internal/serve"
+)
+
+// Remote registry layer (ROADMAP item 2): one trainer publishes
+// deployment envelopes to a registry service (cmd/fmr); N serving
+// nodes pull them with conditional GETs and keep serving their
+// last-good model when the registry is down. See the package
+// documentation's "Remote registry" section.
+type (
+	// ModelRegistry is the registry control plane: an http.Handler
+	// serving deployment envelopes with strong ETags, node heartbeats,
+	// and the fleet health view.
+	ModelRegistry = registry.Server
+	// RegistryOption configures a ModelRegistry.
+	RegistryOption = registry.Option
+	// RegistryClient publishes envelopes, sends heartbeats, and reads
+	// fleet health over HTTP.
+	RegistryClient = registry.Client
+	// RegistryHeartbeat is one serving node's liveness/convergence
+	// report.
+	RegistryHeartbeat = registry.Heartbeat
+	// RegistryHealth is the fleet view served at /v1/health.
+	RegistryHealth = registry.Health
+	// RegistryNodeHealth is one node's row in RegistryHealth.
+	RegistryNodeHealth = registry.NodeHealth
+	// RegistryPublishResult is the outcome of publishing an envelope.
+	RegistryPublishResult = registry.PublishResult
+
+	// HTTPModelSource polls a registry with conditional GETs and
+	// stale-while-revalidate failover — plug it into a
+	// PredictionService via WithModelSource + WithRefreshInterval.
+	HTTPModelSource = serve.HTTPModelSource
+	// HTTPSourceConfig shapes an HTTPModelSource (HTTP client, failover
+	// cache file, breaker/backoff knobs).
+	HTTPSourceConfig = serve.HTTPSourceConfig
+	// SourceStatus is a model source's view of its upstream: staleness,
+	// last error, circuit-breaker state.
+	SourceStatus = serve.SourceStatus
+)
+
+// ErrRegistryUnavailable surfaces only on a true cold start: the
+// registry is down and the node has no last-good model (in memory or
+// on disk) to serve.
+var ErrRegistryUnavailable = serve.ErrRegistryUnavailable
+
+// NewModelRegistry builds an empty registry control plane; mount it on
+// any http server (it implements http.Handler).
+func NewModelRegistry(opts ...RegistryOption) *ModelRegistry { return registry.New(opts...) }
+
+// WithRegistryLivenessWindow sets how stale a heartbeat may be before
+// the node counts as dead in the health view (default 30 s).
+func WithRegistryLivenessWindow(d time.Duration) RegistryOption {
+	return registry.WithLivenessWindow(d)
+}
+
+// WithRegistryPublishHook registers a callback for every accepted
+// publish that changed the envelope (persistence, logging).
+func WithRegistryPublishHook(fn func(registry.Published)) RegistryOption {
+	return registry.WithPublishHook(fn)
+}
+
+// NewRegistryClient builds a client for the registry at base (e.g.
+// "http://host:7071"); a nil hc uses http.DefaultClient.
+func NewRegistryClient(base string, hc *http.Client) *RegistryClient {
+	return registry.NewClient(base, hc)
+}
+
+// NewHTTPModelSource builds a registry-backed model source polling
+// base with conditional GETs, retrying through the capped-exponential
+// backoff, caching the last-good envelope in cfg.CacheFile, and
+// serving stale during registry outages.
+func NewHTTPModelSource(base string, cfg HTTPSourceConfig) *HTTPModelSource {
+	return serve.NewHTTPModelSource(base, cfg)
+}
+
+// PublishDeployment saves dep as a modelio envelope and publishes it
+// to the registry at base — the trainer-side one-liner behind
+// cmd/f2pm -publish.
+func PublishDeployment(ctx context.Context, base string, dep *Deployment) (RegistryPublishResult, error) {
+	var buf bytes.Buffer
+	if err := SaveDeployment(&buf, dep); err != nil {
+		return RegistryPublishResult{}, err
+	}
+	return registry.NewClient(base, nil).Publish(ctx, buf.Bytes())
+}
