@@ -16,11 +16,18 @@
 // registry is unreachable — keeps serving the last-good model, flagged
 // stale, instead of dropping predictions.
 //
+// With -supervise, an autonomic overload supervisor watches the
+// serving queue: sustained depth past -overload-high tightens the shed
+// policy to the -shed-floor priority floor, a drained queue relaxes it
+// back, and every decision — including suppressed ones — is logged to
+// stderr.
+//
 // Usage:
 //
 //	fms -listen :7070 -outdir histories/
 //	fms -listen :7070 -serve-model best.model -alert-below 60
 //	fms -listen :7070 -registry http://10.0.0.9:7071 -model-cache last.model
+//	fms -listen :7070 -serve-model best.model -supervise -overload-high 64
 package main
 
 import (
@@ -48,10 +55,18 @@ func main() {
 		refresh    = flag.Duration("refresh", 10*time.Second, "registry poll interval (with -registry)")
 		cacheFile  = flag.String("model-cache", "", "persist the last-good registry envelope here (survives restarts)")
 		node       = flag.String("node", "", "node id reported in registry heartbeats (default hostname)")
+
+		supervise     = flag.Bool("supervise", false, "run the autonomic overload supervisor over the serving queue (with -serve-model or -registry)")
+		superviseTick = flag.Duration("supervise-every", 5*time.Second, "supervisor sampling interval (with -supervise)")
+		overloadHigh  = flag.Float64("overload-high", 48, "queue depth that arms the overload shed tightening (with -supervise)")
+		shedFloor     = flag.Int("shed-floor", 1, "priority floor installed while overloaded: windows below it are shed (with -supervise)")
 	)
 	flag.Parse()
 	if *servePath != "" && *regURL != "" {
 		fatal(fmt.Errorf("-serve-model and -registry are mutually exclusive"))
+	}
+	if *supervise && *servePath == "" && *regURL == "" {
+		fatal(fmt.Errorf("-supervise needs a prediction service (-serve-model or -registry)"))
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -129,6 +144,34 @@ func main() {
 		go heartbeatLoop(ctx, *regURL, nodeID(*node), src, svc, *refresh)
 	}
 
+	var stopSupervisor func()
+	if *supervise && svc != nil {
+		sup, err := f2pm.NewSupervisor(f2pm.SupervisorConfig{
+			Policies: []f2pm.SupervisorPolicy{&f2pm.OverloadPolicy{
+				HighDepth:  *overloadHigh,
+				TightDepth: int(*overloadHigh) / 2,
+				TightFloor: *shedFloor,
+				RelaxDepth: int(*overloadHigh) * 4,
+				RelaxFloor: 0,
+			}},
+			Actuators: f2pm.SupervisorActuators{
+				Reshard: func(depth, floor int, reason string) error {
+					return svc.SetShedPolicy(f2pm.ShedPolicy{MaxQueueDepth: depth, MinPriority: floor})
+				},
+			},
+			DefaultCooldown: 4 * *superviseTick,
+			OnDecision: func(d f2pm.SupervisorDecision) {
+				fmt.Fprintf(os.Stderr, "fms: decision %s\n", d)
+			},
+		})
+		if err != nil {
+			fatal(err)
+		}
+		stopSupervisor = f2pm.SuperviseService(sup, svc, *superviseTick, ctx.Done())
+		fmt.Fprintf(os.Stderr, "fms: overload supervisor armed (high watermark %g, floor %d, every %s)\n",
+			*overloadHigh, *shedFloor, *superviseTick)
+	}
+
 	srv, err := f2pm.NewMonitorServer(*listen, opts...)
 	if err != nil {
 		fatal(err)
@@ -142,6 +185,9 @@ func main() {
 	// no datapoint received before shutdown is lost.
 	if err := srv.Close(); err != nil {
 		fmt.Fprintln(os.Stderr, "fms: close:", err)
+	}
+	if stopSupervisor != nil {
+		stopSupervisor()
 	}
 	if svc != nil {
 		svc.Close()
@@ -172,15 +218,31 @@ func main() {
 
 // heartbeatLoop reports this node's health to the registry every poll
 // interval: which envelope it serves, its counters, and whether it is
-// serving stale. Heartbeat failures are logged once per transition —
-// an unreachable registry already shows up in Stats.
+// serving stale. Heartbeat failures and the node's own staleness are
+// logged once per transition — an operator tailing the log sees when
+// the node fell back to its last-good model and when it reconverged
+// (with how long it had been serving stale), not a line per poll.
 func heartbeatLoop(ctx context.Context, regURL, node string, src *f2pm.HTTPModelSource, svc *f2pm.PredictionService, every time.Duration) {
 	client := f2pm.NewRegistryClient(regURL, nil)
 	t := time.NewTicker(every)
 	defer t.Stop()
 	down := false
+	stale := false
+	var staleAge time.Duration // last observed age: Stats zeroes it once fresh
 	for {
 		st := svc.Stats()
+		switch {
+		case st.RegistryStale && !stale:
+			fmt.Fprintf(os.Stderr, "fms: registry stale (%s); serving last-good model v%d\n",
+				st.RegistryLastError, st.ModelVersion)
+		case !st.RegistryStale && stale:
+			fmt.Fprintf(os.Stderr, "fms: registry fresh again after ~%s stale; serving model v%d\n",
+				(staleAge + every).Round(time.Second), st.ModelVersion)
+		}
+		stale = st.RegistryStale
+		if st.RegistryStale {
+			staleAge = st.RegistryStaleAge
+		}
 		hb := f2pm.RegistryHeartbeat{
 			Node:         node,
 			ETag:         src.ETag(),

@@ -1,0 +1,129 @@
+// Autonomic operation: the closed MAPE loop on the public API. A
+// Supervisor watches serving-side signals (feature drift, graded
+// prediction error, queue depth, registry staleness), decides through
+// pluggable policies, and acts through typed actuators — retrain,
+// slide, publish, redeploy, reshard — logging every decision,
+// including the suppressed ones, in a gap-free sequence.
+//
+// The supervisor owns no goroutines and no clock: this example drives
+// it on a virtual clock with a scripted signal timeline, which is
+// exactly how the fleetsim chaos harness replays it byte-for-byte
+// (examples/fleetsim/scenarios/supervisor-loop.yaml closes the loop
+// against a real PredictionService and a real pipeline; cmd/fms
+// -supervise runs the overload arm against a live serving queue).
+//
+// The script below walks the three policy families through their
+// signature behaviors:
+//
+//  1. overload: sustained queue depth tightens the shed policy
+//     (reshard), the drained queue relaxes it — and a relax that lands
+//     inside the cooldown is suppressed, rolled back inside the
+//     policy, and retried until it executes.
+//  2. prediction error: graded estimate-vs-observed failures fold into
+//     an EWMA with hysteresis; crossing the trigger proposes retrain +
+//     publish.
+//  3. staleness: a publish proposed while the registry is stale is
+//     deferred, and — past the RedeployAfter bound — executed as a
+//     local redeploy instead, so the node serves the retrained model
+//     even when the fleet cannot converge on it yet.
+//
+// Run with:
+//
+//	go run ./examples/autonomic
+package main
+
+import (
+	"fmt"
+	"time"
+
+	f2pm "repro"
+)
+
+func main() {
+	// The virtual clock: signals and ticks carry explicit timestamps.
+	at := func(sec int) time.Time { return time.Unix(int64(sec), 0) }
+
+	sup, err := f2pm.NewSupervisor(f2pm.SupervisorConfig{
+		Policies: []f2pm.SupervisorPolicy{
+			&f2pm.OverloadPolicy{
+				HighDepth: 16, LowDepth: 4, Sustain: 2,
+				TightDepth: 8, TightFloor: 2, RelaxDepth: 64, RelaxFloor: 0,
+			},
+			&f2pm.PredictionErrorPolicy{
+				Trigger: 1.0, Clear: 0.3, MinSamples: 2, PublishAfter: true,
+			},
+		},
+		Actuators: f2pm.SupervisorActuators{
+			Retrain: func(reason string) error {
+				fmt.Println("  [actuator] incremental retrain (would run Pipeline.Update)")
+				return nil
+			},
+			Publish: func(reason string) error {
+				fmt.Println("  [actuator] publish to the model registry")
+				return nil
+			},
+			Redeploy: func(reason string) error {
+				fmt.Println("  [actuator] deploy locally (registry still stale)")
+				return nil
+			},
+			Reshard: func(depth, floor int, reason string) error {
+				fmt.Printf("  [actuator] shed policy -> depth %d, priority floor %d\n", depth, floor)
+				return nil
+			},
+		},
+		DefaultCooldown: 30 * time.Second,
+		RedeployAfter:   20 * time.Second,
+		OnDecision: func(d f2pm.SupervisorDecision) {
+			fmt.Printf("  decision %s\n", d)
+		},
+	})
+	if err != nil {
+		panic(err)
+	}
+
+	tick := func(sec int, sigs ...f2pm.SupervisorSignal) {
+		for _, s := range sigs {
+			sup.Signal(s)
+		}
+		fmt.Printf("t=%ds\n", sec)
+		sup.Tick(at(sec))
+	}
+	depth := func(v float64) f2pm.SupervisorSignal {
+		return f2pm.SupervisorSignal{Kind: f2pm.SignalQueueDepth, Value: v}
+	}
+	predErr := func(v float64) f2pm.SupervisorSignal {
+		return f2pm.SupervisorSignal{Kind: f2pm.SignalPredictionError, Value: v}
+	}
+	staleness := func(v float64) f2pm.SupervisorSignal {
+		return f2pm.SupervisorSignal{Kind: f2pm.SignalStaleness, Value: v}
+	}
+
+	fmt.Println("--- overload: tighten on sustained depth, relax after drain ---")
+	tick(0, depth(20))
+	tick(5, depth(22)) // second sustained observation: tighten executes
+	tick(10, depth(0))
+	tick(15, depth(0)) // relax proposed 10s after tighten -> cooldown, rolled back
+	tick(40, depth(0))
+	tick(45, depth(0)) // re-sustained past the cooldown: relax executes
+
+	fmt.Println("--- prediction error: EWMA hysteresis fires retrain + publish ---")
+	tick(60, predErr(0.2))
+	tick(65, predErr(3.0)) // regime change: estimates off by 3x
+	tick(70, predErr(3.2)) // EWMA crosses the trigger: retrain + publish
+
+	fmt.Println("--- staleness: publish defers, then falls back to local redeploy ---")
+	// The retrained model grades well again: the EWMA decays below
+	// Clear and the latch releases.
+	for sec := 90; sec <= 105; sec += 5 {
+		tick(sec, predErr(0))
+	}
+	tick(110, staleness(5), predErr(0)) // registry goes stale
+	tick(115, predErr(4.0))             // fires again: retrain runs, publish deferred
+	tick(130, staleness(25))            // still stale, publish still parked
+	tick(145, staleness(40))            // past RedeployAfter: local redeploy instead
+
+	fmt.Printf("\n%d decisions; executed: retrain=%d publish=%d redeploy=%d reshard=%d\n",
+		sup.Decisions(),
+		sup.Executed(f2pm.ActionRetrain), sup.Executed(f2pm.ActionPublish),
+		sup.Executed(f2pm.ActionRedeploy), sup.Executed(f2pm.ActionReshard))
+}

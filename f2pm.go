@@ -183,6 +183,34 @@
 // decision, and WithBatchFailpoint intercepts batches before
 // prediction.
 //
+// # Autonomic operation
+//
+// The loop closes itself: a Supervisor (NewSupervisor) watches
+// serving-side signals — feature drift from incremental updates,
+// prediction error graded at each observed failure, serving queue
+// depth, registry staleness — and decides through pluggable policies
+// when to act: retrain, slide the training window, publish, redeploy
+// locally, or reshard the load-shedding floor. The three shipped
+// policy families cover the classic shapes (DriftPolicy: threshold;
+// PredictionErrorPolicy: EWMA with hysteresis; OverloadPolicy:
+// watermarks with rate-of-change), and the supervisor itself applies
+// per-action cooldowns, defers publishes while the registry is stale
+// (falling back to a local redeploy past a bound), and executes
+// through caller-wired actuator functions.
+//
+// The supervisor owns no goroutines and no clock — signals carry
+// timestamps, the caller ticks it (SuperviseService is the wall-clock
+// convenience for daemons; cmd/fms -supervise uses it), and every
+// proposal becomes a sequence-numbered Decision in a structured log,
+// including the suppressed and deferred ones. Determinism is the
+// point: the fleetsim harness drives a fully wired supervisor —
+// retrains with 1e-8 warm-start parity checks, registry publishes,
+// shed-policy reshards — on its virtual clock and replays the whole
+// decision stream byte-for-byte (the supervisor-loop scenario runs
+// with no manual retrain cadence at all). See docs/autonomic.md for
+// the signal/policy/outcome contract and examples/autonomic for a
+// scripted walkthrough.
+//
 // On the monitor side, DialMonitorRetry dials the FMS with capped
 // exponential backoff and seeded jitter, and a Collector configured
 // with Redial/Retry survives connection loss by reconnecting and

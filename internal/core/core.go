@@ -331,6 +331,28 @@ func New(cfg Config) (*Pipeline, error) {
 // ErrNoModels is returned when the roster is empty.
 var ErrNoModels = errors.New("core: no models configured")
 
+// SetWindow replaces the pipeline's retention policy at runtime — the
+// Slide actuator of the autonomic loop: a supervisor that decides old
+// runs no longer describe the fleet tightens the window and the next
+// Update evicts past the new bound (loosening never resurrects evicted
+// rows; they are gone). Safe for concurrent use with Run/Update.
+func (p *Pipeline) SetWindow(w WindowPolicy) error {
+	if err := w.Validate(); err != nil {
+		return err
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.cfg.Window = w
+	return nil
+}
+
+// Window returns the currently configured retention policy.
+func (p *Pipeline) Window() WindowPolicy {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.cfg.Window
+}
+
 // Run executes the full pipeline on a data history.
 func (p *Pipeline) Run(h *trace.History) (*Report, error) {
 	return p.RunContext(context.Background(), h)

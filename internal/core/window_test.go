@@ -192,6 +192,49 @@ func TestPipelineWindowEviction(t *testing.T) {
 	}
 }
 
+// TestPipelineSetWindow pins the runtime retention actuator: a window
+// tightened mid-stream evicts on the next Update exactly like one
+// configured at New, and invalid policies are rejected without
+// touching the live one.
+func TestPipelineSetWindow(t *testing.T) {
+	h := testHistory(t)
+	failed := h.FailedRuns()
+	if len(failed) < 6 {
+		t.Skipf("only %d failed runs", len(failed))
+	}
+	p, err := New(updateConfig()) // unbounded retention
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Run(&trace.History{Runs: append([]trace.Run(nil), failed[:5]...)}); err != nil {
+		t.Fatal(err)
+	}
+	if w := p.Window(); w.Bounded() {
+		t.Fatalf("unbounded pipeline reports window %+v", w)
+	}
+	if err := p.SetWindow(WindowPolicy{MaxRuns: -1}); err == nil {
+		t.Fatal("negative MaxRuns accepted")
+	}
+	if err := p.SetWindow(WindowPolicy{MaxRuns: 3}); err != nil {
+		t.Fatal(err)
+	}
+	if w := p.Window(); w.MaxRuns != 3 {
+		t.Fatalf("live window = %+v, want MaxRuns 3", w)
+	}
+	rep, err := p.Update(&trace.History{Runs: append([]trace.Run(nil), failed[:6]...)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.WindowStart == 0 {
+		t.Fatal("tightened window evicted nothing on the next Update")
+	}
+	for _, r := range p.st.train.Run {
+		if r < rep.WindowStart {
+			t.Fatalf("train row from evicted run %d (window starts at %d)", r, rep.WindowStart)
+		}
+	}
+}
+
 // TestPipelineWindowDeferredEviction pins the safety valve: a window
 // that would evict everything (all surviving runs landed on one side
 // of the split) is deferred rather than leaving a family empty.

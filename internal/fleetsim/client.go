@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/aggregate"
 	"repro/internal/randx"
+	"repro/internal/serve"
 	"repro/internal/trace"
 )
 
@@ -58,6 +59,12 @@ type client struct {
 	everCrashed  bool
 	latencySum   int
 	latencyMax   int
+
+	// lastEst is the most recent estimate delivered to this client —
+	// graded against the observed failure time when the client actually
+	// fails, becoming the supervisor's prediction-error feedback.
+	lastEst serve.Estimate
+	hasEst  bool
 }
 
 // step advances the leak model by one tick and returns the datapoint
@@ -141,6 +148,7 @@ func (c *client) resetRun(tick int) {
 	c.usedKB = c.baseUsedKB
 	c.swapKB = 0
 	c.pendingRun = c.pendingRun[:0]
+	c.hasEst = false
 }
 
 // newFleet expands the scenario's templates into Count clients with

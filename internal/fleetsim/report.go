@@ -101,6 +101,12 @@ type Report struct {
 	Publishes    int  `json:"publishes,omitempty"`
 	FinallyStale bool `json:"finally_stale,omitempty"`
 
+	// Supervisor mode (Scenario.Supervisor): how many decisions the
+	// autonomic loop made (every one is also a "decision" log line)
+	// and how many actions of each kind actually executed.
+	Decisions       int            `json:"decisions,omitempty"`
+	ActionsExecuted map[string]int `json:"actions_executed,omitempty"`
+
 	Sessions   []SessionReport `json:"sessions"`
 	Assertions []CheckResult   `json:"assertions"`
 	Errors     []string        `json:"errors,omitempty"`
@@ -131,8 +137,8 @@ func (r *Report) Fingerprint() string {
 	}
 	fmt.Fprintf(&b, "predictions=%d shed=%d runs=%d lost=%d passed=%v\n",
 		r.Predictions, r.ShedWindows, r.CompletedRuns, r.LostWindows, r.Passed)
-	fmt.Fprintf(&b, "latency p50=%d p90=%d p99=%d max=%d publishes=%d\n",
-		r.LatencyP50Ticks, r.LatencyP90Ticks, r.LatencyP99Ticks, r.MaxLatencyTicks, r.Publishes)
+	fmt.Fprintf(&b, "latency p50=%d p90=%d p99=%d max=%d publishes=%d decisions=%d\n",
+		r.LatencyP50Ticks, r.LatencyP90Ticks, r.LatencyP99Ticks, r.MaxLatencyTicks, r.Publishes, r.Decisions)
 	return b.String()
 }
 
@@ -158,6 +164,21 @@ func (r *Report) WriteText(w io.Writer) {
 		r.MeanLatencyTicks, r.LatencyP50Ticks, r.LatencyP90Ticks, r.LatencyP99Ticks, r.MaxLatencyTicks)
 	if r.Publishes > 0 || r.FinallyStale {
 		fmt.Fprintf(w, "  registry: %d publishes, finally stale: %v\n", r.Publishes, r.FinallyStale)
+	}
+	if r.Decisions > 0 {
+		kinds := make([]string, 0, len(r.ActionsExecuted))
+		for k := range r.ActionsExecuted {
+			kinds = append(kinds, k)
+		}
+		sort.Strings(kinds)
+		fmt.Fprintf(w, "  supervisor: %d decisions, executed {", r.Decisions)
+		for i, k := range kinds {
+			if i > 0 {
+				fmt.Fprint(w, ", ")
+			}
+			fmt.Fprintf(w, "%s: %d", k, r.ActionsExecuted[k])
+		}
+		fmt.Fprintln(w, "}")
 	}
 	if r.ShedWindows > 0 {
 		prios := make([]int, 0, len(r.ShedByPriority))

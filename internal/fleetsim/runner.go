@@ -4,9 +4,12 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"math"
 	"sort"
 	"time"
 
+	"repro/internal/autonomic"
+	"repro/internal/core"
 	"repro/internal/monitor"
 	"repro/internal/randx"
 	"repro/internal/serve"
@@ -52,6 +55,22 @@ type runner struct {
 	publishes      int
 	regStale       bool
 	lastVersion    uint64
+
+	// Autonomic supervisor (Scenario.Supervisor mode): ticked on the
+	// virtual clock, fed the run's serving-side signals, executing
+	// through actuators that drive the same pipeline, service, and
+	// simulated registry — with every decision joining the event log.
+	sup *autonomic.Supervisor
+	// pendingDep is the most recent supervisor-retrained deployment,
+	// awaiting its publish or redeploy action.
+	pendingDep *serve.Deployment
+	// shedFloor is the live shed-policy priority floor the
+	// shed-below-floor invariant checks against; the Reshard actuator
+	// moves it together with the policy (single runner goroutine, so a
+	// plain field suffices).
+	shedFloor    int
+	lastShedSeen uint64
+	lastRunsSeen int
 
 	// Counters.
 	crashes       int
@@ -109,6 +128,11 @@ func Run(sc *Scenario) (*Report, error) {
 	if err := r.startService(dep); err != nil {
 		return nil, err
 	}
+	if sc.Supervisor != nil {
+		if err := r.startSupervisor(); err != nil {
+			return nil, err
+		}
+	}
 	if sc.Serve.Registry != nil {
 		r.logf("boot", "trained %d runs, published %q to registry", sc.Train.Runs, dep.Name)
 	} else {
@@ -140,6 +164,9 @@ func Run(sc *Scenario) (*Report, error) {
 		}
 		if sc.Serve.SessionTTL > 0 && sc.Serve.SweepEvery > 0 && t%sc.Serve.SweepEvery == 0 {
 			r.svc.SweepIdleNow()
+		}
+		if r.sup != nil && t%sc.Supervisor.TickEvery == 0 {
+			r.superTick()
 		}
 		if d := r.svc.Stats().QueueDepth; d > r.maxQueueDepth {
 			r.maxQueueDepth = d
@@ -199,16 +226,19 @@ func (r *runner) startService(dep *serve.Deployment) error {
 		opts = append(opts, serve.WithSessionTTL(sc.Serve.SessionTTL))
 	}
 	if sc.Serve.Shed != nil {
-		floor := sc.Serve.Shed.MinPriority
+		// The floor lives on the runner, not in the closure: the
+		// supervisor's Reshard actuator moves the policy and the
+		// invariant together.
+		r.shedFloor = sc.Serve.Shed.MinPriority
 		opts = append(opts,
 			serve.WithShedPolicy(serve.ShedPolicy{
 				MaxQueueDepth: sc.Serve.Shed.MaxQueueDepth,
-				MinPriority:   floor,
+				MinPriority:   r.shedFloor,
 			}),
 			serve.WithShedFunc(func(s serve.Shed) {
-				if s.Priority >= floor {
+				if s.Priority >= r.shedFloor {
 					r.shedFloorBad = append(r.shedFloorBad,
-						fmt.Sprintf("session %s priority %d shed at/above floor %d", s.SessionID, s.Priority, floor))
+						fmt.Sprintf("session %s priority %d shed at/above floor %d", s.SessionID, s.Priority, r.shedFloor))
 				}
 			}),
 		)
@@ -276,6 +306,189 @@ func (r *runner) pollRegistry() {
 	}
 }
 
+// startSupervisor builds the autonomic supervisor from the scenario's
+// policy configuration, with actuators closing the loop onto the
+// runner's pipeline, service, and simulated registry. Decisions are
+// logged as they are made, so the MAPE loop's behavior is part of the
+// deterministic fingerprint.
+func (r *runner) startSupervisor() error {
+	sp := r.sc.Supervisor
+	var pols []autonomic.Policy
+	if sp.ErrorTrigger > 0 {
+		pols = append(pols, &autonomic.PredictionErrorPolicy{
+			Trigger:      sp.ErrorTrigger,
+			Clear:        sp.ErrorClear,
+			MinSamples:   sp.ErrorMinSamples,
+			PublishAfter: sp.PublishAfter,
+		})
+	}
+	if sp.DriftThreshold > 0 {
+		pols = append(pols, &autonomic.DriftPolicy{
+			Threshold:    sp.DriftThreshold,
+			SlideTo:      sp.SlideTo,
+			PublishAfter: sp.PublishAfter,
+		})
+	}
+	if sp.OverloadHigh > 0 {
+		pols = append(pols, &autonomic.OverloadPolicy{
+			HighDepth:  sp.OverloadHigh,
+			LowDepth:   sp.OverloadLow,
+			Rise:       sp.OverloadRise,
+			Sustain:    sp.OverloadSustain,
+			TightDepth: sp.TightDepth,
+			TightFloor: sp.TightFloor,
+			RelaxDepth: sp.RelaxDepth,
+			RelaxFloor: sp.RelaxFloor,
+		})
+	}
+	sup, err := autonomic.New(autonomic.Config{
+		Policies: pols,
+		Actuators: autonomic.Actuators{
+			Retrain:  r.actRetrain,
+			Slide:    r.actSlide,
+			Publish:  r.actPublish,
+			Redeploy: r.actRedeploy,
+			Reshard:  r.actReshard,
+		},
+		DefaultCooldown: sp.Cooldown,
+		RedeployAfter:   sp.RedeployAfter,
+		OnDecision: func(d autonomic.Decision) {
+			r.logf("decision", "%s", d.String())
+		},
+	})
+	if err != nil {
+		return err
+	}
+	r.sup = sup
+	return nil
+}
+
+// superTick is one MAPE cycle: observe the serving stack into the
+// signal bus, then let the supervisor analyze, plan, and execute.
+// Prediction-error and drift signals are published at their sources
+// (fail, actRetrain); this adds the per-cycle gauges.
+func (r *runner) superTick() {
+	st := r.svc.Stats()
+	r.sup.Signal(autonomic.Signal{Kind: autonomic.SignalQueueDepth, At: r.now, Value: float64(st.QueueDepth)})
+	if st.ShedWindows > r.lastShedSeen {
+		r.sup.Signal(autonomic.Signal{Kind: autonomic.SignalShed, At: r.now, Value: float64(st.ShedWindows - r.lastShedSeen)})
+		r.lastShedSeen = st.ShedWindows
+	}
+	if r.regSrc != nil {
+		var age float64
+		if st.RegistryStale {
+			age = st.RegistryStaleAge.Seconds()
+			if age <= 0 {
+				age = r.tickSec
+			}
+		}
+		r.sup.Signal(autonomic.Signal{Kind: autonomic.SignalStaleness, At: r.now, Value: age})
+	}
+	if r.completedRuns > r.lastRunsSeen {
+		r.sup.Signal(autonomic.Signal{Kind: autonomic.SignalNewRuns, At: r.now, Value: float64(r.completedRuns - r.lastRunsSeen)})
+		r.lastRunsSeen = r.completedRuns
+	}
+	r.sup.Tick(r.now)
+}
+
+// actRetrain is the supervisor's Retrain arm: one incremental
+// Pipeline.Update on the accumulated history, with the result parked
+// for the publish/redeploy that follows. Drift the update reported
+// feeds back as a signal — the Analyze input of the next cycle.
+func (r *runner) actRetrain(reason string) error {
+	rep, err := r.tr.retrainNow()
+	if err != nil {
+		return err
+	}
+	dep, err := serve.FromReport(rep)
+	if err != nil {
+		return fmt.Errorf("no deployable model: %w", err)
+	}
+	r.pendingDep = dep
+	redraw := ""
+	if rep.SplitRedrawn {
+		redraw = " (split redrawn)"
+	}
+	r.logf("retrain", "autonomous retrain %d trained %q, window start %d%s",
+		r.tr.retrains, dep.Name, rep.WindowStart, redraw)
+	if r.sc.Train.VerifyUpdate || (rep.SplitRedrawn && r.sc.Train.VerifyRedraw) {
+		r.logf("parity", "update parity: %d checks, %d failures", r.tr.parityChecks, len(r.tr.parityFails))
+	}
+	worst := 0.0
+	for i := range rep.Results {
+		if d := rep.Results[i].Update.DriftScore; d > worst {
+			worst = d
+		}
+	}
+	if worst > 0 {
+		r.sup.Signal(autonomic.Signal{Kind: autonomic.SignalDrift, At: r.now, Value: worst, Detail: "retrain update"})
+	}
+	return nil
+}
+
+// actSlide tightens the pipeline's retention window; the next update
+// evicts past the new bound.
+func (r *runner) actSlide(maxRuns int, reason string) error {
+	if err := r.tr.pipe.SetWindow(core.WindowPolicy{MaxRuns: maxRuns}); err != nil {
+		return err
+	}
+	r.logf("slide", "training window tightened to max_runs=%d", maxRuns)
+	return nil
+}
+
+// actPublish pushes the parked retrained deployment to the simulated
+// registry (the fleet converges at its next poll), or deploys directly
+// when the scenario runs without a registry.
+func (r *runner) actPublish(reason string) error {
+	if r.pendingDep == nil {
+		return fmt.Errorf("no retrained deployment to publish")
+	}
+	dep := r.pendingDep
+	if r.sc.Serve.Registry != nil {
+		r.regDep = dep
+		r.publishes++
+		r.prevDep, r.curDep = r.curDep, dep
+		r.logf("publish", "supervisor published %q (publish %d)", dep.Name, r.publishes)
+		return nil
+	}
+	ver, err := r.svc.Deploy(dep)
+	if err != nil {
+		return err
+	}
+	r.deploys++
+	r.prevDep, r.curDep = r.curDep, dep
+	r.logf("deploy", "supervisor deployed %q as v%d", dep.Name, ver)
+	return nil
+}
+
+// actRedeploy hot-swaps the parked deployment into the local service —
+// the fallback when a publish has waited out RedeployAfter with the
+// registry still stale.
+func (r *runner) actRedeploy(reason string) error {
+	dep := r.pendingDep
+	if dep == nil {
+		return fmt.Errorf("no retrained deployment to redeploy")
+	}
+	ver, err := r.svc.Deploy(dep)
+	if err != nil {
+		return err
+	}
+	r.deploys++
+	r.logf("redeploy", "supervisor deployed %q locally as v%d (registry stale)", dep.Name, ver)
+	return nil
+}
+
+// actReshard swaps the live shed policy, moving the below-floor
+// invariant's floor with it.
+func (r *runner) actReshard(depth, floor int, reason string) error {
+	if err := r.svc.SetShedPolicy(serve.ShedPolicy{MaxQueueDepth: depth, MinPriority: floor}); err != nil {
+		return err
+	}
+	r.shedFloor = floor
+	r.logf("reshard", "shed policy now depth=%d floor=%d", depth, floor)
+	return nil
+}
+
 // onEstimate runs inside Flush/Close on the runner goroutine: it
 // credits the window to its session and records queue latency in
 // virtual ticks.
@@ -285,6 +498,7 @@ func (r *runner) onEstimate(est serve.Estimate) {
 		return
 	}
 	c.delivered++
+	c.lastEst, c.hasEst = est, true
 	if len(c.pendingTicks) > 0 {
 		lat := r.tick - c.pendingTicks[0]
 		c.pendingTicks = c.pendingTicks[1:]
@@ -436,6 +650,20 @@ func (r *runner) push(c *client, d trace.Datapoint, endRun bool) {
 // run feeds the trainer, and the retrain cadence may produce a new
 // deployment.
 func (r *runner) fail(c *client, tgen float64, t int) {
+	// A real failure grades the last estimate this client received:
+	// the remaining time to failure at prediction time is now known,
+	// and the relative error is the supervisor's prediction-error
+	// feedback signal.
+	if r.sup != nil && c.hasEst {
+		if actual := tgen - c.lastEst.Tgen; actual > 0 {
+			relErr := math.Abs(c.lastEst.RTTF-actual) / math.Max(actual, 1)
+			r.sup.Signal(autonomic.Signal{
+				Kind: autonomic.SignalPredictionError, At: r.now,
+				Value: relErr, Detail: c.id,
+			})
+		}
+		c.hasEst = false
+	}
 	r.push(c, trace.Datapoint{}, true)
 	run := trace.Run{
 		Datapoints: append([]trace.Datapoint(nil), c.pendingRun...),
@@ -665,6 +893,31 @@ func (r *runner) evalCheck(c Check, at string) CheckResult {
 		ge(float64(r.publishes), bound(1), "registry publishes")
 	case "max_p99_latency":
 		le(float64(r.latencyPercentile(99)), bound(0), "p99 latency ticks")
+	case "min_decisions":
+		if r.sup == nil {
+			res.Detail = "no supervisor configured"
+			break
+		}
+		ge(float64(r.sup.Decisions()), bound(1), "supervisor decisions")
+	case "min_reshards":
+		if r.sup == nil {
+			res.Detail = "no supervisor configured"
+			break
+		}
+		ge(float64(r.sup.Executed(autonomic.ActionReshard)), bound(1), "reshard actions")
+	case "min_slides":
+		if r.sup == nil {
+			res.Detail = "no supervisor configured"
+			break
+		}
+		ge(float64(r.sup.Executed(autonomic.ActionSlide)), bound(1), "slide actions")
+	case "no_errors":
+		res.Passed = len(r.errs) == 0
+		if res.Passed {
+			res.Detail = "no internal errors"
+		} else {
+			res.Detail = fmt.Sprintf("%d internal errors, first: %s", len(r.errs), r.errs[0])
+		}
 	case "shed_only_below_floor":
 		res.Passed = len(r.shedFloorBad) == 0
 		if res.Passed {
@@ -738,6 +991,18 @@ func (r *runner) report(stats serve.Stats, ticks int) *Report {
 
 		Publishes:    r.publishes,
 		FinallyStale: r.regStale,
+	}
+	if r.sup != nil {
+		rep.Decisions = r.sup.Decisions()
+		rep.ActionsExecuted = map[string]int{}
+		for _, k := range []autonomic.ActionKind{
+			autonomic.ActionRetrain, autonomic.ActionSlide, autonomic.ActionPublish,
+			autonomic.ActionRedeploy, autonomic.ActionReshard,
+		} {
+			if n := r.sup.Executed(k); n > 0 {
+				rep.ActionsExecuted[string(k)] = n
+			}
+		}
 	}
 	if r.latencyCount > 0 {
 		rep.MeanLatencyTicks = float64(r.latencySum) / float64(r.latencyCount)

@@ -23,10 +23,15 @@ type Scenario struct {
 	// every ~1.5 s; scenarios default to 1 s.
 	Tick time.Duration
 
-	Serve  ServeConfig
-	Train  TrainConfig
-	Fleet  FleetConfig
-	Events []ScenarioEvent
+	Serve ServeConfig
+	Train TrainConfig
+	Fleet FleetConfig
+	// Supervisor, when present, runs the autonomic MAPE loop inside the
+	// simulation: serving-side signals feed policies that retrain,
+	// slide, publish, redeploy, and reshard with no manual triggers,
+	// and every decision joins the deterministic event log.
+	Supervisor *SupervisorConfig
+	Events     []ScenarioEvent
 	// Final are the end-of-run assertions, evaluated after the last
 	// flush and drain.
 	Final []Check
@@ -82,6 +87,59 @@ type RegistryConfig struct {
 	CooldownMax  time.Duration
 }
 
+// SupervisorConfig wires an autonomic.Supervisor into the run: it is
+// ticked on the virtual clock, fed the harness's serving-side signals
+// (prediction-error feedback when monitored clients actually fail,
+// drift scores from incremental retrains, queue depth, shed counts,
+// registry staleness), and its actuators drive the same pipeline,
+// service, and simulated registry the scenario runs — the closed loop
+// under deterministic chaos.
+type SupervisorConfig struct {
+	// TickEvery runs one supervisor MAPE cycle every N runner ticks
+	// (default 5).
+	TickEvery int
+	// Cooldown is the per-action-kind minimum spacing in virtual time
+	// (default 30s).
+	Cooldown time.Duration
+	// RedeployAfter turns a publish deferred past this (registry still
+	// stale) into a local redeploy (0 = wait indefinitely).
+	RedeployAfter time.Duration
+
+	// ErrorTrigger enables the prediction-error hysteresis policy: when
+	// the EWMA of relative prediction error (graded against observed
+	// failures) reaches it, the supervisor retrains (0 = disabled).
+	ErrorTrigger float64
+	// ErrorClear re-arms the policy (default ErrorTrigger/2).
+	ErrorClear float64
+	// ErrorMinSamples is the observation floor before firing (default 3).
+	ErrorMinSamples int
+
+	// DriftThreshold enables the drift threshold policy over the drift
+	// scores incremental retrains report (0 = disabled).
+	DriftThreshold float64
+	// SlideTo makes the drift policy tighten the pipeline window to
+	// this many runs before its retrain (0 = no slide).
+	SlideTo int
+
+	// OverloadHigh enables the queue-depth rate-of-change policy
+	// (0 = disabled); sustained depth >= OverloadHigh (or climbing by
+	// OverloadRise per observation) installs the tight shed policy,
+	// sustained depth <= OverloadLow restores the relaxed one.
+	OverloadHigh    float64
+	OverloadLow     float64
+	OverloadRise    float64
+	OverloadSustain int
+	TightDepth      int
+	TightFloor      int
+	RelaxDepth      int
+	RelaxFloor      int
+
+	// PublishAfter makes retrain-proposing policies also propose a
+	// publish (registry mode) so the fleet converges, not just this
+	// node.
+	PublishAfter bool
+}
+
 // TrainConfig shapes the model side: the bootstrap training phase that
 // produces the initial deployment, and the live retraining loop.
 type TrainConfig struct {
@@ -103,6 +161,17 @@ type TrainConfig struct {
 	// the train/validation split and checks prediction parity at 1e-8
 	// — the SplitRedrawn correctness assertion.
 	VerifyRedraw bool
+	// VerifyUpdate fresh-fits every model after every update (with the
+	// incremental model's frozen preprocessing pinned, where the model
+	// supports it) and checks training-window prediction parity at 1e-8
+	// — the warm-start correctness assertion.
+	VerifyUpdate bool
+	// SVMTol/SVMMaxPasses override the ε-SVR roster entry's solver
+	// bounds (0 keeps the defaults). Parity assertions need a tightly
+	// converged dual: the default serving tolerance leaves the solver
+	// short of the unique optimum warm and cold starts share.
+	SVMTol       float64
+	SVMMaxPasses int
 }
 
 // FleetConfig generates the client fleet.
@@ -196,6 +265,13 @@ type ScenarioEvent struct {
 //	                        live registry read
 //	min_publishes: N        retrains published to the registry ≥ N
 //	max_p99_latency: N      p99 queue latency ≤ N ticks
+//	min_decisions: N        supervisor decisions logged ≥ N (supervisor
+//	                        mode only)
+//	min_reshards: N         supervisor reshard actions executed ≥ N
+//	min_slides: N           supervisor slide actions executed ≥ N
+//	no_errors               the run recorded no internal errors (every
+//	                        push, deploy, and poll succeeded — e.g. no
+//	                        ErrNoModel anywhere)
 type Check struct {
 	Name  string
 	Value float64
@@ -212,6 +288,7 @@ var (
 		"min_shed", "max_shed",
 		"no_lost_windows", "shed_only_below_floor", "require_redraw", "require_parity",
 		"registry_stale", "registry_fresh", "min_publishes", "max_p99_latency",
+		"min_decisions", "min_reshards", "min_slides", "no_errors",
 	}
 	knownModels = []string{"linear", "m5p", "reptree", "svm", "svm2"}
 )
@@ -358,7 +435,7 @@ func (d *decoder) child(m map[string]any, key string) (map[string]any, bool) {
 
 func (d *decoder) scenario(m map[string]any) *Scenario {
 	d.known(m, "scenario", "name", "seed", "duration", "tick",
-		"serve", "train", "fleet", "events", "assertions")
+		"serve", "train", "fleet", "supervisor", "events", "assertions")
 	sc := &Scenario{
 		Name:     d.str(m, "scenario", "name", "unnamed"),
 		Seed:     uint64(d.integer(m, "scenario", "seed", 1)),
@@ -379,6 +456,9 @@ func (d *decoder) scenario(m map[string]any) *Scenario {
 		sc.Fleet = d.fleet(fm)
 	} else {
 		d.errf("scenario: a fleet block is required")
+	}
+	if sm, ok := d.child(m, "supervisor"); ok {
+		sc.Supervisor = d.supervisor(sm)
 	}
 	if v, ok := m["events"]; ok && v != nil {
 		list, ok := v.([]any)
@@ -433,15 +513,46 @@ func (d *decoder) serve(m map[string]any) ServeConfig {
 	return cfg
 }
 
+func (d *decoder) supervisor(m map[string]any) *SupervisorConfig {
+	d.known(m, "supervisor", "tick_every", "cooldown", "redeploy_after",
+		"error_trigger", "error_clear", "error_min_samples",
+		"drift_threshold", "slide_to",
+		"overload_high", "overload_low", "overload_rise", "overload_sustain",
+		"tight_depth", "tight_floor", "relax_depth", "relax_floor",
+		"publish_after")
+	return &SupervisorConfig{
+		TickEvery:       d.integer(m, "supervisor", "tick_every", 5),
+		Cooldown:        d.dur(m, "supervisor", "cooldown", 30*time.Second),
+		RedeployAfter:   d.dur(m, "supervisor", "redeploy_after", 0),
+		ErrorTrigger:    d.f64(m, "supervisor", "error_trigger", 0),
+		ErrorClear:      d.f64(m, "supervisor", "error_clear", 0),
+		ErrorMinSamples: d.integer(m, "supervisor", "error_min_samples", 3),
+		DriftThreshold:  d.f64(m, "supervisor", "drift_threshold", 0),
+		SlideTo:         d.integer(m, "supervisor", "slide_to", 0),
+		OverloadHigh:    d.f64(m, "supervisor", "overload_high", 0),
+		OverloadLow:     d.f64(m, "supervisor", "overload_low", 0),
+		OverloadRise:    d.f64(m, "supervisor", "overload_rise", 0),
+		OverloadSustain: d.integer(m, "supervisor", "overload_sustain", 3),
+		TightDepth:      d.integer(m, "supervisor", "tight_depth", 0),
+		TightFloor:      d.integer(m, "supervisor", "tight_floor", 0),
+		RelaxDepth:      d.integer(m, "supervisor", "relax_depth", 0),
+		RelaxFloor:      d.integer(m, "supervisor", "relax_floor", 0),
+		PublishAfter:    d.boolean(m, "supervisor", "publish_after", false),
+	}
+}
+
 func (d *decoder) train(m map[string]any) TrainConfig {
 	d.known(m, "train", "runs", "template", "models", "max_runs",
-		"retrain_every", "verify_redraw")
+		"retrain_every", "verify_redraw", "verify_update", "svm_tol", "svm_max_passes")
 	cfg := TrainConfig{
 		Runs:         d.integer(m, "train", "runs", 4),
 		Template:     d.str(m, "train", "template", ""),
 		MaxRuns:      d.integer(m, "train", "max_runs", 0),
 		RetrainEvery: d.integer(m, "train", "retrain_every", 0),
 		VerifyRedraw: d.boolean(m, "train", "verify_redraw", false),
+		VerifyUpdate: d.boolean(m, "train", "verify_update", false),
+		SVMTol:       d.f64(m, "train", "svm_tol", 0),
+		SVMMaxPasses: d.integer(m, "train", "svm_max_passes", 0),
 	}
 	if v, ok := m["models"]; ok && v != nil {
 		list, ok := v.([]any)
@@ -667,6 +778,31 @@ func (d *decoder) validate(sc *Scenario) {
 		}
 		if rc.CooldownBase <= 0 || rc.CooldownMax < rc.CooldownBase {
 			d.errf("serve.registry: cooldown_base must be positive and cooldown_max >= cooldown_base")
+		}
+	}
+	if sp := sc.Supervisor; sp != nil {
+		if sp.TickEvery < 1 {
+			d.errf("supervisor.tick_every must be at least 1")
+		}
+		if sp.Cooldown < 0 || sp.RedeployAfter < 0 {
+			d.errf("supervisor: cooldown and redeploy_after must be non-negative")
+		}
+		if sp.ErrorTrigger <= 0 && sp.DriftThreshold <= 0 && sp.OverloadHigh <= 0 {
+			d.errf("supervisor: at least one policy must be enabled (error_trigger, drift_threshold, or overload_high)")
+		}
+		if sp.OverloadHigh > 0 {
+			if sc.Serve.Shed == nil {
+				d.errf("supervisor: the overload policy needs a serve.shed block to reshard")
+			}
+			if sp.TightDepth < 1 {
+				d.errf("supervisor.tight_depth must be at least 1 when overload_high is set")
+			}
+		}
+		if sp.SlideTo < 0 {
+			d.errf("supervisor.slide_to must be non-negative")
+		}
+		if sp.PublishAfter && sc.Serve.Registry == nil {
+			d.errf("supervisor.publish_after needs a serve.registry block")
 		}
 	}
 	for i, ev := range sc.Events {

@@ -7,6 +7,7 @@ import (
 	"repro/internal/aggregate"
 	"repro/internal/core"
 	"repro/internal/ml"
+	"repro/internal/ml/svm"
 	"repro/internal/randx"
 	"repro/internal/serve"
 	"repro/internal/trace"
@@ -28,14 +29,27 @@ type trainer struct {
 }
 
 // roster resolves the scenario's model names against the default
-// roster.
-func roster(names []string) ([]core.ModelSpec, error) {
+// roster, applying the scenario's ε-SVR solver overrides (parity
+// assertions need a dual converged far past the serving default).
+func roster(tc TrainConfig) ([]core.ModelSpec, error) {
 	all := core.DefaultModels(nil)
 	var specs []core.ModelSpec
-	for _, name := range names {
+	for _, name := range tc.Models {
 		found := false
 		for _, spec := range all {
 			if spec.Name == name {
+				if name == "svm" && (tc.SVMTol > 0 || tc.SVMMaxPasses > 0) {
+					spec.New = func() (ml.Regressor, error) {
+						opts := svm.DefaultOptions()
+						if tc.SVMTol > 0 {
+							opts.Tol = tc.SVMTol
+						}
+						if tc.SVMMaxPasses > 0 {
+							opts.MaxPasses = tc.SVMMaxPasses
+						}
+						return svm.New(opts)
+					}
+				}
 				specs = append(specs, spec)
 				found = true
 				break
@@ -51,7 +65,7 @@ func roster(names []string) ([]core.ModelSpec, error) {
 // newTrainer simulates the bootstrap training runs, fits the pipeline,
 // and returns the trainer plus the initial deployment.
 func newTrainer(sc *Scenario, rng *randx.Source) (*trainer, *serve.Deployment, error) {
-	specs, err := roster(sc.Train.Models)
+	specs, err := roster(sc.Train)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -133,6 +147,14 @@ func (tr *trainer) completedRun(run trace.Run) (*core.Report, error) {
 		return nil, nil
 	}
 	tr.sinceRetrain = 0
+	return tr.retrainNow()
+}
+
+// retrainNow runs one Pipeline.Update immediately, regardless of the
+// scenario's retrain cadence — the supervisor's Retrain actuator. The
+// post-update verification hooks (redraw parity, update parity) run
+// here so both the cadence path and the autonomic path are covered.
+func (tr *trainer) retrainNow() (*core.Report, error) {
 	rep, err := tr.pipe.Update(&tr.hist)
 	if err != nil {
 		return nil, err
@@ -144,7 +166,60 @@ func (tr *trainer) completedRun(run trace.Run) (*core.Report, error) {
 			tr.verifyRedraw(rep)
 		}
 	}
+	if tr.sc.Train.VerifyUpdate {
+		tr.verifyUpdate(rep)
+	}
 	return rep, nil
+}
+
+// verifyUpdate fresh-fits every surviving model on the retained
+// training window — with the incremental model's frozen preprocessing
+// pinned, where the model supports pinning — and checks that its
+// predictions over the training-window rows match the incrementally
+// updated model to 1e-8. Training-window rows (not fresh probe points)
+// are the parity contract: a near-singular kernel Gram leaves
+// off-sample predictions genuinely underdetermined between equally
+// optimal duals, while on-window predictions are determined to solver
+// resolution.
+func (tr *trainer) verifyUpdate(rep *core.Report) {
+	for _, fs := range []core.FeatureSet{core.AllParams, core.LassoParams} {
+		train, _, ok := tr.pipe.Datasets(fs)
+		if !ok {
+			continue
+		}
+		for i := range rep.Results {
+			res := &rep.Results[i]
+			if res.Features != fs || res.Err != nil || res.Model == nil {
+				continue
+			}
+			tr.parityChecks++
+			fresh, err := res.Spec.New()
+			if err != nil {
+				tr.parityFails = append(tr.parityFails, fmt.Sprintf("update %s/%s: construct: %v", res.Spec.Name, fs, err))
+				continue
+			}
+			if pin, ok := fresh.(ml.PreprocessPinner); ok {
+				if err := pin.PinPreprocessing(res.Model); err != nil {
+					tr.parityFails = append(tr.parityFails, fmt.Sprintf("update %s/%s: pin: %v", res.Spec.Name, fs, err))
+					continue
+				}
+			}
+			if err := fresh.Fit(train.X, train.RTTF); err != nil {
+				tr.parityFails = append(tr.parityFails, fmt.Sprintf("update %s/%s: fit: %v", res.Spec.Name, fs, err))
+				continue
+			}
+			want := ml.PredictAll(fresh, train.X)
+			got := ml.PredictAll(res.Model, train.X)
+			for j := range want {
+				tol := 1e-8 * (1 + math.Abs(want[j]))
+				if math.Abs(want[j]-got[j]) > tol {
+					tr.parityFails = append(tr.parityFails,
+						fmt.Sprintf("update %s/%s: row %d: incremental %.12g vs fresh %.12g", res.Spec.Name, fs, j, got[j], want[j]))
+					break
+				}
+			}
+		}
+	}
 }
 
 // verifyRedraw fresh-fits every surviving model on the pipeline's

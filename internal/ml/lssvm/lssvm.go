@@ -52,7 +52,7 @@ type Options struct {
 	// refits from scratch on the combined history with freshly fitted
 	// statistics (unless Standardizer is pinned, which wins). 0
 	// disables detection; the outcome of each Update is reported via
-	// LastUpdate. Batches smaller than driftSigmaMinBatch rows score
+	// LastUpdate. Batches smaller than ml.DriftSigmaMinBatch rows score
 	// only the mean shift — their sample σ is too noisy to trust.
 	DriftThreshold float64
 }
@@ -340,46 +340,28 @@ func (m *Model) extendFactor(r *kernel.Rows, oldN, mNew int) error {
 // LastUpdate implements ml.UpdateReporter.
 func (m *Model) LastUpdate() ml.UpdateInfo { return m.lastUpdate }
 
-// driftSigmaMinBatch is the smallest batch whose sample σ is compared
-// against the frozen statistics: below it the σ estimate is dominated
-// by sampling noise (a single row always has σ 0, which would read as
-// full drift), so only the mean-shift term is scored.
-const driftSigmaMinBatch = 8
-
-// driftScore measures how far a standardized batch sits from the frozen
-// statistics: the largest per-feature |mean| (in σ units) and, for
-// batches of at least driftSigmaMinBatch rows, |σ − 1|. A batch drawn
-// from the training distribution scores near 0.
-func driftScore(Xs [][]float64) float64 {
-	n := len(Xs)
-	if n == 0 {
-		return 0
+// PinPreprocessing implements ml.PreprocessPinner: the receiver's next
+// Fit reuses src's frozen feature standardizer, so a from-scratch fit
+// on the combined window reproduces an incrementally updated model
+// exactly — the cross-check behind the update parity tests.
+func (m *Model) PinPreprocessing(src ml.Regressor) error {
+	s, ok := src.(*Model)
+	if !ok {
+		return fmt.Errorf("lssvm: cannot pin preprocessing from %T", src)
 	}
-	d := len(Xs[0])
-	score := 0.0
-	for j := 0; j < d; j++ {
-		var sum, ss float64
-		for i := 0; i < n; i++ {
-			sum += Xs[i][j]
-		}
-		mean := sum / float64(n)
-		if v := math.Abs(mean); v > score {
-			score = v
-		}
-		if n < driftSigmaMinBatch {
-			continue
-		}
-		for i := 0; i < n; i++ {
-			dv := Xs[i][j] - mean
-			ss += dv * dv
-		}
-		sd := math.Sqrt(ss / float64(n))
-		if v := math.Abs(sd - 1); v > score {
-			score = v
-		}
+	if !s.fitted {
+		return ml.ErrNotFitted
 	}
-	return score
+	m.opts.Standardizer = &kernel.Standardizer{
+		Mean: append([]float64(nil), s.std.Mean...),
+		Std:  append([]float64(nil), s.std.Std...),
+	}
+	return nil
 }
+
+// driftScore delegates to the shared ml.DriftScore (the logic moved
+// there when the ε-SVR grew the same drift check).
+func driftScore(Xs [][]float64) float64 { return ml.DriftScore(Xs) }
 
 // refitCombined retrains from scratch on the retained history plus the
 // new rows, with freshly fitted statistics (the drift-triggered refit

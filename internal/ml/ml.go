@@ -120,6 +120,62 @@ type UpdateReporter interface {
 	LastUpdate() UpdateInfo
 }
 
+// PreprocessPinner is implemented by regressors that freeze feature
+// preprocessing statistics at the initial Fit and can transplant them:
+// PinPreprocessing configures the (typically unfitted) receiver so its
+// next Fit reuses src's frozen statistics, which is what lets a
+// from-scratch fit on the combined window reproduce an incrementally
+// updated model exactly — the cross-check behind the update parity
+// tests. src must be a fitted model of the same concrete type.
+type PreprocessPinner interface {
+	PinPreprocessing(src Regressor) error
+}
+
+// DriftSigmaMinBatch is the smallest batch whose sample σ is compared
+// against frozen standardizer statistics by DriftScore: below it the σ
+// estimate is dominated by sampling noise (a single row always has σ 0,
+// which would read as full drift), so only the mean-shift term is
+// scored.
+const DriftSigmaMinBatch = 8
+
+// DriftScore measures how far a standardized batch sits from the frozen
+// statistics it was standardized with: the largest per-feature |mean|
+// (in σ units) and, for batches of at least DriftSigmaMinBatch rows,
+// |σ − 1|. A batch drawn from the training distribution scores near 0.
+// The incremental kernel machines use it to decide when appended rows
+// have drifted far enough from the frozen standardizer to force a
+// from-scratch refit (UpdateInfo.DriftRefit).
+func DriftScore(Xs [][]float64) float64 {
+	n := len(Xs)
+	if n == 0 {
+		return 0
+	}
+	d := len(Xs[0])
+	score := 0.0
+	for j := 0; j < d; j++ {
+		var sum, ss float64
+		for i := 0; i < n; i++ {
+			sum += Xs[i][j]
+		}
+		mean := sum / float64(n)
+		if v := math.Abs(mean); v > score {
+			score = v
+		}
+		if n < DriftSigmaMinBatch {
+			continue
+		}
+		for i := 0; i < n; i++ {
+			dv := Xs[i][j] - mean
+			ss += dv * dv
+		}
+		sd := math.Sqrt(ss / float64(n))
+		if v := math.Abs(sd - 1); v > score {
+			score = v
+		}
+	}
+	return score
+}
+
 // BatchPredictor is implemented by regressors with an optimized
 // batched prediction path (the kernel machines evaluate all support
 // vectors through flat batched kernels and reuse scratch buffers

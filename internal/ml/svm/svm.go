@@ -16,6 +16,15 @@
 // set: coordinates that stop moving are skipped until a final full
 // sweep certifies optimality. Prediction batches all support vectors
 // through kernel.EvalInto.
+//
+// The fitted model retains its standardized training rows, the
+// bias-folded Gram and the full dual vector, so Update and UpdateWindow
+// (update.go) extend the fit warm: the Gram grows by its kernel border
+// only, the coordinate descent restarts from the previous β rescaled to
+// the recomputed target standardization, and typically certifies
+// optimality in a few sweeps instead of a cold solve — the incremental
+// retraining contract behind core.Pipeline.Update, closing the one gap
+// that still forced a from-scratch refit inside the autonomic loop.
 package svm
 
 import (
@@ -43,6 +52,22 @@ type Options struct {
 	// Tol stops when the largest coordinate change in a sweep drops
 	// below Tol·C.
 	Tol float64
+	// Standardizer optionally fixes the feature standardization
+	// instead of fitting it from the training data. Incremental
+	// updates always freeze the initial fit's standardizer (changing
+	// it would invalidate every cached kernel value); pinning it here
+	// additionally lets a from-scratch Fit reproduce an incrementally
+	// updated model exactly, which is how the parity tests cross-check
+	// Update.
+	Standardizer *kernel.Standardizer
+	// DriftThreshold enables standardizer drift detection in Update:
+	// when the appended rows' per-feature statistics deviate from the
+	// frozen standardizer by more than this much (see ml.DriftScore),
+	// the incremental path is abandoned and the model refits from
+	// scratch with freshly fitted statistics (unless Standardizer is
+	// pinned, which wins). 0 disables detection; the outcome of each
+	// Update is reported via LastUpdate.
+	DriftThreshold float64
 }
 
 // DefaultOptions returns SMOreg-like settings.
@@ -64,6 +89,9 @@ func (o *Options) Validate() error {
 	if o.Tol <= 0 {
 		return fmt.Errorf("svm: Tol must be positive, got %v", o.Tol)
 	}
+	if o.DriftThreshold < 0 {
+		return fmt.Errorf("svm: DriftThreshold must be non-negative, got %v", o.DriftThreshold)
+	}
 	return nil
 }
 
@@ -84,8 +112,23 @@ type Model struct {
 	dim         int
 	fitted      bool
 
-	// Passes reports the sweeps used by the last Fit; SupportVectors the
-	// retained expansion size.
+	// Incremental-retraining state: the full standardized training set
+	// in the flat layout, the bias-folded Gram over it (grown by its
+	// border on Update; nil on a deserialized model and rebuilt lazily),
+	// the full dual vector (zeros included — the warm-start seed), and
+	// the raw targets, re-standardized over the surviving window on
+	// every update.
+	trainRows *kernel.Rows
+	gram      *mat.Dense
+	betaFull  []float64
+	yRaw      []float64
+
+	// lastUpdate reports what the latest Update call did (drift score
+	// of the appended batch, incremental vs drift-triggered refit).
+	lastUpdate ml.UpdateInfo
+
+	// Passes reports the sweeps used by the last Fit or Update;
+	// SupportVectors the retained expansion size.
 	Passes         int
 	SupportVectors int
 }
@@ -101,7 +144,10 @@ func New(opts Options) (*Model, error) {
 // Name implements ml.Regressor; the paper's tables call this model "SVM".
 func (m *Model) Name() string { return "svm" }
 
-// Fit trains by cyclic coordinate descent on the dual.
+// Fit trains by cyclic coordinate descent on the dual. The standardized
+// rows, the bias-folded Gram and the full dual vector are retained, so
+// a later Update restarts the solver warm at a cost scaling with the
+// new rows.
 func (m *Model) Fit(X [][]float64, y []float64) error {
 	dim, err := ml.CheckTrainingSet(X, y)
 	if err != nil {
@@ -109,53 +155,83 @@ func (m *Model) Fit(X [][]float64, y []float64) error {
 	}
 	n := len(X)
 
-	m.std = kernel.FitStandardizer(X)
-	Xs := m.std.ApplyAll(X)
+	std := m.opts.Standardizer
+	if std == nil {
+		std = kernel.FitStandardizer(X)
+	} else if len(std.Mean) != dim || len(std.Std) != dim {
+		return fmt.Errorf("svm: pinned standardizer has dimension %d, want %d", len(std.Mean), dim)
+	}
+	Xs := std.ApplyAll(X)
 
-	m.yMean = ml.Mean(y)
-	m.yStd = math.Sqrt(ml.Variance(y))
-	if m.yStd == 0 {
-		m.yStd = 1
+	yMean := ml.Mean(y)
+	yStd := math.Sqrt(ml.Variance(y))
+	if yStd == 0 {
+		yStd = 1
 	}
 	ys := make([]float64, n)
 	for i, v := range y {
-		ys[i] = (v - m.yMean) / m.yStd
+		ys[i] = (v - yMean) / yStd
 	}
 
 	kern := m.opts.Kernel
 	if kern == nil {
 		kern = kernel.RBF{Gamma: 1 / float64(dim)}
 	}
-	m.kern = kern
 
 	// Gram matrix built on the flat engine, with the bias folded in
 	// place: K' = K + 1. No row copies — the coordinate-descent loop
 	// works directly on the flat Gram rows.
-	gram := kernel.MatrixRows(kern, kernel.NewRows(Xs))
-	for i := 0; i < n; i++ {
-		row := gram.Row(i)
+	rows := kernel.NewRows(Xs)
+	gram := kernel.MatrixRows(kern, rows)
+	foldBias(gram)
+
+	beta, pass := solveDualFrom(gram, ys, nil, m.opts)
+
+	// Commit only now: a failure above leaves a previously fitted
+	// model fully usable.
+	m.std = std
+	m.kern = kern
+	if m.gram != nil {
+		pool.PutDense(m.gram)
+	}
+	m.trainRows = rows
+	m.gram = gram
+	m.betaFull = beta
+	m.yRaw = ml.CloneVector(y)
+	m.yMean, m.yStd = yMean, yStd
+	m.dim = dim
+	m.fitted = true
+	m.Passes = pass
+	m.lastUpdate = ml.UpdateInfo{} // a fresh fit resets the update report
+	m.rebuildSupports()
+	return nil
+}
+
+// foldBias folds the +1 bias into a freshly evaluated Gram: K' = K + 1.
+func foldBias(g *mat.Dense) {
+	for i := 0; i < g.Rows(); i++ {
+		row := g.Row(i)
 		for j := range row {
 			row[j]++
 		}
 	}
+}
 
-	beta, pass := solveDual(gram, ys, m.opts)
-
-	// Retain only support vectors.
+// rebuildSupports re-derives the retained support set (training rows
+// with non-zero dual coefficient) from the full incremental state. The
+// rows are copied out of the flat store: a later Append may compact or
+// reallocate its backing buffer, which would corrupt zero-copy views.
+func (m *Model) rebuildSupports() {
 	m.supportX = m.supportX[:0]
 	m.beta = m.beta[:0]
-	for i := 0; i < n; i++ {
-		if beta[i] != 0 {
-			m.supportX = append(m.supportX, Xs[i])
-			m.beta = append(m.beta, beta[i])
+	for i, b := range m.betaFull {
+		if b != 0 {
+			m.supportX = append(m.supportX, append([]float64(nil), m.trainRows.Row(i)...))
+			m.beta = append(m.beta, b)
 		}
 	}
-	m.dim = dim
-	m.fitted = true
-	m.Passes = pass
 	m.SupportVectors = len(m.beta)
 	m.initPredict()
-	return nil
 }
 
 // initPredict builds the flat support-vector layout used by the
@@ -168,19 +244,32 @@ func (m *Model) initPredict() {
 	}
 }
 
-// solveDual minimizes W(β) = ½βᵀK'β − ysᵀβ + ε‖β‖₁ s.t. |β_i| ≤ C by
-// cyclic coordinate descent with active-set shrinking: coordinates
+// solveDualFrom minimizes W(β) = ½βᵀK'β − ysᵀβ + ε‖β‖₁ s.t. |β_i| ≤ C
+// by cyclic coordinate descent with active-set shrinking: coordinates
 // that stay put for two consecutive sweeps leave the active set, so
 // late sweeps only touch the (few) moving coordinates. Before
 // accepting convergence on a shrunk set, one full sweep over all
 // eligible coordinates verifies global optimality and reactivates
 // everything if any coordinate still moves. gram is the bias-folded
-// kernel matrix K' = K + 1; it returns the dual coefficients and the
-// sweeps used.
-func solveDual(gram *mat.Dense, ys []float64, opts Options) (beta []float64, pass int) {
+// kernel matrix K' = K + 1; beta0, when non-nil, warm-starts the solve
+// (entries must already respect the box) — the dual is strictly convex
+// for positive-definite K', so warm and cold starts converge to the
+// same optimum and the seed only buys sweeps. Returns the dual
+// coefficients and the sweeps used.
+func solveDualFrom(gram *mat.Dense, ys, beta0 []float64, opts Options) (beta []float64, pass int) {
 	n := len(ys)
 	beta = make([]float64, n)
 	f := make([]float64, n) // f_i = Σ_j K'_ij β_j
+	if beta0 != nil {
+		copy(beta, beta0)
+		// Seeding costs one row pass per non-zero coefficient — the
+		// support set, not the training set.
+		for j, b := range beta {
+			if b != 0 {
+				mat.AddScaled(f, b, gram.Row(j))
+			}
+		}
+	}
 	C := opts.C
 	eps := opts.Epsilon
 	tol := opts.Tol * C
@@ -251,9 +340,10 @@ func softThreshold(z, eps float64) float64 {
 	}
 }
 
-// pool recycles prediction scratch across calls and models, so
-// single-sample prediction — the live-monitoring hot path — is
-// allocation-free after warm-up.
+// pool recycles prediction scratch and Gram extensions across calls and
+// models, so single-sample prediction — the live-monitoring hot path —
+// is allocation-free after warm-up and incremental updates recycle
+// their Gram-sized buffers.
 var pool = &mat.Pool{}
 
 // Predict implements ml.Regressor:
@@ -308,7 +398,10 @@ var (
 	_ ml.BatchPredictor = (*Model)(nil)
 )
 
-// svmJSON is the serialized model state.
+// svmJSON is the serialized model state. TrainX/TrainY/BetaFull carry
+// the full incremental state so a restored model can keep taking
+// warm-started updates (absent in payloads from older versions, which
+// then require a refit before Update).
 type svmJSON struct {
 	Options  Options         `json:"options"`
 	Kernel   json.RawMessage `json:"kernel"`
@@ -316,6 +409,9 @@ type svmJSON struct {
 	Std      []float64       `json:"std"`
 	SupportX [][]float64     `json:"support_x"`
 	Beta     []float64       `json:"beta"`
+	TrainX   [][]float64     `json:"train_x,omitempty"`
+	TrainY   []float64       `json:"train_y,omitempty"`
+	BetaFull []float64       `json:"beta_full,omitempty"`
 	YMean    float64         `json:"y_mean"`
 	YStd     float64         `json:"y_std"`
 	Dim      int             `json:"dim"`
@@ -331,11 +427,20 @@ func (m *Model) MarshalJSON() ([]byte, error) {
 		return nil, err
 	}
 	opts := m.opts
-	opts.Kernel = nil // serialized separately
+	opts.Kernel = nil       // serialized separately
+	opts.Standardizer = nil // carried by Mean/Std
+	var trainX [][]float64
+	if m.trainRows != nil {
+		trainX = make([][]float64, m.trainRows.Len())
+		for i := range trainX {
+			trainX[i] = m.trainRows.Row(i)
+		}
+	}
 	return json.Marshal(svmJSON{
 		Options: opts, Kernel: kj,
 		Mean: m.std.Mean, Std: m.std.Std,
 		SupportX: m.supportX, Beta: m.beta,
+		TrainX: trainX, TrainY: m.yRaw, BetaFull: m.betaFull,
 		YMean: m.yMean, YStd: m.yStd, Dim: m.dim,
 	})
 }
@@ -358,6 +463,17 @@ func (m *Model) UnmarshalJSON(data []byte) error {
 			return fmt.Errorf("svm: support vector %d has %d features, want %d", i, len(sv), s.Dim)
 		}
 	}
+	if len(s.TrainX) != 0 {
+		if len(s.TrainY) != len(s.TrainX) || len(s.BetaFull) != len(s.TrainX) {
+			return fmt.Errorf("svm: malformed incremental state (%d rows, %d targets, %d betas)",
+				len(s.TrainX), len(s.TrainY), len(s.BetaFull))
+		}
+		for i, tx := range s.TrainX {
+			if len(tx) != s.Dim {
+				return fmt.Errorf("svm: training row %d has %d features, want %d", i, len(tx), s.Dim)
+			}
+		}
+	}
 	kern, err := kernel.UnmarshalKernel(s.Kernel)
 	if err != nil {
 		return err
@@ -367,10 +483,19 @@ func (m *Model) UnmarshalJSON(data []byte) error {
 	m.std = &kernel.Standardizer{Mean: s.Mean, Std: s.Std}
 	m.supportX = s.SupportX
 	m.beta = s.Beta
+	if len(s.TrainX) != 0 {
+		m.trainRows = kernel.NewRows(s.TrainX)
+		m.yRaw = s.TrainY
+		m.betaFull = s.BetaFull
+	} else {
+		m.trainRows, m.yRaw, m.betaFull = nil, nil, nil
+	}
+	m.gram = nil // rebuilt lazily by the first Update
 	m.yMean = s.YMean
 	m.yStd = s.YStd
 	m.dim = s.Dim
 	m.fitted = true
+	m.lastUpdate = ml.UpdateInfo{}
 	m.SupportVectors = len(s.Beta)
 	m.initPredict()
 	return nil

@@ -433,7 +433,7 @@ func TestShrinkingMatchesExhaustive(t *testing.T) {
 		}
 	}
 
-	shrunk, pass := solveDual(gram, ys, opts)
+	shrunk, pass := solveDualFrom(gram, ys, nil, opts)
 	if pass >= opts.MaxPasses {
 		t.Fatalf("shrinking solver did not converge in %d passes", opts.MaxPasses)
 	}

@@ -1,0 +1,79 @@
+package monitor
+
+import (
+	"time"
+
+	"repro/internal/randx"
+)
+
+// defaultHealthyReset is the sustained-healthy period after which a
+// BackoffState forgives its schedule position.
+const defaultHealthyReset = time.Minute
+
+// BackoffState is the stateful companion of Backoff for long-lived
+// components that alternate between outages and health: it tracks the
+// schedule position across Failure/Success observations and rewinds to
+// the base delay only after a *sustained* healthy period. The two
+// stateless extremes both fail a real deployment: resetting on any
+// success lets a flapping upstream be re-hammered at the base delay on
+// every blip, while never resetting makes an outage that starts a day
+// after the last one inherit the previous outage's capped delay. The
+// middle ground here: a success starts a healthy streak, and only once
+// the streak has lasted HealthyReset does the schedule rewind.
+//
+// The zero value is usable (Backoff and HealthyReset defaults apply).
+// Not safe for concurrent use; callers hold their own lock.
+type BackoffState struct {
+	// Backoff is the delay policy the schedule walks.
+	Backoff Backoff
+	// HealthyReset is how long the upstream must stay healthy before
+	// the schedule rewinds to the base delay (default 1 min). A blip
+	// shorter than this keeps the schedule position, so a flapping
+	// upstream cannot reset its own backoff by briefly succeeding.
+	HealthyReset time.Duration
+
+	attempt      int
+	healthySince time.Time
+}
+
+// Failure records a failed attempt at now, advances the schedule, and
+// returns the delay to wait before the next attempt (jittered from rng;
+// nil means none). A healthy streak that already lasted HealthyReset is
+// settled first, so the first failure of a genuinely new outage starts
+// back at the base delay.
+func (s *BackoffState) Failure(now time.Time, rng *randx.Source) time.Duration {
+	s.settle(now)
+	s.healthySince = time.Time{}
+	s.attempt++
+	return s.Backoff.Delay(s.attempt, rng)
+}
+
+// Success records a healthy observation at now, starting (or
+// continuing) the healthy streak. The schedule position is kept until
+// the streak has lasted HealthyReset.
+func (s *BackoffState) Success(now time.Time) {
+	if s.healthySince.IsZero() {
+		s.healthySince = now
+	}
+	s.settle(now)
+}
+
+// Attempt returns the current schedule position: the consecutive
+// failures not yet forgiven (0 after sustained health or before any
+// failure).
+func (s *BackoffState) Attempt() int { return s.attempt }
+
+// settle rewinds the schedule when the current healthy streak has
+// lasted HealthyReset.
+func (s *BackoffState) settle(now time.Time) {
+	if s.attempt == 0 || s.healthySince.IsZero() {
+		return
+	}
+	hr := s.HealthyReset
+	if hr <= 0 {
+		hr = defaultHealthyReset
+	}
+	if now.Sub(s.healthySince) >= hr {
+		s.attempt = 0
+	}
+}

@@ -1,0 +1,106 @@
+package monitor
+
+import (
+	"testing"
+	"time"
+)
+
+func TestBackoffStateSchedule(t *testing.T) {
+	b := Backoff{Base: 100 * time.Millisecond, Max: 1 * time.Second, Factor: 2, Jitter: -1}
+	s := BackoffState{Backoff: b, HealthyReset: 10 * time.Second}
+	now := time.Unix(1000, 0)
+
+	// Consecutive failures walk the capped exponential.
+	want := []time.Duration{
+		100 * time.Millisecond, 200 * time.Millisecond, 400 * time.Millisecond,
+		800 * time.Millisecond, 1 * time.Second, 1 * time.Second,
+	}
+	for i, w := range want {
+		if d := s.Failure(now, nil); d != w {
+			t.Fatalf("failure %d: delay %v, want %v", i+1, d, w)
+		}
+		now = now.Add(time.Second)
+	}
+	if s.Attempt() != len(want) {
+		t.Fatalf("attempt = %d, want %d", s.Attempt(), len(want))
+	}
+}
+
+func TestBackoffStateBlipKeepsPosition(t *testing.T) {
+	b := Backoff{Base: 100 * time.Millisecond, Max: 10 * time.Second, Factor: 2, Jitter: -1}
+	s := BackoffState{Backoff: b, HealthyReset: 10 * time.Second}
+	now := time.Unix(1000, 0)
+
+	for i := 0; i < 5; i++ {
+		s.Failure(now, nil)
+		now = now.Add(time.Second)
+	}
+	// A brief recovery — shorter than HealthyReset — must not rewind:
+	// the next outage continues the escalated schedule.
+	s.Success(now)
+	now = now.Add(2 * time.Second)
+	s.Success(now)
+	now = now.Add(2 * time.Second)
+	if got := s.Failure(now, nil); got != 3200*time.Millisecond {
+		t.Fatalf("delay after blip = %v, want the schedule to continue at 3.2s", got)
+	}
+}
+
+func TestBackoffStateSustainedHealthRewinds(t *testing.T) {
+	b := Backoff{Base: 100 * time.Millisecond, Max: 10 * time.Second, Factor: 2, Jitter: -1}
+	s := BackoffState{Backoff: b, HealthyReset: 10 * time.Second}
+	now := time.Unix(1000, 0)
+
+	for i := 0; i < 6; i++ {
+		s.Failure(now, nil)
+		now = now.Add(time.Second)
+	}
+	// Health observed, then the streak lasts past HealthyReset: the
+	// next outage must start back at the base delay instead of
+	// inheriting the capped one.
+	s.Success(now)
+	now = now.Add(11 * time.Second)
+	if got := s.Failure(now, nil); got != 100*time.Millisecond {
+		t.Fatalf("delay after sustained health = %v, want base 100ms", got)
+	}
+	if s.Attempt() != 1 {
+		t.Fatalf("attempt = %d, want 1 (fresh outage)", s.Attempt())
+	}
+}
+
+func TestBackoffStateRewindNeedsElapsedStreak(t *testing.T) {
+	// The rewind is judged by elapsed streak time, not by how many
+	// Success observations arrived: a single success followed by a long
+	// quiet healthy stretch forgives on the next interaction.
+	b := Backoff{Base: 100 * time.Millisecond, Max: 10 * time.Second, Factor: 2, Jitter: -1}
+	s := BackoffState{Backoff: b, HealthyReset: 10 * time.Second}
+	now := time.Unix(1000, 0)
+	s.Failure(now, nil)
+	s.Failure(now, nil)
+	s.Success(now)
+	// Success again after the streak has lasted long enough: position
+	// clears even without an intervening failure.
+	now = now.Add(10 * time.Second)
+	s.Success(now)
+	if s.Attempt() != 0 {
+		t.Fatalf("attempt = %d after sustained health, want 0", s.Attempt())
+	}
+}
+
+func TestBackoffStateDefaults(t *testing.T) {
+	// Zero value: monitor defaults (250 ms base) and the 1 min
+	// HealthyReset.
+	var s BackoffState
+	now := time.Unix(1000, 0)
+	if got := s.Failure(now, nil); got != 250*time.Millisecond {
+		t.Fatalf("zero-value first delay = %v, want 250ms", got)
+	}
+	s.Success(now.Add(time.Second))
+	if got := s.Failure(now.Add(30*time.Second), nil); got != 500*time.Millisecond {
+		t.Fatalf("delay after 29s healthy = %v, want 500ms (not yet forgiven)", got)
+	}
+	s.Success(now.Add(31 * time.Second))
+	if got := s.Failure(now.Add(92*time.Second), nil); got != 250*time.Millisecond {
+		t.Fatalf("delay after 61s healthy = %v, want base 250ms", got)
+	}
+}

@@ -78,6 +78,14 @@ type FailoverConfig struct {
 	// expires — a dead registry is probed on the backoff schedule, not
 	// hammered on every refresh tick.
 	BreakerThreshold int
+	// HealthyReset is how long the origin must stay healthy before the
+	// breaker's backoff schedule rewinds to the base delay (default
+	// 1 min; see monitor.BackoffState). A recovery shorter than this —
+	// a flapping registry — keeps the escalated cooldown for the next
+	// outage instead of re-probing at the base rate; sustained health
+	// forgives it, so a genuinely new outage does not inherit the last
+	// one's capped delay.
+	HealthyReset time.Duration
 	// RNG seeds the cooldown jitter so a fleet of nodes that lost the
 	// same registry does not probe in lockstep. nil means no jitter —
 	// fully deterministic, what seeded simulations want.
@@ -128,6 +136,12 @@ type FailoverSource struct {
 	retryAt    time.Time
 	cacheErr   error
 	cacheRead  bool
+
+	// sched is the breaker's cooldown schedule. It outlives individual
+	// outages (failures resets on success; sched rewinds only after
+	// FailoverConfig.HealthyReset of sustained health), so a flapping
+	// registry keeps its escalated cooldown between blips.
+	sched monitor.BackoffState
 }
 
 // NewFailoverSource wraps origin with stale-while-revalidate failover,
@@ -140,6 +154,7 @@ func NewFailoverSource(origin ModelSource, cfg FailoverConfig) *FailoverSource {
 	if fs.now == nil {
 		fs.now = time.Now
 	}
+	fs.sched = monitor.BackoffState{Backoff: cfg.Backoff, HealthyReset: cfg.HealthyReset}
 	return fs
 }
 
@@ -173,8 +188,9 @@ func (fs *FailoverSource) Deployment(ctx context.Context) (*Deployment, error) {
 	return fs.serveStale(err)
 }
 
-// noteSuccess records a healthy origin read: failover state resets and
-// a new deployment is persisted to the cache.
+// noteSuccess records a healthy origin read: failover state resets
+// (the cooldown schedule itself rewinds only after sustained health)
+// and a new deployment is persisted to the cache.
 func (fs *FailoverSource) noteSuccess(dep *Deployment) {
 	fs.stateMu.Lock()
 	changed := dep != fs.lastGood
@@ -184,6 +200,7 @@ func (fs *FailoverSource) noteSuccess(dep *Deployment) {
 	fs.lastErr = nil
 	fs.failures = 0
 	fs.retryAt = time.Time{}
+	fs.sched.Success(fs.now())
 	fs.stateMu.Unlock()
 	if changed && fs.cfg.CacheFile != "" {
 		err := writeCacheFile(fs.cfg.CacheFile, dep)
@@ -206,8 +223,12 @@ func (fs *FailoverSource) noteFailure(err error) {
 		fs.staleSince = now
 	}
 	if fs.failures >= fs.cfg.BreakerThreshold {
-		attempt := fs.failures - fs.cfg.BreakerThreshold + 1
-		fs.retryAt = now.Add(fs.cfg.Backoff.Delay(attempt, fs.cfg.RNG))
+		// The schedule only advances while the breaker is armed, so
+		// within one outage the cooldowns match the stateless
+		// failures−threshold+1 walk — but the position survives a brief
+		// recovery (monitor.BackoffState), so a flapping origin keeps
+		// its escalated cooldown instead of being re-hammered.
+		fs.retryAt = now.Add(fs.sched.Failure(now, fs.cfg.RNG))
 	}
 }
 

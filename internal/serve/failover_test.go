@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"os"
 	"path/filepath"
 	"sync"
 	"sync/atomic"
@@ -219,6 +220,78 @@ func TestFailoverDiskCacheColdStart(t *testing.T) {
 	}
 	if pred := got.Model.Predict([]float64{2}); pred < 3.9 || pred > 4.1 {
 		t.Fatalf("cached model predicts %v, want ~4", pred)
+	}
+}
+
+// TestFailoverCorruptCacheColdStart covers the ugly reboot: the node
+// comes back with a truncated or garbage last-good cache file. The
+// corrupt cache must never panic or yield a half-loaded model — a dead
+// origin surfaces ErrRegistryUnavailable with the cache failure in
+// SourceStatus, and the moment the origin heals the fresh deployment
+// flows through and repairs the cache on disk.
+func TestFailoverCorruptCacheColdStart(t *testing.T) {
+	corrupt := func(t *testing.T, path string) {
+		t.Helper()
+		// A real envelope cut off partway — the crash-mid-write shape
+		// the atomic rename is meant to prevent, simulated anyway.
+		seed := NewFailoverSource(&flakySource{steps: []any{linregDep(t)}}, FailoverConfig{CacheFile: path})
+		if _, err := seed.Deployment(context.Background()); err != nil {
+			t.Fatal(err)
+		}
+		fi, err := os.Stat(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.Truncate(path, fi.Size()/2); err != nil {
+			t.Fatal(err)
+		}
+	}
+	garbage := func(t *testing.T, path string) {
+		t.Helper()
+		if err := os.WriteFile(path, []byte("not a model envelope\x00\xff"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	for name, write := range map[string]func(*testing.T, string){"truncated": corrupt, "garbage": garbage} {
+		t.Run(name, func(t *testing.T) {
+			cache := filepath.Join(t.TempDir(), "last-good.model")
+			write(t, cache)
+			ctx := context.Background()
+
+			dep := linregDep(t)
+			fs := NewFailoverSource(&flakySource{steps: []any{
+				errors.New("registry down"), dep,
+			}}, FailoverConfig{CacheFile: cache, BreakerThreshold: 10})
+
+			// Origin down + unusable cache: fail closed with the sentinel,
+			// not a panic or a partial model.
+			got, err := fs.Deployment(ctx)
+			if !errors.Is(err, ErrRegistryUnavailable) {
+				t.Fatalf("cold start on corrupt cache = %v, %v; want ErrRegistryUnavailable", got, err)
+			}
+			if d, ok := fs.LastGood(); ok {
+				t.Fatalf("corrupt cache installed a last-good deployment: %+v", d)
+			}
+			if st := fs.SourceStatus(); st.CacheError == "" {
+				t.Fatalf("cache failure not surfaced: %+v", st)
+			}
+
+			// Origin heals: the fresh read falls through cleanly and the
+			// good envelope overwrites the corrupt cache.
+			got, err = fs.Deployment(ctx)
+			if err != nil || got != dep {
+				t.Fatalf("recovered read = %v, %v; want the origin deployment", got, err)
+			}
+
+			// Third life: a reboot during a full outage now restores the
+			// repaired cache.
+			fs3 := NewFailoverSource(&flakySource{}, FailoverConfig{CacheFile: cache})
+			got, err = fs3.Deployment(ctx)
+			if err != nil || got.Name != "linear" {
+				t.Fatalf("boot from repaired cache = %+v, %v; want the linear model", got, err)
+			}
+		})
 	}
 }
 

@@ -208,3 +208,62 @@ func TestShedByPriorityAccounting(t *testing.T) {
 		}
 	}
 }
+
+// TestSetShedPolicyHotSwap pins the dynamic shed actuator: swapping the
+// policy at runtime changes which sessions shed from the next completed
+// window on, and the accessor reflects the live policy.
+func TestSetShedPolicyHotSwap(t *testing.T) {
+	dep := &Deployment{Model: &stubModel{}, Name: "stub", Aggregation: rawAgg()}
+	svc, _ := collectSvc(t, dep,
+		WithManualDispatch(),
+		WithShards(1),
+		WithShedPolicy(ShedPolicy{MaxQueueDepth: 2, MinPriority: 5}),
+	)
+	if got := svc.ShedPolicy(); got.MaxQueueDepth != 2 || got.MinPriority != 5 {
+		t.Fatalf("initial policy = %+v, want the WithShedPolicy one", got)
+	}
+	vip, err := svc.StartSession("vip", WithSessionPriority(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	low, err := svc.StartSession("low", WithSessionPriority(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Hold the queue at the threshold so below-floor pushes shed.
+	for i := 0; i < 3; i++ {
+		if err := vip.Push(dp(float64(10*i+5), 1)); err != nil {
+			t.Fatalf("vip push %d: %v", i, err)
+		}
+	}
+	if err := low.Push(dp(5, 1)); err != nil {
+		t.Fatalf("priming push: %v", err) // first push opens the window
+	}
+	if err := low.Push(dp(15, 1)); !errors.Is(err, ErrWindowShed) {
+		t.Fatalf("below-floor push under pressure: %v, want ErrWindowShed", err)
+	}
+
+	// Supervisor relaxes the policy: the same session's next window
+	// queues instead of shedding.
+	if err := svc.SetShedPolicy(ShedPolicy{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := low.Push(dp(25, 1)); err != nil {
+		t.Fatalf("push after relaxing the policy: %v", err)
+	}
+
+	// Supervisor raises the floor above every session: even the
+	// formerly protected one sheds now.
+	if err := svc.SetShedPolicy(ShedPolicy{MaxQueueDepth: 2, MinPriority: 6}); err != nil {
+		t.Fatal(err)
+	}
+	if err := vip.Push(dp(45, 1)); !errors.Is(err, ErrWindowShed) {
+		t.Fatalf("push after raising the floor: %v, want ErrWindowShed", err)
+	}
+	if got := svc.ShedPolicy(); got.MinPriority != 6 {
+		t.Fatalf("live policy = %+v, want the raised floor", got)
+	}
+	if err := svc.SetShedPolicy(ShedPolicy{MaxQueueDepth: -1}); err == nil {
+		t.Fatal("negative policy accepted")
+	}
+}

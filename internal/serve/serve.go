@@ -481,6 +481,13 @@ type Service struct {
 	shutdownOnce sync.Once
 	wg           sync.WaitGroup
 
+	// shedPol is the live shed policy: seeded from WithShedPolicy and
+	// swappable at runtime via SetShedPolicy, so a supervisor can raise
+	// or lower the floor under sustained overload without a restart.
+	// Enqueue loads it once per window, so a swap takes effect on the
+	// next completed window with no lock on the hot path.
+	shedPol atomic.Pointer[ShedPolicy]
+
 	// sessionCount is the global active-session count: reserved before
 	// insert in StartSession so WithMaxSessions holds exactly across
 	// shards without a global lock.
@@ -548,6 +555,8 @@ func New(ctx context.Context, opts ...Option) (*Service, error) {
 	if s.now == nil {
 		s.now = time.Now
 	}
+	shed := cfg.shed
+	s.shedPol.Store(&shed)
 	for i := range s.shards {
 		s.shards[i] = &shard{
 			sessions: make(map[string]*Session),
@@ -768,6 +777,24 @@ func (s *Service) Deploy(dep *Deployment) (uint64, error) {
 	return mv.version, nil
 }
 
+// SetShedPolicy hot-swaps the load-shedding policy. The change takes
+// effect on the next completed window; windows already queued are
+// unaffected. This is the overload actuator of the autonomic loop: a
+// supervisor watching Stats.QueueDepth and ShedByPriority can tighten
+// the floor under sustained overload and relax it once the queue
+// drains, without restarting the service. The zero policy disables
+// shedding.
+func (s *Service) SetShedPolicy(p ShedPolicy) error {
+	if p.MaxQueueDepth < 0 || p.MinPriority < 0 {
+		return fmt.Errorf("serve: ShedPolicy fields must be non-negative: %+v", p)
+	}
+	s.shedPol.Store(&p)
+	return nil
+}
+
+// ShedPolicy returns the currently active load-shedding policy.
+func (s *Service) ShedPolicy() ShedPolicy { return *s.shedPol.Load() }
+
 // Refresh pulls a fresh deployment from the configured ModelSource and
 // hot-swaps it in, returning the new registry version. A source that
 // hands back the same *Deployment it served last time is a no-op: the
@@ -939,7 +966,7 @@ func (s *Service) enqueue(ss *Session, tgen float64, row []float64, endRun bool)
 		sh.mu.Unlock()
 		return ErrSessionClosed
 	}
-	if p := s.cfg.shed; p.MaxQueueDepth > 0 && len(sh.pending) >= p.MaxQueueDepth && ss.priority < p.MinPriority {
+	if p := *s.shedPol.Load(); p.MaxQueueDepth > 0 && len(sh.pending) >= p.MaxQueueDepth && ss.priority < p.MinPriority {
 		// Shed: counted under the shard lock, so the windows predicted
 		// and the windows shed partition the accepted ones exactly —
 		// and the per-priority breakdown (shedMu nests inside the
