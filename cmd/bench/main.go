@@ -19,6 +19,15 @@
 // and the ns/op deltas between consecutive reports are printed — the
 // slow-regression radar the single-baseline -compare gate misses.
 // Trend output is informational only and never fails the run.
+//
+// With -scaling, the command additionally sweeps the -scaling-bench
+// benchmarks over GOMAXPROCS powers of two up to NumCPU (one `go test
+// -cpu N` invocation each) and appends the curve to the report with
+// /gomaxprocs=N name suffixes — the shards × cores scaling surface.
+// -scaling-min-speedup S turns the curve into a gate: the run fails
+// unless shards=8 beats shards=1 by at least S× at the highest
+// GOMAXPROCS measured. CI only enforces the gate on runners with
+// enough cores; on smaller boxes the sweep still records the curve.
 package main
 
 import (
@@ -74,12 +83,24 @@ func main() {
 	tolerance := flag.Float64("tolerance", 0.15, "allowed regression fraction for -compare (0.15 = +15%)")
 	trendN := flag.Int("trend", 0, "print per-benchmark ns/op deltas across the last N committed BENCH reports (0 disables)")
 	trendGlob := flag.String("trend-glob", "BENCH_*.json", "glob of committed BENCH reports for -trend")
+	scaling := flag.Bool("scaling", false, "sweep -scaling-bench over GOMAXPROCS powers of two up to NumCPU and append the curve to the report")
+	scalingBench := flag.String("scaling-bench", "BenchmarkShardedDispatch", "benchmark regexp for the -scaling sweep")
+	scalingPkg := flag.String("scaling-pkg", "./internal/serve/", "package for the -scaling sweep")
+	scalingMin := flag.Float64("scaling-min-speedup", 0, "fail unless shards=8 beats shards=1 by this factor at the highest GOMAXPROCS swept (0 disables)")
 	flag.Parse()
 
-	results, err := run(*benchPat, *benchTime, *pkg)
+	results, err := run(*benchPat, *benchTime, *pkg, 0)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "bench:", err)
 		os.Exit(1)
+	}
+	if *scaling {
+		sres, err := runScaling(*scalingBench, *benchTime, *scalingPkg)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "bench: scaling sweep:", err)
+			os.Exit(1)
+		}
+		results = append(results, sres...)
 	}
 	date := time.Now().Format("2006-01-02")
 	path := *out
@@ -126,6 +147,83 @@ func main() {
 			os.Exit(1)
 		}
 	}
+
+	if *scaling && *scalingMin > 0 {
+		if err := checkScaling(results, *scalingMin); err != nil {
+			fmt.Fprintln(os.Stderr, "bench:", err)
+			os.Exit(1)
+		}
+	}
+}
+
+// scalingProcs is the GOMAXPROCS sweep grid: powers of two up to
+// NumCPU, plus NumCPU itself when it is not a power of two.
+func scalingProcs() []int {
+	maxp := runtime.NumCPU()
+	var procs []int
+	for p := 1; p <= maxp; p *= 2 {
+		procs = append(procs, p)
+	}
+	if procs[len(procs)-1] != maxp {
+		procs = append(procs, maxp)
+	}
+	return procs
+}
+
+// runScaling runs the scaling benchmarks once per grid point (one
+// `go test -cpu N` invocation each, so every point is a clean process)
+// and suffixes the result names with the GOMAXPROCS that produced them.
+func runScaling(benchPat, benchTime, pkg string) ([]Result, error) {
+	var out []Result
+	for _, p := range scalingProcs() {
+		res, err := run(benchPat, benchTime, pkg, p)
+		if err != nil {
+			return nil, fmt.Errorf("GOMAXPROCS=%d: %w", p, err)
+		}
+		for _, r := range res {
+			r.Name = fmt.Sprintf("%s/gomaxprocs=%d", r.Name, p)
+			out = append(out, r)
+		}
+	}
+	return out, nil
+}
+
+// checkScaling gates on the sharding speedup: at the highest
+// GOMAXPROCS swept, the shards=8 configuration must beat shards=1 by
+// at least min ×.
+func checkScaling(results []Result, min float64) error {
+	best := 0
+	perProc := map[int]map[string]float64{} // procs → shards variant → ns/op
+	re := regexp.MustCompile(`^(.+)/(shards=\d+)/gomaxprocs=(\d+)$`)
+	for _, r := range results {
+		m := re.FindStringSubmatch(r.Name)
+		if m == nil {
+			continue
+		}
+		p, _ := strconv.Atoi(m[3])
+		if perProc[p] == nil {
+			perProc[p] = map[string]float64{}
+		}
+		perProc[p][m[2]] = r.NsPerOp
+		if p > best {
+			best = p
+		}
+	}
+	if best == 0 {
+		return fmt.Errorf("scaling gate: no /shards=N/gomaxprocs=N results to check")
+	}
+	single, ok1 := perProc[best]["shards=1"]
+	sharded, ok8 := perProc[best]["shards=8"]
+	if !ok1 || !ok8 {
+		return fmt.Errorf("scaling gate: missing shards=1 or shards=8 at gomaxprocs=%d", best)
+	}
+	speedup := single / sharded
+	fmt.Printf("scaling gate: gomaxprocs=%d shards=1 %.0f ns/op vs shards=8 %.0f ns/op — %.2fx (want >= %.2fx)\n",
+		best, single, sharded, speedup, min)
+	if speedup < min {
+		return fmt.Errorf("scaling gate: sharding speedup %.2fx below the %.2fx floor at gomaxprocs=%d", speedup, min, best)
+	}
+	return nil
 }
 
 // printTrend lines up the last keep committed reports matching glob
@@ -252,15 +350,20 @@ func compareBaseline(path string, fresh []Result, tol float64) (int, error) {
 	return regressions, nil
 }
 
-// run executes go test -bench and parses the output.
-func run(benchPat, benchTime, pkg string) ([]Result, error) {
+// run executes go test -bench and parses the output. A positive cpu
+// pins GOMAXPROCS for the benchmark process (`go test -cpu`); 0
+// inherits the environment.
+func run(benchPat, benchTime, pkg string, cpu int) ([]Result, error) {
 	args := []string{
 		"test", "-run", "^$",
 		"-bench", benchPat,
 		"-benchtime", benchTime,
 		"-benchmem",
-		pkg,
 	}
+	if cpu > 0 {
+		args = append(args, "-cpu", strconv.Itoa(cpu))
+	}
+	args = append(args, pkg)
 	cmd := exec.Command("go", args...)
 	var buf bytes.Buffer
 	cmd.Stdout = &buf

@@ -82,6 +82,12 @@ type Report struct {
 	MaxQueueDepth   int            `json:"max_queue_depth"`
 	Batches         int            `json:"batches"`
 	MaxBatchSize    int            `json:"max_batch_size"`
+	// CoalescedBatches counts prediction batches that merged stolen
+	// cross-shard windows (serve.CoalescePolicy), CoalescedWindows the
+	// stolen windows themselves — the light-load regime's signature is
+	// few, large, mostly-coalesced batches.
+	CoalescedBatches uint64 `json:"coalesced_batches,omitempty"`
+	CoalescedWindows uint64 `json:"coalesced_windows,omitempty"`
 
 	// Queue latency distribution, in virtual ticks from window
 	// completion to estimate delivery. The percentiles are
@@ -139,6 +145,8 @@ func (r *Report) Fingerprint() string {
 		r.Predictions, r.ShedWindows, r.CompletedRuns, r.LostWindows, r.Passed)
 	fmt.Fprintf(&b, "latency p50=%d p90=%d p99=%d max=%d publishes=%d decisions=%d\n",
 		r.LatencyP50Ticks, r.LatencyP90Ticks, r.LatencyP99Ticks, r.MaxLatencyTicks, r.Publishes, r.Decisions)
+	fmt.Fprintf(&b, "batches=%d maxbatch=%d coalesced=%d stolen=%d\n",
+		r.Batches, r.MaxBatchSize, r.CoalescedBatches, r.CoalescedWindows)
 	return b.String()
 }
 
@@ -160,6 +168,10 @@ func (r *Report) WriteText(w io.Writer) {
 		r.Retrains, r.Redraws, r.ParityChecks, len(r.ParityFailures), r.Deploys, r.FinalModelVersion)
 	fmt.Fprintf(w, "  serving: %d predictions, %d alerts, %d batches (max %d), peak queue %d, %d evictions\n",
 		r.Predictions, r.Alerts, r.Batches, r.MaxBatchSize, r.MaxQueueDepth, r.EvictedSessions)
+	if r.CoalescedBatches > 0 {
+		fmt.Fprintf(w, "  coalescing: %d merged batches, %d windows stolen cross-shard\n",
+			r.CoalescedBatches, r.CoalescedWindows)
+	}
 	fmt.Fprintf(w, "  latency: mean %.2f ticks, p50 %d, p90 %d, p99 %d, max %d ticks\n",
 		r.MeanLatencyTicks, r.LatencyP50Ticks, r.LatencyP90Ticks, r.LatencyP99Ticks, r.MaxLatencyTicks)
 	if r.Publishes > 0 || r.FinallyStale {

@@ -243,6 +243,12 @@ func (r *runner) startService(dep *serve.Deployment) error {
 			}),
 		)
 	}
+	if cc := sc.Serve.Coalesce; cc != nil {
+		opts = append(opts, serve.WithCoalescePolicy(serve.CoalescePolicy{
+			MinBatch: cc.MinBatch,
+			MaxBatch: cc.MaxBatch,
+		}))
+	}
 	if sc.Serve.AlertThreshold > 0 {
 		opts = append(opts, serve.WithAlertFunc(sc.Serve.AlertThreshold, func(serve.Alert) {}))
 	}
@@ -891,6 +897,10 @@ func (r *runner) evalCheck(c Check, at string) CheckResult {
 		}
 	case "min_publishes":
 		ge(float64(r.publishes), bound(1), "registry publishes")
+	case "min_coalesced":
+		ge(float64(stats.CoalescedBatches), bound(1), "coalesced batches")
+	case "max_batches":
+		le(float64(r.batches), bound(0), "prediction batches")
 	case "max_p99_latency":
 		le(float64(r.latencyPercentile(99)), bound(0), "p99 latency ticks")
 	case "min_decisions":
@@ -975,14 +985,16 @@ func (r *runner) report(stats serve.Stats, ticks int) *Report {
 		Deploys:           r.deploys,
 		FinalModelVersion: stats.ModelVersion,
 
-		Predictions:     stats.Predictions,
-		Alerts:          stats.Alerts,
-		ShedWindows:     stats.ShedWindows,
-		ShedByPriority:  stats.ShedByPriority,
-		EvictedSessions: stats.EvictedSessions,
-		MaxQueueDepth:   r.maxQueueDepth,
-		Batches:         r.batches,
-		MaxBatchSize:    r.maxBatch,
+		Predictions:      stats.Predictions,
+		Alerts:           stats.Alerts,
+		ShedWindows:      stats.ShedWindows,
+		ShedByPriority:   stats.ShedByPriority,
+		EvictedSessions:  stats.EvictedSessions,
+		MaxQueueDepth:    r.maxQueueDepth,
+		Batches:          r.batches,
+		MaxBatchSize:     r.maxBatch,
+		CoalescedBatches: stats.CoalescedBatches,
+		CoalescedWindows: stats.CoalescedWindows,
 
 		MaxLatencyTicks: r.latencyMax,
 		Assertions:      r.checks,

@@ -54,6 +54,10 @@ type ServeConfig struct {
 	SweepEvery int
 	// Shed enables priority load shedding.
 	Shed *ShedConfig
+	// Coalesce enables adaptive cross-shard batch coalescing
+	// (serve.CoalescePolicy): light per-shard load merges into fewer,
+	// larger prediction batches.
+	Coalesce *CoalesceConfig
 	// AlertThreshold raises alerts when predicted RTTF crosses below
 	// this many seconds (0 = no alerting).
 	AlertThreshold float64
@@ -70,6 +74,12 @@ type ServeConfig struct {
 type ShedConfig struct {
 	MaxQueueDepth int
 	MinPriority   int
+}
+
+// CoalesceConfig mirrors serve.CoalescePolicy.
+type CoalesceConfig struct {
+	MinBatch int
+	MaxBatch int
 }
 
 // RegistryConfig shapes the simulated remote registry path.
@@ -265,6 +275,10 @@ type ScenarioEvent struct {
 //	                        live registry read
 //	min_publishes: N        retrains published to the registry ≥ N
 //	max_p99_latency: N      p99 queue latency ≤ N ticks
+//	min_coalesced: N        coalesced (merged cross-shard) prediction
+//	                        batches ≥ N — proves stealing happened
+//	max_batches: N          total prediction batches dispatched ≤ N —
+//	                        proves light load merged into few batches
 //	min_decisions: N        supervisor decisions logged ≥ N (supervisor
 //	                        mode only)
 //	min_reshards: N         supervisor reshard actions executed ≥ N
@@ -288,6 +302,7 @@ var (
 		"min_shed", "max_shed",
 		"no_lost_windows", "shed_only_below_floor", "require_redraw", "require_parity",
 		"registry_stale", "registry_fresh", "min_publishes", "max_p99_latency",
+		"min_coalesced", "max_batches",
 		"min_decisions", "min_reshards", "min_slides", "no_errors",
 	}
 	knownModels = []string{"linear", "m5p", "reptree", "svm", "svm2"}
@@ -483,7 +498,7 @@ func (d *decoder) scenario(m map[string]any) *Scenario {
 
 func (d *decoder) serve(m map[string]any) ServeConfig {
 	d.known(m, "serve", "shards", "window_sec", "include_slopes", "include_intergen",
-		"flush_every", "session_ttl", "sweep_every", "shed", "alert_threshold", "registry")
+		"flush_every", "session_ttl", "sweep_every", "shed", "coalesce", "alert_threshold", "registry")
 	cfg := ServeConfig{
 		Shards:          d.integer(m, "serve", "shards", 2),
 		WindowSec:       d.f64(m, "serve", "window_sec", 10),
@@ -499,6 +514,13 @@ func (d *decoder) serve(m map[string]any) ServeConfig {
 		cfg.Shed = &ShedConfig{
 			MaxQueueDepth: d.integer(sm, "serve.shed", "max_queue_depth", 64),
 			MinPriority:   d.integer(sm, "serve.shed", "min_priority", 0),
+		}
+	}
+	if cm, ok := d.child(m, "coalesce"); ok {
+		d.known(cm, "serve.coalesce", "min_batch", "max_batch")
+		cfg.Coalesce = &CoalesceConfig{
+			MinBatch: d.integer(cm, "serve.coalesce", "min_batch", 16),
+			MaxBatch: d.integer(cm, "serve.coalesce", "max_batch", 0),
 		}
 	}
 	if rm, ok := d.child(m, "registry"); ok {
@@ -767,6 +789,14 @@ func (d *decoder) validate(sc *Scenario) {
 		}
 		if !found {
 			d.errf("train.template %q names no fleet template", tn)
+		}
+	}
+	if cc := sc.Serve.Coalesce; cc != nil {
+		if cc.MinBatch < 1 {
+			d.errf("serve.coalesce.min_batch must be at least 1")
+		}
+		if cc.MaxBatch < 0 || (cc.MaxBatch > 0 && cc.MaxBatch < cc.MinBatch) {
+			d.errf("serve.coalesce.max_batch must be 0 (uncapped) or >= min_batch")
 		}
 	}
 	if rc := sc.Serve.Registry; rc != nil {

@@ -13,16 +13,51 @@ import (
 // via Parfor, so results are bitwise deterministic regardless of
 // GOMAXPROCS.
 
+// symTile is the panel-row tile of the paired triangular products
+// (SymRankK, the Cholesky trailing update): with the row loop tiled,
+// one tile of panel rows stays L1-resident while every row pair in a
+// worker's range streams over it, so the two-row register kernel reads
+// the B panel from cache instead of re-streaming it per output row.
+const symTile = 48
+
 // SymRankK returns the symmetric rank-k product x·xᵀ (n×n for an n×d
 // input). Only the lower triangle is computed; the upper triangle is
-// mirrored from it.
+// mirrored from it. Rows are processed in globally-aligned pairs
+// through the two-row register tile (DotBatch2) with the panel walk
+// tiled for L1 reuse; pairing is by absolute row index and the tile
+// grid is fixed, so every element's reduction path — and therefore its
+// bits — is independent of how Parfor splits the pair ranges.
 func SymRankK(x *Dense) *Dense {
 	n, d := x.rows, x.cols
 	out := NewDense(n, n)
-	Parfor(n, func(lo, hi int) {
-		for i := lo; i < hi; i++ {
-			xi := x.data[i*d : i*d+d]
-			DotBatch(xi, x.data, d, i+1, out.data[i*n:])
+	pairs := (n + 1) / 2
+	Parfor(pairs, func(plo, phi int) {
+		for t0 := 0; t0 < 2*phi; t0 += symTile {
+			for p := max(plo, t0/2); p < phi; p++ {
+				i := 2 * p
+				hi := min(i+1, t0+symTile)
+				if hi <= t0 {
+					continue
+				}
+				seg := hi - t0
+				xi := x.data[i*d : i*d+d]
+				if i+1 < n {
+					xj := x.data[(i+1)*d : (i+1)*d+d]
+					DotBatch2(xi, xj, x.data[t0*d:], d, seg,
+						out.data[i*n+t0:], out.data[(i+1)*n+t0:])
+				} else {
+					DotBatch(xi, x.data[t0*d:], d, seg, out.data[i*n+t0:])
+				}
+			}
+		}
+		// The paired pass covers columns [0, 2p+1) of both rows; the
+		// odd row's diagonal is its self dot.
+		for p := plo; p < phi; p++ {
+			i := 2 * p
+			if i+1 < n {
+				xj := x.data[(i+1)*d : (i+1)*d+d]
+				out.data[(i+1)*n+i+1] = Dot(xj, xj)
+			}
 		}
 	})
 	MirrorLower(out)
@@ -191,31 +226,58 @@ func cholFactor(d []float64, n, ld int) error {
 			break
 		}
 		// Panel solve: L[i, j0:j1] · L[j0:j1, j0:j1]ᵀ = A[i, j0:j1]
-		// row by row (rows are independent).
+		// row by row (rows are independent). Each row is a forward
+		// substitution against the diagonal block — the TrsvLower
+		// micro-kernel.
+		diag := d[j0*ld+j0:]
 		Parfor(n-j1, func(lo, hi int) {
 			for i := j1 + lo; i < j1+hi; i++ {
-				irow := d[i*ld : i*ld+j1]
-				for c := j0; c < j1; c++ {
-					crow := d[c*ld : c*ld+j1]
-					s := irow[c]
-					for k := j0; k < c; k++ {
-						s -= irow[k] * crow[k]
-					}
-					irow[c] = s / crow[c]
-				}
+				TrsvLower(diag, ld, j1-j0, d[i*ld+j0:i*ld+j1])
 			}
 		})
 		// Trailing update: A[i, j2] -= L[i, j0:j1] · L[j2, j0:j1] for
-		// j1 <= j2 <= i — a SYRK through the batched dot kernel.
-		Parfor(n-j1, func(lo, hi int) {
-			buf := make([]float64, hi)
-			for i := j1 + lo; i < j1+hi; i++ {
-				cnt := i - j1 + 1
-				dots := buf[:cnt]
-				DotBatch(d[i*ld+j0:i*ld+j1], d[j1*ld+j0:], ld, cnt, dots)
-				irow := d[i*ld+j1 : i*ld+i+1]
-				for t, v := range dots {
-					irow[t] -= v
+		// j1 <= j2 <= i — a SYRK through the two-row register tile,
+		// rows paired by absolute index and the j2 panel walk tiled so
+		// a tile of panel rows loaded into L1 serves every pair in the
+		// worker's range. Pairing and the tile grid are global, so the
+		// update stays bitwise deterministic under any Parfor split.
+		pairs := (n - j1 + 1) / 2
+		Parfor(pairs, func(plo, phi int) {
+			var s0, s1 [symTile]float64
+			for t0 := 0; t0 < 2*phi; t0 += symTile {
+				for p := max(plo, t0/2); p < phi; p++ {
+					i := j1 + 2*p
+					hi := min(2*p+1, t0+symTile)
+					if hi <= t0 {
+						continue
+					}
+					seg := hi - t0
+					panel := d[(j1+t0)*ld+j0:]
+					x0 := d[i*ld+j0 : i*ld+j1]
+					irow0 := d[i*ld+j1+t0:]
+					if i+1 < n {
+						x1 := d[(i+1)*ld+j0 : (i+1)*ld+j1]
+						DotBatch2(x0, x1, panel, ld, seg, s0[:seg], s1[:seg])
+						irow1 := d[(i+1)*ld+j1+t0:]
+						for t := 0; t < seg; t++ {
+							irow0[t] -= s0[t]
+							irow1[t] -= s1[t]
+						}
+					} else {
+						DotBatch(x0, panel, ld, seg, s0[:seg])
+						for t := 0; t < seg; t++ {
+							irow0[t] -= s0[t]
+						}
+					}
+				}
+			}
+			// The paired pass stops at column i of row i+1; the odd
+			// row's diagonal update is its panel self dot.
+			for p := plo; p < phi; p++ {
+				i := j1 + 2*p
+				if i+1 < n {
+					x1 := d[(i+1)*ld+j0 : (i+1)*ld+j1]
+					d[(i+1)*ld+i+1] -= Dot(x1, x1)
 				}
 			}
 		})

@@ -23,8 +23,8 @@ func borderBlocks(a *Dense, n0, n int) (a21, a22 *Dense) {
 	a21 = NewDense(m, n0)
 	a22 = NewDense(m, m)
 	for i := 0; i < m; i++ {
-		copy(a21.Row(i), a.Row(n0+i)[:n0])
-		copy(a22.Row(i), a.Row(n0+i)[n0:n])
+		copy(a21.Row(i), a.Row(n0 + i)[:n0])
+		copy(a22.Row(i), a.Row(n0 + i)[n0:n])
 	}
 	return a21, a22
 }

@@ -9,6 +9,15 @@ package mat
 func dotsRowAVX2(x, y *float64, ld, dq, groups uintptr, out *float64)
 
 //go:noescape
+func dots2RowAVX2(x0, x1, y *float64, ld, dq, groups uintptr, out0, out1 *float64)
+
+//go:noescape
+func trsvLowerAVX2(l *float64, ld uintptr, z *float64, m uintptr)
+
+//go:noescape
+func dotAVX2(x, y *float64, nq uintptr) float64
+
+//go:noescape
 func transposeBlockAVX2(src, dst *float64, stride, ni, nj uintptr)
 
 //go:noescape

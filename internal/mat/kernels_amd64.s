@@ -165,6 +165,242 @@ reduce:
 	VZEROUPPER
 	RET
 
+// func dots2RowAVX2(x0, x1, y *float64, ld, dq, groups uintptr, out0, out1 *float64)
+// The register-tiled two-row variant of dotsRowAVX2:
+// out0[g*4+t] = x0 · y[(g*4+t)*ld : ...] and
+// out1[g*4+t] = x1 · y[(g*4+t)*ld : ...] for g < groups, t < 4.
+// Eight accumulators (Y0-Y3 for x0, Y4-Y7 for x1) stay pinned across
+// the k loop, so every B-panel row loaded from y feeds two FMA tiles —
+// a 2-row × 8-column update per unrolled iteration — halving the panel
+// load traffic of two one-row passes. Per-accumulator accumulation
+// order matches dotsRowAVX2 exactly (chunk 0 then chunk 32 per
+// iteration, same reduction), so a row dotted through either kernel
+// yields the identical float64. Columns beyond 4*dq are the caller's
+// scalar tail.
+TEXT ·dots2RowAVX2(SB), NOSPLIT, $0-64
+	MOVQ y+16(FP), AX    // group base
+	MOVQ ld+24(FP), R8
+	SHLQ $3, R8          // stride in bytes
+	MOVQ dq+32(FP), R15
+	MOVQ groups+40(FP), BX
+	MOVQ out0+48(FP), R13
+	MOVQ out1+56(FP), R14
+
+group2:
+	MOVQ x0+0(FP), SI
+	MOVQ x1+8(FP), DI
+	MOVQ AX, R9          // y0
+	LEAQ (R9)(R8*1), R10 // y1
+	LEAQ (R9)(R8*2), R11 // y2
+	LEAQ (R10)(R8*2), R12 // y3
+
+	VXORPD Y0, Y0, Y0
+	VXORPD Y1, Y1, Y1
+	VXORPD Y2, Y2, Y2
+	VXORPD Y3, Y3, Y3
+	VXORPD Y4, Y4, Y4
+	VXORPD Y5, Y5, Y5
+	VXORPD Y6, Y6, Y6
+	VXORPD Y7, Y7, Y7
+
+	MOVQ R15, CX
+	SHRQ $1, CX
+	TESTQ CX, CX
+	JE    ktail2
+
+kloop2:
+	VMOVUPD (SI), Y8     // x0 chunk 0
+	VMOVUPD (DI), Y9     // x1 chunk 0
+	VMOVUPD 32(SI), Y12  // x0 chunk 1
+	VMOVUPD 32(DI), Y13  // x1 chunk 1
+
+	VMOVUPD (R9), Y10
+	VFMADD231PD Y8, Y10, Y0
+	VFMADD231PD Y9, Y10, Y4
+	VMOVUPD 32(R9), Y11
+	VFMADD231PD Y12, Y11, Y0
+	VFMADD231PD Y13, Y11, Y4
+
+	VMOVUPD (R10), Y10
+	VFMADD231PD Y8, Y10, Y1
+	VFMADD231PD Y9, Y10, Y5
+	VMOVUPD 32(R10), Y11
+	VFMADD231PD Y12, Y11, Y1
+	VFMADD231PD Y13, Y11, Y5
+
+	VMOVUPD (R11), Y10
+	VFMADD231PD Y8, Y10, Y2
+	VFMADD231PD Y9, Y10, Y6
+	VMOVUPD 32(R11), Y11
+	VFMADD231PD Y12, Y11, Y2
+	VFMADD231PD Y13, Y11, Y6
+
+	VMOVUPD (R12), Y10
+	VFMADD231PD Y8, Y10, Y3
+	VFMADD231PD Y9, Y10, Y7
+	VMOVUPD 32(R12), Y11
+	VFMADD231PD Y12, Y11, Y3
+	VFMADD231PD Y13, Y11, Y7
+
+	ADDQ $64, SI
+	ADDQ $64, DI
+	ADDQ $64, R9
+	ADDQ $64, R10
+	ADDQ $64, R11
+	ADDQ $64, R12
+	DECQ CX
+	JNE  kloop2
+
+ktail2:
+	MOVQ R15, CX
+	ANDQ $1, CX
+	JE   reduce2
+	VMOVUPD (SI), Y8
+	VMOVUPD (DI), Y9
+	VMOVUPD (R9), Y10
+	VFMADD231PD Y8, Y10, Y0
+	VFMADD231PD Y9, Y10, Y4
+	VMOVUPD (R10), Y11
+	VFMADD231PD Y8, Y11, Y1
+	VFMADD231PD Y9, Y11, Y5
+	VMOVUPD (R11), Y10
+	VFMADD231PD Y8, Y10, Y2
+	VFMADD231PD Y9, Y10, Y6
+	VMOVUPD (R12), Y11
+	VFMADD231PD Y8, Y11, Y3
+	VFMADD231PD Y9, Y11, Y7
+
+reduce2:
+	VHADDPD Y1, Y0, Y0
+	VHADDPD Y3, Y2, Y2
+	VPERM2F128 $0x21, Y2, Y0, Y8
+	VPERM2F128 $0x30, Y2, Y0, Y9
+	VADDPD Y8, Y9, Y8
+	VMOVUPD Y8, (R13)
+
+	VHADDPD Y5, Y4, Y4
+	VHADDPD Y7, Y6, Y6
+	VPERM2F128 $0x21, Y6, Y4, Y8
+	VPERM2F128 $0x30, Y6, Y4, Y9
+	VADDPD Y8, Y9, Y8
+	VMOVUPD Y8, (R14)
+
+	ADDQ $32, R13
+	ADDQ $32, R14
+	LEAQ (AX)(R8*4), AX  // base += 4*ld
+	DECQ BX
+	JNE  group2
+
+	VZEROUPPER
+	RET
+
+// func trsvLowerAVX2(l *float64, ld uintptr, z *float64, m uintptr)
+// Solves L·z = z in place for the m×m lower-triangular block stored at
+// l with row stride ld (diagonal included): for each row i the dot of
+// L[i, 0:i] against the already-solved prefix of z runs 4-wide with a
+// scalar remainder, then one scalar subtract-and-divide finishes the
+// row. This is the in-block forward-substitution micro-kernel shared
+// by the blocked Cholesky panel solve and the triangular solves.
+TEXT ·trsvLowerAVX2(SB), NOSPLIT, $0-32
+	MOVQ l+0(FP), SI     // current row base
+	MOVQ ld+8(FP), R8
+	SHLQ $3, R8          // stride in bytes
+	MOVQ z+16(FP), DI
+	MOVQ m+24(FP), R9    // rows remaining
+	XORQ R10, R10        // i
+
+trow:
+	VXORPD Y0, Y0, Y0
+	MOVQ SI, AX          // &l[i*ld]
+	MOVQ DI, BX          // &z[0]
+	MOVQ R10, CX
+	SHRQ $2, CX          // i/4 quads
+	TESTQ CX, CX
+	JE   tquaddone
+
+tquad:
+	VMOVUPD (AX), Y1
+	VMOVUPD (BX), Y2
+	VFMADD231PD Y1, Y2, Y0
+	ADDQ $32, AX
+	ADDQ $32, BX
+	DECQ CX
+	JNE  tquad
+
+tquaddone:
+	VEXTRACTF128 $1, Y0, X1
+	VADDPD X1, X0, X0
+	VHADDPD X0, X0, X0   // X0 lane 0 = 4-wide partial dot
+	MOVQ R10, CX
+	ANDQ $3, CX
+	TESTQ CX, CX
+	JE   tscalardone
+
+tscalar:
+	VMOVSD (AX), X1
+	VFMADD231SD (BX), X1, X0
+	ADDQ $8, AX
+	ADDQ $8, BX
+	DECQ CX
+	JNE  tscalar
+
+tscalardone:
+	// AX = &l[i*ld+i], BX = &z[i].
+	VMOVSD (BX), X1
+	VSUBSD X0, X1, X1
+	VDIVSD (AX), X1, X1
+	VMOVSD X1, (BX)
+	ADDQ R8, SI
+	INCQ R10
+	DECQ R9
+	JNE  trow
+
+	VZEROUPPER
+	RET
+
+// func dotAVX2(x, y *float64, nq uintptr) float64
+// Inner product over 4*nq elements with two independent accumulator
+// chains (the caller handles the tail).
+TEXT ·dotAVX2(SB), NOSPLIT, $0-32
+	MOVQ x+0(FP), SI
+	MOVQ y+8(FP), DI
+	MOVQ nq+16(FP), CX
+	VXORPD Y0, Y0, Y0
+	VXORPD Y1, Y1, Y1
+
+	MOVQ CX, DX
+	SHRQ $1, DX
+	TESTQ DX, DX
+	JE   dtail1
+
+dloop2:
+	VMOVUPD (SI), Y2
+	VMOVUPD (DI), Y3
+	VFMADD231PD Y2, Y3, Y0
+	VMOVUPD 32(SI), Y4
+	VMOVUPD 32(DI), Y5
+	VFMADD231PD Y4, Y5, Y1
+	ADDQ $64, SI
+	ADDQ $64, DI
+	DECQ DX
+	JNE  dloop2
+
+dtail1:
+	ANDQ $1, CX
+	JE   dreduce
+	VMOVUPD (SI), Y2
+	VMOVUPD (DI), Y3
+	VFMADD231PD Y2, Y3, Y0
+
+dreduce:
+	VADDPD Y1, Y0, Y0
+	VEXTRACTF128 $1, Y0, X1
+	VADDPD X1, X0, X0
+	VHADDPD X0, X0, X0
+	VMOVSD X0, ret+24(FP)
+	VZEROUPPER
+	RET
+
 // func transposeBlockAVX2(src, dst *float64, stride, ni, nj uintptr)
 // dst[j*stride+i] = src[i*stride+j] for i < ni, j < nj, both multiples
 // of 4, via 4x4 register transposes. Used by MirrorLower for tiles

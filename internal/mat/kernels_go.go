@@ -47,6 +47,83 @@ func DotBatch(x, y []float64, ld, count int, out []float64) {
 	}
 }
 
+// DotBatch2 is the register-tiled two-row variant of DotBatch:
+// out0[t] = x0 · y[t*ld : t*ld+len(x0)] and out1[t] = x1 · y[...] for
+// t < count, in one pass over the strided panel. x0 and x1 must have
+// equal length <= ld. The assembly kernel keeps a 2-row × 4-column
+// accumulator tile pinned in Y registers (a 2×8 update per unrolled
+// iteration), so each panel row load feeds both output rows — half
+// the B-panel traffic of two one-row passes. Per-row results are
+// bit-identical to dotsRowAVX2 for rows both kernels reach through
+// their vector path. Callers that also tile the panel rows (Gram
+// construction, the Cholesky trailing update, batched prediction) keep
+// the panel L1-resident across many row pairs.
+func DotBatch2(x0, x1, y []float64, ld, count int, out0, out1 []float64) {
+	if count <= 0 {
+		return
+	}
+	_ = out0[count-1]
+	_ = out1[count-1]
+	t := 0
+	if useAsm && len(x0) >= 4 && count >= 4 {
+		dq := uintptr(len(x0) / 4)
+		groups := count / 4
+		t = groups * 4
+		_ = y[(t-1)*ld+len(x0)-1]
+		_ = out0[t-1]
+		_ = out1[t-1]
+		dots2RowAVX2(&x0[0], &x1[0], &y[0], uintptr(ld), dq, uintptr(groups), &out0[0], &out1[0])
+		if tail0 := x0[len(x0)&^3:]; len(tail0) > 0 {
+			tail1 := x1[len(x1)&^3:]
+			for u := 0; u < t; u++ {
+				row := y[u*ld+len(x0)-len(tail0):]
+				s0, s1 := out0[u], out1[u]
+				for k := range tail0 {
+					s0 += tail0[k] * row[k]
+					s1 += tail1[k] * row[k]
+				}
+				out0[u], out1[u] = s0, s1
+			}
+		}
+	}
+	for ; t < count; t++ {
+		row := y[t*ld : t*ld+len(x0)]
+		var s0, s1 float64
+		for k, v := range x0 {
+			s0 += v * row[k]
+			s1 += x1[k] * row[k]
+		}
+		out0[t], out1[t] = s0, s1
+	}
+}
+
+// TrsvLower solves L·z = z in place, where L is the m×m
+// lower-triangular block stored at l with row stride ld (diagonal
+// included). It is the in-block forward-substitution micro-kernel
+// shared by the blocked Cholesky panel solve and the triangular
+// solves: each row's dot against the solved prefix runs 4-wide in the
+// assembly path, replacing the scalar tail the blocked solves
+// previously kept.
+func TrsvLower(l []float64, ld, m int, z []float64) {
+	if m <= 0 {
+		return
+	}
+	_ = z[m-1]
+	_ = l[(m-1)*ld+m-1]
+	if useAsm && m >= 8 {
+		trsvLowerAVX2(&l[0], uintptr(ld), &z[0], uintptr(m))
+		return
+	}
+	for i := 0; i < m; i++ {
+		s := z[i]
+		row := l[i*ld : i*ld+i]
+		for k, v := range row {
+			s -= v * z[k]
+		}
+		z[i] = s / l[i*ld+i]
+	}
+}
+
 // expNegGo is the scalar fallback for expNegAVX2.
 func expNegGo(p []float64) {
 	for i, v := range p {

@@ -10,6 +10,14 @@ const useAsm = false
 
 func dotsRowAVX2(x, y *float64, ld, dq, groups uintptr, out *float64) { panic("mat: no asm") }
 
+func dots2RowAVX2(x0, x1, y *float64, ld, dq, groups uintptr, out0, out1 *float64) {
+	panic("mat: no asm")
+}
+
+func trsvLowerAVX2(l *float64, ld uintptr, z *float64, m uintptr) { panic("mat: no asm") }
+
+func dotAVX2(x, y *float64, nq uintptr) float64 { panic("mat: no asm") }
+
 func transposeBlockAVX2(src, dst *float64, stride, ni, nj uintptr) { panic("mat: no asm") }
 
 func expNegAVX2(p *float64, n uintptr) { panic("mat: no asm") }

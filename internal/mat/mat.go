@@ -124,8 +124,20 @@ func (m *Dense) MulVec(x []float64) ([]float64, error) {
 	return out, nil
 }
 
-// Dot returns the inner product of two equal-length vectors.
+// Dot returns the inner product of two equal-length vectors. Long
+// vectors take the AVX2 kernel (two independent accumulator chains —
+// the scalar loop's single add chain is latency-bound at ~4 cycles per
+// element); short ones stay scalar.
 func Dot(a, b []float64) float64 {
+	if useAsm && len(a) >= 16 {
+		_ = b[len(a)-1]
+		nq := len(a) / 4
+		s := dotAVX2(&a[0], &b[0], uintptr(nq))
+		for i := nq * 4; i < len(a); i++ {
+			s += a[i] * b[i]
+		}
+		return s
+	}
 	var s float64
 	for i := range a {
 		s += a[i] * b[i]
@@ -213,10 +225,13 @@ func (c *Cholesky) Solve(b []float64) ([]float64, error) {
 
 // solveInto is Solve with caller-provided destination and scratch
 // (each of length Size), so repeated retrains can run allocation-free
-// through a Pool. dst and b may alias. Both substitutions are blocked:
-// the cross-block bulk of the work runs through the batched kernels
-// (DotBatch forward, AddScaled backward) and only the 64-wide in-block
-// triangular solves stay scalar.
+// through a Pool. dst and b may alias. The forward substitution is
+// blocked: the in-block triangular solve runs through the TrsvLower
+// micro-kernel and the cross-block bulk through DotBatch. The back
+// substitution uses (Lᵀ)[k,i] = L[i,k] to run column-oriented: each
+// finalized dst[i] subtracts its contribution from all earlier rows as
+// one AddScaled over the row-contiguous L[i, :i] — no strided column
+// walk and no scalar tail anywhere in the solve.
 func (c *Cholesky) solveInto(dst, b, y []float64) {
 	n, ld := c.n, c.stride
 	d := c.base()
@@ -227,14 +242,7 @@ func (c *Cholesky) solveInto(dst, b, y []float64) {
 	copy(y, b)
 	for j0 := 0; j0 < n; j0 += blk {
 		j1 := min(j0+blk, n)
-		for i := j0; i < j1; i++ {
-			s := y[i]
-			row := d[i*ld+j0 : i*ld+i]
-			for k, v := range row {
-				s -= v * y[j0+k]
-			}
-			y[i] = s / d[i*ld+i]
-		}
+		TrsvLower(d[j0*ld+j0:], ld, j1-j0, y[j0:j1])
 		if j1 < n {
 			dots := dst[:n-j1]
 			DotBatch(y[j0:j1], d[j1*ld+j0:], ld, n-j1, dots)
@@ -243,22 +251,12 @@ func (c *Cholesky) solveInto(dst, b, y []float64) {
 			}
 		}
 	}
-	// Back substitution: Lᵀ·x = y, blocks in reverse. A solved block's
-	// contribution to every earlier row is one AddScaled per column —
-	// row-contiguous access instead of the scalar column walk.
-	for j1 := n; j1 > 0; j1 -= blk {
-		j0 := max(j1-blk, 0)
-		for i := j1 - 1; i >= j0; i-- {
-			s := y[i]
-			for k := i + 1; k < j1; k++ {
-				s -= d[k*ld+i] * dst[k]
-			}
-			dst[i] = s / d[i*ld+i]
-		}
-		for k := j0; k < j1; k++ {
-			if xv := dst[k]; xv != 0 {
-				AddScaled(y[:j0], -xv, d[k*ld:k*ld+j0])
-			}
+	// Back substitution: Lᵀ·x = y.
+	for i := n - 1; i >= 0; i-- {
+		xv := y[i] / d[i*ld+i]
+		dst[i] = xv
+		if xv != 0 && i > 0 {
+			AddScaled(y[:i], -xv, d[i*ld:i*ld+i])
 		}
 	}
 }
@@ -294,50 +292,36 @@ func (c *Cholesky) solve2Into(dst, dst2, b, b2, y []float64) {
 	copy(yb, b2)
 	for j0 := 0; j0 < n; j0 += blk {
 		j1 := min(j0+blk, n)
-		for i := j0; i < j1; i++ {
-			row := d[i*ld+j0 : i*ld+i]
-			s, s2 := ya[i], yb[i]
-			for k, v := range row {
-				s -= v * ya[j0+k]
-				s2 -= v * yb[j0+k]
-			}
-			pv := d[i*ld+i]
-			ya[i] = s / pv
-			yb[i] = s2 / pv
-		}
+		TrsvLower(d[j0*ld+j0:], ld, j1-j0, ya[j0:j1])
+		TrsvLower(d[j0*ld+j0:], ld, j1-j0, yb[j0:j1])
 		if j1 < n {
 			dots := dst[:n-j1]
-			DotBatch(ya[j0:j1], d[j1*ld+j0:], ld, n-j1, dots)
+			DotBatch2(ya[j0:j1], yb[j0:j1], d[j1*ld+j0:], ld, n-j1, dots, dst2[:n-j1])
 			for t, v := range dots {
 				ya[j1+t] -= v
 			}
-			DotBatch(yb[j0:j1], d[j1*ld+j0:], ld, n-j1, dots)
-			for t, v := range dots {
+			for t, v := range dst2[:n-j1] {
 				yb[j1+t] -= v
 			}
 		}
 	}
-	for j1 := n; j1 > 0; j1 -= blk {
-		j0 := max(j1-blk, 0)
-		for i := j1 - 1; i >= j0; i-- {
-			s, s2 := ya[i], yb[i]
-			for k := i + 1; k < j1; k++ {
-				v := d[k*ld+i]
-				s -= v * dst[k]
-				s2 -= v * dst2[k]
-			}
-			pv := d[i*ld+i]
-			dst[i] = s / pv
-			dst2[i] = s2 / pv
+	// Back substitution in the same column-oriented form as solveInto,
+	// with the second right-hand side riding the cache-hot factor row.
+	for i := n - 1; i >= 0; i-- {
+		pv := d[i*ld+i]
+		xv := ya[i] / pv
+		xv2 := yb[i] / pv
+		dst[i] = xv
+		dst2[i] = xv2
+		if i == 0 {
+			break
 		}
-		for k := j0; k < j1; k++ {
-			row := d[k*ld : k*ld+j0]
-			if xv := dst[k]; xv != 0 {
-				AddScaled(ya[:j0], -xv, row)
-			}
-			if xv2 := dst2[k]; xv2 != 0 {
-				AddScaled(yb[:j0], -xv2, row)
-			}
+		row := d[i*ld : i*ld+i]
+		if xv != 0 {
+			AddScaled(ya[:i], -xv, row)
+		}
+		if xv2 != 0 {
+			AddScaled(yb[:i], -xv2, row)
 		}
 	}
 }

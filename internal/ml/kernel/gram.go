@@ -186,6 +186,11 @@ func (r *Rows) Cap() int {
 // Len returns the number of rows.
 func (r *Rows) Len() int { return r.n }
 
+// Stride returns the padded row stride of the flat layout (a multiple
+// of 4, >= Dim). Batched callers that stage query rows for
+// EvalBatchFlat lay them out at this stride with zeroed padding.
+func (r *Rows) Stride() int { return r.stride }
+
 // Dim returns the feature dimension.
 func (r *Rows) Dim() int { return r.d }
 
@@ -214,8 +219,32 @@ func Matrix(k Kernel, X [][]float64) *mat.Dense {
 
 // MatrixRows is Matrix for callers that already hold the flat layout.
 func MatrixRows(k Kernel, r *Rows) *mat.Dense {
-	n := r.n
-	out := mat.NewDense(n, n)
+	return matrixRowsInto(k, r, mat.NewDense(r.n, r.n))
+}
+
+// MatrixRowsPooled is MatrixRows with the result drawn from pool, so
+// callers that rebuild Gram matrices repeatedly (warm-start retrains,
+// sliding windows) recycle the n² buffer instead of reallocating it.
+// Pool buffers are class-sized, which is what makes the recycle stick:
+// a plain NewDense matrix has exact capacity and PutDense silently
+// drops it. The scratch is returned to pool if a custom kernel's Eval
+// panics mid-build, matching ExtendMatrixRows.
+func MatrixRowsPooled(k Kernel, r *Rows, pool *mat.Pool) *mat.Dense {
+	out := pool.GetDense(r.n, r.n)
+	done := false
+	defer func() {
+		if !done {
+			pool.PutDense(out)
+		}
+	}()
+	matrixRowsInto(k, r, out)
+	done = true
+	return out
+}
+
+// matrixRowsInto fills out (n×n, contents arbitrary — every element is
+// written) with the Gram matrix of r.
+func matrixRowsInto(k Kernel, r *Rows, out *mat.Dense) *mat.Dense {
 	switch kk := k.(type) {
 	case Linear:
 		gramDots(r, out, nil)
@@ -238,16 +267,55 @@ func MatrixRows(k Kernel, r *Rows) *mat.Dense {
 	return out
 }
 
+// gramTile is the panel-row tile of the paired Gram walk: one tile of
+// stored rows stays L1-resident while every row pair in a worker's
+// range streams over it (matching mat's engine tiling).
+const gramTile = 48
+
 // gramDots fills the lower triangle of out with pairwise dot products,
-// applying transform (if any) to each row while it is still cache-hot.
+// applying transform (if any) to each finished row. Rows are processed
+// in globally-aligned pairs through the two-row register tile
+// (mat.DotBatch2) with the stored-row walk tiled for L1 reuse; pairing
+// is by absolute row index and the tile grid is fixed, so every
+// element's reduction path — and therefore its bits — is independent
+// of how Parfor splits the pair ranges.
 func gramDots(r *Rows, out *mat.Dense, transform func(row []float64, i int)) {
 	n := r.n
-	mat.Parfor(n, func(lo, hi int) {
-		for i := lo; i < hi; i++ {
-			row := out.Row(i)[:i+1]
-			mat.DotBatch(r.padded(i), r.flat(), r.stride, i+1, row)
+	flat, stride := r.flat(), r.stride
+	pairs := (n + 1) / 2
+	mat.Parfor(pairs, func(plo, phi int) {
+		for t0 := 0; t0 < 2*phi; t0 += gramTile {
+			// Pair p owns rows 2p and 2p+1; its dot columns run
+			// [0, 2p+1), so tile t0 only feeds pairs with p >= t0/2.
+			for p := max(plo, t0/2); p < phi; p++ {
+				i := 2 * p
+				hi := min(i+1, t0+gramTile)
+				if hi <= t0 {
+					continue
+				}
+				seg := hi - t0
+				if i+1 < n {
+					mat.DotBatch2(r.padded(i), r.padded(i+1), flat[t0*stride:], stride, seg,
+						out.Row(i)[t0:], out.Row(i + 1)[t0:])
+				} else {
+					mat.DotBatch(r.padded(i), flat[t0*stride:], stride, seg, out.Row(i)[t0:])
+				}
+			}
+		}
+		for p := plo; p < phi; p++ {
+			i := 2 * p
+			if i+1 < n {
+				// The paired pass covers columns [0, 2p+1) of both
+				// rows; the odd row's diagonal is its self dot (the
+				// zero padding contributes nothing).
+				x1 := r.padded(i + 1)
+				out.Row(i + 1)[i+1] = mat.Dot(x1, x1)
+			}
 			if transform != nil {
-				transform(row, i)
+				transform(out.Row(i)[:i+1], i)
+				if i+1 < n {
+					transform(out.Row(i + 1)[:i+2], i+1)
+				}
 			}
 		}
 	})
@@ -436,6 +504,75 @@ func powRow(vals []float64, scale, coef0, degree float64) {
 	for j, v := range vals {
 		vals[j] = math.Pow(scale*v+coef0, degree)
 	}
+}
+
+// EvalBatchFlat computes out[i*Len()+j] = k(r.X[j], q_i) for qn query
+// rows against every stored row: the tiled multi-query evaluation path
+// behind PredictBatch. q holds the queries stride-padded at r.Stride()
+// with zeroed padding; qnorms holds their squared norms (only read for
+// RBF; may be nil otherwise); out must have qn*Len() room.
+//
+// Built-in kernels run query pairs through the two-row register tile
+// (mat.DotBatch2) with the stored-row walk tiled so one tile of stored
+// rows, loaded into L1 once, serves every query pair in a worker's
+// range — amortizing panel traffic across the batch instead of
+// re-streaming the whole store per query, which is what a loop over
+// EvalInto does. Pairing is by absolute query index and the tile grid
+// is fixed, so results are bitwise independent of the Parfor split.
+// Custom kernels fall back to per-row Eval.
+func EvalBatchFlat(k Kernel, r *Rows, q, qnorms []float64, qn int, out []float64) {
+	n := r.n
+	if qn <= 0 || n == 0 {
+		return
+	}
+	flat, stride := r.flat(), r.stride
+	transform := borderTransform(k, r)
+	if transform == nil && !isFlatKernel(k) {
+		mat.Parfor(qn, func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				x := q[i*stride : i*stride+r.d]
+				row := out[i*n : (i+1)*n]
+				for j := 0; j < n; j++ {
+					row[j] = k.Eval(r.Row(j), x)
+				}
+			}
+		})
+		return
+	}
+	pairs := (qn + 1) / 2
+	mat.Parfor(pairs, func(plo, phi int) {
+		for t0 := 0; t0 < n; t0 += gramTile {
+			seg := min(gramTile, n-t0)
+			panel := flat[t0*stride:]
+			for p := plo; p < phi; p++ {
+				i := 2 * p
+				x0 := q[i*stride : (i+1)*stride]
+				if i+1 < qn {
+					x1 := q[(i+1)*stride : (i+2)*stride]
+					mat.DotBatch2(x0, x1, panel, stride, seg,
+						out[i*n+t0:], out[(i+1)*n+t0:])
+				} else {
+					mat.DotBatch(x0, panel, stride, seg, out[i*n+t0:])
+				}
+			}
+		}
+		if transform != nil {
+			for p := plo; p < phi; p++ {
+				i := 2 * p
+				var qn0 float64
+				if qnorms != nil {
+					qn0 = qnorms[i]
+				}
+				transform(out[i*n:(i+1)*n], r.norms(), qn0)
+				if i+1 < qn {
+					if qnorms != nil {
+						qn0 = qnorms[i+1]
+					}
+					transform(out[(i+1)*n:(i+2)*n], r.norms(), qn0)
+				}
+			}
+		}
+	})
 }
 
 // EvalInto computes out[i] = k(r.X[i], x) for every stored row without

@@ -24,36 +24,29 @@ type Cov struct {
 	ySum   float64    // Σ_i y_i
 }
 
-// NewCov computes the covariance state from a training set.
+// NewCov computes the covariance state from a training set. It is
+// exactly Append onto the empty state: a Cov built fresh over rows and
+// one that accumulated the same rows incrementally perform identical
+// arithmetic in identical order and hold bitwise-equal state, so the
+// feature selections downstream (which hinge on soft-threshold
+// boundaries) cannot diverge between the fresh and incremental paths
+// no matter how the dense-kernel summation order evolves. The build is
+// O(n·d²) through the same vectorized rank-1 updates Append uses; d is
+// small here, and trading the tiled one-pass Gram for path-identity is
+// the point.
 func NewCov(X [][]float64, y []float64) (*Cov, error) {
 	dim, err := ml.CheckTrainingSet(X, y)
 	if err != nil {
 		return nil, err
 	}
-	n := len(X)
-	// G is the row Gram of Xᵀ; one transpose buys the flat SymRankK
-	// engine for the heavy accumulation.
-	xt := mat.NewDense(dim, n)
-	for i, row := range X {
-		for k, v := range row {
-			xt.Row(k)[i] = v
-		}
+	c := &Cov{
+		dim:    dim,
+		g:      mat.NewDense(dim, dim),
+		q:      make([]float64, dim),
+		colSum: make([]float64, dim),
 	}
-	c := &Cov{dim: dim, n: n, g: mat.SymRankK(xt)}
-	if c.q, err = xt.MulVec(y); err != nil {
+	if err := c.Append(X, y); err != nil {
 		return nil, err
-	}
-	c.colSum = make([]float64, dim)
-	for k := 0; k < dim; k++ {
-		row := xt.Row(k)
-		var sum float64
-		for _, v := range row {
-			sum += v
-		}
-		c.colSum[k] = sum
-	}
-	for _, v := range y {
-		c.ySum += v
 	}
 	return c, nil
 }

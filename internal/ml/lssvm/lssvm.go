@@ -148,13 +148,16 @@ func (m *Model) Fit(X [][]float64, y []float64) error {
 		kern = kernel.RBF{Gamma: 1 / float64(dim)}
 	}
 
+	// The Gram is factorization scratch here — the factor copies the
+	// triangle out — so it is drawn from and returned to the pool.
 	rows := kernel.NewRows(Xs)
-	a := kernel.MatrixRows(kern, rows)
+	a := kernel.MatrixRowsPooled(kern, rows, pool)
 	ridge := 1 / m.opts.Gamma
 	for i := 0; i < n; i++ {
 		a.Set(i, i, a.At(i, i)+ridge)
 	}
 	ch, jitter, err := mat.NewCholeskyJittered(a, growHeadroom(n), pool)
+	pool.PutDense(a)
 	if err != nil {
 		return fmt.Errorf("lssvm: solving kernel system: %w", err)
 	}
@@ -392,12 +395,13 @@ func (m *Model) rebuildFactor() error {
 	if len(m.yRaw) != m.trainRows.Len() {
 		return fmt.Errorf("lssvm: restored model carries no targets; refit before Update")
 	}
-	a := kernel.MatrixRows(m.kern, m.trainRows)
+	a := kernel.MatrixRowsPooled(m.kern, m.trainRows, pool)
 	ridge := 1 / m.opts.Gamma
 	for i := 0; i < a.Rows(); i++ {
 		a.Set(i, i, a.At(i, i)+ridge)
 	}
 	ch, jitter, err := mat.NewCholeskyJittered(a, growHeadroom(a.Rows()), pool)
+	pool.PutDense(a)
 	if err != nil {
 		return fmt.Errorf("lssvm: refactoring kernel system: %w", err)
 	}
@@ -420,9 +424,16 @@ func (m *Model) Predict(x []float64) float64 {
 	return out
 }
 
-// PredictBatch implements ml.BatchPredictor, reusing one pooled
-// scratch buffer across rows and evaluating every training point
-// through the batched kernel path.
+// predictTile is the query-block size of the batched prediction path
+// (matching svm's): enough rows to amortize the training-row panel
+// traffic through the two-row register tile.
+const predictTile = 32
+
+// PredictBatch implements ml.BatchPredictor: queries are staged in
+// blocks of predictTile and evaluated against every training point in
+// one tiled kernel.EvalBatchFlat pass per block, so the training-row
+// panel is read once per query pair instead of once per query. Rows of
+// the wrong dimension yield NaN without disturbing the block.
 func (m *Model) PredictBatch(X [][]float64, out []float64) {
 	if !m.fitted {
 		for i := range X {
@@ -430,14 +441,39 @@ func (m *Model) PredictBatch(X [][]float64, out []float64) {
 		}
 		return
 	}
-	scratch := pool.GetVec(m.dim + len(m.alpha))
-	xbuf, kbuf := scratch[:m.dim], scratch[m.dim:]
-	for i, x := range X {
-		if len(x) != m.dim {
-			out[i] = math.NaN()
-			continue
+	n := m.trainRows.Len()
+	stride := m.trainRows.Stride()
+	scratch := pool.GetVec(predictTile*stride + predictTile + predictTile*n)
+	qbuf := scratch[:predictTile*stride]
+	qnorms := scratch[predictTile*stride : predictTile*stride+predictTile]
+	kbuf := scratch[predictTile*stride+predictTile:]
+	for base := 0; base < len(X); base += predictTile {
+		cnt := min(predictTile, len(X)-base)
+		var bad [predictTile]bool
+		qn := 0
+		for bi := 0; bi < cnt; bi++ {
+			x := X[base+bi]
+			if len(x) != m.dim {
+				bad[bi] = true
+				out[base+bi] = math.NaN()
+				continue
+			}
+			dst := qbuf[qn*stride : (qn+1)*stride]
+			m.std.ApplyInto(x, dst[:m.dim])
+			clear(dst[m.dim:]) // pool scratch: the padding must be zero
+			qnorms[qn] = mat.Dot(dst, dst)
+			qn++
 		}
-		out[i] = m.predictInto(x, xbuf, kbuf)
+		kernel.EvalBatchFlat(m.kern, m.trainRows, qbuf, qnorms, qn, kbuf)
+		qi := 0
+		for bi := 0; bi < cnt; bi++ {
+			if bad[bi] {
+				continue
+			}
+			s := m.bias + mat.Dot(m.alpha, kbuf[qi*n:(qi+1)*n])
+			out[base+bi] = s*m.yStd + m.yMean
+			qi++
+		}
 	}
 	pool.PutVec(scratch)
 }
@@ -446,10 +482,7 @@ func (m *Model) PredictBatch(X [][]float64, out []float64) {
 func (m *Model) predictInto(x, xbuf, kbuf []float64) float64 {
 	m.std.ApplyInto(x, xbuf)
 	kernel.EvalInto(m.kern, m.trainRows, xbuf, kbuf)
-	s := m.bias
-	for i, a := range m.alpha {
-		s += a * kbuf[i]
-	}
+	s := m.bias + mat.Dot(m.alpha, kbuf)
 	return s*m.yStd + m.yMean
 }
 

@@ -1,0 +1,71 @@
+package lssvm
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/randx"
+)
+
+// benchWide builds a paper-shaped prediction problem: n training rows
+// with d standardized-looking features (the F2PM feature width), so the
+// kernel evaluation cost — not the 1-dim toy problems above — dominates
+// what PredictBatch amortizes.
+func benchWide(seed uint64, n, d int) ([][]float64, []float64) {
+	src := randx.New(seed)
+	X := make([][]float64, n)
+	y := make([]float64, n)
+	for i := range X {
+		row := make([]float64, d)
+		for j := range row {
+			row[j] = src.Norm(0, 1)
+		}
+		X[i] = row
+		y[i] = 50*math.Sin(row[0]) + 10*row[1] + src.Norm(0, 1)
+	}
+	return X, y
+}
+
+func benchFitted(b *testing.B, n, d int) *Model {
+	b.Helper()
+	X, y := benchWide(8, n, d)
+	m, err := New(DefaultOptions())
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := m.Fit(X, y); err != nil {
+		b.Fatal(err)
+	}
+	return m
+}
+
+// BenchmarkPredictBatch1000 is the batched-prediction headline: 256
+// queries against 1000 training points (every LS-SVM point is a
+// support vector) through the tiled multi-query kernel path.
+func BenchmarkPredictBatch1000(b *testing.B) {
+	m := benchFitted(b, 1000, 24)
+	queries, _ := benchWide(9, 256, 24)
+	out := make([]float64, len(queries))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.PredictBatch(queries, out)
+	}
+}
+
+// BenchmarkPredictSingleLoop1000 is the per-query baseline the batch
+// path is compared against: the same 256 predictions one at a time
+// (what PredictBatch did before the tiled path — one full pass over
+// the training panel per query).
+func BenchmarkPredictSingleLoop1000(b *testing.B) {
+	m := benchFitted(b, 1000, 24)
+	queries, _ := benchWide(9, 256, 24)
+	out := make([]float64, len(queries))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for j, q := range queries {
+			out[j] = m.Predict(q)
+		}
+	}
+}

@@ -180,9 +180,11 @@ func (m *Model) Fit(X [][]float64, y []float64) error {
 
 	// Gram matrix built on the flat engine, with the bias folded in
 	// place: K' = K + 1. No row copies — the coordinate-descent loop
-	// works directly on the flat Gram rows.
+	// works directly on the flat Gram rows. Drawn from the pool so the
+	// retrain cycle (Fit/Update put the previous Gram back) recycles
+	// its largest buffer instead of reallocating n² floats per round.
 	rows := kernel.NewRows(Xs)
-	gram := kernel.MatrixRows(kern, rows)
+	gram := kernel.MatrixRowsPooled(kern, rows, pool)
 	foldBias(gram)
 
 	beta, pass := solveDualFrom(gram, ys, nil, m.opts)
@@ -358,9 +360,17 @@ func (m *Model) Predict(x []float64) float64 {
 	return out
 }
 
-// PredictBatch implements ml.BatchPredictor, reusing one pooled
-// scratch buffer across rows and evaluating every support vector
-// through the batched kernel path.
+// predictTile is the query-block size of the batched prediction path:
+// enough rows to amortize the support-vector panel traffic through the
+// two-row register tile, small enough that the staged queries and the
+// kernel-value block stay pool-friendly.
+const predictTile = 32
+
+// PredictBatch implements ml.BatchPredictor: queries are staged in
+// blocks of predictTile and evaluated against all support vectors in
+// one tiled kernel.EvalBatchFlat pass per block, so the support-vector
+// panel is read once per query pair instead of once per query. Rows of
+// the wrong dimension yield NaN without disturbing the block.
 func (m *Model) PredictBatch(X [][]float64, out []float64) {
 	if !m.fitted {
 		for i := range X {
@@ -368,14 +378,53 @@ func (m *Model) PredictBatch(X [][]float64, out []float64) {
 		}
 		return
 	}
-	scratch := pool.GetVec(m.dim + len(m.beta))
-	xbuf, kbuf := scratch[:m.dim], scratch[m.dim:]
-	for i, x := range X {
-		if len(x) != m.dim {
-			out[i] = math.NaN()
-			continue
+	nsv := m.supportRows.Len()
+	if nsv == 0 {
+		// Degenerate expansion: every valid row predicts the folded
+		// bias alone.
+		for i, x := range X {
+			if len(x) != m.dim {
+				out[i] = math.NaN()
+				continue
+			}
+			out[i] = m.betaSum*m.yStd + m.yMean
 		}
-		out[i] = m.predictInto(x, xbuf, kbuf)
+		return
+	}
+	stride := m.supportRows.Stride()
+	scratch := pool.GetVec(predictTile*stride + predictTile + predictTile*nsv)
+	qbuf := scratch[:predictTile*stride]
+	qnorms := scratch[predictTile*stride : predictTile*stride+predictTile]
+	kbuf := scratch[predictTile*stride+predictTile:]
+	for base := 0; base < len(X); base += predictTile {
+		cnt := min(predictTile, len(X)-base)
+		// Stage the valid rows standardized and stride-padded; remember
+		// which block slots were staged (wrong-dimension rows get NaN).
+		var bad [predictTile]bool
+		qn := 0
+		for bi := 0; bi < cnt; bi++ {
+			x := X[base+bi]
+			if len(x) != m.dim {
+				bad[bi] = true
+				out[base+bi] = math.NaN()
+				continue
+			}
+			dst := qbuf[qn*stride : (qn+1)*stride]
+			m.std.ApplyInto(x, dst[:m.dim])
+			clear(dst[m.dim:]) // pool scratch: the padding must be zero
+			qnorms[qn] = mat.Dot(dst, dst)
+			qn++
+		}
+		kernel.EvalBatchFlat(m.kern, m.supportRows, qbuf, qnorms, qn, kbuf)
+		qi := 0
+		for bi := 0; bi < cnt; bi++ {
+			if bad[bi] {
+				continue
+			}
+			s := m.betaSum + mat.Dot(m.beta, kbuf[qi*nsv:(qi+1)*nsv])
+			out[base+bi] = s*m.yStd + m.yMean
+			qi++
+		}
 	}
 	pool.PutVec(scratch)
 }
@@ -386,10 +435,9 @@ func (m *Model) PredictBatch(X [][]float64, out []float64) {
 func (m *Model) predictInto(x, xbuf, kbuf []float64) float64 {
 	m.std.ApplyInto(x, xbuf)
 	kernel.EvalInto(m.kern, m.supportRows, xbuf, kbuf)
-	s := m.betaSum // Σ β_i · 1 from the folded bias
-	for i, b := range m.beta {
-		s += b * kbuf[i]
-	}
+	// betaSum is Σ β_i · 1 from the folded bias; the expansion itself
+	// runs through the vectorized dot.
+	s := m.betaSum + mat.Dot(m.beta, kbuf)
 	return s*m.yStd + m.yMean
 }
 

@@ -217,9 +217,10 @@ func foldBorderBias(g *mat.Dense, oldN int) {
 
 // rebuildGram re-evaluates the bias-folded Gram from the stored
 // training rows — the one-time O(n²·d) cost a deserialized model pays
-// before its first incremental update.
+// before its first incremental update. Pool-backed like Fit's, so the
+// later Update's PutDense actually retains it.
 func (m *Model) rebuildGram() {
-	g := kernel.MatrixRows(m.kern, m.trainRows)
+	g := kernel.MatrixRowsPooled(m.kern, m.trainRows, pool)
 	foldBias(g)
 	m.gram = g
 }

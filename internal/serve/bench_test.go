@@ -103,3 +103,62 @@ func btoi(v bool) int {
 	}
 	return 0
 }
+
+// BenchmarkCoalescedDispatch measures the light-load regime the
+// coalescer targets: 64 sessions spread over 8 shards each complete
+// one window, then one Flush drains the fleet. With coalescing off
+// that is 8 tiny per-shard batches per op; with MinBatch=64 the first
+// non-empty shard steals the rest and predicts one merged batch — the
+// committed BENCH reports track the per-window cost of the two
+// regimes.
+func BenchmarkCoalescedDispatch(b *testing.B) {
+	b.Run("coalesce=off", func(b *testing.B) { benchCoalesce(b) })
+	b.Run("coalesce=on", func(b *testing.B) {
+		benchCoalesce(b, WithCoalescePolicy(CoalescePolicy{MinBatch: 64}))
+	})
+}
+
+func benchCoalesce(b *testing.B, extra ...Option) {
+	const sessions = 64
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	opts := append([]Option{
+		WithDeployment(&Deployment{Model: &stubModel{base: 1}, Name: "v1", Aggregation: rawAgg()}),
+		WithShards(8),
+		WithManualDispatch(),
+	}, extra...)
+	svc, err := New(ctx, opts...)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer svc.Close()
+
+	ss := make([]*Session, sessions)
+	next := make([]float64, sessions)
+	for i := range ss {
+		if ss[i], err = svc.StartSession(fmt.Sprintf("s-%05d", i)); err != nil {
+			b.Fatal(err)
+		}
+		if err := ss[i].Push(dp(1, float64(i%97))); err != nil {
+			b.Fatal(err)
+		}
+		next[i] = 11
+	}
+	svc.Flush()
+	base := svc.Stats().Predictions
+
+	b.ResetTimer()
+	for n := 0; n < b.N; n++ {
+		for i := range ss {
+			if err := ss[i].Push(dp(next[i], 1)); err != nil {
+				b.Fatal(err)
+			}
+			next[i] += 10
+		}
+		svc.Flush()
+	}
+	b.StopTimer()
+	if got, want := svc.Stats().Predictions, base+uint64(b.N*sessions); got != want {
+		b.Fatalf("%d predictions, want %d", got, want)
+	}
+}

@@ -1,0 +1,371 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"reflect"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// idsOnShard returns n distinct session ids that hash onto shard idx —
+// the deterministic way to stage a chosen per-shard load.
+func idsOnShard(svc *Service, idx, n int) []string {
+	out := make([]string, 0, n)
+	for i := 0; len(out) < n; i++ {
+		id := fmt.Sprintf("c-%d-%d", idx, i)
+		if svc.shardFor(id) == svc.shards[idx] {
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+// batchLog records the batchFailpoint call sequence: which shard
+// dispatched, how many windows it merged.
+type batchLog struct {
+	mu    sync.Mutex
+	calls [][2]int
+}
+
+func (l *batchLog) hook(shard, size int) {
+	l.mu.Lock()
+	l.calls = append(l.calls, [2]int{shard, size})
+	l.mu.Unlock()
+}
+
+func (l *batchLog) snapshot() [][2]int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return append([][2]int(nil), l.calls...)
+}
+
+// TestCoalesceLightLoadMerges pins the light-load regime: with a few
+// windows scattered across many shards and a MinBatch above the fleet
+// total, one Flush produces exactly ONE PredictBatch call holding
+// every window — the first non-empty shard steals all its neighbors'
+// queues — and the coalesce counters account for the stolen windows
+// exactly.
+func TestCoalesceLightLoadMerges(t *testing.T) {
+	const shards = 8
+	const sessions = 24
+	log := &batchLog{}
+	var delivered atomic.Uint64
+	svc, err := New(context.Background(),
+		WithDeployment(&Deployment{Model: &stubModel{base: 1}, Name: "v1", Aggregation: rawAgg()}),
+		WithShards(shards),
+		WithManualDispatch(),
+		WithCoalescePolicy(CoalescePolicy{MinBatch: 64}),
+		WithBatchFailpoint(log.hook),
+		WithEstimateFunc(func(Estimate) { delivered.Add(1) }),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svc.Close()
+
+	// One completed window per session, spread over the shards by the
+	// id hash.
+	perShard := make([]int, shards)
+	for i := 0; i < sessions; i++ {
+		id := fmt.Sprintf("s-%03d", i)
+		ss, err := svc.StartSession(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := ss.Push(dp(1, float64(i))); err != nil {
+			t.Fatal(err)
+		}
+		if err := ss.Push(dp(11, float64(i))); err != nil {
+			t.Fatal(err)
+		}
+		perShard[svc.shardIndex(svc.shardFor(id))]++
+	}
+
+	svc.Flush()
+
+	calls := log.snapshot()
+	if len(calls) != 1 {
+		t.Fatalf("light load flushed in %d batches (%v), want exactly 1 merged batch", len(calls), calls)
+	}
+	thief, size := calls[0][0], calls[0][1]
+	if size != sessions {
+		t.Fatalf("merged batch holds %d windows, want all %d", size, sessions)
+	}
+	st := svc.Stats()
+	if st.CoalescedBatches != 1 {
+		t.Fatalf("CoalescedBatches %d, want 1", st.CoalescedBatches)
+	}
+	if want := uint64(sessions - perShard[thief]); st.CoalescedWindows != want {
+		t.Fatalf("CoalescedWindows %d, want %d (total %d minus thief shard %d's own %d)",
+			st.CoalescedWindows, want, sessions, thief, perShard[thief])
+	}
+	if delivered.Load() != sessions {
+		t.Fatalf("%d estimates delivered, want %d", delivered.Load(), sessions)
+	}
+	if st.QueueDepth != 0 {
+		t.Fatalf("queue depth %d after the merged flush", st.QueueDepth)
+	}
+	if st.LastBatchSize != sessions {
+		t.Fatalf("LastBatchSize %d, want %d", st.LastBatchSize, sessions)
+	}
+
+	// Nothing left behind: a second Flush dispatches no batch.
+	svc.Flush()
+	if again := log.snapshot(); len(again) != 1 {
+		t.Fatalf("second Flush dispatched %d extra batches", len(again)-1)
+	}
+}
+
+// TestCoalesceHeavyLoadNoSteal pins the self-disabling side: when
+// every shard's own queue already reaches MinBatch, no stealing
+// happens — each shard dispatches its own windows in its own batch and
+// the coalesce counters stay at zero.
+func TestCoalesceHeavyLoadNoSteal(t *testing.T) {
+	const shards = 4
+	const minBatch = 3
+	log := &batchLog{}
+	svc, err := New(context.Background(),
+		WithDeployment(&Deployment{Model: &stubModel{base: 1}, Name: "v1", Aggregation: rawAgg()}),
+		WithShards(shards),
+		WithManualDispatch(),
+		WithCoalescePolicy(CoalescePolicy{MinBatch: minBatch}),
+		WithBatchFailpoint(log.hook),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svc.Close()
+
+	// Exactly MinBatch windows on every shard.
+	for idx := 0; idx < shards; idx++ {
+		for _, id := range idsOnShard(svc, idx, minBatch) {
+			ss, err := svc.StartSession(id)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := ss.Push(dp(1, 1)); err != nil {
+				t.Fatal(err)
+			}
+			if err := ss.Push(dp(11, 1)); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+
+	svc.Flush()
+
+	calls := log.snapshot()
+	if len(calls) != shards {
+		t.Fatalf("heavy load flushed in %d batches (%v), want one per shard (%d)", len(calls), calls, shards)
+	}
+	for i, c := range calls {
+		if c[0] != i || c[1] != minBatch {
+			t.Fatalf("batch %d came from shard %d with %d windows, want shard %d with %d", i, c[0], c[1], i, minBatch)
+		}
+	}
+	st := svc.Stats()
+	if st.CoalescedBatches != 0 || st.CoalescedWindows != 0 {
+		t.Fatalf("coalesce counters %d/%d under heavy load, want 0/0", st.CoalescedBatches, st.CoalescedWindows)
+	}
+}
+
+// TestCoalesceMaxBatchSplit pins the cap semantics: a steal stops at
+// MaxBatch, taking only the oldest prefix of the victim's queue; the
+// remainder stays queued in order and is dispatched by the victim
+// itself, so per-session estimate order survives the split.
+func TestCoalesceMaxBatchSplit(t *testing.T) {
+	const shards = 2
+	log := &batchLog{}
+	var mu sync.Mutex
+	order := map[string][]float64{}
+	svc, err := New(context.Background(),
+		WithDeployment(&Deployment{Model: &stubModel{base: 1}, Name: "v1", Aggregation: rawAgg()}),
+		WithShards(shards),
+		WithManualDispatch(),
+		WithCoalescePolicy(CoalescePolicy{MinBatch: 4, MaxBatch: 4}),
+		WithBatchFailpoint(log.hook),
+		WithEstimateFunc(func(e Estimate) {
+			mu.Lock()
+			order[e.SessionID] = append(order[e.SessionID], e.Tgen)
+			mu.Unlock()
+		}),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svc.Close()
+
+	// Shard 0 holds one window; shard 1 holds five (one session with
+	// five consecutive windows, so the split must preserve its order).
+	owner := idsOnShard(svc, 0, 1)[0]
+	ss0, err := svc.StartSession(owner)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ss0.Push(dp(1, 1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := ss0.Push(dp(11, 1)); err != nil {
+		t.Fatal(err)
+	}
+	victim := idsOnShard(svc, 1, 1)[0]
+	ss1, err := svc.StartSession(victim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for w := 0; w <= 5; w++ {
+		if err := ss1.Push(dp(float64(w*10+1), 1)); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	svc.Flush()
+
+	want := [][2]int{{0, 4}, {1, 2}}
+	if calls := log.snapshot(); !reflect.DeepEqual(calls, want) {
+		t.Fatalf("batch sequence %v, want %v (steal capped at MaxBatch, victim drains the rest)", calls, want)
+	}
+	st := svc.Stats()
+	if st.CoalescedBatches != 1 || st.CoalescedWindows != 3 {
+		t.Fatalf("coalesce counters %d/%d, want 1 batch with 3 stolen windows", st.CoalescedBatches, st.CoalescedWindows)
+	}
+	mu.Lock()
+	got := append([]float64(nil), order[victim]...)
+	mu.Unlock()
+	for i := 1; i < len(got); i++ {
+		if got[i] <= got[i-1] {
+			t.Fatalf("victim session estimates out of order: %v", got)
+		}
+	}
+	if len(got) != 5 {
+		t.Fatalf("victim session got %d estimates, want 5", len(got))
+	}
+}
+
+// TestCoalesceDeterministicReplay pins the property fleetsim depends
+// on: the same manual-dispatch scenario produces the byte-identical
+// batch sequence on every run — steal order under Flush is a pure
+// function of the queue state, not of goroutine timing.
+func TestCoalesceDeterministicReplay(t *testing.T) {
+	run := func() [][2]int {
+		log := &batchLog{}
+		svc, err := New(context.Background(),
+			WithDeployment(&Deployment{Model: &stubModel{base: 1}, Name: "v1", Aggregation: rawAgg()}),
+			WithShards(8),
+			WithManualDispatch(),
+			WithCoalescePolicy(CoalescePolicy{MinBatch: 6, MaxBatch: 8}),
+			WithBatchFailpoint(log.hook),
+		)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer svc.Close()
+		for i := 0; i < 20; i++ {
+			ss, err := svc.StartSession(fmt.Sprintf("s-%03d", i))
+			if err != nil {
+				t.Fatal(err)
+			}
+			for w := 0; w <= i%3+1; w++ {
+				if err := ss.Push(dp(float64(w*10+1), float64(i))); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if i%5 == 0 {
+				svc.Flush()
+			}
+		}
+		svc.Flush()
+		return log.snapshot()
+	}
+	first := run()
+	second := run()
+	if !reflect.DeepEqual(first, second) {
+		t.Fatalf("replay diverged:\n  first:  %v\n  second: %v", first, second)
+	}
+	if len(first) == 0 {
+		t.Fatal("scenario dispatched no batches — nothing was exercised")
+	}
+}
+
+// TestCoalesceExactAccountingConcurrent re-proves the shed partition
+// invariant with stealing in the mix: under concurrent producers,
+// background dispatchers, a tight ShedPolicy, AND cross-shard
+// coalescing, every completed window is still either predicted exactly
+// once or shed exactly once — takes under the victim shard's own lock
+// keep the depth and shed accounting exact no matter which dispatcher
+// does the taking. Run under -race.
+func TestCoalesceExactAccountingConcurrent(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+
+	const (
+		numSessions = 64
+		windows     = 40
+	)
+	var estimates atomic.Uint64
+	svc, err := New(ctx,
+		WithDeployment(&Deployment{Model: &stubModel{base: 1}, Name: "v1", Aggregation: rawAgg()}),
+		WithShards(4),
+		WithShedPolicy(ShedPolicy{MaxQueueDepth: 2, MinPriority: 1}),
+		WithCoalescePolicy(CoalescePolicy{MinBatch: 8}),
+		WithBatchInterval(200*time.Microsecond),
+		WithEstimateFunc(func(Estimate) { estimates.Add(1) }),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svc.Close()
+
+	var queued, shed atomic.Uint64
+	var wg sync.WaitGroup
+	for c := 0; c < numSessions; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			prio := c % 2
+			ss, err := svc.StartSession(fmt.Sprintf("c-%03d", c), WithSessionPriority(prio))
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			for w := 0; w <= windows; w++ {
+				err := ss.Push(dp(float64(w*10+1), float64(c)))
+				switch {
+				case err == nil:
+					if w > 0 {
+						queued.Add(1)
+					}
+				case errors.Is(err, ErrWindowShed):
+					if prio >= 1 {
+						t.Errorf("session %d at the priority floor was shed", c)
+						return
+					}
+					shed.Add(1)
+				default:
+					t.Errorf("session %d: %v", c, err)
+					return
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+	svc.Flush()
+
+	st := svc.Stats()
+	if st.ShedWindows != shed.Load() {
+		t.Fatalf("stats ShedWindows %d, callers saw %d ErrWindowShed", st.ShedWindows, shed.Load())
+	}
+	if got, want := estimates.Load(), queued.Load(); got != want {
+		t.Fatalf("%d estimates for %d accepted windows with coalescing on", got, want)
+	}
+	if st.Predictions != estimates.Load() {
+		t.Fatalf("stats predictions %d vs %d deliveries", st.Predictions, estimates.Load())
+	}
+	if st.QueueDepth != 0 {
+		t.Fatalf("queue depth %d after drain", st.QueueDepth)
+	}
+}

@@ -167,6 +167,27 @@ type Shed struct {
 // ShedFunc consumes shed-window notifications.
 type ShedFunc func(Shed)
 
+// CoalescePolicy is the adaptive cross-shard batch-coalescing
+// configuration: a dispatcher whose freshly-taken queue is smaller
+// than MinBatch steals its neighbors' pending windows (ring order,
+// try-lock only — it never blocks behind a busy neighbor) and merges
+// them into the same PredictBatch call, so light fleet-wide load
+// produces a few well-filled batches instead of one tiny batch per
+// shard. Under load every shard's own queue reaches MinBatch and the
+// policy self-disables — stealing never happens where per-shard
+// batching is already efficient. The zero value disables coalescing.
+type CoalescePolicy struct {
+	// MinBatch is the batch size a dispatcher aims for before
+	// predicting: a take smaller than this triggers stealing until the
+	// merged batch reaches MinBatch (or every neighbor was visited).
+	// 0 disables coalescing.
+	MinBatch int
+	// MaxBatch caps the merged batch size; a victim's queue is split
+	// rather than overshooting the cap (the remainder stays queued in
+	// enqueue order). 0 means no cap.
+	MaxBatch int
+}
+
 // ShedPolicy is the load-shedding configuration: past a per-shard
 // queue depth, completed windows of sessions below the priority floor
 // are dropped instead of queued. Queue growth is the service's
@@ -204,6 +225,7 @@ type config struct {
 	shards          int
 	shed            ShedPolicy
 	shedFunc        ShedFunc
+	coalesce        CoalescePolicy
 	now             func() time.Time
 	manual          bool
 	batchFailpoint  func(shard, size int)
@@ -307,6 +329,23 @@ func WithShards(n int) Option {
 // counted exactly in Stats.ShedWindows. The zero policy never sheds.
 func WithShedPolicy(p ShedPolicy) Option {
 	return func(c *config) { c.shed = p }
+}
+
+// WithCoalescePolicy enables adaptive cross-shard batch coalescing: a
+// dispatcher whose own take is smaller than the policy's MinBatch
+// steals its ring neighbors' pending windows into the same
+// PredictBatch call. Stealing preserves every per-shard guarantee —
+// the registry snapshot is taken after the last steal (post-Deploy
+// freshness holds for stolen rows too), the queue-depth and shed
+// accounting stay exact because takes happen under the victim shard's
+// own lock, and per-session estimate order is preserved because a
+// victim's dispatch stays serialized on its dispatchMu for the whole
+// merged batch. Under WithManualDispatch the steal order is
+// deterministic (ring order from the flushing shard), so fleetsim
+// scenarios replay it byte-identically. The zero policy disables
+// coalescing.
+func WithCoalescePolicy(p CoalescePolicy) Option {
+	return func(c *config) { c.coalesce = p }
 }
 
 // WithShedFunc registers a consumer for shed-window notifications: one
@@ -425,6 +464,15 @@ type Stats struct {
 	// RegistryLastError is the most recent upstream failure (empty when
 	// fresh).
 	RegistryLastError string
+	// CoalescedBatches counts prediction batches that merged at least
+	// one stolen neighbor window under the CoalescePolicy, and
+	// CoalescedWindows counts the stolen windows themselves. Together
+	// with LastBatchSize they show the coalescer doing its job: at
+	// light fleet-wide load CoalescedBatches grows and batches get
+	// larger; under per-shard load both counters stay flat because
+	// every shard's own take already reaches MinBatch.
+	CoalescedBatches uint64
+	CoalescedWindows uint64
 	// LastBatchLatency is the wall time of the most recent prediction
 	// batch (on any shard), and LastBatchSize its window count.
 	LastBatchLatency time.Duration
@@ -440,10 +488,13 @@ type shard struct {
 	mu       sync.Mutex // guards sessions, pending, inflight, closed
 	sessions map[string]*Session
 	pending  []pendingRow
-	// inflight holds the sessions of the batch currently being
-	// predicted: the idle sweep must not evict them — their estimates
-	// have not been delivered, so their snapshots would not be final.
-	inflight map[*Session]bool
+	// inflight counts, per session, the windows taken off this shard's
+	// queue whose estimates have not been delivered yet: the idle sweep
+	// must not evict such a session — its snapshot would not be final.
+	// A count rather than a set because with coalescing the taker can
+	// be another shard's dispatcher (a thief), and marks are released
+	// batch segment by batch segment instead of being cleared wholesale.
+	inflight map[*Session]int
 	closed   bool
 
 	kick       chan struct{} // wakes the shard's dispatcher, capacity 1
@@ -506,6 +557,8 @@ type Service struct {
 	refreshFailures atomic.Uint64
 	lastBatchNs     atomic.Int64
 	lastBatchSize   atomic.Int64
+	coalBatches     atomic.Uint64
+	coalWindows     atomic.Uint64
 }
 
 // New builds and starts a prediction service. The initial model comes
@@ -521,6 +574,12 @@ func New(ctx context.Context, opts ...Option) (*Service, error) {
 	}
 	if cfg.shed.MaxQueueDepth < 0 || cfg.shed.MinPriority < 0 {
 		return nil, fmt.Errorf("serve: ShedPolicy fields must be non-negative: %+v", cfg.shed)
+	}
+	if cfg.coalesce.MinBatch < 0 || cfg.coalesce.MaxBatch < 0 {
+		return nil, fmt.Errorf("serve: CoalescePolicy fields must be non-negative: %+v", cfg.coalesce)
+	}
+	if cfg.coalesce.MaxBatch > 0 && cfg.coalesce.MaxBatch < cfg.coalesce.MinBatch {
+		return nil, fmt.Errorf("serve: CoalescePolicy MaxBatch %d below MinBatch %d", cfg.coalesce.MaxBatch, cfg.coalesce.MinBatch)
 	}
 	dep := cfg.dep
 	if dep == nil && cfg.source != nil {
@@ -560,7 +619,7 @@ func New(ctx context.Context, opts ...Option) (*Service, error) {
 	for i := range s.shards {
 		s.shards[i] = &shard{
 			sessions: make(map[string]*Session),
-			inflight: make(map[*Session]bool),
+			inflight: make(map[*Session]int),
 			kick:     make(chan struct{}, 1),
 		}
 	}
@@ -686,7 +745,8 @@ func (s *Service) sweepIdle(now time.Time) {
 			return
 		}
 		// Sessions with windows still awaiting delivery — queued, or in
-		// the batch this shard's dispatcher is predicting right now —
+		// the batch being predicted right now (by this shard's own
+		// dispatcher or by a coalescing thief that took the queue) —
 		// are spared this round: the evict hook's snapshot must be
 		// final. The delivery itself touches the activity stamp, so
 		// such a session is reconsidered one idle TTL after its last
@@ -696,7 +756,7 @@ func (s *Service) sweepIdle(now time.Time) {
 			queued[sh.pending[i].sess] = true
 		}
 		for id, ss := range sh.sessions {
-			if ss.lastActive.Load() < cutoff && !queued[ss] && !sh.inflight[ss] {
+			if ss.lastActive.Load() < cutoff && !queued[ss] && sh.inflight[ss] == 0 {
 				victims = append(victims, ss)
 				delete(sh.sessions, id)
 				// Free the slot at delete time, not after the evict
@@ -900,6 +960,8 @@ func (s *Service) Stats() Stats {
 		EvictedSessions:  s.evicted.Load(),
 		Refreshes:        s.refreshes.Load(),
 		RefreshFailures:  s.refreshFailures.Load(),
+		CoalescedBatches: s.coalBatches.Load(),
+		CoalescedWindows: s.coalWindows.Load(),
 		LastBatchLatency: time.Duration(s.lastBatchNs.Load()),
 		LastBatchSize:    int(s.lastBatchSize.Load()),
 	}
@@ -1057,59 +1119,158 @@ func (s *Service) Flush() {
 }
 
 // flushShard drains one shard's pending queue: per iteration it takes
-// the queue, snapshots the registry, merges the batch into one
+// the queue, optionally coalesces neighbor queues into the same batch
+// (CoalescePolicy), snapshots the registry, merges everything into one
 // PredictBatch call, and delivers the estimates in enqueue order.
 func (s *Service) flushShard(sh *shard) {
 	sh.dispatchMu.Lock()
 	defer sh.dispatchMu.Unlock()
-	for {
-		sh.mu.Lock()
-		batch := sh.pending
+	for s.dispatchOnce(sh) {
+	}
+}
+
+// take moves up to limit pending rows (0 = all, oldest first) off sh's
+// queue, publishing their sessions as in flight for the idle sweep.
+// Everything happens under the shard's own lock — the same lock the
+// enqueue-side depth increment, the shed check, and the sweep take —
+// so the queue-depth counter and the shed accounting stay exact even
+// when the taker is another shard's dispatcher (a coalescing thief).
+func (s *Service) take(sh *shard, limit int) []pendingRow {
+	sh.mu.Lock()
+	rows := sh.pending
+	if limit > 0 && limit < len(rows) {
+		// Split takes copy the remainder so the taken prefix (capped at
+		// its own length) never aliases the victim's future appends.
+		rest := make([]pendingRow, len(rows)-limit)
+		copy(rest, rows[limit:])
+		sh.pending = rest
+		rows = rows[:limit:limit]
+	} else {
 		sh.pending = nil
-		// Publish the batch's sessions as in flight for the idle sweep
-		// (cleared — or replaced by the next batch's — under the same
-		// lock the sweep takes).
-		clear(sh.inflight)
-		for i := range batch {
-			sh.inflight[batch[i].sess] = true
+	}
+	for i := range rows {
+		sh.inflight[rows[i].sess]++
+	}
+	if len(rows) > 0 {
+		s.queueDepth.Add(-int64(len(rows)))
+	}
+	sh.mu.Unlock()
+	return rows
+}
+
+// release drops the in-flight marks take published, after the rows'
+// estimates have been delivered.
+func (s *Service) release(sh *shard, rows []pendingRow) {
+	sh.mu.Lock()
+	for i := range rows {
+		if n := sh.inflight[rows[i].sess]; n <= 1 {
+			delete(sh.inflight, rows[i].sess)
+		} else {
+			sh.inflight[rows[i].sess] = n - 1
 		}
-		if len(batch) > 0 {
-			s.queueDepth.Add(-int64(len(batch)))
+	}
+	sh.mu.Unlock()
+}
+
+// segment is one shard's contribution to a (possibly coalesced) batch.
+type segment struct {
+	sh   *shard
+	rows []pendingRow
+}
+
+// dispatchOnce takes and predicts one batch for sh, reporting whether
+// there was anything to do. The caller holds sh.dispatchMu.
+//
+// When the CoalescePolicy is enabled and the shard's own take came up
+// short of MinBatch, the dispatcher steals its neighbors' pending
+// queues in ring order (own+1, own+2, …) into the same batch. Each
+// steal try-locks the victim's dispatchMu and holds it until the
+// merged batch is delivered: a busy victim is simply skipped (the
+// thief never blocks behind a slow neighbor), and a robbed victim
+// cannot start a competing batch over the same sessions, so
+// per-session estimate order is preserved. The only blocking
+// dispatchMu acquisition anywhere is a dispatcher taking its own, so
+// the try-locks cannot deadlock. Under WithManualDispatch the whole
+// dance runs on the single flushing goroutine in ring order —
+// deterministic, so fleetsim replays it byte-identically.
+func (s *Service) dispatchOnce(sh *shard) bool {
+	pol := s.cfg.coalesce
+	own := s.take(sh, pol.MaxBatch)
+	if len(own) == 0 {
+		return false
+	}
+	segs := []segment{{sh, own}}
+	total := len(own)
+	if pol.MinBatch > 0 && total < pol.MinBatch && len(s.shards) > 1 {
+		defer func() {
+			for _, seg := range segs[1:] {
+				seg.sh.dispatchMu.Unlock()
+			}
+		}()
+		myIdx := s.shardIndex(sh)
+		for off := 1; off < len(s.shards) && total < pol.MinBatch; off++ {
+			if pol.MaxBatch > 0 && total >= pol.MaxBatch {
+				break
+			}
+			v := s.shards[(myIdx+off)%len(s.shards)]
+			if !v.dispatchMu.TryLock() {
+				continue
+			}
+			limit := 0
+			if pol.MaxBatch > 0 {
+				limit = pol.MaxBatch - total
+			}
+			rows := s.take(v, limit)
+			if len(rows) == 0 {
+				v.dispatchMu.Unlock()
+				continue
+			}
+			segs = append(segs, segment{v, rows})
+			total += len(rows)
 		}
-		sh.mu.Unlock()
-		if len(batch) == 0 {
-			return
+		if len(segs) > 1 {
+			s.coalBatches.Add(1)
+			s.coalWindows.Add(uint64(total - len(own)))
 		}
-		if fn := s.cfg.batchFailpoint; fn != nil {
-			fn(s.shardIndex(sh), len(batch))
+	}
+	if fn := s.cfg.batchFailpoint; fn != nil {
+		fn(s.shardIndex(sh), total)
+	}
+	start := time.Now()
+	// Snapshot the model AFTER the last take (own and stolen alike): a
+	// Deploy that returned before any of these rows were enqueued is
+	// necessarily visible here, so no row — stolen or not — is ever
+	// predicted by a model older than the one current at its enqueue
+	// time.
+	mv := s.cur.Load()
+	X := make([][]float64, 0, total)
+	for _, seg := range segs {
+		for i := range seg.rows {
+			X = append(X, mv.project(seg.rows[i].row))
 		}
-		start := time.Now()
-		// Snapshot the model AFTER taking the batch: a Deploy that
-		// returned before any of these rows were enqueued is
-		// necessarily visible here, so no row is ever predicted by a
-		// model older than the one current at its enqueue time.
-		mv := s.cur.Load()
-		X := make([][]float64, len(batch))
-		for i := range batch {
-			X[i] = mv.project(batch[i].row)
-		}
-		out := ml.PredictAll(mv.dep.Model, X)
-		for i := range batch {
+	}
+	out := ml.PredictAll(mv.dep.Model, X)
+	k := 0
+	for _, seg := range segs {
+		for i := range seg.rows {
 			est := Estimate{
-				SessionID:    batch[i].sess.id,
-				Tgen:         batch[i].tgen,
-				RTTF:         out[i],
+				SessionID:    seg.rows[i].sess.id,
+				Tgen:         seg.rows[i].tgen,
+				RTTF:         out[k],
 				ModelVersion: mv.version,
 				ModelName:    mv.dep.Name,
 			}
-			s.deliver(batch[i].sess, est)
-			if batch[i].endRun {
-				batch[i].sess.resetAlert()
+			k++
+			s.deliver(seg.rows[i].sess, est)
+			if seg.rows[i].endRun {
+				seg.rows[i].sess.resetAlert()
 			}
 		}
-		s.lastBatchNs.Store(int64(time.Since(start)))
-		s.lastBatchSize.Store(int64(len(batch)))
+		s.release(seg.sh, seg.rows)
 	}
+	s.lastBatchNs.Store(int64(time.Since(start)))
+	s.lastBatchSize.Store(int64(total))
+	return true
 }
 
 // deliver records an estimate on its session and fans it out to the
