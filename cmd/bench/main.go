@@ -56,12 +56,16 @@ type Result struct {
 	AllocsPerOp int64   `json:"allocs_per_op,omitempty"`
 }
 
-// File is the serialized benchmark report.
+// File is the serialized benchmark report. GOMAXPROCS and NumCPU stamp
+// the machine the numbers came from — a -scaling curve recorded on a
+// 1-core box is a flat line for hardware reasons, and the stamp keeps
+// it from being mistaken for a multicore result.
 type File struct {
 	Date       string   `json:"date"`
 	Label      string   `json:"label,omitempty"`
 	GoVersion  string   `json:"go_version"`
 	GOMAXPROCS int      `json:"gomaxprocs"`
+	NumCPU     int      `json:"num_cpu,omitempty"`
 	Bench      string   `json:"bench"`
 	BenchTime  string   `json:"benchtime"`
 	Packages   string   `json:"packages"`
@@ -112,6 +116,7 @@ func main() {
 		Label:      *label,
 		GoVersion:  runtime.Version(),
 		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		NumCPU:     runtime.NumCPU(),
 		Bench:      *benchPat,
 		BenchTime:  *benchTime,
 		Packages:   *pkg,
@@ -271,7 +276,14 @@ func printTrend(glob string, keep int, freshPath string, fresh File) error {
 
 	fmt.Printf("\ntrend across %d report(s):\n", len(reports))
 	for _, r := range reports {
-		fmt.Printf("  %-10s %s (%s)\n", r.file.Date, r.path, r.file.Label)
+		// The cpu stamp disambiguates cross-machine points: a report
+		// without num_cpu predates the stamp and is marked unknown.
+		cpus := "cpus=?"
+		if r.file.NumCPU > 0 {
+			cpus = fmt.Sprintf("cpus=%d", r.file.NumCPU)
+		}
+		fmt.Printf("  %-10s %s (%s) [gomaxprocs=%d %s]\n",
+			r.file.Date, r.path, r.file.Label, r.file.GOMAXPROCS, cpus)
 	}
 	for _, want := range fresh.Results {
 		series := make([]float64, 0, len(reports))

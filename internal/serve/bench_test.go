@@ -6,6 +6,8 @@ import (
 	"runtime"
 	"sync"
 	"testing"
+
+	"repro/internal/testutil"
 )
 
 // BenchmarkShardedDispatch measures sustained window throughput of the
@@ -116,6 +118,79 @@ func BenchmarkCoalescedDispatch(b *testing.B) {
 	b.Run("coalesce=on", func(b *testing.B) {
 		benchCoalesce(b, WithCoalescePolicy(CoalescePolicy{MinBatch: 64}))
 	})
+}
+
+// BenchmarkSkewedDispatch measures the regime the placement layer
+// targets: 256 sessions all FNV-hashed onto shard 0 of 8, so the hash
+// placer funnels the whole fleet through one queue and one dispatcher
+// while seven shards idle. The placer=load sub-benchmark routes the
+// same ids through a load-tracked placer and calls Rebalance every 16
+// ops; after the first rebalance the sessions are spread across the
+// cold shards and each Flush drains 8 small queues instead of one deep
+// one. placer=hash calls Rebalance on the same cadence (a planning
+// no-op for the stateless placer) so the two sub-benchmarks pay
+// symmetric actuation overhead and the delta isolates routing — the
+// committed BENCH reports track hash-vs-load per-window cost under
+// skew.
+func BenchmarkSkewedDispatch(b *testing.B) {
+	b.Run("placer=hash", func(b *testing.B) { benchSkewed(b) })
+	b.Run("placer=load", func(b *testing.B) {
+		benchSkewed(b, WithPlacement(NewLoadPlacer(LoadPlacerConfig{SkewWatermark: 1.2, MaxMoves: 64})))
+	})
+}
+
+func benchSkewed(b *testing.B, extra ...Option) {
+	const (
+		sessions      = 256
+		shards        = 8
+		rebalanceEach = 16
+	)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	opts := append([]Option{
+		WithDeployment(&Deployment{Model: &stubModel{base: 1}, Name: "v1", Aggregation: rawAgg()}),
+		WithShards(shards),
+		WithManualDispatch(),
+	}, extra...)
+	svc, err := New(ctx, opts...)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer svc.Close()
+
+	hash := HashPlacer{}
+	ids := testutil.IDsOnShard(hash.Place, shards, 0, sessions)
+	ss := make([]*Session, sessions)
+	next := make([]float64, sessions)
+	for i := range ss {
+		if ss[i], err = svc.StartSession(ids[i]); err != nil {
+			b.Fatal(err)
+		}
+		if err := ss[i].Push(dp(1, float64(i%97))); err != nil {
+			b.Fatal(err)
+		}
+		next[i] = 11
+	}
+	svc.Flush()
+	base := svc.Stats().Predictions
+
+	b.ResetTimer()
+	for n := 0; n < b.N; n++ {
+		for i := range ss {
+			if err := ss[i].Push(dp(next[i], 1)); err != nil {
+				b.Fatal(err)
+			}
+			next[i] += 10
+		}
+		svc.Flush()
+		if n%rebalanceEach == rebalanceEach-1 {
+			svc.Rebalance()
+		}
+	}
+	b.StopTimer()
+	if got, want := svc.Stats().Predictions, base+uint64(b.N*sessions); got != want {
+		b.Fatalf("%d predictions, want %d", got, want)
+	}
 }
 
 func benchCoalesce(b *testing.B, extra ...Option) {

@@ -1,0 +1,58 @@
+package serve
+
+// This file is PR 9's adaptive cross-shard batch coalescing: the
+// stealing side of dispatchOnce, split out so the dispatch loop reads
+// as the common path and the thief protocol stays in one place. See
+// CoalescePolicy (options.go) for the configuration contract.
+
+// steal extends a below-MinBatch take with the pending queues of sh's
+// ring neighbors (own+1, own+2, …), returning the extended segment
+// list and the new total. Each steal try-locks the victim's
+// dispatchMu — the caller MUST hold the thief's own dispatchMu and
+// MUST keep every victim's dispatchMu (via unlockVictims) until the
+// merged batch is delivered: a busy victim is simply skipped (the
+// thief never blocks behind a slow neighbor), and a robbed victim
+// cannot start a competing batch over the same sessions, so
+// per-session estimate order is preserved. The only blocking
+// dispatchMu acquisitions anywhere are a dispatcher taking its own
+// and a migration taking the source's (neither holds another
+// dispatchMu while blocking), so the try-locks cannot deadlock. Under
+// WithManualDispatch the whole dance runs on the single flushing
+// goroutine in ring order — deterministic, so fleetsim replays it
+// byte-identically.
+func (s *Service) steal(sh *shard, segs []segment, total int, pol CoalescePolicy) ([]segment, int) {
+	own := total
+	for off := 1; off < len(s.shards) && total < pol.MinBatch; off++ {
+		if pol.MaxBatch > 0 && total >= pol.MaxBatch {
+			break
+		}
+		v := s.shards[(sh.idx+off)%len(s.shards)]
+		if !v.dispatchMu.TryLock() {
+			continue
+		}
+		limit := 0
+		if pol.MaxBatch > 0 {
+			limit = pol.MaxBatch - total
+		}
+		rows := s.take(v, limit)
+		if len(rows) == 0 {
+			v.dispatchMu.Unlock()
+			continue
+		}
+		segs = append(segs, segment{v, rows})
+		total += len(rows)
+	}
+	if len(segs) > 1 {
+		s.coalBatches.Add(1)
+		s.coalWindows.Add(uint64(total - own))
+	}
+	return segs, total
+}
+
+// unlockVictims releases the dispatch mutexes steal acquired (every
+// segment after the thief's own first one).
+func unlockVictims(segs []segment) {
+	for _, seg := range segs[1:] {
+		seg.sh.dispatchMu.Unlock()
+	}
+}

@@ -9,19 +9,17 @@ import (
 	"sync/atomic"
 	"testing"
 	"time"
+
+	"repro/internal/testutil"
 )
 
-// idsOnShard returns n distinct session ids that hash onto shard idx —
-// the deterministic way to stage a chosen per-shard load.
+// idsOnShard returns n distinct session ids that the service's placer
+// routes onto shard idx — the deterministic way to stage a chosen
+// per-shard load. The generation lives in testutil and works through
+// the Placer interface, so shard_test.go's balance check and other
+// packages share one implementation.
 func idsOnShard(svc *Service, idx, n int) []string {
-	out := make([]string, 0, n)
-	for i := 0; len(out) < n; i++ {
-		id := fmt.Sprintf("c-%d-%d", idx, i)
-		if svc.shardFor(id) == svc.shards[idx] {
-			out = append(out, id)
-		}
-	}
-	return out
+	return testutil.IDsOnShard(svc.placer.Place, len(svc.shards), idx, n)
 }
 
 // batchLog records the batchFailpoint call sequence: which shard

@@ -1,0 +1,462 @@
+package serve
+
+import (
+	"sort"
+	"sync"
+)
+
+// This file is the placement layer: the policy that decides which
+// shard a session lives on, separated from the mechanism (shard.go)
+// that stores and dispatches it. Routing used to be a hardwired FNV
+// hash inlined in the dispatcher's shard lookup; it is now a Placer —
+// an interface the service consults on every lookup and feeds with
+// per-window load observations, so a load-tracked implementation can
+// detect a hot shard and migrate sessions off it at runtime.
+
+// ShardLoad is one shard's load snapshot, as handed to
+// Placer.Rebalance and exposed through Stats.ShardLoads.
+type ShardLoad struct {
+	// Shard is the shard index.
+	Shard int
+	// Sessions is the number of sessions currently homed on the shard.
+	Sessions int
+	// QueueDepth is the shard's pending-window count at snapshot time.
+	QueueDepth int
+	// Windows is the cumulative count of windows enqueued on the shard
+	// since New — monotonic, so a placer can difference successive
+	// snapshots into per-interval window rates.
+	Windows uint64
+}
+
+// Move is one proposed session migration: take SessionID off shard
+// From and home it on shard To.
+type Move struct {
+	SessionID string
+	From, To  int
+}
+
+// Placer is the routing policy of the serving tier. Place must be a
+// pure function of the placer's current routing state: the service
+// re-checks it under the destination shard's lock, and a migration
+// commits its routing flip (Assign) while holding both affected shard
+// locks, so lookup and session map can never disagree once a lock is
+// held. All methods must be safe for concurrent use.
+type Placer interface {
+	// Place maps a session id to a shard index in [0, shards).
+	Place(id string, shards int) int
+	// Observe records one accepted (enqueued, not shed) window for the
+	// session on the given shard — the placer's load signal. Called on
+	// the enqueue path with no lock held; it must be cheap.
+	Observe(id string, shard int)
+	// Rebalance inspects the per-shard loads and proposes migrations.
+	// It is only ever called from Service.Rebalance; returning nil (or
+	// an empty slice) means the placement is acceptable as is.
+	Rebalance(loads []ShardLoad) []Move
+	// Assign commits a migration into the routing table: from now on
+	// Place(id) must return shard. Called by the service under both
+	// affected shard locks once the session has actually moved — a
+	// proposed Move that fails validation is never assigned.
+	Assign(id string, shard int)
+	// Forget drops all per-session routing state (override entries,
+	// load counts) when a session closes or is evicted.
+	Forget(id string)
+}
+
+// fnvShard hashes a session id onto a shard index (FNV-1a: cheap,
+// stable, and uniform enough that 10⁴ ids spread within a few
+// percent). This is the exact hash the pre-placement serving tier
+// used, kept bit-for-bit so HashPlacer routes identically.
+func fnvShard(id string, shards int) int {
+	const (
+		offset32 = 2166136261
+		prime32  = 16777619
+	)
+	h := uint32(offset32)
+	for i := 0; i < len(id); i++ {
+		h = (h ^ uint32(id[i])) * prime32
+	}
+	return int(h % uint32(shards))
+}
+
+// HashPlacer is the default placement policy: stateless FNV-1a id
+// hashing, bitwise-identical to the routing the serving tier used
+// before placement became pluggable. It never proposes migrations.
+type HashPlacer struct{}
+
+// Place implements Placer.
+func (HashPlacer) Place(id string, shards int) int { return fnvShard(id, shards) }
+
+// Observe implements Placer (no-op: hashing needs no load signal).
+func (HashPlacer) Observe(string, int) {}
+
+// Rebalance implements Placer (the hash is never rebalanced).
+func (HashPlacer) Rebalance([]ShardLoad) []Move { return nil }
+
+// Assign implements Placer (no-op: no moves are ever proposed).
+func (HashPlacer) Assign(string, int) {}
+
+// Forget implements Placer (no-op).
+func (HashPlacer) Forget(string) {}
+
+// LoadPlacerConfig tunes the load-tracked placer.
+type LoadPlacerConfig struct {
+	// SkewWatermark is the max/mean per-shard window-rate ratio past
+	// which Rebalance starts proposing migrations. Must exceed 1 (a
+	// perfectly balanced fleet sits at 1.0); values at or below 1 fall
+	// back to the default 1.5.
+	SkewWatermark float64
+	// Alpha is the EWMA smoothing factor for the per-shard window
+	// rates (0 < Alpha ≤ 1; default 0.5). Higher reacts faster, lower
+	// rides out bursts.
+	Alpha float64
+	// MaxMoves caps the migrations proposed per Rebalance call
+	// (default 8) — rebalancing converges over successive calls
+	// instead of thrashing the fleet in one step.
+	MaxMoves int
+	// MinWindows is the minimum fleet-wide window count per
+	// observation interval before Rebalance acts (default 1): a
+	// near-idle fleet has meaningless rates and is left alone.
+	MinWindows uint64
+}
+
+// sessionLoad is the placer's per-session load record.
+type sessionLoad struct {
+	shard int    // where the session's windows were last observed
+	count uint64 // cumulative observed windows
+	mark  uint64 // count at the last Rebalance (interval baseline)
+}
+
+// LoadPlacer is the load-tracked placement policy: sessions route by
+// the same FNV hash as HashPlacer until Rebalance decides otherwise,
+// at which point migrated sessions are pinned through an explicit
+// routing override table. Per-shard window rates are EWMA-smoothed
+// across Rebalance calls; when the max/mean rate skew exceeds the
+// watermark, Rebalance greedily moves the hottest movable sessions of
+// the hottest shard onto the coldest shard — skipping any session so
+// hot that moving it would merely relocate the imbalance. Selection
+// is deterministic (rate descending, id ascending, ties to the lowest
+// shard index), so a manual-dispatch harness replays it byte for
+// byte.
+type LoadPlacer struct {
+	cfg LoadPlacerConfig
+
+	mu        sync.Mutex
+	overrides map[string]int          // explicit routing table (migrated sessions)
+	sessions  map[string]*sessionLoad // per-session window counts
+	rates     []float64               // per-shard EWMA windows/interval
+	prev      []uint64                // per-shard cumulative windows at last Rebalance
+	primed    bool
+}
+
+// NewLoadPlacer builds a load-tracked placer, applying defaults for
+// zero config fields (watermark 1.5, alpha 0.5, 8 moves per call).
+func NewLoadPlacer(cfg LoadPlacerConfig) *LoadPlacer {
+	if cfg.SkewWatermark <= 1 {
+		cfg.SkewWatermark = 1.5
+	}
+	if cfg.Alpha <= 0 || cfg.Alpha > 1 {
+		cfg.Alpha = 0.5
+	}
+	if cfg.MaxMoves <= 0 {
+		cfg.MaxMoves = 8
+	}
+	if cfg.MinWindows == 0 {
+		cfg.MinWindows = 1
+	}
+	return &LoadPlacer{
+		cfg:       cfg,
+		overrides: make(map[string]int),
+		sessions:  make(map[string]*sessionLoad),
+	}
+}
+
+// Place implements Placer: the override table wins, the FNV hash is
+// the fallback for everything never migrated.
+func (p *LoadPlacer) Place(id string, shards int) int {
+	p.mu.Lock()
+	idx, ok := p.overrides[id]
+	p.mu.Unlock()
+	if ok && idx >= 0 && idx < shards {
+		return idx
+	}
+	return fnvShard(id, shards)
+}
+
+// Observe implements Placer: one accepted window for id on shard.
+func (p *LoadPlacer) Observe(id string, shard int) {
+	p.mu.Lock()
+	sl := p.sessions[id]
+	if sl == nil {
+		sl = &sessionLoad{}
+		p.sessions[id] = sl
+	}
+	sl.shard = shard
+	sl.count++
+	p.mu.Unlock()
+}
+
+// Assign implements Placer: pin id to shard in the override table.
+func (p *LoadPlacer) Assign(id string, shard int) {
+	p.mu.Lock()
+	p.overrides[id] = shard
+	if sl := p.sessions[id]; sl != nil {
+		sl.shard = shard
+	}
+	p.mu.Unlock()
+}
+
+// Forget implements Placer.
+func (p *LoadPlacer) Forget(id string) {
+	p.mu.Lock()
+	delete(p.overrides, id)
+	delete(p.sessions, id)
+	p.mu.Unlock()
+}
+
+// Rebalance implements Placer. Each call is one observation interval:
+// shard window deltas since the previous call update the EWMA rates,
+// per-session deltas rank the migration candidates, and — only when
+// the smoothed max/mean skew is at or past the watermark — a greedy
+// planner moves the hottest sessions of the currently hottest shard
+// to the currently coldest one, re-evaluating hot/cold after every
+// move. A candidate is only taken when landing it strictly improves
+// the pair (cold + candidate < hot), so an indivisible mega-session
+// is left in place rather than bounced between shards.
+func (p *LoadPlacer) Rebalance(loads []ShardLoad) []Move {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	n := len(loads)
+	if n == 0 {
+		return nil
+	}
+	if len(p.rates) != n {
+		p.rates = make([]float64, n)
+		p.prev = make([]uint64, n)
+		p.primed = false
+	}
+	deltas := make([]float64, n)
+	var total float64
+	for i, ld := range loads {
+		d := float64(ld.Windows - p.prev[i])
+		p.prev[i] = ld.Windows
+		deltas[i] = d
+		total += d
+	}
+	if !p.primed {
+		copy(p.rates, deltas)
+		p.primed = true
+	} else {
+		for i := range p.rates {
+			p.rates[i] = p.cfg.Alpha*deltas[i] + (1-p.cfg.Alpha)*p.rates[i]
+		}
+	}
+
+	// Advance every session's interval baseline whether or not this
+	// call migrates anything, and bucket the interval-active sessions
+	// by their current shard — the candidate pools.
+	type cand struct {
+		id   string
+		rate float64
+	}
+	byShard := make([][]cand, n)
+	for id, sl := range p.sessions {
+		d := sl.count - sl.mark
+		sl.mark = sl.count
+		if d == 0 || sl.shard < 0 || sl.shard >= n {
+			continue
+		}
+		byShard[sl.shard] = append(byShard[sl.shard], cand{id: id, rate: float64(d)})
+	}
+	if n < 2 || total < float64(p.cfg.MinWindows) {
+		return nil
+	}
+	mean := 0.0
+	for _, r := range p.rates {
+		mean += r
+	}
+	mean /= float64(n)
+	if mean <= 0 {
+		return nil
+	}
+	maxRate := p.rates[0]
+	for _, r := range p.rates[1:] {
+		if r > maxRate {
+			maxRate = r
+		}
+	}
+	if maxRate/mean < p.cfg.SkewWatermark {
+		return nil
+	}
+	for i := range byShard {
+		sort.Slice(byShard[i], func(a, b int) bool {
+			ca, cb := byShard[i][a], byShard[i][b]
+			if ca.rate != cb.rate {
+				return ca.rate > cb.rate
+			}
+			return ca.id < cb.id
+		})
+	}
+
+	// Greedy planning over a working copy of the rates: each step
+	// re-picks the hottest and coldest shards (ties to the lowest
+	// index) and moves the largest candidate whose move strictly
+	// improves the pair.
+	w := append([]float64(nil), p.rates...)
+	var moves []Move
+	for len(moves) < p.cfg.MaxMoves {
+		hot, cold := 0, 0
+		for i := 1; i < n; i++ {
+			if w[i] > w[hot] {
+				hot = i
+			}
+			if w[i] < w[cold] {
+				cold = i
+			}
+		}
+		if w[hot]/mean < p.cfg.SkewWatermark {
+			break
+		}
+		picked := -1
+		for ci, c := range byShard[hot] {
+			if w[cold]+c.rate < w[hot] {
+				picked = ci
+				break
+			}
+		}
+		if picked < 0 {
+			break
+		}
+		c := byShard[hot][picked]
+		byShard[hot] = append(byShard[hot][:picked], byShard[hot][picked+1:]...)
+		w[hot] -= c.rate
+		w[cold] += c.rate
+		moves = append(moves, Move{SessionID: c.id, From: hot, To: cold})
+	}
+	return moves
+}
+
+// WithPlacement sets the service's placement policy — the layer that
+// maps session ids onto shards and, for load-tracked implementations,
+// proposes hot-shard migrations applied by Service.Rebalance. The
+// default is HashPlacer, which routes bitwise-identically to the
+// pre-placement FNV path and never migrates.
+func WithPlacement(p Placer) Option {
+	return func(c *config) { c.placer = p }
+}
+
+// Rebalance asks the placer to inspect the current per-shard loads
+// and applies every migration it proposes, returning how many
+// sessions actually moved (proposals for sessions that closed or
+// already moved are skipped). With the default HashPlacer this is
+// always 0. Rebalance is the actuator behind the autonomic reshard
+// loop: a supervisor watching shard skew calls it to physically move
+// load instead of merely shedding it. It must not be called from a
+// service callback (estimate, alert, shed, failpoint hooks): it
+// blocks on dispatch mutexes those callbacks run under.
+func (s *Service) Rebalance() int {
+	if s.closed.Load() {
+		return 0
+	}
+	moves := s.placer.Rebalance(s.shardLoads())
+	moved := 0
+	for _, mv := range moves {
+		if s.migrate(mv) {
+			moved++
+		}
+	}
+	return moved
+}
+
+// shardLoads snapshots every shard's load, one shard lock at a time.
+func (s *Service) shardLoads() []ShardLoad {
+	out := make([]ShardLoad, len(s.shards))
+	for i, sh := range s.shards {
+		sh.mu.Lock()
+		out[i] = ShardLoad{
+			Shard:      i,
+			Sessions:   len(sh.sessions),
+			QueueDepth: len(sh.pending),
+			Windows:    sh.windows.Load(),
+		}
+		sh.mu.Unlock()
+	}
+	return out
+}
+
+// migrate moves one session (and every window it has queued) from
+// shard From to shard To, reporting whether the move happened. The
+// exactness invariants match coalescing's:
+//
+//   - The source's dispatch mutex is held (blocking acquire) for the
+//     whole move. Every taker of the source's queue — its own
+//     dispatcher or a coalescing thief — holds that mutex from take to
+//     estimate delivery, so once migrate has it, no window taken from
+//     the source shard is still awaiting delivery.
+//   - Both shard locks are held (index order) while the session map
+//     entry, its queued rows, the session's home pointer, and the
+//     placer's routing table flip together: a concurrent Push either
+//     enqueued on the old shard before the locks (its row moves with
+//     the session) or re-reads the home pointer under the new shard's
+//     lock after. No queued or in-flight window is ever stranded.
+//   - Queued rows keep their relative order (appended to the tail of
+//     the destination queue), and the global queue-depth counter and
+//     shed accounting are untouched — predicted+shed still exactly
+//     partition accepted.
+//
+// The only blocking dispatch-mutex acquisitions anywhere are a
+// dispatcher taking its own and migrate taking the source's; neither
+// path holds any other dispatch mutex while blocking, so the try-lock
+// coalescing protocol stays deadlock-free.
+func (s *Service) migrate(mv Move) bool {
+	if mv.From == mv.To || mv.From < 0 || mv.To < 0 ||
+		mv.From >= len(s.shards) || mv.To >= len(s.shards) {
+		return false
+	}
+	from, to := s.shards[mv.From], s.shards[mv.To]
+	from.dispatchMu.Lock()
+	defer from.dispatchMu.Unlock()
+	lo, hi := from, to
+	if mv.To < mv.From {
+		lo, hi = to, from
+	}
+	lo.mu.Lock()
+	defer lo.mu.Unlock()
+	hi.mu.Lock()
+	defer hi.mu.Unlock()
+	if from.closed || to.closed {
+		return false
+	}
+	ss, ok := from.sessions[mv.SessionID]
+	if !ok {
+		return false
+	}
+	ss.mu.Lock()
+	dead := ss.closed
+	ss.mu.Unlock()
+	if dead {
+		return false
+	}
+	delete(from.sessions, mv.SessionID)
+	to.sessions[mv.SessionID] = ss
+	if len(from.pending) > 0 {
+		keep := from.pending[:0]
+		for _, pr := range from.pending {
+			if pr.sess == ss {
+				to.pending = append(to.pending, pr)
+			} else {
+				keep = append(keep, pr)
+			}
+		}
+		from.pending = keep
+	}
+	ss.home.Store(to)
+	s.placer.Assign(mv.SessionID, mv.To)
+	s.migrations.Add(1)
+	// Wake the destination dispatcher for any rows that moved with the
+	// session (safe under the locks: the send never blocks).
+	select {
+	case to.kick <- struct{}{}:
+	default:
+	}
+	return true
+}

@@ -1,0 +1,374 @@
+package serve
+
+import (
+	"context"
+	"fmt"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/testutil"
+)
+
+// TestHashPlacerPinned pins the default placer's routing bit-for-bit:
+// the FNV-1a constants and reduction must never drift, or every
+// committed scenario fingerprint and shard-targeted test id breaks.
+func TestHashPlacerPinned(t *testing.T) {
+	legacy := func(id string, shards int) int {
+		const (
+			offset32 = 2166136261
+			prime32  = 16777619
+		)
+		h := uint32(offset32)
+		for i := 0; i < len(id); i++ {
+			h = (h ^ uint32(id[i])) * prime32
+		}
+		return int(h % uint32(shards))
+	}
+	p := HashPlacer{}
+	for shards := 1; shards <= 16; shards *= 2 {
+		for i := 0; i < 500; i++ {
+			id := fmt.Sprintf("s-%05d", i)
+			if got, want := p.Place(id, shards), legacy(id, shards); got != want {
+				t.Fatalf("Place(%q, %d) = %d, legacy FNV path gives %d", id, shards, got, want)
+			}
+		}
+	}
+	if p.Rebalance([]ShardLoad{{Shard: 0, Windows: 100}, {Shard: 1}}) != nil {
+		t.Fatal("HashPlacer proposed a migration")
+	}
+}
+
+// TestLoadPlacerGreedyPlan pins the planner's semantics on synthetic
+// loads: under the watermark it proposes nothing; over it, it moves
+// the hottest movable sessions of the hottest shard to the coldest
+// shard deterministically — and an indivisible mega-session that
+// would merely relocate the imbalance stays put while smaller
+// sessions move around it.
+func TestLoadPlacerGreedyPlan(t *testing.T) {
+	p := NewLoadPlacer(LoadPlacerConfig{SkewWatermark: 1.4, Alpha: 1, MaxMoves: 8})
+	// Shard 0: one 10×-rate session plus five 1× neighbors. Shards
+	// 1-3: a few 1× sessions each.
+	p.Observe("hot", 0)
+	for w := 0; w < 9; w++ {
+		p.Observe("hot", 0)
+	}
+	for i := 0; i < 5; i++ {
+		for w := 0; w < 1; w++ {
+			p.Observe(fmt.Sprintf("warm-%d", i), 0)
+		}
+	}
+	perShard := []uint64{15, 5, 6, 7}
+	for sh := 1; sh < 4; sh++ {
+		for i := 0; i < int(perShard[sh]); i++ {
+			p.Observe(fmt.Sprintf("cold-%d-%d", sh, i), sh)
+		}
+	}
+	loads := make([]ShardLoad, 4)
+	for i := range loads {
+		loads[i] = ShardLoad{Shard: i, Windows: perShard[i]}
+	}
+	moves := p.Rebalance(loads)
+	if len(moves) == 0 {
+		t.Fatal("skew 15/8.25 over watermark 1.4 proposed no moves")
+	}
+	for _, mv := range moves {
+		if mv.SessionID == "hot" {
+			t.Fatalf("planner moved the indivisible hot session (moves %v) — that relocates the skew instead of fixing it", moves)
+		}
+		if mv.From != 0 {
+			t.Fatalf("move %v drains shard %d, the hot shard is 0", mv, mv.From)
+		}
+		p.Assign(mv.SessionID, mv.To)
+	}
+	// Replay must be deterministic: same observations, same loads →
+	// byte-identical plan.
+	q := NewLoadPlacer(LoadPlacerConfig{SkewWatermark: 1.4, Alpha: 1, MaxMoves: 8})
+	for w := 0; w < 10; w++ {
+		q.Observe("hot", 0)
+	}
+	for i := 0; i < 5; i++ {
+		q.Observe(fmt.Sprintf("warm-%d", i), 0)
+	}
+	for sh := 1; sh < 4; sh++ {
+		for i := 0; i < int(perShard[sh]); i++ {
+			q.Observe(fmt.Sprintf("cold-%d-%d", sh, i), sh)
+		}
+	}
+	again := q.Rebalance(loads)
+	if len(again) != len(moves) {
+		t.Fatalf("replayed plan has %d moves, first had %d", len(again), len(moves))
+	}
+	for i := range moves {
+		if moves[i] != again[i] {
+			t.Fatalf("replay diverged at move %d: %v vs %v", i, moves[i], again[i])
+		}
+	}
+	// Balanced fleet below the watermark: quiet.
+	balanced := NewLoadPlacer(LoadPlacerConfig{SkewWatermark: 1.5})
+	for i := range loads {
+		loads[i].Windows = 10
+	}
+	if mv := balanced.Rebalance(loads); mv != nil {
+		t.Fatalf("balanced fleet proposed moves: %v", mv)
+	}
+}
+
+// TestRebalanceMovesSessions drives the full stack deterministically:
+// a load-tracked service whose sessions all hash onto one shard is
+// rebalanced, sessions physically move (override table + session map
+// + home pointer flip together), queued windows move with them, and
+// the accounting stays exact — every accepted window predicted
+// exactly once, before and after the migrations.
+func TestRebalanceMovesSessions(t *testing.T) {
+	const shards = 4
+	var delivered atomic.Uint64
+	svc, err := New(context.Background(),
+		WithDeployment(&Deployment{Model: &stubModel{base: 1}, Name: "v1", Aggregation: rawAgg()}),
+		WithShards(shards),
+		WithManualDispatch(),
+		WithPlacement(NewLoadPlacer(LoadPlacerConfig{SkewWatermark: 1.3, Alpha: 1, MaxMoves: 8})),
+		WithEstimateFunc(func(Estimate) { delivered.Add(1) }),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svc.Close()
+
+	// Every session homes on shard 0 — worst-case placement skew.
+	ids := testutil.IDsOnShard(svc.placer.Place, shards, 0, 8)
+	sessions := make([]*Session, len(ids))
+	for i, id := range ids {
+		if sessions[i], err = svc.StartSession(id); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Each push strides one full 10s window, so every push after a
+	// session's first completes (and enqueues) the preceding window.
+	next := make([]int, len(sessions))
+	pushWindows := func(per int) (accepted int) {
+		for i, ss := range sessions {
+			for w := 0; w < per; w++ {
+				if err := ss.Push(dp(float64(next[i]*10+1), float64(i))); err != nil {
+					t.Fatal(err)
+				}
+				if next[i] > 0 {
+					accepted++
+				}
+				next[i]++
+			}
+		}
+		return accepted
+	}
+	// Interval 1: all load on shard 0, observed by the placer.
+	want := uint64(pushWindows(4))
+	svc.Flush()
+	if got := delivered.Load(); got != want {
+		t.Fatalf("%d estimates for %d accepted windows pre-rebalance", got, want)
+	}
+	// Leave one window QUEUED on shard 0 so migration has something to
+	// carry across.
+	want += uint64(pushWindows(1))
+	moved := svc.Rebalance()
+	if moved == 0 {
+		t.Fatal("rebalance moved nothing off a maximally skewed shard")
+	}
+	if got := svc.Stats().Migrations; got != uint64(moved) {
+		t.Fatalf("Stats.Migrations %d, Rebalance reported %d", got, moved)
+	}
+	// The queued windows moved with their sessions: one Flush drains
+	// everything, nothing stranded, nothing doubled.
+	svc.Flush()
+	if got := delivered.Load(); got != want {
+		t.Fatalf("%d estimates for %d accepted windows across the migration", got, want)
+	}
+	if depth := svc.Stats().QueueDepth; depth != 0 {
+		t.Fatalf("queue depth %d after post-migration flush", depth)
+	}
+	// Placement spread out: the shard-0 monopoly is broken and every
+	// session is still reachable on its new home.
+	loads := svc.Stats().ShardLoads
+	if len(loads) != shards {
+		t.Fatalf("ShardLoads has %d entries, want %d", len(loads), shards)
+	}
+	if loads[0].Sessions == len(ids) {
+		t.Fatalf("all %d sessions still on shard 0 after %d migrations", len(ids), moved)
+	}
+	onShard := 0
+	for _, ld := range loads {
+		onShard += ld.Sessions
+	}
+	if onShard != len(ids) {
+		t.Fatalf("session maps hold %d sessions total, want %d", onShard, len(ids))
+	}
+	for _, id := range ids {
+		if _, ok := svc.Session(id); !ok {
+			t.Fatalf("session %q unreachable after migration (routing table and session map disagree)", id)
+		}
+	}
+	// Post-migration pushes land on the new homes and still predict.
+	want += uint64(pushWindows(1))
+	svc.Flush()
+	if got := delivered.Load(); got != want {
+		t.Fatalf("%d estimates for %d accepted windows after migration", got, want)
+	}
+}
+
+// TestMigrationVsThiefAndSweep is the in-flight interaction gate (run
+// under -race): a session is migrated WHILE a coalescing thief from
+// another shard carries its windows. The migration must block until
+// the thief delivers (source dispatchMu protocol), the idle sweep must
+// not evict the session mid-carry (pendingWindows), the window queued
+// during the carry must move with the session, and every accepted
+// window must be predicted exactly once.
+func TestMigrationVsThiefAndSweep(t *testing.T) {
+	const ttl = 50 * time.Millisecond
+	var clk atomic.Int64
+	clk.Store(time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC).UnixNano())
+	now := func() time.Time { return time.Unix(0, clk.Load()) }
+
+	type key struct {
+		id   string
+		tgen float64
+	}
+	seen := make(map[key]int)
+	var seenMu chan struct{} = make(chan struct{}, 1)
+	seenMu <- struct{}{}
+	record := func(e Estimate) {
+		<-seenMu
+		seen[key{e.SessionID, e.Tgen}]++
+		seenMu <- struct{}{}
+	}
+
+	entered := make(chan struct{})
+	unblock := make(chan struct{})
+	var armed atomic.Bool
+	armed.Store(true)
+	failpoint := func(shard, size int) {
+		if armed.CompareAndSwap(true, false) && size == 3 {
+			close(entered)
+			<-unblock
+		}
+	}
+
+	placer := NewLoadPlacer(LoadPlacerConfig{SkewWatermark: 1.5})
+	svc, err := New(context.Background(),
+		WithDeployment(&Deployment{Model: &stubModel{base: 1}, Name: "v1", Aggregation: rawAgg()}),
+		WithShards(3),
+		WithManualDispatch(),
+		WithClock(now),
+		WithSessionTTL(ttl),
+		WithPlacement(placer),
+		WithCoalescePolicy(CoalescePolicy{MinBatch: 8}),
+		WithBatchFailpoint(failpoint),
+		WithEstimateFunc(record),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svc.Close()
+
+	// victim session on shard 1 with two completed windows queued;
+	// trigger session on shard 0 with one (its flush will steal shard
+	// 1's queue); idle session on shard 2 proving the sweep really ran.
+	victimID := testutil.IDsOnShard(svc.placer.Place, 3, 1, 1)[0]
+	victim, err := svc.StartSession(victimID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for w := 0; w <= 2; w++ {
+		if err := victim.Push(dp(float64(w*10+1), 1)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	triggerID := testutil.IDsOnShard(svc.placer.Place, 3, 0, 1)[0]
+	trigger, err := svc.StartSession(triggerID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for w := 0; w <= 1; w++ {
+		if err := trigger.Push(dp(float64(w*10+1), 1)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	idleID := testutil.IDsOnShard(svc.placer.Place, 3, 2, 1)[0]
+	if _, err := svc.StartSession(idleID); err != nil {
+		t.Fatal(err)
+	}
+
+	// The thief: flushing shard 0 takes its own single window, steals
+	// shard 1's two, and blocks in the failpoint holding both dispatch
+	// mutexes with the three windows in flight.
+	thiefDone := make(chan struct{})
+	go func() {
+		defer close(thiefDone)
+		svc.flushShard(svc.shards[0])
+	}()
+	<-entered
+
+	// A window completed mid-carry stays queued on the victim's
+	// current home (shard 1) — migration must carry it across.
+	if err := victim.Push(dp(31, 1)); err != nil {
+		t.Fatal(err)
+	}
+
+	// The migration: blocks on shard 1's dispatchMu until the thief
+	// delivers.
+	migrated := make(chan bool, 1)
+	go func() {
+		migrated <- svc.migrate(Move{SessionID: victimID, From: 1, To: 2})
+	}()
+
+	// The sweep: everything is past the TTL on the virtual clock, but
+	// the victim and trigger sessions have windows in flight or queued
+	// and must be spared; only the idle session goes.
+	clk.Add(int64(10 * ttl))
+	svc.SweepIdleNow()
+	if got := svc.Stats().EvictedSessions; got != 1 {
+		t.Fatalf("sweep evicted %d sessions mid-carry, want exactly 1 (the idle one)", got)
+	}
+	if _, ok := svc.Session(victimID); !ok {
+		t.Fatal("victim session evicted while a thief carried its windows")
+	}
+	select {
+	case <-migrated:
+		t.Fatal("migration completed while the thief still carried the victim's windows")
+	default:
+	}
+
+	close(unblock)
+	<-thiefDone
+	if !<-migrated {
+		t.Fatal("migration failed after the thief released")
+	}
+
+	// Landed on the new home with the mid-carry window intact.
+	svc.shards[2].mu.Lock()
+	_, onNew := svc.shards[2].sessions[victimID]
+	svc.shards[2].mu.Unlock()
+	if !onNew {
+		t.Fatal("victim session not homed on shard 2 after migration")
+	}
+	svc.Flush()
+	if got := svc.Stats().Migrations; got != 1 {
+		t.Fatalf("Stats.Migrations %d, want 1", got)
+	}
+	<-seenMu
+	defer func() { seenMu <- struct{}{} }()
+	// Single-datapoint windows emit tgen = the datapoint's Tgen.
+	wantKeys := []key{
+		{victimID, 1}, {victimID, 11}, {victimID, 21},
+		{triggerID, 1},
+	}
+	if len(seen) != len(wantKeys) {
+		t.Fatalf("%d distinct windows predicted, want %d: %v", len(seen), len(wantKeys), seen)
+	}
+	for _, k := range wantKeys {
+		if seen[k] != 1 {
+			t.Fatalf("window %v predicted %d times, want exactly once", k, seen[k])
+		}
+	}
+	if depth := svc.Stats().QueueDepth; depth != 0 {
+		t.Fatalf("queue depth %d after drain — a window was stranded by the migration", depth)
+	}
+}

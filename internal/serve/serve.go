@@ -21,10 +21,15 @@
 //     prediction batch, so thousands of concurrent sessions amortize
 //     the kernel/tree evaluation hot path.
 //
-// The hot path is sharded for fleet-scale client counts: sessions hash
-// onto WithShards shards, each with its own pending queue, dispatcher
-// goroutine, and slice of the session map. Enqueue, prediction, and
-// the idle-TTL sweep only ever take one shard's lock, so a sweep over
+// The hot path is sharded for fleet-scale client counts, and split
+// across this package by layer: shard.go is the mechanism (session
+// map slices, pending queues, the enqueue path, the idle-TTL sweep),
+// dispatch.go the batch loop, coalesce.go the cross-shard batch
+// stealing, and placement.go the policy — a pluggable Placer maps
+// session ids onto shards (FNV hashing by default, WithPlacement to
+// swap in the load-tracked placer) and Service.Rebalance physically
+// migrates sessions off hot shards. Enqueue, prediction, and the
+// idle-TTL sweep only ever take one shard's lock, so a sweep over
 // 10⁵ sessions or a slow batch on one shard never stalls the others.
 // Per-shard batches still merge all of that shard's sessions into one
 // PredictBatch call over the same immutable registry snapshot, so the
@@ -47,7 +52,6 @@ import (
 	"time"
 
 	"repro/internal/aggregate"
-	"repro/internal/ml"
 	"repro/internal/monitor"
 	"repro/internal/trace"
 )
@@ -167,345 +171,12 @@ type Shed struct {
 // ShedFunc consumes shed-window notifications.
 type ShedFunc func(Shed)
 
-// CoalescePolicy is the adaptive cross-shard batch-coalescing
-// configuration: a dispatcher whose freshly-taken queue is smaller
-// than MinBatch steals its neighbors' pending windows (ring order,
-// try-lock only — it never blocks behind a busy neighbor) and merges
-// them into the same PredictBatch call, so light fleet-wide load
-// produces a few well-filled batches instead of one tiny batch per
-// shard. Under load every shard's own queue reaches MinBatch and the
-// policy self-disables — stealing never happens where per-shard
-// batching is already efficient. The zero value disables coalescing.
-type CoalescePolicy struct {
-	// MinBatch is the batch size a dispatcher aims for before
-	// predicting: a take smaller than this triggers stealing until the
-	// merged batch reaches MinBatch (or every neighbor was visited).
-	// 0 disables coalescing.
-	MinBatch int
-	// MaxBatch caps the merged batch size; a victim's queue is split
-	// rather than overshooting the cap (the remainder stays queued in
-	// enqueue order). 0 means no cap.
-	MaxBatch int
-}
-
-// ShedPolicy is the load-shedding configuration: past a per-shard
-// queue depth, completed windows of sessions below the priority floor
-// are dropped instead of queued. Queue growth is the service's
-// backpressure signal (Stats.QueueDepth); the policy turns sustained
-// growth into bounded, priority-ordered loss instead of unbounded
-// latency for everyone. The zero value never sheds.
-type ShedPolicy struct {
-	// MaxQueueDepth is the per-shard pending-window depth at which
-	// shedding starts (0 disables shedding entirely). Depth is checked
-	// at enqueue time under the shard lock, so the accounting is exact:
-	// every completed window is either predicted exactly once or
-	// counted in Stats.ShedWindows exactly once.
-	MaxQueueDepth int
-	// MinPriority is the priority floor: sessions whose priority
-	// (WithSessionPriority, default 0) is below it are shed first —
-	// i.e. their windows are dropped while the shard is over
-	// MaxQueueDepth. Sessions at or above the floor are never shed.
-	MinPriority int
-}
-
-// Option configures a Service.
-type Option func(*config)
-
-type config struct {
-	dep             *Deployment
-	source          ModelSource
-	estimateFunc    EstimateFunc
-	alertFunc       AlertFunc
-	alertBelow      float64
-	maxSessions     int
-	batchInterval   time.Duration
-	sessionTTL      time.Duration
-	evictFunc       EvictFunc
-	refreshInterval time.Duration
-	shards          int
-	shed            ShedPolicy
-	shedFunc        ShedFunc
-	coalesce        CoalescePolicy
-	now             func() time.Time
-	manual          bool
-	batchFailpoint  func(shard, size int)
-}
-
-// WithDeployment sets the initial model.
-func WithDeployment(dep *Deployment) Option {
-	return func(c *config) { c.dep = dep }
-}
-
-// WithModelSource sets where the service pulls deployments from: the
-// initial model at New (unless WithDeployment supplied one), and again
-// on every Refresh — the hot-swap path for "further system runs ...
-// produce new models".
-func WithModelSource(src ModelSource) Option {
-	return func(c *config) { c.source = src }
-}
-
-// WithEstimateFunc registers a service-wide estimate consumer, invoked
-// from the dispatch goroutines in per-session order. It must be fast
-// and must not call back into Flush or Close. With more than one shard
-// it may be invoked concurrently for sessions of different shards, so
-// it must be safe for concurrent use.
-func WithEstimateFunc(fn EstimateFunc) Option {
-	return func(c *config) { c.estimateFunc = fn }
-}
-
-// WithAlertFunc raises an alert whenever a session's predicted RTTF
-// crosses below threshold seconds (edge-triggered: one alert per
-// crossing, re-armed when the prediction recovers or the run ends).
-// Like WithEstimateFunc it may be invoked concurrently across shards.
-func WithAlertFunc(threshold float64, fn AlertFunc) Option {
-	return func(c *config) { c.alertBelow, c.alertFunc = threshold, fn }
-}
-
-// WithMaxSessions bounds the number of concurrently active sessions
-// (0 = unlimited).
-func WithMaxSessions(n int) Option {
-	return func(c *config) { c.maxSessions = n }
-}
-
-// WithBatchInterval makes each dispatcher coalesce completed windows
-// for up to d before predicting, trading latency for bigger prediction
-// batches across sessions. 0 (the default) dispatches as soon as the
-// dispatcher is free.
-func WithBatchInterval(d time.Duration) Option {
-	return func(c *config) { c.batchInterval = d }
-}
-
-// WithSessionTTL bounds session memory for million-client deployments:
-// a background sweep evicts sessions that saw no activity (pushes,
-// flushes, or estimate deliveries) for longer than ttl. Evicted
-// sessions behave like closed ones — windows already queued are still
-// predicted and counted, further pushes fail with ErrSessionClosed,
-// and a client that reconnects through the FMS stream simply gets a
-// fresh session. The sweep walks one shard at a time, so it never
-// stalls the enqueue/predict hot path of the other shards. Pick a ttl
-// comfortably above the monitoring sampling interval, or live sessions
-// churn. 0 (the default) disables eviction.
-func WithSessionTTL(ttl time.Duration) Option {
-	return func(c *config) { c.sessionTTL = ttl }
-}
-
-// WithSessionEvictFunc registers a consumer for evicted-session
-// snapshots (WithSessionTTL): each eviction delivers the session's id
-// and Latest() estimate exactly once, from the sweep goroutine — the
-// hook for spilling long-idle client state to disk.
-func WithSessionEvictFunc(fn EvictFunc) Option {
-	return func(c *config) { c.evictFunc = fn }
-}
-
-// WithRefreshInterval makes the service pull a fresh deployment from
-// its ModelSource every d and hot-swap it in — the paper's "further
-// runs produce new models" loop without the caller ever invoking
-// Refresh. Pull errors leave the current model serving and the next
-// tick retries. Requires WithModelSource; 0 (the default) disables the
-// ticker.
-//
-// Unchanged models are detected by pointer identity: a source should
-// cache its *Deployment and hand the same pointer back until a new
-// model exists (see Refresh), or every tick burns a registry version
-// re-deploying an identical model.
-func WithRefreshInterval(d time.Duration) Option {
-	return func(c *config) { c.refreshInterval = d }
-}
-
-// WithShards sets how many shards (and dispatcher goroutines) the
-// service runs. Sessions hash onto shards by id; each shard owns a
-// slice of the session map, its own pending queue, and one dispatcher,
-// so enqueue, prediction, and the idle sweep contend per shard instead
-// of on one service lock. 0 (the default) uses GOMAXPROCS. One shard
-// reproduces the single-dispatcher behavior exactly.
-func WithShards(n int) Option {
-	return func(c *config) { c.shards = n }
-}
-
-// WithShedPolicy enables priority-based load shedding under sustained
-// overload: when a shard's pending queue is past the policy's depth
-// threshold, completed windows of sessions below the priority floor
-// are dropped (Push returns ErrWindowShed) instead of queued, and
-// counted exactly in Stats.ShedWindows. The zero policy never sheds.
-func WithShedPolicy(p ShedPolicy) Option {
-	return func(c *config) { c.shed = p }
-}
-
-// WithCoalescePolicy enables adaptive cross-shard batch coalescing: a
-// dispatcher whose own take is smaller than the policy's MinBatch
-// steals its ring neighbors' pending windows into the same
-// PredictBatch call. Stealing preserves every per-shard guarantee —
-// the registry snapshot is taken after the last steal (post-Deploy
-// freshness holds for stolen rows too), the queue-depth and shed
-// accounting stay exact because takes happen under the victim shard's
-// own lock, and per-session estimate order is preserved because a
-// victim's dispatch stays serialized on its dispatchMu for the whole
-// merged batch. Under WithManualDispatch the steal order is
-// deterministic (ring order from the flushing shard), so fleetsim
-// scenarios replay it byte-identically. The zero policy disables
-// coalescing.
-func WithCoalescePolicy(p CoalescePolicy) Option {
-	return func(c *config) { c.coalesce = p }
-}
-
-// WithShedFunc registers a consumer for shed-window notifications: one
-// call per dropped window, carrying the session id, its priority, the
-// window timestamp, and the triggering queue depth. The hook is called
-// from the shedding goroutine (the session's pusher) with no lock held;
-// it must be fast and safe for concurrent use across sessions. The
-// per-priority totals are also available lock-free via
-// Stats.ShedByPriority, so the hook is for event-level consumers
-// (structured logs, fleetsim event streams), not counting.
-func WithShedFunc(fn ShedFunc) Option {
-	return func(c *config) { c.shedFunc = fn }
-}
-
-// WithClock sets the service's time source (default time.Now). This is
-// the serving layer's first fault-injection hook: a simulator can run
-// the service under a virtual clock, so idle-TTL eviction and activity
-// stamps follow scenario time rather than wall time and a seeded
-// scenario replays deterministically. The function must be safe for
-// concurrent use and must never go backwards.
-func WithClock(now func() time.Time) Option {
-	return func(c *config) { c.now = now }
-}
-
-// WithManualDispatch disables every background goroutine of the
-// service — the per-shard dispatchers, the idle-TTL sweeper, and the
-// auto-refresh ticker. Completed windows accumulate in the shard
-// queues until the caller invokes Flush (prediction and all callbacks
-// run on the calling goroutine, in enqueue order per shard); the idle
-// sweep runs only via SweepIdleNow and model refresh only via Refresh.
-// Combined with WithClock this makes the service fully deterministic
-// under a single driving goroutine: the fleetsim harness uses it to
-// replay seeded chaos scenarios to identical event logs. Shutdown
-// semantics are unchanged — Close (or cancelling the context) still
-// drains every queued window before returning.
-func WithManualDispatch() Option {
-	return func(c *config) { c.manual = true }
-}
-
-// WithBatchFailpoint installs a hook called immediately before every
-// prediction batch with the shard index and batch size — a failure
-// point for chaos testing. The hook runs on the dispatching goroutine
-// with no lock held, so it can stall (simulating a slow consumer and
-// building real backpressure), panic (crash testing), or just count.
-// It must not call back into Flush or Close.
-func WithBatchFailpoint(fn func(shard, size int)) Option {
-	return func(c *config) { c.batchFailpoint = fn }
-}
-
-// pendingRow is one completed window awaiting its prediction batch.
-type pendingRow struct {
-	sess *Session
-	tgen float64
-	row  []float64 // full aggregated layout
-	// endRun marks the final window of a run: after its estimate is
-	// delivered, the session's alert re-arms for the next run.
-	endRun bool
-}
-
-// Stats is a snapshot of service counters — the backpressure and
-// lifecycle observability surface: queue depth says how far the
-// dispatchers are behind, last-batch latency/size say what each
-// dispatch costs, and the eviction/refresh/shed counters expose the
-// background loops and the load shedder.
-type Stats struct {
-	// Sessions is the number of currently active sessions.
-	Sessions int
-	// Shards is the number of dispatch shards the service runs.
-	Shards int
-	// Predictions counts estimates emitted since New.
-	Predictions uint64
-	// Alerts counts threshold crossings since New.
-	Alerts uint64
-	// ModelVersion is the currently served registry version.
-	ModelVersion uint64
-	// QueueDepth is the number of completed windows waiting for their
-	// next prediction batch, summed over all shards. The counter is
-	// maintained atomically under the shard locks, so a snapshot taken
-	// mid-sweep or mid-batch is never negative and never double-counts
-	// a window. Persistent growth means the service is past its
-	// sustainable load — the backpressure signal the ShedPolicy acts
-	// on.
-	QueueDepth int
-	// ShedWindows counts completed windows dropped by the ShedPolicy
-	// since New. Every completed window is either predicted exactly
-	// once or counted here exactly once — the two never overlap.
-	ShedWindows uint64
-	// ShedByPriority breaks ShedWindows down by the shedding session's
-	// priority — who lost windows, not just how many. The map is a
-	// fresh copy per Stats call (nil when nothing was ever shed); its
-	// values always sum to ShedWindows, and under a correctly
-	// configured policy every key is below the policy's MinPriority
-	// floor.
-	ShedByPriority map[int]uint64
-	// EvictedSessions counts idle-TTL session evictions since New.
-	EvictedSessions uint64
-	// Refreshes counts successful ModelSource hot-swaps since New
-	// (both auto-refresh ticks and explicit Refresh calls).
-	Refreshes uint64
-	// RefreshFailures counts ModelSource pulls that returned an error.
-	// A failed pull never drops or regresses the served model — the
-	// current deployment keeps serving and the next tick retries — so
-	// this counter plus RegistryStale is how refresh trouble surfaces.
-	RefreshFailures uint64
-	// RegistryStale reports that the service's ModelSource is serving
-	// its last-good deployment because the upstream registry is
-	// unreachable or returning garbage (stale-while-revalidate
-	// failover). Predictions keep flowing from the last-good model; the
-	// flag, RegistryStaleAge, and RegistryLastError say so out loud.
-	// Only populated when the ModelSource implements StatusSource
-	// (FailoverSource, HTTPModelSource).
-	RegistryStale bool
-	// RegistryStaleAge is how long the source has been serving stale
-	// (zero when fresh), on the service clock.
-	RegistryStaleAge time.Duration
-	// RegistryLastError is the most recent upstream failure (empty when
-	// fresh).
-	RegistryLastError string
-	// CoalescedBatches counts prediction batches that merged at least
-	// one stolen neighbor window under the CoalescePolicy, and
-	// CoalescedWindows counts the stolen windows themselves. Together
-	// with LastBatchSize they show the coalescer doing its job: at
-	// light fleet-wide load CoalescedBatches grows and batches get
-	// larger; under per-shard load both counters stay flat because
-	// every shard's own take already reaches MinBatch.
-	CoalescedBatches uint64
-	CoalescedWindows uint64
-	// LastBatchLatency is the wall time of the most recent prediction
-	// batch (on any shard), and LastBatchSize its window count.
-	LastBatchLatency time.Duration
-	LastBatchSize    int
-}
-
-// shard is one slice of the serving hot path: a share of the session
-// map (by id hash), its own pending queue and in-flight set, and one
-// dispatcher goroutine draining it. All shard state is guarded by the
-// shard's own mutex, so the service never takes a global lock on the
-// enqueue/predict/sweep paths.
-type shard struct {
-	mu       sync.Mutex // guards sessions, pending, inflight, closed
-	sessions map[string]*Session
-	pending  []pendingRow
-	// inflight counts, per session, the windows taken off this shard's
-	// queue whose estimates have not been delivered yet: the idle sweep
-	// must not evict such a session — its snapshot would not be final.
-	// A count rather than a set because with coalescing the taker can
-	// be another shard's dispatcher (a thief), and marks are released
-	// batch segment by batch segment instead of being cleared wholesale.
-	inflight map[*Session]int
-	closed   bool
-
-	kick       chan struct{} // wakes the shard's dispatcher, capacity 1
-	dispatchMu sync.Mutex    // serializes this shard's batch processing
-}
-
 // Service is the prediction service: a versioned model registry, the
-// sharded session set, and the batching dispatchers. All methods are
-// safe for concurrent use. The service stops — sessions refuse further
-// pushes, the dispatchers drain and exit — when the context given to
-// New is cancelled or Close is called.
+// sharded session set, the batching dispatchers, and the placement
+// layer routing sessions onto shards. All methods are safe for
+// concurrent use. The service stops — sessions refuse further pushes,
+// the dispatchers drain and exit — when the context given to New is
+// cancelled or Close is called.
 type Service struct {
 	cfg    config
 	agg    aggregate.Config
@@ -525,6 +196,10 @@ type Service struct {
 	deployMu sync.Mutex // serializes Deploy (version allocation + store)
 
 	shards []*shard
+	// placer is the placement policy (WithPlacement; default
+	// HashPlacer): every shard lookup routes through it, and
+	// Rebalance applies the migrations it proposes.
+	placer Placer
 	// closed flips before the per-shard closed flags: StartSession
 	// checks it so no session can appear on a shard the shutdown pass
 	// has not reached yet.
@@ -553,6 +228,7 @@ type Service struct {
 	predictions     atomic.Uint64
 	alerts          atomic.Uint64
 	evicted         atomic.Uint64
+	migrations      atomic.Uint64
 	refreshes       atomic.Uint64
 	refreshFailures atomic.Uint64
 	lastBatchNs     atomic.Int64
@@ -580,6 +256,9 @@ func New(ctx context.Context, opts ...Option) (*Service, error) {
 	}
 	if cfg.coalesce.MaxBatch > 0 && cfg.coalesce.MaxBatch < cfg.coalesce.MinBatch {
 		return nil, fmt.Errorf("serve: CoalescePolicy MaxBatch %d below MinBatch %d", cfg.coalesce.MaxBatch, cfg.coalesce.MinBatch)
+	}
+	if cfg.placer == nil {
+		cfg.placer = HashPlacer{}
 	}
 	dep := cfg.dep
 	if dep == nil && cfg.source != nil {
@@ -609,6 +288,7 @@ func New(ctx context.Context, opts ...Option) (*Service, error) {
 		names:  names,
 		colIdx: make(map[string]int, len(names)),
 		shards: make([]*shard, nShards),
+		placer: cfg.placer,
 		now:    cfg.now,
 	}
 	if s.now == nil {
@@ -618,8 +298,8 @@ func New(ctx context.Context, opts ...Option) (*Service, error) {
 	s.shedPol.Store(&shed)
 	for i := range s.shards {
 		s.shards[i] = &shard{
+			idx:      i,
 			sessions: make(map[string]*Session),
-			inflight: make(map[*Session]int),
 			kick:     make(chan struct{}, 1),
 		}
 	}
@@ -662,125 +342,6 @@ func New(ctx context.Context, opts ...Option) (*Service, error) {
 		go s.refresher()
 	}
 	return s, nil
-}
-
-// shardIndex returns sh's position in the shard slice (for failpoint
-// and observability labels).
-func (s *Service) shardIndex(sh *shard) int {
-	for i, cand := range s.shards {
-		if cand == sh {
-			return i
-		}
-	}
-	return -1
-}
-
-// shardFor hashes a session id onto its shard (FNV-1a: cheap, stable,
-// and uniform enough that 10⁴ ids spread within a few percent).
-func (s *Service) shardFor(id string) *shard {
-	const (
-		offset32 = 2166136261
-		prime32  = 16777619
-	)
-	h := uint32(offset32)
-	for i := 0; i < len(id); i++ {
-		h = (h ^ uint32(id[i])) * prime32
-	}
-	return s.shards[h%uint32(len(s.shards))]
-}
-
-// sweeper is the idle-TTL eviction loop: every quarter TTL it removes
-// sessions whose last activity is older than the TTL. Sessions with
-// windows still awaiting prediction are spared until those estimates
-// are delivered, so eviction never drops completed work and the evict
-// hook's snapshot is truly final.
-func (s *Service) sweeper() {
-	defer s.wg.Done()
-	interval := s.cfg.sessionTTL / 4
-	if interval < time.Millisecond {
-		interval = time.Millisecond
-	}
-	if interval > time.Minute {
-		interval = time.Minute
-	}
-	t := time.NewTicker(interval)
-	defer t.Stop()
-	for {
-		select {
-		case <-s.ctx.Done():
-			return
-		case <-t.C:
-			s.sweepIdle(s.now())
-		}
-	}
-}
-
-// SweepIdleNow runs one idle-TTL eviction pass at the service clock's
-// current time, on the calling goroutine — the manual-dispatch
-// counterpart of the background sweeper (a virtual-clock harness
-// advances its clock, then sweeps). A no-op without WithSessionTTL.
-func (s *Service) SweepIdleNow() {
-	if s.cfg.sessionTTL > 0 {
-		s.sweepIdle(s.now())
-	}
-}
-
-// sweepIdle evicts every session idle since before now−TTL, one shard
-// at a time: victims are closed and detached under their shard's lock
-// only, then their final snapshots go to the evict hook with no lock
-// held — the enqueue/predict hot path of every other shard (and of
-// this shard, between the lock release and the hook calls) never
-// stalls behind the sweep. A session racing the sweep with a
-// concurrent Push either touches its activity stamp in time to
-// survive, or pushes into a closed session and gets ErrSessionClosed —
-// its already-queued windows are predicted either way, so the event
-// accounting stays exact.
-func (s *Service) sweepIdle(now time.Time) {
-	cutoff := now.Add(-s.cfg.sessionTTL).UnixNano()
-	for _, sh := range s.shards {
-		var victims []*Session
-		sh.mu.Lock()
-		if sh.closed {
-			sh.mu.Unlock()
-			return
-		}
-		// Sessions with windows still awaiting delivery — queued, or in
-		// the batch being predicted right now (by this shard's own
-		// dispatcher or by a coalescing thief that took the queue) —
-		// are spared this round: the evict hook's snapshot must be
-		// final. The delivery itself touches the activity stamp, so
-		// such a session is reconsidered one idle TTL after its last
-		// estimate, not dropped forever.
-		queued := make(map[*Session]bool, len(sh.pending))
-		for i := range sh.pending {
-			queued[sh.pending[i].sess] = true
-		}
-		for id, ss := range sh.sessions {
-			if ss.lastActive.Load() < cutoff && !queued[ss] && sh.inflight[ss] == 0 {
-				victims = append(victims, ss)
-				delete(sh.sessions, id)
-				// Free the slot at delete time, not after the evict
-				// hooks: a StartSession racing a slow hook must see the
-				// capacity the map already reflects.
-				s.sessionCount.Add(-1)
-				// Close under the shard lock: a racing Push has either
-				// already enqueued (visible in pending above, so the
-				// session was spared) or will observe the closed flag —
-				// nothing slips a window in after the final snapshot.
-				// Safe: no caller holds a session lock while acquiring
-				// a shard lock.
-				ss.markClosed()
-			}
-		}
-		sh.mu.Unlock()
-		for _, ss := range victims {
-			s.evicted.Add(1)
-			if fn := s.cfg.evictFunc; fn != nil {
-				last, ok := ss.Latest()
-				fn(EvictedSession{ID: ss.id, Last: last, HasEstimate: ok, Estimates: ss.Count()})
-			}
-		}
-	}
 }
 
 // refresher is the auto-refresh loop behind WithRefreshInterval: each
@@ -879,109 +440,6 @@ func (s *Service) Refresh(ctx context.Context) (uint64, error) {
 	return ver, err
 }
 
-// StartSession registers a new monitored client and returns its
-// session. The id must not be active already.
-func (s *Service) StartSession(id string, opts ...SessionOption) (*Session, error) {
-	if s.closed.Load() {
-		return nil, ErrServiceClosed
-	}
-	sh := s.shardFor(id)
-	sh.mu.Lock()
-	defer sh.mu.Unlock()
-	if sh.closed {
-		return nil, ErrServiceClosed
-	}
-	if _, ok := sh.sessions[id]; ok {
-		return nil, fmt.Errorf("%w: %q", ErrDuplicateSession, id)
-	}
-	// Reserve a slot in the global count before inserting: the limit
-	// holds exactly across shards without any cross-shard lock.
-	if n := s.sessionCount.Add(1); s.cfg.maxSessions > 0 && n > int64(s.cfg.maxSessions) {
-		s.sessionCount.Add(-1)
-		return nil, ErrTooManySessions
-	}
-	ss, err := newSession(s, sh, id, opts...)
-	if err != nil {
-		s.sessionCount.Add(-1)
-		return nil, err
-	}
-	sh.sessions[id] = ss
-	return ss, nil
-}
-
-// Session returns the active session with the given id, if any.
-func (s *Service) Session(id string) (*Session, bool) {
-	sh := s.shardFor(id)
-	sh.mu.Lock()
-	defer sh.mu.Unlock()
-	ss, ok := sh.sessions[id]
-	return ss, ok
-}
-
-// Sessions returns the ids of all active sessions.
-func (s *Service) Sessions() []string {
-	var out []string
-	for _, sh := range s.shards {
-		sh.mu.Lock()
-		for id := range sh.sessions {
-			out = append(out, id)
-		}
-		sh.mu.Unlock()
-	}
-	return out
-}
-
-// Stats returns a snapshot of the service counters. Every scalar field
-// is read from an atomic (the per-priority shed map takes only its own
-// small mutex, never a shard lock), so Stats never contends with the
-// hot path and a snapshot taken mid-sweep or mid-batch is internally
-// consistent: the queue depth is the exact sum over shards (never
-// negative, never double-counted) and the shed/prediction counters
-// partition the completed windows.
-func (s *Service) Stats() Stats {
-	var byPrio map[int]uint64
-	s.shedMu.Lock()
-	if len(s.shedByPrio) > 0 {
-		byPrio = make(map[int]uint64, len(s.shedByPrio))
-		for p, n := range s.shedByPrio {
-			byPrio[p] = n
-		}
-	}
-	s.shedMu.Unlock()
-	out := Stats{
-		ShedByPriority:   byPrio,
-		Sessions:         int(s.sessionCount.Load()),
-		Shards:           len(s.shards),
-		Predictions:      s.predictions.Load(),
-		Alerts:           s.alerts.Load(),
-		ModelVersion:     s.cur.Load().version,
-		QueueDepth:       int(s.queueDepth.Load()),
-		ShedWindows:      s.shedWindows.Load(),
-		EvictedSessions:  s.evicted.Load(),
-		Refreshes:        s.refreshes.Load(),
-		RefreshFailures:  s.refreshFailures.Load(),
-		CoalescedBatches: s.coalBatches.Load(),
-		CoalescedWindows: s.coalWindows.Load(),
-		LastBatchLatency: time.Duration(s.lastBatchNs.Load()),
-		LastBatchSize:    int(s.lastBatchSize.Load()),
-	}
-	// Staleness ride-along: a StatusSource (FailoverSource,
-	// HTTPModelSource) reports whether the deployments it hands out are
-	// fresh registry reads or the last-good failover copy. The source's
-	// own small mutex is the only lock involved — never a shard lock.
-	if sr, ok := s.cfg.source.(StatusSource); ok {
-		st := sr.SourceStatus()
-		out.RegistryStale = st.Stale
-		out.RegistryLastError = st.LastError
-		if st.Stale && !st.StaleSince.IsZero() {
-			if age := s.now().Sub(st.StaleSince); age > 0 {
-				out.RegistryStaleAge = age
-			}
-		}
-	}
-	return out
-}
-
 // HandleDatapoint implements monitor.StreamHandler: datapoints from the
 // FMS stream feed the sender's session, which is auto-created on first
 // contact (datapoints for clients beyond the session limit are
@@ -1006,301 +464,6 @@ func (s *Service) HandleFail(clientID string, tgen float64) {
 }
 
 var _ monitor.StreamHandler = (*Service)(nil)
-
-// enqueue queues one completed window on the session's shard for the
-// next prediction batch, or sheds it under the ShedPolicy. The
-// session's closed flag is re-checked under the shard lock: a push
-// that raced the idle sweep past its own closed-check must not slip a
-// window in after the sweep delivered the session's final snapshot.
-// (Lock order sh.mu→ss.mu matches the sweep; no caller holds a
-// session lock while acquiring a shard lock.)
-func (s *Service) enqueue(ss *Session, tgen float64, row []float64, endRun bool) error {
-	sh := ss.shard
-	sh.mu.Lock()
-	if sh.closed {
-		sh.mu.Unlock()
-		return ErrServiceClosed
-	}
-	ss.mu.Lock()
-	dead := ss.closed
-	ss.mu.Unlock()
-	if dead {
-		sh.mu.Unlock()
-		return ErrSessionClosed
-	}
-	if p := *s.shedPol.Load(); p.MaxQueueDepth > 0 && len(sh.pending) >= p.MaxQueueDepth && ss.priority < p.MinPriority {
-		// Shed: counted under the shard lock, so the windows predicted
-		// and the windows shed partition the accepted ones exactly —
-		// and the per-priority breakdown (shedMu nests inside the
-		// shard lock) always sums to the total.
-		s.shedWindows.Add(1)
-		s.shedMu.Lock()
-		if s.shedByPrio == nil {
-			s.shedByPrio = make(map[int]uint64)
-		}
-		s.shedByPrio[ss.priority]++
-		s.shedMu.Unlock()
-		depth := len(sh.pending)
-		sh.mu.Unlock()
-		if fn := s.cfg.shedFunc; fn != nil {
-			fn(Shed{SessionID: ss.id, Priority: ss.priority, Tgen: tgen, QueueDepth: depth})
-		}
-		return ErrWindowShed
-	}
-	sh.pending = append(sh.pending, pendingRow{sess: ss, tgen: tgen, row: row, endRun: endRun})
-	// Depth is incremented under the same lock the batch take
-	// decrements under, so the global counter is a sum of per-shard
-	// terms that are individually never negative — a concurrent Stats
-	// read can never see a negative or double-counted depth.
-	s.queueDepth.Add(1)
-	sh.mu.Unlock()
-	select {
-	case sh.kick <- struct{}{}:
-	default:
-	}
-	return nil
-}
-
-// dispatcher is one shard's batching loop: woken by enqueue, it
-// predicts the shard's queued windows in one batch per registry
-// snapshot, optionally coalescing for batchInterval first.
-func (s *Service) dispatcher(sh *shard) {
-	defer s.wg.Done()
-	for {
-		select {
-		case <-s.ctx.Done():
-			s.shutdownOnce.Do(s.shutdown)
-			return
-		case <-sh.kick:
-		}
-		if d := s.cfg.batchInterval; d > 0 {
-			t := time.NewTimer(d)
-			select {
-			case <-s.ctx.Done():
-				t.Stop()
-				s.shutdownOnce.Do(s.shutdown)
-				return
-			case <-t.C:
-			}
-		}
-		s.flushShard(sh)
-	}
-}
-
-// shutdown runs exactly once, on the first dispatcher goroutine to see
-// the cancelled context: it stops new enqueues shard by shard, drains
-// the windows already queued everywhere — a clean shutdown never drops
-// completed work — and closes every session.
-func (s *Service) shutdown() {
-	s.closed.Store(true)
-	var sessions []*Session
-	for _, sh := range s.shards {
-		sh.mu.Lock()
-		sh.closed = true
-		for _, ss := range sh.sessions {
-			sessions = append(sessions, ss)
-		}
-		sh.mu.Unlock()
-	}
-	s.Flush()
-	for _, ss := range sessions {
-		ss.markClosed()
-	}
-}
-
-// Flush synchronously predicts every queued window on every shard.
-// Sessions keep pushing concurrently; rows enqueued while a batch is
-// in flight are picked up by the next iteration. Callbacks run on the
-// calling goroutine.
-func (s *Service) Flush() {
-	for _, sh := range s.shards {
-		s.flushShard(sh)
-	}
-}
-
-// flushShard drains one shard's pending queue: per iteration it takes
-// the queue, optionally coalesces neighbor queues into the same batch
-// (CoalescePolicy), snapshots the registry, merges everything into one
-// PredictBatch call, and delivers the estimates in enqueue order.
-func (s *Service) flushShard(sh *shard) {
-	sh.dispatchMu.Lock()
-	defer sh.dispatchMu.Unlock()
-	for s.dispatchOnce(sh) {
-	}
-}
-
-// take moves up to limit pending rows (0 = all, oldest first) off sh's
-// queue, publishing their sessions as in flight for the idle sweep.
-// Everything happens under the shard's own lock — the same lock the
-// enqueue-side depth increment, the shed check, and the sweep take —
-// so the queue-depth counter and the shed accounting stay exact even
-// when the taker is another shard's dispatcher (a coalescing thief).
-func (s *Service) take(sh *shard, limit int) []pendingRow {
-	sh.mu.Lock()
-	rows := sh.pending
-	if limit > 0 && limit < len(rows) {
-		// Split takes copy the remainder so the taken prefix (capped at
-		// its own length) never aliases the victim's future appends.
-		rest := make([]pendingRow, len(rows)-limit)
-		copy(rest, rows[limit:])
-		sh.pending = rest
-		rows = rows[:limit:limit]
-	} else {
-		sh.pending = nil
-	}
-	for i := range rows {
-		sh.inflight[rows[i].sess]++
-	}
-	if len(rows) > 0 {
-		s.queueDepth.Add(-int64(len(rows)))
-	}
-	sh.mu.Unlock()
-	return rows
-}
-
-// release drops the in-flight marks take published, after the rows'
-// estimates have been delivered.
-func (s *Service) release(sh *shard, rows []pendingRow) {
-	sh.mu.Lock()
-	for i := range rows {
-		if n := sh.inflight[rows[i].sess]; n <= 1 {
-			delete(sh.inflight, rows[i].sess)
-		} else {
-			sh.inflight[rows[i].sess] = n - 1
-		}
-	}
-	sh.mu.Unlock()
-}
-
-// segment is one shard's contribution to a (possibly coalesced) batch.
-type segment struct {
-	sh   *shard
-	rows []pendingRow
-}
-
-// dispatchOnce takes and predicts one batch for sh, reporting whether
-// there was anything to do. The caller holds sh.dispatchMu.
-//
-// When the CoalescePolicy is enabled and the shard's own take came up
-// short of MinBatch, the dispatcher steals its neighbors' pending
-// queues in ring order (own+1, own+2, …) into the same batch. Each
-// steal try-locks the victim's dispatchMu and holds it until the
-// merged batch is delivered: a busy victim is simply skipped (the
-// thief never blocks behind a slow neighbor), and a robbed victim
-// cannot start a competing batch over the same sessions, so
-// per-session estimate order is preserved. The only blocking
-// dispatchMu acquisition anywhere is a dispatcher taking its own, so
-// the try-locks cannot deadlock. Under WithManualDispatch the whole
-// dance runs on the single flushing goroutine in ring order —
-// deterministic, so fleetsim replays it byte-identically.
-func (s *Service) dispatchOnce(sh *shard) bool {
-	pol := s.cfg.coalesce
-	own := s.take(sh, pol.MaxBatch)
-	if len(own) == 0 {
-		return false
-	}
-	segs := []segment{{sh, own}}
-	total := len(own)
-	if pol.MinBatch > 0 && total < pol.MinBatch && len(s.shards) > 1 {
-		defer func() {
-			for _, seg := range segs[1:] {
-				seg.sh.dispatchMu.Unlock()
-			}
-		}()
-		myIdx := s.shardIndex(sh)
-		for off := 1; off < len(s.shards) && total < pol.MinBatch; off++ {
-			if pol.MaxBatch > 0 && total >= pol.MaxBatch {
-				break
-			}
-			v := s.shards[(myIdx+off)%len(s.shards)]
-			if !v.dispatchMu.TryLock() {
-				continue
-			}
-			limit := 0
-			if pol.MaxBatch > 0 {
-				limit = pol.MaxBatch - total
-			}
-			rows := s.take(v, limit)
-			if len(rows) == 0 {
-				v.dispatchMu.Unlock()
-				continue
-			}
-			segs = append(segs, segment{v, rows})
-			total += len(rows)
-		}
-		if len(segs) > 1 {
-			s.coalBatches.Add(1)
-			s.coalWindows.Add(uint64(total - len(own)))
-		}
-	}
-	if fn := s.cfg.batchFailpoint; fn != nil {
-		fn(s.shardIndex(sh), total)
-	}
-	start := time.Now()
-	// Snapshot the model AFTER the last take (own and stolen alike): a
-	// Deploy that returned before any of these rows were enqueued is
-	// necessarily visible here, so no row — stolen or not — is ever
-	// predicted by a model older than the one current at its enqueue
-	// time.
-	mv := s.cur.Load()
-	X := make([][]float64, 0, total)
-	for _, seg := range segs {
-		for i := range seg.rows {
-			X = append(X, mv.project(seg.rows[i].row))
-		}
-	}
-	out := ml.PredictAll(mv.dep.Model, X)
-	k := 0
-	for _, seg := range segs {
-		for i := range seg.rows {
-			est := Estimate{
-				SessionID:    seg.rows[i].sess.id,
-				Tgen:         seg.rows[i].tgen,
-				RTTF:         out[k],
-				ModelVersion: mv.version,
-				ModelName:    mv.dep.Name,
-			}
-			k++
-			s.deliver(seg.rows[i].sess, est)
-			if seg.rows[i].endRun {
-				seg.rows[i].sess.resetAlert()
-			}
-		}
-		s.release(seg.sh, seg.rows)
-	}
-	s.lastBatchNs.Store(int64(time.Since(start)))
-	s.lastBatchSize.Store(int64(total))
-	return true
-}
-
-// deliver records an estimate on its session and fans it out to the
-// configured consumers, raising an alert on a downward threshold
-// crossing.
-func (s *Service) deliver(ss *Session, est Estimate) {
-	s.predictions.Add(1)
-	crossed := ss.record(est, s.cfg.alertBelow)
-	if fn := ss.onEstimate; fn != nil {
-		fn(est)
-	}
-	if fn := s.cfg.estimateFunc; fn != nil {
-		fn(est)
-	}
-	if crossed && s.cfg.alertFunc != nil {
-		s.alerts.Add(1)
-		s.cfg.alertFunc(Alert{Estimate: est, Threshold: s.cfg.alertBelow})
-	}
-}
-
-// removeSession detaches a closed session from its shard.
-func (s *Service) removeSession(ss *Session) {
-	sh := ss.shard
-	sh.mu.Lock()
-	if cur, ok := sh.sessions[ss.id]; ok && cur == ss {
-		delete(sh.sessions, ss.id)
-		s.sessionCount.Add(-1)
-	}
-	sh.mu.Unlock()
-}
 
 // Close stops the service: the dispatchers drain queued windows and
 // exit, sessions are closed, and further pushes fail with

@@ -35,8 +35,12 @@ func WithSessionPriority(p int) SessionOption {
 // local sampling loop); the accessor methods are safe for concurrent
 // use with Push.
 type Session struct {
-	svc        *Service
-	shard      *shard
+	svc *Service
+	// home is the shard the session currently lives on. It only moves
+	// under BOTH shard locks (placement migration), and every reader
+	// that needs a stable home re-checks the pointer under the shard
+	// lock it acquired — see enqueue and removeSession.
+	home       atomic.Pointer[shard]
 	id         string
 	onEstimate EstimateFunc
 	// priority orders the session for load shedding (WithShedPolicy):
@@ -48,6 +52,14 @@ type Session struct {
 	// activity (push, flush, estimate delivery); the idle-TTL sweep
 	// evicts sessions whose stamp falls behind the TTL.
 	lastActive atomic.Int64
+
+	// pendingWindows counts this session's windows that are queued or
+	// in a batch being predicted (incremented at enqueue under the
+	// home shard's lock, decremented after estimate delivery). The
+	// idle sweep spares any session with a nonzero count, no matter
+	// which shard's queue — or which thief's merged batch — currently
+	// carries the windows.
+	pendingWindows atomic.Int64
 
 	mu     sync.Mutex
 	la     *aggregate.LiveAggregator
@@ -66,7 +78,8 @@ func newSession(s *Service, sh *shard, id string, opts ...SessionOption) (*Sessi
 	if err != nil {
 		return nil, err
 	}
-	ss := &Session{svc: s, shard: sh, id: id, la: la}
+	ss := &Session{svc: s, id: id, la: la}
+	ss.home.Store(sh)
 	ss.touch()
 	for _, o := range opts {
 		o(ss)

@@ -8,6 +8,8 @@ import (
 	"sync/atomic"
 	"testing"
 	"time"
+
+	"repro/internal/testutil"
 )
 
 // TestShardedServingStress is the concurrency gate for the sharded
@@ -69,16 +71,26 @@ func TestShardedServingStress(t *testing.T) {
 		sessions[i] = ss
 	}
 
-	// Shard balance: the FNV hash must spread 10⁴ ids so no shard
-	// holds more than twice (or less than half) its fair share —
-	// otherwise "sharded" dispatch degenerates back to one queue.
+	// Shard balance: the default hash placer must spread 10⁴ ids so no
+	// shard holds more than twice (or less than half) its fair share —
+	// otherwise "sharded" dispatch degenerates back to one queue. The
+	// histogram comes from the placer itself (testutil.Spread), then a
+	// spot check confirms the session maps agree with the placement.
+	ids := make([]string, numSessions)
+	for i := range ids {
+		ids[i] = fmt.Sprintf("s-%05d", i)
+	}
 	fair := numSessions / numShards
-	for i, sh := range svc.shards {
-		sh.mu.Lock()
-		n := len(sh.sessions)
-		sh.mu.Unlock()
+	for i, n := range testutil.Spread(svc.placer.Place, ids, numShards) {
 		if n < fair/2 || n > fair*2 {
-			t.Fatalf("shard %d holds %d sessions, fair share is %d", i, n, fair)
+			t.Fatalf("shard %d placed %d sessions, fair share is %d", i, n, fair)
+		}
+		sh := svc.shards[i]
+		sh.mu.Lock()
+		held := len(sh.sessions)
+		sh.mu.Unlock()
+		if held != n {
+			t.Fatalf("shard %d holds %d sessions but the placer routed %d there", i, held, n)
 		}
 	}
 

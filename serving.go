@@ -51,6 +51,26 @@ type (
 	// depth. Delivered via WithShedFunc; per-priority totals are in
 	// ServeStats.ShedByPriority.
 	Shed = serve.Shed
+	// Placer is the pluggable placement policy: it routes session ids
+	// onto shards and (for load-tracked implementations) plans
+	// hot-session migrations when per-shard load skews.
+	Placer = serve.Placer
+	// HashPlacer is the default stateless FNV-hash placer — the exact
+	// routing the service used before placement became pluggable.
+	HashPlacer = serve.HashPlacer
+	// LoadPlacer tracks per-shard window rates and, past its skew
+	// watermark, plans migrations of the hottest movable sessions onto
+	// the coldest shards via an explicit routing override table.
+	LoadPlacer = serve.LoadPlacer
+	// LoadPlacerConfig shapes a LoadPlacer (watermark, EWMA weight,
+	// per-call move cap).
+	LoadPlacerConfig = serve.LoadPlacerConfig
+	// ShardLoad is one shard's load snapshot (sessions, queue depth,
+	// cumulative windows) — ServeStats.ShardLoads and the Rebalance
+	// planning input.
+	ShardLoad = serve.ShardLoad
+	// PlacementMove is one planned session migration.
+	PlacementMove = serve.Move
 )
 
 // NewPredictionService builds and starts a prediction service; the
@@ -125,6 +145,20 @@ func WithShedPolicy(p ShedPolicy) ServeOption { return serve.WithShedPolicy(p) }
 // timestamp, and triggering queue depth, so operators see who loses
 // windows under overload, not just how many.
 func WithShedFunc(fn func(Shed)) ServeOption { return serve.WithShedFunc(fn) }
+
+// WithPlacement sets the service's placement policy — how session ids
+// map onto shards and whether Rebalance can migrate them. The default
+// (HashPlacer{}) routes by FNV hash, bitwise-identical to the
+// pre-placement service; NewLoadPlacer returns a load-tracked placer
+// that plans hot-session migrations past its skew watermark.
+func WithPlacement(p Placer) ServeOption { return serve.WithPlacement(p) }
+
+// NewLoadPlacer builds a load-tracked placer: per-shard window rates
+// tracked with an EWMA, and a greedy migration planner that moves the
+// hottest movable sessions onto the coldest shards once the hottest
+// shard's rate exceeds cfg.SkewWatermark times the mean. Zero config
+// fields take defaults (watermark 1.5, alpha 0.5, 8 moves per call).
+func NewLoadPlacer(cfg LoadPlacerConfig) *LoadPlacer { return serve.NewLoadPlacer(cfg) }
 
 // WithServeClock sets the prediction service's time source (default
 // time.Now) — the fault-injection hook that lets a simulation harness
